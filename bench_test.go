@@ -1,0 +1,270 @@
+// Package cbi_bench benchmarks the statistical debugging pipeline: one
+// benchmark per paper table (the analysis that regenerates it) plus
+// infrastructure benchmarks for the interpreter, instrumentation
+// runtime, samplers, and the core algorithm.
+//
+// Corpora are generated once per benchmark binary invocation and
+// shared; the benchmarks time the analysis, which is what varies
+// between algorithm designs.
+package cbi_bench
+
+import (
+	"sync"
+	"testing"
+
+	"cbi/internal/core"
+	"cbi/internal/experiments"
+	"cbi/internal/harness"
+	"cbi/internal/instrument"
+	"cbi/internal/interp"
+	"cbi/internal/lang"
+	"cbi/internal/logreg"
+	"cbi/internal/sampling"
+	"cbi/internal/subjects"
+	"cbi/internal/vm"
+)
+
+var (
+	runnerOnce sync.Once
+	benchR     *experiments.Runner
+)
+
+// runner returns a shared experiment runner with a smoke-scale corpus.
+func runner() *experiments.Runner {
+	runnerOnce.Do(func() {
+		benchR = experiments.NewRunner(experiments.Scale{Runs: 1500, TrainingRuns: 200})
+	})
+	return benchR
+}
+
+// warm forces the corpus for a subject/mode into the cache so the
+// benchmark loop times only the analysis.
+func warm(b *testing.B, name string, mode harness.Mode) *harness.Result {
+	b.Helper()
+	res := runner().Result(name, mode)
+	b.ResetTimer()
+	return res
+}
+
+func BenchmarkTable1Ranking(b *testing.B) {
+	warm(b, "moss", harness.SampleUniform)
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable1(runner(), 8)
+	}
+}
+
+func BenchmarkTable2Summary(b *testing.B) {
+	for _, n := range []string{"moss", "ccrypt", "bc", "exif", "rhythmbox"} {
+		runner().Result(n, harness.SampleUniform)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable2(runner())
+	}
+}
+
+func BenchmarkTable3Validation(b *testing.B) {
+	warm(b, "moss", harness.SampleNonuniform)
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable3(runner())
+	}
+}
+
+func BenchmarkTable4Ccrypt(b *testing.B) {
+	warm(b, "ccrypt", harness.SampleUniform)
+	for i := 0; i < b.N; i++ {
+		experiments.RunSmallTable(runner(), "ccrypt")
+	}
+}
+
+func BenchmarkTable5Bc(b *testing.B) {
+	warm(b, "bc", harness.SampleUniform)
+	for i := 0; i < b.N; i++ {
+		experiments.RunSmallTable(runner(), "bc")
+	}
+}
+
+func BenchmarkTable6Exif(b *testing.B) {
+	warm(b, "exif", harness.SampleUniform)
+	for i := 0; i < b.N; i++ {
+		experiments.RunSmallTable(runner(), "exif")
+	}
+}
+
+func BenchmarkTable7Rhythmbox(b *testing.B) {
+	warm(b, "rhythmbox", harness.SampleUniform)
+	for i := 0; i < b.N; i++ {
+		experiments.RunSmallTable(runner(), "rhythmbox")
+	}
+}
+
+func BenchmarkTable8MinRuns(b *testing.B) {
+	for _, n := range []string{"moss", "ccrypt", "bc", "exif", "rhythmbox"} {
+		runner().Result(n, harness.SampleUniform)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable8(runner())
+	}
+}
+
+func BenchmarkTable9LogReg(b *testing.B) {
+	res := warm(b, "moss", harness.SampleUniform)
+	for i := 0; i < b.N; i++ {
+		logreg.Train(res.Set, logreg.Options{Lambda: 0.005, Iters: 50, Step: 0.5})
+	}
+}
+
+func BenchmarkStackClustering(b *testing.B) {
+	warm(b, "moss", harness.SampleUniform)
+	for i := 0; i < b.N; i++ {
+		experiments.RunStackStudy(runner(), "moss")
+	}
+}
+
+// ---- Infrastructure benchmarks ----
+
+// BenchmarkInterpMossRun measures raw (uninstrumented) interpreter
+// throughput on the MOSS analog.
+func BenchmarkInterpMossRun(b *testing.B) {
+	s := subjects.Moss()
+	vm := interp.New(s.Program(true), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm.Run(s.Input(int64(i % 4096)))
+	}
+}
+
+// BenchmarkInstrumentedRun measures the per-run cost of instrumentation
+// under the three sampling policies — the paper's core performance
+// claim is that sparse sampling keeps overhead low.
+func BenchmarkInstrumentedRun(b *testing.B) {
+	s := subjects.Moss()
+	prog := s.Program(true)
+	plan := instrument.BuildPlan(prog)
+	cases := []struct {
+		name    string
+		sampler sampling.Sampler
+	}{
+		{"never", sampling.Never{}},
+		{"uniform-1pct", sampling.NewUniform(0.01)},
+		{"uniform-100pct", sampling.NewUniform(1.0)},
+		{"always", sampling.Always{}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			rt := instrument.NewRuntime(plan, c.sampler)
+			vm := interp.New(prog, rt)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt.BeginRun(int64(i) + 1)
+				vm.Run(s.Input(int64(i % 4096)))
+				rt.Snapshot(false)
+			}
+		})
+	}
+}
+
+// BenchmarkEngines compares the tree-walking interpreter with the
+// bytecode VM on uninstrumented MOSS runs.
+func BenchmarkEngines(b *testing.B) {
+	s := subjects.Moss()
+	prog := s.Program(true)
+	b.Run("tree", func(b *testing.B) {
+		eng := interp.New(prog, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Run(s.Input(int64(i % 4096)))
+		}
+	})
+	b.Run("vm", func(b *testing.B) {
+		eng := vm.New(vm.MustCompile(prog), nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Run(s.Input(int64(i % 4096)))
+		}
+	})
+}
+
+// BenchmarkVMInstrumented measures the sampled instrumentation cost on
+// the compiled backend.
+func BenchmarkVMInstrumented(b *testing.B) {
+	s := subjects.Moss()
+	prog := s.Program(true)
+	plan := instrument.BuildPlan(prog)
+	mod := vm.MustCompile(prog)
+	for _, c := range []struct {
+		name    string
+		sampler sampling.Sampler
+	}{
+		{"never", sampling.Never{}},
+		{"uniform-1pct", sampling.NewUniform(0.01)},
+		{"always", sampling.Always{}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			rt := instrument.NewRuntime(plan, c.sampler)
+			eng := vm.New(mod, rt)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt.BeginRun(int64(i) + 1)
+				eng.Run(s.Input(int64(i % 4096)))
+				rt.Snapshot(false)
+			}
+		})
+	}
+}
+
+// BenchmarkSamplerDecision measures a single sampling decision.
+func BenchmarkSamplerDecision(b *testing.B) {
+	u := sampling.NewUniform(0.01)
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if u.Sample(0) {
+			n++
+		}
+	}
+	_ = n
+}
+
+// BenchmarkAggregate measures one full-corpus aggregation pass.
+func BenchmarkAggregate(b *testing.B) {
+	res := warm(b, "moss", harness.SampleUniform)
+	in := res.CoreInput()
+	for i := 0; i < b.N; i++ {
+		core.Aggregate(in)
+	}
+}
+
+// BenchmarkEliminate measures the complete cause-isolation algorithm.
+func BenchmarkEliminate(b *testing.B) {
+	res := warm(b, "moss", harness.SampleUniform)
+	in := res.CoreInput()
+	for i := 0; i < b.N; i++ {
+		core.Eliminate(in, core.ElimOptions{})
+	}
+}
+
+// BenchmarkBuildPlan measures instrumentation planning.
+func BenchmarkBuildPlan(b *testing.B) {
+	prog := subjects.Moss().Program(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		instrument.BuildPlan(prog)
+	}
+}
+
+// BenchmarkParseResolve measures the MiniC frontend.
+func BenchmarkParseResolve(b *testing.B) {
+	src := subjects.Moss().Source(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog, err := lang.Parse("moss.mc", src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := lang.Resolve(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

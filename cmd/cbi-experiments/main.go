@@ -1,0 +1,130 @@
+// Command cbi-experiments regenerates the tables of "Scalable
+// Statistical Bug Isolation" (PLDI 2005) on the MiniC analog subjects.
+//
+// Usage:
+//
+//	cbi-experiments [-scale smoke|default|paper] [-table all|1|2|3|4|5|6|7|8|9]
+//	                [-stacks] [-ablate discard|dedup|sampling|all]
+//	                [-runs N] [-workers N]
+//
+// Absolute numbers differ from the paper (different subjects, different
+// hardware); the tables reproduce the paper's result shapes. See
+// EXPERIMENTS.md for the mapping.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cbi/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "default", "experiment scale: smoke, default, or paper")
+	table := flag.String("table", "all", "table to regenerate: all or 1-9")
+	stacks := flag.Bool("stacks", false, "run the stack-signature study (§6)")
+	ablate := flag.String("ablate", "", "ablation to run: discard, dedup, sampling, nullness, or all")
+	runs := flag.Int("runs", 0, "override the number of monitored runs per subject")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache", "", "directory for persisted corpora (reused across invocations)")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "smoke":
+		scale = experiments.SmokeScale
+	case "default":
+		scale = experiments.DefaultScale
+	case "paper":
+		scale = experiments.PaperScale
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *runs > 0 {
+		scale.Runs = *runs
+	}
+	scale.Workers = *workers
+
+	r := experiments.NewRunner(scale)
+	r.CacheDir = *cacheDir
+	start := time.Now()
+	all := *table == "all"
+
+	section := func(title string, body func()) {
+		fmt.Printf("==== %s ====\n", title)
+		t0 := time.Now()
+		body()
+		fmt.Printf("(%.1fs)\n\n", time.Since(t0).Seconds())
+	}
+
+	want := func(n string) bool { return all || *table == n }
+
+	if want("1") {
+		section("Table 1: ranking strategies on MOSS (no elimination)", func() {
+			fmt.Print(experiments.RunTable1(r, 8).Render())
+		})
+	}
+	if want("2") {
+		section("Table 2: summary statistics", func() {
+			fmt.Print(experiments.RenderTable2(experiments.RunTable2(r)))
+		})
+	}
+	if want("3") {
+		section("Table 3: MOSS validation (nonuniform sampling)", func() {
+			fmt.Print(experiments.RunTable3(r).Render())
+		})
+	}
+	smallTables := map[string]string{"4": "ccrypt", "5": "bc", "6": "exif", "7": "rhythmbox"}
+	for _, n := range []string{"4", "5", "6", "7"} {
+		if want(n) {
+			name := smallTables[n]
+			section(fmt.Sprintf("Table %s: predictors for %s", n, strings.ToUpper(name)), func() {
+				fmt.Print(experiments.RunSmallTable(r, name).Render())
+			})
+		}
+	}
+	if want("8") {
+		section("Table 8: minimum number of runs needed", func() {
+			fmt.Print(experiments.RenderTable8(experiments.RunTable8(r)))
+		})
+	}
+	if want("9") {
+		section("Table 9: l1-regularized logistic regression on MOSS", func() {
+			fmt.Print(experiments.RunTable9(r).Render())
+		})
+	}
+	if *stacks || all {
+		section("§6: stack-signature clustering baseline", func() {
+			studies, overall := experiments.RunStackStudies(r)
+			fmt.Print(experiments.RenderStackStudies(studies, overall))
+		})
+	}
+	if *ablate != "" {
+		if *ablate == "discard" || *ablate == "all" {
+			section("Ablation: run-discard proposals (§5)", func() {
+				fmt.Print(experiments.RunDiscardAblation(r, "moss").Render())
+			})
+		}
+		if *ablate == "dedup" || *ablate == "all" {
+			section("Ablation: within-site dedup (§3.4)", func() {
+				fmt.Print(experiments.RunDedupAblation(r, "moss").Render())
+			})
+		}
+		if *ablate == "sampling" || *ablate == "all" {
+			section("Ablation: sampling modes (§4)", func() {
+				fmt.Print(experiments.RunSamplingAblation(r, "moss").Render())
+			})
+		}
+		if *ablate == "nullness" || *ablate == "all" {
+			section("Extension: nullness scheme (paper future work)", func() {
+				fmt.Print(experiments.RunNullnessAblation(r, "rhythmbox").Render())
+			})
+		}
+	}
+	fmt.Printf("total: %.1fs at scale %s (%d runs/subject)\n",
+		time.Since(start).Seconds(), *scaleName, scale.Runs)
+}

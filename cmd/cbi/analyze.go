@@ -1,0 +1,68 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cbi/internal/core"
+	"cbi/internal/instrument"
+	"cbi/internal/report"
+)
+
+// cmdAnalyze re-analyzes a saved feedback-report corpus (produced by
+// `cbi run -save`). The instrumentation plan is re-derived from the
+// program source, which must be the same source the corpus was
+// collected from; the report header's site/predicate counts are
+// checked against the plan to catch mismatches.
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	reports := fs.String("reports", "", "saved feedback reports (required)")
+	top := fs.Int("top", 10, "max predictors to print")
+	target, rest, err := splitTarget(args, "cbi analyze <file.mc> -reports saved.txt")
+	if err != nil {
+		return err
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if *reports == "" {
+		return fmt.Errorf("usage: cbi analyze <file.mc> -reports saved.txt")
+	}
+	prog, err := loadProgram(target)
+	if err != nil {
+		return err
+	}
+	plan := instrument.BuildPlan(prog)
+
+	f, err := os.Open(*reports)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	set, err := report.Unmarshal(f)
+	if err != nil {
+		return err
+	}
+	if set.NumSites != plan.NumSites() || set.NumPreds != plan.NumPreds() {
+		return fmt.Errorf("corpus was collected from a different program: corpus has %d sites / %d predicates, %s yields %d / %d",
+			set.NumSites, set.NumPreds, target, plan.NumSites(), plan.NumPreds())
+	}
+	fmt.Printf("%d reports (%d failing), %d sites, %d predicates\n",
+		len(set.Reports), set.NumFailing(), set.NumSites, set.NumPreds)
+	if set.NumFailing() == 0 {
+		fmt.Println("no failing runs; nothing to isolate")
+		return nil
+	}
+
+	siteOf := make([]int32, plan.NumPreds())
+	for i, p := range plan.Preds {
+		siteOf[i] = int32(p.Site)
+	}
+	printRanking(core.Input{Set: set, SiteOf: siteOf}, func(p int) string {
+		pr := plan.Preds[p]
+		s := plan.Sites[pr.Site]
+		return fmt.Sprintf("%s (%s:%d)", pr.Text, s.Func, s.Line)
+	}, *top)
+	return nil
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cbi/internal/instrument"
+	"cbi/internal/lang"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,3")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if got, err := parseInts(""); err != nil || got != nil {
+		t.Errorf("empty: %v, %v", got, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("bad int accepted")
+	}
+}
+
+func TestSplitTarget(t *testing.T) {
+	target, rest, err := splitTarget([]string{"prog.mc", "-runs", "5"}, "usage")
+	if err != nil || target != "prog.mc" || len(rest) != 2 {
+		t.Errorf("splitTarget = %q, %v, %v", target, rest, err)
+	}
+	if _, _, err := splitTarget([]string{"-runs", "5"}, "usage"); err == nil {
+		t.Error("flag-first args accepted as target")
+	}
+	if _, _, err := splitTarget(nil, "usage"); err == nil {
+		t.Error("empty args accepted")
+	}
+}
+
+func TestSiteLabel(t *testing.T) {
+	sym := &lang.Symbol{Name: "y"}
+	cases := []struct {
+		site *instrument.Site
+		want string
+	}{
+		{&instrument.Site{Text: "x > 0"}, "x > 0"},
+		{&instrument.Site{Text: "x", PairKind: instrument.PairVar, Partner: sym}, "x ~ y"},
+		{&instrument.Site{Text: "x", PairKind: instrument.PairConst, Const: 7}, "x ~ 7"},
+		{&instrument.Site{Text: "x", PairKind: instrument.PairOld}, "x ~ old value"},
+	}
+	for _, c := range cases {
+		if got := siteLabel(c.site); got != c.want {
+			t.Errorf("siteLabel = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestLoadProgram(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.mc")
+	os.WriteFile(good, []byte("int main() { return 0; }"), 0o644)
+	if _, err := loadProgram(good); err != nil {
+		t.Errorf("good program rejected: %v", err)
+	}
+	bad := filepath.Join(dir, "bad.mc")
+	os.WriteFile(bad, []byte("int main() { return x; }"), 0o644)
+	if _, err := loadProgram(bad); err == nil {
+		t.Error("ill-typed program accepted")
+	}
+	if _, err := loadProgram(filepath.Join(dir, "missing.mc")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCmdCheckAndSites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.mc")
+	os.WriteFile(path, []byte(`
+int main() {
+  int x = read();
+  if (x > 3) { output(x); }
+  return 0;
+}`), 0o644)
+	if err := cmdCheck([]string{path}); err != nil {
+		t.Errorf("cmdCheck: %v", err)
+	}
+	if err := cmdPrint([]string{path}); err != nil {
+		t.Errorf("cmdPrint: %v", err)
+	}
+	if err := cmdSites([]string{path}); err != nil {
+		t.Errorf("cmdSites: %v", err)
+	}
+	if err := cmdCheck([]string{}); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Error("cmdCheck without args should fail with usage")
+	}
+}
+
+func TestCmdRunAndAnalyzeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "buggy.mc")
+	os.WriteFile(path, []byte(`
+int main() {
+  int a = read();
+  int b = read();
+  if (a > 200 && b < 10) {
+    int* p = null;
+    p[0] = 1;
+  }
+  output(a + b);
+  return 0;
+}`), 0o644)
+	reports := filepath.Join(dir, "reports.txt")
+	if err := cmdRun([]string{path, "-runs", "400", "-mode", "always", "-save", reports}); err != nil {
+		t.Fatalf("cmdRun: %v", err)
+	}
+	if err := cmdAnalyze([]string{path, "-reports", reports}); err != nil {
+		t.Fatalf("cmdAnalyze: %v", err)
+	}
+	// Analyzing with a different program must be refused.
+	other := filepath.Join(dir, "other.mc")
+	os.WriteFile(other, []byte("int main() { return 0; }"), 0o644)
+	if err := cmdAnalyze([]string{other, "-reports", reports}); err == nil {
+		t.Error("corpus/program mismatch accepted")
+	}
+}

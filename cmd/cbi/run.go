@@ -1,0 +1,267 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cbi/internal/core"
+	"cbi/internal/corpus"
+	"cbi/internal/harness"
+	"cbi/internal/instrument"
+	"cbi/internal/interp"
+	"cbi/internal/report"
+	"cbi/internal/sampling"
+	"cbi/internal/subjects"
+	"cbi/internal/thermo"
+)
+
+// cmdRun fuzzes an arbitrary MiniC program: every run gets a fresh
+// seed, fixed -args, and a random integer stream; crashes label runs as
+// failures; the cause-isolation algorithm ranks bug predictors.
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	runs := fs.Int("runs", 2000, "number of runs")
+	mode := fs.String("mode", "uniform", "sampling: always, uniform, or nonuniform")
+	rate := fs.Float64("rate", sampling.DefaultRate, "uniform sampling rate")
+	argsCSV := fs.String("args", "", "fixed integer args, comma-separated")
+	sargsCSV := fs.String("sargs", "", "fixed string args, comma-separated")
+	streamLen := fs.Int("stream-len", 64, "random input stream length")
+	streamMax := fs.Int64("stream-max", 256, "random stream values are in [0, max)")
+	top := fs.Int("top", 10, "max predictors to print")
+	save := fs.String("save", "", "save feedback reports to this file")
+	target, rest, err := splitTarget(args, "cbi run <file.mc> [flags]")
+	if err != nil {
+		return err
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	prog, err := loadProgram(target)
+	if err != nil {
+		return err
+	}
+
+	fixedArgs, err := parseInts(*argsCSV)
+	if err != nil {
+		return fmt.Errorf("-args: %v", err)
+	}
+	var fixedSArgs []string
+	if *sargsCSV != "" {
+		fixedSArgs = strings.Split(*sargsCSV, ",")
+	}
+
+	plan := instrument.BuildPlan(prog)
+	fmt.Printf("%d sites, %d predicates\n", plan.NumSites(), plan.NumPreds())
+
+	var sampler sampling.Sampler
+	switch *mode {
+	case "always":
+		sampler = sampling.Always{}
+	case "uniform":
+		sampler = sampling.NewUniform(*rate)
+	case "nonuniform":
+		sampler = sampling.Always{} // rates trained below
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	genInput := func(i int64) interp.Input {
+		rng := newStreamRNG(i)
+		stream := make([]int64, *streamLen)
+		for j := range stream {
+			stream[j] = rng.intn(*streamMax)
+		}
+		return interp.Input{Args: fixedArgs, SArgs: fixedSArgs, Stream: stream, Seed: i}
+	}
+
+	if *mode == "nonuniform" {
+		counts := make([]float64, plan.NumSites())
+		rt := instrument.NewRuntime(plan, sampling.Always{})
+		in := interp.New(prog, rt)
+		const trainRuns = 200
+		for i := int64(0); i < trainRuns; i++ {
+			rt.BeginRun(i + 1)
+			in.Run(genInput(-1 - i))
+			for s := 0; s < plan.NumSites(); s++ {
+				counts[s] += float64(rt.SiteObservedCount(s))
+			}
+		}
+		for i := range counts {
+			counts[i] /= trainRuns
+		}
+		sampler = sampling.NewNonuniform(sampling.PlanRates(counts, sampling.DefaultTargetSamples, sampling.DefaultRate))
+	}
+
+	set := &report.Set{NumSites: plan.NumSites(), NumPreds: plan.NumPreds()}
+	rt := instrument.NewRuntime(plan, sampler)
+	in := interp.New(prog, rt)
+	crashes := 0
+	for i := 0; i < *runs; i++ {
+		rt.BeginRun(int64(i) + 1)
+		out := in.Run(genInput(int64(i)))
+		if out.Crashed {
+			crashes++
+		}
+		set.Reports = append(set.Reports, rt.Snapshot(out.Crashed))
+	}
+	fmt.Printf("%d runs, %d failing (%.1f%%)\n", *runs, crashes, 100*float64(crashes)/float64(*runs))
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		if err := set.Marshal(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("saved reports to %s\n", *save)
+	}
+	if crashes == 0 {
+		fmt.Println("no failures; nothing to isolate")
+		return nil
+	}
+
+	siteOf := make([]int32, plan.NumPreds())
+	for i, p := range plan.Preds {
+		siteOf[i] = int32(p.Site)
+	}
+	printRanking(core.Input{Set: set, SiteOf: siteOf}, func(p int) string {
+		pr := plan.Preds[p]
+		s := plan.Sites[pr.Site]
+		return fmt.Sprintf("%s (%s:%d)", pr.Text, s.Func, s.Line)
+	}, *top)
+	return nil
+}
+
+// cmdSubject runs a built-in case-study subject with ground truth.
+func cmdSubject(args []string) error {
+	fs := flag.NewFlagSet("subject", flag.ExitOnError)
+	runs := fs.Int("runs", 8000, "number of runs")
+	mode := fs.String("mode", "uniform", "sampling: always, uniform, or nonuniform")
+	top := fs.Int("top", 12, "max predictors to print")
+	saveCorpus := fs.String("save-corpus", "", "persist the full corpus (reports + ground truth) to this file")
+	loadCorpus := fs.String("load-corpus", "", "analyze a previously saved corpus instead of running")
+	target, rest, err := splitTarget(args, "cbi subject <moss|ccrypt|bc|exif|rhythmbox> [flags]")
+	if err != nil {
+		return err
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	subj := subjects.ByName(target)
+	if subj == nil {
+		return fmt.Errorf("unknown subject %q", target)
+	}
+	var m harness.Mode
+	switch *mode {
+	case "always":
+		m = harness.SampleAlways
+	case "uniform":
+		m = harness.SampleUniform
+	case "nonuniform":
+		m = harness.SampleNonuniform
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	var res *harness.Result
+	if *loadCorpus != "" {
+		f, err := os.Open(*loadCorpus)
+		if err != nil {
+			return err
+		}
+		res, err = corpus.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if res.Config.Subject.Name != subj.Name {
+			return fmt.Errorf("corpus is for subject %q, not %q", res.Config.Subject.Name, subj.Name)
+		}
+	} else {
+		res = harness.Run(harness.Config{Subject: subj, Runs: *runs, Mode: m})
+	}
+	if *saveCorpus != "" {
+		f, err := os.Create(*saveCorpus)
+		if err != nil {
+			return err
+		}
+		if err := corpus.Save(f, res); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("saved corpus to %s\n", *saveCorpus)
+	}
+	fmt.Printf("%s: %d runs, %d failing; %d sites, %d predicates\n",
+		subj.Name, len(res.Set.Reports), res.NumFailing(), res.Plan.NumSites(), res.Plan.NumPreds())
+	perBug := res.FailingRunsPerBug()
+	fmt.Printf("ground truth failing runs per bug: %v\n", perBug)
+	printRanking(res.CoreInput(), res.PredText, *top)
+	return nil
+}
+
+// printRanking runs the full pipeline (Increase filter + elimination)
+// and prints the ranked predictor list with thermometers.
+func printRanking(in core.Input, predText func(int) string, top int) {
+	agg := core.Aggregate(in)
+	keep := core.FilterByIncrease(agg, core.Z95)
+	fmt.Printf("predicates with Increase CI > 0: %d of %d\n", len(keep), in.Set.NumPreds)
+	ranked := core.Eliminate(in, core.ElimOptions{MaxPredictors: top})
+	if len(ranked) == 0 {
+		fmt.Println("elimination selected no predictors")
+		return
+	}
+	fmt.Println("ranked bug predictors (initial | effective thermometers):")
+	maxObs := agg.NumF + agg.NumS
+	for i, rk := range ranked {
+		ti := thermo.Compute(rk.Initial, rk.InitialScores, maxObs)
+		te := thermo.Compute(rk.Effective, rk.EffectiveScores, maxObs)
+		fmt.Printf("%2d. %s %s  Imp=%.3f Inc=%.3f±%.3f F=%d S=%d  %s\n",
+			i+1, ti.Text(16), te.Text(16),
+			rk.EffectiveScores.Importance, rk.InitialScores.Increase, rk.InitialScores.IncreaseCI,
+			rk.Initial.F, rk.Initial.S, predText(rk.Pred))
+	}
+}
+
+func parseInts(csv string) ([]int64, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	parts := strings.Split(csv, ",")
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// streamRNG is a tiny splitmix64 for fuzzing streams.
+type streamRNG struct{ state uint64 }
+
+func newStreamRNG(seed int64) *streamRNG {
+	return &streamRNG{state: uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+}
+
+func (r *streamRNG) intn(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64((z ^ (z >> 31)) % uint64(n))
+}

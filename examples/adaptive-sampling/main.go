@@ -1,0 +1,63 @@
+// adaptive-sampling demonstrates the paper's §4 nonuniform sampling:
+// uniform 1/100 sampling starves rarely-executed sites (a predicate
+// reached once per run is observed in only ~1% of runs), while
+// training per-site rates on 1,000 runs gives every site an expected
+// ~100 samples per run. The example compares how often each policy
+// observes the ccrypt bug site, and the resulting F(P) counts for the
+// top predictor.
+//
+//	go run ./examples/adaptive-sampling [-runs N]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"cbi/internal/core"
+	"cbi/internal/harness"
+	"cbi/internal/subjects"
+)
+
+func main() {
+	runs := flag.Int("runs", 4000, "number of monitored runs")
+	flag.Parse()
+	subj := subjects.Ccrypt()
+
+	type outcome struct {
+		mode     harness.Mode
+		observed int
+		topText  string
+		topF     int
+	}
+	var results []outcome
+	for _, mode := range []harness.Mode{harness.SampleUniform, harness.SampleNonuniform, harness.SampleAlways} {
+		res := harness.Run(harness.Config{Subject: subj, Runs: *runs, Mode: mode, TrainingRuns: 500})
+		in := res.CoreInput()
+		ranked := core.Eliminate(in, core.ElimOptions{MaxPredictors: 1})
+		o := outcome{mode: mode}
+		// How many runs observed the buggy prompt site at all?
+		agg := core.Aggregate(in)
+		for p, st := range agg.Stats {
+			site := res.Plan.Sites[res.Plan.Preds[p].Site]
+			if site.Func == "prompt_overwrite" {
+				if st.Fobs+st.Sobs > o.observed {
+					o.observed = st.Fobs + st.Sobs
+				}
+			}
+		}
+		if len(ranked) > 0 {
+			o.topText = res.PredText(ranked[0].Pred)
+			o.topF = ranked[0].Initial.F
+		}
+		results = append(results, o)
+	}
+
+	fmt.Printf("ccrypt, %d runs; the buggy prompt executes at most once per run\n\n", *runs)
+	for _, o := range results {
+		fmt.Printf("%-11s prompt sites observed in %5d runs; top predictor F=%-4d %s\n",
+			o.mode, o.observed, o.topF, o.topText)
+	}
+	fmt.Println("\nuniform 1/100 sampling observes the once-per-run prompt site in ~1%")
+	fmt.Println("of runs; nonuniform sampling sets that site's rate to 1.0 and recovers")
+	fmt.Println("nearly every observation, matching the always-sample ground truth.")
+}

@@ -1,0 +1,64 @@
+package core
+
+import "sort"
+
+// AffinityEntry records how strongly a selected predicate P implies
+// another predicate Q: the drop in Q's Importance when the runs where
+// P was observed true are removed (paper §4.1: "each predicate P in
+// the final, ranked list links to an affinity list of all predicates
+// ranked by how much P causes their ranking score to decrease").
+type AffinityEntry struct {
+	Pred int
+	// Before and After are Q's Importance with and without P's true
+	// runs.
+	Before, After float64
+	// Drop = Before − After; large drops mean P and Q predict the same
+	// failing runs.
+	Drop float64
+}
+
+// Affinity computes the affinity list of predicate p over the given
+// candidate predicates (p itself is skipped). Entries are ordered by
+// decreasing Drop.
+func Affinity(in Input, p int, candidates []int) []AffinityEntry {
+	before := Aggregate(in)
+
+	active := make([]bool, len(in.Set.Reports))
+	for i := range active {
+		active[i] = true
+	}
+	for _, i := range runsWhereTrue(in, int32(p), nil) {
+		active[i] = false
+	}
+	after := AggregateSubset(in, active, nil)
+
+	out := make([]AffinityEntry, 0, len(candidates))
+	for _, q := range candidates {
+		if q == p {
+			continue
+		}
+		b := Importance(before.Stats[q], before.NumF)
+		a := Importance(after.Stats[q], after.NumF)
+		out = append(out, AffinityEntry{Pred: q, Before: b, After: a, Drop: b - a})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Drop != out[j].Drop {
+			return out[i].Drop > out[j].Drop
+		}
+		return out[i].Pred < out[j].Pred
+	})
+	return out
+}
+
+// TopAffinity returns the predicate at the head of p's affinity list,
+// or -1 if the list is empty — used to recognize sub-bug predictors
+// (paper §4.2.1: "the first predicate is listed first in the second
+// predicate's affinity list, indicating the first predicate is a
+// sub-bug predictor associated with the second").
+func TopAffinity(in Input, p int, candidates []int) int {
+	list := Affinity(in, p, candidates)
+	if len(list) == 0 {
+		return -1
+	}
+	return list[0].Pred
+}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cbi/internal/report"
+)
+
+// synth builds a synthetic analysis input. Each predicate p lives on
+// site siteOf[p]; rows give per-run labels, true predicates, and
+// observed sites.
+type row struct {
+	failed bool
+	preds  []int32
+	sites  []int32
+}
+
+func synth(numPreds, numSites int, siteOf []int32, rows []row) Input {
+	set := &report.Set{NumSites: numSites, NumPreds: numPreds}
+	for _, r := range rows {
+		set.Reports = append(set.Reports, &report.Report{
+			Failed:        r.failed,
+			TruePreds:     r.preds,
+			ObservedSites: r.sites,
+		})
+	}
+	return Input{Set: set, SiteOf: siteOf}
+}
+
+// twoBugWorld builds a classic two-bug corpus:
+//
+//	pred 0: predictor of bug A (common)
+//	pred 1: predictor of bug B (rarer)
+//	pred 2: super-bug predictor, true in most failing runs of both
+//	        bugs and in many successful runs
+//	pred 3: sub-bug predictor, true in a small subset of bug A runs
+//	pred 4: irrelevant invariant, true everywhere it is observed
+//
+// Every predicate's site is observed in every run (full coverage), so
+// observation effects do not confound the test.
+func twoBugWorld() Input {
+	siteOf := []int32{0, 1, 2, 3, 4}
+	allSites := []int32{0, 1, 2, 3, 4}
+	var rows []row
+	// 60 failing runs of bug A; half also show the super-bug pred;
+	// 12 show the sub-bug pred.
+	for i := 0; i < 60; i++ {
+		preds := []int32{0}
+		if i%2 == 0 {
+			preds = append(preds, 2)
+		}
+		if i < 12 {
+			preds = append(preds, 3)
+		}
+		preds = append(preds, 4)
+		rows = append(rows, row{failed: true, preds: sorted32(preds), sites: allSites})
+	}
+	// 20 failing runs of bug B.
+	for i := 0; i < 20; i++ {
+		preds := []int32{1}
+		if i%2 == 0 {
+			preds = append(preds, 2)
+		}
+		preds = append(preds, 4)
+		rows = append(rows, row{failed: true, preds: sorted32(preds), sites: allSites})
+	}
+	// 320 successful runs; the super-bug predictor fires in a third of
+	// them, the invariant in all.
+	for i := 0; i < 320; i++ {
+		preds := []int32{4}
+		if i%3 == 0 {
+			preds = append(preds, 2)
+		}
+		rows = append(rows, row{failed: false, preds: sorted32(preds), sites: allSites})
+	}
+	return synth(5, 5, siteOf, rows)
+}
+
+func sorted32(xs []int32) []int32 {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs
+}
+
+func TestAggregateCounts(t *testing.T) {
+	in := twoBugWorld()
+	agg := Aggregate(in)
+	if agg.NumF != 80 || agg.NumS != 320 {
+		t.Fatalf("NumF=%d NumS=%d, want 80/320", agg.NumF, agg.NumS)
+	}
+	if st := agg.Stats[0]; st.F != 60 || st.S != 0 || st.Fobs != 80 || st.Sobs != 320 {
+		t.Errorf("pred 0 stats = %+v", st)
+	}
+	if st := agg.Stats[1]; st.F != 20 || st.S != 0 {
+		t.Errorf("pred 1 stats = %+v", st)
+	}
+	if st := agg.Stats[4]; st.F != 80 || st.S != 320 {
+		t.Errorf("pred 4 stats = %+v", st)
+	}
+}
+
+func TestFilterByIncreaseDropsInvariantsAndKeepsPredictors(t *testing.T) {
+	in := twoBugWorld()
+	agg := Aggregate(in)
+	keep := FilterByIncrease(agg, Z95)
+	has := func(p int) bool {
+		for _, q := range keep {
+			if q == p {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(0) || !has(1) {
+		t.Errorf("bug predictors pruned: keep=%v", keep)
+	}
+	if has(4) {
+		t.Errorf("program invariant survived the Increase test: keep=%v", keep)
+	}
+}
+
+func TestEliminateSelectsBothBugs(t *testing.T) {
+	in := twoBugWorld()
+	ranked := Eliminate(in, ElimOptions{})
+	if len(ranked) < 2 {
+		t.Fatalf("selected %d predictors, want >= 2: %+v", len(ranked), ranked)
+	}
+	if ranked[0].Pred != 0 {
+		t.Errorf("first predictor = %d, want 0 (the common bug)", ranked[0].Pred)
+	}
+	// Bug B's predictor must appear.
+	foundB := false
+	for _, r := range ranked {
+		if r.Pred == 1 {
+			foundB = true
+		}
+	}
+	if !foundB {
+		t.Errorf("bug B predictor not selected: %+v", ranked)
+	}
+	// The super-bug predictor must not outrank both real predictors.
+	if ranked[0].Pred == 2 {
+		t.Error("super-bug predictor ranked first")
+	}
+}
+
+func TestEliminateEffectiveStatsShrink(t *testing.T) {
+	in := twoBugWorld()
+	ranked := Eliminate(in, ElimOptions{})
+	for i, r := range ranked {
+		if i == 0 {
+			if r.Effective != r.Initial {
+				t.Errorf("first selection should have identical initial/effective stats")
+			}
+			continue
+		}
+		if r.Effective.F > r.Initial.F {
+			t.Errorf("predictor %d: effective F %d > initial F %d", r.Pred, r.Effective.F, r.Initial.F)
+		}
+	}
+}
+
+func TestEliminateTerminatesWhenRunsExhausted(t *testing.T) {
+	in := twoBugWorld()
+	ranked := Eliminate(in, ElimOptions{})
+	// After covering both bugs the algorithm must stop; with the
+	// sub-bug predictor covered by bug A's discard, at most 3-4
+	// predictors are selectable.
+	if len(ranked) > 4 {
+		t.Errorf("selected too many predictors: %d", len(ranked))
+	}
+}
+
+func TestEliminateMaxPredictorsCap(t *testing.T) {
+	in := twoBugWorld()
+	ranked := Eliminate(in, ElimOptions{MaxPredictors: 1})
+	if len(ranked) != 1 {
+		t.Errorf("cap ignored: got %d", len(ranked))
+	}
+}
+
+// TestLemma31Coverage is the paper's Lemma 3.1: if every bug profile
+// intersects the union of the candidate predicates' true-run sets, the
+// algorithm selects at least one predicate predicting at least one
+// failure of each bug.
+func TestLemma31Coverage(t *testing.T) {
+	in := twoBugWorld()
+	// Ground truth: bug A failing runs are rows 0..59, bug B 60..79.
+	bugRuns := map[string][]int{}
+	for i := 0; i < 60; i++ {
+		bugRuns["A"] = append(bugRuns["A"], i)
+	}
+	for i := 60; i < 80; i++ {
+		bugRuns["B"] = append(bugRuns["B"], i)
+	}
+	ranked := Eliminate(in, ElimOptions{})
+	for bug, runs := range bugRuns {
+		covered := false
+		for _, r := range ranked {
+			for _, runIdx := range runs {
+				if in.Set.Reports[runIdx].True(int32(r.Pred)) {
+					covered = true
+				}
+			}
+		}
+		if !covered {
+			t.Errorf("bug %s not covered by any selected predictor", bug)
+		}
+	}
+}
+
+func TestDiscardPolicies(t *testing.T) {
+	in := twoBugWorld()
+	for _, policy := range []DiscardPolicy{DiscardAllRuns, DiscardFailingRuns, RelabelFailingRuns} {
+		t.Run(policy.String(), func(t *testing.T) {
+			ranked := Eliminate(in, ElimOptions{Policy: policy})
+			if len(ranked) < 2 {
+				t.Fatalf("policy %s selected %d predictors", policy, len(ranked))
+			}
+			found := map[int]bool{}
+			for _, r := range ranked {
+				found[r.Pred] = true
+			}
+			if !found[0] || !found[1] {
+				t.Errorf("policy %s missed a bug predictor: %v", policy, found)
+			}
+		})
+	}
+}
+
+// TestNegatedPredicateTheorem checks the §5 result: immediately after P
+// is selected (and its runs discarded under any proposal), the Increase
+// score of ¬P is ≥ 0 whenever it is defined. We model P/¬P as the two
+// branch predicates of one site.
+func TestNegatedPredicateTheorem(t *testing.T) {
+	// Site 0 hosts preds 0 (P) and 1 (¬P); exactly one is true whenever
+	// the site is observed. Bug X fails when P; bug Y fails when ¬P.
+	siteOf := []int32{0, 0}
+	var rows []row
+	add := func(failed bool, p bool, n int) {
+		for i := 0; i < n; i++ {
+			pred := int32(0)
+			if !p {
+				pred = 1
+			}
+			rows = append(rows, row{failed: failed, preds: []int32{pred}, sites: []int32{0}})
+		}
+	}
+	add(true, true, 30)   // P-true failures
+	add(true, false, 20)  // ¬P-true failures
+	add(false, true, 100) // successes both ways
+	add(false, false, 100)
+	in := synth(2, 1, siteOf, rows)
+
+	for _, policy := range []DiscardPolicy{DiscardAllRuns, DiscardFailingRuns, RelabelFailingRuns} {
+		// Select P (pred 0) manually, apply the policy, and check
+		// Increase(¬P).
+		active := make([]bool, len(in.Set.Reports))
+		relabel := make([]bool, len(in.Set.Reports))
+		for i, r := range in.Set.Reports {
+			active[i] = true
+			relabel[i] = r.Failed
+		}
+		for i, r := range in.Set.Reports {
+			if !r.True(0) {
+				continue
+			}
+			switch policy {
+			case DiscardAllRuns:
+				active[i] = false
+			case DiscardFailingRuns:
+				if r.Failed {
+					active[i] = false
+				}
+			case RelabelFailingRuns:
+				if r.Failed {
+					relabel[i] = false
+				}
+			}
+		}
+		var agg *Agg
+		if policy == RelabelFailingRuns {
+			agg = AggregateSubset(in, active, relabel)
+		} else {
+			agg = AggregateSubset(in, active, nil)
+		}
+		inc := Increase(agg.Stats[1])
+		if !(inc >= 0) { // also catches NaN, which would mean undefined
+			t.Errorf("policy %s: Increase(¬P) = %v, want >= 0", policy, inc)
+		}
+	}
+}
+
+func TestAffinityIdentifiesRelatedPredicates(t *testing.T) {
+	in := twoBugWorld()
+	cands := []int{0, 1, 2, 3}
+	// Pred 3 (sub-bug of A) must have pred 0 at the top of... rather:
+	// removing pred 0's runs kills pred 3's importance, so 3 appears
+	// high on 0's affinity list, and 1 (independent bug) appears low.
+	list := Affinity(in, 0, cands)
+	pos := map[int]int{}
+	for i, e := range list {
+		pos[e.Pred] = i
+	}
+	if pos[3] > pos[1] {
+		t.Errorf("sub-bug predictor 3 (pos %d) should rank above independent predictor 1 (pos %d)", pos[3], pos[1])
+	}
+	// The independent bug B predictor's importance barely drops.
+	for _, e := range list {
+		if e.Pred == 1 && e.Drop > 0.1 {
+			t.Errorf("independent predictor dropped too much: %+v", e)
+		}
+	}
+	if top := TopAffinity(in, 0, cands); top != list[0].Pred {
+		t.Errorf("TopAffinity = %d, want %d", top, list[0].Pred)
+	}
+}
+
+func TestRankingStrategies(t *testing.T) {
+	in := twoBugWorld()
+	cands := []int{0, 1, 2, 3}
+	byF := RankByF(in, cands)
+	// F counts: pred 0: 60, pred 2: 40, pred 1: 20, pred 3: 12.
+	if byF[0] != 0 || byF[1] != 2 || byF[2] != 1 || byF[3] != 3 {
+		t.Errorf("RankByF = %v", byF)
+	}
+	byInc := RankByIncrease(in, cands)
+	// Deterministic predictors (0, 1, 3) have Failure=1; pred 3's
+	// context equals the others' (all sites fully observed), so all
+	// deterministic preds share Increase = 0.8; super-bug pred 2 is
+	// lower.
+	if byInc[3] != 2 {
+		t.Errorf("super-bug predictor should rank last by Increase: %v", byInc)
+	}
+	byImp := RankByImportance(in, cands)
+	if byImp[0] != 0 {
+		t.Errorf("Importance should rank the common bug predictor first: %v", byImp)
+	}
+}
+
+// Property: Eliminate never selects the same predicate twice and the
+// selection order is deterministic.
+func TestEliminateNoDuplicatesProperty(t *testing.T) {
+	f := func(seedRows []uint32) bool {
+		const numPreds = 8
+		siteOf := make([]int32, numPreds)
+		for i := range siteOf {
+			siteOf[i] = int32(i)
+		}
+		var rows []row
+		for _, x := range seedRows {
+			var preds, sites []int32
+			for p := 0; p < numPreds; p++ {
+				if x&(1<<p) != 0 {
+					preds = append(preds, int32(p))
+				}
+				if x&(1<<(p+numPreds)) != 0 || x&(1<<p) != 0 {
+					sites = append(sites, int32(p))
+				}
+			}
+			rows = append(rows, row{failed: x&(1<<30) != 0, preds: preds, sites: sites})
+		}
+		in := synth(numPreds, numPreds, siteOf, rows)
+		a := Eliminate(in, ElimOptions{})
+		b := Eliminate(in, ElimOptions{})
+		if len(a) != len(b) {
+			return false
+		}
+		seen := map[int]bool{}
+		for i := range a {
+			if a[i].Pred != b[i].Pred {
+				return false
+			}
+			if seen[a[i].Pred] {
+				return false
+			}
+			seen[a[i].Pred] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import "math"
+
+// Z95 is the normal quantile for a 95% confidence interval.
+const Z95 = 1.959963984540054
+
+// Scores are the paper's per-predicate metrics (§3.1, §3.3).
+type Scores struct {
+	// Failure = Pr(Crash | P observed to be true), estimated as
+	// F / (S + F).
+	Failure float64
+	// Context = Pr(Crash | P observed), estimated as
+	// Fobs / (Sobs + Fobs).
+	Context float64
+	// Increase = Failure − Context.
+	Increase float64
+	// IncreaseCI is the half-width of the 95% confidence interval on
+	// Increase (two-proportion normal approximation).
+	IncreaseCI float64
+	// Importance is the harmonic mean of Increase and the normalized
+	// log-transformed failure count log(F)/log(NumF); 0 when undefined.
+	Importance float64
+	// ImportanceCI is a delta-method approximation of the 95% CI
+	// half-width on Importance.
+	ImportanceCI float64
+}
+
+// Failure computes F/(S+F); NaN when the predicate was never observed
+// true.
+func Failure(st Stats) float64 {
+	if st.F+st.S == 0 {
+		return math.NaN()
+	}
+	return float64(st.F) / float64(st.F+st.S)
+}
+
+// Context computes Fobs/(Sobs+Fobs); NaN when the site was never
+// observed.
+func Context(st Stats) float64 {
+	if st.Fobs+st.Sobs == 0 {
+		return math.NaN()
+	}
+	return float64(st.Fobs) / float64(st.Fobs+st.Sobs)
+}
+
+// Increase computes Failure − Context; NaN when either is undefined.
+func Increase(st Stats) float64 { return Failure(st) - Context(st) }
+
+// increaseVariance is the variance estimate used for the Increase CI:
+// Var(Failure) + Var(Context) under the binomial proportion model.
+func increaseVariance(st Stats) float64 {
+	fail, ctx := Failure(st), Context(st)
+	n1 := float64(st.F + st.S)
+	n2 := float64(st.Fobs + st.Sobs)
+	if n1 == 0 || n2 == 0 {
+		return math.NaN()
+	}
+	return fail*(1-fail)/n1 + ctx*(1-ctx)/n2
+}
+
+// IncreaseCI returns the half-width of the 95% CI on Increase.
+func IncreaseCI(st Stats) float64 {
+	v := increaseVariance(st)
+	if math.IsNaN(v) {
+		return math.NaN()
+	}
+	return Z95 * math.Sqrt(v)
+}
+
+// PassesIncreaseTest reports whether the 95% confidence interval on
+// Increase(P) lies strictly above zero — the paper's pruning test
+// (§3.1). z is the normal quantile (use Z95 for the paper's setting).
+//
+// §3.2 shows this test is a simplified two-proportion likelihood-ratio
+// test of H1: pf > ps; TestIncreaseEquivalentToProportionTest verifies
+// the sign equivalence.
+func PassesIncreaseTest(st Stats, z float64) bool {
+	inc := Increase(st)
+	v := increaseVariance(st)
+	if math.IsNaN(inc) || math.IsNaN(v) {
+		return false
+	}
+	return inc-z*math.Sqrt(v) > 0
+}
+
+// Importance computes the harmonic mean of Increase(P) and
+// log(F(P))/log(NumF) (§3.3):
+//
+//	Importance(P) = 2 / (1/Increase(P) + log(NumF)/log(F(P)))
+//
+// Following the paper, the result is 0 whenever the formula is
+// undefined (F = 0, F = 1, NumF ≤ 1, or non-positive Increase — a
+// non-positive term would otherwise make the "mean" meaningless).
+func Importance(st Stats, numF int) float64 {
+	inc := Increase(st)
+	if math.IsNaN(inc) || inc <= 0 {
+		return 0
+	}
+	sens := logSensitivity(st.F, numF)
+	if sens <= 0 {
+		return 0
+	}
+	return 2 / (1/inc + 1/sens)
+}
+
+// logSensitivity is the normalized log-transformed failure count
+// log(F)/log(NumF); 0 when undefined.
+func logSensitivity(f, numF int) float64 {
+	if f <= 1 || numF <= 1 {
+		return 0
+	}
+	return math.Log(float64(f)) / math.Log(float64(numF))
+}
+
+// ImportanceCI approximates the 95% CI half-width on Importance via the
+// delta method (§3.3 points to Lehmann & Casella). With
+// h(I, L) = 2IL/(I+L), I the Increase estimate and L = log F / log NumF:
+//
+//	Var(h) ≈ (∂h/∂I)²·Var(I) + (∂h/∂L)²·Var(L)
+//
+// where Var(I) is the two-proportion variance and Var(L) propagates the
+// binomial variance of F through the log transform, conditioning (as
+// the paper notes) on the counts being non-zero.
+func ImportanceCI(st Stats, numF int) float64 {
+	inc := Increase(st)
+	sens := logSensitivity(st.F, numF)
+	if math.IsNaN(inc) || inc <= 0 || sens <= 0 {
+		return 0
+	}
+	varI := increaseVariance(st)
+
+	// Var(F) under F ~ Binomial(Fobs, pf).
+	var varL float64
+	if st.Fobs > 0 && numF > 1 {
+		pf := float64(st.F) / float64(st.Fobs)
+		varF := float64(st.Fobs) * pf * (1 - pf)
+		// dL/dF = 1 / (F ln NumF)
+		dLdF := 1 / (float64(st.F) * math.Log(float64(numF)))
+		varL = dLdF * dLdF * varF
+	}
+
+	sum := inc + sens
+	dhdI := 2 * sens * sens / (sum * sum)
+	dhdL := 2 * inc * inc / (sum * sum)
+	v := dhdI*dhdI*varI + dhdL*dhdL*varL
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	return Z95 * math.Sqrt(v)
+}
+
+// ComputeScores bundles all metrics for one predicate.
+func ComputeScores(st Stats, numF int) Scores {
+	return Scores{
+		Failure:      Failure(st),
+		Context:      Context(st),
+		Increase:     Increase(st),
+		IncreaseCI:   IncreaseCI(st),
+		Importance:   Importance(st, numF),
+		ImportanceCI: ImportanceCI(st, numF),
+	}
+}
+
+// FilterByIncrease returns the predicates whose Increase CI lies
+// strictly above zero on the aggregated set — the first pruning step,
+// which in the paper removes ~99% of predicates.
+func FilterByIncrease(agg *Agg, z float64) []int {
+	var keep []int
+	for p, st := range agg.Stats {
+		if PassesIncreaseTest(st, z) {
+			keep = append(keep, p)
+		}
+	}
+	return keep
+}
+
+// ZScore computes the two-proportion Z statistic of §3.2's likelihood
+// ratio test: Z = (p̂f − p̂s) / √(p̂f(1−p̂f)/nf + p̂s(1−p̂s)/ns), with
+// p̂f = F/Fobs and p̂s = S/Sobs. The paper shows choosing H1 (pf > ps)
+// requires Z above the confidence quantile, and that p̂f > p̂s is
+// algebraically equivalent to Increase > 0. NaN when either proportion
+// is undefined.
+func ZScore(st Stats) float64 {
+	if st.Fobs == 0 || st.Sobs == 0 {
+		return math.NaN()
+	}
+	pf := float64(st.F) / float64(st.Fobs)
+	ps := float64(st.S) / float64(st.Sobs)
+	v := pf*(1-pf)/float64(st.Fobs) + ps*(1-ps)/float64(st.Sobs)
+	if v == 0 {
+		// Degenerate: both proportions are 0 or 1 with no variance.
+		switch {
+		case pf > ps:
+			return math.Inf(1)
+		case pf < ps:
+			return math.Inf(-1)
+		default:
+			return 0
+		}
+	}
+	return (pf - ps) / math.Sqrt(v)
+}
+
+// PassesZTest reports whether the §3.2 hypothesis test chooses
+// H1: pf > ps at quantile z — the statistical formulation of the
+// Increase pruning test.
+func PassesZTest(st Stats, z float64) bool {
+	score := ZScore(st)
+	return !math.IsNaN(score) && score > z
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFailureContextIncrease(t *testing.T) {
+	// The paper's motivating example: f == NULL at line (b) is a
+	// deterministic bug predictor — never true in successful runs.
+	st := Stats{F: 10, S: 0, Fobs: 10, Sobs: 90}
+	if got := Failure(st); got != 1.0 {
+		t.Errorf("Failure = %v, want 1", got)
+	}
+	if got := Context(st); got != 0.1 {
+		t.Errorf("Context = %v, want 0.1", got)
+	}
+	if got := Increase(st); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("Increase = %v, want 0.9", got)
+	}
+}
+
+func TestDoomedPredicateHasZeroIncrease(t *testing.T) {
+	// x == 0 at line (c): checked only on runs that already crash, so
+	// Failure = Context = 1 and Increase = 0 (the paper's key insight
+	// about control-dependent predicates).
+	st := Stats{F: 50, S: 0, Fobs: 50, Sobs: 0}
+	if got := Increase(st); got != 0 {
+		t.Errorf("Increase = %v, want 0", got)
+	}
+	if PassesIncreaseTest(st, Z95) {
+		t.Error("doomed predicate passed the Increase test")
+	}
+}
+
+func TestUnobservedPredicateScoresUndefined(t *testing.T) {
+	st := Stats{}
+	if !math.IsNaN(Failure(st)) || !math.IsNaN(Context(st)) || !math.IsNaN(Increase(st)) {
+		t.Error("unobserved predicate should have NaN scores")
+	}
+	if PassesIncreaseTest(st, Z95) {
+		t.Error("unobserved predicate passed the Increase test")
+	}
+	if Importance(st, 100) != 0 {
+		t.Error("unobserved predicate has non-zero Importance")
+	}
+}
+
+func TestIncreaseTestRespectsConfidence(t *testing.T) {
+	// One failing observation out of one: Increase is high but the
+	// interval is enormous; the test must reject.
+	tiny := Stats{F: 1, S: 0, Fobs: 1, Sobs: 1}
+	if PassesIncreaseTest(tiny, Z95) {
+		t.Error("1-observation predicate passed at 95%")
+	}
+	// Plenty of evidence: must pass.
+	big := Stats{F: 500, S: 10, Fobs: 520, Sobs: 4000}
+	if !PassesIncreaseTest(big, Z95) {
+		t.Error("well-supported predictor failed the Increase test")
+	}
+}
+
+// TestIncreaseEquivalentToProportionTest checks the paper's §3.2
+// algebra: Increase(P) > 0 ⇔ p̂f(P) > p̂s(P), with
+// p̂f = F/Fobs and p̂s = S/Sobs.
+func TestIncreaseEquivalentToProportionTest(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		st := Stats{
+			F: int(a), S: int(b),
+			Fobs: int(a) + int(c), // F(P obs) >= F(P)
+			Sobs: int(b) + int(d),
+		}
+		if st.F+st.S == 0 || st.Fobs == 0 || st.Sobs == 0 {
+			return true // scores undefined; nothing to check
+		}
+		inc := Increase(st)
+		pf := float64(st.F) / float64(st.Fobs)
+		ps := float64(st.S) / float64(st.Sobs)
+		return (inc > 1e-15) == (pf-ps > 1e-15) || math.Abs(inc) <= 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImportanceBalancesSpecificityAndSensitivity(t *testing.T) {
+	const numF = 1000
+	// Sub-bug predictor: perfect Increase, tiny F (Table 1(b) shape).
+	sub := Stats{F: 10, S: 0, Fobs: 10, Sobs: 90}
+	// Super-bug-ish predictor: huge F, small Increase (Table 1(a)).
+	super := Stats{F: 900, S: 4000, Fobs: 950, Sobs: 4500}
+	// Balanced predictor: high Increase and large F (Table 1(c)).
+	good := Stats{F: 800, S: 100, Fobs: 820, Sobs: 4000}
+
+	iSub := Importance(sub, numF)
+	iSuper := Importance(super, numF)
+	iGood := Importance(good, numF)
+	if !(iGood > iSub) {
+		t.Errorf("balanced (%v) should beat sub-bug (%v)", iGood, iSub)
+	}
+	if !(iGood > iSuper) {
+		t.Errorf("balanced (%v) should beat super-bug (%v)", iGood, iSuper)
+	}
+}
+
+func TestImportanceUndefinedCases(t *testing.T) {
+	if Importance(Stats{F: 0, S: 0, Fobs: 5, Sobs: 5}, 100) != 0 {
+		t.Error("F=0 should give Importance 0")
+	}
+	if Importance(Stats{F: 1, S: 0, Fobs: 1, Sobs: 9}, 100) != 0 {
+		t.Error("F=1 makes log(F)=0; Importance must be 0 (division by zero case)")
+	}
+	if Importance(Stats{F: 10, S: 0, Fobs: 10, Sobs: 0}, 1) != 0 {
+		t.Error("NumF=1 makes log(NumF)=0; Importance must be 0")
+	}
+	neg := Stats{F: 5, S: 95, Fobs: 50, Sobs: 50}
+	if Importance(neg, 100) != 0 {
+		t.Error("negative Increase should give Importance 0")
+	}
+}
+
+// Property: Importance is a harmonic mean of two values in (0, 1], so
+// it lies in [0, 1], between min and max of its components, and below
+// twice the minimum.
+func TestImportanceBoundsProperty(t *testing.T) {
+	f := func(a, b, c, d uint16, numFRaw uint16) bool {
+		numF := int(numFRaw%5000) + 2
+		st := Stats{F: int(a % 2000), S: int(b % 2000)}
+		st.Fobs = st.F + int(c%2000)
+		st.Sobs = st.S + int(d%2000)
+		if st.F > numF {
+			st.F = numF
+		}
+		imp := Importance(st, numF)
+		if imp < 0 || imp > 1.0000001 {
+			return false
+		}
+		if imp > 0 {
+			inc := Increase(st)
+			sens := math.Log(float64(st.F)) / math.Log(float64(numF))
+			lo, hi := inc, sens
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if imp < lo-1e-9 || imp > hi+1e-9 || imp > 2*lo+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImportanceCIBehaviour(t *testing.T) {
+	// More evidence means tighter intervals.
+	small := Stats{F: 8, S: 2, Fobs: 12, Sobs: 30}
+	big := Stats{F: 800, S: 200, Fobs: 1200, Sobs: 3000}
+	ciSmall := ImportanceCI(small, 1000)
+	ciBig := ImportanceCI(big, 1000)
+	if ciSmall <= ciBig {
+		t.Errorf("CI should shrink with data: small=%v big=%v", ciSmall, ciBig)
+	}
+	if ciBig <= 0 {
+		t.Errorf("CI should be positive for a defined Importance, got %v", ciBig)
+	}
+	if ImportanceCI(Stats{}, 1000) != 0 {
+		t.Error("undefined Importance should have zero CI")
+	}
+}
+
+func TestComputeScoresConsistency(t *testing.T) {
+	st := Stats{F: 100, S: 20, Fobs: 150, Sobs: 850}
+	sc := ComputeScores(st, 500)
+	if sc.Failure != Failure(st) || sc.Context != Context(st) ||
+		sc.Increase != Increase(st) || sc.Importance != Importance(st, 500) {
+		t.Error("ComputeScores disagrees with individual functions")
+	}
+	if math.Abs(sc.Increase-(sc.Failure-sc.Context)) > 1e-15 {
+		t.Error("Increase != Failure - Context")
+	}
+}
+
+// TestZScoreSignMatchesIncrease is §3.2's claim: the Z statistic is
+// positive exactly when Increase is positive (p̂f > p̂s ⇔ Increase > 0).
+func TestZScoreSignMatchesIncrease(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		st := Stats{
+			F: int(a), S: int(b),
+			Fobs: int(a) + int(c),
+			Sobs: int(b) + int(d),
+		}
+		if st.Fobs == 0 || st.Sobs == 0 || st.F+st.S == 0 {
+			return true
+		}
+		z := ZScore(st)
+		inc := Increase(st)
+		if math.IsNaN(z) || math.IsNaN(inc) {
+			return true
+		}
+		if math.Abs(inc) < 1e-12 {
+			return true // boundary; both are ~0
+		}
+		return (z > 0) == (inc > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZTestAgreesWithIncreaseTestOnStrongEvidence(t *testing.T) {
+	// Both formulations accept a well-supported predictor and reject a
+	// doomed-path predicate.
+	strong := Stats{F: 500, S: 10, Fobs: 520, Sobs: 4000}
+	if !PassesZTest(strong, Z95) || !PassesIncreaseTest(strong, Z95) {
+		t.Error("strong predictor rejected")
+	}
+	doomed := Stats{F: 50, S: 0, Fobs: 50, Sobs: 0}
+	if PassesZTest(doomed, Z95) || PassesIncreaseTest(doomed, Z95) {
+		t.Error("doomed predicate accepted")
+	}
+	// Deterministic with plenty of evidence: Z is +Inf (zero variance).
+	det := Stats{F: 100, S: 0, Fobs: 100, Sobs: 900}
+	if z := ZScore(det); !math.IsInf(z, 1) {
+		t.Errorf("deterministic predictor Z = %v, want +Inf", z)
+	}
+}
+
+func TestZScoreUndefined(t *testing.T) {
+	if !math.IsNaN(ZScore(Stats{})) {
+		t.Error("Z defined with no observations")
+	}
+	if !math.IsNaN(ZScore(Stats{Fobs: 10})) {
+		t.Error("Z defined with no successful observations")
+	}
+}

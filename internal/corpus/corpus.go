@@ -1,0 +1,205 @@
+// Package corpus persists complete experiment results — feedback
+// reports plus per-run ground-truth metadata — so expensive corpora
+// (the paper's 32,000-run studies take minutes to produce) can be
+// saved, shared, and re-analyzed without rerunning the subject.
+//
+// A corpus records the instrumentation plan's fingerprint; loading
+// verifies it against a freshly derived plan, refusing corpora whose
+// predicate universe does not match the current subject sources.
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"cbi/internal/harness"
+	"cbi/internal/instrument"
+	"cbi/internal/interp"
+	"cbi/internal/report"
+	"cbi/internal/subjects"
+)
+
+// formatVersion is bumped on breaking format changes.
+const formatVersion = 1
+
+// Save writes the experiment result to w.
+func Save(w io.Writer, res *harness.Result) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "cbi-corpus %d %s %s %d %d\n",
+		formatVersion,
+		res.Config.Subject.Name,
+		res.Config.Mode,
+		len(res.Set.Reports),
+		res.Plan.Fingerprint())
+	if err := res.Set.Marshal(bw); err != nil {
+		return err
+	}
+	fmt.Fprintln(bw, "METAS")
+	for i := range res.Metas {
+		m := &res.Metas[i]
+		bugs := make([]string, len(m.Bugs))
+		for j, b := range m.Bugs {
+			bugs[j] = strconv.Itoa(b)
+		}
+		fmt.Fprintf(bw, "%s %s %d %s %s\n",
+			boolStr(m.Crashed), boolStr(m.OracleMismatch), int(m.Trap),
+			emptyDash(m.StackSig), emptyDash(strings.Join(bugs, ",")))
+	}
+	// Rates section (nonuniform mode).
+	fmt.Fprintf(bw, "RATES %d\n", len(res.Rates))
+	for _, r := range res.Rates {
+		fmt.Fprintf(bw, "%g\n", r)
+	}
+	return bw.Flush()
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "T"
+	}
+	return "F"
+}
+
+func emptyDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func dashEmpty(s string) string {
+	if s == "-" {
+		return ""
+	}
+	return s
+}
+
+// Load reads a corpus and reconstructs a harness.Result. The named
+// subject must be registered, and the freshly derived instrumentation
+// plan must match the corpus fingerprint.
+func Load(r io.Reader) (*harness.Result, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("corpus: reading header: %v", err)
+	}
+	var version, runs int
+	var name, mode string
+	var fingerprint uint64
+	if _, err := fmt.Sscanf(header, "cbi-corpus %d %s %s %d %d",
+		&version, &name, &mode, &runs, &fingerprint); err != nil {
+		return nil, fmt.Errorf("corpus: bad header %q: %v", strings.TrimSpace(header), err)
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("corpus: unsupported version %d", version)
+	}
+	subj := subjects.ByName(name)
+	if subj == nil {
+		return nil, fmt.Errorf("corpus: unknown subject %q", name)
+	}
+	plan := instrument.BuildPlan(subj.Program(true))
+	if plan.Fingerprint() != fingerprint {
+		return nil, fmt.Errorf("corpus: plan fingerprint mismatch: corpus %d, current %d (subject sources changed?)",
+			fingerprint, plan.Fingerprint())
+	}
+
+	// Reports section: delimited by the METAS line, so read it into a
+	// buffer first.
+	var reportText strings.Builder
+	for {
+		line, err := br.ReadString('\n')
+		if err == io.EOF && line == "" {
+			return nil, fmt.Errorf("corpus: missing METAS section")
+		}
+		if err != nil && err != io.EOF {
+			return nil, err
+		}
+		if strings.TrimSpace(line) == "METAS" {
+			break
+		}
+		reportText.WriteString(line)
+		if err == io.EOF {
+			return nil, fmt.Errorf("corpus: missing METAS section")
+		}
+	}
+	set, err := report.Unmarshal(strings.NewReader(reportText.String()))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: reports: %v", err)
+	}
+	if len(set.Reports) != runs {
+		return nil, fmt.Errorf("corpus: header promised %d runs, reports section has %d", runs, len(set.Reports))
+	}
+
+	var modeVal harness.Mode
+	switch mode {
+	case "always":
+		modeVal = harness.SampleAlways
+	case "uniform":
+		modeVal = harness.SampleUniform
+	case "nonuniform":
+		modeVal = harness.SampleNonuniform
+	default:
+		return nil, fmt.Errorf("corpus: unknown mode %q", mode)
+	}
+
+	res := &harness.Result{
+		Config: harness.Config{Subject: subj, Runs: runs, Mode: modeVal},
+		Plan:   plan,
+		Set:    set,
+		Metas:  make([]harness.RunMeta, 0, runs),
+	}
+
+	for i := 0; i < runs; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil && !(err == io.EOF && line != "") {
+			return nil, fmt.Errorf("corpus: metas truncated at %d: %v", i, err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("corpus: bad meta line %q", strings.TrimSpace(line))
+		}
+		trap, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("corpus: bad trap in %q", line)
+		}
+		meta := harness.RunMeta{
+			Crashed:        fields[0] == "T",
+			OracleMismatch: fields[1] == "T",
+			Trap:           interp.TrapKind(trap),
+			StackSig:       dashEmpty(fields[3]),
+		}
+		if bugs := dashEmpty(fields[4]); bugs != "" {
+			for _, b := range strings.Split(bugs, ",") {
+				v, err := strconv.Atoi(b)
+				if err != nil {
+					return nil, fmt.Errorf("corpus: bad bug list %q", fields[4])
+				}
+				meta.Bugs = append(meta.Bugs, v)
+			}
+		}
+		res.Metas = append(res.Metas, meta)
+	}
+
+	// Optional RATES section.
+	line, err := br.ReadString('\n')
+	if err == nil || (err == io.EOF && strings.TrimSpace(line) != "") {
+		var n int
+		if _, serr := fmt.Sscanf(line, "RATES %d", &n); serr == nil {
+			for i := 0; i < n; i++ {
+				rl, rerr := br.ReadString('\n')
+				if rerr != nil && !(rerr == io.EOF && rl != "") {
+					return nil, fmt.Errorf("corpus: rates truncated at %d", i)
+				}
+				v, perr := strconv.ParseFloat(strings.TrimSpace(rl), 64)
+				if perr != nil {
+					return nil, fmt.Errorf("corpus: bad rate %q", strings.TrimSpace(rl))
+				}
+				res.Rates = append(res.Rates, v)
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cbi/internal/core"
+	"cbi/internal/harness"
+	"cbi/internal/subjects"
+)
+
+func runSmall(t *testing.T, mode harness.Mode) *harness.Result {
+	t.Helper()
+	return harness.Run(harness.Config{
+		Subject:      subjects.Ccrypt(),
+		Runs:         400,
+		Mode:         mode,
+		TrainingRuns: 100,
+		Workers:      4,
+	})
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	res := runSmall(t, harness.SampleAlways)
+	var buf bytes.Buffer
+	if err := Save(&buf, res); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.Config.Subject.Name != "ccrypt" || loaded.Config.Mode != harness.SampleAlways {
+		t.Errorf("config: %+v", loaded.Config)
+	}
+	if len(loaded.Set.Reports) != len(res.Set.Reports) {
+		t.Fatalf("reports: %d vs %d", len(loaded.Set.Reports), len(res.Set.Reports))
+	}
+	for i := range res.Metas {
+		a, b := &res.Metas[i], &loaded.Metas[i]
+		if a.Crashed != b.Crashed || a.OracleMismatch != b.OracleMismatch ||
+			a.Trap != b.Trap || a.StackSig != b.StackSig || len(a.Bugs) != len(b.Bugs) {
+			t.Fatalf("meta %d differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Bugs {
+			if a.Bugs[j] != b.Bugs[j] {
+				t.Fatalf("meta %d bug list differs", i)
+			}
+		}
+		if res.Set.Reports[i].Failed != loaded.Set.Reports[i].Failed {
+			t.Fatalf("report %d label differs", i)
+		}
+	}
+}
+
+// TestLoadedCorpusAnalyzesIdentically is the property that matters: the
+// analysis of a loaded corpus matches the analysis of the original.
+func TestLoadedCorpusAnalyzesIdentically(t *testing.T) {
+	res := runSmall(t, harness.SampleAlways)
+	var buf bytes.Buffer
+	if err := Save(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.Eliminate(res.CoreInput(), core.ElimOptions{})
+	b := core.Eliminate(loaded.CoreInput(), core.ElimOptions{})
+	if len(a) != len(b) {
+		t.Fatalf("selected %d vs %d predictors", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Pred != b[i].Pred {
+			t.Fatalf("selection %d differs: %d vs %d", i, a[i].Pred, b[i].Pred)
+		}
+	}
+}
+
+func TestSaveLoadRates(t *testing.T) {
+	res := runSmall(t, harness.SampleNonuniform)
+	if len(res.Rates) == 0 {
+		t.Fatal("nonuniform run has no rates")
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Rates) != len(res.Rates) {
+		t.Fatalf("rates: %d vs %d", len(loaded.Rates), len(res.Rates))
+	}
+	for i := range res.Rates {
+		if loaded.Rates[i] != res.Rates[i] {
+			t.Fatalf("rate %d differs: %v vs %v", i, loaded.Rates[i], res.Rates[i])
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	res := runSmall(t, harness.SampleAlways)
+	var buf bytes.Buffer
+	if err := Save(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	cases := []struct{ name, input, wantSub string }{
+		{"empty", "", "header"},
+		{"garbage", "not a corpus\n", "bad header"},
+		{"bad version", strings.Replace(good, "cbi-corpus 1", "cbi-corpus 9", 1), "unsupported version"},
+		{"unknown subject", strings.Replace(good, "ccrypt", "nosuch", 1), "unknown subject"},
+		{"fingerprint", replaceFingerprint(good), "fingerprint mismatch"},
+		{"truncated metas", good[:strings.Index(good, "METAS")+6], "metas truncated"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// replaceFingerprint corrupts the header's fingerprint field.
+func replaceFingerprint(s string) string {
+	nl := strings.IndexByte(s, '\n')
+	header := s[:nl]
+	fields := strings.Fields(header)
+	fields[len(fields)-1] = "12345"
+	return strings.Join(fields, " ") + s[nl:]
+}

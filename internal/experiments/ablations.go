@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"cbi/internal/core"
+	"cbi/internal/harness"
+	"cbi/internal/instrument"
+	"cbi/internal/subjects"
+)
+
+// DiscardAblation compares the paper's three run-discard proposals
+// (§5) on one subject.
+type DiscardAblation struct {
+	Subject string
+	Rows    []DiscardRow
+}
+
+// DiscardRow is one policy's outcome.
+type DiscardRow struct {
+	Policy      core.DiscardPolicy
+	NumSelected int
+	// BugsCovered counts ground-truth bugs covered per Lemma 3.1.
+	BugsCovered int
+	BugsTotal   int
+	TopPred     string
+}
+
+// RunDiscardAblation evaluates all three policies.
+func RunDiscardAblation(r *Runner, name string) *DiscardAblation {
+	res := r.Result(name, harness.SampleUniform)
+	in := res.CoreInput()
+	out := &DiscardAblation{Subject: name}
+	for _, policy := range []core.DiscardPolicy{core.DiscardAllRuns, core.DiscardFailingRuns, core.RelabelFailingRuns} {
+		ranked := core.Eliminate(in, core.ElimOptions{Policy: policy})
+		covered := BugCoverage(res, ranked)
+		n := 0
+		for _, ok := range covered {
+			if ok {
+				n++
+			}
+		}
+		row := DiscardRow{
+			Policy:      policy,
+			NumSelected: len(ranked),
+			BugsCovered: n,
+			BugsTotal:   len(covered),
+		}
+		if len(ranked) > 0 {
+			row.TopPred = res.PredText(ranked[0].Pred)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Render prints the policy comparison.
+func (a *DiscardAblation) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Run-discard proposals on %s (§5)\n", a.Subject)
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Policy\tSelected\tBugs covered\tTop predictor")
+	for _, row := range a.Rows {
+		fmt.Fprintf(w, "%s\t%d\t%d/%d\t%s\n", row.Policy, row.NumSelected, row.BugsCovered, row.BugsTotal, row.TopPred)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// SamplingAblation compares predictor lists across sampling modes —
+// the paper's §4 validation ("The results are identical except ...
+// where we judge the differences to be minor").
+type SamplingAblation struct {
+	Subject string
+	// Selected maps mode name to selected predicate texts, in order.
+	Selected map[string][]string
+	// CoverageEqual reports whether every mode covers the same bugs.
+	CoverageEqual bool
+	// SiteJaccard is the Jaccard similarity of the selected site sets
+	// between full observation and each sparse mode.
+	SiteJaccard map[string]float64
+}
+
+// RunSamplingAblation compares always/uniform/nonuniform sampling.
+func RunSamplingAblation(r *Runner, name string) *SamplingAblation {
+	out := &SamplingAblation{
+		Subject:     name,
+		Selected:    map[string][]string{},
+		SiteJaccard: map[string]float64{},
+	}
+	coverages := map[string]string{}
+	siteSets := map[string]map[int]bool{}
+	for _, mode := range []harness.Mode{harness.SampleAlways, harness.SampleUniform, harness.SampleNonuniform} {
+		res := r.Result(name, mode)
+		in := res.CoreInput()
+		ranked := core.Eliminate(in, core.ElimOptions{})
+		var texts []string
+		sites := map[int]bool{}
+		for _, rk := range ranked {
+			texts = append(texts, res.PredText(rk.Pred))
+			sites[res.Plan.Preds[rk.Pred].Site] = true
+		}
+		out.Selected[mode.String()] = texts
+		siteSets[mode.String()] = sites
+
+		covered := BugCoverage(res, ranked)
+		ids := make([]int, 0, len(covered))
+		for b, ok := range covered {
+			if ok {
+				ids = append(ids, b)
+			}
+		}
+		sort.Ints(ids)
+		coverages[mode.String()] = fmt.Sprint(ids)
+	}
+	out.CoverageEqual = coverages["always"] == coverages["uniform"] &&
+		coverages["always"] == coverages["nonuniform"]
+	for _, m := range []string{"uniform", "nonuniform"} {
+		out.SiteJaccard[m] = jaccard(siteSets["always"], siteSets[m])
+	}
+	return out
+}
+
+func jaccard(a, b map[int]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter, union := 0, 0
+	seen := map[int]bool{}
+	for k := range a {
+		seen[k] = true
+		if b[k] {
+			inter++
+		}
+	}
+	for k := range b {
+		seen[k] = true
+	}
+	union = len(seen)
+	return float64(inter) / float64(union)
+}
+
+// Render prints the sampling-mode comparison.
+func (a *SamplingAblation) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Sampling ablation on %s\n", a.Subject)
+	for _, m := range []string{"always", "uniform", "nonuniform"} {
+		fmt.Fprintf(&sb, "  %s (%d selected):\n", m, len(a.Selected[m]))
+		for _, t := range a.Selected[m] {
+			fmt.Fprintf(&sb, "    %s\n", t)
+		}
+	}
+	fmt.Fprintf(&sb, "same bug coverage across modes: %v\n", a.CoverageEqual)
+	for _, m := range []string{"uniform", "nonuniform"} {
+		fmt.Fprintf(&sb, "site-set Jaccard vs full observation (%s): %.2f\n", m, a.SiteJaccard[m])
+	}
+	return sb.String()
+}
+
+// DedupAblation evaluates the §3.4 observation that pre-eliminating
+// logically redundant predicates within sites is unnecessary: the
+// elimination algorithm already handles redundancy.
+type DedupAblation struct {
+	Subject string
+	// Without/With are the selected predicate site lists.
+	Without, With []int
+	// CandidatesBefore/After are candidate counts with and without the
+	// within-site dedup pass.
+	CandidatesBefore, CandidatesAfter int
+	// SameSites reports whether both runs select the same site set.
+	SameSites bool
+}
+
+// RunDedupAblation compares elimination with and without within-site
+// deduplication of predicates that were true in exactly the same runs.
+func RunDedupAblation(r *Runner, name string) *DedupAblation {
+	res := r.Result(name, harness.SampleUniform)
+	in := res.CoreInput()
+	agg := core.Aggregate(in)
+	cands := core.FilterByIncrease(agg, core.Z95)
+
+	deduped := dedupWithinSites(res, cands)
+
+	plain := core.Eliminate(in, core.ElimOptions{})
+	pre := core.Eliminate(in, core.ElimOptions{Candidates: deduped})
+
+	sitesOf := func(rks []core.Ranked) []int {
+		set := map[int]bool{}
+		for _, rk := range rks {
+			set[res.Plan.Preds[rk.Pred].Site] = true
+		}
+		var out []int
+		for s := range set {
+			out = append(out, s)
+		}
+		sort.Ints(out)
+		return out
+	}
+	a := &DedupAblation{
+		Subject:          name,
+		Without:          sitesOf(plain),
+		With:             sitesOf(pre),
+		CandidatesBefore: len(cands),
+		CandidatesAfter:  len(deduped),
+	}
+	a.SameSites = fmt.Sprint(a.Without) == fmt.Sprint(a.With)
+	return a
+}
+
+// dedupWithinSites keeps, per site, one predicate of each distinct
+// (F, S) true-count signature.
+func dedupWithinSites(res *harness.Result, cands []int) []int {
+	in := res.CoreInput()
+	agg := core.Aggregate(in)
+	type key struct {
+		site int
+		f, s int
+	}
+	seen := map[key]bool{}
+	var out []int
+	for _, p := range cands {
+		k := key{site: res.Plan.Preds[p].Site, f: agg.Stats[p].F, s: agg.Stats[p].S}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// Render prints the dedup comparison.
+func (a *DedupAblation) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Within-site dedup ablation on %s (§3.4)\n", a.Subject)
+	fmt.Fprintf(&sb, "  candidates: %d -> %d after within-site dedup\n", a.CandidatesBefore, a.CandidatesAfter)
+	fmt.Fprintf(&sb, "  selected sites without dedup: %v\n", a.Without)
+	fmt.Fprintf(&sb, "  selected sites with dedup:    %v\n", a.With)
+	fmt.Fprintf(&sb, "  same site set: %v\n", a.SameSites)
+	return sb.String()
+}
+
+// NullnessAblation evaluates the nullness scheme — the heap-predicate
+// extension the paper flags as future work (§2, §4.2.4: the RHYTHMBOX
+// bugs were "violations of subtle heap invariants that are not
+// directly captured by our current instrumentation schemes").
+type NullnessAblation struct {
+	Subject string
+	// BaselinePreds / NullnessPreds are total predicate counts.
+	BaselinePreds, NullnessPreds int
+	// Surviving is the number of nullness predicates that pass the
+	// Increase test (i.e. are genuine failure predictors).
+	Surviving int
+	// Top lists the strongest nullness predicates by Importance.
+	Top []string
+	// Classes classifies each entry of Top.
+	Classes []PredictorClass
+	// TopImportance holds the Importance of each Top entry.
+	TopImportance []float64
+	// SelectedByElimination lists nullness predicates the elimination
+	// algorithm itself picks (may be empty when equivalent branch
+	// predicates are selected first — redundancy, not weakness).
+	SelectedByElimination []string
+}
+
+// RunNullnessAblation reruns a subject with the nullness scheme
+// enabled and reports which nullness predicates the elimination
+// algorithm selects.
+func RunNullnessAblation(r *Runner, name string) *NullnessAblation {
+	subj := subjects.ByName(name)
+	baseline := r.Result(name, harness.SampleUniform)
+	res := harness.Run(harness.Config{
+		Subject:    subj,
+		Runs:       r.Scale.Runs,
+		Mode:       harness.SampleUniform,
+		Workers:    r.Scale.Workers,
+		Instrument: instrument.Options{EnableNullness: true},
+	})
+	out := &NullnessAblation{
+		Subject:       name,
+		BaselinePreds: baseline.Plan.NumPreds(),
+		NullnessPreds: res.Plan.NumPreds(),
+	}
+	in := res.CoreInput()
+	agg := core.Aggregate(in)
+	var nullCands []int
+	for _, p := range core.FilterByIncrease(agg, core.Z95) {
+		if res.Plan.SiteOf(p).Scheme == instrument.SchemeNullness {
+			nullCands = append(nullCands, p)
+		}
+	}
+	out.Surviving = len(nullCands)
+	for i, p := range core.RankByImportance(in, nullCands) {
+		if i >= 5 {
+			break
+		}
+		out.Top = append(out.Top, res.PredText(p))
+		out.Classes = append(out.Classes, Classify(res, p))
+		out.TopImportance = append(out.TopImportance, core.Importance(agg.Stats[p], agg.NumF))
+	}
+	for _, rk := range core.Eliminate(in, core.ElimOptions{}) {
+		if res.Plan.SiteOf(rk.Pred).Scheme == instrument.SchemeNullness {
+			out.SelectedByElimination = append(out.SelectedByElimination, res.PredText(rk.Pred))
+		}
+	}
+	return out
+}
+
+// Render prints the nullness ablation.
+func (a *NullnessAblation) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Nullness-scheme extension on %s (paper future work)\n", a.Subject)
+	fmt.Fprintf(&sb, "  predicates: %d -> %d with nullness sites\n", a.BaselinePreds, a.NullnessPreds)
+	fmt.Fprintf(&sb, "  nullness predicates passing the Increase test: %d\n", a.Surviving)
+	for i, text := range a.Top {
+		fmt.Fprintf(&sb, "  top: %-55s Imp=%.3f  %s\n", text, a.TopImportance[i], a.Classes[i])
+	}
+	if len(a.SelectedByElimination) == 0 {
+		sb.WriteString("  elimination picked equivalent predicates from other schemes first\n")
+	} else {
+		for _, text := range a.SelectedByElimination {
+			fmt.Fprintf(&sb, "  selected by elimination: %s\n", text)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,355 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cbi/internal/harness"
+)
+
+// One shared runner: experiments cache per (subject, mode), so the
+// whole suite pays for each corpus once.
+var testRunner = NewRunner(SmokeScale)
+
+func TestTable1RankingShapes(t *testing.T) {
+	t1 := RunTable1(testRunner, 8)
+	if len(t1.ByF) == 0 || len(t1.ByIncrease) == 0 || len(t1.ByImportance) == 0 {
+		t.Fatal("empty rankings")
+	}
+	// (a) maximizes F; (b) maximizes Increase; they disagree.
+	if t1.ByF[0].F < t1.ByIncrease[0].F {
+		t.Errorf("by-F top row has F=%d < by-Increase top row F=%d", t1.ByF[0].F, t1.ByIncrease[0].F)
+	}
+	if t1.ByIncrease[0].Increase < t1.ByF[0].Increase {
+		t.Errorf("by-Increase top row has smaller Increase than by-F top row")
+	}
+	// The paper's observation: Increase-ranked top rows are (near-)
+	// deterministic — very few successful runs.
+	for _, r := range t1.ByIncrease[:min(3, len(t1.ByIncrease))] {
+		if r.S > r.F {
+			t.Errorf("by-Increase row %q has S=%d > F=%d; should be near-deterministic", r.Text, r.S, r.F)
+		}
+	}
+	// The harmonic mean balances: its top row must have both a decent
+	// Increase and a decent F.
+	top := t1.ByImportance[0]
+	if top.Increase < 0.2 {
+		t.Errorf("importance top row Increase = %v, too small", top.Increase)
+	}
+	if top.F < t1.ByIncrease[0].F {
+		t.Errorf("importance top row F = %d below the sub-bug predictors'", top.F)
+	}
+	out := t1.Render()
+	for _, want := range []string{"sort descending by F(P)", "harmonic mean", "Thermometer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestTable2ReductionShape(t *testing.T) {
+	rows := RunTable2(testRunner)
+	if len(rows) != 5 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Failing == 0 {
+			t.Errorf("%s: no failing runs", r.Subject)
+		}
+		if r.PredsIncrease == 0 {
+			t.Errorf("%s: Increase filter kept nothing", r.Subject)
+			continue
+		}
+		// The paper reports 2-4 orders of magnitude reduction; our
+		// subjects are smaller, so require at least ~5x at the first
+		// stage and further shrinkage at elimination.
+		if float64(r.PredsIncrease) > float64(r.PredsInitial)/5 {
+			t.Errorf("%s: weak Increase reduction: %d -> %d", r.Subject, r.PredsInitial, r.PredsIncrease)
+		}
+		if r.PredsEliminated == 0 || r.PredsEliminated > r.PredsIncrease {
+			t.Errorf("%s: elimination selected %d of %d", r.Subject, r.PredsEliminated, r.PredsIncrease)
+		}
+	}
+	if !strings.Contains(RenderTable2(rows), "moss") {
+		t.Error("render missing subject")
+	}
+}
+
+func TestTable3ValidationShape(t *testing.T) {
+	t3 := RunTable3(testRunner)
+	if len(t3.Rows) == 0 {
+		t.Fatal("no predictors selected")
+	}
+	// Bug #8 never occurs, so it must not appear among the bug ids.
+	for _, b := range t3.BugIDs {
+		if b == 8 {
+			t.Error("bug #8 (never triggered) appears in ground truth")
+		}
+	}
+	// Every selected predictor's strongest bug column should be a real
+	// spike: the paper's rows each concentrate on one bug.
+	spiky := 0
+	for _, row := range t3.Rows {
+		totalRuns, maxRuns := 0, 0
+		for _, c := range row.PerBug {
+			totalRuns += c
+			if c > maxRuns {
+				maxRuns = c
+			}
+		}
+		if totalRuns > 0 && float64(maxRuns) >= 0.5*float64(totalRuns) {
+			spiky++
+		}
+	}
+	if spiky*2 < len(t3.Rows) {
+		t.Errorf("only %d/%d rows concentrate on a single bug", spiky, len(t3.Rows))
+	}
+	// Coverage: the selected list must cover most triggered crashing
+	// bugs (bug #7 is masked, #9 needs the oracle and may be late).
+	covered := map[int]bool{}
+	for _, row := range t3.Rows {
+		cls := row.Class
+		if cls.Class == "bug" || cls.Class == "sub-bug" {
+			covered[cls.Bug] = true
+		}
+	}
+	for _, must := range []int{5, 4} { // the two most common crashing bugs
+		if !covered[must] {
+			t.Errorf("common bug #%d not covered by any selected predictor\n%s", must, t3.Render())
+		}
+	}
+	if !strings.Contains(t3.Render(), "failing runs per bug") {
+		t.Error("render missing footer")
+	}
+}
+
+func TestSmallTables(t *testing.T) {
+	for _, name := range []string{"ccrypt", "bc", "exif", "rhythmbox"} {
+		t.Run(name, func(t *testing.T) {
+			st := RunSmallTable(testRunner, name)
+			if len(st.Rows) == 0 {
+				t.Fatal("no predictors")
+			}
+			out := st.Render()
+			if !strings.Contains(out, strings.ToUpper(name)) {
+				t.Error("render missing subject name")
+			}
+		})
+	}
+}
+
+func TestTable8Shape(t *testing.T) {
+	rows := RunTable8(testRunner)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	reached := 0
+	for _, r := range rows {
+		if r.MinRuns > 0 {
+			reached++
+			if r.MinRuns > testRunner.Scale.Runs {
+				t.Errorf("%s #%d: MinRuns %d exceeds corpus", r.Subject, r.Bug, r.MinRuns)
+			}
+		}
+	}
+	if reached == 0 {
+		t.Error("no bug reached its importance threshold")
+	}
+	if !strings.Contains(RenderTable8(rows), "Runs N") {
+		t.Error("render missing header")
+	}
+}
+
+func TestTable9LogRegWeaknesses(t *testing.T) {
+	t9 := RunTable9(testRunner)
+	if len(t9.Rows) == 0 {
+		t.Fatal("no coefficients")
+	}
+	// The paper's §4.4 complaints about the regression baseline:
+	// (1) "highly redundant lists of predictors" — the top-10 repeats
+	// predicates from the same sites/assignments;
+	res := testRunner.Result("moss", harness.SampleUniform)
+	sites := map[int]bool{}
+	for _, r := range t9.Rows {
+		sites[res.Plan.Preds[r.Pred].Site] = true
+	}
+	if len(sites) == len(t9.Rows) {
+		t.Errorf("top-%d coefficients name %d distinct sites; expected redundancy\n%s",
+			len(t9.Rows), len(sites), t9.Render())
+	}
+	// (2) it covers fewer distinct bugs than the elimination
+	// algorithm's ranked list of the same length.
+	logregBugs := map[int]bool{}
+	for _, r := range t9.Rows {
+		if r.Class.Class != "none" {
+			logregBugs[r.Class.Bug] = true
+		}
+	}
+	elimBugs := map[int]bool{}
+	for _, row := range CrossTab(res, len(t9.Rows)).Rows {
+		if row.Class.Class != "none" {
+			elimBugs[row.Class.Bug] = true
+		}
+	}
+	if len(logregBugs) >= len(elimBugs)+1 {
+		t.Errorf("logreg top-10 covers %d bugs vs elimination's %d; expected elimination to cover at least as many",
+			len(logregBugs), len(elimBugs))
+	}
+	if t9.Accuracy < 0.6 {
+		t.Errorf("accuracy %.3f suspiciously low", t9.Accuracy)
+	}
+}
+
+func TestStackStudies(t *testing.T) {
+	studies, overall := RunStackStudies(testRunner)
+	if len(studies) != 5 {
+		t.Fatalf("studies: %d", len(studies))
+	}
+	for _, s := range studies {
+		if s.NumCrashes == 0 {
+			t.Errorf("%s: no crashes", s.Subject)
+		}
+	}
+	// The paper's headline: stacks identify roughly half the bugs —
+	// definitely not all of them, and not none.
+	if overall <= 0 || overall >= 1 {
+		t.Errorf("overall unique fraction %.2f should be strictly between 0 and 1", overall)
+	}
+	out := RenderStackStudies(studies, overall)
+	if !strings.Contains(out, "unique stack signature") {
+		t.Error("render missing summary")
+	}
+}
+
+func TestDiscardAblation(t *testing.T) {
+	a := RunDiscardAblation(testRunner, "moss")
+	if len(a.Rows) != 3 {
+		t.Fatalf("rows: %d", len(a.Rows))
+	}
+	for _, row := range a.Rows {
+		if row.NumSelected == 0 {
+			t.Errorf("policy %s selected nothing", row.Policy)
+		}
+		if row.BugsCovered == 0 {
+			t.Errorf("policy %s covered nothing", row.Policy)
+		}
+	}
+	if !strings.Contains(a.Render(), "discard-all") {
+		t.Error("render missing policy")
+	}
+}
+
+func TestDedupAblation(t *testing.T) {
+	a := RunDedupAblation(testRunner, "ccrypt")
+	if a.CandidatesAfter >= a.CandidatesBefore {
+		t.Errorf("dedup did not shrink candidates: %d -> %d", a.CandidatesBefore, a.CandidatesAfter)
+	}
+	// The paper's claim: results are nearly identical. Require
+	// substantial overlap of selected sites.
+	if j := jaccardInts(a.Without, a.With); j < 0.5 {
+		t.Errorf("dedup changed selected sites too much (jaccard %.2f)\n%s", j, a.Render())
+	}
+}
+
+func jaccardInts(a, b []int) float64 {
+	am := map[int]bool{}
+	for _, x := range a {
+		am[x] = true
+	}
+	bm := map[int]bool{}
+	for _, x := range b {
+		bm[x] = true
+	}
+	return jaccard(am, bm)
+}
+
+func TestSamplingAblation(t *testing.T) {
+	a := RunSamplingAblation(testRunner, "ccrypt")
+	if len(a.Selected["always"]) == 0 {
+		t.Fatal("full observation selected nothing")
+	}
+	if !a.CoverageEqual {
+		t.Errorf("sampling changed bug coverage\n%s", a.Render())
+	}
+}
+
+func TestClassify(t *testing.T) {
+	res := testRunner.Result("ccrypt", harness.SampleUniform)
+	// Find the elimination top predictor; it must classify as a bug
+	// predictor of bug 1.
+	ct := CrossTab(res, 1)
+	if len(ct.Rows) == 0 {
+		t.Fatal("no predictor")
+	}
+	cls := ct.Rows[0].Class
+	if cls.Bug != 1 {
+		t.Errorf("top ccrypt predictor attributed to bug %d", cls.Bug)
+	}
+	if cls.Class == "none" {
+		t.Error("top predictor classified as none")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestNullnessAblation(t *testing.T) {
+	a := RunNullnessAblation(testRunner, "rhythmbox")
+	if a.NullnessPreds <= a.BaselinePreds {
+		t.Fatalf("nullness scheme added no predicates: %d -> %d", a.BaselinePreds, a.NullnessPreds)
+	}
+	// The rhythmbox bugs are heap-state bugs (destroyed/freed private
+	// state); nullness predicates like `o->priv == null` after
+	// destroy_player must survive the Increase test and rank as real
+	// bug predictors (elimination may still prefer equivalent branch
+	// predicates — redundancy, not weakness).
+	if a.Surviving == 0 {
+		t.Errorf("no nullness predicate passed the Increase test\n%s", a.Render())
+	}
+	if len(a.Top) == 0 || a.TopImportance[0] <= 0 {
+		t.Errorf("no nullness predicate has positive Importance\n%s", a.Render())
+	}
+	foundBug := false
+	for _, c := range a.Classes {
+		if c.Class == "bug" || c.Class == "sub-bug" {
+			foundBug = true
+		}
+	}
+	if !foundBug {
+		t.Errorf("no top nullness predicate classifies as a bug predictor\n%s", a.Render())
+	}
+	if !strings.Contains(a.Render(), "Nullness-scheme") {
+		t.Error("render missing header")
+	}
+}
+
+func TestRunnerDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() *Runner {
+		r := NewRunner(Scale{Runs: 300, TrainingRuns: 50})
+		r.CacheDir = dir
+		return r
+	}
+	a := mk().Result("ccrypt", harness.SampleUniform)
+	// A second runner must load the persisted corpus, not regenerate.
+	b := mk().Result("ccrypt", harness.SampleUniform)
+	if len(a.Set.Reports) != len(b.Set.Reports) {
+		t.Fatalf("cached corpus has %d reports, original %d", len(b.Set.Reports), len(a.Set.Reports))
+	}
+	for i := range a.Set.Reports {
+		if a.Set.Reports[i].Failed != b.Set.Reports[i].Failed {
+			t.Fatalf("cached corpus label %d differs", i)
+		}
+	}
+	// Different scale must not reuse the file.
+	r3 := NewRunner(Scale{Runs: 200, TrainingRuns: 50})
+	r3.CacheDir = dir
+	c := r3.Result("ccrypt", harness.SampleUniform)
+	if len(c.Set.Reports) != 200 {
+		t.Fatalf("scale-200 runner got %d reports", len(c.Set.Reports))
+	}
+}

@@ -1,0 +1,250 @@
+// Package experiments regenerates every table of the paper's
+// evaluation (§4): the ranking-strategy comparison (Table 1), the
+// per-subject summary statistics (Table 2), the MOSS multi-bug
+// validation (Table 3), the per-subject predictor lists (Tables 4-7),
+// the how-many-runs analysis (Table 8), and the logistic-regression
+// baseline (Table 9) — plus the §6 stack-signature study and the §5
+// ablations.
+//
+// Absolute numbers differ from the paper (the subjects are MiniC
+// analogs, not the original C programs), but the result shapes are the
+// point: who wins, what gets pruned, which bugs are covered, and how
+// many runs isolation needs.
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"cbi/internal/core"
+	"cbi/internal/corpus"
+	"cbi/internal/harness"
+	"cbi/internal/subjects"
+)
+
+// Scale fixes experiment sizes. The paper uses ~32,000 monitored runs
+// per subject; smaller scales keep CI fast and degrade gracefully
+// (paper §4.3).
+type Scale struct {
+	// Runs is the number of monitored runs per subject.
+	Runs int
+	// TrainingRuns sizes the nonuniform-rate training set.
+	TrainingRuns int
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Standard scales.
+var (
+	// SmokeScale is for tests.
+	SmokeScale = Scale{Runs: 1500, TrainingRuns: 200}
+	// DefaultScale balances fidelity and wall-clock time.
+	DefaultScale = Scale{Runs: 8000, TrainingRuns: 1000}
+	// PaperScale matches the paper's run counts.
+	PaperScale = Scale{Runs: 32000, TrainingRuns: 1000}
+)
+
+// Runner caches experiment results so several tables can share one
+// expensive run. With CacheDir set, corpora are also persisted to disk
+// and reused across processes (invalidated automatically when the
+// subject sources change, via the plan fingerprint).
+type Runner struct {
+	Scale Scale
+	// CacheDir, when non-empty, persists corpora as
+	// <dir>/<subject>-<mode>-<runs>.corpus.
+	CacheDir string
+	cache    map[string]*harness.Result
+}
+
+// NewRunner returns a Runner at the given scale.
+func NewRunner(scale Scale) *Runner {
+	return &Runner{Scale: scale, cache: map[string]*harness.Result{}}
+}
+
+// Result runs (or fetches) the experiment for a subject under a
+// sampling mode.
+func (r *Runner) Result(name string, mode harness.Mode) *harness.Result {
+	key := fmt.Sprintf("%s/%s", name, mode)
+	if res, ok := r.cache[key]; ok {
+		return res
+	}
+	subj := subjects.ByName(name)
+	if subj == nil {
+		panic("experiments: unknown subject " + name)
+	}
+	if res := r.loadCached(name, mode); res != nil {
+		r.cache[key] = res
+		return res
+	}
+	res := harness.Run(harness.Config{
+		Subject:      subj,
+		Runs:         r.Scale.Runs,
+		Mode:         mode,
+		TrainingRuns: r.Scale.TrainingRuns,
+		Workers:      r.Scale.Workers,
+	})
+	r.cache[key] = res
+	r.saveCached(name, mode, res)
+	return res
+}
+
+func (r *Runner) cachePath(name string, mode harness.Mode) string {
+	return filepath.Join(r.CacheDir, fmt.Sprintf("%s-%s-%d.corpus", name, mode, r.Scale.Runs))
+}
+
+func (r *Runner) loadCached(name string, mode harness.Mode) *harness.Result {
+	if r.CacheDir == "" {
+		return nil
+	}
+	f, err := os.Open(r.cachePath(name, mode))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	res, err := corpus.Load(bufio.NewReader(f))
+	if err != nil {
+		// Stale or corrupt cache entries are simply regenerated.
+		return nil
+	}
+	if len(res.Set.Reports) != r.Scale.Runs {
+		return nil
+	}
+	return res
+}
+
+func (r *Runner) saveCached(name string, mode harness.Mode, res *harness.Result) {
+	if r.CacheDir == "" {
+		return
+	}
+	if err := os.MkdirAll(r.CacheDir, 0o755); err != nil {
+		return
+	}
+	path := r.cachePath(name, mode)
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return
+	}
+	if err := corpus.Save(f, res); err != nil {
+		f.Close()
+		os.Remove(path + ".tmp")
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path + ".tmp")
+		return
+	}
+	os.Rename(path+".tmp", path)
+}
+
+// PredictorClass classifies a predicate against ground truth, using
+// the paper's vocabulary.
+type PredictorClass struct {
+	// Class is "bug", "sub-bug", "super-bug", or "none".
+	Class string
+	// Bug is the dominant bug id (0 if none).
+	Bug int
+	// Share is the fraction of the predicate's true-failing runs that
+	// exhibit the dominant bug.
+	Share float64
+	// Coverage is the fraction of the dominant bug's failing runs the
+	// predicate covers.
+	Coverage float64
+}
+
+// String renders the classification compactly.
+func (c PredictorClass) String() string {
+	switch c.Class {
+	case "none":
+		return "none"
+	case "super-bug":
+		return fmt.Sprintf("super-bug (top #%d %.0f%%)", c.Bug, c.Share*100)
+	default:
+		return fmt.Sprintf("%s of #%d (share %.0f%%, cover %.0f%%)", c.Class, c.Bug, c.Share*100, c.Coverage*100)
+	}
+}
+
+// Classify determines whether predicate p is a bug, sub-bug, or
+// super-bug predictor under the result's ground truth.
+func Classify(res *harness.Result, p int) PredictorClass {
+	perBug := map[int]int{}
+	trueFailing := 0
+	for i := range res.Metas {
+		m := &res.Metas[i]
+		if !m.Failed() || !res.Set.Reports[i].True(int32(p)) {
+			continue
+		}
+		trueFailing++
+		for _, b := range m.Bugs {
+			perBug[b]++
+		}
+	}
+	if trueFailing == 0 {
+		return PredictorClass{Class: "none"}
+	}
+	bestBug, bestCount := 0, 0
+	for b, c := range perBug {
+		if c > bestCount || (c == bestCount && b < bestBug) {
+			bestBug, bestCount = b, c
+		}
+	}
+	totalForBug := res.FailingRunsPerBug()[bestBug]
+	cls := PredictorClass{
+		Bug:      bestBug,
+		Share:    float64(bestCount) / float64(trueFailing),
+		Coverage: float64(bestCount) / float64(max(1, totalForBug)),
+	}
+	switch {
+	case cls.Share < 0.5:
+		cls.Class = "super-bug"
+	case cls.Coverage < 0.35:
+		cls.Class = "sub-bug"
+	default:
+		cls.Class = "bug"
+	}
+	return cls
+}
+
+// BugCoverage reports, for each ground-truth bug with failing runs,
+// whether some selected predicate is true in at least one failing run
+// exhibiting it (the Lemma 3.1 coverage property).
+func BugCoverage(res *harness.Result, selected []core.Ranked) map[int]bool {
+	covered := map[int]bool{}
+	for b := range res.FailingRunsPerBug() {
+		covered[b] = false
+	}
+	for i := range res.Metas {
+		m := &res.Metas[i]
+		if !m.Failed() {
+			continue
+		}
+		for _, r := range selected {
+			if res.Set.Reports[i].True(int32(r.Pred)) {
+				for _, b := range m.Bugs {
+					covered[b] = true
+				}
+				break
+			}
+		}
+	}
+	return covered
+}
+
+// sortedBugIDs returns the bug ids present in a map, ascending.
+func sortedBugIDs(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for b := range m {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"cbi/internal/harness"
+	"cbi/internal/stacktrace"
+)
+
+// StackStudy reproduces §6's assessment of the industry-practice
+// baseline: clustering crashes by stack signature and asking which
+// bugs have unique signatures.
+type StackStudy struct {
+	Subject        string
+	NumCrashes     int
+	NumSignatures  int
+	PerBug         []stacktrace.BugSignature
+	FractionUnique float64
+	// TopFrame repeats the analysis with top-of-stack-only signatures.
+	TopFramePerBug         []stacktrace.BugSignature
+	TopFrameFractionUnique float64
+}
+
+// RunStackStudy analyzes crash stacks for one subject.
+func RunStackStudy(r *Runner, name string) *StackStudy {
+	res := r.Result(name, harness.SampleUniform)
+	var full, top []stacktrace.Run
+	for i := range res.Metas {
+		m := &res.Metas[i]
+		if !m.Crashed || m.StackSig == "" {
+			continue
+		}
+		full = append(full, stacktrace.Run{Sig: m.StackSig, Bugs: m.Bugs})
+		top = append(top, stacktrace.Run{Sig: stacktrace.TopFrameOf(m.StackSig), Bugs: m.Bugs})
+	}
+	fullStats := stacktrace.Analyze(full)
+	topStats := stacktrace.Analyze(top)
+	return &StackStudy{
+		Subject:                name,
+		NumCrashes:             len(full),
+		NumSignatures:          len(stacktrace.Clusters(full)),
+		PerBug:                 fullStats,
+		FractionUnique:         stacktrace.FractionUnique(fullStats),
+		TopFramePerBug:         topStats,
+		TopFrameFractionUnique: stacktrace.FractionUnique(topStats),
+	}
+}
+
+// RunStackStudies analyzes all subjects and reports the overall
+// fraction of bugs with unique stack signatures (paper: "in about half
+// the cases the stack is useful").
+func RunStackStudies(r *Runner) ([]*StackStudy, float64) {
+	var out []*StackStudy
+	unique, total := 0, 0
+	for _, name := range []string{"moss", "ccrypt", "bc", "exif", "rhythmbox"} {
+		s := RunStackStudy(r, name)
+		out = append(out, s)
+		for _, b := range s.PerBug {
+			total++
+			if b.Unique {
+				unique++
+			}
+		}
+	}
+	frac := 0.0
+	if total > 0 {
+		frac = float64(unique) / float64(total)
+	}
+	return out, frac
+}
+
+// RenderStackStudies prints the per-subject stack analyses.
+func RenderStackStudies(studies []*StackStudy, overall float64) string {
+	var sb strings.Builder
+	for _, s := range studies {
+		fmt.Fprintf(&sb, "%s: %d crashes, %d distinct stack signatures\n",
+			s.Subject, s.NumCrashes, s.NumSignatures)
+		w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "Bug\tFailing\tSignatures\tUnique\tBest precision\tBest recall")
+		for _, b := range s.PerBug {
+			fmt.Fprintf(w, "#%d\t%d\t%d\t%v\t%.2f\t%.2f\n",
+				b.Bug, b.Failing, len(b.Signatures), b.Unique, b.BestPrecision, b.BestRecall)
+		}
+		w.Flush()
+		fmt.Fprintf(&sb, "unique fraction: %.2f (full chain), %.2f (top frame)\n\n",
+			s.FractionUnique, s.TopFrameFractionUnique)
+	}
+	fmt.Fprintf(&sb, "overall: %.0f%% of bugs have a unique stack signature\n", overall*100)
+	return sb.String()
+}

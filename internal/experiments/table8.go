@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"text/tabwriter"
+
+	"cbi/internal/core"
+	"cbi/internal/harness"
+)
+
+// Table8Row reports, for one bug, the minimum number of runs N such
+// that ImportanceFull(P) − ImportanceN(P) < 0.2 for the bug's chosen
+// predictor P, plus F(P) among those N runs (paper Table 8).
+type Table8Row struct {
+	Subject string
+	Bug     int
+	Pred    int
+	Text    string
+	// MinRuns is the smallest N from the grid meeting the threshold
+	// (-1 if never met).
+	MinRuns int
+	// FAtMin is F(P) among the first MinRuns runs.
+	FAtMin int
+}
+
+// RunTable8 reproduces the how-many-runs analysis for every subject.
+// The threshold 0.2 follows §4.3.
+func RunTable8(r *Runner) []Table8Row {
+	var rows []Table8Row
+	for _, name := range []string{"moss", "ccrypt", "bc", "exif", "rhythmbox"} {
+		res := r.Result(name, harness.SampleUniform)
+		rows = append(rows, table8ForResult(res)...)
+	}
+	return rows
+}
+
+func table8ForResult(res *harness.Result) []Table8Row {
+	in := res.CoreInput()
+	ranked := core.Eliminate(in, core.ElimOptions{})
+
+	// Choose one predictor per bug: the selected predicate whose
+	// true-failing runs concentrate on that bug with the widest
+	// coverage ("we pick the more natural one, not the sub-bug
+	// predictor").
+	chosen := map[int]core.Ranked{}
+	coverage := map[int]float64{}
+	for _, rk := range ranked {
+		cls := Classify(res, rk.Pred)
+		if cls.Class == "none" || cls.Class == "super-bug" {
+			continue
+		}
+		if cls.Coverage > coverage[cls.Bug] {
+			coverage[cls.Bug] = cls.Coverage
+			chosen[cls.Bug] = rk
+		}
+	}
+
+	fullAgg := core.Aggregate(in)
+	grid := runGrid(len(res.Set.Reports))
+
+	var rows []Table8Row
+	for _, bug := range sortedBugIDs(res.FailingRunsPerBug()) {
+		rk, ok := chosen[bug]
+		if !ok {
+			continue
+		}
+		fullImp := core.Importance(fullAgg.Stats[rk.Pred], fullAgg.NumF)
+		row := Table8Row{
+			Subject: res.Config.Subject.Name,
+			Bug:     bug,
+			Pred:    rk.Pred,
+			Text:    res.PredText(rk.Pred),
+			MinRuns: -1,
+		}
+		for _, n := range grid {
+			agg := aggregatePrefix(in, n)
+			imp := core.Importance(agg.Stats[rk.Pred], agg.NumF)
+			// The predictor must actually rank (positive importance
+			// requires at least two observed failures) and be within
+			// 0.2 of its full-corpus score (§4.3).
+			if imp > 0 && !math.IsNaN(imp) && fullImp-imp < 0.2 {
+				row.MinRuns = n
+				row.FAtMin = agg.Stats[rk.Pred].F
+				break
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// runGrid reproduces the paper's N grid (100, 200, ..., 1000, 2000,
+// ..., up to the corpus size).
+func runGrid(total int) []int {
+	var grid []int
+	for n := 100; n <= 1000 && n <= total; n += 100 {
+		grid = append(grid, n)
+	}
+	for n := 2000; n <= total; n += 1000 {
+		grid = append(grid, n)
+	}
+	if len(grid) == 0 || grid[len(grid)-1] != total {
+		grid = append(grid, total)
+	}
+	return grid
+}
+
+// aggregatePrefix aggregates only the first n runs.
+func aggregatePrefix(in core.Input, n int) *core.Agg {
+	active := make([]bool, len(in.Set.Reports))
+	for i := 0; i < n && i < len(active); i++ {
+		active[i] = true
+	}
+	return core.AggregateSubset(in, active, nil)
+}
+
+// RenderTable8 prints the minimum-runs table.
+func RenderTable8(rows []Table8Row) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Subject\tBug\tF(P)\tRuns N\tPredicate")
+	for _, r := range rows {
+		n := fmt.Sprintf("%d", r.MinRuns)
+		if r.MinRuns < 0 {
+			n = "not reached"
+		}
+		fmt.Fprintf(w, "%s\t#%d\t%d\t%s\t%s\n", r.Subject, r.Bug, r.FAtMin, n, r.Text)
+	}
+	w.Flush()
+	return sb.String()
+}

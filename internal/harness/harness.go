@@ -1,0 +1,337 @@
+// Package harness drives end-to-end statistical debugging experiments:
+// it instruments a subject program, optionally trains nonuniform
+// sampling rates, executes many randomized runs in parallel, labels
+// each run (crash, or output-oracle mismatch for subjects with
+// non-crashing bugs), and bundles the feedback reports with ground
+// truth for analysis.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"cbi/internal/core"
+	"cbi/internal/instrument"
+	"cbi/internal/interp"
+	"cbi/internal/lang"
+	"cbi/internal/report"
+	"cbi/internal/sampling"
+	"cbi/internal/subjects"
+	"cbi/internal/vm"
+)
+
+// engineRunner is the interface both execution backends satisfy.
+type engineRunner interface {
+	Run(interp.Input) *interp.Outcome
+}
+
+// Mode selects the sampling policy for an experiment.
+type Mode int
+
+// Sampling modes.
+const (
+	// SampleAlways observes every site reach (the paper's validation
+	// configuration "sampling rate of all predicates set to 100%").
+	SampleAlways Mode = iota
+	// SampleUniform uses one rate for every site (default 1/100).
+	SampleUniform
+	// SampleNonuniform trains per-site rates on a training set so each
+	// site expects ~TargetSamples observations per run (paper §4).
+	SampleNonuniform
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case SampleAlways:
+		return "always"
+	case SampleUniform:
+		return "uniform"
+	default:
+		return "nonuniform"
+	}
+}
+
+// Engine selects the execution backend.
+type Engine int
+
+// Execution engines.
+const (
+	// EngineTree is the tree-walking interpreter (default).
+	EngineTree Engine = iota
+	// EngineVM is the bytecode compiler + stack VM, semantically
+	// identical (verified by the vm package's differential tests) and
+	// considerably faster.
+	EngineVM
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	if e == EngineVM {
+		return "vm"
+	}
+	return "tree"
+}
+
+// Config configures one experiment.
+type Config struct {
+	Subject *subjects.Subject
+	// Runs is the number of monitored runs (the paper uses ~32,000).
+	Runs int
+	Mode Mode
+	// Engine selects the execution backend (default: tree-walker).
+	Engine Engine
+	// UniformRate is the rate for SampleUniform (default 1/100).
+	UniformRate float64
+	// TrainingRuns is the size of the rate-training set for
+	// SampleNonuniform (default 1,000, as in the paper).
+	TrainingRuns int
+	// TargetSamples is the expected per-run sample count targeted by
+	// nonuniform planning (default 100).
+	TargetSamples float64
+	// Workers is the number of parallel workers (default GOMAXPROCS).
+	Workers int
+	// Instrument selects instrumentation schemes (zero value: all).
+	Instrument instrument.Options
+	// SeedBase offsets run seeds, for run-to-run variation studies.
+	SeedBase int64
+}
+
+// RunMeta is per-run ground truth and crash metadata, which a real
+// deployment would NOT have; it is used to evaluate the analysis.
+type RunMeta struct {
+	Crashed        bool
+	OracleMismatch bool
+	Trap           interp.TrapKind
+	StackSig       string
+	Bugs           []int
+}
+
+// Failed reports the run label used by the analysis.
+func (m *RunMeta) Failed() bool { return m.Crashed || m.OracleMismatch }
+
+// HasBug reports whether ground truth recorded the bug.
+func (m *RunMeta) HasBug(k int) bool {
+	for _, b := range m.Bugs {
+		if b == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Result bundles everything an experiment produced.
+type Result struct {
+	Config Config
+	Plan   *instrument.Plan
+	Set    *report.Set
+	Metas  []RunMeta
+	// Rates holds the trained per-site rates (nonuniform mode only).
+	Rates []float64
+}
+
+// CoreInput adapts the result for the core analysis package.
+func (r *Result) CoreInput() core.Input {
+	siteOf := make([]int32, r.Plan.NumPreds())
+	for i, p := range r.Plan.Preds {
+		siteOf[i] = int32(p.Site)
+	}
+	return core.Input{Set: r.Set, SiteOf: siteOf}
+}
+
+// PredText returns the human-readable text of predicate p, with its
+// function and line (the paper's interactive listing shows the same).
+func (r *Result) PredText(p int) string {
+	pr := r.Plan.Preds[p]
+	site := r.Plan.Sites[pr.Site]
+	return fmt.Sprintf("%s (%s:%d)", pr.Text, site.Func, site.Line)
+}
+
+// Run executes the experiment.
+func Run(cfg Config) *Result {
+	if cfg.Subject == nil {
+		panic("harness: Config.Subject is nil")
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 1000
+	}
+	if cfg.UniformRate == 0 {
+		cfg.UniformRate = sampling.DefaultRate
+	}
+	if cfg.TrainingRuns <= 0 {
+		cfg.TrainingRuns = 1000
+	}
+	if cfg.TargetSamples == 0 {
+		cfg.TargetSamples = sampling.DefaultTargetSamples
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	prog := cfg.Subject.Program(true)
+	plan := instrument.BuildPlanOpts(prog, cfg.Instrument)
+
+	res := &Result{
+		Config: cfg,
+		Plan:   plan,
+		Set: &report.Set{
+			NumSites: plan.NumSites(),
+			NumPreds: plan.NumPreds(),
+			Reports:  make([]*report.Report, cfg.Runs),
+		},
+		Metas: make([]RunMeta, cfg.Runs),
+	}
+
+	if cfg.Mode == SampleNonuniform {
+		res.Rates = TrainRates(cfg.Subject, plan, cfg.TrainingRuns, cfg.TargetSamples)
+	}
+
+	newSampler := func() sampling.Sampler {
+		switch cfg.Mode {
+		case SampleAlways:
+			return sampling.Always{}
+		case SampleUniform:
+			return sampling.NewUniform(cfg.UniformRate)
+		default:
+			return sampling.NewNonuniform(res.Rates)
+		}
+	}
+
+	// Compile once when using the VM backend.
+	var buggyMod, refMod *vm.Module
+	if cfg.Engine == EngineVM {
+		buggyMod = vm.MustCompile(prog)
+		if cfg.Subject.HasOracle {
+			refMod = vm.MustCompile(cfg.Subject.Program(false))
+		}
+	}
+	newEngine := func(p *lang.Program, m *vm.Module, obs interp.Observer) engineRunner {
+		if cfg.Engine == EngineVM {
+			return vm.New(m, obs)
+		}
+		return interp.New(p, obs)
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int, cfg.Workers*4)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt := instrument.NewRuntime(plan, newSampler())
+			buggy := newEngine(prog, buggyMod, rt)
+			var ref engineRunner
+			if cfg.Subject.HasOracle {
+				ref = newEngine(cfg.Subject.Program(false), refMod, nil)
+			}
+			for i := range next {
+				input := cfg.Subject.Input(int64(i))
+				input.Seed += cfg.SeedBase
+				rt.BeginRun(int64(i) + cfg.SeedBase + 1)
+				out := buggy.Run(input)
+				meta := RunMeta{
+					Crashed:  out.Crashed,
+					Trap:     out.Trap,
+					StackSig: out.StackSignature(),
+					Bugs:     out.BugsObserved,
+				}
+				if !out.Crashed && ref != nil {
+					refOut := ref.Run(input)
+					if !refOut.Crashed &&
+						strings.Join(out.Output, "\n") != strings.Join(refOut.Output, "\n") {
+						meta.OracleMismatch = true
+					}
+				}
+				res.Metas[i] = meta
+				res.Set.Reports[i] = rt.Snapshot(meta.Failed())
+			}
+		}()
+	}
+	for i := 0; i < cfg.Runs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return res
+}
+
+// TrainRates runs the subject TrainingRuns times with full observation,
+// averages per-site reach counts, and plans nonuniform rates (paper §4:
+// "we set the sampling rate of each predicate so as to obtain an
+// expected 100 samples of each predicate in subsequent executions",
+// clamped to a minimum of 1/100).
+func TrainRates(subject *subjects.Subject, plan *instrument.Plan, trainingRuns int, target float64) []float64 {
+	prog := subject.Program(true)
+	counts := make([]float64, plan.NumSites())
+	rt := instrument.NewRuntime(plan, sampling.Always{})
+	in := interp.New(prog, rt)
+	for i := 0; i < trainingRuns; i++ {
+		// Training inputs use a disjoint index range so the monitored
+		// runs are not the training runs.
+		rt.BeginRun(int64(i) + 1)
+		in.Run(subject.Input(int64(-1 - i)))
+		rep := rt.Snapshot(false)
+		for _, s := range rep.ObservedSites {
+			counts[s] += float64(rt.SiteObservedCount(int(s)))
+		}
+	}
+	for i := range counts {
+		counts[i] /= float64(trainingRuns)
+	}
+	return sampling.PlanRates(counts, target, sampling.DefaultRate)
+}
+
+// FailingRunsPerBug counts, for each ground-truth bug id, the number of
+// failing runs exhibiting it.
+func (r *Result) FailingRunsPerBug() map[int]int {
+	out := map[int]int{}
+	for i := range r.Metas {
+		m := &r.Metas[i]
+		if !m.Failed() {
+			continue
+		}
+		for _, b := range m.Bugs {
+			out[b]++
+		}
+	}
+	return out
+}
+
+// NumFailing returns the number of failing runs.
+func (r *Result) NumFailing() int {
+	n := 0
+	for i := range r.Metas {
+		if r.Metas[i].Failed() {
+			n++
+		}
+	}
+	return n
+}
+
+// RelabelBy builds an analysis input whose failure labels come from an
+// arbitrary per-run predicate instead of the crash/oracle labels — the
+// paper's §5 generalization: "the same ideas can be used to isolate
+// predictors of any program event ... all that is required is a way to
+// label each run". keep filters runs out entirely (return false to
+// drop a run); label decides the event bit for kept runs.
+func (r *Result) RelabelBy(keep func(i int, m *RunMeta) bool, label func(i int, m *RunMeta) bool) core.Input {
+	sub := &report.Set{NumSites: r.Set.NumSites, NumPreds: r.Set.NumPreds}
+	for i, rep := range r.Set.Reports {
+		m := &r.Metas[i]
+		if keep != nil && !keep(i, m) {
+			continue
+		}
+		sub.Reports = append(sub.Reports, &report.Report{
+			Failed:        label(i, m),
+			ObservedSites: rep.ObservedSites,
+			TruePreds:     rep.TruePreds,
+		})
+	}
+	siteOf := make([]int32, r.Plan.NumPreds())
+	for i, p := range r.Plan.Preds {
+		siteOf[i] = int32(p.Site)
+	}
+	return core.Input{Set: sub, SiteOf: siteOf}
+}

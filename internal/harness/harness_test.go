@@ -1,0 +1,206 @@
+package harness
+
+import (
+	"testing"
+
+	"cbi/internal/core"
+	"cbi/internal/instrument"
+	"cbi/internal/subjects"
+)
+
+func TestCcryptEndToEnd(t *testing.T) {
+	res := Run(Config{Subject: subjects.Ccrypt(), Runs: 1200, Mode: SampleAlways, Workers: 4})
+	if len(res.Set.Reports) != 1200 {
+		t.Fatalf("reports: %d", len(res.Set.Reports))
+	}
+	failing := res.NumFailing()
+	if failing < 200 || failing > 500 {
+		t.Fatalf("failing = %d, want ~30%% of 1200", failing)
+	}
+
+	in := res.CoreInput()
+	agg := core.Aggregate(in)
+	keep := core.FilterByIncrease(agg, core.Z95)
+	if len(keep) == 0 {
+		t.Fatal("Increase filter kept nothing")
+	}
+	if len(keep) >= res.Plan.NumPreds()/2 {
+		t.Errorf("Increase filter kept %d of %d predicates; expected a large reduction",
+			len(keep), res.Plan.NumPreds())
+	}
+
+	ranked := core.Eliminate(in, core.ElimOptions{})
+	if len(ranked) == 0 {
+		t.Fatal("elimination selected nothing")
+	}
+	// The top predictor must actually predict the bug: most failing
+	// runs exhibiting bug 1 have it true.
+	top := ranked[0].Pred
+	var withBug, predicted int
+	for i, m := range res.Metas {
+		if m.Failed() && m.HasBug(1) {
+			withBug++
+			if res.Set.Reports[i].True(int32(top)) {
+				predicted++
+			}
+		}
+	}
+	if withBug == 0 {
+		t.Fatal("no failing runs with bug 1")
+	}
+	if float64(predicted)/float64(withBug) < 0.8 {
+		t.Errorf("top predictor %q covers only %d/%d bug-1 failures",
+			res.PredText(top), predicted, withBug)
+	}
+	t.Logf("ccrypt top predictor: %s (covers %d/%d)", res.PredText(top), predicted, withBug)
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Subject: subjects.Bc(), Runs: 300, Mode: SampleUniform, UniformRate: 0.1, Workers: 3}
+	a := Run(cfg)
+	b := Run(cfg)
+	for i := range a.Set.Reports {
+		ra, rb := a.Set.Reports[i], b.Set.Reports[i]
+		if ra.Failed != rb.Failed || len(ra.TruePreds) != len(rb.TruePreds) {
+			t.Fatalf("run %d differs across identical experiments", i)
+		}
+		for j := range ra.TruePreds {
+			if ra.TruePreds[j] != rb.TruePreds[j] {
+				t.Fatalf("run %d pred lists differ", i)
+			}
+		}
+	}
+}
+
+func TestUniformSamplingSparsifiesReports(t *testing.T) {
+	full := Run(Config{Subject: subjects.Bc(), Runs: 200, Mode: SampleAlways, Workers: 4})
+	sparse := Run(Config{Subject: subjects.Bc(), Runs: 200, Mode: SampleUniform, UniformRate: 0.01, Workers: 4})
+	var fullObs, sparseObs int
+	for i := range full.Set.Reports {
+		fullObs += len(full.Set.Reports[i].ObservedSites)
+		sparseObs += len(sparse.Set.Reports[i].ObservedSites)
+	}
+	if sparseObs*5 > fullObs {
+		t.Errorf("1%% sampling observed %d site-runs vs %d at 100%%; expected a big reduction",
+			sparseObs, fullObs)
+	}
+	// Labels are identical regardless of sampling (sampling never
+	// perturbs execution).
+	for i := range full.Metas {
+		if full.Metas[i].Failed() != sparse.Metas[i].Failed() {
+			t.Fatalf("run %d label changed under sampling", i)
+		}
+	}
+}
+
+func TestTrainRatesShape(t *testing.T) {
+	s := subjects.Bc()
+	plan := planFor(t, s)
+	rates := TrainRates(s, plan, 100, 100)
+	if len(rates) != plan.NumSites() {
+		t.Fatalf("rates: %d, sites: %d", len(rates), plan.NumSites())
+	}
+	var lows, highs int
+	for _, r := range rates {
+		switch {
+		case r == 1:
+			highs++
+		case r < 1:
+			lows++
+		}
+	}
+	// Rarely-reached sites keep rate 1; the calculator's hot loop sites
+	// must be sampled sparsely.
+	if highs == 0 {
+		t.Error("no site kept rate 1 (rare sites should)")
+	}
+	if lows == 0 {
+		t.Error("no hot site received a low rate")
+	}
+}
+
+func planFor(t *testing.T, s *subjects.Subject) *instrument.Plan {
+	t.Helper()
+	res := Run(Config{Subject: s, Runs: 1, Mode: SampleAlways, Workers: 1})
+	return res.Plan
+}
+
+func TestFailingRunsPerBug(t *testing.T) {
+	res := Run(Config{Subject: subjects.Rhythmbox(), Runs: 500, Mode: SampleAlways, Workers: 4})
+	per := res.FailingRunsPerBug()
+	if per[1] == 0 || per[2] == 0 {
+		t.Errorf("expected both rhythmbox bugs among failures: %v", per)
+	}
+}
+
+func TestOracleLabelsNonCrashingBug(t *testing.T) {
+	res := Run(Config{Subject: subjects.Moss(), Runs: 600, Mode: SampleUniform, UniformRate: 0.2, Workers: 4})
+	var oracleOnly int
+	for i := range res.Metas {
+		if res.Metas[i].OracleMismatch && !res.Metas[i].Crashed {
+			oracleOnly++
+		}
+	}
+	if oracleOnly == 0 {
+		t.Error("oracle never labeled a non-crashing run as failing")
+	}
+}
+
+// TestEngineEquivalence: the VM backend must produce byte-identical
+// experiment results to the tree-walker — same labels, same reports.
+func TestEngineEquivalence(t *testing.T) {
+	base := Config{Subject: subjects.Exif(), Runs: 400, Mode: SampleUniform, UniformRate: 0.05, Workers: 4}
+	vmCfg := base
+	vmCfg.Engine = EngineVM
+	a := Run(base)
+	b := Run(vmCfg)
+	if a.NumFailing() != b.NumFailing() {
+		t.Fatalf("failing counts differ: tree %d vs vm %d", a.NumFailing(), b.NumFailing())
+	}
+	for i := range a.Set.Reports {
+		ra, rb := a.Set.Reports[i], b.Set.Reports[i]
+		if ra.Failed != rb.Failed || len(ra.TruePreds) != len(rb.TruePreds) {
+			t.Fatalf("run %d differs across engines", i)
+		}
+		for j := range ra.TruePreds {
+			if ra.TruePreds[j] != rb.TruePreds[j] {
+				t.Fatalf("run %d pred lists differ across engines", i)
+			}
+		}
+	}
+}
+
+// TestRelabelBy isolates predictors of an arbitrary event (paper §5):
+// here, "the run crashed with a stack-overflow-free null dereference",
+// using ground truth only to verify the result.
+func TestRelabelBy(t *testing.T) {
+	res := Run(Config{Subject: subjects.Rhythmbox(), Runs: 800, Mode: SampleAlways, Workers: 4})
+	// Event: the run exercised ground-truth bug 1 (the timer race).
+	in := res.RelabelBy(nil, func(i int, m *RunMeta) bool { return m.HasBug(1) })
+	ranked := core.Eliminate(in, core.ElimOptions{MaxPredictors: 3})
+	if len(ranked) == 0 {
+		t.Fatal("no predictors for the custom event")
+	}
+	// The top predictor must concentrate on bug-1 runs.
+	top := int32(ranked[0].Pred)
+	var eventRuns, predicted int
+	for i := range res.Metas {
+		if res.Metas[i].HasBug(1) {
+			eventRuns++
+			if res.Set.Reports[i].True(top) {
+				predicted++
+			}
+		}
+	}
+	if eventRuns == 0 {
+		t.Fatal("event never occurred")
+	}
+	if float64(predicted)/float64(eventRuns) < 0.5 {
+		t.Errorf("top predictor %s covers %d/%d event runs", res.PredText(int(top)), predicted, eventRuns)
+	}
+	// Dropping runs via keep must shrink the set.
+	in2 := res.RelabelBy(func(i int, m *RunMeta) bool { return !m.Crashed }, func(i int, m *RunMeta) bool { return m.OracleMismatch })
+	if len(in2.Set.Reports) >= len(res.Set.Reports) {
+		t.Error("keep filter dropped nothing")
+	}
+}

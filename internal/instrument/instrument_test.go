@@ -1,0 +1,522 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"cbi/internal/interp"
+	"cbi/internal/lang"
+	"cbi/internal/report"
+	"cbi/internal/sampling"
+)
+
+func compile(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	prog, err := lang.Parse("test.mc", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := lang.Resolve(prog); err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	return prog
+}
+
+const demoSrc = `
+int counter = 0;
+
+int bump(int d) {
+  counter = counter + d;
+  return counter;
+}
+
+int main() {
+  int x = arg(0);
+  int limit = 10;
+  if (x > limit) {
+    x = limit;
+  }
+  while (x > 0 && counter < 100) {
+    int r = bump(x);
+    x = x - 1;
+  }
+  return counter;
+}
+`
+
+func findSites(p *Plan, scheme Scheme) []*Site {
+	var out []*Site
+	for _, s := range p.Sites {
+		if s.Scheme == scheme {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func findPred(t *testing.T, p *Plan, text string) Predicate {
+	t.Helper()
+	for _, pr := range p.Preds {
+		if pr.Text == text {
+			return pr
+		}
+	}
+	var all []string
+	for _, pr := range p.Preds {
+		all = append(all, pr.Text)
+	}
+	t.Fatalf("no predicate %q; have:\n%s", text, strings.Join(all, "\n"))
+	return Predicate{}
+}
+
+func TestPlanBranchSites(t *testing.T) {
+	p := BuildPlan(compile(t, demoSrc))
+	branches := findSites(p, SchemeBranches)
+	// Conditions: if (x > limit), while (...), plus the implicit
+	// conditional for && keyed on its left operand (x > 0).
+	var texts []string
+	for _, s := range branches {
+		texts = append(texts, s.Text)
+	}
+	want := []string{"x > limit", "x > 0 && counter < 100", "x > 0"}
+	for _, w := range want {
+		found := false
+		for _, g := range texts {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing branch site %q in %v", w, texts)
+		}
+	}
+	for _, s := range branches {
+		if s.NumPreds != 2 {
+			t.Errorf("branch site %q has %d preds, want 2", s.Text, s.NumPreds)
+		}
+	}
+}
+
+func TestPlanReturnSites(t *testing.T) {
+	p := BuildPlan(compile(t, demoSrc))
+	rets := findSites(p, SchemeReturns)
+	// int-returning calls: arg(0) and bump(x).
+	var texts []string
+	for _, s := range rets {
+		texts = append(texts, s.Text)
+	}
+	for _, w := range []string{"arg(0)", "bump(x)"} {
+		found := false
+		for _, g := range texts {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing returns site %q in %v", w, texts)
+		}
+	}
+	for _, s := range rets {
+		if s.NumPreds != 6 {
+			t.Errorf("returns site %q has %d preds, want 6", s.Text, s.NumPreds)
+		}
+	}
+	// Predicate texts use the paper's six-way vocabulary.
+	findPred(t, p, "bump(x) > 0")
+	findPred(t, p, "arg(0) == 0")
+}
+
+func TestPlanScalarPairSites(t *testing.T) {
+	p := BuildPlan(compile(t, demoSrc))
+	pairs := findSites(p, SchemeScalarPairs)
+	if len(pairs) == 0 {
+		t.Fatal("no scalar-pairs sites")
+	}
+	// x = x - 1 must have an old-value site and partners for counter
+	// (global), limit, r (locals in scope), and function constants.
+	findPred(t, p, "new value of x < old value of x")
+	findPred(t, p, "x < limit")
+	findPred(t, p, "x == counter")
+	findPred(t, p, "x >= 10")
+	// The declaration `int r = bump(x)` pairs with x and limit.
+	findPred(t, p, "r > x")
+	// Assignments never pair a variable with itself.
+	for _, pr := range p.Preds {
+		if pr.Text == "x < x" || pr.Text == "counter == counter" {
+			t.Errorf("self-pair predicate %q", pr.Text)
+		}
+	}
+	for _, s := range pairs {
+		if s.NumPreds != 6 {
+			t.Errorf("pair site %q has %d preds, want 6", s.Text, s.NumPreds)
+		}
+	}
+}
+
+func TestPlanPredicateIndexing(t *testing.T) {
+	p := BuildPlan(compile(t, demoSrc))
+	if p.NumPreds() == 0 || p.NumSites() == 0 {
+		t.Fatal("empty plan")
+	}
+	// Predicates are dense, contiguous per site, and back-reference
+	// their site.
+	next := 0
+	for _, s := range p.Sites {
+		if s.FirstPred != next {
+			t.Fatalf("site %d: FirstPred = %d, want %d", s.ID, s.FirstPred, next)
+		}
+		for i := 0; i < s.NumPreds; i++ {
+			pr := p.Preds[s.FirstPred+i]
+			if pr.Site != s.ID {
+				t.Fatalf("pred %d points at site %d, want %d", pr.ID, pr.Site, s.ID)
+			}
+			if pr.ID != s.FirstPred+i {
+				t.Fatalf("pred ID %d misnumbered", pr.ID)
+			}
+		}
+		next += s.NumPreds
+	}
+	if next != p.NumPreds() {
+		t.Fatalf("preds not contiguous: %d vs %d", next, p.NumPreds())
+	}
+}
+
+func TestPlanOptionsDisableSchemes(t *testing.T) {
+	prog := compile(t, demoSrc)
+	full := BuildPlan(prog)
+	noBranch := BuildPlanOpts(prog, Options{DisableBranches: true})
+	noRet := BuildPlanOpts(prog, Options{DisableReturns: true})
+	noPairs := BuildPlanOpts(prog, Options{DisableScalarPairs: true})
+	if len(findSites(noBranch, SchemeBranches)) != 0 {
+		t.Error("DisableBranches left branch sites")
+	}
+	if len(findSites(noRet, SchemeReturns)) != 0 {
+		t.Error("DisableReturns left returns sites")
+	}
+	if len(findSites(noPairs, SchemeScalarPairs)) != 0 {
+		t.Error("DisableScalarPairs left pair sites")
+	}
+	if full.NumPreds() <= noPairs.NumPreds() {
+		t.Error("scalar-pairs adds no predicates?")
+	}
+}
+
+// runOnce executes the demo program with the given input under a fresh
+// runtime and returns the feedback report.
+func runOnce(t *testing.T, prog *lang.Program, plan *Plan, s sampling.Sampler, input interp.Input, wantCrash bool) *report.Report {
+	t.Helper()
+	rt := NewRuntime(plan, s)
+	rt.BeginRun(input.Seed)
+	out := interp.Run(prog, input, rt)
+	if out.Crashed != wantCrash {
+		t.Fatalf("crashed = %v, want %v (%s %s)", out.Crashed, wantCrash, out.Trap, out.Msg)
+	}
+	return rt.Snapshot(out.Crashed)
+}
+
+func TestRuntimeFullObservation(t *testing.T) {
+	prog := compile(t, demoSrc)
+	plan := BuildPlan(prog)
+	rep := runOnce(t, prog, plan, sampling.Always{}, interp.Input{Args: []int64{5}}, false)
+
+	check := func(text string, want bool) {
+		t.Helper()
+		pr := findPred(t, plan, text)
+		if got := rep.True(int32(pr.ID)); got != want {
+			t.Errorf("R(%q) = %v, want %v", text, got, want)
+		}
+	}
+	// x = arg(0) = 5; limit = 10; if (x > limit) not taken.
+	check("x > limit is TRUE", false)
+	check("x > limit is FALSE", true)
+	// The loop ran: x > 0 was both true (5 times) and false (final).
+	check("x > 0 is TRUE", true)
+	check("x > 0 is FALSE", true)
+	// bump returns cumulative positive counters.
+	check("bump(x) > 0", true)
+	check("bump(x) < 0", false)
+
+	// x = x - 1 decrements. Note "new value of x ..." predicates also
+	// exist for the declaration `int x = arg(0)`, so select the site on
+	// the decrement's line (predicate text alone is ambiguous, as in
+	// the paper, where the UI shows file/line alongside).
+	decLine := 0
+	for i, ln := range strings.Split(demoSrc, "\n") {
+		if strings.Contains(ln, "x = x - 1") {
+			decLine = i + 1
+		}
+	}
+	checkAt := func(text string, line int, want bool) {
+		t.Helper()
+		for _, pr := range plan.Preds {
+			if pr.Text == text && plan.SiteOf(pr.ID).Line == line {
+				if got := rep.True(int32(pr.ID)); got != want {
+					t.Errorf("R(%q@%d) = %v, want %v", text, line, got, want)
+				}
+				return
+			}
+		}
+		t.Errorf("no predicate %q at line %d", text, line)
+	}
+	checkAt("new value of x < old value of x", decLine, true)
+	checkAt("new value of x > old value of x", decLine, false)
+
+	// Observed-site semantics: the site for "x > limit" was observed
+	// even though only one of its predicates was true.
+	pr := findPred(t, plan, "x > limit is TRUE")
+	site := plan.Preds[pr.ID].Site
+	if !rep.ObservedSite(int32(site)) {
+		t.Error("branch site not marked observed")
+	}
+}
+
+func TestRuntimeUnreachedSitesUnobserved(t *testing.T) {
+	src := `
+int main() {
+  int x = arg(0);
+  if (x > 1000) {
+    int y = x * 2;
+    output(y);
+  }
+  return 0;
+}`
+	prog := compile(t, src)
+	plan := BuildPlan(prog)
+	rep := runOnce(t, prog, plan, sampling.Always{}, interp.Input{Args: []int64{1}}, false)
+	// The y-assignment pair sites are inside the untaken branch.
+	for _, s := range plan.Sites {
+		if s.Scheme == SchemeScalarPairs && s.Text == "y" {
+			if rep.ObservedSite(int32(s.ID)) {
+				t.Errorf("unreached site %d observed", s.ID)
+			}
+		}
+	}
+}
+
+func TestRuntimeCrashStillSnapshots(t *testing.T) {
+	src := `
+int main() {
+  int x = arg(0);
+  int* p = null;
+  if (x == 13) {
+    p[0] = 1;
+  }
+  return 0;
+}`
+	prog := compile(t, src)
+	plan := BuildPlan(prog)
+	rep := runOnce(t, prog, plan, sampling.Always{}, interp.Input{Args: []int64{13}}, true)
+	if !rep.Failed {
+		t.Error("report not labeled failed")
+	}
+	pr := findPred(t, plan, "x == 13 is TRUE")
+	if !rep.True(int32(pr.ID)) {
+		t.Error("crash-predicting branch not recorded before the crash")
+	}
+}
+
+func TestRuntimeSamplingReducesObservations(t *testing.T) {
+	prog := compile(t, `
+int main() {
+  int s = 0;
+  for (int i = 0; i < 2000; i = i + 1) {
+    s = s + 1;
+  }
+  return s;
+}`)
+	plan := BuildPlan(prog)
+
+	rtFull := NewRuntime(plan, sampling.Always{})
+	rtFull.BeginRun(1)
+	interp.Run(prog, interp.Input{}, rtFull)
+	full := rtFull.Snapshot(false)
+
+	rtSparse := NewRuntime(plan, sampling.NewUniform(0.01))
+	rtSparse.BeginRun(1)
+	interp.Run(prog, interp.Input{}, rtSparse)
+
+	// The loop condition site is reached 2001 times; sampled at 1/100
+	// it should be observed roughly 20 times, not 2001.
+	var condSite *Site
+	for _, s := range plan.Sites {
+		if s.Scheme == SchemeBranches && s.Text == "i < 2000" {
+			condSite = s
+		}
+	}
+	if condSite == nil {
+		t.Fatal("no loop condition site")
+	}
+	fullCount := rtFull.SiteObservedCount(condSite.ID)
+	sparseCount := rtSparse.SiteObservedCount(condSite.ID)
+	if fullCount != 2001 {
+		t.Errorf("full observation count = %d, want 2001", fullCount)
+	}
+	if sparseCount == 0 || sparseCount > 100 {
+		t.Errorf("sparse observation count = %d, want ~20", sparseCount)
+	}
+	_ = full
+}
+
+func TestRuntimeDeterministicAcrossRuns(t *testing.T) {
+	prog := compile(t, demoSrc)
+	plan := BuildPlan(prog)
+	s := sampling.NewUniform(0.1)
+	rt := NewRuntime(plan, s)
+
+	snap := func(seed int64) *report.Report {
+		rt.BeginRun(seed)
+		interp.Run(prog, interp.Input{Args: []int64{7}, Seed: seed}, rt)
+		return rt.Snapshot(false)
+	}
+	a, b := snap(3), snap(3)
+	if len(a.TruePreds) != len(b.TruePreds) || len(a.ObservedSites) != len(b.ObservedSites) {
+		t.Fatalf("same seed produced different reports: %v vs %v", a, b)
+	}
+	for i := range a.TruePreds {
+		if a.TruePreds[i] != b.TruePreds[i] {
+			t.Fatalf("pred lists differ at %d", i)
+		}
+	}
+}
+
+func TestRuntimeBeginRunResets(t *testing.T) {
+	prog := compile(t, demoSrc)
+	plan := BuildPlan(prog)
+	rt := NewRuntime(plan, sampling.Always{})
+	rt.BeginRun(1)
+	interp.Run(prog, interp.Input{Args: []int64{9}}, rt)
+	first := rt.Snapshot(false)
+	if len(first.TruePreds) == 0 {
+		t.Fatal("first run observed nothing")
+	}
+	rt.BeginRun(2)
+	empty := rt.Snapshot(false)
+	if len(empty.TruePreds) != 0 || len(empty.ObservedSites) != 0 {
+		t.Error("BeginRun did not clear counters")
+	}
+}
+
+func TestReportsSortedAndUnique(t *testing.T) {
+	prog := compile(t, demoSrc)
+	plan := BuildPlan(prog)
+	rep := runOnce(t, prog, plan, sampling.Always{}, interp.Input{Args: []int64{8}}, false)
+	for i := 1; i < len(rep.TruePreds); i++ {
+		if rep.TruePreds[i] <= rep.TruePreds[i-1] {
+			t.Fatalf("TruePreds not strictly increasing at %d", i)
+		}
+	}
+	for i := 1; i < len(rep.ObservedSites); i++ {
+		if rep.ObservedSites[i] <= rep.ObservedSites[i-1] {
+			t.Fatalf("ObservedSites not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestMaxConstPartnersCap(t *testing.T) {
+	prog := compile(t, demoSrc)
+	capped := BuildPlanOpts(prog, Options{MaxConstPartners: 1})
+	full := BuildPlan(prog)
+	if capped.NumPreds() >= full.NumPreds() {
+		t.Errorf("cap did not reduce predicates: %d vs %d", capped.NumPreds(), full.NumPreds())
+	}
+}
+
+func TestNullnessScheme(t *testing.T) {
+	src := `
+struct N { int v; N* next; }
+int main() {
+  N* head = null;
+  if (arg(0) > 5) {
+    head = new N;
+  }
+  N* cursor = head;
+  int n = 0;
+  while (cursor != null) {
+    n = n + 1;
+    cursor = cursor->next;
+  }
+  return n;
+}`
+	prog := compile(t, src)
+
+	// Off by default: no nullness sites.
+	if sites := findSites(BuildPlan(prog), SchemeNullness); len(sites) != 0 {
+		t.Fatalf("default plan has %d nullness sites, want 0", len(sites))
+	}
+
+	plan := BuildPlanOpts(prog, Options{EnableNullness: true})
+	sites := findSites(plan, SchemeNullness)
+	// Pointer assignments: head = null (decl), head = new N,
+	// cursor = head (decl), cursor = cursor->next — plus one deref
+	// site for the cursor->next read.
+	if len(sites) != 5 {
+		var texts []string
+		for _, s := range sites {
+			texts = append(texts, s.Text)
+		}
+		t.Fatalf("nullness sites = %v, want 5", texts)
+	}
+	for _, s := range sites {
+		if s.NumPreds != 2 {
+			t.Errorf("nullness site %q has %d preds", s.Text, s.NumPreds)
+		}
+	}
+
+	rep := runOnce(t, prog, plan, sampling.Always{}, interp.Input{Args: []int64{9}}, false)
+	// Several assignments share predicate text (the decl and the
+	// reassignment of head both yield "head != null"), so check whether
+	// ANY same-text predicate was true.
+	anyTrue := func(text string) bool {
+		for _, pr := range plan.Preds {
+			if pr.Text == text && rep.True(int32(pr.ID)) {
+				return true
+			}
+		}
+		return false
+	}
+	check := func(text string, want bool) {
+		t.Helper()
+		if got := anyTrue(text); got != want {
+			t.Errorf("any R(%q) = %v, want %v", text, got, want)
+		}
+	}
+	// arg(0)=9 > 5: head reassigned non-null; decl stored null first.
+	check("head == null", true) // the declaration's initializer
+	check("head != null", true) // the reassignment
+	check("cursor != null", true)
+	// cursor walks to null via cursor = cursor->next.
+	check("cursor == null", true)
+	// The deref site: cursor->next is only dereferenced under the loop
+	// guard, so the dereferenced pointer is never null.
+	check("cursor != null (deref)", true)
+	check("cursor == null (deref)", false)
+}
+
+func TestNullnessSampledJointly(t *testing.T) {
+	src := `
+int main() {
+  int* p = null;
+  for (int i = 0; i < 1000; i = i + 1) {
+    p = new int[1];
+  }
+  return 0;
+}`
+	prog := compile(t, src)
+	plan := BuildPlanOpts(prog, Options{EnableNullness: true})
+	rt := NewRuntime(plan, sampling.NewUniform(0.01))
+	rt.BeginRun(1)
+	interp.Run(prog, interp.Input{}, rt)
+	var loopSite *Site
+	for _, s := range findSites(plan, SchemeNullness) {
+		if s.Text == "p" && s.Line == 5 {
+			loopSite = s
+		}
+	}
+	if loopSite == nil {
+		t.Fatal("no nullness site for the loop assignment")
+	}
+	count := rt.SiteObservedCount(loopSite.ID)
+	if count == 0 || count > 100 {
+		t.Errorf("sampled nullness observations = %d, want ~10 of 1000", count)
+	}
+}

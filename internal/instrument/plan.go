@@ -1,0 +1,506 @@
+// Package instrument implements predicate instrumentation for MiniC
+// programs: the three instrumentation schemes of the PLDI 2005 paper
+// (§2) and the sampling runtime that turns program executions into
+// feedback reports.
+//
+// Schemes:
+//
+//   - branches: at each conditional (if/while/for conditions and the
+//     implicit conditionals of && and ||), two predicates track whether
+//     the true and false branches were ever taken.
+//   - returns: at each int-returning call site, six predicates track
+//     whether the returned value was ever <0, <=0, >0, >=0, ==0, !=0.
+//   - scalar-pairs: at each scalar assignment x = ..., for each
+//     same-typed in-scope variable y and each integer constant c of the
+//     enclosing function, six predicates compare the new value of x
+//     with y (or c); one extra site compares the new value of x with
+//     its own old value. Each (x, y) pair is a distinct site.
+//
+// All predicates at a site are sampled jointly: one coin flip per site
+// reach decides whether the whole site is observed (paper §2).
+package instrument
+
+import (
+	"fmt"
+
+	"cbi/internal/lang"
+)
+
+// Scheme identifies an instrumentation scheme.
+type Scheme int
+
+// Instrumentation schemes.
+const (
+	SchemeBranches Scheme = iota
+	SchemeReturns
+	SchemeScalarPairs
+	// SchemeNullness is this reproduction's implementation of the heap
+	// predicates the paper flags as future work (§2: "we believe it
+	// would be useful to have predicates on heap structures as well";
+	// §4.2.4 blames missing heap predicates for the hours spent on the
+	// RHYTHMBOX bugs). At each pointer assignment, two predicates
+	// track whether the stored pointer was ever null / non-null.
+	// Disabled by default; see Options.EnableNullness.
+	SchemeNullness
+)
+
+// String names the scheme as in the paper.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeBranches:
+		return "branches"
+	case SchemeReturns:
+		return "returns"
+	case SchemeNullness:
+		return "nullness"
+	default:
+		return "scalar-pairs"
+	}
+}
+
+// CmpOp is one of the six comparison predicates used by the returns and
+// scalar-pairs schemes, in the paper's order.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpLT CmpOp = iota
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpEQ
+	CmpNE
+)
+
+// NumCmpOps is the number of comparison predicates per site.
+const NumCmpOps = 6
+
+var cmpNames = [...]string{"<", "<=", ">", ">=", "==", "!="}
+
+// String returns the operator's spelling.
+func (op CmpOp) String() string { return cmpNames[op] }
+
+// Eval applies the comparison.
+func (op CmpOp) Eval(a, b int64) bool {
+	switch op {
+	case CmpLT:
+		return a < b
+	case CmpLE:
+		return a <= b
+	case CmpGT:
+		return a > b
+	case CmpGE:
+		return a >= b
+	case CmpEQ:
+		return a == b
+	default:
+		return a != b
+	}
+}
+
+// PairKind distinguishes the partner of a scalar-pairs site.
+type PairKind int
+
+// Scalar-pairs partner kinds.
+const (
+	PairNone  PairKind = iota // not a scalar-pairs site
+	PairVar                   // partner is an in-scope variable
+	PairConst                 // partner is an integer constant
+	PairOld                   // partner is the old value of the target
+)
+
+// Site is one instrumentation site: a program point plus, for
+// scalar-pairs, a partner. All predicates of a site are observed
+// jointly.
+type Site struct {
+	ID     int
+	Scheme Scheme
+	// Func is the enclosing function name.
+	Func string
+	// Line is the source line of the site.
+	Line int
+	// Node is the AST node the site instruments (condition root or
+	// &&/|| left operand for branches; call for returns; assignment for
+	// scalar-pairs).
+	Node lang.NodeID
+	// Text describes the instrumented program fragment: the condition,
+	// the call, or the assignment target.
+	Text string
+
+	// Scalar-pairs fields.
+	PairKind PairKind
+	Partner  *lang.Symbol // PairVar only
+	Const    int64        // PairConst only
+
+	// FirstPred is the dense id of the site's first predicate;
+	// NumPreds predicates follow consecutively (2 for branches, 6
+	// otherwise).
+	FirstPred int
+	NumPreds  int
+}
+
+// Predicate is a single instrumented predicate.
+type Predicate struct {
+	ID   int
+	Site int
+	// Text is the human-readable predicate, e.g.
+	// "files[filesindex].language > 16" or "tmp == 0 is TRUE".
+	Text string
+}
+
+// Plan is the instrumentation plan for one program: the full set of
+// sites and predicates, with dense node-indexed dispatch tables used by
+// the runtime.
+type Plan struct {
+	Prog  *lang.Program
+	Sites []*Site
+	Preds []Predicate
+
+	// branchSite maps a node id to its branch site id (-1 if none).
+	branchSite []int32
+	// returnSite maps a call node id to its returns site id (-1).
+	returnSite []int32
+	// pairSites maps an assignment node id to its scalar-pairs sites.
+	pairSites [][]int32
+	// nullSite maps a pointer-assignment node id to its nullness site
+	// (-1 if none).
+	nullSite []int32
+	// derefSite maps a dereference node id (Index or arrow Field) to
+	// its nullness site (-1 if none).
+	derefSite []int32
+}
+
+// NumSites returns the number of instrumentation sites.
+func (p *Plan) NumSites() int { return len(p.Sites) }
+
+// NumPreds returns the number of predicates.
+func (p *Plan) NumPreds() int { return len(p.Preds) }
+
+// SiteOf returns the site owning predicate id.
+func (p *Plan) SiteOf(pred int) *Site { return p.Sites[p.Preds[pred].Site] }
+
+// Options selects which schemes to instrument. The zero value enables
+// everything (the paper's configuration).
+type Options struct {
+	DisableBranches    bool
+	DisableReturns     bool
+	DisableScalarPairs bool
+	// MaxConstPartners caps the number of constant partners per
+	// assignment (0 = unlimited). Large constant pools blow up the
+	// predicate count quadratically; the paper keeps them all, and so
+	// do we by default.
+	MaxConstPartners int
+	// EnableNullness adds the nullness scheme (pointer assignments
+	// tracked as == null / != null), this reproduction's take on the
+	// paper's future-work heap predicates. Off by default so the
+	// default predicate universe matches the paper's three schemes.
+	EnableNullness bool
+}
+
+// BuildPlan computes the instrumentation plan for a resolved program.
+func BuildPlan(prog *lang.Program) *Plan { return BuildPlanOpts(prog, Options{}) }
+
+// BuildPlanOpts computes the instrumentation plan with scheme options.
+func BuildPlanOpts(prog *lang.Program, opts Options) *Plan {
+	b := &planBuilder{
+		plan: &Plan{
+			Prog:       prog,
+			branchSite: fillNeg(prog.NumNodes),
+			returnSite: fillNeg(prog.NumNodes),
+			pairSites:  make([][]int32, prog.NumNodes),
+			nullSite:   fillNeg(prog.NumNodes),
+			derefSite:  fillNeg(prog.NumNodes),
+		},
+		opts: opts,
+	}
+	for _, f := range prog.Funcs {
+		b.fn = f
+		b.stmt(f.Body)
+	}
+	return b.plan
+}
+
+func fillNeg(n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
+type planBuilder struct {
+	plan *Plan
+	opts Options
+	fn   *lang.FuncDecl
+}
+
+func (b *planBuilder) newSite(s *Site) *Site {
+	s.ID = len(b.plan.Sites)
+	s.Func = b.fn.Name
+	s.FirstPred = len(b.plan.Preds)
+	b.plan.Sites = append(b.plan.Sites, s)
+	return s
+}
+
+func (b *planBuilder) addPred(site *Site, text string) {
+	b.plan.Preds = append(b.plan.Preds, Predicate{
+		ID:   len(b.plan.Preds),
+		Site: site.ID,
+		Text: text,
+	})
+	site.NumPreds++
+}
+
+// branchSiteFor registers a branch site keyed by the given node, with
+// condition text from text.
+func (b *planBuilder) branchSiteFor(node lang.Node, text string) {
+	if b.opts.DisableBranches {
+		return
+	}
+	s := b.newSite(&Site{
+		Scheme: SchemeBranches,
+		Line:   node.Pos().Line,
+		Node:   node.ID(),
+		Text:   text,
+	})
+	b.addPred(s, text+" is TRUE")
+	b.addPred(s, text+" is FALSE")
+	b.plan.branchSite[node.ID()] = int32(s.ID)
+}
+
+// cond registers the branch site for a statement condition and then
+// scans the expression for nested sites.
+func (b *planBuilder) cond(e lang.Expr) {
+	if e == nil {
+		return
+	}
+	b.branchSiteFor(e, lang.ExprString(e))
+	b.expr(e)
+}
+
+// expr scans an expression for implicit conditionals (&& / ||) and
+// int-returning call sites, in evaluation order.
+func (b *planBuilder) expr(e lang.Expr) {
+	switch ex := e.(type) {
+	case *lang.Binary:
+		if ex.Op == lang.OpAnd || ex.Op == lang.OpOr {
+			// The implicit conditional tests the left operand and is
+			// keyed by the left operand's node.
+			b.branchSiteFor(ex.L, lang.ExprString(ex.L))
+		}
+		b.expr(ex.L)
+		b.expr(ex.R)
+	case *lang.Unary:
+		b.expr(ex.E)
+	case *lang.Call:
+		for _, a := range ex.Args {
+			b.expr(a)
+		}
+		if !b.opts.DisableReturns && ex.Type() != nil && ex.Type().Equal(lang.Int) {
+			text := lang.ExprString(ex)
+			s := b.newSite(&Site{
+				Scheme: SchemeReturns,
+				Line:   ex.Pos().Line,
+				Node:   ex.ID(),
+				Text:   text,
+			})
+			for op := CmpLT; op <= CmpNE; op++ {
+				b.addPred(s, fmt.Sprintf("%s %s 0", text, op))
+			}
+			b.plan.returnSite[ex.ID()] = int32(s.ID)
+		}
+	case *lang.Index:
+		b.expr(ex.Base)
+		b.expr(ex.Idx)
+		if lang.IsPointer(ex.Base.Type()) {
+			b.nullDeref(ex, lang.ExprString(ex.Base))
+		}
+	case *lang.Field:
+		b.expr(ex.Base)
+		if ex.Arrow {
+			b.nullDeref(ex, lang.ExprString(ex.Base))
+		}
+	case *lang.NewArray:
+		b.expr(ex.Count)
+	}
+}
+
+// scalarAssign registers the scalar-pairs sites for an assignment node
+// whose target renders as lhs.
+func (b *planBuilder) scalarAssign(node lang.Node, lhs string, target *lang.Symbol) {
+	if b.opts.DisableScalarPairs {
+		return
+	}
+	env := b.plan.Prog.ScalarScopes[node.ID()]
+	if env == nil {
+		return
+	}
+	addSite := func(s *Site, partner string) {
+		for op := CmpLT; op <= CmpNE; op++ {
+			b.addPred(s, fmt.Sprintf("%s %s %s", lhs, op, partner))
+		}
+		b.plan.pairSites[node.ID()] = append(b.plan.pairSites[node.ID()], int32(s.ID))
+	}
+
+	// Old-value partner: "new value of x <op> old value of x".
+	s := b.newSite(&Site{
+		Scheme:   SchemeScalarPairs,
+		Line:     node.Pos().Line,
+		Node:     node.ID(),
+		Text:     lhs,
+		PairKind: PairOld,
+	})
+	for op := CmpLT; op <= CmpNE; op++ {
+		b.addPred(s, fmt.Sprintf("new value of %s %s old value of %s", lhs, op, lhs))
+	}
+	b.plan.pairSites[node.ID()] = append(b.plan.pairSites[node.ID()], int32(s.ID))
+
+	// Variable partners.
+	for _, sym := range env {
+		if target != nil && sym == target {
+			continue // covered by the old-value site
+		}
+		s := b.newSite(&Site{
+			Scheme:   SchemeScalarPairs,
+			Line:     node.Pos().Line,
+			Node:     node.ID(),
+			Text:     lhs,
+			PairKind: PairVar,
+			Partner:  sym,
+		})
+		addSite(s, sym.Name)
+	}
+
+	// Constant partners.
+	consts := b.plan.Prog.IntConstsByFunc[b.fn.Name]
+	if b.opts.MaxConstPartners > 0 && len(consts) > b.opts.MaxConstPartners {
+		consts = consts[:b.opts.MaxConstPartners]
+	}
+	for _, c := range consts {
+		s := b.newSite(&Site{
+			Scheme:   SchemeScalarPairs,
+			Line:     node.Pos().Line,
+			Node:     node.ID(),
+			Text:     lhs,
+			PairKind: PairConst,
+			Const:    c,
+		})
+		addSite(s, fmt.Sprintf("%d", c))
+	}
+}
+
+// nullDeref registers a nullness site for a pointer dereference (the
+// base of p[i] or p->f). This is the reading half of the nullness
+// scheme — the one that catches missing null checks, where no branch
+// site exists to observe.
+func (b *planBuilder) nullDeref(node lang.Node, baseText string) {
+	if !b.opts.EnableNullness {
+		return
+	}
+	s := b.newSite(&Site{
+		Scheme: SchemeNullness,
+		Line:   node.Pos().Line,
+		Node:   node.ID(),
+		Text:   baseText,
+	})
+	b.addPred(s, baseText+" == null (deref)")
+	b.addPred(s, baseText+" != null (deref)")
+	b.plan.derefSite[node.ID()] = int32(s.ID)
+}
+
+// nullAssign registers a nullness site for a pointer assignment.
+func (b *planBuilder) nullAssign(node lang.Node, lhs string) {
+	if !b.opts.EnableNullness {
+		return
+	}
+	s := b.newSite(&Site{
+		Scheme: SchemeNullness,
+		Line:   node.Pos().Line,
+		Node:   node.ID(),
+		Text:   lhs,
+	})
+	b.addPred(s, lhs+" == null")
+	b.addPred(s, lhs+" != null")
+	b.plan.nullSite[node.ID()] = int32(s.ID)
+}
+
+func (b *planBuilder) stmt(s lang.Stmt) {
+	switch st := s.(type) {
+	case *lang.VarDecl:
+		if st.Init != nil {
+			b.expr(st.Init)
+			if lang.IsScalar(st.DeclType) {
+				b.scalarAssign(st, st.Name, st.Sym)
+			} else if lang.IsPointer(st.DeclType) {
+				b.nullAssign(st, st.Name)
+			}
+		}
+	case *lang.Assign:
+		b.expr(st.LHS)
+		b.expr(st.Value)
+		if lang.IsScalar(st.LHS.Type()) {
+			var target *lang.Symbol
+			if vr, ok := st.LHS.(*lang.VarRef); ok {
+				target = vr.Sym
+			}
+			b.scalarAssign(st, lang.ExprString(st.LHS), target)
+		} else if lang.IsPointer(st.LHS.Type()) {
+			b.nullAssign(st, lang.ExprString(st.LHS))
+		}
+	case *lang.If:
+		b.cond(st.Cond)
+		b.stmt(st.Then)
+		if st.Else != nil {
+			b.stmt(st.Else)
+		}
+	case *lang.While:
+		b.cond(st.Cond)
+		b.stmt(st.Body)
+	case *lang.For:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		b.cond(st.Cond)
+		if st.Post != nil {
+			b.stmt(st.Post)
+		}
+		b.stmt(st.Body)
+	case *lang.Return:
+		if st.Value != nil {
+			b.expr(st.Value)
+		}
+	case *lang.ExprStmt:
+		b.expr(st.E)
+	case *lang.Block:
+		for _, inner := range st.Stmts {
+			b.stmt(inner)
+		}
+	}
+}
+
+// Fingerprint returns a stable hash of the plan's structure (schemes,
+// sites, predicate texts). Two plans with equal fingerprints index the
+// same predicate universe, so feedback corpora recorded under one can
+// be analyzed under the other.
+func (p *Plan) Fingerprint() uint64 {
+	var h uint64 = 1469598103934665603
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		h ^= uint64(0xff)
+		h *= 1099511628211
+	}
+	for _, s := range p.Sites {
+		mix(s.Scheme.String())
+		mix(s.Func)
+		mix(s.Text)
+		h ^= uint64(s.Line)
+		h *= 1099511628211
+	}
+	for _, pr := range p.Preds {
+		mix(pr.Text)
+	}
+	return h
+}

@@ -1,0 +1,129 @@
+package interp
+
+import (
+	"strings"
+
+	"cbi/internal/lang"
+)
+
+// callBuiltin dispatches a builtin call from the tree-walker.
+func (in *Interp) callBuiltin(f *frame, c *lang.Call, args []Value) Value {
+	return in.st.CallBuiltin(c.Name, args)
+}
+
+// CallBuiltin executes a builtin by name. Argument counts and types
+// were checked by the resolver, but corrupted values can still reach
+// here, so every accessor re-validates kinds and traps on confusion.
+// Shared by the tree-walking interpreter and the bytecode VM.
+func (st *State) CallBuiltin(name string, args []Value) Value {
+	wantInt := func(i int) int64 {
+		if args[i].Kind != KInt {
+			st.Trap(TrapTypeConfusion, "%s: argument %d is not an integer", name, i+1)
+		}
+		return args[i].Int
+	}
+	wantStr := func(i int) string {
+		if args[i].Kind != KStr {
+			st.Trap(TrapTypeConfusion, "%s: argument %d is not a string", name, i+1)
+		}
+		return args[i].Str
+	}
+
+	switch name {
+	case "print":
+		// Debug output: discarded. Subject programs use output() for
+		// oracle-visible results.
+		return Value{}
+	case "output":
+		var sb strings.Builder
+		for _, a := range args {
+			sb.WriteString(a.String())
+		}
+		st.out.Output = append(st.out.Output, sb.String())
+		return Value{}
+	case "fail":
+		st.Trap(TrapExplicitFail, "%s", wantStr(0))
+	case "arg":
+		i := wantInt(0)
+		if i < 0 || int(i) >= len(st.input.Args) {
+			return IntVal(0)
+		}
+		return IntVal(st.input.Args[i])
+	case "nargs":
+		return IntVal(int64(len(st.input.Args)))
+	case "sarg":
+		i := wantInt(0)
+		if i < 0 || int(i) >= len(st.input.SArgs) {
+			return StrVal("")
+		}
+		return StrVal(st.input.SArgs[i])
+	case "nsargs":
+		return IntVal(int64(len(st.input.SArgs)))
+	case "read":
+		if st.streamPos >= len(st.input.Stream) {
+			return IntVal(-1)
+		}
+		v := st.input.Stream[st.streamPos]
+		st.streamPos++
+		return IntVal(v)
+	case "strlen":
+		return IntVal(int64(len(wantStr(0))))
+	case "strcmp":
+		return IntVal(int64(strings.Compare(wantStr(0), wantStr(1))))
+	case "strcat":
+		return StrVal(wantStr(0) + wantStr(1))
+	case "substr":
+		s := wantStr(0)
+		i, n := wantInt(1), wantInt(2)
+		if i < 0 || n < 0 || i+n > int64(len(s)) {
+			st.Trap(TrapStringRange, "substr(%q, %d, %d)", s, i, n)
+		}
+		return StrVal(s[i : i+n])
+	case "char_at":
+		s := wantStr(0)
+		i := wantInt(1)
+		if i < 0 || i >= int64(len(s)) {
+			st.Trap(TrapStringRange, "char_at(%q, %d)", s, i)
+		}
+		return IntVal(int64(s[i]))
+	case "itoa":
+		return StrVal(IntVal(wantInt(0)).String())
+	case "hash":
+		// FNV-1a, folded to a non-negative int.
+		s := wantStr(0)
+		var h uint64 = 1469598103934665603
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		return IntVal(int64(h >> 1))
+	case "rand":
+		n := wantInt(0)
+		if n <= 0 {
+			return IntVal(0)
+		}
+		return IntVal(st.userRNG.intn(n))
+	case "len":
+		p := args[0]
+		if p.Kind != KPtr {
+			st.Trap(TrapTypeConfusion, "len: argument is not a pointer")
+		}
+		if p.IsNull() {
+			st.Trap(TrapNullDeref, "len(null)")
+		}
+		n, ok := st.BlockLen(p.Block, p.Off)
+		if !ok {
+			st.Trap(TrapOutOfBounds, "len: pointer outside its block")
+		}
+		return IntVal(int64(n))
+	case "observe_bug":
+		k := int(wantInt(0))
+		if !st.bugSeen[k] {
+			st.bugSeen[k] = true
+			st.out.BugsObserved = append(st.out.BugsObserved, k)
+		}
+		return Value{}
+	}
+	st.Trap(TrapTypeConfusion, "internal: unknown builtin %s", name)
+	return Value{}
+}

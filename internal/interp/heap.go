@@ -1,0 +1,113 @@
+package interp
+
+// heap is the simulated C-like memory. Allocations are slot arrays with
+// known bounds, but out-of-bounds accesses are resolved through a
+// randomized layout model: with probability adjProb a fresh allocation
+// lands directly after the previous one, in which case a small overrun
+// reads or corrupts the neighbour instead of trapping. Larger overruns
+// (past the neighbour, or with no neighbour) always trap — the analogue
+// of running off the mapped page.
+type heap struct {
+	blocks []hblock
+	// slots is the total number of live value slots, for the OOM limit.
+	slots int
+}
+
+type hblock struct {
+	slots []Value
+	// elemSize is the number of slots per language-level element.
+	elemSize int
+	// next is the block id physically adjacent after this one (0 if the
+	// layout left a gap).
+	next int
+}
+
+func newHeap() *heap {
+	// Block 0 is the null block and is never used.
+	return &heap{blocks: make([]hblock, 1)}
+}
+
+// alloc creates a block of count elements of elemSize slots each. adj
+// tells whether the block is physically adjacent to prev (the previously
+// allocated block id).
+func (h *heap) alloc(count, elemSize int, prev int, adj bool) int {
+	id := len(h.blocks)
+	h.blocks = append(h.blocks, hblock{
+		slots:    make([]Value, count*elemSize),
+		elemSize: elemSize,
+	})
+	h.slots += count * elemSize
+	if adj && prev > 0 && prev < id {
+		h.blocks[prev].next = id
+	}
+	return id
+}
+
+// resolve maps (block, slot) to the final (block, slot) after modelling
+// overruns through adjacency. ok=false means the access hits unmapped
+// memory and must trap.
+func (h *heap) resolve(block, slot int) (int, int, bool) {
+	if block <= 0 || block >= len(h.blocks) {
+		return 0, 0, false
+	}
+	if slot < 0 {
+		// Underrun: treat the space before a block as unmapped.
+		return 0, 0, false
+	}
+	b := &h.blocks[block]
+	if slot < len(b.slots) {
+		return block, slot, true
+	}
+	// Overrun: spill into the adjacent block, if any.
+	over := slot - len(b.slots)
+	if b.next != 0 {
+		nb := &h.blocks[b.next]
+		if over < len(nb.slots) {
+			return b.next, over, true
+		}
+	}
+	return 0, 0, false
+}
+
+// load reads the value at (block, slot); ok=false means unmapped.
+func (h *heap) load(block, slot int) (Value, bool) {
+	rb, rs, ok := h.resolve(block, slot)
+	if !ok {
+		return Value{}, false
+	}
+	return h.blocks[rb].slots[rs], true
+}
+
+// store writes the value at (block, slot); ok=false means unmapped.
+func (h *heap) store(block, slot int, v Value) bool {
+	rb, rs, ok := h.resolve(block, slot)
+	if !ok {
+		return false
+	}
+	h.blocks[rb].slots[rs] = v
+	return true
+}
+
+// inBounds reports whether the access stays inside the block proper
+// (i.e. is not an overrun resolved through adjacency).
+func (h *heap) inBounds(block, slot int) bool {
+	if block <= 0 || block >= len(h.blocks) {
+		return false
+	}
+	return slot >= 0 && slot < len(h.blocks[block].slots)
+}
+
+// blockLen returns the element count of the block pointed to, measured
+// from offset off (the len() builtin).
+func (h *heap) blockLen(block, off int) (int, bool) {
+	if block <= 0 || block >= len(h.blocks) {
+		return 0, false
+	}
+	b := &h.blocks[block]
+	total := len(b.slots) / b.elemSize
+	idx := off / b.elemSize
+	if idx < 0 || idx > total {
+		return 0, false
+	}
+	return total - idx, true
+}

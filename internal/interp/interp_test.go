@@ -1,0 +1,403 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"cbi/internal/lang"
+)
+
+func run(t *testing.T, src string, input Input) *Outcome {
+	t.Helper()
+	prog, err := lang.Parse("test.mc", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := lang.Resolve(prog); err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	return Run(prog, input, nil)
+}
+
+func mustSucceed(t *testing.T, src string, input Input) *Outcome {
+	t.Helper()
+	out := run(t, src, input)
+	if out.Crashed {
+		t.Fatalf("unexpected crash: %s: %s (stack %v)", out.Trap, out.Msg, out.Stack)
+	}
+	return out
+}
+
+func TestArithmetic(t *testing.T) {
+	out := mustSucceed(t, `int main() { return (1 + 2 * 3 - 4 / 2) % 5; }`, Input{})
+	if out.ExitCode != 0 { // (1+6-2)%5 = 0
+		t.Errorf("exit = %d, want 0", out.ExitCode)
+	}
+	out = mustSucceed(t, `int main() { return -7 % 3; }`, Input{})
+	if out.ExitCode != -1 {
+		t.Errorf("-7%%3 = %d, want -1", out.ExitCode)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	out := mustSucceed(t, `
+int main() {
+  int s = 0;
+  for (int i = 0; i < 10; i = i + 1) {
+    if (i % 2 == 0) { continue; }
+    if (i > 7) { break; }
+    s = s + i;
+  }
+  int j = 0;
+  while (j < 3) { s = s + 100; j = j + 1; }
+  return s;
+}`, Input{})
+	if out.ExitCode != 1+3+5+7+300 {
+		t.Errorf("exit = %d, want %d", out.ExitCode, 1+3+5+7+300)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	out := mustSucceed(t, `
+int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+int main() { return fib(15); }`, Input{})
+	if out.ExitCode != 610 {
+		t.Errorf("fib(15) = %d, want 610", out.ExitCode)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand of && must not run when the left is false.
+	out := mustSucceed(t, `
+int g = 0;
+int bump() { g = g + 1; return 1; }
+int main() {
+  int a = 0 && bump();
+  int b = 1 || bump();
+  int c = 1 && bump();
+  return g * 10 + a + b + c;
+}`, Input{})
+	if out.ExitCode != 12 { // g=1 (only c's bump ran), a=0, b=1, c=1
+		t.Errorf("exit = %d, want 12", out.ExitCode)
+	}
+}
+
+func TestHeapStructsAndArrays(t *testing.T) {
+	out := mustSucceed(t, `
+struct P { int x; int y; }
+int main() {
+  P* a = new P[3];
+  for (int i = 0; i < 3; i = i + 1) { a[i].x = i; a[i].y = i * i; }
+  P* single = new P;
+  single->x = 100;
+  int s = single->x;
+  for (int i = 0; i < 3; i = i + 1) { s = s + a[i].x + a[i].y; }
+  return s;
+}`, Input{})
+	if out.ExitCode != 100+0+0+1+1+2+4 {
+		t.Errorf("exit = %d, want 108", out.ExitCode)
+	}
+}
+
+func TestLinkedList(t *testing.T) {
+	out := mustSucceed(t, `
+struct N { int v; N* next; }
+int main() {
+  N* head = null;
+  for (int i = 1; i <= 5; i = i + 1) {
+    N* n = new N;
+    n->v = i;
+    n->next = head;
+    head = n;
+  }
+  int s = 0;
+  N* p = head;
+  while (p != null) { s = s + p->v; p = p->next; }
+  return s;
+}`, Input{})
+	if out.ExitCode != 15 {
+		t.Errorf("exit = %d, want 15", out.ExitCode)
+	}
+}
+
+func TestStringsAndBuiltins(t *testing.T) {
+	out := mustSucceed(t, `
+int main() {
+  string s = "hello" + " " + "world";
+  output(s);
+  output(strlen(s));
+  output(substr(s, 0, 5));
+  output(char_at(s, 0));
+  output(itoa(42) + "!");
+  if (strcmp("a", "b") < 0 && strcmp("b", "a") > 0 && strcmp("a", "a") == 0) {
+    output("cmp-ok");
+  }
+  return 0;
+}`, Input{})
+	want := []string{"hello world", "11", "hello", "104", "42!", "cmp-ok"}
+	if len(out.Output) != len(want) {
+		t.Fatalf("output = %v, want %v", out.Output, want)
+	}
+	for i := range want {
+		if out.Output[i] != want[i] {
+			t.Errorf("output[%d] = %q, want %q", i, out.Output[i], want[i])
+		}
+	}
+}
+
+func TestInputAccess(t *testing.T) {
+	out := mustSucceed(t, `
+int main() {
+  int total = 0;
+  for (int i = 0; i < nargs(); i = i + 1) { total = total + arg(i); }
+  int v = read();
+  while (v != -1) { total = total + v; v = read(); }
+  output(sarg(0));
+  return total + strlen(sarg(1)) + nsargs();
+}`, Input{Args: []int64{1, 2, 3}, SArgs: []string{"x", "yz"}, Stream: []int64{10, 20}})
+	if out.ExitCode != 6+30+2+2 {
+		t.Errorf("exit = %d, want 40", out.ExitCode)
+	}
+	if out.Output[0] != "x" {
+		t.Errorf("output = %v", out.Output)
+	}
+}
+
+func TestLenBuiltin(t *testing.T) {
+	out := mustSucceed(t, `
+struct S { int a; int b; int c; }
+int main() {
+  int* p = new int[10];
+  S* q = new S[4];
+  return len(p) * 100 + len(q);
+}`, Input{})
+	if out.ExitCode != 1004 {
+		t.Errorf("exit = %d, want 1004", out.ExitCode)
+	}
+}
+
+func TestRandDeterministicPerSeed(t *testing.T) {
+	src := `int main() { int s = 0; for (int i = 0; i < 100; i = i + 1) { s = s + rand(1000); } return s; }`
+	a := mustSucceed(t, src, Input{Seed: 7}).ExitCode
+	b := mustSucceed(t, src, Input{Seed: 7}).ExitCode
+	c := mustSucceed(t, src, Input{Seed: 8}).ExitCode
+	if a != b {
+		t.Errorf("same seed gave different results: %d vs %d", a, b)
+	}
+	if a == c {
+		t.Errorf("different seeds gave identical rand sums (suspicious): %d", a)
+	}
+}
+
+func TestTraps(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		trap TrapKind
+	}{
+		{"null index", `int main() { int* p = null; return p[0]; }`, TrapNullDeref},
+		{"null arrow", `struct S { int v; } int main() { S* p = null; return p->v; }`, TrapNullDeref},
+		{"div zero", `int main() { int z = 0; return 1 / z; }`, TrapDivByZero},
+		{"mod zero", `int main() { int z = 0; return 1 % z; }`, TrapDivByZero},
+		{"explicit fail", `int main() { fail("boom"); return 0; }`, TrapExplicitFail},
+		{"substr range", `int main() { output(substr("abc", 1, 5)); return 0; }`, TrapStringRange},
+		{"char_at range", `int main() { return char_at("abc", 3); }`, TrapStringRange},
+		{"stack overflow", `int f(int n) { return f(n + 1); } int main() { return f(0); }`, TrapStackOverflow},
+		{"step limit", `int main() { while (1) { } return 0; }`, TrapStepLimit},
+		{"negative alloc", `int main() { int n = 0 - 5; int* p = new int[n]; return p[0]; }`, TrapBadAlloc},
+		{"len null", `int main() { int* p = null; return len(p); }`, TrapNullDeref},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := run(t, tc.src, Input{})
+			if !out.Crashed {
+				t.Fatalf("did not crash (exit=%d)", out.ExitCode)
+			}
+			if out.Trap != tc.trap {
+				t.Errorf("trap = %s, want %s", out.Trap, tc.trap)
+			}
+			if len(out.Stack) == 0 {
+				t.Error("crash has no stack trace")
+			}
+		})
+	}
+}
+
+func TestStackTraceShape(t *testing.T) {
+	out := run(t, `
+int inner() { int* p = null; return p[2]; }
+int middle() { return inner(); }
+int main() { return middle(); }`, Input{})
+	if !out.Crashed {
+		t.Fatal("expected crash")
+	}
+	var funcs []string
+	for _, e := range out.Stack {
+		funcs = append(funcs, e.Func)
+	}
+	want := []string{"inner", "middle", "main"}
+	if len(funcs) != 3 {
+		t.Fatalf("stack = %v", funcs)
+	}
+	for i := range want {
+		if funcs[i] != want[i] {
+			t.Errorf("stack[%d] = %s, want %s", i, funcs[i], want[i])
+		}
+	}
+	sig := out.StackSignature()
+	if sig != "inner<middle<main" {
+		t.Errorf("signature = %q", sig)
+	}
+}
+
+func TestOverrunMayCorruptOrTrap(t *testing.T) {
+	// Writing one element past a block: with adjacency the write lands
+	// in the neighbouring allocation; otherwise it traps. Across many
+	// seeds both behaviours must appear (the paper's non-deterministic
+	// bug model), and when it does not trap the neighbour must actually
+	// be corrupted.
+	src := `
+int main() {
+  int* a = new int[4];
+  int* b = new int[4];
+  b[0] = 111;
+  a[4] = 999;  // one past the end of a
+  return b[0];
+}`
+	var traps, corruptions, intact int
+	for seed := int64(0); seed < 200; seed++ {
+		out := run(t, src, Input{Seed: seed})
+		switch {
+		case out.Crashed && out.Trap == TrapOutOfBounds:
+			traps++
+		case !out.Crashed && out.ExitCode == 999:
+			corruptions++
+		case !out.Crashed && out.ExitCode == 111:
+			intact++
+		default:
+			t.Fatalf("seed %d: unexpected outcome %+v", seed, out)
+		}
+	}
+	if traps == 0 || corruptions == 0 {
+		t.Errorf("want both traps and corruptions across seeds; traps=%d corruptions=%d intact=%d",
+			traps, corruptions, intact)
+	}
+}
+
+func TestCorruptionCausesDelayedTypeConfusion(t *testing.T) {
+	// Overrun writes an int over a neighbouring pointer; dereferencing
+	// that pointer later traps far from the overrun (the BC-style
+	// "crash long after the overrun" behaviour).
+	src := `
+struct N { int v; N* next; }
+int main() {
+  int* a = new int[2];
+  N* n = new N;
+  n->v = 5;
+  n->next = null;
+  a[3] = 12345;   // may smash n->next
+  N* p = n;
+  int s = 0;
+  while (p != null) { s = s + p->v; p = p->next; }
+  return s;
+}`
+	var confusions, clean, oob int
+	for seed := int64(0); seed < 300; seed++ {
+		out := run(t, src, Input{Seed: seed})
+		switch {
+		case out.Crashed && out.Trap == TrapTypeConfusion:
+			confusions++
+		case out.Crashed && out.Trap == TrapOutOfBounds:
+			oob++
+		case !out.Crashed:
+			clean++
+		}
+	}
+	if confusions == 0 {
+		t.Errorf("no delayed type-confusion crashes observed (clean=%d oob=%d)", clean, oob)
+	}
+}
+
+func TestObserveBugGroundTruth(t *testing.T) {
+	out := mustSucceed(t, `
+int main() {
+  observe_bug(3);
+  observe_bug(3);
+  observe_bug(7);
+  return 0;
+}`, Input{})
+	if len(out.BugsObserved) != 2 || out.BugsObserved[0] != 3 || out.BugsObserved[1] != 7 {
+		t.Errorf("BugsObserved = %v, want [3 7]", out.BugsObserved)
+	}
+	if !out.ObservedBug(3) || !out.ObservedBug(7) || out.ObservedBug(4) {
+		t.Error("ObservedBug misreports")
+	}
+}
+
+func TestGlobalsInitialization(t *testing.T) {
+	out := mustSucceed(t, `
+int g = 42;
+string name = "cbi";
+int uninit;
+int main() { return g + strlen(name) + uninit; }`, Input{})
+	if out.ExitCode != 45 {
+		t.Errorf("exit = %d, want 45", out.ExitCode)
+	}
+}
+
+func TestFallOffEndReturnsZero(t *testing.T) {
+	out := mustSucceed(t, `
+int f() { int x = 1; }
+int main() { return f(); }`, Input{})
+	if out.ExitCode != 0 {
+		t.Errorf("exit = %d, want 0", out.ExitCode)
+	}
+}
+
+func TestHeapOOM(t *testing.T) {
+	prog, err := lang.Parse("t", `int main() { while (1) { int* p = new int[1000]; p[0] = 1; } return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lang.Resolve(prog); err != nil {
+		t.Fatal(err)
+	}
+	in := New(prog, nil)
+	in.SetLimits(Limits{HeapSlots: 10000, Steps: 50_000_000})
+	out := in.Run(Input{})
+	if !out.Crashed || out.Trap != TrapOutOfMemory {
+		t.Errorf("got %+v, want OOM trap", out)
+	}
+}
+
+func TestRunIsRepeatable(t *testing.T) {
+	prog, err := lang.Parse("t", `
+int main() {
+  int* a = new int[3];
+  a[0] = rand(100);
+  output(a[0]);
+  return a[0];
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lang.Resolve(prog); err != nil {
+		t.Fatal(err)
+	}
+	in := New(prog, nil)
+	a := in.Run(Input{Seed: 5}).ExitCode
+	b := in.Run(Input{Seed: 5}).ExitCode
+	if a != b {
+		t.Errorf("reusing the interpreter changed results: %d vs %d", a, b)
+	}
+}
+
+func TestOutputOracleComparison(t *testing.T) {
+	// Two programs differing in a non-crashing bug produce different
+	// Output vectors — the labeling mechanism for the paper's bug #9.
+	good := mustSucceed(t, `int main() { output("a"); output(2 + 2); return 0; }`, Input{})
+	bad := mustSucceed(t, `int main() { output("a"); output(2 + 3); return 0; }`, Input{})
+	if strings.Join(good.Output, "\n") == strings.Join(bad.Output, "\n") {
+		t.Error("oracle cannot distinguish the two runs")
+	}
+}

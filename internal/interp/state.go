@@ -1,0 +1,152 @@
+package interp
+
+import (
+	"fmt"
+
+	"cbi/internal/lang"
+)
+
+// State is the machine state shared by MiniC execution engines: the
+// tree-walking interpreter in this package and the bytecode VM in
+// internal/vm. Keeping the heap model, trap discipline, RNG streams,
+// builtins, and outcome bookkeeping in one place guarantees the two
+// engines have identical observable semantics (the vm package's
+// differential tests check this on whole corpora).
+type State struct {
+	// Limits bound the run; see DefaultLimits.
+	Limits Limits
+	// Mem configures the randomized heap layout.
+	Mem MemModel
+
+	heap      *heap
+	Globals   []Value
+	userRNG   *rng
+	layoutRNG *rng
+	input     Input
+	streamPos int
+	prevAlloc int
+	steps     int64
+	out       Outcome
+	bugSeen   map[int]bool
+}
+
+// NewState returns a State with default limits and memory model.
+func NewState() *State {
+	return &State{Limits: DefaultLimits, Mem: DefaultMemModel}
+}
+
+// Reset prepares the state for one run of prog on input: fresh heap,
+// zeroed step count, reinitialized globals, reseeded RNG streams.
+func (st *State) Reset(prog *lang.Program, input Input) {
+	st.heap = newHeap()
+	st.Globals = make([]Value, prog.GlobalSlots)
+	st.userRNG = newRNG(input.Seed*0x5851f42d + 0x14057b7e)
+	st.layoutRNG = newRNG(input.Seed*0x2545f491 + 0x4f6cdd1d)
+	st.input = input
+	st.streamPos = 0
+	st.prevAlloc = 0
+	st.steps = 0
+	st.out = Outcome{}
+	st.bugSeen = map[int]bool{}
+	for _, g := range prog.Globals {
+		if g.Init == nil {
+			st.Globals[g.Sym.Slot] = zeroOf(g.DeclType)
+			continue
+		}
+		switch lit := g.Init.(type) {
+		case *lang.IntLit:
+			st.Globals[g.Sym.Slot] = IntVal(lit.Value)
+		case *lang.StrLit:
+			st.Globals[g.Sym.Slot] = StrVal(lit.Value)
+		case *lang.NullLit:
+			st.Globals[g.Sym.Slot] = Null
+		}
+	}
+}
+
+// Outcome returns the run outcome being accumulated.
+func (st *State) Outcome() *Outcome { return &st.out }
+
+// Steps returns the number of steps executed so far.
+func (st *State) Steps() int64 { return st.steps }
+
+// Trap aborts the run with the given fault; it panics internally and
+// is caught by the engine's RecoverTrap.
+func (st *State) Trap(kind TrapKind, format string, args ...any) {
+	panic(trapPanic{kind: kind, msg: fmt.Sprintf(format, args...)})
+}
+
+// Step counts one execution step and traps on the step limit.
+func (st *State) Step() {
+	st.steps++
+	if st.steps > st.Limits.Steps {
+		st.Trap(TrapStepLimit, "exceeded %d steps", st.Limits.Steps)
+	}
+}
+
+// RecoverTrap converts a trap panic (as produced by Trap) into a
+// crashed Outcome with the given stack capture. Non-trap panics are
+// re-raised. Call from a deferred function:
+//
+//	defer func() { st.RecoverTrap(recover(), captureStack) }()
+func (st *State) RecoverTrap(r any, capture func() []StackEntry) {
+	if r == nil {
+		return
+	}
+	tp, ok := r.(trapPanic)
+	if !ok {
+		panic(r)
+	}
+	st.out.Crashed = true
+	st.out.Trap = tp.kind
+	st.out.Msg = tp.msg
+	st.out.Stack = capture()
+	st.out.Steps = st.steps
+}
+
+// Allocate creates a heap block of count elements of type elem, filled
+// with typed zero values, with randomized adjacency to the previous
+// allocation.
+func (st *State) Allocate(count int, elem lang.Type) Value {
+	elemSize := lang.SizeOf(elem)
+	if count < 0 {
+		st.Trap(TrapBadAlloc, "negative allocation size %d", count)
+	}
+	if st.heap.slots+count*elemSize > st.Limits.HeapSlots {
+		st.Trap(TrapOutOfMemory, "heap limit of %d slots exceeded", st.Limits.HeapSlots)
+	}
+	adj := st.layoutRNG.chance(st.Mem.AdjacentProb)
+	id := st.heap.alloc(count, elemSize, st.prevAlloc, adj)
+	st.prevAlloc = id
+	slots := st.heap.blocks[id].slots
+	if sct, ok := elem.(*lang.StructType); ok {
+		for i := range slots {
+			slots[i] = zeroOf(sct.Fields[i%elemSize].Typ)
+		}
+	} else {
+		z := zeroOf(elem)
+		if z.Kind != KInt {
+			for i := range slots {
+				slots[i] = z
+			}
+		}
+	}
+	return PtrVal(id, 0)
+}
+
+// HeapLoad reads the heap through the overrun-adjacency model; ok is
+// false for unmapped accesses.
+func (st *State) HeapLoad(block, slot int) (Value, bool) {
+	return st.heap.load(block, slot)
+}
+
+// HeapStore writes the heap through the overrun-adjacency model; false
+// means unmapped.
+func (st *State) HeapStore(block, slot int, v Value) bool {
+	return st.heap.store(block, slot, v)
+}
+
+// BlockLen implements the len() builtin's view of a pointer.
+func (st *State) BlockLen(block, off int) (int, bool) {
+	return st.heap.blockLen(block, off)
+}

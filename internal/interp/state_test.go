@@ -1,0 +1,178 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"cbi/internal/lang"
+)
+
+func TestDivModWrap(t *testing.T) {
+	minInt := int64(math.MinInt64)
+	if got := DivWrap(minInt, -1); got != minInt {
+		t.Errorf("DivWrap(MinInt64, -1) = %d", got)
+	}
+	if got := ModWrap(minInt, -1); got != 0 {
+		t.Errorf("ModWrap(MinInt64, -1) = %d", got)
+	}
+	if got := DivWrap(7, 2); got != 3 {
+		t.Errorf("DivWrap(7,2) = %d", got)
+	}
+	if got := ModWrap(-7, 3); got != -1 {
+		t.Errorf("ModWrap(-7,3) = %d", got)
+	}
+}
+
+func TestValuesEqualExported(t *testing.T) {
+	cases := []struct {
+		l, r   Value
+		eq, ok bool
+	}{
+		{IntVal(3), IntVal(3), true, true},
+		{IntVal(3), IntVal(4), false, true},
+		{StrVal("a"), StrVal("a"), true, true},
+		{Null, Null, true, true},
+		{PtrVal(1, 0), PtrVal(1, 0), true, true},
+		{PtrVal(1, 0), PtrVal(1, 2), false, true},
+		{PtrVal(1, 0), Null, false, true},
+		{IntVal(0), StrVal("0"), false, false},
+		{IntVal(0), Null, false, false},
+	}
+	for _, c := range cases {
+		eq, ok := ValuesEqual(c.l, c.r)
+		if eq != c.eq || ok != c.ok {
+			t.Errorf("ValuesEqual(%s, %s) = %v,%v want %v,%v", c.l, c.r, eq, ok, c.eq, c.ok)
+		}
+	}
+}
+
+// trapOf runs fn inside a State trap guard and returns the recorded
+// trap kind.
+func trapOf(t *testing.T, st *State, fn func()) TrapKind {
+	t.Helper()
+	done := make(chan TrapKind, 1)
+	func() {
+		defer func() {
+			st.RecoverTrap(recover(), func() []StackEntry { return nil })
+			done <- st.Outcome().Trap
+		}()
+		fn()
+	}()
+	return <-done
+}
+
+func newResetState(t *testing.T, seed int64) *State {
+	t.Helper()
+	prog, err := lang.Parse("t", "int main() { return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lang.Resolve(prog); err != nil {
+		t.Fatal(err)
+	}
+	st := NewState()
+	st.Reset(prog, Input{Seed: seed, SArgs: []string{"ab"}, Args: []int64{5}, Stream: []int64{1, 2}})
+	return st
+}
+
+func TestStateBuiltinTypeConfusion(t *testing.T) {
+	st := newResetState(t, 1)
+	// A corrupted (pointer) value reaching an int-typed builtin arg
+	// must trap as type confusion, not panic the host.
+	if k := trapOf(t, st, func() { st.CallBuiltin("strlen", []Value{IntVal(3)}) }); k != TrapTypeConfusion {
+		t.Errorf("strlen(int) trap = %s", k)
+	}
+	st = newResetState(t, 1)
+	if k := trapOf(t, st, func() { st.CallBuiltin("char_at", []Value{StrVal("ab"), StrVal("x")}) }); k != TrapTypeConfusion {
+		t.Errorf("char_at(str, str) trap = %s", k)
+	}
+	st = newResetState(t, 1)
+	if k := trapOf(t, st, func() { st.CallBuiltin("len", []Value{StrVal("nope")}) }); k != TrapTypeConfusion {
+		t.Errorf("len(str) trap = %s", k)
+	}
+}
+
+func TestStateBuiltinBounds(t *testing.T) {
+	st := newResetState(t, 2)
+	// Out-of-range arg()/sarg() indices return zero values, not traps
+	// (the input vector is conceptually infinite, zero-padded).
+	if v := st.CallBuiltin("arg", []Value{IntVal(99)}); v.Int != 0 {
+		t.Errorf("arg(99) = %v", v)
+	}
+	if v := st.CallBuiltin("sarg", []Value{IntVal(-1)}); v.Str != "" {
+		t.Errorf("sarg(-1) = %v", v)
+	}
+	if v := st.CallBuiltin("nargs", nil); v.Int != 1 {
+		t.Errorf("nargs = %v", v)
+	}
+	if v := st.CallBuiltin("nsargs", nil); v.Int != 1 {
+		t.Errorf("nsargs = %v", v)
+	}
+	// Stream drains to -1.
+	if v := st.CallBuiltin("read", nil); v.Int != 1 {
+		t.Errorf("read#1 = %v", v)
+	}
+	st.CallBuiltin("read", nil)
+	if v := st.CallBuiltin("read", nil); v.Int != -1 {
+		t.Errorf("read at EOF = %v", v)
+	}
+}
+
+func TestStateHashDeterministic(t *testing.T) {
+	a := newResetState(t, 3)
+	b := newResetState(t, 4)
+	ha := a.CallBuiltin("hash", []Value{StrVal("cbi")})
+	hb := b.CallBuiltin("hash", []Value{StrVal("cbi")})
+	if ha.Int != hb.Int {
+		t.Error("hash depends on run state")
+	}
+	if ha.Int < 0 {
+		t.Error("hash must be non-negative")
+	}
+	if hc := a.CallBuiltin("hash", []Value{StrVal("cbj")}); hc.Int == ha.Int {
+		t.Error("hash collision on near strings (suspicious)")
+	}
+}
+
+func TestStateAllocateTypedZeros(t *testing.T) {
+	st := newResetState(t, 5)
+	ptr := st.Allocate(3, lang.String)
+	v, ok := st.HeapLoad(ptr.Block, 0)
+	if !ok || v.Kind != KStr || v.Str != "" {
+		t.Errorf("string slot zero = %v", v)
+	}
+	ptr2 := st.Allocate(2, lang.Pointer(lang.Int))
+	v2, _ := st.HeapLoad(ptr2.Block, 1)
+	if !v2.IsNull() {
+		t.Errorf("pointer slot zero = %v", v2)
+	}
+}
+
+func TestStateObserveBugDedup(t *testing.T) {
+	st := newResetState(t, 6)
+	st.CallBuiltin("observe_bug", []Value{IntVal(4)})
+	st.CallBuiltin("observe_bug", []Value{IntVal(4)})
+	st.CallBuiltin("observe_bug", []Value{IntVal(2)})
+	out := st.Outcome()
+	if len(out.BugsObserved) != 2 || out.BugsObserved[0] != 4 || out.BugsObserved[1] != 2 {
+		t.Errorf("BugsObserved = %v", out.BugsObserved)
+	}
+}
+
+func TestStackSignatureEmptyForSuccess(t *testing.T) {
+	var o Outcome
+	if o.StackSignature() != "" {
+		t.Error("successful run has a stack signature")
+	}
+}
+
+func TestTrapKindStrings(t *testing.T) {
+	for k := TrapNone; k <= TrapBadAlloc; k++ {
+		if s := k.String(); s == "" || len(s) > 60 {
+			t.Errorf("TrapKind(%d).String() = %q", int(k), s)
+		}
+	}
+	if TrapKind(99).String() == "" {
+		t.Error("unknown trap kind has empty name")
+	}
+}

@@ -1,0 +1,170 @@
+// Package interp is a tree-walking interpreter for MiniC programs.
+//
+// It plays the role of native execution in the PLDI 2005 statistical
+// debugging paper: it runs subject programs on concrete inputs, reports
+// crashes with stack traces, and exposes an Observer hook through which
+// predicate instrumentation watches branches, function return values,
+// and scalar assignments.
+//
+// The heap model is deliberately C-like: allocations are bounds-tracked,
+// but an out-of-bounds access does not necessarily trap. Depending on a
+// per-run randomized layout, an overrun may silently corrupt an
+// adjacent allocation instead, producing the delayed, non-deterministic
+// failures that make statistical bug isolation interesting (paper §3.1:
+// "buffer overrun bugs may or may not cause the program to crash
+// depending on runtime system decisions about how data is laid out in
+// memory").
+package interp
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ValueKind discriminates runtime values.
+type ValueKind uint8
+
+// Runtime value kinds.
+const (
+	KInt ValueKind = iota
+	KStr
+	KPtr // Block==0 means null
+)
+
+// Value is a MiniC runtime value. The zero Value is the integer 0, which
+// doubles as the zero-initialized content of fresh allocations.
+type Value struct {
+	Kind  ValueKind
+	Int   int64
+	Str   string
+	Block int // heap block id; 0 = null
+	Off   int // slot offset within the block
+}
+
+// IntVal returns an integer value.
+func IntVal(v int64) Value { return Value{Kind: KInt, Int: v} }
+
+// StrVal returns a string value.
+func StrVal(s string) Value { return Value{Kind: KStr, Str: s} }
+
+// PtrVal returns a pointer value.
+func PtrVal(block, off int) Value { return Value{Kind: KPtr, Block: block, Off: off} }
+
+// Null is the null pointer.
+var Null = Value{Kind: KPtr}
+
+// IsNull reports whether v is the null pointer.
+func (v Value) IsNull() bool { return v.Kind == KPtr && v.Block == 0 }
+
+// String renders the value for print/output.
+func (v Value) String() string {
+	switch v.Kind {
+	case KInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KStr:
+		return v.Str
+	default:
+		if v.IsNull() {
+			return "null"
+		}
+		return fmt.Sprintf("ptr(%d+%d)", v.Block, v.Off)
+	}
+}
+
+// TrapKind classifies run-terminating faults.
+type TrapKind int
+
+// Trap kinds.
+const (
+	TrapNone TrapKind = iota
+	TrapNullDeref
+	TrapOutOfBounds
+	TrapTypeConfusion
+	TrapDivByZero
+	TrapStringRange
+	TrapExplicitFail
+	TrapStackOverflow
+	TrapStepLimit
+	TrapOutOfMemory
+	TrapBadAlloc
+)
+
+var trapNames = map[TrapKind]string{
+	TrapNone:          "none",
+	TrapNullDeref:     "null pointer dereference",
+	TrapOutOfBounds:   "out-of-bounds access",
+	TrapTypeConfusion: "type confusion (corrupted memory)",
+	TrapDivByZero:     "division by zero",
+	TrapStringRange:   "string index out of range",
+	TrapExplicitFail:  "explicit failure",
+	TrapStackOverflow: "stack overflow",
+	TrapStepLimit:     "step limit exceeded",
+	TrapOutOfMemory:   "out of memory",
+	TrapBadAlloc:      "invalid allocation size",
+}
+
+// String returns a human-readable trap description.
+func (k TrapKind) String() string {
+	if s, ok := trapNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TrapKind(%d)", int(k))
+}
+
+// StackEntry is one frame of a crash stack trace, innermost first.
+type StackEntry struct {
+	Func string
+	Line int
+}
+
+// String renders the entry as "func:line".
+func (e StackEntry) String() string { return fmt.Sprintf("%s:%d", e.Func, e.Line) }
+
+// Outcome is the result of one program run.
+type Outcome struct {
+	// Crashed reports whether the run terminated with a trap.
+	Crashed bool
+	// Trap is the fault kind when Crashed.
+	Trap TrapKind
+	// Msg is the trap detail (e.g. the fail() message).
+	Msg string
+	// Stack is the crash stack trace, innermost frame first. Empty for
+	// successful runs.
+	Stack []StackEntry
+	// ExitCode is main's return value for non-crashed runs.
+	ExitCode int64
+	// Output collects the values passed to output(), one line per call.
+	Output []string
+	// BugsObserved lists ground-truth bug ids recorded via the
+	// observe_bug intrinsic, deduplicated, in first-observed order.
+	BugsObserved []int
+	// Steps is the number of interpreter steps executed.
+	Steps int64
+}
+
+// StackSignature returns a compact signature of the crash stack (the
+// chain of function names, innermost first), the unit of clustering used
+// by the "current industrial practice" baseline in the paper's §6.
+func (o *Outcome) StackSignature() string {
+	if !o.Crashed {
+		return ""
+	}
+	sig := ""
+	for i, e := range o.Stack {
+		if i > 0 {
+			sig += "<"
+		}
+		sig += e.Func
+	}
+	return sig
+}
+
+// ObservedBug reports whether ground truth recorded bug k in this run.
+func (o *Outcome) ObservedBug(k int) bool {
+	for _, b := range o.BugsObserved {
+		if b == k {
+			return true
+		}
+	}
+	return false
+}

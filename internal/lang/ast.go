@@ -1,0 +1,347 @@
+package lang
+
+// NodeID uniquely identifies an AST node within a Program. IDs are
+// assigned densely by the parser, which lets later phases (the
+// instrumenter, the interpreter) attach side tables keyed by node.
+type NodeID int
+
+// NoNode is the zero NodeID, used for "no node".
+const NoNode NodeID = 0
+
+type node struct {
+	id  NodeID
+	pos Pos
+}
+
+// ID returns the node's unique identifier.
+func (n *node) ID() NodeID { return n.id }
+
+// Pos returns the node's source position.
+func (n *node) Pos() Pos { return n.pos }
+
+// Node is the common interface of all AST nodes.
+type Node interface {
+	ID() NodeID
+	Pos() Pos
+}
+
+// Expr is an expression node. Type is populated by the resolver.
+type Expr interface {
+	Node
+	// Type returns the static type of the expression (nil before
+	// resolution).
+	Type() Type
+	exprNode()
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+type exprBase struct {
+	node
+	typ Type
+}
+
+func (e *exprBase) Type() Type     { return e.typ }
+func (e *exprBase) setType(t Type) { e.typ = t }
+func (e *exprBase) exprNode()      {}
+
+type stmtBase struct{ node }
+
+func (s *stmtBase) stmtNode() {}
+
+// BinOp is a binary operator.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota // +
+	OpSub              // -
+	OpMul              // *
+	OpDiv              // /
+	OpMod              // %
+	OpEq               // ==
+	OpNe               // !=
+	OpLt               // <
+	OpLe               // <=
+	OpGt               // >
+	OpGe               // >=
+	OpAnd              // && (short-circuit)
+	OpOr               // || (short-circuit)
+)
+
+var binOpNames = [...]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "&&", OpOr: "||",
+}
+
+// String returns the operator's source spelling.
+func (op BinOp) String() string { return binOpNames[op] }
+
+// IsComparison reports whether the operator yields a 0/1 truth value.
+func (op BinOp) IsComparison() bool {
+	switch op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// UnOp is a unary operator.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNeg UnOp = iota // -
+	OpNot             // !
+)
+
+// String returns the operator's source spelling.
+func (op UnOp) String() string {
+	if op == OpNeg {
+		return "-"
+	}
+	return "!"
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	exprBase
+	Value string
+}
+
+// NullLit is the null pointer literal.
+type NullLit struct {
+	exprBase
+}
+
+// VarRef is a reference to a named variable (local, parameter, or global).
+type VarRef struct {
+	exprBase
+	Name string
+	// Sym is filled in by the resolver.
+	Sym *Symbol
+}
+
+// Binary is a binary operation. && and || short-circuit; their right
+// operand evaluation is an implicit conditional (a branch site in the
+// instrumentation sense).
+type Binary struct {
+	exprBase
+	Op   BinOp
+	L, R Expr
+}
+
+// Unary is a unary operation.
+type Unary struct {
+	exprBase
+	Op UnOp
+	E  Expr
+}
+
+// Call is a direct function call, either to a declared function or to a
+// builtin. Builtin is non-nil after resolution if the callee is a builtin.
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+	// Fn is the resolved user function (nil for builtins).
+	Fn *FuncDecl
+	// Builtin is the resolved builtin (nil for user functions).
+	Builtin *Builtin
+}
+
+// Index is a pointer-indexing expression p[i]. If the pointee is a struct
+// type the result is a struct lvalue usable only as the base of a Field.
+type Index struct {
+	exprBase
+	Base Expr
+	Idx  Expr
+}
+
+// Field accesses a struct field: base.f (base is a struct lvalue, e.g.
+// arr[i].f) or base->f (base is a struct pointer).
+type Field struct {
+	exprBase
+	Base  Expr
+	Name  string
+	Arrow bool
+	// FieldIndex is the field's slot offset, filled by the resolver.
+	FieldIndex int
+}
+
+// NewArray is `new T[n]`: allocates a zeroed block of n elements of T and
+// yields a pointer to its first element.
+type NewArray struct {
+	exprBase
+	Elem  Type
+	Count Expr
+}
+
+// NewStruct is `new S`: allocates a single zeroed struct and yields a
+// pointer to it.
+type NewStruct struct {
+	exprBase
+	Struct *StructType
+}
+
+// VarDecl declares a variable with an optional initializer. At top level
+// it declares a global; inside a block, a local.
+type VarDecl struct {
+	stmtBase
+	DeclType Type
+	Name     string
+	Init     Expr // may be nil (zero value)
+	// Sym is filled in by the resolver.
+	Sym *Symbol
+}
+
+// Assign stores Value into the location denoted by LHS (a VarRef, Index,
+// or Field).
+type Assign struct {
+	stmtBase
+	LHS   Expr
+	Value Expr
+}
+
+// If is a conditional statement. Else may be nil.
+type If struct {
+	stmtBase
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block or *If or nil
+}
+
+// While is a while loop.
+type While struct {
+	stmtBase
+	Cond Expr
+	Body *Block
+}
+
+// For is a C-style for loop. Init and Post may be nil; Cond may be nil
+// (infinite loop).
+type For struct {
+	stmtBase
+	Init Stmt // VarDecl, Assign, or ExprStmt
+	Cond Expr
+	Post Stmt // Assign or ExprStmt
+	Body *Block
+}
+
+// Return exits the enclosing function. Value is nil for void functions.
+type Return struct {
+	stmtBase
+	Value Expr
+}
+
+// Break exits the innermost loop.
+type Break struct{ stmtBase }
+
+// Continue jumps to the next iteration of the innermost loop.
+type Continue struct{ stmtBase }
+
+// ExprStmt evaluates an expression for effect (a call).
+type ExprStmt struct {
+	stmtBase
+	E Expr
+}
+
+// Block is a brace-delimited statement list introducing a scope.
+type Block struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// Param is a function parameter or struct field.
+type Param struct {
+	Name string
+	Typ  Type
+	Pos  Pos
+	// Sym is filled in by the resolver (parameters only).
+	Sym *Symbol
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	node
+	Name   string
+	Params []Param
+	Ret    Type
+	Body   *Block
+	// Locals is the number of local slots (params + locals), filled by
+	// the resolver.
+	Locals int
+}
+
+// ID returns the declaration's node ID.
+func (f *FuncDecl) ID() NodeID { return f.id }
+
+// Pos returns the declaration's source position.
+func (f *FuncDecl) Pos() Pos { return f.pos }
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	node
+	Name   string
+	Fields []Param
+	// Typ is the canonical StructType, filled by the parser.
+	Typ *StructType
+}
+
+// Program is a parsed (and, after Resolve, checked) MiniC compilation
+// unit.
+type Program struct {
+	File    string
+	Structs []*StructDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+
+	// NumNodes is one past the largest NodeID in the program.
+	NumNodes int
+
+	// FuncByName maps function names to declarations (resolver).
+	FuncByName map[string]*FuncDecl
+	// GlobalSlots is the number of global variable slots (resolver).
+	GlobalSlots int
+	// IntConstsByFunc lists the distinct integer constants appearing
+	// lexically in each function, used by the scalar-pairs scheme
+	// (resolver).
+	IntConstsByFunc map[string][]int64
+	// ScalarScopes maps each scalar assignment (Assign or VarDecl node)
+	// to the int-typed variables in scope there, for the scalar-pairs
+	// scheme (resolver).
+	ScalarScopes map[NodeID][]*Symbol
+}
+
+// SymbolKind distinguishes storage classes.
+type SymbolKind int
+
+// Symbol storage classes.
+const (
+	SymGlobal SymbolKind = iota
+	SymParam
+	SymLocal
+)
+
+// Symbol is a resolved variable: its storage class, slot index within its
+// storage area, and type.
+type Symbol struct {
+	Name string
+	Kind SymbolKind
+	Slot int
+	Typ  Type
+	Pos  Pos
+	// Func is the defining function name ("" for globals).
+	Func string
+}

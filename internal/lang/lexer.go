@@ -1,0 +1,303 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error is a positioned compile-time diagnostic (lexical, syntactic, or
+// semantic).
+type Error struct {
+	Pos  Pos
+	Msg  string
+	File string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("%s:%s: %s", e.File, e.Pos, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+}
+
+// ErrorList collects several diagnostics into one error value.
+type ErrorList []*Error
+
+// Error implements the error interface by joining the individual messages.
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	msgs := make([]string, len(l))
+	for i, e := range l {
+		msgs[i] = e.Error()
+	}
+	return strings.Join(msgs, "\n")
+}
+
+// Err returns the list as an error, or nil if it is empty.
+func (l ErrorList) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+// Lexer splits MiniC source text into tokens. Comments (// and /* */) and
+// whitespace are skipped. The lexer never fails hard: malformed input
+// produces an error and a best-effort resynchronization.
+type Lexer struct {
+	src  string
+	file string
+	off  int
+	line int
+	col  int
+	errs ErrorList
+}
+
+// NewLexer returns a lexer over src. The file name is used only in
+// diagnostics and may be empty.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// Errors returns the diagnostics accumulated so far.
+func (lx *Lexer) Errors() ErrorList { return lx.errs }
+
+func (lx *Lexer) errorf(p Pos, format string, args ...any) {
+	lx.errs = append(lx.errs, &Error{Pos: p, File: lx.file, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				lx.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token. At end of input it returns an EOF token,
+// and keeps returning EOF tokens thereafter.
+func (lx *Lexer) Next() Token {
+	lx.skipSpaceAndComments()
+	p := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: p}
+	}
+	c := lx.peek()
+	switch {
+	case isDigit(c):
+		return lx.lexNumber(p)
+	case isIdentStart(c):
+		return lx.lexIdent(p)
+	case c == '"':
+		return lx.lexString(p)
+	}
+	lx.advance()
+	two := func(second byte, withKind, withoutKind Kind) Token {
+		if lx.peek() == second {
+			lx.advance()
+			return Token{Kind: withKind, Pos: p}
+		}
+		return Token{Kind: withoutKind, Pos: p}
+	}
+	switch c {
+	case '+':
+		return Token{Kind: PLUS, Pos: p}
+	case '-':
+		if lx.peek() == '>' {
+			lx.advance()
+			return Token{Kind: ARROW, Pos: p}
+		}
+		return Token{Kind: MINUS, Pos: p}
+	case '*':
+		return Token{Kind: STAR, Pos: p}
+	case '/':
+		return Token{Kind: SLASH, Pos: p}
+	case '%':
+		return Token{Kind: PERCENT, Pos: p}
+	case '=':
+		return two('=', EQ, ASSIGN)
+	case '!':
+		return two('=', NE, NOT)
+	case '<':
+		return two('=', LE, LT)
+	case '>':
+		return two('=', GE, GT)
+	case '&':
+		return two('&', ANDAND, AMP)
+	case '|':
+		if lx.peek() == '|' {
+			lx.advance()
+			return Token{Kind: OROR, Pos: p}
+		}
+		lx.errorf(p, "unexpected character %q (did you mean ||?)", string(c))
+		return lx.Next()
+	case '(':
+		return Token{Kind: LPAREN, Pos: p}
+	case ')':
+		return Token{Kind: RPAREN, Pos: p}
+	case '{':
+		return Token{Kind: LBRACE, Pos: p}
+	case '}':
+		return Token{Kind: RBRACE, Pos: p}
+	case '[':
+		return Token{Kind: LBRACKET, Pos: p}
+	case ']':
+		return Token{Kind: RBRACKET, Pos: p}
+	case ',':
+		return Token{Kind: COMMA, Pos: p}
+	case ';':
+		return Token{Kind: SEMI, Pos: p}
+	case '.':
+		return Token{Kind: DOT, Pos: p}
+	}
+	lx.errorf(p, "unexpected character %q", string(c))
+	return lx.Next()
+}
+
+func (lx *Lexer) lexNumber(p Pos) Token {
+	var v int64
+	overflow := false
+	for lx.off < len(lx.src) && isDigit(lx.peek()) {
+		d := int64(lx.advance() - '0')
+		nv := v*10 + d
+		if nv < v {
+			overflow = true
+		}
+		v = nv
+	}
+	if overflow {
+		lx.errorf(p, "integer literal overflows int64")
+	}
+	return Token{Kind: INT_LIT, Int: v, Pos: p}
+}
+
+func (lx *Lexer) lexIdent(p Pos) Token {
+	start := lx.off
+	for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	if kw, ok := keywords[text]; ok {
+		return Token{Kind: kw, Text: text, Pos: p}
+	}
+	return Token{Kind: IDENT, Text: text, Pos: p}
+}
+
+func (lx *Lexer) lexString(p Pos) Token {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		if c == '"' {
+			lx.advance()
+			return Token{Kind: STR_LIT, Text: sb.String(), Pos: p}
+		}
+		if c == '\n' {
+			break
+		}
+		if c == '\\' {
+			lx.advance()
+			if lx.off >= len(lx.src) {
+				break
+			}
+			e := lx.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			case '0':
+				sb.WriteByte(0)
+			default:
+				lx.errorf(p, "unknown escape sequence \\%s", string(e))
+			}
+			continue
+		}
+		sb.WriteByte(lx.advance())
+	}
+	lx.errorf(p, "unterminated string literal")
+	return Token{Kind: STR_LIT, Text: sb.String(), Pos: p}
+}
+
+// LexAll tokenizes the whole input, returning all tokens up to and
+// including the terminating EOF token.
+func LexAll(file, src string) ([]Token, error) {
+	lx := NewLexer(file, src)
+	var toks []Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			break
+		}
+	}
+	return toks, lx.Errors().Err()
+}

@@ -1,0 +1,157 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := LexAll("t", `int x = 41 + 1;`)
+	if err != nil {
+		t.Fatalf("LexAll: %v", err)
+	}
+	want := []Kind{KW_INT, IDENT, ASSIGN, INT_LIT, PLUS, INT_LIT, SEMI, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+	if toks[3].Int != 41 {
+		t.Errorf("literal value: got %d, want 41", toks[3].Int)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := `== != < <= > >= && || ! = + - * / % -> . & [ ] ( ) { } , ;`
+	toks, err := LexAll("t", src)
+	if err != nil {
+		t.Fatalf("LexAll: %v", err)
+	}
+	want := []Kind{EQ, NE, LT, LE, GT, GE, ANDAND, OROR, NOT, ASSIGN,
+		PLUS, MINUS, STAR, SLASH, PERCENT, ARROW, DOT, AMP,
+		LBRACKET, RBRACKET, LPAREN, RPAREN, LBRACE, RBRACE, COMMA, SEMI, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count: got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := LexAll("t", `if ifx while whiley return returns null nullable new news`)
+	if err != nil {
+		t.Fatalf("LexAll: %v", err)
+	}
+	want := []Kind{KW_IF, IDENT, KW_WHILE, IDENT, KW_RETURN, IDENT, KW_NULL, IDENT, KW_NEW, IDENT, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := LexAll("t", `"a\nb\t\"q\"\\"`)
+	if err != nil {
+		t.Fatalf("LexAll: %v", err)
+	}
+	if toks[0].Kind != STR_LIT {
+		t.Fatalf("got %s, want string", toks[0])
+	}
+	if want := "a\nb\t\"q\"\\"; toks[0].Text != want {
+		t.Errorf("decoded string: got %q, want %q", toks[0].Text, want)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := "1 // line comment\n 2 /* block\n comment */ 3"
+	toks, err := LexAll("t", src)
+	if err != nil {
+		t.Fatalf("LexAll: %v", err)
+	}
+	if len(toks) != 4 { // 1 2 3 EOF
+		t.Fatalf("got %d tokens %v, want 4", len(toks), toks)
+	}
+	for i, want := range []int64{1, 2, 3} {
+		if toks[i].Int != want {
+			t.Errorf("token %d: got %d, want %d", i, toks[i].Int, want)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("t", "a\n  bb\n")
+	if err != nil {
+		t.Fatalf("LexAll: %v", err)
+	}
+	if toks[0].Pos != (Pos{Line: 1, Col: 1}) {
+		t.Errorf("a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{Line: 2, Col: 3}) {
+		t.Errorf("bb at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unterminated string", `"abc`, "unterminated string"},
+		{"unterminated comment", `/* abc`, "unterminated block comment"},
+		{"bad char", `a $ b`, "unexpected character"},
+		{"single pipe", `a | b`, "did you mean ||"},
+		{"bad escape", `"\q"`, "unknown escape"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LexAll("t", tc.src)
+			if err == nil {
+				t.Fatalf("no error for %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestLexEOFIdempotent(t *testing.T) {
+	lx := NewLexer("t", "x")
+	lx.Next()
+	for i := 0; i < 3; i++ {
+		if tok := lx.Next(); tok.Kind != EOF {
+			t.Fatalf("call %d after end: got %s, want EOF", i, tok)
+		}
+	}
+}
+
+func TestLexArrowVsMinus(t *testing.T) {
+	toks, err := LexAll("t", "a->b - c -> d-e")
+	if err != nil {
+		t.Fatalf("LexAll: %v", err)
+	}
+	want := []Kind{IDENT, ARROW, IDENT, MINUS, IDENT, ARROW, IDENT, MINUS, IDENT, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,589 @@
+package lang
+
+import "fmt"
+
+// Parser is a recursive-descent parser for MiniC. It parses an entire
+// token stream (produced by the lexer) into a Program, assigning dense
+// NodeIDs as it goes.
+type Parser struct {
+	file   string
+	toks   []Token
+	pos    int
+	errs   ErrorList
+	nextID NodeID
+	// structs collects struct types by name as they are declared so
+	// that later type syntax can refer to them.
+	structs map[string]*StructType
+}
+
+const maxParseErrors = 25
+
+// Parse parses MiniC source text into a Program. On syntax errors it
+// returns a partial Program together with an ErrorList.
+func Parse(file, src string) (*Program, error) {
+	toks, lerr := LexAll(file, src)
+	p := &Parser{file: file, toks: toks, nextID: 1, structs: map[string]*StructType{}}
+	if lerr != nil {
+		p.errs = append(p.errs, lerr.(ErrorList)...)
+	}
+	prog := p.parseProgram()
+	prog.File = file
+	prog.NumNodes = int(p.nextID)
+	return prog, p.errs.Err()
+}
+
+// MustParse parses src and panics on error. Intended for embedded subject
+// programs and tests.
+func MustParse(file, src string) *Program {
+	prog, err := Parse(file, src)
+	if err != nil {
+		panic(fmt.Sprintf("lang.MustParse(%s): %v", file, err))
+	}
+	return prog
+}
+
+func (p *Parser) id() NodeID {
+	id := p.nextID
+	p.nextID++
+	return id
+}
+
+func (p *Parser) cur() Token     { return p.toks[p.pos] }
+func (p *Parser) kind() Kind     { return p.toks[p.pos].Kind }
+func (p *Parser) at(k Kind) bool { return p.toks[p.pos].Kind == k }
+
+func (p *Parser) peekKind(n int) Kind {
+	i := p.pos + n
+	if i >= len(p.toks) {
+		return EOF
+	}
+	return p.toks[i].Kind
+}
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errorf(pos Pos, format string, args ...any) {
+	if len(p.errs) < maxParseErrors {
+		p.errs = append(p.errs, &Error{File: p.file, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (p *Parser) expect(k Kind) Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	return Token{Kind: k, Pos: p.cur().Pos}
+}
+
+// syncStmt skips tokens until a plausible statement boundary.
+func (p *Parser) syncStmt() {
+	for !p.at(EOF) {
+		switch p.kind() {
+		case SEMI:
+			p.next()
+			return
+		case RBRACE, KW_IF, KW_WHILE, KW_FOR, KW_RETURN:
+			return
+		}
+		p.next()
+	}
+}
+
+func (p *Parser) parseProgram() *Program {
+	prog := &Program{}
+	for !p.at(EOF) {
+		switch p.kind() {
+		case KW_STRUCT:
+			prog.Structs = append(prog.Structs, p.parseStructDecl())
+		case KW_INT, KW_STRING, KW_VOID, IDENT:
+			// type IDENT ( ... )  => function
+			// type IDENT [= expr] ; => global
+			start := p.pos
+			typ, ok := p.tryParseType()
+			if !ok {
+				p.errorf(p.cur().Pos, "expected declaration, found %s", p.cur())
+				p.syncStmt()
+				continue
+			}
+			name := p.expect(IDENT)
+			if p.at(LPAREN) {
+				prog.Funcs = append(prog.Funcs, p.parseFuncRest(typ, name))
+			} else {
+				p.pos = start
+				prog.Globals = append(prog.Globals, p.parseVarDecl())
+			}
+		default:
+			p.errorf(p.cur().Pos, "expected declaration, found %s", p.cur())
+			p.next()
+		}
+	}
+	return prog
+}
+
+func (p *Parser) parseStructDecl() *StructDecl {
+	kw := p.expect(KW_STRUCT)
+	name := p.expect(IDENT)
+	st := &StructType{Name: name.Text}
+	if _, dup := p.structs[name.Text]; dup {
+		p.errorf(name.Pos, "struct %s redeclared", name.Text)
+	}
+	// Register before parsing fields so self-referential pointer fields
+	// (linked lists) work.
+	p.structs[name.Text] = st
+	p.expect(LBRACE)
+	for !p.at(RBRACE) && !p.at(EOF) {
+		ft, ok := p.tryParseType()
+		if !ok {
+			p.errorf(p.cur().Pos, "expected field type, found %s", p.cur())
+			p.syncStmt()
+			continue
+		}
+		fn := p.expect(IDENT)
+		p.expect(SEMI)
+		if st.FieldIndex(fn.Text) >= 0 {
+			p.errorf(fn.Pos, "duplicate field %s in struct %s", fn.Text, name.Text)
+			continue
+		}
+		st.Fields = append(st.Fields, Param{Name: fn.Text, Typ: ft, Pos: fn.Pos})
+	}
+	p.expect(RBRACE)
+	d := &StructDecl{Name: name.Text, Typ: st}
+	d.id, d.pos = p.id(), kw.Pos
+	d.Fields = st.Fields
+	return d
+}
+
+// tryParseType parses a type if the upcoming tokens form one. It only
+// consumes tokens on success.
+func (p *Parser) tryParseType() (Type, bool) {
+	var base Type
+	switch p.kind() {
+	case KW_INT:
+		base = Int
+	case KW_STRING:
+		base = String
+	case KW_VOID:
+		base = Void
+	case IDENT:
+		st, ok := p.structs[p.cur().Text]
+		if !ok {
+			return nil, false
+		}
+		base = st
+	default:
+		return nil, false
+	}
+	p.next()
+	for p.at(STAR) {
+		p.next()
+		base = Pointer(base)
+	}
+	return base, true
+}
+
+// looksLikeDecl reports whether the statement starting at the current
+// token is a variable declaration.
+func (p *Parser) looksLikeDecl() bool {
+	switch p.kind() {
+	case KW_INT, KW_STRING, KW_VOID:
+		return true
+	case IDENT:
+		if _, ok := p.structs[p.cur().Text]; !ok {
+			return false
+		}
+		// IDENT STAR* IDENT => declaration.
+		i := 1
+		for p.peekKind(i) == STAR {
+			i++
+		}
+		return p.peekKind(i) == IDENT
+	}
+	return false
+}
+
+func (p *Parser) parseFuncRest(ret Type, name Token) *FuncDecl {
+	f := &FuncDecl{Name: name.Text, Ret: ret}
+	f.id, f.pos = p.id(), name.Pos
+	p.expect(LPAREN)
+	for !p.at(RPAREN) && !p.at(EOF) {
+		pt, ok := p.tryParseType()
+		if !ok {
+			p.errorf(p.cur().Pos, "expected parameter type, found %s", p.cur())
+			p.syncStmt()
+			break
+		}
+		pn := p.expect(IDENT)
+		f.Params = append(f.Params, Param{Name: pn.Text, Typ: pt, Pos: pn.Pos})
+		if !p.at(COMMA) {
+			break
+		}
+		p.next()
+	}
+	p.expect(RPAREN)
+	f.Body = p.parseBlock()
+	return f
+}
+
+func (p *Parser) parseVarDecl() *VarDecl {
+	pos := p.cur().Pos
+	typ, ok := p.tryParseType()
+	if !ok {
+		p.errorf(pos, "expected type, found %s", p.cur())
+		p.syncStmt()
+		typ = Int
+	}
+	name := p.expect(IDENT)
+	d := &VarDecl{DeclType: typ, Name: name.Text}
+	d.id, d.pos = p.id(), pos
+	if p.at(ASSIGN) {
+		p.next()
+		d.Init = p.parseExpr()
+	}
+	p.expect(SEMI)
+	return d
+}
+
+func (p *Parser) parseBlock() *Block {
+	b := &Block{}
+	b.id, b.pos = p.id(), p.cur().Pos
+	p.expect(LBRACE)
+	for !p.at(RBRACE) && !p.at(EOF) {
+		before := p.pos
+		b.Stmts = append(b.Stmts, p.parseStmt())
+		if p.pos == before {
+			// Defensive: guarantee progress on malformed input.
+			p.next()
+		}
+	}
+	p.expect(RBRACE)
+	return b
+}
+
+func (p *Parser) parseStmt() Stmt {
+	switch p.kind() {
+	case LBRACE:
+		return p.parseBlock()
+	case KW_IF:
+		return p.parseIf()
+	case KW_WHILE:
+		return p.parseWhile()
+	case KW_FOR:
+		return p.parseFor()
+	case KW_RETURN:
+		return p.parseReturn()
+	case KW_BREAK:
+		t := p.next()
+		p.expect(SEMI)
+		s := &Break{}
+		s.id, s.pos = p.id(), t.Pos
+		return s
+	case KW_CONTINUE:
+		t := p.next()
+		p.expect(SEMI)
+		s := &Continue{}
+		s.id, s.pos = p.id(), t.Pos
+		return s
+	case SEMI:
+		// Empty statement: model as an empty block.
+		t := p.next()
+		b := &Block{}
+		b.id, b.pos = p.id(), t.Pos
+		return b
+	}
+	if p.looksLikeDecl() {
+		return p.parseVarDecl()
+	}
+	s := p.parseSimpleStmt()
+	p.expect(SEMI)
+	return s
+}
+
+// parseSimpleStmt parses an assignment or an expression statement,
+// without the trailing semicolon (shared by for-headers).
+func (p *Parser) parseSimpleStmt() Stmt {
+	pos := p.cur().Pos
+	e := p.parseExpr()
+	if p.at(ASSIGN) {
+		p.next()
+		v := p.parseExpr()
+		s := &Assign{LHS: e, Value: v}
+		s.id, s.pos = p.id(), pos
+		return s
+	}
+	s := &ExprStmt{E: e}
+	s.id, s.pos = p.id(), pos
+	return s
+}
+
+func (p *Parser) parseIf() Stmt {
+	kw := p.expect(KW_IF)
+	p.expect(LPAREN)
+	cond := p.parseExpr()
+	p.expect(RPAREN)
+	then := p.parseBlock()
+	s := &If{Cond: cond, Then: then}
+	s.id, s.pos = p.id(), kw.Pos
+	if p.at(KW_ELSE) {
+		p.next()
+		if p.at(KW_IF) {
+			s.Else = p.parseIf()
+		} else {
+			s.Else = p.parseBlock()
+		}
+	}
+	return s
+}
+
+func (p *Parser) parseWhile() Stmt {
+	kw := p.expect(KW_WHILE)
+	p.expect(LPAREN)
+	cond := p.parseExpr()
+	p.expect(RPAREN)
+	body := p.parseBlock()
+	s := &While{Cond: cond, Body: body}
+	s.id, s.pos = p.id(), kw.Pos
+	return s
+}
+
+func (p *Parser) parseFor() Stmt {
+	kw := p.expect(KW_FOR)
+	p.expect(LPAREN)
+	s := &For{}
+	s.id, s.pos = p.id(), kw.Pos
+	if !p.at(SEMI) {
+		if p.looksLikeDecl() {
+			// parseVarDecl consumes the semicolon.
+			s.Init = p.parseVarDecl()
+		} else {
+			s.Init = p.parseSimpleStmt()
+			p.expect(SEMI)
+		}
+	} else {
+		p.expect(SEMI)
+	}
+	if !p.at(SEMI) {
+		s.Cond = p.parseExpr()
+	}
+	p.expect(SEMI)
+	if !p.at(RPAREN) {
+		s.Post = p.parseSimpleStmt()
+	}
+	p.expect(RPAREN)
+	s.Body = p.parseBlock()
+	return s
+}
+
+func (p *Parser) parseReturn() Stmt {
+	kw := p.expect(KW_RETURN)
+	s := &Return{}
+	s.id, s.pos = p.id(), kw.Pos
+	if !p.at(SEMI) {
+		s.Value = p.parseExpr()
+	}
+	p.expect(SEMI)
+	return s
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *Parser) parseExpr() Expr { return p.parseOr() }
+
+func (p *Parser) parseOr() Expr {
+	e := p.parseAnd()
+	for p.at(OROR) {
+		t := p.next()
+		r := p.parseAnd()
+		b := &Binary{Op: OpOr, L: e, R: r}
+		b.id, b.pos = p.id(), t.Pos
+		e = b
+	}
+	return e
+}
+
+func (p *Parser) parseAnd() Expr {
+	e := p.parseCmp()
+	for p.at(ANDAND) {
+		t := p.next()
+		r := p.parseCmp()
+		b := &Binary{Op: OpAnd, L: e, R: r}
+		b.id, b.pos = p.id(), t.Pos
+		e = b
+	}
+	return e
+}
+
+var cmpOps = map[Kind]BinOp{EQ: OpEq, NE: OpNe, LT: OpLt, LE: OpLe, GT: OpGt, GE: OpGe}
+
+func (p *Parser) parseCmp() Expr {
+	e := p.parseAdd()
+	if op, ok := cmpOps[p.kind()]; ok {
+		t := p.next()
+		r := p.parseAdd()
+		b := &Binary{Op: op, L: e, R: r}
+		b.id, b.pos = p.id(), t.Pos
+		e = b
+	}
+	return e
+}
+
+func (p *Parser) parseAdd() Expr {
+	e := p.parseMul()
+	for p.at(PLUS) || p.at(MINUS) {
+		t := p.next()
+		op := OpAdd
+		if t.Kind == MINUS {
+			op = OpSub
+		}
+		r := p.parseMul()
+		b := &Binary{Op: op, L: e, R: r}
+		b.id, b.pos = p.id(), t.Pos
+		e = b
+	}
+	return e
+}
+
+func (p *Parser) parseMul() Expr {
+	e := p.parseUnary()
+	for p.at(STAR) || p.at(SLASH) || p.at(PERCENT) {
+		t := p.next()
+		var op BinOp
+		switch t.Kind {
+		case STAR:
+			op = OpMul
+		case SLASH:
+			op = OpDiv
+		default:
+			op = OpMod
+		}
+		r := p.parseUnary()
+		b := &Binary{Op: op, L: e, R: r}
+		b.id, b.pos = p.id(), t.Pos
+		e = b
+	}
+	return e
+}
+
+func (p *Parser) parseUnary() Expr {
+	switch p.kind() {
+	case MINUS:
+		t := p.next()
+		e := p.parseUnary()
+		u := &Unary{Op: OpNeg, E: e}
+		u.id, u.pos = p.id(), t.Pos
+		return u
+	case NOT:
+		t := p.next()
+		e := p.parseUnary()
+		u := &Unary{Op: OpNot, E: e}
+		u.id, u.pos = p.id(), t.Pos
+		return u
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() Expr {
+	e := p.parsePrimary()
+	for {
+		switch p.kind() {
+		case LBRACKET:
+			t := p.next()
+			idx := p.parseExpr()
+			p.expect(RBRACKET)
+			n := &Index{Base: e, Idx: idx}
+			n.id, n.pos = p.id(), t.Pos
+			e = n
+		case DOT, ARROW:
+			t := p.next()
+			name := p.expect(IDENT)
+			n := &Field{Base: e, Name: name.Text, Arrow: t.Kind == ARROW}
+			n.id, n.pos = p.id(), t.Pos
+			e = n
+		default:
+			return e
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() Expr {
+	switch p.kind() {
+	case INT_LIT:
+		t := p.next()
+		n := &IntLit{Value: t.Int}
+		n.id, n.pos = p.id(), t.Pos
+		return n
+	case STR_LIT:
+		t := p.next()
+		n := &StrLit{Value: t.Text}
+		n.id, n.pos = p.id(), t.Pos
+		return n
+	case KW_NULL:
+		t := p.next()
+		n := &NullLit{}
+		n.id, n.pos = p.id(), t.Pos
+		return n
+	case KW_NEW:
+		return p.parseNew()
+	case IDENT:
+		t := p.next()
+		if p.at(LPAREN) {
+			p.next()
+			c := &Call{Name: t.Text}
+			c.id, c.pos = p.id(), t.Pos
+			for !p.at(RPAREN) && !p.at(EOF) {
+				c.Args = append(c.Args, p.parseExpr())
+				if !p.at(COMMA) {
+					break
+				}
+				p.next()
+			}
+			p.expect(RPAREN)
+			return c
+		}
+		n := &VarRef{Name: t.Text}
+		n.id, n.pos = p.id(), t.Pos
+		return n
+	case LPAREN:
+		p.next()
+		e := p.parseExpr()
+		p.expect(RPAREN)
+		return e
+	}
+	t := p.cur()
+	p.errorf(t.Pos, "expected expression, found %s", t)
+	p.next()
+	n := &IntLit{Value: 0}
+	n.id, n.pos = p.id(), t.Pos
+	return n
+}
+
+func (p *Parser) parseNew() Expr {
+	kw := p.expect(KW_NEW)
+	typ, ok := p.tryParseType()
+	if !ok {
+		p.errorf(p.cur().Pos, "expected type after new, found %s", p.cur())
+		typ = Int
+	}
+	if p.at(LBRACKET) {
+		p.next()
+		count := p.parseExpr()
+		p.expect(RBRACKET)
+		n := &NewArray{Elem: typ, Count: count}
+		n.id, n.pos = p.id(), kw.Pos
+		return n
+	}
+	st, ok := typ.(*StructType)
+	if !ok {
+		p.errorf(kw.Pos, "new without [count] requires a struct type, have %s", typ)
+		st = &StructType{Name: "<error>"}
+	}
+	n := &NewStruct{Struct: st}
+	n.id, n.pos = p.id(), kw.Pos
+	return n
+}

@@ -1,0 +1,252 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const tinyProg = `
+struct Node {
+  int val;
+  Node* next;
+}
+
+int total = 0;
+
+int sum(Node* head) {
+  int s = 0;
+  Node* p = head;
+  while (p != null) {
+    s = s + p->val;
+    p = p->next;
+  }
+  return s;
+}
+
+int main() {
+  Node* a = new Node;
+  a->val = 3;
+  Node* b = new Node;
+  b->val = 4;
+  a->next = b;
+  total = sum(a);
+  output(total);
+  return 0;
+}
+`
+
+func mustResolve(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse("test.mc", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := Resolve(prog); err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	return prog
+}
+
+func TestParseTinyProgram(t *testing.T) {
+	prog := mustResolve(t, tinyProg)
+	if len(prog.Structs) != 1 || prog.Structs[0].Name != "Node" {
+		t.Fatalf("structs: %+v", prog.Structs)
+	}
+	if len(prog.Globals) != 1 || prog.Globals[0].Name != "total" {
+		t.Fatalf("globals: %+v", prog.Globals)
+	}
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("funcs: got %d, want 2", len(prog.Funcs))
+	}
+	if prog.FuncByName["sum"] == nil || prog.FuncByName["main"] == nil {
+		t.Fatal("FuncByName missing entries")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := mustResolve(t, `int main() { int x = 1 + 2 * 3 - 4 / 2; output(x); return x; }`)
+	decl := prog.Funcs[0].Body.Stmts[0].(*VarDecl)
+	if got := ExprString(decl.Init); got != "1 + 2 * 3 - 4 / 2" {
+		t.Errorf("printed: %q", got)
+	}
+	// Structure: ((1 + (2*3)) - (4/2))
+	top := decl.Init.(*Binary)
+	if top.Op != OpSub {
+		t.Fatalf("top op: %s", top.Op)
+	}
+	l := top.L.(*Binary)
+	if l.Op != OpAdd {
+		t.Fatalf("left op: %s", l.Op)
+	}
+	if l.R.(*Binary).Op != OpMul {
+		t.Fatalf("left-right op: %s", l.R.(*Binary).Op)
+	}
+	if top.R.(*Binary).Op != OpDiv {
+		t.Fatalf("right op: %s", top.R.(*Binary).Op)
+	}
+}
+
+func TestParseShortCircuitNesting(t *testing.T) {
+	prog := mustResolve(t, `int main() { if (1 < 2 && 2 < 3 || 0) { return 1; } return 0; }`)
+	cond := prog.Funcs[0].Body.Stmts[0].(*If).Cond.(*Binary)
+	if cond.Op != OpOr {
+		t.Fatalf("top op: %s, want ||", cond.Op)
+	}
+	if cond.L.(*Binary).Op != OpAnd {
+		t.Fatalf("left op: %s, want &&", cond.L.(*Binary).Op)
+	}
+}
+
+func TestParseForLoopVariants(t *testing.T) {
+	prog := mustResolve(t, `
+int main() {
+  int s = 0;
+  for (int i = 0; i < 10; i = i + 1) { s = s + i; }
+  for (; s > 0; ) { s = s - 1; break; }
+  int j = 0;
+  for (j = 5; ; j = j - 1) { if (j < 1) { break; } }
+  return s;
+}`)
+	body := prog.Funcs[0].Body.Stmts
+	f1 := body[1].(*For)
+	if f1.Init == nil || f1.Cond == nil || f1.Post == nil {
+		t.Error("for #1 should have all three clauses")
+	}
+	f2 := body[2].(*For)
+	if f2.Init != nil || f2.Cond == nil || f2.Post != nil {
+		t.Error("for #2 should have only a condition")
+	}
+	f3 := body[4].(*For)
+	if f3.Init == nil || f3.Cond != nil || f3.Post == nil {
+		t.Error("for #3 should have init and post but no condition")
+	}
+}
+
+func TestParseDanglingElse(t *testing.T) {
+	prog := mustResolve(t, `
+int main() {
+  if (1) { if (0) { return 1; } else { return 2; } }
+  return 3;
+}`)
+	outer := prog.Funcs[0].Body.Stmts[0].(*If)
+	if outer.Else != nil {
+		t.Error("outer if should have no else")
+	}
+	inner := outer.Then.Stmts[0].(*If)
+	if inner.Else == nil {
+		t.Error("inner if should have the else")
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	prog := mustResolve(t, `
+int main() {
+  int x = 5;
+  if (x < 1) { return 1; } else if (x < 10) { return 2; } else { return 3; }
+}`)
+	s := prog.Funcs[0].Body.Stmts[1].(*If)
+	elif, ok := s.Else.(*If)
+	if !ok {
+		t.Fatalf("else branch is %T, want *If", s.Else)
+	}
+	if _, ok := elif.Else.(*Block); !ok {
+		t.Fatalf("final else is %T, want *Block", elif.Else)
+	}
+}
+
+func TestParsePointerDeclVsMultiply(t *testing.T) {
+	prog := mustResolve(t, `
+struct T { int v; }
+int main() {
+  T* p = new T;
+  int a = 2;
+  int b = 3;
+  int c = a * b;
+  p->v = c;
+  return p->v;
+}`)
+	stmts := prog.Funcs[0].Body.Stmts
+	if _, ok := stmts[0].(*VarDecl); !ok {
+		t.Errorf("T* p: got %T, want VarDecl", stmts[0])
+	}
+	c := stmts[3].(*VarDecl)
+	if c.Init.(*Binary).Op != OpMul {
+		t.Errorf("a * b should parse as multiplication")
+	}
+}
+
+func TestParseNodeIDsDense(t *testing.T) {
+	prog := mustResolve(t, tinyProg)
+	seen := map[NodeID]bool{}
+	WalkExprs(prog, func(_ *FuncDecl, e Expr) {
+		if e.ID() == NoNode {
+			t.Errorf("expression %s has no ID", ExprString(e))
+		}
+		if seen[e.ID()] {
+			t.Errorf("duplicate node ID %d", e.ID())
+		}
+		seen[e.ID()] = true
+		if int(e.ID()) >= prog.NumNodes {
+			t.Errorf("node ID %d out of range %d", e.ID(), prog.NumNodes)
+		}
+	})
+	WalkStmts(prog, func(_ *FuncDecl, s Stmt) {
+		if seen[s.ID()] {
+			t.Errorf("duplicate node ID %d (stmt)", s.ID())
+		}
+		seen[s.ID()] = true
+	})
+	if len(seen) == 0 {
+		t.Fatal("walk visited nothing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"missing semi", `int main() { int x = 1 return x; }`, "expected"},
+		{"bad decl", `42`, "expected declaration"},
+		{"unclosed brace", `int main() { return 0;`, "expected"},
+		{"new non-struct", `int main() { int x = 0; x = new int; return x; }`, "requires a struct type"},
+		{"missing paren", `int main( { return 0; }`, "expected parameter type"},
+		{"duplicate field", `struct S { int a; int a; } int main() { return 0; }`, "duplicate field"},
+		{"struct redeclared", `struct S { int a; } struct S { int b; } int main() { return 0; }`, "redeclared"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse("t", tc.src)
+			if err == nil {
+				t.Fatalf("no error for %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	prog := mustResolve(t, tinyProg)
+	printed := Print(prog)
+	prog2, err := Parse("roundtrip.mc", printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nsource:\n%s", err, printed)
+	}
+	if err := Resolve(prog2); err != nil {
+		t.Fatalf("re-resolve failed: %v", err)
+	}
+	printed2 := Print(prog2)
+	if printed != printed2 {
+		t.Errorf("print not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", printed, printed2)
+	}
+}
+
+func TestMustParsePanicsOnBadSource(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad source")
+		}
+	}()
+	MustParse("bad", "not a program")
+}

@@ -1,0 +1,229 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ExprString renders an expression as MiniC source text. It is used to
+// produce human-readable predicate descriptions like the ones in the
+// paper's tables (e.g. "files[filesindex].language > 16").
+func ExprString(e Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, e, 0)
+	return sb.String()
+}
+
+// Operator precedence levels for minimal parenthesization.
+func binPrec(op BinOp) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return 3
+	case OpAdd, OpSub:
+		return 4
+	default: // * / %
+		return 5
+	}
+}
+
+func writeExpr(sb *strings.Builder, e Expr, prec int) {
+	switch ex := e.(type) {
+	case *IntLit:
+		sb.WriteString(strconv.FormatInt(ex.Value, 10))
+	case *StrLit:
+		sb.WriteString(strconv.Quote(ex.Value))
+	case *NullLit:
+		sb.WriteString("null")
+	case *VarRef:
+		sb.WriteString(ex.Name)
+	case *Binary:
+		p := binPrec(ex.Op)
+		if p < prec {
+			sb.WriteByte('(')
+		}
+		writeExpr(sb, ex.L, p)
+		sb.WriteByte(' ')
+		sb.WriteString(ex.Op.String())
+		sb.WriteByte(' ')
+		writeExpr(sb, ex.R, p+1)
+		if p < prec {
+			sb.WriteByte(')')
+		}
+	case *Unary:
+		sb.WriteString(ex.Op.String())
+		writeExpr(sb, ex.E, 6)
+	case *Call:
+		sb.WriteString(ex.Name)
+		sb.WriteByte('(')
+		for i, a := range ex.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, a, 0)
+		}
+		sb.WriteByte(')')
+	case *Index:
+		writeExpr(sb, ex.Base, 7)
+		sb.WriteByte('[')
+		writeExpr(sb, ex.Idx, 0)
+		sb.WriteByte(']')
+	case *Field:
+		writeExpr(sb, ex.Base, 7)
+		if ex.Arrow {
+			sb.WriteString("->")
+		} else {
+			sb.WriteByte('.')
+		}
+		sb.WriteString(ex.Name)
+	case *NewArray:
+		fmt.Fprintf(sb, "new %s[", ex.Elem)
+		writeExpr(sb, ex.Count, 0)
+		sb.WriteByte(']')
+	case *NewStruct:
+		fmt.Fprintf(sb, "new %s", ex.Struct.Name)
+	default:
+		fmt.Fprintf(sb, "<%T>", e)
+	}
+}
+
+// Print renders a whole program back to (normalized) MiniC source.
+// Round-tripping Print through Parse yields an equivalent program; tests
+// rely on this.
+func Print(prog *Program) string {
+	var sb strings.Builder
+	for _, sd := range prog.Structs {
+		fmt.Fprintf(&sb, "struct %s {\n", sd.Name)
+		for _, f := range sd.Fields {
+			fmt.Fprintf(&sb, "  %s %s;\n", f.Typ, f.Name)
+		}
+		sb.WriteString("}\n\n")
+	}
+	for _, g := range prog.Globals {
+		fmt.Fprintf(&sb, "%s %s", g.DeclType, g.Name)
+		if g.Init != nil {
+			sb.WriteString(" = ")
+			writeExpr(&sb, g.Init, 0)
+		}
+		sb.WriteString(";\n")
+	}
+	if len(prog.Globals) > 0 {
+		sb.WriteByte('\n')
+	}
+	for i, f := range prog.Funcs {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		fmt.Fprintf(&sb, "%s %s(", f.Ret, f.Name)
+		for j, p := range f.Params {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s %s", p.Typ, p.Name)
+		}
+		sb.WriteString(") ")
+		writeBlock(&sb, f.Body, 0)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+func writeBlock(sb *strings.Builder, b *Block, depth int) {
+	sb.WriteString("{\n")
+	for _, s := range b.Stmts {
+		writeStmt(sb, s, depth+1)
+	}
+	indent(sb, depth)
+	sb.WriteString("}")
+}
+
+func writeStmt(sb *strings.Builder, s Stmt, depth int) {
+	indent(sb, depth)
+	writeStmtInline(sb, s, depth)
+	sb.WriteByte('\n')
+}
+
+// writeSimple renders a statement without indentation or newline, for
+// for-loop headers.
+func writeSimple(sb *strings.Builder, s Stmt) {
+	switch st := s.(type) {
+	case *VarDecl:
+		fmt.Fprintf(sb, "%s %s", st.DeclType, st.Name)
+		if st.Init != nil {
+			sb.WriteString(" = ")
+			writeExpr(sb, st.Init, 0)
+		}
+	case *Assign:
+		writeExpr(sb, st.LHS, 0)
+		sb.WriteString(" = ")
+		writeExpr(sb, st.Value, 0)
+	case *ExprStmt:
+		writeExpr(sb, st.E, 0)
+	}
+}
+
+func writeStmtInline(sb *strings.Builder, s Stmt, depth int) {
+	switch st := s.(type) {
+	case *VarDecl, *Assign, *ExprStmt:
+		writeSimple(sb, s)
+		sb.WriteByte(';')
+	case *If:
+		sb.WriteString("if (")
+		writeExpr(sb, st.Cond, 0)
+		sb.WriteString(") ")
+		writeBlock(sb, st.Then, depth)
+		if st.Else != nil {
+			sb.WriteString(" else ")
+			if elif, ok := st.Else.(*If); ok {
+				writeStmtInline(sb, elif, depth)
+			} else {
+				writeBlock(sb, st.Else.(*Block), depth)
+			}
+		}
+	case *While:
+		sb.WriteString("while (")
+		writeExpr(sb, st.Cond, 0)
+		sb.WriteString(") ")
+		writeBlock(sb, st.Body, depth)
+	case *For:
+		sb.WriteString("for (")
+		if st.Init != nil {
+			writeSimple(sb, st.Init)
+		}
+		sb.WriteString("; ")
+		if st.Cond != nil {
+			writeExpr(sb, st.Cond, 0)
+		}
+		sb.WriteString("; ")
+		if st.Post != nil {
+			writeSimple(sb, st.Post)
+		}
+		sb.WriteString(") ")
+		writeBlock(sb, st.Body, depth)
+	case *Return:
+		sb.WriteString("return")
+		if st.Value != nil {
+			sb.WriteByte(' ')
+			writeExpr(sb, st.Value, 0)
+		}
+		sb.WriteByte(';')
+	case *Break:
+		sb.WriteString("break;")
+	case *Continue:
+		sb.WriteString("continue;")
+	case *Block:
+		writeBlock(sb, st, depth)
+	default:
+		fmt.Fprintf(sb, "<%T>;", s)
+	}
+}

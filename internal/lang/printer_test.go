@@ -1,0 +1,176 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExprStringPrecedence(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`int main() { int x = (1 + 2) * 3; return x; }`, "(1 + 2) * 3"},
+		{`int main() { int x = 1 + 2 * 3; return x; }`, "1 + 2 * 3"},
+		{`int main() { int x = -(1 + 2); return x; }`, "-(1 + 2)"},
+		{`int main() { int x = 1 < 2 && 3 < 4; return x; }`, "1 < 2 && 3 < 4"},
+		{`int main() { int x = (1 < 2 || 0) && 1; return x; }`, "(1 < 2 || 0) && 1"},
+		{`int main() { int x = strlen("a" + "b"); return x; }`, `strlen("a" + "b")`},
+		{`int main() { int x = !0; return x; }`, "!0"},
+	}
+	for _, tc := range cases {
+		prog := mustResolve(t, tc.src)
+		decl := prog.Funcs[0].Body.Stmts[0].(*VarDecl)
+		if got := ExprString(decl.Init); got != tc.want {
+			t.Errorf("ExprString = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestExprStringStructures(t *testing.T) {
+	prog := mustResolve(t, `
+struct P { int x; P* next; }
+int main() {
+  P* a = new P[4];
+  a[1].x = 3;
+  P* s = new P;
+  s->next = a;
+  string q = "say \"hi\"";
+  output(q);
+  return a[1].x + s->next[0].x;
+}`)
+	var texts []string
+	WalkStmts(prog, func(_ *FuncDecl, st Stmt) {
+		if as, ok := st.(*Assign); ok {
+			texts = append(texts, ExprString(as.LHS)+" = "+ExprString(as.Value))
+		}
+	})
+	want := []string{"a[1].x = 3", "s->next = a"}
+	for i, w := range want {
+		if texts[i] != w {
+			t.Errorf("assign %d printed %q, want %q", i, texts[i], w)
+		}
+	}
+	printed := Print(prog)
+	for _, frag := range []string{"new P[4]", "new P;", `"say \"hi\""`, "s->next[0].x"} {
+		if !strings.Contains(printed, frag) {
+			t.Errorf("Print missing %q:\n%s", frag, printed)
+		}
+	}
+}
+
+func TestPrintAllStatementForms(t *testing.T) {
+	src := `
+int g = 5;
+void helper() {
+  return;
+}
+int main() {
+  int i = 0;
+  while (i < 3) {
+    i = i + 1;
+    if (i == 2) {
+      continue;
+    } else if (i == 1) {
+      helper();
+    } else {
+      break;
+    }
+  }
+  for (int j = 0; j < 2; j = j + 1) {
+    output(j);
+  }
+  for (; ; ) {
+    break;
+  }
+  return g;
+}`
+	prog := mustResolve(t, src)
+	printed := Print(prog)
+	for _, frag := range []string{"while (", "for (int j = 0; j < 2; j = j + 1)", "continue;", "break;", "else if", "return;", "int g = 5;"} {
+		if !strings.Contains(printed, frag) {
+			t.Errorf("Print missing %q:\n%s", frag, printed)
+		}
+	}
+	// Round-trip once more for this statement zoo.
+	prog2, err := Parse("rt", printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if err := Resolve(prog2); err != nil {
+		t.Fatalf("re-resolve: %v", err)
+	}
+}
+
+func TestWalkExprsVisitsEverything(t *testing.T) {
+	prog := mustResolve(t, `
+int g = 7;
+int f(int a) { return a * 2; }
+int main() {
+  int x = f(g) + 1;
+  int* p = new int[x];
+  p[0] = x;
+  for (int i = 0; i < x && i < 10; i = i + 1) {
+    output(p[0], "v", i);
+  }
+  return p[0];
+}`)
+	kinds := map[string]int{}
+	WalkExprs(prog, func(_ *FuncDecl, e Expr) {
+		switch e.(type) {
+		case *IntLit:
+			kinds["int"]++
+		case *VarRef:
+			kinds["var"]++
+		case *Binary:
+			kinds["bin"]++
+		case *Call:
+			kinds["call"]++
+		case *Index:
+			kinds["index"]++
+		case *NewArray:
+			kinds["new"]++
+		case *StrLit:
+			kinds["str"]++
+		}
+	})
+	for _, k := range []string{"int", "var", "bin", "call", "index", "new", "str"} {
+		if kinds[k] == 0 {
+			t.Errorf("walk visited no %s nodes: %v", k, kinds)
+		}
+	}
+}
+
+func TestBinOpIsComparison(t *testing.T) {
+	for _, op := range []BinOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe} {
+		if !op.IsComparison() {
+			t.Errorf("%s should be a comparison", op)
+		}
+	}
+	for _, op := range []BinOp{OpAdd, OpAnd, OpOr, OpMul} {
+		if op.IsComparison() {
+			t.Errorf("%s should not be a comparison", op)
+		}
+	}
+}
+
+func TestTypeEquality(t *testing.T) {
+	if !Pointer(Int).Equal(Pointer(Int)) {
+		t.Error("structurally equal pointer types differ")
+	}
+	if Pointer(Int).Equal(Pointer(String)) {
+		t.Error("int* equals string*")
+	}
+	a := &StructType{Name: "S"}
+	b := &StructType{Name: "S"}
+	if a.Equal(b) {
+		t.Error("distinct struct declarations compare equal (should be nominal)")
+	}
+	if !a.Equal(a) {
+		t.Error("struct type not equal to itself")
+	}
+	if SizeOf(Int) != 1 || SizeOf(Pointer(a)) != 1 {
+		t.Error("scalar sizes wrong")
+	}
+	s := &StructType{Name: "T", Fields: []Param{{Name: "a", Typ: Int}, {Name: "b", Typ: String}}}
+	if SizeOf(s) != 2 || s.FieldIndex("b") != 1 || s.FieldIndex("zz") != -1 {
+		t.Error("struct layout helpers wrong")
+	}
+}

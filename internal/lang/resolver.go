@@ -1,0 +1,593 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Resolve performs name resolution and type checking on a parsed program.
+// It fills in symbol tables, expression types, frame layouts, the
+// per-function integer-constant pools used by the scalar-pairs
+// instrumentation scheme, and the per-assignment scalar scope tables.
+//
+// Resolve must be called exactly once per Program before interpretation
+// or instrumentation.
+func Resolve(prog *Program) error {
+	r := &resolver{
+		prog:       prog,
+		file:       prog.File,
+		globals:    map[string]*Symbol{},
+		scalarEnvs: map[NodeID][]*Symbol{},
+	}
+	r.run()
+	prog.IntConstsByFunc = r.intConsts
+	prog.ScalarScopes = r.scalarEnvs
+	return r.errs.Err()
+}
+
+type resolver struct {
+	prog *Program
+	file string
+	errs ErrorList
+
+	globals map[string]*Symbol
+
+	// Per-function state.
+	fn        *FuncDecl
+	scopes    []map[string]*Symbol
+	nextSlot  int
+	loopDepth int
+
+	intConsts  map[string][]int64
+	constSet   map[int64]bool
+	scalarEnvs map[NodeID][]*Symbol
+}
+
+func (r *resolver) errorf(pos Pos, format string, args ...any) {
+	if len(r.errs) < 50 {
+		r.errs = append(r.errs, &Error{File: r.file, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (r *resolver) run() {
+	prog := r.prog
+	prog.FuncByName = map[string]*FuncDecl{}
+	r.intConsts = map[string][]int64{}
+
+	// Struct declarations: validate field types.
+	for _, sd := range prog.Structs {
+		for _, f := range sd.Fields {
+			if _, isStruct := f.Typ.(*StructType); isStruct {
+				r.errorf(f.Pos, "field %s of struct %s: struct-typed fields must be pointers", f.Name, sd.Name)
+			}
+			if f.Typ.Equal(Void) {
+				r.errorf(f.Pos, "field %s of struct %s has void type", f.Name, sd.Name)
+			}
+		}
+	}
+
+	// Globals: allocate slots, check initializers (constants only for
+	// simplicity: int/string/null literals).
+	for _, g := range prog.Globals {
+		if _, dup := r.globals[g.Name]; dup {
+			r.errorf(g.Pos(), "global %s redeclared", g.Name)
+			continue
+		}
+		r.checkVarType(g.Pos(), g.DeclType)
+		sym := &Symbol{Name: g.Name, Kind: SymGlobal, Slot: prog.GlobalSlots, Typ: g.DeclType, Pos: g.Pos()}
+		prog.GlobalSlots++
+		g.Sym = sym
+		r.globals[g.Name] = sym
+		if g.Init != nil {
+			switch g.Init.(type) {
+			case *IntLit, *StrLit, *NullLit:
+				t := r.literalType(g.Init)
+				if !assignable(g.DeclType, t) {
+					r.errorf(g.Pos(), "cannot initialize global %s (%s) with %s", g.Name, g.DeclType, t)
+				}
+			default:
+				r.errorf(g.Pos(), "global initializer for %s must be a literal", g.Name)
+			}
+		}
+	}
+
+	// Function signatures first (mutual recursion).
+	for _, f := range prog.Funcs {
+		if _, dup := prog.FuncByName[f.Name]; dup {
+			r.errorf(f.Pos(), "function %s redeclared", f.Name)
+			continue
+		}
+		if LookupBuiltin(f.Name) != nil {
+			r.errorf(f.Pos(), "function %s shadows a builtin", f.Name)
+			continue
+		}
+		prog.FuncByName[f.Name] = f
+	}
+
+	for _, f := range prog.Funcs {
+		r.resolveFunc(f)
+	}
+
+	if main, ok := prog.FuncByName["main"]; !ok {
+		r.errorf(Pos{Line: 1, Col: 1}, "program has no main function")
+	} else {
+		if len(main.Params) != 0 {
+			r.errorf(main.Pos(), "main must take no parameters")
+		}
+		if !main.Ret.Equal(Int) {
+			r.errorf(main.Pos(), "main must return int")
+		}
+	}
+}
+
+func (r *resolver) literalType(e Expr) Type {
+	switch lit := e.(type) {
+	case *IntLit:
+		lit.setType(Int)
+		return Int
+	case *StrLit:
+		lit.setType(String)
+		return String
+	case *NullLit:
+		lit.setType(Pointer(Int)) // placeholder; assignable handles null
+		return lit.Type()
+	}
+	return nil
+}
+
+func (r *resolver) checkVarType(pos Pos, t Type) {
+	switch t.(type) {
+	case *StructType:
+		r.errorf(pos, "struct values must be accessed through pointers; declare %s*", t)
+	case voidType:
+		r.errorf(pos, "variable cannot have void type")
+	}
+}
+
+func (r *resolver) resolveFunc(f *FuncDecl) {
+	r.fn = f
+	r.scopes = []map[string]*Symbol{{}}
+	r.nextSlot = 0
+	r.loopDepth = 0
+	r.constSet = map[int64]bool{}
+
+	for i := range f.Params {
+		p := &f.Params[i]
+		r.checkVarType(p.Pos, p.Typ)
+		if _, dup := r.scopes[0][p.Name]; dup {
+			r.errorf(p.Pos, "parameter %s redeclared", p.Name)
+			continue
+		}
+		sym := &Symbol{Name: p.Name, Kind: SymParam, Slot: r.nextSlot, Typ: p.Typ, Pos: p.Pos, Func: f.Name}
+		r.nextSlot++
+		p.Sym = sym
+		r.scopes[0][p.Name] = sym
+	}
+
+	r.resolveBlock(f.Body, false)
+	f.Locals = r.nextSlot
+
+	consts := make([]int64, 0, len(r.constSet))
+	for c := range r.constSet {
+		consts = append(consts, c)
+	}
+	sort.Slice(consts, func(i, j int) bool { return consts[i] < consts[j] })
+	r.intConsts[f.Name] = consts
+}
+
+func (r *resolver) pushScope() { r.scopes = append(r.scopes, map[string]*Symbol{}) }
+func (r *resolver) popScope()  { r.scopes = r.scopes[:len(r.scopes)-1] }
+
+func (r *resolver) lookup(name string) *Symbol {
+	for i := len(r.scopes) - 1; i >= 0; i-- {
+		if s, ok := r.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return r.globals[name]
+}
+
+// scalarsInScope returns the int-typed variables currently visible:
+// locals and parameters in scope plus all int globals. The result is a
+// fresh slice ordered globals-first then by declaration.
+func (r *resolver) scalarsInScope() []*Symbol {
+	var out []*Symbol
+	for _, g := range r.prog.Globals {
+		if g.Sym != nil && IsScalar(g.Sym.Typ) {
+			out = append(out, g.Sym)
+		}
+	}
+	seen := map[string]bool{}
+	// Inner scopes shadow outer ones; walk outside-in but let inner
+	// declarations win by overwriting.
+	byName := map[string]*Symbol{}
+	var order []string
+	for _, sc := range r.scopes {
+		for name, sym := range sc {
+			if !IsScalar(sym.Typ) {
+				continue
+			}
+			if _, ok := byName[name]; !ok {
+				order = append(order, name)
+			}
+			byName[name] = sym
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, byName[name])
+		}
+	}
+	return out
+}
+
+func (r *resolver) resolveBlock(b *Block, _ bool) {
+	r.pushScope()
+	defer r.popScope()
+	for _, s := range b.Stmts {
+		r.resolveStmt(s)
+	}
+}
+
+func (r *resolver) declareLocal(d *VarDecl) {
+	r.checkVarType(d.Pos(), d.DeclType)
+	top := r.scopes[len(r.scopes)-1]
+	if _, dup := top[d.Name]; dup {
+		r.errorf(d.Pos(), "variable %s redeclared in this scope", d.Name)
+	}
+	sym := &Symbol{Name: d.Name, Kind: SymLocal, Slot: r.nextSlot, Typ: d.DeclType, Pos: d.Pos(), Func: r.fn.Name}
+	r.nextSlot++
+	d.Sym = sym
+	top[d.Name] = sym
+}
+
+func (r *resolver) resolveStmt(s Stmt) {
+	switch st := s.(type) {
+	case *VarDecl:
+		if st.Init != nil {
+			t := r.resolveExpr(st.Init)
+			if !assignable(st.DeclType, t) {
+				r.errorf(st.Pos(), "cannot assign %s to %s %s", typeName(t), st.DeclType, st.Name)
+			}
+		}
+		// Record the scalar environment before declaring so the new
+		// variable is not its own pair partner, then declare after
+		// resolving the initializer: `int x = x;` refers to any outer x.
+		if IsScalar(st.DeclType) && st.Init != nil {
+			r.scalarEnvs[st.ID()] = r.scalarsInScope()
+		}
+		r.declareLocal(st)
+	case *Assign:
+		lt := r.resolveExpr(st.LHS)
+		if !isLValue(st.LHS) {
+			r.errorf(st.Pos(), "left side of assignment is not assignable")
+		}
+		vt := r.resolveExpr(st.Value)
+		if lt != nil && !assignable(lt, vt) {
+			r.errorf(st.Pos(), "cannot assign %s to %s", typeName(vt), typeName(lt))
+		}
+		if IsScalar(lt) {
+			r.scalarEnvs[st.ID()] = r.scalarsInScope()
+		}
+	case *If:
+		r.wantInt(st.Cond, "if condition")
+		r.resolveBlock(st.Then, true)
+		if st.Else != nil {
+			r.resolveStmt(st.Else)
+		}
+	case *While:
+		r.wantInt(st.Cond, "while condition")
+		r.loopDepth++
+		r.resolveBlock(st.Body, true)
+		r.loopDepth--
+	case *For:
+		r.pushScope()
+		if st.Init != nil {
+			r.resolveStmt(st.Init)
+		}
+		if st.Cond != nil {
+			r.wantInt(st.Cond, "for condition")
+		}
+		if st.Post != nil {
+			r.resolveStmt(st.Post)
+		}
+		r.loopDepth++
+		r.resolveBlock(st.Body, true)
+		r.loopDepth--
+		r.popScope()
+	case *Return:
+		if st.Value == nil {
+			if !r.fn.Ret.Equal(Void) {
+				r.errorf(st.Pos(), "missing return value in function %s returning %s", r.fn.Name, r.fn.Ret)
+			}
+			return
+		}
+		t := r.resolveExpr(st.Value)
+		if r.fn.Ret.Equal(Void) {
+			r.errorf(st.Pos(), "void function %s returns a value", r.fn.Name)
+		} else if !assignable(r.fn.Ret, t) {
+			r.errorf(st.Pos(), "function %s returns %s, not %s", r.fn.Name, r.fn.Ret, typeName(t))
+		}
+	case *Break:
+		if r.loopDepth == 0 {
+			r.errorf(st.Pos(), "break outside loop")
+		}
+	case *Continue:
+		if r.loopDepth == 0 {
+			r.errorf(st.Pos(), "continue outside loop")
+		}
+	case *ExprStmt:
+		t := r.resolveExpr(st.E)
+		if _, isCall := st.E.(*Call); !isCall {
+			r.errorf(st.Pos(), "expression statement must be a call")
+		}
+		_ = t
+	case *Block:
+		r.resolveBlock(st, true)
+	default:
+		r.errorf(s.Pos(), "internal: unknown statement %T", s)
+	}
+}
+
+func (r *resolver) wantInt(e Expr, what string) {
+	t := r.resolveExpr(e)
+	if t != nil && !t.Equal(Int) {
+		r.errorf(e.Pos(), "%s must be int, have %s", what, typeName(t))
+	}
+}
+
+func (r *resolver) resolveExpr(e Expr) Type {
+	switch ex := e.(type) {
+	case *IntLit:
+		ex.setType(Int)
+		r.constSet[ex.Value] = true
+		return Int
+	case *StrLit:
+		ex.setType(String)
+		return String
+	case *NullLit:
+		// Null is a polymorphic pointer; give it a concrete placeholder
+		// type. assignable() special-cases it.
+		ex.setType(nullPtr)
+		return nullPtr
+	case *VarRef:
+		sym := r.lookup(ex.Name)
+		if sym == nil {
+			r.errorf(ex.Pos(), "undefined variable %s", ex.Name)
+			ex.setType(Int)
+			return Int
+		}
+		ex.Sym = sym
+		ex.setType(sym.Typ)
+		return sym.Typ
+	case *Binary:
+		return r.resolveBinary(ex)
+	case *Unary:
+		t := r.resolveExpr(ex.E)
+		if t != nil && !t.Equal(Int) {
+			r.errorf(ex.Pos(), "operand of %s must be int, have %s", ex.Op, typeName(t))
+		}
+		ex.setType(Int)
+		return Int
+	case *Call:
+		return r.resolveCall(ex)
+	case *Index:
+		bt := r.resolveExpr(ex.Base)
+		r.wantInt(ex.Idx, "index")
+		pt, ok := bt.(*PointerType)
+		if !ok {
+			if bt != nil {
+				r.errorf(ex.Pos(), "cannot index %s", typeName(bt))
+			}
+			ex.setType(Int)
+			return Int
+		}
+		ex.setType(pt.Elem)
+		return pt.Elem
+	case *Field:
+		return r.resolveField(ex)
+	case *NewArray:
+		if ex.Elem.Equal(Void) {
+			r.errorf(ex.Pos(), "cannot allocate array of void")
+		}
+		r.wantInt(ex.Count, "allocation count")
+		t := Pointer(ex.Elem)
+		ex.setType(t)
+		return t
+	case *NewStruct:
+		t := Pointer(ex.Struct)
+		ex.setType(t)
+		return t
+	}
+	r.errorf(e.Pos(), "internal: unknown expression %T", e)
+	return nil
+}
+
+func (r *resolver) resolveBinary(b *Binary) Type {
+	lt := r.resolveExpr(b.L)
+	rt := r.resolveExpr(b.R)
+	b.setType(Int)
+	switch b.Op {
+	case OpEq, OpNe:
+		// int==int, string==string, ptr==ptr(/null).
+		if !comparable2(lt, rt) {
+			r.errorf(b.Pos(), "invalid comparison: %s %s %s", typeName(lt), b.Op, typeName(rt))
+		}
+	case OpLt, OpLe, OpGt, OpGe:
+		okInt := lt != nil && rt != nil && lt.Equal(Int) && rt.Equal(Int)
+		okStr := lt != nil && rt != nil && lt.Equal(String) && rt.Equal(String)
+		if !okInt && !okStr {
+			r.errorf(b.Pos(), "invalid comparison: %s %s %s", typeName(lt), b.Op, typeName(rt))
+		}
+	case OpAdd:
+		// int+int or string+string (concatenation).
+		if lt != nil && lt.Equal(String) && rt != nil && rt.Equal(String) {
+			b.setType(String)
+			return String
+		}
+		if !(lt != nil && lt.Equal(Int) && rt != nil && rt.Equal(Int)) {
+			r.errorf(b.Pos(), "invalid operands: %s + %s", typeName(lt), typeName(rt))
+		}
+	default:
+		if !(lt != nil && lt.Equal(Int) && rt != nil && rt.Equal(Int)) {
+			r.errorf(b.Pos(), "invalid operands: %s %s %s", typeName(lt), b.Op, typeName(rt))
+		}
+	}
+	return Int
+}
+
+func (r *resolver) resolveCall(c *Call) Type {
+	if b := LookupBuiltin(c.Name); b != nil {
+		c.Builtin = b
+		if b.Special {
+			// len(p): one argument of any pointer type.
+			if len(c.Args) != 1 {
+				r.errorf(c.Pos(), "len expects 1 argument, got %d", len(c.Args))
+			}
+			for _, a := range c.Args {
+				t := r.resolveExpr(a)
+				if t != nil && !IsPointer(t) {
+					r.errorf(a.Pos(), "len argument must be a pointer, have %s", typeName(t))
+				}
+			}
+			c.setType(b.Ret)
+			return b.Ret
+		}
+		if b.Variadic {
+			for _, a := range c.Args {
+				t := r.resolveExpr(a)
+				if t != nil && !t.Equal(Int) && !t.Equal(String) {
+					r.errorf(a.Pos(), "%s argument must be int or string, have %s", b.Name, typeName(t))
+				}
+			}
+		} else {
+			if len(c.Args) != len(b.Params) {
+				r.errorf(c.Pos(), "%s expects %d arguments, got %d", b.Name, len(b.Params), len(c.Args))
+			}
+			for i, a := range c.Args {
+				t := r.resolveExpr(a)
+				if i < len(b.Params) && t != nil && !assignable(b.Params[i], t) {
+					r.errorf(a.Pos(), "%s argument %d must be %s, have %s", b.Name, i+1, b.Params[i], typeName(t))
+				}
+			}
+		}
+		c.setType(b.Ret)
+		return b.Ret
+	}
+	fn, ok := r.prog.FuncByName[c.Name]
+	if !ok {
+		r.errorf(c.Pos(), "undefined function %s", c.Name)
+		for _, a := range c.Args {
+			r.resolveExpr(a)
+		}
+		c.setType(Int)
+		return Int
+	}
+	c.Fn = fn
+	if len(c.Args) != len(fn.Params) {
+		r.errorf(c.Pos(), "%s expects %d arguments, got %d", c.Name, len(fn.Params), len(c.Args))
+	}
+	for i, a := range c.Args {
+		t := r.resolveExpr(a)
+		if i < len(fn.Params) && t != nil && !assignable(fn.Params[i].Typ, t) {
+			r.errorf(a.Pos(), "%s argument %d must be %s, have %s", c.Name, i+1, fn.Params[i].Typ, typeName(t))
+		}
+	}
+	c.setType(fn.Ret)
+	return fn.Ret
+}
+
+func (r *resolver) resolveField(f *Field) Type {
+	bt := r.resolveExpr(f.Base)
+	var st *StructType
+	if f.Arrow {
+		pt, ok := bt.(*PointerType)
+		if ok {
+			st, ok = pt.Elem.(*StructType)
+			if !ok {
+				st = nil
+			}
+		}
+		if st == nil {
+			r.errorf(f.Pos(), "-> requires a struct pointer, have %s", typeName(bt))
+		}
+	} else {
+		var ok bool
+		st, ok = bt.(*StructType)
+		if !ok {
+			r.errorf(f.Pos(), ". requires a struct value (e.g. arr[i].f), have %s", typeName(bt))
+		}
+	}
+	if st == nil {
+		f.setType(Int)
+		return Int
+	}
+	idx := st.FieldIndex(f.Name)
+	if idx < 0 {
+		r.errorf(f.Pos(), "struct %s has no field %s", st.Name, f.Name)
+		f.setType(Int)
+		return Int
+	}
+	f.FieldIndex = idx
+	t := st.Fields[idx].Typ
+	f.setType(t)
+	return t
+}
+
+// nullPtr is the placeholder type of the null literal.
+var nullPtr = &PointerType{Elem: Void}
+
+func isNullType(t Type) bool {
+	p, ok := t.(*PointerType)
+	return ok && p == nullPtr || (ok && p.Elem.Equal(Void))
+}
+
+// assignable reports whether a value of type src may be stored in a
+// location of type dst.
+func assignable(dst, src Type) bool {
+	if dst == nil || src == nil {
+		return true // error already reported
+	}
+	if isNullType(src) {
+		return IsPointer(dst)
+	}
+	return dst.Equal(src)
+}
+
+// comparable2 reports whether == / != is defined between the two types.
+func comparable2(a, b Type) bool {
+	if a == nil || b == nil {
+		return true
+	}
+	if a.Equal(Int) && b.Equal(Int) {
+		return true
+	}
+	if a.Equal(String) && b.Equal(String) {
+		return true
+	}
+	aPtr, bPtr := IsPointer(a), IsPointer(b)
+	if aPtr && bPtr {
+		return a.Equal(b) || isNullType(a) || isNullType(b)
+	}
+	return false
+}
+
+func isLValue(e Expr) bool {
+	switch e.(type) {
+	case *VarRef, *Index, *Field:
+		return true
+	}
+	return false
+}
+
+func typeName(t Type) string {
+	if t == nil {
+		return "<error>"
+	}
+	if isNullType(t) {
+		return "null"
+	}
+	return t.String()
+}

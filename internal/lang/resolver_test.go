@@ -1,0 +1,194 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func resolveErr(t *testing.T, src string) error {
+	t.Helper()
+	prog, err := Parse("t", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return Resolve(prog)
+}
+
+func TestResolveTypeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"undefined var", `int main() { return x; }`, "undefined variable x"},
+		{"undefined func", `int main() { return f(); }`, "undefined function f"},
+		{"no main", `int f() { return 0; }`, "no main function"},
+		{"main with params", `int main(int x) { return x; }`, "main must take no parameters"},
+		{"main returns void", `void main() { }`, "main must return int"},
+		{"int plus string", `int main() { int x = 1 + "a"; return x; }`, "invalid operands"},
+		{"string minus", `int main() { string s = "a" - "b"; return 0; }`, "invalid operands"},
+		{"assign mismatch", `int main() { int x = "s"; return x; }`, "cannot assign"},
+		{"cond not int", `int main() { if ("s") { return 1; } return 0; }`, "must be int"},
+		{"break outside loop", `int main() { break; return 0; }`, "break outside loop"},
+		{"continue outside loop", `int main() { continue; return 0; }`, "continue outside loop"},
+		{"void in expr", `int main() { int x = print("a"); return x; }`, "cannot assign"},
+		{"missing return value", `int main() { return; }`, "missing return value"},
+		{"void returns value", `void f() { return 3; } int main() { f(); return 0; }`, "void function f returns a value"},
+		{"wrong return type", `int main() { return "s"; }`, "returns int, not string"},
+		{"arity", `int f(int a) { return a; } int main() { return f(1, 2); }`, "expects 1 arguments, got 2"},
+		{"arg type", `int f(int a) { return a; } int main() { return f("s"); }`, "argument 1 must be int"},
+		{"builtin arity", `int main() { return strlen(); }`, "strlen expects 1 arguments"},
+		{"builtin arg type", `int main() { return strlen(3); }`, "must be string"},
+		{"redeclared var", `int main() { int x = 1; int x = 2; return x; }`, "redeclared in this scope"},
+		{"redeclared func", `int f() { return 0; } int f() { return 1; } int main() { return 0; }`, "function f redeclared"},
+		{"shadow builtin", `int strlen(int x) { return x; } int main() { return 0; }`, "shadows a builtin"},
+		{"index non-pointer", `int main() { int x = 1; return x[0]; }`, "cannot index int"},
+		{"index non-int", `int main() { int* p = new int[3]; return p["a"]; }`, "index must be int"},
+		{"arrow on value", `struct S { int v; } int main() { int x = 0; return x->v; }`, "requires a struct pointer"},
+		{"dot on non-struct", `int main() { int x = 0; return x.f; }`, "requires a struct value"},
+		{"missing field", `struct S { int v; } int main() { S* p = new S; return p->w; }`, "has no field w"},
+		{"struct value var", `struct S { int v; } int main() { S s; return 0; }`, "through pointers"},
+		{"struct field struct", `struct A { int v; } struct B { A inner; } int main() { return 0; }`, "must be pointers"},
+		{"void var", `int main() { void v; return 0; }`, "void type"},
+		{"global redeclared", `int g = 0; int g = 1; int main() { return g; }`, "global g redeclared"},
+		{"global nonliteral init", `int g = strlen("ab"); int main() { return g; }`, "must be a literal"},
+		{"assign to call", `int f() { return 0; } int main() { f() = 3; return 0; }`, "not assignable"},
+		{"expr stmt not call", `int main() { 1 + 2; return 0; }`, "must be a call"},
+		{"compare ptr int", `int main() { int* p = new int[1]; if (p == 0) { return 1; } return 0; }`, "invalid comparison"},
+		{"order ptrs", `int main() { int* p = new int[1]; int* q = new int[1]; if (p < q) { return 1; } return 0; }`, "invalid comparison"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := resolveErr(t, tc.src)
+			if err == nil {
+				t.Fatalf("no error for %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestResolveValidPrograms(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"null compare", `struct S { int v; } int main() { S* p = null; if (p == null) { return 1; } return 0; }`},
+		{"string concat", `int main() { string s = "a" + "b"; output(s); return strlen(s); }`},
+		{"string order", `int main() { if ("a" < "b") { return 1; } return 0; }`},
+		{"self-referential struct", `struct N { int v; N* next; } int main() { N* n = new N; n->next = n; return n->next->v; }`},
+		{"shadowing", `int x = 1; int main() { int x = 2; { int x = 3; output(x); } return x; }`},
+		{"recursion", `int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); } int main() { return fib(10); }`},
+		{"mutual recursion", `int odd(int n) { if (n == 0) { return 0; } return even(n-1); } int even(int n) { if (n == 0) { return 1; } return odd(n-1); } int main() { return even(10); }`},
+		{"variadic print", `int main() { print("x=", 3, " y=", 4); return 0; }`},
+		{"struct array field access", `struct P { int x; int y; } int main() { P* a = new P[4]; a[2].x = 7; return a[2].x + a[0].y; }`},
+		{"init refers to outer", `int x = 5; int main() { int y = x; int x = y + 1; return x; }`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := resolveErr(t, tc.src); err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+		})
+	}
+}
+
+func TestResolveSlotAllocation(t *testing.T) {
+	prog := mustResolve(t, `
+int g1 = 0;
+int g2 = 1;
+int f(int a, int b) {
+  int c = a + b;
+  { int d = c; output(d); }
+  return c;
+}
+int main() { return f(1, 2); }
+`)
+	if prog.GlobalSlots != 2 {
+		t.Errorf("GlobalSlots = %d, want 2", prog.GlobalSlots)
+	}
+	f := prog.FuncByName["f"]
+	if f.Locals != 4 { // a, b, c, d
+		t.Errorf("f.Locals = %d, want 4", f.Locals)
+	}
+	if f.Params[0].Sym.Slot != 0 || f.Params[1].Sym.Slot != 1 {
+		t.Errorf("param slots: %d, %d", f.Params[0].Sym.Slot, f.Params[1].Sym.Slot)
+	}
+}
+
+func TestResolveIntConstPool(t *testing.T) {
+	prog := mustResolve(t, `
+int main() {
+  int x = 10;
+  if (x > 100) { x = 10; }
+  while (x < 500) { x = x + 25; }
+  return x;
+}`)
+	consts := prog.IntConstsByFunc["main"]
+	want := []int64{10, 25, 100, 500}
+	if len(consts) != len(want) {
+		t.Fatalf("consts = %v, want %v", consts, want)
+	}
+	for i := range want {
+		if consts[i] != want[i] {
+			t.Errorf("consts[%d] = %d, want %d", i, consts[i], want[i])
+		}
+	}
+}
+
+func TestResolveScalarScopes(t *testing.T) {
+	prog := mustResolve(t, `
+int g = 0;
+int main() {
+  int a = 1;
+  string s = "x";
+  int* p = new int[3];
+  int b = a + 2;
+  output(s);
+  p[0] = b;
+  return b;
+}`)
+	// Find the VarDecl for b.
+	var bDecl *VarDecl
+	WalkStmts(prog, func(_ *FuncDecl, s Stmt) {
+		if d, ok := s.(*VarDecl); ok && d.Name == "b" {
+			bDecl = d
+		}
+	})
+	if bDecl == nil {
+		t.Fatal("no decl for b")
+	}
+	env := prog.ScalarScopes[bDecl.ID()]
+	var names []string
+	for _, sym := range env {
+		names = append(names, sym.Name)
+	}
+	// In scope at `int b = a + 2`: global g and local a (int-typed only;
+	// b itself is declared after its initializer resolves).
+	if len(names) != 2 || names[0] != "g" || names[1] != "a" {
+		t.Errorf("scalar scope at b = %v, want [g a]", names)
+	}
+	// p[0] = b is a scalar assignment through a pointer; its env
+	// includes g, a, b.
+	var asn *Assign
+	WalkStmts(prog, func(_ *FuncDecl, s Stmt) {
+		if a, ok := s.(*Assign); ok {
+			if _, isIdx := a.LHS.(*Index); isIdx {
+				asn = a
+			}
+		}
+	})
+	if asn == nil {
+		t.Fatal("no index assignment found")
+	}
+	env = prog.ScalarScopes[asn.ID()]
+	if len(env) != 3 {
+		t.Errorf("scalar scope at p[0]=b has %d entries, want 3", len(env))
+	}
+}
+
+func TestResolveExprTypesSet(t *testing.T) {
+	prog := mustResolve(t, tinyProg)
+	WalkExprs(prog, func(_ *FuncDecl, e Expr) {
+		if e.Type() == nil {
+			t.Errorf("expression %s has no type", ExprString(e))
+		}
+	})
+}

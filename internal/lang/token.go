@@ -1,0 +1,170 @@
+// Package lang implements MiniC, a small statically typed C-like language.
+//
+// MiniC plays the role that C plays in the PLDI 2005 paper "Scalable
+// Statistical Bug Isolation": it is the language in which subject programs
+// are written and whose syntactic structure (conditionals, call sites,
+// scalar assignments) drives predicate instrumentation. The package
+// provides a lexer, a recursive-descent parser, an AST, a resolver/type
+// checker, and a pretty-printer.
+package lang
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Keyword kinds appear after the operator kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT_LIT
+	STR_LIT
+
+	// Operators and punctuation.
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	ASSIGN   // =
+	EQ       // ==
+	NE       // !=
+	LT       // <
+	LE       // <=
+	GT       // >
+	GE       // >=
+	NOT      // !
+	ANDAND   // &&
+	OROR     // ||
+	AMP      // &
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	COMMA    // ,
+	SEMI     // ;
+	DOT      // .
+	ARROW    // ->
+
+	// Keywords.
+	KW_INT
+	KW_STRING
+	KW_VOID
+	KW_STRUCT
+	KW_IF
+	KW_ELSE
+	KW_WHILE
+	KW_FOR
+	KW_RETURN
+	KW_BREAK
+	KW_CONTINUE
+	KW_NEW
+	KW_NULL
+)
+
+var kindNames = map[Kind]string{
+	EOF:      "EOF",
+	IDENT:    "identifier",
+	INT_LIT:  "integer literal",
+	STR_LIT:  "string literal",
+	PLUS:     "+",
+	MINUS:    "-",
+	STAR:     "*",
+	SLASH:    "/",
+	PERCENT:  "%",
+	ASSIGN:   "=",
+	EQ:       "==",
+	NE:       "!=",
+	LT:       "<",
+	LE:       "<=",
+	GT:       ">",
+	GE:       ">=",
+	NOT:      "!",
+	ANDAND:   "&&",
+	OROR:     "||",
+	AMP:      "&",
+	LPAREN:   "(",
+	RPAREN:   ")",
+	LBRACE:   "{",
+	RBRACE:   "}",
+	LBRACKET: "[",
+	RBRACKET: "]",
+	COMMA:    ",",
+	SEMI:     ";",
+	DOT:      ".",
+	ARROW:    "->",
+
+	KW_INT:      "int",
+	KW_STRING:   "string",
+	KW_VOID:     "void",
+	KW_STRUCT:   "struct",
+	KW_IF:       "if",
+	KW_ELSE:     "else",
+	KW_WHILE:    "while",
+	KW_FOR:      "for",
+	KW_RETURN:   "return",
+	KW_BREAK:    "break",
+	KW_CONTINUE: "continue",
+	KW_NEW:      "new",
+	KW_NULL:     "null",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"int":      KW_INT,
+	"string":   KW_STRING,
+	"void":     KW_VOID,
+	"struct":   KW_STRUCT,
+	"if":       KW_IF,
+	"else":     KW_ELSE,
+	"while":    KW_WHILE,
+	"for":      KW_FOR,
+	"return":   KW_RETURN,
+	"break":    KW_BREAK,
+	"continue": KW_CONTINUE,
+	"new":      KW_NEW,
+	"null":     KW_NULL,
+}
+
+// Pos is a source position: 1-based line and column.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Valid reports whether the position has been set.
+func (p Pos) Valid() bool { return p.Line > 0 }
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string // raw text for IDENT; decoded value for STR_LIT
+	Int  int64  // value for INT_LIT
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case INT_LIT:
+		return fmt.Sprintf("integer %d", t.Int)
+	case STR_LIT:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Kind.String())
+	}
+}

@@ -1,0 +1,149 @@
+package lang
+
+// Type is the interface of MiniC static types. Types are compared with
+// Equal; struct types are canonical (one *StructType per declaration), so
+// pointer identity works for them.
+type Type interface {
+	String() string
+	Equal(Type) bool
+}
+
+// Primitive type singletons.
+var (
+	// Int is the 64-bit integer type.
+	Int Type = intType{}
+	// String is the immutable string type.
+	String Type = stringType{}
+	// Void is the function "no result" type.
+	Void Type = voidType{}
+)
+
+type intType struct{}
+
+func (intType) String() string    { return "int" }
+func (intType) Equal(o Type) bool { _, ok := o.(intType); return ok }
+
+type stringType struct{}
+
+func (stringType) String() string    { return "string" }
+func (stringType) Equal(o Type) bool { _, ok := o.(stringType); return ok }
+
+type voidType struct{}
+
+func (voidType) String() string    { return "void" }
+func (voidType) Equal(o Type) bool { _, ok := o.(voidType); return ok }
+
+// PointerType is a pointer to Elem. `new T[n]` yields *T; indexing
+// p[i] yields T; null inhabits every pointer type.
+type PointerType struct {
+	Elem Type
+}
+
+// Pointer returns the pointer type to elem, interning nothing: pointer
+// types compare structurally.
+func Pointer(elem Type) *PointerType { return &PointerType{Elem: elem} }
+
+// String renders the type C-style, e.g. "int*".
+func (p *PointerType) String() string { return p.Elem.String() + "*" }
+
+// Equal compares pointer types structurally.
+func (p *PointerType) Equal(o Type) bool {
+	q, ok := o.(*PointerType)
+	return ok && p.Elem.Equal(q.Elem)
+}
+
+// StructType is a nominal struct type. Size (in value slots) equals
+// len(Fields): every field occupies one slot.
+type StructType struct {
+	Name   string
+	Fields []Param
+}
+
+// String returns the struct's name.
+func (s *StructType) String() string { return s.Name }
+
+// Equal compares struct types nominally (by canonical identity).
+func (s *StructType) Equal(o Type) bool {
+	q, ok := o.(*StructType)
+	return ok && q == s
+}
+
+// FieldIndex returns the slot offset of the named field, or -1.
+func (s *StructType) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Size returns the number of value slots a struct value occupies.
+func (s *StructType) Size() int { return len(s.Fields) }
+
+// SizeOf returns the number of heap slots one element of t occupies.
+func SizeOf(t Type) int {
+	if st, ok := t.(*StructType); ok {
+		return st.Size()
+	}
+	return 1
+}
+
+// IsScalar reports whether t is the int type — the type the scalar-pairs
+// instrumentation scheme tracks.
+func IsScalar(t Type) bool { return t != nil && t.Equal(Int) }
+
+// IsPointer reports whether t is a pointer type.
+func IsPointer(t Type) bool { _, ok := t.(*PointerType); return ok }
+
+// Builtin describes a builtin function's signature. The interpreter
+// provides the implementations.
+type Builtin struct {
+	Name string
+	// Params is the fixed parameter list; ignored when Variadic.
+	Params []Type
+	// Variadic accepts any number of int/string arguments.
+	Variadic bool
+	Ret      Type
+	// Pure builtins have no side effects and may be instrumented freely.
+	Pure bool
+	// Special builtins have signatures the table cannot express (e.g.
+	// len, which takes any pointer); the resolver checks them by name.
+	Special bool
+}
+
+// Builtins is the table of MiniC builtin functions.
+var Builtins = map[string]*Builtin{
+	// I/O and run outcome.
+	"print":  {Name: "print", Variadic: true, Ret: Void},
+	"output": {Name: "output", Variadic: true, Ret: Void},
+	"fail":   {Name: "fail", Params: []Type{String}, Ret: Void},
+
+	// Input vector access.
+	"arg":    {Name: "arg", Params: []Type{Int}, Ret: Int, Pure: true},
+	"nargs":  {Name: "nargs", Params: []Type{}, Ret: Int, Pure: true},
+	"sarg":   {Name: "sarg", Params: []Type{Int}, Ret: String, Pure: true},
+	"nsargs": {Name: "nsargs", Params: []Type{}, Ret: Int, Pure: true},
+	"read":   {Name: "read", Params: []Type{}, Ret: Int},
+
+	// Strings.
+	"strlen":  {Name: "strlen", Params: []Type{String}, Ret: Int, Pure: true},
+	"strcmp":  {Name: "strcmp", Params: []Type{String, String}, Ret: Int, Pure: true},
+	"strcat":  {Name: "strcat", Params: []Type{String, String}, Ret: String, Pure: true},
+	"substr":  {Name: "substr", Params: []Type{String, Int, Int}, Ret: String, Pure: true},
+	"char_at": {Name: "char_at", Params: []Type{String, Int}, Ret: Int, Pure: true},
+	"itoa":    {Name: "itoa", Params: []Type{Int}, Ret: String, Pure: true},
+	"hash":    {Name: "hash", Params: []Type{String}, Ret: Int, Pure: true},
+
+	// Misc.
+	"rand": {Name: "rand", Params: []Type{Int}, Ret: Int},
+	"len":  {Name: "len", Ret: Int, Pure: true, Special: true},
+
+	// Ground-truth oracle intrinsic: records that bug #k occurred in
+	// this run. Invisible to instrumentation (no predicates are
+	// generated from it) and has no effect on program semantics.
+	"observe_bug": {Name: "observe_bug", Params: []Type{Int}, Ret: Void},
+}
+
+// LookupBuiltin returns the builtin with the given name, or nil.
+func LookupBuiltin(name string) *Builtin { return Builtins[name] }

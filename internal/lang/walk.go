@@ -1,0 +1,115 @@
+package lang
+
+// WalkExprs calls fn for every expression in the program, in a
+// deterministic pre-order traversal.
+func WalkExprs(prog *Program, fn func(owner *FuncDecl, e Expr)) {
+	for _, g := range prog.Globals {
+		if g.Init != nil {
+			walkExpr(nil, g.Init, fn)
+		}
+	}
+	for _, f := range prog.Funcs {
+		walkBlockExprs(f, f.Body, fn)
+	}
+}
+
+func walkBlockExprs(owner *FuncDecl, b *Block, fn func(*FuncDecl, Expr)) {
+	for _, s := range b.Stmts {
+		walkStmtExprs(owner, s, fn)
+	}
+}
+
+func walkStmtExprs(owner *FuncDecl, s Stmt, fn func(*FuncDecl, Expr)) {
+	switch st := s.(type) {
+	case *VarDecl:
+		if st.Init != nil {
+			walkExpr(owner, st.Init, fn)
+		}
+	case *Assign:
+		walkExpr(owner, st.LHS, fn)
+		walkExpr(owner, st.Value, fn)
+	case *If:
+		walkExpr(owner, st.Cond, fn)
+		walkBlockExprs(owner, st.Then, fn)
+		if st.Else != nil {
+			walkStmtExprs(owner, st.Else, fn)
+		}
+	case *While:
+		walkExpr(owner, st.Cond, fn)
+		walkBlockExprs(owner, st.Body, fn)
+	case *For:
+		if st.Init != nil {
+			walkStmtExprs(owner, st.Init, fn)
+		}
+		if st.Cond != nil {
+			walkExpr(owner, st.Cond, fn)
+		}
+		if st.Post != nil {
+			walkStmtExprs(owner, st.Post, fn)
+		}
+		walkBlockExprs(owner, st.Body, fn)
+	case *Return:
+		if st.Value != nil {
+			walkExpr(owner, st.Value, fn)
+		}
+	case *ExprStmt:
+		walkExpr(owner, st.E, fn)
+	case *Block:
+		walkBlockExprs(owner, st, fn)
+	}
+}
+
+func walkExpr(owner *FuncDecl, e Expr, fn func(*FuncDecl, Expr)) {
+	fn(owner, e)
+	switch ex := e.(type) {
+	case *Binary:
+		walkExpr(owner, ex.L, fn)
+		walkExpr(owner, ex.R, fn)
+	case *Unary:
+		walkExpr(owner, ex.E, fn)
+	case *Call:
+		for _, a := range ex.Args {
+			walkExpr(owner, a, fn)
+		}
+	case *Index:
+		walkExpr(owner, ex.Base, fn)
+		walkExpr(owner, ex.Idx, fn)
+	case *Field:
+		walkExpr(owner, ex.Base, fn)
+	case *NewArray:
+		walkExpr(owner, ex.Count, fn)
+	}
+}
+
+// WalkStmts calls fn for every statement in the program (including
+// nested blocks), in a deterministic pre-order traversal.
+func WalkStmts(prog *Program, fn func(owner *FuncDecl, s Stmt)) {
+	for _, f := range prog.Funcs {
+		walkStmt(f, f.Body, fn)
+	}
+}
+
+func walkStmt(owner *FuncDecl, s Stmt, fn func(*FuncDecl, Stmt)) {
+	fn(owner, s)
+	switch st := s.(type) {
+	case *If:
+		walkStmt(owner, st.Then, fn)
+		if st.Else != nil {
+			walkStmt(owner, st.Else, fn)
+		}
+	case *While:
+		walkStmt(owner, st.Body, fn)
+	case *For:
+		if st.Init != nil {
+			walkStmt(owner, st.Init, fn)
+		}
+		if st.Post != nil {
+			walkStmt(owner, st.Post, fn)
+		}
+		walkStmt(owner, st.Body, fn)
+	case *Block:
+		for _, inner := range st.Stmts {
+			walkStmt(owner, inner, fn)
+		}
+	}
+}

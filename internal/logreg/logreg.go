@@ -1,0 +1,169 @@
+// Package logreg implements the ℓ1-regularized logistic regression
+// baseline the paper compares against (§4.4, citing the authors' own
+// earlier PLDI'03/NIPS'04 work). The classifier predicts run failure
+// from the predicate bit vector R(P); the ℓ1 penalty drives most
+// coefficients to zero so the top-weighted predicates form a ranked
+// predictor list (Table 9).
+//
+// Training uses proximal gradient descent (ISTA) with the soft-
+// thresholding operator, which handles the non-smooth ℓ1 term exactly
+// and works well on sparse 0/1 features.
+package logreg
+
+import (
+	"math"
+	"sort"
+
+	"cbi/internal/report"
+)
+
+// Options configure training.
+type Options struct {
+	// Lambda is the ℓ1 regularization strength (per-example scale).
+	Lambda float64
+	// Iters is the number of proximal gradient iterations.
+	Iters int
+	// Step is the gradient step size.
+	Step float64
+}
+
+// DefaultOptions mirror the magnitude used in the paper's experiments:
+// strong enough regularization that only tens of predicates survive.
+var DefaultOptions = Options{Lambda: 0.005, Iters: 300, Step: 0.5}
+
+// Model is a trained classifier.
+type Model struct {
+	// W holds one weight per predicate.
+	W []float64
+	// B is the intercept.
+	B float64
+}
+
+// Coef is a nonzero coefficient, for ranked reporting.
+type Coef struct {
+	Pred   int
+	Weight float64
+}
+
+// Train fits a model on the report set.
+func Train(set *report.Set, opts Options) *Model {
+	if opts.Iters <= 0 {
+		opts.Iters = DefaultOptions.Iters
+	}
+	if opts.Step <= 0 {
+		opts.Step = DefaultOptions.Step
+	}
+	n := len(set.Reports)
+	if n == 0 {
+		return &Model{W: make([]float64, set.NumPreds)}
+	}
+	d := set.NumPreds
+	w := make([]float64, d)
+	b := 0.0
+	grad := make([]float64, d)
+	invN := 1.0 / float64(n)
+
+	for iter := 0; iter < opts.Iters; iter++ {
+		for i := range grad {
+			grad[i] = 0
+		}
+		gradB := 0.0
+		for _, r := range set.Reports {
+			// margin = w·x + b over the sparse true-predicate list.
+			margin := b
+			for _, p := range r.TruePreds {
+				margin += w[p]
+			}
+			pred := sigmoid(margin)
+			y := 0.0
+			if r.Failed {
+				y = 1
+			}
+			diff := (pred - y) * invN
+			gradB += diff
+			for _, p := range r.TruePreds {
+				grad[p] += diff
+			}
+		}
+		b -= opts.Step * gradB
+		for j := 0; j < d; j++ {
+			w[j] = softThreshold(w[j]-opts.Step*grad[j], opts.Step*opts.Lambda)
+		}
+	}
+	return &Model{W: w, B: b}
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+func softThreshold(x, t float64) float64 {
+	switch {
+	case x > t:
+		return x - t
+	case x < -t:
+		return x + t
+	default:
+		return 0
+	}
+}
+
+// Predict returns the estimated failure probability for one report.
+func (m *Model) Predict(r *report.Report) float64 {
+	margin := m.B
+	for _, p := range r.TruePreds {
+		margin += m.W[p]
+	}
+	return sigmoid(margin)
+}
+
+// Accuracy returns the 0.5-threshold classification accuracy on a set.
+func (m *Model) Accuracy(set *report.Set) float64 {
+	if len(set.Reports) == 0 {
+		return 0
+	}
+	right := 0
+	for _, r := range set.Reports {
+		if (m.Predict(r) >= 0.5) == r.Failed {
+			right++
+		}
+	}
+	return float64(right) / float64(len(set.Reports))
+}
+
+// NumNonzero counts predicates with nonzero weight.
+func (m *Model) NumNonzero() int {
+	n := 0
+	for _, w := range m.W {
+		if w != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TopCoefficients returns the k largest positive coefficients in
+// decreasing order — the paper's Table 9 list (positive weights predict
+// failure).
+func (m *Model) TopCoefficients(k int) []Coef {
+	var out []Coef
+	for p, w := range m.W {
+		if w > 0 {
+			out = append(out, Coef{Pred: p, Weight: w})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Pred < out[j].Pred
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package logreg
+
+import (
+	"math"
+	"testing"
+
+	"cbi/internal/report"
+)
+
+// worldSet builds a corpus where pred 0 perfectly predicts failure,
+// pred 1 is noise, and pred 2 is anti-correlated with failure.
+func worldSet() *report.Set {
+	set := &report.Set{NumSites: 3, NumPreds: 3}
+	for i := 0; i < 200; i++ {
+		failed := i%4 == 0
+		var preds []int32
+		if failed {
+			preds = append(preds, 0)
+		} else {
+			preds = append(preds, 2)
+		}
+		if i%2 == 0 {
+			preds = append(preds, 1)
+		}
+		if len(preds) > 1 && preds[0] > preds[1] {
+			preds[0], preds[1] = preds[1], preds[0]
+		}
+		set.Reports = append(set.Reports, &report.Report{Failed: failed, TruePreds: preds})
+	}
+	return set
+}
+
+func TestTrainSeparableData(t *testing.T) {
+	set := worldSet()
+	m := Train(set, Options{Lambda: 0.001, Iters: 500, Step: 1.0})
+	if m.W[0] <= 0 {
+		t.Errorf("w[0] = %v, want > 0 (perfect failure predictor)", m.W[0])
+	}
+	if m.W[2] >= 0 {
+		t.Errorf("w[2] = %v, want < 0 (anti-correlated)", m.W[2])
+	}
+	if acc := m.Accuracy(set); acc < 0.95 {
+		t.Errorf("accuracy = %v on separable data", acc)
+	}
+}
+
+func TestL1DrivesNoiseToZero(t *testing.T) {
+	set := worldSet()
+	m := Train(set, Options{Lambda: 0.02, Iters: 500, Step: 1.0})
+	if m.W[1] != 0 {
+		t.Errorf("noise coefficient w[1] = %v, want exactly 0 under l1", m.W[1])
+	}
+	if m.W[0] == 0 {
+		t.Error("signal coefficient was zeroed out")
+	}
+}
+
+func TestStrongerLambdaSparser(t *testing.T) {
+	set := worldSet()
+	weak := Train(set, Options{Lambda: 0.0001, Iters: 300, Step: 1.0})
+	strong := Train(set, Options{Lambda: 0.05, Iters: 300, Step: 1.0})
+	if strong.NumNonzero() > weak.NumNonzero() {
+		t.Errorf("stronger lambda gave more nonzeros: %d > %d", strong.NumNonzero(), weak.NumNonzero())
+	}
+}
+
+func TestTopCoefficients(t *testing.T) {
+	m := &Model{W: []float64{0.5, 0, -0.3, 1.5, 0.1}}
+	top := m.TopCoefficients(2)
+	if len(top) != 2 || top[0].Pred != 3 || top[1].Pred != 0 {
+		t.Errorf("top = %+v", top)
+	}
+	all := m.TopCoefficients(0)
+	if len(all) != 3 {
+		t.Errorf("all positive coefficients = %+v", all)
+	}
+}
+
+func TestPredictRange(t *testing.T) {
+	set := worldSet()
+	m := Train(set, Options{Lambda: 0.005, Iters: 200, Step: 0.5})
+	for _, r := range set.Reports {
+		p := m.Predict(r)
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			t.Fatalf("Predict = %v out of [0,1]", p)
+		}
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	m := Train(&report.Set{NumPreds: 5}, Options{})
+	if m.NumNonzero() != 0 {
+		t.Error("empty training set produced nonzero weights")
+	}
+	if acc := m.Accuracy(&report.Set{}); acc != 0 {
+		t.Errorf("accuracy on empty set = %v", acc)
+	}
+}
+
+func TestSoftThreshold(t *testing.T) {
+	cases := []struct{ x, t, want float64 }{
+		{2, 0.5, 1.5},
+		{-2, 0.5, -1.5},
+		{0.3, 0.5, 0},
+		{-0.3, 0.5, 0},
+		{0.5, 0.5, 0},
+	}
+	for _, c := range cases {
+		if got := softThreshold(c.x, c.t); got != c.want {
+			t.Errorf("softThreshold(%v, %v) = %v, want %v", c.x, c.t, got, c.want)
+		}
+	}
+}
+
+func TestSigmoidStability(t *testing.T) {
+	if s := sigmoid(1000); s != 1 {
+		t.Errorf("sigmoid(1000) = %v", s)
+	}
+	if s := sigmoid(-1000); s != 0 {
+		t.Errorf("sigmoid(-1000) = %v", s)
+	}
+	if s := sigmoid(0); s != 0.5 {
+		t.Errorf("sigmoid(0) = %v", s)
+	}
+}

@@ -1,0 +1,370 @@
+// Package progen generates random, well-typed MiniC programs for
+// differential testing: the tree-walking interpreter and the bytecode
+// VM must agree — outcome, trap kind, stack signature, outputs, and
+// every instrumentation event — on every generated program and input.
+//
+// Generated programs always terminate far below the step limit (loops
+// have small constant bounds and recursion carries an explicit
+// decreasing fuse), because the two engines count steps differently
+// and a program racing the step limit would trap at different logical
+// points. Everything else is fair game: division by zero, negative
+// allocations, out-of-bounds indices that the randomized heap layout
+// may or may not forgive — trap parity on those is exactly what the
+// differential tests are for.
+package progen
+
+import (
+	"fmt"
+	"strings"
+
+	"cbi/internal/interp"
+	"cbi/internal/lang"
+)
+
+// Config bounds program shapes.
+type Config struct {
+	// MaxFuncs is the number of helper functions (besides main).
+	MaxFuncs int
+	// MaxStmts bounds statements per block.
+	MaxStmts int
+	// MaxDepth bounds statement nesting.
+	MaxDepth int
+	// ExprDepth bounds expression nesting.
+	ExprDepth int
+	// Risky enables out-of-bounds indices, unchecked division, and
+	// negative allocation sizes (crash parity testing).
+	Risky bool
+}
+
+// DefaultConfig generates small risky programs.
+var DefaultConfig = Config{MaxFuncs: 3, MaxStmts: 5, MaxDepth: 3, ExprDepth: 3, Risky: true}
+
+type gen struct {
+	cfg Config
+	rng splitmix
+	sb  strings.Builder
+
+	// scope tracking: names of in-scope variables by type.
+	ints []string
+	strs []string
+	ptrs []string // int* variables
+	// funcs generated so far (all take (int, int) and return int).
+	funcs   []string
+	nextVar int
+	depth   int
+	// inFunc is the current function's fuse parameter name ("" in main).
+	fuse string
+}
+
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (g *gen) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(g.rng.next() % uint64(n))
+}
+
+func (g *gen) chance(pct int) bool { return g.intn(100) < pct }
+
+// Source generates the source text of a random program.
+func Source(seed int64, cfg Config) string {
+	g := &gen{cfg: cfg, rng: splitmix{state: uint64(seed)*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3}}
+	g.emit()
+	return g.sb.String()
+}
+
+// Generate produces a parsed and resolved random program. It panics if
+// the generator emitted an invalid program (a generator bug, caught by
+// this package's tests).
+func Generate(seed int64, cfg Config) *lang.Program {
+	src := Source(seed, cfg)
+	prog, err := lang.Parse(fmt.Sprintf("gen-%d.mc", seed), src)
+	if err != nil {
+		panic(fmt.Sprintf("progen: seed %d generated invalid program: %v\n%s", seed, err, src))
+	}
+	if err := lang.Resolve(prog); err != nil {
+		panic(fmt.Sprintf("progen: seed %d generated ill-typed program: %v\n%s", seed, err, src))
+	}
+	return prog
+}
+
+// Input produces a deterministic random input for a generated program.
+func Input(seed int64) interp.Input {
+	rng := splitmix{state: uint64(seed)*0x94d049bb133111eb + 0x452821e638d01377}
+	n := 4 + int(rng.next()%12)
+	stream := make([]int64, n)
+	for i := range stream {
+		stream[i] = int64(rng.next()%200) - 20
+	}
+	return interp.Input{
+		Args:   []int64{int64(rng.next() % 50), int64(rng.next()%40) - 10},
+		SArgs:  []string{"alpha", "key"},
+		Stream: stream,
+		Seed:   seed,
+	}
+}
+
+func (g *gen) line(format string, args ...any) {
+	for i := 0; i < g.depth; i++ {
+		g.sb.WriteString("  ")
+	}
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteByte('\n')
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.nextVar++
+	return fmt.Sprintf("%s%d", prefix, g.nextVar)
+}
+
+func (g *gen) emit() {
+	// Globals.
+	nGlobals := g.intn(3)
+	for i := 0; i < nGlobals; i++ {
+		name := g.fresh("g")
+		g.line("int %s = %d;", name, g.intn(20))
+		g.ints = append(g.ints, name)
+	}
+	globalInts := append([]string(nil), g.ints...)
+	if nGlobals > 0 {
+		g.sb.WriteByte('\n')
+	}
+
+	// Helper functions: int f(int a, int fuse).
+	nFuncs := g.intn(g.cfg.MaxFuncs + 1)
+	for i := 0; i < nFuncs; i++ {
+		name := g.fresh("f")
+		g.ints = append([]string(nil), globalInts...)
+		g.strs, g.ptrs = nil, nil
+		g.line("int %s(int a%s, int fuse) {", name, name)
+		g.depth++
+		g.fuse = "fuse"
+		g.ints = append(g.ints, "a"+name, "fuse")
+		// The fuse guard guarantees recursion terminates: every call
+		// passes fuse - 1 and this base case stops at zero.
+		g.line("if (fuse < 1) { return a%s; }", name)
+		// Recursion with a decreasing fuse: calls are only legal when
+		// registered, so self/mutual recursion covers earlier funcs
+		// plus this one.
+		g.funcs = append(g.funcs, name)
+		g.block(g.cfg.MaxStmts)
+		g.line("return %s;", g.intExpr(1))
+		g.depth--
+		g.line("}")
+		g.sb.WriteByte('\n')
+	}
+
+	// main.
+	g.ints = append([]string(nil), globalInts...)
+	g.strs, g.ptrs = nil, nil
+	g.fuse = ""
+	g.line("int main() {")
+	g.depth++
+	g.block(g.cfg.MaxStmts + 2)
+	g.line("output(%s);", g.intExpr(1))
+	g.line("return %s;", g.intExpr(1))
+	g.depth--
+	g.line("}")
+}
+
+func (g *gen) block(maxStmts int) {
+	n := 1 + g.intn(maxStmts)
+	for i := 0; i < n; i++ {
+		g.stmt()
+	}
+}
+
+func (g *gen) stmt() {
+	roll := g.intn(100)
+	switch {
+	case roll < 25:
+		// int declaration.
+		name := g.fresh("v")
+		g.line("int %s = %s;", name, g.intExpr(g.cfg.ExprDepth))
+		g.ints = append(g.ints, name)
+	case roll < 35 && len(g.ints) > 0:
+		// assignment to an existing int.
+		g.line("%s = %s;", g.pick(g.ints), g.intExpr(g.cfg.ExprDepth))
+	case roll < 45:
+		// string declaration or output.
+		if g.chance(50) {
+			name := g.fresh("s")
+			g.line("string %s = %s;", name, g.strExpr(2))
+			g.strs = append(g.strs, name)
+		} else {
+			g.line("output(%s);", g.strExpr(2))
+		}
+	case roll < 55:
+		// array allocation / store / load.
+		switch {
+		case len(g.ptrs) == 0 || g.chance(34):
+			name := g.fresh("p")
+			size := 1 + g.intn(8)
+			if g.cfg.Risky && g.chance(4) {
+				g.line("int* %s = new int[%s];", name, g.intExpr(1))
+			} else {
+				g.line("int* %s = new int[%d];", name, size)
+			}
+			g.ptrs = append(g.ptrs, name)
+		case g.chance(50):
+			g.line("%s[%s] = %s;", g.pick(g.ptrs), g.indexExpr(), g.intExpr(2))
+		default:
+			name := g.fresh("v")
+			g.line("int %s = %s[%s];", name, g.pick(g.ptrs), g.indexExpr())
+			g.ints = append(g.ints, name)
+		}
+	case roll < 70 && g.depth <= g.cfg.MaxDepth:
+		// if / if-else. Declarations inside the arms go out of scope
+		// at the brace.
+		g.line("if (%s) {", g.condExpr())
+		g.nested(func() { g.block(g.cfg.MaxStmts - 1) })
+		if g.chance(40) {
+			g.line("} else {")
+			g.nested(func() { g.block(g.cfg.MaxStmts - 1) })
+		}
+		g.line("}")
+	case roll < 85 && g.depth <= g.cfg.MaxDepth:
+		// bounded for loop; the loop variable and body declarations are
+		// scoped to the loop.
+		iv := g.fresh("i")
+		bound := 1 + g.intn(12)
+		g.line("for (int %s = 0; %s < %d; %s = %s + 1) {", iv, iv, bound, iv, iv)
+		g.nested(func() {
+			g.ints = append(g.ints, iv)
+			g.block(g.cfg.MaxStmts - 1)
+		})
+		g.line("}")
+	case roll < 92 && len(g.funcs) > 0:
+		// call for effect.
+		g.line("output(%s);", g.callExpr())
+	default:
+		g.line("output(%s);", g.intExpr(2))
+	}
+}
+
+func (g *gen) pick(xs []string) string { return xs[g.intn(len(xs))] }
+
+// nested runs body one indent deeper and restores the variable scopes
+// afterwards, mirroring MiniC's block scoping.
+func (g *gen) nested(body func()) {
+	ni, ns, np := len(g.ints), len(g.strs), len(g.ptrs)
+	g.depth++
+	body()
+	g.depth--
+	g.ints = g.ints[:ni]
+	g.strs = g.strs[:ns]
+	g.ptrs = g.ptrs[:np]
+}
+
+// indexExpr yields an array index, occasionally out of bounds when
+// Risky.
+func (g *gen) indexExpr() string {
+	if g.cfg.Risky && g.chance(6) {
+		return fmt.Sprintf("%d", 8+g.intn(8))
+	}
+	if g.cfg.Risky && g.chance(3) {
+		return fmt.Sprintf("-%d", 1+g.intn(3))
+	}
+	return fmt.Sprintf("%d", g.intn(8))
+}
+
+func (g *gen) condExpr() string {
+	l, r := g.intExpr(2), g.intExpr(2)
+	op := []string{"<", "<=", ">", ">=", "==", "!="}[g.intn(6)]
+	cond := fmt.Sprintf("%s %s %s", l, op, r)
+	if g.chance(25) {
+		l2, r2 := g.intExpr(1), g.intExpr(1)
+		op2 := []string{"<", ">", "=="}[g.intn(3)]
+		join := "&&"
+		if g.chance(50) {
+			join = "||"
+		}
+		cond = fmt.Sprintf("%s %s %s %s %s", cond, join, l2, op2, r2)
+	}
+	return cond
+}
+
+func (g *gen) intExpr(depth int) string {
+	if depth <= 0 || g.chance(30) {
+		// Leaf.
+		switch {
+		case len(g.ints) > 0 && g.chance(55):
+			return g.pick(g.ints)
+		case g.chance(20):
+			return fmt.Sprintf("arg(%d)", g.intn(3))
+		case g.chance(15):
+			return "read()"
+		case g.chance(10) && len(g.strs) > 0:
+			return fmt.Sprintf("strlen(%s)", g.pick(g.strs))
+		case g.chance(10):
+			return fmt.Sprintf("rand(%d)", 1+g.intn(20))
+		default:
+			return fmt.Sprintf("%d", g.intn(40))
+		}
+	}
+	switch g.intn(7) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+	case 3:
+		if g.cfg.Risky && g.chance(20) {
+			return fmt.Sprintf("(%s / %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+		}
+		return fmt.Sprintf("(%s / %d)", g.intExpr(depth-1), 1+g.intn(9))
+	case 4:
+		if g.cfg.Risky && g.chance(20) {
+			return fmt.Sprintf("(%s %% %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+		}
+		return fmt.Sprintf("(%s %% %d)", g.intExpr(depth-1), 1+g.intn(9))
+	case 5:
+		if len(g.funcs) > 0 {
+			return g.callExpr()
+		}
+		return fmt.Sprintf("-%s", g.intExpr(depth-1))
+	default:
+		return fmt.Sprintf("(%s)", g.condExpr())
+	}
+}
+
+// callExpr calls a generated helper with a strictly decreasing fuse so
+// recursion terminates.
+func (g *gen) callExpr() string {
+	fn := g.pick(g.funcs)
+	fuseArg := fmt.Sprintf("%d", 2+g.intn(6))
+	if g.fuse != "" {
+		fuseArg = fmt.Sprintf("%s - 1", g.fuse)
+	}
+	return fmt.Sprintf("%s(%s, %s)", fn, g.intExpr(1), fuseArg)
+}
+
+func (g *gen) strExpr(depth int) string {
+	if depth <= 0 || g.chance(40) {
+		switch {
+		case len(g.strs) > 0 && g.chance(50):
+			return g.pick(g.strs)
+		case g.chance(30):
+			return fmt.Sprintf("sarg(%d)", g.intn(2))
+		case g.chance(25):
+			return fmt.Sprintf("itoa(%s)", g.intExpr(1))
+		default:
+			return fmt.Sprintf("%q", []string{"x", "lo", "cbi", "zz9"}[g.intn(4)])
+		}
+	}
+	if g.chance(30) {
+		// Possibly-trapping substring.
+		return fmt.Sprintf("substr(%s, 0, %d)", g.strExpr(depth-1), g.intn(4))
+	}
+	return fmt.Sprintf("(%s + %s)", g.strExpr(depth-1), g.strExpr(depth-1))
+}

@@ -1,0 +1,192 @@
+package progen
+
+import (
+	"strings"
+	"testing"
+
+	"cbi/internal/instrument"
+	"cbi/internal/interp"
+	"cbi/internal/sampling"
+	"cbi/internal/vm"
+)
+
+// TestGeneratedProgramsAreValid: every generated program must parse and
+// resolve (Generate panics otherwise).
+func TestGeneratedProgramsAreValid(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		Generate(seed, DefaultConfig)
+	}
+}
+
+func TestSourceDeterministic(t *testing.T) {
+	a := Source(42, DefaultConfig)
+	b := Source(42, DefaultConfig)
+	if a != b {
+		t.Fatal("same seed generated different programs")
+	}
+	if Source(43, DefaultConfig) == a {
+		t.Fatal("different seeds generated identical programs")
+	}
+}
+
+func TestGeneratedProgramsTerminate(t *testing.T) {
+	limits := interp.Limits{Steps: 2_000_000}
+	var crashed, clean, stepLimited int
+	for seed := int64(0); seed < 200; seed++ {
+		prog := Generate(seed, DefaultConfig)
+		eng := interp.New(prog, nil)
+		eng.SetLimits(limits)
+		out := eng.Run(Input(seed))
+		switch {
+		case out.Crashed && out.Trap == interp.TrapStepLimit:
+			stepLimited++
+		case out.Crashed:
+			crashed++
+		default:
+			clean++
+		}
+	}
+	t.Logf("clean=%d crashed=%d step-limited=%d", clean, crashed, stepLimited)
+	if clean == 0 {
+		t.Error("no generated program ran cleanly")
+	}
+	if crashed == 0 {
+		t.Error("no generated program crashed; risky generation is broken")
+	}
+	if stepLimited > 40 {
+		t.Errorf("%d/200 programs hit the step limit; generator bounds too loose", stepLimited)
+	}
+}
+
+func outcomesAgree(a, b *interp.Outcome) bool {
+	if a.Crashed != b.Crashed || a.Trap != b.Trap {
+		return false
+	}
+	if !a.Crashed && a.ExitCode != b.ExitCode {
+		return false
+	}
+	if a.StackSignature() != b.StackSignature() {
+		return false
+	}
+	return strings.Join(a.Output, "\n") == strings.Join(b.Output, "\n")
+}
+
+// TestDifferentialEngineFuzz is the core differential fuzz loop: random
+// programs, random inputs, both engines, identical outcomes required.
+// Step-limited runs are skipped (the engines count steps differently).
+func TestDifferentialEngineFuzz(t *testing.T) {
+	const seeds = 400
+	limits := interp.Limits{Steps: 2_000_000}
+	skipped := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		prog := Generate(seed, DefaultConfig)
+		tree := interp.New(prog, nil)
+		tree.SetLimits(limits)
+		machine := vm.New(vm.MustCompile(prog), nil)
+		machine.SetLimits(limits)
+		for trial := int64(0); trial < 3; trial++ {
+			input := Input(seed*1000 + trial)
+			a := tree.Run(input)
+			b := machine.Run(input)
+			if a.Trap == interp.TrapStepLimit || b.Trap == interp.TrapStepLimit {
+				skipped++
+				continue
+			}
+			if !outcomesAgree(a, b) {
+				t.Fatalf("seed %d trial %d diverges:\n tree: crash=%v trap=%s exit=%d sig=%q out=%v\n   vm: crash=%v trap=%s exit=%d sig=%q out=%v\nprogram:\n%s",
+					seed, trial,
+					a.Crashed, a.Trap, a.ExitCode, a.StackSignature(), a.Output,
+					b.Crashed, b.Trap, b.ExitCode, b.StackSignature(), b.Output,
+					Source(seed, DefaultConfig))
+			}
+		}
+	}
+	if skipped > seeds/2 {
+		t.Errorf("skipped %d step-limited trials; generator bounds too loose", skipped)
+	}
+}
+
+// TestDifferentialInstrumentationFuzz: both engines under full
+// instrumentation must produce identical feedback reports on random
+// programs.
+func TestDifferentialInstrumentationFuzz(t *testing.T) {
+	const seeds = 120
+	limits := interp.Limits{Steps: 2_000_000}
+	for seed := int64(0); seed < seeds; seed++ {
+		prog := Generate(seed, DefaultConfig)
+		plan := instrument.BuildPlan(prog)
+		rtTree := instrument.NewRuntime(plan, sampling.Always{})
+		tree := interp.New(prog, rtTree)
+		tree.SetLimits(limits)
+		rtVM := instrument.NewRuntime(plan, sampling.Always{})
+		machine := vm.New(vm.MustCompile(prog), rtVM)
+		machine.SetLimits(limits)
+
+		input := Input(seed * 77)
+		rtTree.BeginRun(seed + 1)
+		a := tree.Run(input)
+		repA := rtTree.Snapshot(a.Crashed)
+		rtVM.BeginRun(seed + 1)
+		b := machine.Run(input)
+		repB := rtVM.Snapshot(b.Crashed)
+
+		if a.Trap == interp.TrapStepLimit || b.Trap == interp.TrapStepLimit {
+			continue
+		}
+		if len(repA.TruePreds) != len(repB.TruePreds) {
+			t.Fatalf("seed %d: pred counts differ: tree %d vs vm %d\nprogram:\n%s",
+				seed, len(repA.TruePreds), len(repB.TruePreds), Source(seed, DefaultConfig))
+		}
+		for j := range repA.TruePreds {
+			if repA.TruePreds[j] != repB.TruePreds[j] {
+				t.Fatalf("seed %d: pred %d differs: %q vs %q\nprogram:\n%s",
+					seed, j, plan.Preds[repA.TruePreds[j]].Text, plan.Preds[repB.TruePreds[j]].Text,
+					Source(seed, DefaultConfig))
+			}
+		}
+	}
+}
+
+// TestGeneratedProgramsExerciseFeatures: across many seeds the
+// generator must produce loops, conditionals, calls, arrays, and
+// strings (guards against silent generator regressions).
+func TestGeneratedProgramsExerciseFeatures(t *testing.T) {
+	var all strings.Builder
+	for seed := int64(0); seed < 50; seed++ {
+		all.WriteString(Source(seed, DefaultConfig))
+	}
+	src := all.String()
+	for _, feature := range []string{"for (", "if (", "new int[", "string ", "substr(", "output(", "return", "fuse"} {
+		if !strings.Contains(src, feature) {
+			t.Errorf("no generated program uses %q", feature)
+		}
+	}
+}
+
+// TestDifferentialOptimizedVM fuzzes the optimizing compiler: optimized
+// bytecode must agree with the tree-walker on random programs.
+func TestDifferentialOptimizedVM(t *testing.T) {
+	const seeds = 150
+	limits := interp.Limits{Steps: 2_000_000}
+	for seed := int64(0); seed < seeds; seed++ {
+		prog := Generate(seed+5000, DefaultConfig)
+		tree := interp.New(prog, nil)
+		tree.SetLimits(limits)
+		mod, err := vm.CompileOptimized(prog)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		machine := vm.New(mod, nil)
+		machine.SetLimits(limits)
+		input := Input(seed * 31)
+		a := tree.Run(input)
+		b := machine.Run(input)
+		if a.Trap == interp.TrapStepLimit || b.Trap == interp.TrapStepLimit {
+			continue
+		}
+		if !outcomesAgree(a, b) {
+			t.Fatalf("seed %d diverges under optimization:\n tree: crash=%v trap=%s exit=%d\n  opt: crash=%v trap=%s exit=%d\nprogram:\n%s",
+				seed, a.Crashed, a.Trap, a.ExitCode, b.Crashed, b.Trap, b.ExitCode, Source(seed+5000, DefaultConfig))
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package report defines feedback reports — the data a deployed,
+// instrumented program ships home after each run (paper §1).
+//
+// A feedback report R consists of one bit indicating whether the run
+// succeeded or failed, plus, for each predicate P, whether P's site was
+// observed (reached and sampled) and whether P was observed to be true
+// at least once. Reports are stored sparsely: a run touches a tiny
+// fraction of all predicates, especially under 1/100 sampling.
+package report
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Report is the feedback report for one run.
+type Report struct {
+	// Failed is the run label: true for failing runs (crashes, oracle
+	// mismatches, or whatever labeling the deployment uses).
+	Failed bool
+	// ObservedSites lists the sites observed at least once, ascending.
+	ObservedSites []int32
+	// TruePreds lists the predicates observed to be true at least once,
+	// ascending.
+	TruePreds []int32
+}
+
+// ObservedSite reports whether site s was observed in this run.
+func (r *Report) ObservedSite(s int32) bool {
+	i := sort.Search(len(r.ObservedSites), func(i int) bool { return r.ObservedSites[i] >= s })
+	return i < len(r.ObservedSites) && r.ObservedSites[i] == s
+}
+
+// True reports whether predicate p was observed to be true (R(P) = 1).
+func (r *Report) True(p int32) bool {
+	i := sort.Search(len(r.TruePreds), func(i int) bool { return r.TruePreds[i] >= p })
+	return i < len(r.TruePreds) && r.TruePreds[i] == p
+}
+
+// Set is a collection of feedback reports for one experiment.
+type Set struct {
+	// NumSites and NumPreds fix the dense index spaces.
+	NumSites int
+	NumPreds int
+	Reports  []*Report
+}
+
+// NumFailing returns the number of failing runs in the set.
+func (s *Set) NumFailing() int {
+	n := 0
+	for _, r := range s.Reports {
+		if r.Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// NumSuccessful returns the number of successful runs in the set.
+func (s *Set) NumSuccessful() int { return len(s.Reports) - s.NumFailing() }
+
+// Marshal serializes the set to a simple line-oriented text format:
+//
+//	cbi-reports 1 <numSites> <numPreds> <numReports>
+//	<label> | <site,site,...> | <pred,pred,...>
+//
+// The format is diffable and stable, suitable for storing corpora.
+func (s *Set) Marshal(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "cbi-reports 1 %d %d %d\n", s.NumSites, s.NumPreds, len(s.Reports))
+	for _, r := range s.Reports {
+		label := "S"
+		if r.Failed {
+			label = "F"
+		}
+		bw.WriteString(label)
+		bw.WriteString(" | ")
+		writeInts(bw, r.ObservedSites)
+		bw.WriteString(" | ")
+		writeInts(bw, r.TruePreds)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+func writeInts(bw *bufio.Writer, xs []int32) {
+	for i, x := range xs {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(strconv.Itoa(int(x)))
+	}
+}
+
+// Unmarshal parses a set previously written by Marshal.
+func Unmarshal(r io.Reader) (*Set, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("report: empty input")
+	}
+	var version, numSites, numPreds, numReports int
+	if _, err := fmt.Sscanf(sc.Text(), "cbi-reports %d %d %d %d", &version, &numSites, &numPreds, &numReports); err != nil {
+		return nil, fmt.Errorf("report: bad header %q: %v", sc.Text(), err)
+	}
+	if version != 1 {
+		return nil, fmt.Errorf("report: unsupported version %d", version)
+	}
+	set := &Set{NumSites: numSites, NumPreds: numPreds, Reports: make([]*Report, 0, numReports)}
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, " | ")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("report: bad line %q", line)
+		}
+		rep := &Report{Failed: strings.TrimSpace(parts[0]) == "F"}
+		var err error
+		if rep.ObservedSites, err = parseInts(parts[1]); err != nil {
+			return nil, fmt.Errorf("report: bad sites in %q: %v", line, err)
+		}
+		if rep.TruePreds, err = parseInts(parts[2]); err != nil {
+			return nil, fmt.Errorf("report: bad preds in %q: %v", line, err)
+		}
+		set.Reports = append(set.Reports, rep)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(set.Reports) != numReports {
+		return nil, fmt.Errorf("report: header promised %d reports, found %d", numReports, len(set.Reports))
+	}
+	return set, nil
+}
+
+func parseInts(s string) ([]int32, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int32, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int32(v)
+	}
+	return out, nil
+}

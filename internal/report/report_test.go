@@ -1,0 +1,155 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReportMembership(t *testing.T) {
+	r := &Report{
+		Failed:        true,
+		ObservedSites: []int32{1, 5, 9},
+		TruePreds:     []int32{2, 3, 100},
+	}
+	for _, s := range []int32{1, 5, 9} {
+		if !r.ObservedSite(s) {
+			t.Errorf("site %d should be observed", s)
+		}
+	}
+	for _, s := range []int32{0, 2, 10} {
+		if r.ObservedSite(s) {
+			t.Errorf("site %d should not be observed", s)
+		}
+	}
+	if !r.True(100) || r.True(99) || r.True(101) {
+		t.Error("True membership wrong")
+	}
+}
+
+func TestSetCounts(t *testing.T) {
+	s := &Set{
+		NumSites: 10, NumPreds: 20,
+		Reports: []*Report{
+			{Failed: true},
+			{Failed: false},
+			{Failed: true},
+		},
+	}
+	if s.NumFailing() != 2 || s.NumSuccessful() != 1 {
+		t.Errorf("failing=%d successful=%d", s.NumFailing(), s.NumSuccessful())
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := &Set{
+		NumSites: 7, NumPreds: 30,
+		Reports: []*Report{
+			{Failed: true, ObservedSites: []int32{0, 3}, TruePreds: []int32{5, 6, 29}},
+			{Failed: false, ObservedSites: []int32{1}, TruePreds: nil},
+			{Failed: false, ObservedSites: nil, TruePreds: nil},
+		},
+	}
+	var buf bytes.Buffer
+	if err := s.Marshal(&buf); err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(&buf)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v\ninput:\n%s", err, buf.String())
+	}
+	if got.NumSites != 7 || got.NumPreds != 30 || len(got.Reports) != 3 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i, r := range got.Reports {
+		w := s.Reports[i]
+		if r.Failed != w.Failed {
+			t.Errorf("report %d: Failed = %v", i, r.Failed)
+		}
+		if len(r.ObservedSites) != len(w.ObservedSites) || len(r.TruePreds) != len(w.TruePreds) {
+			t.Errorf("report %d: lengths differ: %+v vs %+v", i, r, w)
+			continue
+		}
+		for j := range r.ObservedSites {
+			if r.ObservedSites[j] != w.ObservedSites[j] {
+				t.Errorf("report %d site %d mismatch", i, j)
+			}
+		}
+		for j := range r.TruePreds {
+			if r.TruePreds[j] != w.TruePreds[j] {
+				t.Errorf("report %d pred %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(failed []bool, sites [][]uint16, preds [][]uint16) bool {
+		set := &Set{NumSites: 1 << 16, NumPreds: 1 << 16}
+		for i := range failed {
+			r := &Report{Failed: failed[i]}
+			if i < len(sites) {
+				r.ObservedSites = sortedUniq(sites[i])
+			}
+			if i < len(preds) {
+				r.TruePreds = sortedUniq(preds[i])
+			}
+			set.Reports = append(set.Reports, r)
+		}
+		var buf bytes.Buffer
+		if err := set.Marshal(&buf); err != nil {
+			return false
+		}
+		got, err := Unmarshal(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Reports) != len(set.Reports) {
+			return false
+		}
+		for i := range got.Reports {
+			a, b := got.Reports[i], set.Reports[i]
+			if a.Failed != b.Failed || len(a.ObservedSites) != len(b.ObservedSites) || len(a.TruePreds) != len(b.TruePreds) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortedUniq(xs []uint16) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, x := range xs {
+		seen[int32(x)] = true
+	}
+	for i := int32(0); i < 1<<16; i++ {
+		if seen[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"bad header", "nonsense\n"},
+		{"bad version", "cbi-reports 2 1 1 0\n"},
+		{"bad line", "cbi-reports 1 1 1 1\nF | 1\n"},
+		{"bad int", "cbi-reports 1 1 1 1\nF | x | \n"},
+		{"count mismatch", "cbi-reports 1 1 1 5\nF |  | \n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Unmarshal(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("no error for %q", tc.in)
+			}
+		})
+	}
+}

@@ -1,0 +1,217 @@
+// Package sampling implements the sparse random sampling strategies used
+// by the Cooperative Bug Isolation instrumentation.
+//
+// The paper (§2) requires statistically fair sampling "equivalent to a
+// Bernoulli process": each opportunity to observe an instrumentation
+// site is taken or skipped randomly and independently. Simulating a coin
+// flip per opportunity is slow, so — like the real CBI system — samplers
+// here draw geometrically distributed countdowns: the number of skipped
+// opportunities between samples of a Bernoulli(p) process is geometric,
+// so counting down and sampling when the counter hits zero is exactly
+// equivalent to independent coin flips. Property tests in this package
+// verify the equivalence empirically.
+//
+// Two rate policies are provided:
+//
+//   - Uniform: a single rate (the paper's default 1/100) shared by all
+//     sites, with one global countdown.
+//   - Nonuniform: per-site rates (paper §4), set inversely proportional
+//     to each site's expected execution frequency so every site expects
+//     ~TargetSamples observations per run, clamped to [MinRate, 1].
+package sampling
+
+import "math"
+
+// Sampler decides, opportunity by opportunity, whether instrumentation
+// sites are observed.
+type Sampler interface {
+	// Sample reports whether the current reach of the given site should
+	// be observed. Sites are identified by dense indices.
+	Sample(site int) bool
+	// Reset re-seeds the sampler for a new run. Runs with equal seeds
+	// make identical decisions.
+	Reset(seed int64)
+}
+
+// Always samples every opportunity (the paper's "no sampling at all"
+// validation configuration).
+type Always struct{}
+
+// Sample always returns true.
+func (Always) Sample(int) bool { return true }
+
+// Reset is a no-op.
+func (Always) Reset(int64) {}
+
+// Never samples nothing; useful to measure instrumentation overhead.
+type Never struct{}
+
+// Sample always returns false.
+func (Never) Sample(int) bool { return false }
+
+// Reset is a no-op.
+func (Never) Reset(int64) {}
+
+// Uniform samples every site at the same rate using one global
+// geometric countdown over all observation opportunities.
+type Uniform struct {
+	rate      float64
+	rng       splitmix
+	countdown int64
+}
+
+// NewUniform returns a sampler with the given rate in (0, 1].
+func NewUniform(rate float64) *Uniform {
+	if rate <= 0 || rate > 1 {
+		panic("sampling: rate must be in (0, 1]")
+	}
+	u := &Uniform{rate: rate}
+	u.Reset(1)
+	return u
+}
+
+// Rate returns the sampling rate.
+func (u *Uniform) Rate() float64 { return u.rate }
+
+// Reset re-seeds the countdown stream.
+func (u *Uniform) Reset(seed int64) {
+	u.rng = splitmix{state: uint64(seed) ^ 0xa0761d6478bd642f}
+	u.countdown = nextGeometric(&u.rng, u.rate)
+}
+
+// Sample implements Sampler.
+func (u *Uniform) Sample(int) bool {
+	u.countdown--
+	if u.countdown > 0 {
+		return false
+	}
+	u.countdown = nextGeometric(&u.rng, u.rate)
+	return true
+}
+
+// Nonuniform samples each site at its own rate with per-site countdowns.
+type Nonuniform struct {
+	rates      []float64
+	rng        splitmix
+	countdowns []int64
+}
+
+// NewNonuniform returns a sampler with the given per-site rates. Each
+// rate must be in (0, 1].
+func NewNonuniform(rates []float64) *Nonuniform {
+	for i, r := range rates {
+		if r <= 0 || r > 1 {
+			panic("sampling: site rate out of range at " + itoa(i))
+		}
+	}
+	n := &Nonuniform{rates: rates, countdowns: make([]int64, len(rates))}
+	n.Reset(1)
+	return n
+}
+
+// Rates returns the per-site rates (shared slice; do not modify).
+func (n *Nonuniform) Rates() []float64 { return n.rates }
+
+// Reset re-seeds all countdowns.
+func (n *Nonuniform) Reset(seed int64) {
+	n.rng = splitmix{state: uint64(seed) ^ 0xe7037ed1a0b428db}
+	for i, r := range n.rates {
+		n.countdowns[i] = nextGeometric(&n.rng, r)
+	}
+}
+
+// Sample implements Sampler.
+func (n *Nonuniform) Sample(site int) bool {
+	n.countdowns[site]--
+	if n.countdowns[site] > 0 {
+		return false
+	}
+	n.countdowns[site] = nextGeometric(&n.rng, n.rates[site])
+	return true
+}
+
+// PlanRates converts per-site expected reach counts (from a training
+// set, paper §4: "Based on a training set of 1,000 executions") into
+// per-site sampling rates targeting ~target samples per run:
+//
+//	rate = clamp(target / expectedReaches, minRate, 1)
+//
+// Sites never reached in training get rate 1 (they are rare by
+// definition; the paper sets the rate to 1.0 when a site is expected to
+// be reached fewer than target times).
+func PlanRates(expectedReaches []float64, target float64, minRate float64) []float64 {
+	rates := make([]float64, len(expectedReaches))
+	for i, e := range expectedReaches {
+		switch {
+		case e <= target:
+			rates[i] = 1
+		default:
+			r := target / e
+			if r < minRate {
+				r = minRate
+			}
+			rates[i] = r
+		}
+	}
+	return rates
+}
+
+// DefaultRate is the paper's default uniform sampling rate.
+const DefaultRate = 1.0 / 100
+
+// DefaultTargetSamples is the expected per-run sample count targeted by
+// nonuniform rate planning (paper §4).
+const DefaultTargetSamples = 100.0
+
+// splitmix is a tiny deterministic PRNG (splitmix64).
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (s *splitmix) float64() float64 { return float64(s.next()>>11) / (1 << 53) }
+
+// nextGeometric draws the 1-based index of the next success in a
+// Bernoulli(p) process: Geometric(p) on {1, 2, ...}.
+func nextGeometric(rng *splitmix, p float64) int64 {
+	if p >= 1 {
+		return 1
+	}
+	u := rng.float64()
+	for u == 0 {
+		u = rng.float64()
+	}
+	g := int64(math.Floor(math.Log(u)/math.Log(1-p))) + 1
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var buf [24]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		pos--
+		buf[pos] = '-'
+	}
+	return string(buf[pos:])
+}

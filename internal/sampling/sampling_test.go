@@ -1,0 +1,200 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlwaysAndNever(t *testing.T) {
+	var a Always
+	var n Never
+	for i := 0; i < 100; i++ {
+		if !a.Sample(i) {
+			t.Fatal("Always returned false")
+		}
+		if n.Sample(i) {
+			t.Fatal("Never returned true")
+		}
+	}
+}
+
+func TestUniformRateValidation(t *testing.T) {
+	for _, bad := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewUniform(%v) did not panic", bad)
+				}
+			}()
+			NewUniform(bad)
+		}()
+	}
+	NewUniform(1) // rate 1 is legal (always sample)
+}
+
+func TestUniformRateOne(t *testing.T) {
+	u := NewUniform(1)
+	for i := 0; i < 1000; i++ {
+		if !u.Sample(0) {
+			t.Fatal("rate-1 sampler skipped an opportunity")
+		}
+	}
+}
+
+// TestUniformMatchesBernoulliRate checks the countdown implementation
+// empirically: the long-run sample fraction must match the configured
+// rate (geometric inter-arrival <=> i.i.d. Bernoulli).
+func TestUniformMatchesBernoulliRate(t *testing.T) {
+	for _, rate := range []float64{0.01, 0.1, 0.5} {
+		u := NewUniform(rate)
+		u.Reset(12345)
+		const n = 500_000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if u.Sample(0) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		// 6-sigma band for a binomial proportion.
+		tol := 6 * math.Sqrt(rate*(1-rate)/n)
+		if math.Abs(got-rate) > tol {
+			t.Errorf("rate %v: observed %v (tolerance %v)", rate, got, tol)
+		}
+	}
+}
+
+// TestUniformInterArrivalGeometric verifies the memoryless shape: the
+// variance of inter-arrival gaps must match geometric variance
+// (1-p)/p^2, which a deterministic "every 1/p-th" sampler would fail.
+func TestUniformInterArrivalGeometric(t *testing.T) {
+	const rate = 0.05
+	u := NewUniform(rate)
+	u.Reset(99)
+	var gaps []float64
+	gap := 0
+	for len(gaps) < 20000 {
+		gap++
+		if u.Sample(0) {
+			gaps = append(gaps, float64(gap))
+			gap = 0
+		}
+	}
+	var sum, sumSq float64
+	for _, g := range gaps {
+		sum += g
+	}
+	mean := sum / float64(len(gaps))
+	for _, g := range gaps {
+		sumSq += (g - mean) * (g - mean)
+	}
+	variance := sumSq / float64(len(gaps)-1)
+	wantMean := 1 / rate
+	wantVar := (1 - rate) / (rate * rate)
+	if math.Abs(mean-wantMean)/wantMean > 0.05 {
+		t.Errorf("mean gap %v, want ~%v", mean, wantMean)
+	}
+	if math.Abs(variance-wantVar)/wantVar > 0.15 {
+		t.Errorf("gap variance %v, want ~%v (geometric)", variance, wantVar)
+	}
+}
+
+func TestResetDeterminism(t *testing.T) {
+	u := NewUniform(0.1)
+	record := func(seed int64) []bool {
+		u.Reset(seed)
+		out := make([]bool, 1000)
+		for i := range out {
+			out[i] = u.Sample(0)
+		}
+		return out
+	}
+	a, b, c := record(7), record(7), record(8)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical decision streams")
+	}
+}
+
+func TestNonuniformPerSiteRates(t *testing.T) {
+	rates := []float64{1.0, 0.5, 0.01}
+	s := NewNonuniform(rates)
+	s.Reset(42)
+	const n = 200_000
+	hits := make([]int, len(rates))
+	for i := 0; i < n; i++ {
+		for site := range rates {
+			if s.Sample(site) {
+				hits[site]++
+			}
+		}
+	}
+	for site, rate := range rates {
+		got := float64(hits[site]) / n
+		tol := 6*math.Sqrt(rate*(1-rate)/n) + 1e-9
+		if math.Abs(got-rate) > tol {
+			t.Errorf("site %d: observed %v, want %v ± %v", site, got, rate, tol)
+		}
+	}
+}
+
+func TestNonuniformValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewNonuniform with rate 0 did not panic")
+		}
+	}()
+	NewNonuniform([]float64{0.5, 0})
+}
+
+func TestPlanRates(t *testing.T) {
+	rates := PlanRates([]float64{0, 50, 100, 1000, 1_000_000}, 100, 0.01)
+	want := []float64{1, 1, 1, 0.1, 0.01}
+	for i := range want {
+		if math.Abs(rates[i]-want[i]) > 1e-12 {
+			t.Errorf("rate[%d] = %v, want %v", i, rates[i], want[i])
+		}
+	}
+}
+
+// Property: planned rates are always in [minRate, 1] and monotonically
+// non-increasing in expected reach count.
+func TestPlanRatesProperties(t *testing.T) {
+	f := func(reaches []float64) bool {
+		for i, r := range reaches {
+			if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+				reaches[i] = 0
+			}
+		}
+		rates := PlanRates(reaches, 100, 0.01)
+		for _, r := range rates {
+			if r < 0.01-1e-15 || r > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometricNeverReturnsBelowOne(t *testing.T) {
+	rng := &splitmix{state: 1}
+	for _, p := range []float64{0.999999, 0.5, 0.0001} {
+		for i := 0; i < 10000; i++ {
+			if g := nextGeometric(rng, p); g < 1 {
+				t.Fatalf("geometric draw %d < 1 for p=%v", g, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package stacktrace implements the "current industrial practice"
+// baseline the paper discusses in §6: clustering failure reports by
+// crash stack signature and asking whether each bug has a unique
+// signature. The paper found that only the most deterministic bugs do
+// (MOSS bugs #2 and #5), that some bugs crash with many different
+// stacks, and that for bugs crashing long after the bad event the stack
+// carries no information at all.
+package stacktrace
+
+import "sort"
+
+// Run pairs a crash signature with ground-truth bug occurrence for one
+// failing run.
+type Run struct {
+	// Sig is the crash signature: either the full function chain or
+	// just the crash-site function, per Mode.
+	Sig string
+	// Bugs lists the ground-truth bugs that occurred in the run.
+	Bugs []int
+}
+
+// Mode selects the clustering granularity.
+type Mode int
+
+// Clustering granularities.
+const (
+	// FullChain uses the entire function-call chain.
+	FullChain Mode = iota
+	// TopFrame uses only the innermost (crash-site) function, the
+	// "same top-of-stack function" heuristic.
+	TopFrame
+)
+
+// Clusters groups failing run indices by signature.
+func Clusters(runs []Run) map[string][]int {
+	out := map[string][]int{}
+	for i, r := range runs {
+		out[r.Sig] = append(out[r.Sig], i)
+	}
+	return out
+}
+
+// BugSignature summarizes how well stack signatures identify one bug.
+type BugSignature struct {
+	Bug int
+	// Failing is the number of failing runs exhibiting the bug.
+	Failing int
+	// Signatures maps each signature seen in the bug's runs to its
+	// count.
+	Signatures map[string]int
+	// Unique reports whether the bug has a signature that appears in a
+	// failing run if and only if the bug occurred — the paper's
+	// "truly unique signature stack" criterion.
+	Unique bool
+	// BestPrecision and BestRecall describe the single best signature:
+	// precision = fraction of runs with that signature exhibiting the
+	// bug; recall = fraction of the bug's runs showing that signature.
+	BestPrecision float64
+	BestRecall    float64
+}
+
+// Analyze computes per-bug signature statistics over failing runs.
+// Runs exhibiting several bugs count toward each.
+func Analyze(runs []Run) []BugSignature {
+	bugRuns := map[int][]int{}
+	for i, r := range runs {
+		for _, b := range r.Bugs {
+			bugRuns[b] = append(bugRuns[b], i)
+		}
+	}
+	sigTotal := map[string]int{}
+	for _, r := range runs {
+		sigTotal[r.Sig]++
+	}
+
+	bugs := make([]int, 0, len(bugRuns))
+	for b := range bugRuns {
+		bugs = append(bugs, b)
+	}
+	sort.Ints(bugs)
+
+	var out []BugSignature
+	for _, b := range bugs {
+		idx := bugRuns[b]
+		bs := BugSignature{Bug: b, Failing: len(idx), Signatures: map[string]int{}}
+		for _, i := range idx {
+			bs.Signatures[runs[i].Sig]++
+		}
+		// A signature is fully identifying if (a) it is the only
+		// signature the bug produces, and (b) every failing run with
+		// that signature exhibits the bug.
+		for sig, cnt := range bs.Signatures {
+			precision := float64(cnt) / float64(sigTotal[sig])
+			recall := float64(cnt) / float64(len(idx))
+			f1best := bs.BestPrecision + bs.BestRecall
+			if precision+recall > f1best {
+				bs.BestPrecision, bs.BestRecall = precision, recall
+			}
+			if len(bs.Signatures) == 1 && cnt == sigTotal[sig] {
+				bs.Unique = true
+			}
+			_ = sig
+		}
+		out = append(out, bs)
+	}
+	return out
+}
+
+// FractionUnique returns the fraction of bugs with a unique signature —
+// the paper's headline "in about half the cases the stack is useful"
+// statistic.
+func FractionUnique(stats []BugSignature) float64 {
+	if len(stats) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range stats {
+		if s.Unique {
+			n++
+		}
+	}
+	return float64(n) / float64(len(stats))
+}
+
+// TopFrameOf reduces a full-chain signature ("inner<mid<outer") to the
+// crash-site function.
+func TopFrameOf(fullChain string) string {
+	for i := 0; i < len(fullChain); i++ {
+		if fullChain[i] == '<' {
+			return fullChain[:i]
+		}
+	}
+	return fullChain
+}

@@ -1,0 +1,110 @@
+package stacktrace
+
+import "testing"
+
+func TestClusters(t *testing.T) {
+	runs := []Run{
+		{Sig: "a<main"},
+		{Sig: "b<main"},
+		{Sig: "a<main"},
+	}
+	c := Clusters(runs)
+	if len(c) != 2 || len(c["a<main"]) != 2 || len(c["b<main"]) != 1 {
+		t.Errorf("clusters = %v", c)
+	}
+}
+
+func TestAnalyzeUniqueSignature(t *testing.T) {
+	// Bug 1 always crashes at the same place, and nothing else crashes
+	// there: unique. Bug 2 crashes in two different places, one shared
+	// with bug 3: not unique.
+	runs := []Run{
+		{Sig: "f1<main", Bugs: []int{1}},
+		{Sig: "f1<main", Bugs: []int{1}},
+		{Sig: "f2<main", Bugs: []int{2}},
+		{Sig: "f3<main", Bugs: []int{2}},
+		{Sig: "f3<main", Bugs: []int{3}},
+	}
+	stats := Analyze(runs)
+	byBug := map[int]BugSignature{}
+	for _, s := range stats {
+		byBug[s.Bug] = s
+	}
+	if !byBug[1].Unique {
+		t.Error("bug 1 should have a unique signature")
+	}
+	if byBug[2].Unique {
+		t.Error("bug 2 crashes at two sites; not unique")
+	}
+	if byBug[3].Unique {
+		t.Error("bug 3 shares its crash site with bug 2; not unique")
+	}
+	if byBug[1].Failing != 2 {
+		t.Errorf("bug 1 failing count = %d", byBug[1].Failing)
+	}
+	if byBug[1].BestPrecision != 1 || byBug[1].BestRecall != 1 {
+		t.Errorf("bug 1 best precision/recall = %v/%v", byBug[1].BestPrecision, byBug[1].BestRecall)
+	}
+}
+
+func TestAnalyzeMultiBugRuns(t *testing.T) {
+	// A run exhibiting two bugs counts toward both.
+	runs := []Run{
+		{Sig: "x<main", Bugs: []int{1, 2}},
+		{Sig: "x<main", Bugs: []int{1}},
+	}
+	stats := Analyze(runs)
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[0].Bug != 1 || stats[1].Bug != 2 {
+		t.Errorf("bugs not sorted: %+v", stats)
+	}
+	// Bug 2's only signature also appears in a run without bug 2, so
+	// it is not unique.
+	if stats[1].Unique {
+		t.Error("bug 2 should not be unique")
+	}
+	// Bug 1 owns every run with the signature.
+	if !stats[0].Unique {
+		t.Error("bug 1 should be unique")
+	}
+}
+
+func TestFractionUnique(t *testing.T) {
+	stats := []BugSignature{{Unique: true}, {Unique: false}, {Unique: true}, {Unique: false}}
+	if got := FractionUnique(stats); got != 0.5 {
+		t.Errorf("FractionUnique = %v, want 0.5", got)
+	}
+	if got := FractionUnique(nil); got != 0 {
+		t.Errorf("FractionUnique(nil) = %v", got)
+	}
+}
+
+func TestTopFrameOf(t *testing.T) {
+	if got := TopFrameOf("memcpy<save<main"); got != "memcpy" {
+		t.Errorf("TopFrameOf = %q", got)
+	}
+	if got := TopFrameOf("main"); got != "main" {
+		t.Errorf("TopFrameOf single = %q", got)
+	}
+}
+
+func TestTopFrameCoarserThanFullChain(t *testing.T) {
+	// Two distinct full chains with the same top frame merge under
+	// TopFrame mode, possibly destroying uniqueness.
+	full := []Run{
+		{Sig: "f<a<main", Bugs: []int{1}},
+		{Sig: "f<b<main", Bugs: []int{2}},
+	}
+	top := make([]Run, len(full))
+	for i, r := range full {
+		top[i] = Run{Sig: TopFrameOf(r.Sig), Bugs: r.Bugs}
+	}
+	if FractionUnique(Analyze(full)) != 1 {
+		t.Error("full chains should be unique here")
+	}
+	if FractionUnique(Analyze(top)) != 0 {
+		t.Error("top frames collide; nothing should be unique")
+	}
+}

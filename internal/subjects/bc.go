@@ -1,0 +1,143 @@
+package subjects
+
+import "cbi/internal/interp"
+
+// Bc returns the BC analog: a stack calculator with GNU bc 1.06's known
+// heap buffer overrun (paper §4.2.2): defining more than 32 variables
+// overruns the variable tables. The overrun smashes adjacent
+// allocations, and the crash occurs much later, during evaluation, with
+// no useful information on the stack — exactly the paper's scenario.
+func Bc() *Subject {
+	return &Subject{
+		Name:        "bc",
+		Description: "stack calculator (BC analog)",
+		Bugs: []Bug{
+			{ID: 1, Kind: KindBufferOverrun, Description: "variable table overrun past 32 entries; crash far from cause"},
+		},
+		template: bcTemplate,
+		snippets: map[string]snippet{
+			"bug1_check": {
+				buggy: `if (id >= 32) { observe_bug(1); }`,
+				fixed: `if (id >= 32) { return; }`,
+			},
+		},
+		genInput: bcGen,
+	}
+}
+
+const bcTemplate = `
+// BC analog: opcode-driven stack calculator.
+// Opcodes: 1 push-const, 2 store-var, 3 load-var, 4 add, 5 sub,
+// 6 mul, 7 div, 8 print.
+int v_count = 0;
+int old_count = 0;
+
+string* a_names;
+int* v_vals;
+int* stack;
+int sp = 0;
+
+// grow_vars extends the variable tables to cover id. Capacity is 32.
+void grow_vars(int id) {
+  if (id < v_count) { return; }
+  old_count = v_count;
+  @{bug1_check}
+  for (int i = v_count; i <= id; i = i + 1) {
+    a_names[i] = "v" + itoa(i);
+    v_vals[i] = 0;
+  }
+  v_count = id + 1;
+}
+
+void store_var(int id, int val) {
+  grow_vars(id);
+  if (id < v_count) {
+    v_vals[id] = val;
+  }
+}
+
+int load_var(int id) {
+  if (id >= v_count) { return 0; }
+  return v_vals[id];
+}
+
+void push(int v) {
+  if (sp >= 64) { return; }
+  stack[sp] = v;
+  sp = sp + 1;
+}
+
+int pop() {
+  if (sp <= 0) { return 0; }
+  sp = sp - 1;
+  return stack[sp];
+}
+
+int main() {
+  a_names = new string[32];
+  v_vals = new int[32];
+  stack = new int[64];
+  int steps = 0;
+  int op = read();
+  while (op >= 0 && steps < 5000) {
+    steps = steps + 1;
+    if (op == 1) {
+      push(read());
+    } else if (op == 2) {
+      int id = read();
+      if (id >= 0) {
+        store_var(id, pop());
+      }
+    } else if (op == 3) {
+      int id = read();
+      if (id >= 0) {
+        push(load_var(id));
+      }
+    } else if (op == 4) {
+      push(pop() + pop());
+    } else if (op == 5) {
+      int b = pop();
+      int a = pop();
+      push(a - b);
+    } else if (op == 6) {
+      push(pop() * pop());
+    } else if (op == 7) {
+      int b = pop();
+      int a = pop();
+      if (b == 0) {
+        push(0);
+      } else {
+        push(a / b);
+      }
+    } else if (op == 8) {
+      output(pop());
+    }
+    op = read();
+  }
+  output("vars ", v_count, " depth ", sp);
+  return 0;
+}
+`
+
+func bcGen(idx int64) interp.Input {
+	r := newGenRNG("bc", idx)
+	// 15% of runs use "wide" programs with variable ids up to 40,
+	// which is what triggers the table overrun.
+	maxID := int64(20)
+	if r.chance(0.15) {
+		maxID = 41
+	}
+	n := 20 + r.intn(180)
+	var stream []int64
+	for i := int64(0); i < n; i++ {
+		op := 1 + r.intn(8)
+		stream = append(stream, op)
+		switch op {
+		case 1:
+			stream = append(stream, r.intn(1000))
+		case 2, 3:
+			stream = append(stream, r.intn(maxID))
+		}
+	}
+	return interp.Input{Stream: stream, Seed: idx}
+}

@@ -1,0 +1,143 @@
+package subjects
+
+import "cbi/internal/interp"
+
+// Ccrypt returns the CCRYPT analog: a small stream cipher tool with the
+// known input-validation bug of ccrypt 1.2 (paper §4.2.1): when the
+// output file already exists the tool prompts for confirmation, and an
+// end-of-input (empty) response reaches character processing without
+// validation, crashing deterministically.
+func Ccrypt() *Subject {
+	return &Subject{
+		Name:        "ccrypt",
+		Description: "stream cipher tool (CCRYPT analog)",
+		Bugs: []Bug{
+			{ID: 1, Kind: KindInputValidation, Description: "EOF/empty prompt response reaches char_at unchecked"},
+		},
+		template: ccryptTemplate,
+		snippets: map[string]snippet{
+			"bug1_check": {
+				buggy: `if (res == 0) { observe_bug(1); }`,
+				fixed: `if (res == 0) { return 0; }`,
+			},
+		},
+		genInput: ccryptGen,
+	}
+}
+
+const ccryptTemplate = `
+// CCRYPT analog: rotating additive stream cipher.
+struct Key {
+  int length;
+  int* sched;
+}
+
+int mode = 0;
+int exists = 0;
+
+// make_key derives the key schedule from the passphrase.
+Key* make_key(string pass) {
+  Key* k = new Key;
+  int n = strlen(pass);
+  if (n < 1) {
+    k->length = 1;
+    k->sched = new int[1];
+    k->sched[0] = 7;
+    return k;
+  }
+  k->length = n;
+  k->sched = new int[n];
+  for (int i = 0; i < n; i = i + 1) {
+    k->sched[i] = (char_at(pass, i) * 17 + i) % 251;
+  }
+  return k;
+}
+
+// prompt_overwrite reads the user's overwrite confirmation. An empty
+// response models EOF on stdin.
+int prompt_overwrite() {
+  string line = sarg(1);
+  int res = strlen(line);
+  @{bug1_check}
+  int c = char_at(line, 0);
+  if (c == 121 || c == 89) { return 1; }
+  return 0;
+}
+
+// process enciphers or deciphers the data stream.
+int process(Key* k) {
+  int count = 0;
+  int pos = 0;
+  int v = read();
+  while (v >= 0) {
+    int enc = 0;
+    if (mode == 0) {
+      enc = (v + k->sched[pos]) % 256;
+    } else {
+      enc = (v - k->sched[pos] + 256) % 256;
+    }
+    output(enc);
+    count = count + 1;
+    pos = pos + 1;
+    if (pos >= k->length) { pos = 0; }
+    v = read();
+  }
+  return count;
+}
+
+int main() {
+  mode = arg(0);
+  exists = arg(1);
+  Key* k = make_key(sarg(0));
+  if (exists == 1) {
+    int ok = prompt_overwrite();
+    if (ok == 0) {
+      output("not overwritten");
+      return 0;
+    }
+  }
+  int n = process(k);
+  output("bytes ", n);
+  return 0;
+}
+`
+
+func ccryptGen(idx int64) interp.Input {
+	r := newGenRNG("ccrypt", idx)
+	mode := r.intn(2)
+	exists := int64(0)
+	if r.chance(0.6) {
+		exists = 1
+	}
+	key := randWord(r, 1+r.intn(12))
+	resp := ""
+	if exists == 1 {
+		switch {
+		case r.chance(0.5):
+			resp = "" // EOF at the prompt: the bug's trigger
+		case r.chance(0.5):
+			resp = "y"
+		default:
+			resp = randWord(r, 1+r.intn(4))
+		}
+	}
+	n := 5 + r.intn(56)
+	stream := make([]int64, n)
+	for i := range stream {
+		stream[i] = r.intn(256)
+	}
+	return interp.Input{
+		Args:   []int64{mode, exists},
+		SArgs:  []string{key, resp},
+		Stream: stream,
+		Seed:   idx,
+	}
+}
+
+func randWord(r *genRNG, n int64) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.intn(26))
+	}
+	return string(b)
+}

@@ -1,0 +1,219 @@
+package subjects
+
+import "cbi/internal/interp"
+
+// Exif returns the EXIF analog: a binary tag parser modeled on the
+// exif 0.6.9 command-line tool, with three distinct crashing bugs
+// mirroring the paper's §4.2.3 findings:
+//
+//	#1 a value offset smaller than the component count produces a
+//	   negative buffer index ("i < 0")
+//	#2 an ASCII tag longer than the 1900-slot text buffer overruns it
+//	   ("maxlen > 1900")
+//	#3 the canon maker-note loader returns early when o + s >
+//	   buf_size, leaving entries[i].data unallocated; the save path
+//	   then passes the null pointer to memcpy (the paper's detailed
+//	   case study, crashing far from the cause with a deep stack)
+func Exif() *Subject {
+	return &Subject{
+		Name:        "exif",
+		Description: "image tag parser (EXIF analog)",
+		Bugs: []Bug{
+			{ID: 1, Kind: KindMissingCheck, Description: "negative index when offset < count"},
+			{ID: 2, Kind: KindBufferOverrun, Description: "ascii tag overruns 1900-slot text buffer"},
+			{ID: 3, Kind: KindUninitialized, Description: "early return leaves entry data null; memcpy crashes later"},
+		},
+		template: exifTemplate,
+		snippets: map[string]snippet{
+			"bug1_check": {
+				buggy: `if (i < 0) { observe_bug(1); }`,
+				fixed: `if (i < 0) { return 0; }`,
+			},
+			"bug2_check": {
+				buggy: `if (maxlen > 1900) { observe_bug(2); }`,
+				fixed: `if (maxlen > 1900) { maxlen = 1900; }`,
+			},
+			"bug3_return": {
+				buggy: `observe_bug(3);
+      return 0;`,
+				fixed: `n->count = i;
+      return 0;`,
+			},
+		},
+		genInput: exifGen,
+	}
+}
+
+const exifTemplate = `
+// EXIF analog: fixed-buffer tag directory parser and re-serializer.
+struct Entry {
+  int tag;
+  int size;
+  int* data;
+}
+
+struct Note {
+  int count;
+  Entry* entries;
+}
+
+int buf_size = 0;
+int* buf;
+int* text_buf;
+int checksum = 0;
+
+// load_tag reads one directory tag: (tag, count, offset).
+// Returns the tag's contribution to the checksum.
+int load_tag() {
+  int tag = read();
+  int count = read();
+  int offset = read();
+  if (count < 0) { count = 0; }
+  if (offset < 0) { offset = 0; }
+  if (count > buf_size) { count = buf_size; }
+  if (offset >= buf_size) { offset = buf_size - 1; }
+  // The value block ends at offset; it starts count slots earlier.
+  int i = offset - count;
+  @{bug1_check}
+  int sum = 0;
+  for (int j = i; j <= offset; j = j + 1) {
+    sum = sum + buf[j];
+  }
+  if (tag == 2) {
+    // ASCII tag: widen into the text buffer.
+    int maxlen = count * 64;
+    @{bug2_check}
+    for (int j = 0; j < maxlen; j = j + 1) {
+      text_buf[j] = sum + j;
+    }
+  }
+  return sum;
+}
+
+// mnote_load parses the canon maker note: c entries of (o, s).
+int mnote_load(Note* n, int c) {
+  n->count = 0;
+  n->entries = new Entry[c];
+  for (int i = 0; i < c; i = i + 1) {
+    int o = read();
+    int s = read();
+    if (o < 0) { o = 0; }
+    if (s < 0) { s = 0; }
+    n->count = i + 1;
+    n->entries[i].tag = i;
+    n->entries[i].size = s;
+    if (o + s > buf_size) {
+      @{bug3_return}
+    }
+    n->entries[i].data = new int[s + 1];
+    for (int j = 0; j < s; j = j + 1) {
+      n->entries[i].data[j] = buf[o + j];
+    }
+  }
+  return n->count;
+}
+
+void memcpy_sim(int* dst, int* src, int s) {
+  for (int j = 0; j < s; j = j + 1) {
+    dst[j] = src[j];
+  }
+}
+
+void mnote_save_entry(Note* n, int i) {
+  int s = n->entries[i].size;
+  int* out = new int[s + 1];
+  memcpy_sim(out, n->entries[i].data, s);
+  if (s > 0) {
+    checksum = checksum + out[0];
+  }
+}
+
+void mnote_save(Note* n) {
+  for (int i = 0; i < n->count; i = i + 1) {
+    mnote_save_entry(n, i);
+  }
+}
+
+void save_data(Note* n) {
+  mnote_save(n);
+  output("checksum ", checksum);
+}
+
+int main() {
+  buf_size = read();
+  if (buf_size < 4) { buf_size = 4; }
+  if (buf_size > 4000) { buf_size = 4000; }
+  buf = new int[buf_size];
+  text_buf = new int[1900];
+  for (int i = 0; i < buf_size; i = i + 1) {
+    int v = read();
+    if (v < 0) { v = 0; }
+    buf[i] = v;
+  }
+  int ntags = read();
+  if (ntags < 0) { ntags = 0; }
+  if (ntags > 16) { ntags = 16; }
+  for (int t = 0; t < ntags; t = t + 1) {
+    checksum = checksum + load_tag();
+  }
+  int c = read();
+  if (c < 1) { c = 1; }
+  if (c > 12) { c = 12; }
+  Note* n = new Note;
+  int loaded = mnote_load(n, c);
+  output("entries ", loaded);
+  save_data(n);
+  return 0;
+}
+`
+
+func exifGen(idx int64) interp.Input {
+	r := newGenRNG("exif", idx)
+	bufSize := 8 + r.intn(120)
+	var stream []int64
+	stream = append(stream, bufSize)
+	for i := int64(0); i < bufSize; i++ {
+		stream = append(stream, r.intn(256))
+	}
+	ntags := 1 + r.intn(8)
+	stream = append(stream, ntags)
+	for t := int64(0); t < ntags; t++ {
+		tag := 1 + r.intn(4)
+		count := 1 + r.intn(8)
+		if count >= bufSize {
+			count = bufSize - 1
+		}
+		offset := count + r.intn(bufSize-count+1)
+		if offset >= bufSize {
+			offset = bufSize - 1
+		}
+		switch {
+		case r.chance(0.02):
+			// Bug #1's trigger: the count exceeds the offset, making
+			// the value start index negative.
+			offset = r.intn(count)
+		case r.chance(0.02) && bufSize >= 40:
+			// Bug #2's trigger: a huge ASCII count (count*64 > 1900).
+			// Keep offset >= count so bug #1 stays untriggered.
+			count = 30 + r.intn(bufSize-30)
+			if count > 69 {
+				count = 69
+			}
+			offset = bufSize - 1
+			tag = 2
+		}
+		stream = append(stream, tag, count, offset)
+	}
+	// Maker note entries. Bug #3's trigger: o + s > buf_size, rare.
+	c := 1 + r.intn(8)
+	stream = append(stream, c)
+	for e := int64(0); e < c; e++ {
+		s := 1 + r.intn(6)
+		o := r.intn(bufSize - s + 1)
+		if r.chance(0.0008) {
+			o = bufSize - s + 1 + r.intn(16) // just past the end
+		}
+		stream = append(stream, o, s)
+	}
+	return interp.Input{Stream: stream, Seed: idx}
+}

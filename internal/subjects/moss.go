@@ -1,0 +1,488 @@
+package subjects
+
+import "cbi/internal/interp"
+
+// Moss returns the MOSS analog: a winnowing document-fingerprinting
+// tool (Schleimer, Wilkerson, Aiken, SIGMOD'03 — the algorithm behind
+// the real MOSS) seeded with nine bugs mirroring the paper's §4.1
+// validation experiment:
+//
+//	#1 buffer overrun of the passages array (common, corrupts
+//	   neighbouring file metadata, crashes late)
+//	#2 null token-buffer dereference for empty files of language 19
+//	   (the rarest bug)
+//	#3 missing end-of-list check walking a hash bucket chain
+//	#4 buffer overrun of the global token buffer past 500 tokens
+//	#5 missing range check on the language id: reads past the language
+//	   tables (the most common bug, crashes at the site)
+//	#6 missing end-of-stream check: a -1 size reaches the allocator
+//	#7 buffer overrun (of the intended window) that never escapes the
+//	   physical allocation — triggered but harmless
+//	#8 growth path guarded by window > 100 — never triggered
+//	#9 incorrect comment handling: drops the token after each kept
+//	   comment — wrong output, never crashes
+func Moss() *Subject {
+	return &Subject{
+		Name:        "moss",
+		Description: "winnowing document fingerprinting (MOSS analog)",
+		HasOracle:   true,
+		Bugs: []Bug{
+			{ID: 1, Kind: KindBufferOverrun, Description: "passages array overrun when matches exceed max_passages"},
+			{ID: 2, Kind: KindNullDeref, Description: "null token buffer for empty language-19 files"},
+			{ID: 3, Kind: KindMissingCheck, Description: "hash bucket traversal misses end-of-list check"},
+			{ID: 4, Kind: KindBufferOverrun, Description: "token_sequence overrun past 500 tokens"},
+			{ID: 5, Kind: KindMissingCheck, Description: "language id above 16 indexes past the language tables"},
+			{ID: 6, Kind: KindMissingCheck, Description: "stream EOF (-1) size reaches the allocator"},
+			{ID: 7, Kind: KindHarmless, Description: "window scratch overrun contained by slack slot"},
+			{ID: 8, Kind: KindNeverTriggered, Description: "grow path requires window > 100, never generated"},
+			{ID: 9, Kind: KindOutputOnly, Description: "token after kept comment dropped (wrong output)"},
+		},
+		template: mossTemplate,
+		snippets: map[string]snippet{
+			"bug1_check": {
+				buggy: `if (passage_index == config->max_passages) { observe_bug(1); }`,
+				fixed: `if (passage_index >= config->max_passages) { return; }`,
+			},
+			"bug2_alloc": {
+				buggy: `if (lang == 19) { observe_bug(2); } else { files[idx].tokens = new int[1]; }`,
+				fixed: `files[idx].tokens = new int[1];`,
+			},
+			"bug3_loop": {
+				buggy: `while (p->fp != fp) {
+    if (p->next == null) { observe_bug(3); }
+    p = p->next;
+  }`,
+				fixed: `while (p != null && p->fp != fp) {
+    p = p->next;
+  }
+  if (p == null) { return 0; }`,
+			},
+			"bug4_check": {
+				buggy: `if (token_index == 500) { observe_bug(4); }`,
+				fixed: `if (token_index >= 500) { return; }`,
+			},
+			"bug5_check": {
+				buggy: `if (language > 16) { observe_bug(5); }`,
+				fixed: `if (language > 16) { language = 16; }`,
+			},
+			"bug6_check": {
+				buggy: `if (size < 0) { observe_bug(6); }`,
+				fixed: `if (size < 0) {
+    files[idx].language = lang;
+    files[idx].size = 0;
+    files[idx].tokens = new int[1];
+    files[idx].tokens[0] = 9999;
+    return 0;
+  }`,
+			},
+			"bug7_extra": {
+				buggy: `if (w == 11 && pos == 3 * w) { observe_bug(7); window_buf[w] = hashes[pos]; }`,
+				fixed: ``,
+			},
+			"bug9_skip": {
+				buggy: `if (i + 1 < size) { observe_bug(9); i = i + 1; }`,
+				fixed: ``,
+			},
+		},
+		genInput: mossGen,
+	}
+}
+
+const mossTemplate = `
+// MOSS analog: winnowing document fingerprinting.
+struct Config {
+  int match_comment;
+  int winnowing_window_size;
+  int noise_threshold;
+  int max_passages;
+}
+
+struct File {
+  int language;
+  int size;
+  int* tokens;
+}
+
+struct Passage {
+  int fileid;
+  int first_token;
+  int last_token;
+  int fingerprint;
+}
+
+struct Bucket {
+  int fp;
+  int count;
+  Bucket* next;
+}
+
+Config* config;
+File* files;
+int nfiles = 0;
+int filesindex = 0;
+
+int* token_sequence;
+int token_index = 0;
+
+Passage* passages;
+int passage_index = 0;
+
+int marker_seen = 0;
+int marker_fp = 0;
+
+Bucket** buckets;
+int* hash_seen;
+
+int* langtab;
+string* lang_names;
+int* lang_scratch;
+
+int read_config() {
+  config = new Config;
+  config->match_comment = arg(0);
+  config->winnowing_window_size = arg(1);
+  config->noise_threshold = arg(2);
+  config->max_passages = 12;
+  nfiles = arg(3);
+  if (nfiles < 1) { return -1; }
+  if (nfiles > 16) { nfiles = 16; }
+  if (config->winnowing_window_size < 2) { config->winnowing_window_size = 2; }
+  if (config->noise_threshold < 2) { config->noise_threshold = 2; }
+  return 0;
+}
+
+void init_tables() {
+  langtab = new int[17];
+  lang_names = new string[17];
+  lang_scratch = new int[32];
+  for (int i = 0; i < 17; i = i + 1) {
+    langtab[i] = i * 3 + 1;
+    lang_names[i] = "lang" + itoa(i);
+  }
+  buckets = new Bucket*[64];
+  hash_seen = new int[64];
+  token_sequence = new int[500];
+  passages = new Passage[12];
+}
+
+// language_weight maps a language id to its token weight. Language ids
+// above 16 are out of range for the tables.
+int language_weight(int language) {
+  @{bug5_check}
+  int w = langtab[language];
+  string name = lang_names[language];
+  if (strlen(name) < 4) { output("short lang name"); }
+  return w;
+}
+
+// read_file reads one file header and token list from the input
+// stream. Returns the token count, or -1 on end of stream.
+int read_file(int idx) {
+  int lang = read();
+  if (lang < 0) { return -1; }
+  int size = read();
+  @{bug6_check}
+  files[idx].language = lang;
+  files[idx].size = size;
+  if (size == 0) {
+    @{bug2_alloc}
+    files[idx].tokens[0] = 9999;
+    return 0;
+  }
+  files[idx].tokens = new int[size];
+  for (int i = 0; i < size; i = i + 1) {
+    int t = read();
+    if (t < 0) { t = 0; }
+    files[idx].tokens[i] = t;
+  }
+  return size;
+}
+
+// filter_comments rewrites a file's token list according to the
+// comment-matching configuration. Tokens in [9000, 9999) open a
+// comment terminated by 9999. Returns the new token count.
+int filter_comments(int idx) {
+  int size = files[idx].size;
+  int* toks = files[idx].tokens;
+  int* outbuf = new int[size + 1];
+  int n = 0;
+  int i = 0;
+  while (i < size) {
+    int t = toks[i];
+    if (t >= 9000 && t < 9999) {
+      if (config->match_comment == 1) {
+        outbuf[n] = t;
+        n = n + 1;
+        i = i + 1;
+        while (i < size && toks[i] != 9999) {
+          outbuf[n] = toks[i];
+          n = n + 1;
+          i = i + 1;
+        }
+        if (i < size) {
+          outbuf[n] = 9999;
+          n = n + 1;
+          @{bug9_skip}
+        }
+        i = i + 1;
+      } else {
+        i = i + 1;
+        while (i < size && toks[i] != 9999) {
+          i = i + 1;
+        }
+        i = i + 1;
+      }
+    } else {
+      outbuf[n] = t;
+      n = n + 1;
+      i = i + 1;
+    }
+  }
+  files[idx].size = n;
+  files[idx].tokens = outbuf;
+  return n;
+}
+
+// append_token accumulates every filtered token into the global
+// sequence buffer (capacity 500).
+void append_token(int t) {
+  @{bug4_check}
+  token_sequence[token_index] = t;
+  token_index = token_index + 1;
+}
+
+// insert_bucket records one occurrence of fp and returns its total
+// count so far.
+int insert_bucket(int fp, int h) {
+  Bucket* p = buckets[h];
+  while (p != null) {
+    if (p->fp == fp) {
+      p->count = p->count + 1;
+      return p->count;
+    }
+    p = p->next;
+  }
+  Bucket* b = new Bucket;
+  b->fp = fp;
+  b->count = 1;
+  b->next = buckets[h];
+  buckets[h] = b;
+  return 1;
+}
+
+// bucket_count looks up the count of a previously recorded
+// fingerprint. Only called when the bucket is known non-empty.
+int bucket_count(int fp) {
+  int h = fp % 64;
+  if (h < 0) { h = 0 - h; }
+  Bucket* p = buckets[h];
+  @{bug3_loop}
+  return p->count;
+}
+
+void add_passage(int fileid, int first, int last, int fp) {
+  @{bug1_check}
+  passages[passage_index].fileid = fileid;
+  passages[passage_index].first_token = first;
+  passages[passage_index].last_token = last;
+  passages[passage_index].fingerprint = fp;
+  passage_index = passage_index + 1;
+}
+
+// record_fingerprint notes one selected fingerprint; repeats become
+// candidate passages.
+void record_fingerprint(int fileid, int fp, int first, int last) {
+  int h = fp % 64;
+  if (h < 0) { h = 0 - h; }
+  int c = insert_bucket(fp, h);
+  hash_seen[h] = 1;
+  if (c > 1) {
+    add_passage(fileid, first, last, fp);
+  }
+}
+
+// fingerprint_file hashes k-grams and winnows them with the configured
+// window, recording selected fingerprints. Returns the number
+// selected.
+int fingerprint_file(int idx) {
+  int size = files[idx].size;
+  if (size == 0) { return 0; }
+  int k = config->noise_threshold;
+  int w = config->winnowing_window_size;
+  int weight = language_weight(files[idx].language);
+  if (size < k) { return 0; }
+  int nh = size - k + 1;
+  int* hashes = new int[nh];
+  int* toks = files[idx].tokens;
+  for (int i = 0; i < nh; i = i + 1) {
+    int h = 0;
+    for (int j = 0; j < k; j = j + 1) {
+      h = h * 31 + toks[i + j] + weight;
+      h = h % 1000003;
+    }
+    hashes[i] = h;
+  }
+  int* window_buf = new int[w + 1];
+  if (nh < w) { w = nh; }
+  int last_min = -1;
+  int selected = 0;
+  for (int pos = 0; pos + w <= nh; pos = pos + 1) {
+    int min_index = pos;
+    for (int j = 0; j < w; j = j + 1) {
+      window_buf[j] = hashes[pos + j];
+      if (hashes[pos + j] < hashes[min_index]) { min_index = pos + j; }
+    }
+    @{bug7_extra}
+    if (min_index != last_min) {
+      last_min = min_index;
+      record_fingerprint(idx, hashes[min_index], min_index, min_index + k - 1);
+      selected = selected + 1;
+    }
+  }
+  return selected;
+}
+
+// report_matches pairs up passages with equal fingerprints from
+// different files.
+int report_matches() {
+  int nmatches = 0;
+  for (int i = 0; i < passage_index; i = i + 1) {
+    for (int j = 0; j < i; j = j + 1) {
+      if (passages[i].fingerprint == passages[j].fingerprint && passages[i].fileid != passages[j].fileid) {
+        output("match ", passages[j].fileid, " ", passages[i].fileid, " ", passages[i].fingerprint);
+        nmatches = nmatches + 1;
+      }
+    }
+  }
+  return nmatches;
+}
+
+int main() {
+  int rc = read_config();
+  if (rc < 0) {
+    output("usage: moss <match_comment> <window> <noise> <nfiles>");
+    return 1;
+  }
+  init_tables();
+  if (config->winnowing_window_size > 100) {
+    // Grow the passage table for huge windows (dead in practice).
+    observe_bug(8);
+    passages = new Passage[24];
+  }
+  files = new File[nfiles];
+  for (filesindex = 0; filesindex < nfiles; filesindex = filesindex + 1) {
+    int got = read_file(filesindex);
+    if (got < 0) {
+      nfiles = filesindex;
+    }
+  }
+  int total = 0;
+  for (filesindex = 0; filesindex < nfiles; filesindex = filesindex + 1) {
+    int n = filter_comments(filesindex);
+    int* toks = files[filesindex].tokens;
+    for (int i = 0; i < n; i = i + 1) {
+      if (toks[i] == 8888) {
+        marker_seen = 1;
+        marker_fp = (8888 * 131 + i * 7 + 3) % 1000003;
+      }
+      append_token(toks[i]);
+    }
+    total = total + n;
+  }
+  for (filesindex = 0; filesindex < nfiles; filesindex = filesindex + 1) {
+    int sel = fingerprint_file(filesindex);
+    output("file ", filesindex, " fingerprints ", sel);
+  }
+  if (marker_seen == 1) {
+    // Excluded-region markers are looked up in the fingerprint table;
+    // they are almost never actually recorded there.
+    int mh = marker_fp % 64;
+    if (mh < 0) { mh = 0 - mh; }
+    if (hash_seen[mh] == 1) {
+      int mc = bucket_count(marker_fp);
+      output("marker ", mc);
+    }
+  }
+  int nm = report_matches();
+  output("tokens ", total, " matches ", nm);
+  return 0;
+}
+`
+
+// mossGen generates a random MOSS input: a configuration vector plus a
+// token stream of nfiles (language, size, tokens...) records.
+func mossGen(idx int64) interp.Input {
+	r := newGenRNG("moss", idx)
+	matchComment := r.intn(2)
+	window := 2 + r.intn(10) // 2..11
+	noise := 2 + r.intn(4)   // 2..5
+	nfiles := 2 + r.intn(4)  // 2..5
+	args := []int64{matchComment, window, noise, nfiles}
+
+	// A shared token segment planted across files produces matches
+	// (and, when long, triggers the passage-table overrun, bug #1).
+	var shared []int64
+	if r.chance(0.35) {
+		l := 8 + r.intn(50)
+		for i := int64(0); i < l; i++ {
+			shared = append(shared, 1+r.intn(800))
+		}
+	}
+	// Rarely, the stream ends right after some file's language id
+	// (bug #6's missing EOF check).
+	truncateAtFile := int64(-1)
+	if r.chance(0.04) {
+		truncateAtFile = r.intn(nfiles)
+	}
+
+	var stream []int64
+	for f := int64(0); f < nfiles; f++ {
+		lang := r.intn(17)
+		if r.chance(0.015) {
+			lang = 17 + r.intn(4)
+		}
+		sizeZero := r.chance(0.03)
+		if sizeZero && r.chance(0.08) {
+			lang = 19 // bug #2's rare configuration
+		}
+		stream = append(stream, lang)
+		if f == truncateAtFile {
+			break
+		}
+		if sizeZero {
+			stream = append(stream, 0)
+			continue
+		}
+		var toks []int64
+		base := 10 + r.intn(110)
+		commentAt := int64(-1)
+		if r.chance(0.08) {
+			commentAt = r.intn(base)
+		}
+		markerAt := int64(-1)
+		if r.chance(0.012) {
+			markerAt = r.intn(base)
+		}
+		for i := int64(0); i < base; i++ {
+			switch i {
+			case commentAt:
+				toks = append(toks, 9000+r.intn(900))
+				cl := 1 + r.intn(5)
+				for j := int64(0); j < cl; j++ {
+					toks = append(toks, 1+r.intn(800))
+				}
+				toks = append(toks, 9999)
+			case markerAt:
+				toks = append(toks, 8888)
+			default:
+				toks = append(toks, 1+r.intn(800))
+			}
+		}
+		if shared != nil && r.chance(0.8) {
+			toks = append(toks, shared...)
+		}
+		stream = append(stream, int64(len(toks)))
+		stream = append(stream, toks...)
+	}
+	return interp.Input{Args: args, Stream: stream, Seed: idx}
+}

@@ -1,0 +1,231 @@
+package subjects
+
+import "cbi/internal/interp"
+
+// Rhythmbox returns the RHYTHMBOX analog: an event-driven system with a
+// heap-allocated event queue, modeled on the multi-threaded, signal-
+// driven music player of §4.2.4. Two bugs mirror the paper's findings:
+//
+//	#1 a race analog: timer events still queued when the player is
+//	   destroyed dereference its freed private state
+//	#2 an incorrect object-library usage pattern: the change-signal
+//	   handler drops a reference it does not own, eventually freeing
+//	   the view while it is still in use (the paper's bug that a
+//	   syntactic scan later found >100 instances of)
+//
+// The paper notes stack inspection is useless here because all the
+// interesting state lives in the event queue; crashes happen in the
+// main loop's dispatch with varying stacks.
+func Rhythmbox() *Subject {
+	return &Subject{
+		Name:        "rhythmbox",
+		Description: "event-driven player (RHYTHMBOX analog)",
+		Bugs: []Bug{
+			{ID: 1, Kind: KindRace, Description: "queued timer event fires after player destroyed"},
+			{ID: 2, Kind: KindInvariantViolation, Description: "change-signal handler drops unowned view reference"},
+		},
+		template: rhythmboxTemplate,
+		snippets: map[string]snippet{
+			"bug1_check": {
+				buggy: `if (o->priv == null) { observe_bug(1); }`,
+				fixed: `if (o->priv == null) { return; }`,
+			},
+			"bug2_unref": {
+				buggy: `if (view->priv != null && view->priv->refcount == 1) { observe_bug(2); }
+  unref_view(view);`,
+				fixed: ``,
+			},
+			"bug2_guard": {
+				buggy: ``,
+				fixed: `if (o->priv == null) { return; }`,
+			},
+			"bug2_render_guard": {
+				buggy: ``,
+				fixed: `if (view->priv == null) { return; }`,
+			},
+		},
+		genInput: rhythmboxGen,
+	}
+}
+
+const rhythmboxTemplate = `
+// RHYTHMBOX analog: object system plus event queue.
+// Event codes: 1 timer tick, 2 play, 3 destroy player, 4 queue change
+// signal, 5 emit render signal, 6 change-signal handler, 7 render
+// view, 8 status update.
+struct Priv {
+  int timer;
+  int refcount;
+  int db;
+  int change_sig_queued;
+  int handling_error;
+}
+
+struct Obj {
+  Priv* priv;
+  int kind;
+}
+
+struct Event {
+  int code;
+  Event* next;
+}
+
+Event* queue_head;
+Event* queue_tail;
+Obj* player;
+Obj* view;
+Obj* shell;
+int events_handled = 0;
+int songs_played = 0;
+
+Obj* new_obj(int kind) {
+  Obj* o = new Obj;
+  o->kind = kind;
+  o->priv = new Priv;
+  o->priv->refcount = 3;
+  o->priv->db = 1;
+  return o;
+}
+
+void enqueue(int code) {
+  Event* e = new Event;
+  e->code = code;
+  if (queue_tail == null) {
+    queue_head = e;
+    queue_tail = e;
+  } else {
+    queue_tail->next = e;
+    queue_tail = e;
+  }
+}
+
+int dequeue() {
+  if (queue_head == null) { return -1; }
+  Event* e = queue_head;
+  queue_head = e->next;
+  if (queue_head == null) { queue_tail = null; }
+  return e->code;
+}
+
+// handle_timer advances the player clock. The player may already have
+// been destroyed by an earlier event still leaving timers queued.
+void handle_timer(Obj* o) {
+  @{bug1_check}
+  int t = o->priv->timer;
+  o->priv->timer = t + 1;
+  if (o->priv->timer % 10 == 0) {
+    enqueue(8);
+  }
+}
+
+void handle_play(Obj* o) {
+  if (o->priv == null) { return; }
+  songs_played = songs_played + 1;
+  o->priv->db = songs_played % 7 + 1;
+}
+
+void destroy_player(Obj* o) {
+  o->priv = null;
+}
+
+// unref_view drops one reference to the view, freeing it at zero.
+void unref_view(Obj* o) {
+  @{bug2_guard}
+  int rc = o->priv->refcount;
+  o->priv->refcount = rc - 1;
+  if (o->priv->refcount <= 0) {
+    o->priv = null;
+  }
+}
+
+// on_change_sig reacts to a model change notification.
+void on_change_sig() {
+  @{bug2_render_guard}
+  view->priv->change_sig_queued = 0;
+  enqueue(7);
+  @{bug2_unref}
+}
+
+// render_view paints the view from the database handle.
+void render_view() {
+  @{bug2_render_guard}
+  int db = view->priv->db;
+  if (db == 0) {
+    view->priv->handling_error = 1;
+    return;
+  }
+  output("render ", db);
+}
+
+void status_update() {
+  if (shell->priv == null) { return; }
+  shell->priv->db = events_handled;
+}
+
+void dispatch(int code) {
+  if (code == 1) { handle_timer(player); }
+  if (code == 2) { handle_play(player); }
+  if (code == 3) { destroy_player(player); }
+  if (code == 4) {
+    if (view->priv != null) {
+      view->priv->change_sig_queued = 1;
+    }
+    enqueue(6);
+  }
+  if (code == 5) { enqueue(7); }
+  if (code == 6) { on_change_sig(); }
+  if (code == 7) { render_view(); }
+  if (code == 8) { status_update(); }
+}
+
+int main() {
+  player = new_obj(1);
+  view = new_obj(2);
+  shell = new_obj(3);
+  int code = read();
+  while (code >= 0) {
+    enqueue(code);
+    code = read();
+  }
+  int c = dequeue();
+  while (c >= 0 && events_handled < 500) {
+    events_handled = events_handled + 1;
+    dispatch(c);
+    c = dequeue();
+  }
+  output("handled ", events_handled, " played ", songs_played);
+  return 0;
+}
+`
+
+func rhythmboxGen(idx int64) interp.Input {
+	r := newGenRNG("rhythmbox", idx)
+	n := 6 + r.intn(30)
+	destroyAt := int64(-1)
+	if r.chance(0.4) {
+		destroyAt = r.intn(n)
+	}
+	var stream []int64
+	for i := int64(0); i < n; i++ {
+		if i == destroyAt {
+			stream = append(stream, 3)
+			continue
+		}
+		// Weighted event mix: timers and plays dominate; signal
+		// traffic (4 -> 6 -> 7) drives the refcount bug.
+		switch x := r.intn(10); {
+		case x < 3:
+			stream = append(stream, 1)
+		case x < 5:
+			stream = append(stream, 2)
+		case x < 7:
+			stream = append(stream, 4)
+		case x < 8:
+			stream = append(stream, 5)
+		default:
+			stream = append(stream, 8)
+		}
+	}
+	return interp.Input{Stream: stream, Seed: idx}
+}

@@ -1,0 +1,201 @@
+// Package subjects provides the five MiniC analog programs used to
+// reproduce the paper's case studies (§4): MOSS, CCRYPT, BC, EXIF and
+// RHYTHMBOX. Each subject is a realistic miniature of the original
+// program's core algorithm, seeded with bugs of the same kinds as the
+// originals (see DESIGN.md for the substitution table), plus a random
+// input generator.
+//
+// Every bug is expressed as a template slot with a buggy and a fixed
+// variant. Rendering with all slots buggy yields the experiment binary;
+// rendering with all slots fixed yields the reference used as an output
+// oracle for non-crashing bugs (paper §4.1: "we also ran a correct
+// version of MOSS and compared the output of the two versions").
+// Ground truth is recorded by observe_bug(k) intrinsics placed inside
+// the buggy variants, exactly where the bad event occurs.
+package subjects
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"cbi/internal/interp"
+	"cbi/internal/lang"
+)
+
+// BugKind classifies a seeded bug, mirroring the paper's inventory.
+type BugKind int
+
+// Bug kinds.
+const (
+	KindBufferOverrun BugKind = iota
+	KindNullDeref
+	KindMissingCheck
+	KindInvariantViolation
+	KindOutputOnly
+	KindNeverTriggered
+	KindHarmless
+	KindRace
+	KindInputValidation
+	KindUninitialized
+)
+
+// String names the kind.
+func (k BugKind) String() string {
+	switch k {
+	case KindBufferOverrun:
+		return "buffer overrun"
+	case KindNullDeref:
+		return "null pointer dereference"
+	case KindMissingCheck:
+		return "missing check"
+	case KindInvariantViolation:
+		return "data-structure invariant violation"
+	case KindOutputOnly:
+		return "incorrect output (non-crashing)"
+	case KindNeverTriggered:
+		return "never triggered"
+	case KindHarmless:
+		return "triggered but harmless"
+	case KindRace:
+		return "event-ordering race"
+	case KindInputValidation:
+		return "input validation"
+	case KindUninitialized:
+		return "uninitialized data"
+	}
+	return fmt.Sprintf("BugKind(%d)", int(k))
+}
+
+// Bug describes one seeded bug.
+type Bug struct {
+	ID          int
+	Kind        BugKind
+	Description string
+}
+
+// snippet holds the buggy and fixed variants of one template slot.
+type snippet struct {
+	buggy string
+	fixed string
+}
+
+// Subject is one case-study program.
+type Subject struct {
+	Name        string
+	Description string
+	Bugs        []Bug
+	// HasOracle indicates failures should also be labeled by output
+	// comparison against the reference version (needed for
+	// non-crashing bugs).
+	HasOracle bool
+
+	template string
+	snippets map[string]snippet
+	// genInput produces the random input for run index idx.
+	genInput func(idx int64) interp.Input
+
+	mu       sync.Mutex
+	compiled map[string]*lang.Program
+}
+
+// Source renders the MiniC source. If buggyMask is nil every slot is
+// buggy; otherwise slot k is buggy iff buggyMask[k] (keys are bug ids;
+// slots named "bugK_*" belong to bug K).
+func (s *Subject) Source(buggy bool) string {
+	src := s.template
+	for name, sn := range s.snippets {
+		text := sn.fixed
+		if buggy {
+			text = sn.buggy
+		}
+		src = strings.ReplaceAll(src, "@{"+name+"}", text)
+	}
+	if i := strings.Index(src, "@{"); i >= 0 {
+		end := i + 40
+		if end > len(src) {
+			end = len(src)
+		}
+		panic(fmt.Sprintf("subjects: %s: unresolved template slot near %q", s.Name, src[i:end]))
+	}
+	return src
+}
+
+// Program compiles (and caches) the buggy or reference program.
+func (s *Subject) Program(buggy bool) *lang.Program {
+	key := "fixed"
+	if buggy {
+		key = "buggy"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.compiled == nil {
+		s.compiled = map[string]*lang.Program{}
+	}
+	if p, ok := s.compiled[key]; ok {
+		return p
+	}
+	src := s.Source(buggy)
+	prog, err := lang.Parse(s.Name+"-"+key+".mc", src)
+	if err != nil {
+		panic(fmt.Sprintf("subjects: %s (%s) does not parse: %v", s.Name, key, err))
+	}
+	if err := lang.Resolve(prog); err != nil {
+		panic(fmt.Sprintf("subjects: %s (%s) does not resolve: %v", s.Name, key, err))
+	}
+	s.compiled[key] = prog
+	return prog
+}
+
+// Input returns the generated input for run idx. Inputs are
+// deterministic in idx.
+func (s *Subject) Input(idx int64) interp.Input { return s.genInput(idx) }
+
+// All returns the five case-study subjects in the paper's table order.
+func All() []*Subject {
+	return []*Subject{Moss(), Ccrypt(), Bc(), Exif(), Rhythmbox()}
+}
+
+// ByName returns the named subject or nil.
+func ByName(name string) *Subject {
+	for _, s := range All() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// genRNG is the deterministic generator RNG shared by the input
+// generators (splitmix64 over the run index, namespaced per subject).
+type genRNG struct{ state uint64 }
+
+func newGenRNG(subject string, idx int64) *genRNG {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(subject); i++ {
+		h ^= uint64(subject[i])
+		h *= 1099511628211
+	}
+	return &genRNG{state: h ^ uint64(idx)*0x9e3779b97f4a7c15}
+}
+
+func (r *genRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform int64 in [0, n).
+func (r *genRNG) intn(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// chance returns true with probability p.
+func (r *genRNG) chance(p float64) bool {
+	return float64(r.next()>>11)/(1<<53) < p
+}

@@ -1,0 +1,289 @@
+package subjects
+
+import (
+	"strings"
+	"testing"
+
+	"cbi/internal/interp"
+)
+
+func TestAllSubjectsCompile(t *testing.T) {
+	for _, s := range All() {
+		t.Run(s.Name, func(t *testing.T) {
+			if p := s.Program(true); p == nil {
+				t.Fatal("buggy program nil")
+			}
+			if p := s.Program(false); p == nil {
+				t.Fatal("fixed program nil")
+			}
+		})
+	}
+}
+
+func TestSourcesDiffer(t *testing.T) {
+	for _, s := range All() {
+		if s.Source(true) == s.Source(false) {
+			t.Errorf("%s: buggy and fixed sources are identical", s.Name)
+		}
+	}
+}
+
+func TestInputsDeterministic(t *testing.T) {
+	for _, s := range All() {
+		a, b := s.Input(42), s.Input(42)
+		c := s.Input(43)
+		if len(a.Stream) != len(b.Stream) || a.Seed != b.Seed {
+			t.Errorf("%s: same index produced different inputs", s.Name)
+		}
+		for i := range a.Stream {
+			if a.Stream[i] != b.Stream[i] {
+				t.Errorf("%s: stream differs at %d", s.Name, i)
+				break
+			}
+		}
+		same := len(a.Stream) == len(c.Stream)
+		if same {
+			for i := range a.Stream {
+				if a.Stream[i] != c.Stream[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same && len(a.Args) == len(c.Args) {
+			allArgsSame := true
+			for i := range a.Args {
+				if a.Args[i] != c.Args[i] {
+					allArgsSame = false
+				}
+			}
+			if allArgsSame && len(a.Stream) > 0 {
+				t.Errorf("%s: adjacent indices produced identical inputs", s.Name)
+			}
+		}
+	}
+}
+
+// TestFixedVersionNeverCrashes is the oracle soundness requirement: the
+// reference must terminate cleanly on every generated input.
+func TestFixedVersionNeverCrashes(t *testing.T) {
+	const n = 500
+	for _, s := range All() {
+		t.Run(s.Name, func(t *testing.T) {
+			prog := s.Program(false)
+			in := interp.New(prog, nil)
+			for i := int64(0); i < n; i++ {
+				out := in.Run(s.Input(i))
+				if out.Crashed {
+					t.Fatalf("reference crashed on input %d: %s: %s (stack %v)",
+						i, out.Trap, out.Msg, out.Stack)
+				}
+			}
+		})
+	}
+}
+
+// TestBuggyVersionFailureProfile checks that the buggy version crashes
+// on a plausible fraction of runs and that every seeded bug (except the
+// never-triggered one) actually occurs.
+func TestBuggyVersionFailureProfile(t *testing.T) {
+	const n = 2000
+	for _, s := range All() {
+		t.Run(s.Name, func(t *testing.T) {
+			prog := s.Program(true)
+			in := interp.New(prog, nil)
+			crashes := 0
+			occurred := map[int]int{}
+			failedWith := map[int]int{}
+			for i := int64(0); i < n; i++ {
+				out := in.Run(s.Input(i))
+				if out.Crashed {
+					crashes++
+				}
+				for _, b := range out.BugsObserved {
+					occurred[b]++
+					if out.Crashed {
+						failedWith[b]++
+					}
+				}
+			}
+			rate := float64(crashes) / n
+			t.Logf("%s: crash rate %.3f, occurrences %v, crash-co-occurrence %v",
+				s.Name, rate, occurred, failedWith)
+			if rate < 0.02 {
+				t.Errorf("crash rate %.4f too low for statistical debugging", rate)
+			}
+			if rate > 0.8 {
+				t.Errorf("crash rate %.4f implausibly high", rate)
+			}
+			for _, b := range s.Bugs {
+				switch b.Kind {
+				case KindNeverTriggered:
+					if occurred[b.ID] != 0 {
+						t.Errorf("bug #%d should never trigger, occurred %d times", b.ID, occurred[b.ID])
+					}
+				case KindHarmless, KindOutputOnly:
+					if occurred[b.ID] == 0 {
+						t.Errorf("bug #%d (%s) never occurred in %d runs", b.ID, b.Kind, n)
+					}
+				default:
+					if occurred[b.ID] == 0 {
+						t.Errorf("bug #%d (%s) never occurred in %d runs", b.ID, b.Kind, n)
+					}
+					if failedWith[b.ID] == 0 {
+						t.Errorf("bug #%d (%s) never co-occurred with a crash", b.ID, b.Kind)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMossOracleCatchesOutputBug: bug #9 never crashes; only output
+// comparison against the reference reveals it.
+func TestMossOracleCatchesOutputBug(t *testing.T) {
+	s := Moss()
+	buggy := interp.New(s.Program(true), nil)
+	ref := interp.New(s.Program(false), nil)
+	const n = 3000
+	mismatches, bug9Mismatches := 0, 0
+	for i := int64(0); i < n; i++ {
+		input := s.Input(i)
+		bout := buggy.Run(input)
+		if bout.Crashed {
+			continue
+		}
+		rout := ref.Run(input)
+		if rout.Crashed {
+			t.Fatalf("reference crashed on input %d", i)
+		}
+		if strings.Join(bout.Output, "\n") != strings.Join(rout.Output, "\n") {
+			mismatches++
+			if bout.ObservedBug(9) {
+				bug9Mismatches++
+			}
+		}
+	}
+	if mismatches == 0 {
+		t.Fatal("oracle found no output mismatches; bug #9 undetectable")
+	}
+	if bug9Mismatches == 0 {
+		t.Error("no mismatch co-occurred with bug #9 ground truth")
+	}
+	t.Logf("moss oracle: %d mismatches in %d clean runs (%d with bug #9)", mismatches, n, bug9Mismatches)
+}
+
+// TestMossBug7Harmless: bug #7 occurs but never causes a failure by
+// itself — every failing run with bug #7 also shows another bug.
+func TestMossBug7Harmless(t *testing.T) {
+	s := Moss()
+	buggy := interp.New(s.Program(true), nil)
+	ref := interp.New(s.Program(false), nil)
+	const n = 2000
+	occurrences := 0
+	for i := int64(0); i < n; i++ {
+		input := s.Input(i)
+		out := buggy.Run(input)
+		if out.ObservedBug(7) {
+			occurrences++
+		}
+		failed := out.Crashed
+		if !failed {
+			rout := ref.Run(input)
+			failed = strings.Join(out.Output, "\n") != strings.Join(rout.Output, "\n")
+		}
+		if failed && out.ObservedBug(7) && len(out.BugsObserved) == 1 {
+			t.Errorf("input %d failed with only bug #7 observed (trap %s)", i, out.Trap)
+		}
+	}
+	if occurrences == 0 {
+		t.Error("bug #7 never occurred")
+	}
+}
+
+// TestBugKindBehaviours spot-checks the paper-relevant bug semantics.
+func TestBugKindBehaviours(t *testing.T) {
+	t.Run("bc crash far from cause", func(t *testing.T) {
+		s := Bc()
+		in := interp.New(s.Program(true), nil)
+		sawDelayed := false
+		for i := int64(0); i < 3000 && !sawDelayed; i++ {
+			out := in.Run(s.Input(i))
+			if out.Crashed && out.ObservedBug(1) {
+				// A delayed crash surfaces in the evaluation loop
+				// (main), not inside grow_vars.
+				if len(out.Stack) > 0 && out.Stack[0].Func == "main" {
+					sawDelayed = true
+				}
+			}
+		}
+		if !sawDelayed {
+			t.Error("bc overrun never produced a delayed crash outside grow_vars")
+		}
+	})
+
+	t.Run("exif deep stack for bug3", func(t *testing.T) {
+		s := Exif()
+		in := interp.New(s.Program(true), nil)
+		found := false
+		for i := int64(0); i < 20000 && !found; i++ {
+			out := in.Run(s.Input(i))
+			if out.Crashed && out.ObservedBug(3) {
+				sig := out.StackSignature()
+				if strings.Contains(sig, "memcpy_sim") && strings.Contains(sig, "mnote_save") {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Error("exif bug #3 never crashed through the save path")
+		}
+	})
+
+	t.Run("rhythmbox race needs destroy-then-timer", func(t *testing.T) {
+		s := Rhythmbox()
+		in := interp.New(s.Program(true), nil)
+		crashed := 0
+		for i := int64(0); i < 1000; i++ {
+			out := in.Run(s.Input(i))
+			if out.Crashed && out.ObservedBug(1) {
+				crashed++
+			}
+		}
+		if crashed == 0 {
+			t.Error("rhythmbox race never crashed")
+		}
+	})
+
+	t.Run("ccrypt deterministic validation bug", func(t *testing.T) {
+		s := Ccrypt()
+		in := interp.New(s.Program(true), nil)
+		var crashes, occurrences int
+		for i := int64(0); i < 1000; i++ {
+			out := in.Run(s.Input(i))
+			if out.ObservedBug(1) {
+				occurrences++
+				if out.Crashed {
+					crashes++
+				}
+			}
+		}
+		if occurrences == 0 {
+			t.Fatal("ccrypt bug never occurred")
+		}
+		if crashes != occurrences {
+			t.Errorf("ccrypt bug is deterministic in the paper: %d occurrences, %d crashes", occurrences, crashes)
+		}
+	})
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"moss", "ccrypt", "bc", "exif", "rhythmbox"} {
+		if ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(nope) should be nil")
+	}
+}

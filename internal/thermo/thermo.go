@@ -1,0 +1,152 @@
+// Package thermo renders the paper's "bug thermometer" visualization
+// (§3.3): a bar whose length is logarithmic in the number of runs in
+// which the predicate was observed true, divided into bands —
+//
+//	black:      Context(P)
+//	dark gray:  lower bound of Increase(P) at 95% confidence
+//	light gray: the confidence interval width
+//	white:      the remainder, dominated by S(P) for non-deterministic
+//	            predicates
+//
+// Both a text rendering (for terminal tables) and an HTML rendering
+// (for the interactive report, like the paper's web UI) are provided.
+package thermo
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cbi/internal/core"
+)
+
+// Thermometer is a computed thermometer: band fractions plus the
+// log-scaled length.
+type Thermometer struct {
+	// Len01 is the relative length in (0, 1]: log-scaled observation
+	// count relative to MaxObs.
+	Len01 float64
+	// Black, Dark, Light, White are band fractions summing to 1.
+	Black, Dark, Light, White float64
+	// Obs is F(P) + S(P), the number of runs where P was true.
+	Obs int
+}
+
+// Compute builds a thermometer for one predicate given its stats and
+// scores, with maxObs the largest observation count in the table
+// (normalizes lengths).
+func Compute(st core.Stats, sc core.Scores, maxObs int) Thermometer {
+	obs := st.F + st.S
+	th := Thermometer{Obs: obs}
+	if obs <= 0 {
+		return th
+	}
+	if maxObs < obs {
+		maxObs = obs
+	}
+	th.Len01 = math.Log1p(float64(obs)) / math.Log1p(float64(maxObs))
+
+	ctx := clamp01(sc.Context)
+	incLow := sc.Increase - sc.IncreaseCI
+	if math.IsNaN(incLow) || incLow < 0 {
+		incLow = 0
+	}
+	incHigh := sc.Increase + sc.IncreaseCI
+	if math.IsNaN(incHigh) {
+		incHigh = incLow
+	}
+	// Bands cannot overflow the bar.
+	if ctx+incLow > 1 {
+		incLow = 1 - ctx
+	}
+	ciBand := incHigh - incLow
+	if ciBand < 0 {
+		ciBand = 0
+	}
+	if ctx+incLow+ciBand > 1 {
+		ciBand = 1 - ctx - incLow
+	}
+	th.Black = ctx
+	th.Dark = incLow
+	th.Light = ciBand
+	th.White = 1 - ctx - incLow - ciBand
+	if th.White < 0 {
+		th.White = 0
+	}
+	return th
+}
+
+func clamp01(x float64) float64 {
+	if math.IsNaN(x) || x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Text renders the thermometer as an ASCII bar of at most width cells:
+//
+//	'#' black (Context), '+' dark gray (Increase lower bound),
+//	'-' light gray (CI), '.' white (successful-run mass).
+func (th Thermometer) Text(width int) string {
+	if width <= 0 {
+		width = 20
+	}
+	n := int(math.Round(th.Len01 * float64(width)))
+	if th.Obs > 0 && n < 1 {
+		n = 1
+	}
+	if n == 0 {
+		return "[" + strings.Repeat(" ", width) + "]"
+	}
+	black := int(math.Round(th.Black * float64(n)))
+	dark := int(math.Round(th.Dark * float64(n)))
+	light := int(math.Round(th.Light * float64(n)))
+	for black+dark+light > n {
+		switch {
+		case light > 0:
+			light--
+		case dark > 0:
+			dark--
+		default:
+			black--
+		}
+	}
+	white := n - black - dark - light
+	var sb strings.Builder
+	sb.WriteByte('[')
+	sb.WriteString(strings.Repeat("#", black))
+	sb.WriteString(strings.Repeat("+", dark))
+	sb.WriteString(strings.Repeat("-", light))
+	sb.WriteString(strings.Repeat(".", white))
+	sb.WriteString(strings.Repeat(" ", width-n))
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// HTML renders the thermometer as a fixed-height div with proportional
+// colored bands (black, red, pink, white), like the paper's figures.
+func (th Thermometer) HTML(widthPx int) string {
+	if widthPx <= 0 {
+		widthPx = 160
+	}
+	w := int(th.Len01 * float64(widthPx))
+	if th.Obs > 0 && w < 2 {
+		w = 2
+	}
+	band := func(frac float64, color string) string {
+		px := int(frac * float64(w))
+		if px <= 0 {
+			return ""
+		}
+		return fmt.Sprintf(`<span style="display:inline-block;height:12px;width:%dpx;background:%s"></span>`, px, color)
+	}
+	return fmt.Sprintf(`<span class="thermo" style="display:inline-block;width:%dpx;border:1px solid #999">%s%s%s%s</span>`,
+		widthPx,
+		band(th.Black, "#000"),
+		band(th.Dark, "#c00"),
+		band(th.Light, "#f9c"),
+		band(th.White, "#fff"))
+}

@@ -1,0 +1,106 @@
+package thermo
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cbi/internal/core"
+)
+
+func mkScores(st core.Stats, numF int) core.Scores { return core.ComputeScores(st, numF) }
+
+func TestComputeBandsSumToOne(t *testing.T) {
+	st := core.Stats{F: 100, S: 50, Fobs: 120, Sobs: 900}
+	th := Compute(st, mkScores(st, 1000), 1000)
+	sum := th.Black + th.Dark + th.Light + th.White
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("bands sum to %v", sum)
+	}
+	if th.Len01 <= 0 || th.Len01 > 1 {
+		t.Errorf("Len01 = %v", th.Len01)
+	}
+}
+
+func TestComputeDeterministicPredictorMostlyDark(t *testing.T) {
+	// A deterministic predictor (S=0, strong Increase) should be
+	// dominated by the dark band, like Table 1(b)'s thermometers.
+	st := core.Stats{F: 500, S: 0, Fobs: 510, Sobs: 4000}
+	th := Compute(st, mkScores(st, 1000), 1000)
+	if th.Dark < 0.6 {
+		t.Errorf("dark band = %v, want dominant", th.Dark)
+	}
+	if th.White > 0.2 {
+		t.Errorf("white band = %v for deterministic predictor", th.White)
+	}
+}
+
+func TestComputeNondeterministicPredictorMostlyWhite(t *testing.T) {
+	// True in many successful runs: Failure barely above Context.
+	st := core.Stats{F: 400, S: 3600, Fobs: 500, Sobs: 4800}
+	th := Compute(st, mkScores(st, 1000), 10000)
+	if th.White < 0.5 {
+		t.Errorf("white band = %v, want dominant for weak predictor", th.White)
+	}
+}
+
+func TestLogScaleLength(t *testing.T) {
+	small := core.Stats{F: 10, S: 0, Fobs: 10, Sobs: 10}
+	big := core.Stats{F: 10000, S: 0, Fobs: 10000, Sobs: 10}
+	thSmall := Compute(small, mkScores(small, 20000), 10000)
+	thBig := Compute(big, mkScores(big, 20000), 10000)
+	if thSmall.Len01 >= thBig.Len01 {
+		t.Error("length not increasing in observations")
+	}
+	// Log scale: 1000x more observations is far less than 1000x longer.
+	if thBig.Len01/thSmall.Len01 > 10 {
+		t.Error("length looks linear, want logarithmic")
+	}
+}
+
+func TestTextRendering(t *testing.T) {
+	st := core.Stats{F: 100, S: 100, Fobs: 150, Sobs: 850}
+	th := Compute(st, mkScores(st, 500), 500)
+	bar := th.Text(30)
+	if len(bar) != 32 { // includes brackets
+		t.Errorf("bar length = %d: %q", len(bar), bar)
+	}
+	if !strings.HasPrefix(bar, "[") || !strings.HasSuffix(bar, "]") {
+		t.Errorf("bar missing brackets: %q", bar)
+	}
+	empty := Compute(core.Stats{}, mkScores(core.Stats{}, 500), 500)
+	if got := empty.Text(10); got != "["+strings.Repeat(" ", 10)+"]" {
+		t.Errorf("empty bar = %q", got)
+	}
+}
+
+func TestTextNeverOverflowsProperty(t *testing.T) {
+	f := func(f, s, fo, so uint16, numF uint16, width uint8) bool {
+		st := core.Stats{F: int(f % 1000), S: int(s % 1000)}
+		st.Fobs = st.F + int(fo%1000)
+		st.Sobs = st.S + int(so%1000)
+		w := int(width%60) + 1
+		th := Compute(st, mkScores(st, int(numF)+2), 2000)
+		bar := th.Text(w)
+		if len(bar) != w+2 {
+			return false
+		}
+		sum := th.Black + th.Dark + th.Light + th.White
+		return th.Obs == 0 || math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHTMLRendering(t *testing.T) {
+	st := core.Stats{F: 100, S: 10, Fobs: 120, Sobs: 880}
+	th := Compute(st, mkScores(st, 500), 500)
+	html := th.HTML(160)
+	for _, want := range []string{"thermo", "#000", "#c00"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("HTML missing %q: %s", want, html)
+		}
+	}
+}

@@ -1,0 +1,677 @@
+// Package vm is a bytecode compiler and stack virtual machine for
+// MiniC — a second execution engine alongside the tree-walking
+// interpreter in internal/interp.
+//
+// The real CBI system instruments compiled C programs, so a compiled
+// backend makes the reproduction's performance story honest: the
+// instrumentation-overhead benchmarks can be run against a much faster
+// engine. The VM implements exactly the same observable semantics as
+// the tree-walker — values, the randomized heap layout, trap kinds,
+// crash stacks, and the order of observer events — which the
+// engine-differential tests in this package verify on thousands of
+// runs.
+package vm
+
+import (
+	"fmt"
+
+	"cbi/internal/lang"
+)
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// Opcodes. Instructions are fixed-width: {Op, A, B, C}.
+const (
+	opNop Op = iota
+
+	// Stack and memory.
+	opConst       // push consts[A]
+	opPop         // drop top
+	opLoadLocal   // push locals[A]
+	opStoreLocal  // locals[A] = pop
+	opLoadGlobal  // push globals[A]
+	opStoreGlobal // globals[A] = pop
+
+	// Arithmetic/logic; operands popped right-then-left, result pushed.
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opMod
+	opEq // B=1 negates (!=)
+	opLt
+	opLe
+	opGt
+	opGe
+	opNeg
+	opNot
+
+	// Control flow.
+	opJump        // pc = A
+	opJumpIfZero  // pop; if 0 jump to A (traps if non-int)
+	opJumpIfNZero // pop; if != 0 jump to A
+	opDup         // duplicate top
+
+	// Heap.
+	opNewArray  // pop count; push pointer; A = type index
+	opNewStruct // push pointer; A = type index
+	opIndexAddr // pop idx, base-ptr; push address; A = elem size, C = node (PtrDeref)
+	opLoadAddr  // pop address; push heap value
+	opStoreAddr // pop value, address; store
+	opFieldAddr // pop base-ptr; push address of field; A = field index, C = node (PtrDeref)
+	opAddrField // pop address; push address + A (dot on struct lvalue)
+
+	// Calls.
+	opCall        // A = function index, B = arg count
+	opCallBuiltin // A = builtin index, B = arg count
+	opReturn      // pop return value and pop frame
+	opReturnVoid
+
+	// Observer events.
+	opObsBranch // peek top (int); Branch(A as NodeID, top != 0)
+	opObsRet    // peek top; if int, IntReturn(A, top)
+	// opObsAssignLocal fires ScalarAssign for a local/global store:
+	// peek new value (top), old value from slot A (B=0 local, B=1
+	// global), node C.
+	opObsAssignLocal
+	// opStoreHeapObs pops [addr, new], loads the old value, stores the
+	// new one (trapping on unmapped memory), and fires an observer
+	// event for node A: ScalarAssign when B=1, PtrAssign when B=2,
+	// nothing when B=0.
+	opStoreHeapObs
+	// opObsPtrLocal stores the popped value into slot A (B=1: global)
+	// and fires PtrAssign for node C when the value is a pointer.
+	opObsPtrLocal
+
+	// Misc.
+	opLine // A = source line (for stack traces)
+)
+
+var opNames = map[Op]string{
+	opNop: "nop", opConst: "const", opPop: "pop",
+	opLoadLocal: "loadlocal", opStoreLocal: "storelocal",
+	opLoadGlobal: "loadglobal", opStoreGlobal: "storeglobal",
+	opAdd: "add", opSub: "sub", opMul: "mul", opDiv: "div", opMod: "mod",
+	opEq: "eq", opLt: "lt", opLe: "le", opGt: "gt", opGe: "ge",
+	opNeg: "neg", opNot: "not",
+	opJump: "jump", opJumpIfZero: "jz", opJumpIfNZero: "jnz", opDup: "dup",
+	opNewArray: "newarray", opNewStruct: "newstruct",
+	opIndexAddr: "indexaddr", opLoadAddr: "loadaddr", opStoreAddr: "storeaddr",
+	opFieldAddr: "fieldaddr", opAddrField: "addrfield",
+	opCall: "call", opCallBuiltin: "callbuiltin",
+	opReturn: "return", opReturnVoid: "returnvoid",
+	opObsBranch: "obsbranch", opObsRet: "obsret",
+	opObsAssignLocal: "obsassignlocal", opStoreHeapObs: "storeheapobs",
+	opObsPtrLocal: "obsptrlocal",
+	opLine:        "line",
+}
+
+// String names the opcode.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Instr is one fixed-width instruction.
+type Instr struct {
+	Op      Op
+	A, B, C int32
+}
+
+// Func is a compiled function.
+type Func struct {
+	Name    string
+	NParams int
+	NLocals int
+	Code    []Instr
+	// Line is the function's declaration line (initial frame line).
+	Line int
+}
+
+// Module is a compiled program.
+type Module struct {
+	Prog   *lang.Program
+	Funcs  []*Func
+	Main   int
+	Consts []Value
+	// ElemTypes holds the element types used by new[] / new, indexed
+	// by opNewArray/opNewStruct A operands.
+	ElemTypes []lang.Type
+	// Builtins indexes builtin names used by opCallBuiltin.
+	Builtins []string
+	// Globals initial values.
+	GlobalInit []Value
+}
+
+type compiler struct {
+	mod      *Module
+	fnIndex  map[string]int
+	biIndex  map[string]int
+	typIndex map[string]int
+
+	fn       *Func
+	curLine  int
+	loopBrk  []int // patch lists
+	loopCont []int
+	brkStack [][]int
+	cntStack [][]int
+}
+
+// Compile translates a resolved program into a bytecode module.
+func Compile(prog *lang.Program) (*Module, error) {
+	c := &compiler{
+		mod:      &Module{Prog: prog},
+		fnIndex:  map[string]int{},
+		biIndex:  map[string]int{},
+		typIndex: map[string]int{},
+	}
+	// Pre-register functions for mutual recursion.
+	for i, f := range prog.Funcs {
+		c.fnIndex[f.Name] = i
+		c.mod.Funcs = append(c.mod.Funcs, &Func{
+			Name:    f.Name,
+			NParams: len(f.Params),
+			NLocals: f.Locals,
+			Line:    f.Pos().Line,
+		})
+	}
+	main, ok := c.fnIndex["main"]
+	if !ok {
+		return nil, fmt.Errorf("vm: no main function")
+	}
+	c.mod.Main = main
+
+	// Global initial values.
+	c.mod.GlobalInit = make([]Value, prog.GlobalSlots)
+	for _, g := range prog.Globals {
+		v := zeroOf(g.DeclType)
+		switch lit := g.Init.(type) {
+		case *lang.IntLit:
+			v = IntVal(lit.Value)
+		case *lang.StrLit:
+			v = StrVal(lit.Value)
+		case *lang.NullLit:
+			v = Null
+		}
+		c.mod.GlobalInit[g.Sym.Slot] = v
+	}
+
+	for i, f := range prog.Funcs {
+		c.fn = c.mod.Funcs[i]
+		c.curLine = -1
+		if err := c.compileFunc(f); err != nil {
+			return nil, err
+		}
+	}
+	return c.mod, nil
+}
+
+// MustCompile compiles or panics; for tests and examples.
+func MustCompile(prog *lang.Program) *Module {
+	m, err := Compile(prog)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (c *compiler) emit(op Op, a, b, cc int32) int {
+	c.fn.Code = append(c.fn.Code, Instr{Op: op, A: a, B: b, C: cc})
+	return len(c.fn.Code) - 1
+}
+
+func (c *compiler) here() int { return len(c.fn.Code) }
+
+func (c *compiler) patch(at int, target int) { c.fn.Code[at].A = int32(target) }
+
+func (c *compiler) line(pos lang.Pos) {
+	if pos.Line != c.curLine {
+		c.curLine = pos.Line
+		c.emit(opLine, int32(pos.Line), 0, 0)
+	}
+}
+
+func (c *compiler) constIndex(v Value) int32 {
+	for i, existing := range c.mod.Consts {
+		if sameConst(existing, v) {
+			return int32(i)
+		}
+	}
+	c.mod.Consts = append(c.mod.Consts, v)
+	return int32(len(c.mod.Consts) - 1)
+}
+
+func sameConst(a, b Value) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KInt:
+		return a.Int == b.Int
+	case KStr:
+		return a.Str == b.Str
+	default:
+		return a.Block == b.Block && a.Off == b.Off
+	}
+}
+
+func (c *compiler) typeIndex(t lang.Type) int32 {
+	key := t.String()
+	if i, ok := c.typIndex[key]; ok {
+		return int32(i)
+	}
+	c.typIndex[key] = len(c.mod.ElemTypes)
+	c.mod.ElemTypes = append(c.mod.ElemTypes, t)
+	return int32(len(c.mod.ElemTypes) - 1)
+}
+
+func (c *compiler) builtinIndex(name string) int32 {
+	if i, ok := c.biIndex[name]; ok {
+		return int32(i)
+	}
+	c.biIndex[name] = len(c.mod.Builtins)
+	c.mod.Builtins = append(c.mod.Builtins, name)
+	return int32(len(c.mod.Builtins) - 1)
+}
+
+func (c *compiler) compileFunc(f *lang.FuncDecl) error {
+	c.brkStack, c.cntStack = nil, nil
+	if err := c.stmt(f.Body); err != nil {
+		return err
+	}
+	// Implicit zero/void return at the end.
+	if f.Ret.Equal(lang.Void) {
+		c.emit(opReturnVoid, 0, 0, 0)
+	} else {
+		c.emit(opConst, c.constIndex(zeroOf(f.Ret)), 0, 0)
+		c.emit(opReturn, 0, 0, 0)
+	}
+	return nil
+}
+
+func (c *compiler) stmt(s lang.Stmt) error {
+	switch st := s.(type) {
+	case *lang.Block:
+		for _, inner := range st.Stmts {
+			if err := c.stmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *lang.VarDecl:
+		c.line(st.Pos())
+		if st.Init == nil {
+			c.emit(opConst, c.constIndex(zeroOf(st.DeclType)), 0, 0)
+			c.emit(opStoreLocal, int32(st.Sym.Slot), 0, 0)
+			return nil
+		}
+		if err := c.expr(st.Init); err != nil {
+			return err
+		}
+		switch {
+		case lang.IsScalar(st.DeclType):
+			// Combined store+observe (the event fires after the store,
+			// like the tree-walker).
+			c.emit(opObsAssignLocal, int32(st.Sym.Slot), 0, int32(st.ID()))
+		case lang.IsPointer(st.DeclType):
+			c.emit(opObsPtrLocal, int32(st.Sym.Slot), 0, int32(st.ID()))
+		default:
+			c.emit(opStoreLocal, int32(st.Sym.Slot), 0, 0)
+		}
+		return nil
+	case *lang.Assign:
+		return c.assign(st)
+	case *lang.If:
+		c.line(st.Pos())
+		if err := c.cond(st.Cond); err != nil {
+			return err
+		}
+		jz := c.emit(opJumpIfZero, 0, 0, 0)
+		if err := c.stmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else == nil {
+			c.patch(jz, c.here())
+			return nil
+		}
+		jend := c.emit(opJump, 0, 0, 0)
+		c.patch(jz, c.here())
+		if err := c.stmt(st.Else); err != nil {
+			return err
+		}
+		c.patch(jend, c.here())
+		return nil
+	case *lang.While:
+		c.line(st.Pos())
+		top := c.here()
+		if err := c.cond(st.Cond); err != nil {
+			return err
+		}
+		jz := c.emit(opJumpIfZero, 0, 0, 0)
+		c.pushLoop()
+		if err := c.stmt(st.Body); err != nil {
+			return err
+		}
+		c.emit(opJump, int32(top), 0, 0)
+		brk, cont := c.popLoop()
+		end := c.here()
+		c.patch(jz, end)
+		for _, at := range brk {
+			c.patch(at, end)
+		}
+		for _, at := range cont {
+			c.patch(at, top)
+		}
+		return nil
+	case *lang.For:
+		c.line(st.Pos())
+		if st.Init != nil {
+			if err := c.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		top := c.here()
+		var jz int = -1
+		if st.Cond != nil {
+			if err := c.cond(st.Cond); err != nil {
+				return err
+			}
+			jz = c.emit(opJumpIfZero, 0, 0, 0)
+		}
+		c.pushLoop()
+		if err := c.stmt(st.Body); err != nil {
+			return err
+		}
+		brk, cont := c.popLoop()
+		postAt := c.here()
+		if st.Post != nil {
+			if err := c.stmt(st.Post); err != nil {
+				return err
+			}
+		}
+		c.emit(opJump, int32(top), 0, 0)
+		end := c.here()
+		if jz >= 0 {
+			c.patch(jz, end)
+		}
+		for _, at := range brk {
+			c.patch(at, end)
+		}
+		for _, at := range cont {
+			c.patch(at, postAt)
+		}
+		return nil
+	case *lang.Return:
+		c.line(st.Pos())
+		if st.Value == nil {
+			c.emit(opReturnVoid, 0, 0, 0)
+			return nil
+		}
+		if err := c.expr(st.Value); err != nil {
+			return err
+		}
+		c.emit(opReturn, 0, 0, 0)
+		return nil
+	case *lang.Break:
+		c.line(st.Pos())
+		at := c.emit(opJump, 0, 0, 0)
+		n := len(c.brkStack) - 1
+		c.brkStack[n] = append(c.brkStack[n], at)
+		return nil
+	case *lang.Continue:
+		c.line(st.Pos())
+		at := c.emit(opJump, 0, 0, 0)
+		n := len(c.cntStack) - 1
+		c.cntStack[n] = append(c.cntStack[n], at)
+		return nil
+	case *lang.ExprStmt:
+		c.line(st.Pos())
+		if err := c.expr(st.E); err != nil {
+			return err
+		}
+		c.emit(opPop, 0, 0, 0)
+		return nil
+	}
+	return fmt.Errorf("vm: unknown statement %T", s)
+}
+
+func (c *compiler) pushLoop() {
+	c.brkStack = append(c.brkStack, nil)
+	c.cntStack = append(c.cntStack, nil)
+}
+
+func (c *compiler) popLoop() (brk, cont []int) {
+	n := len(c.brkStack) - 1
+	brk, cont = c.brkStack[n], c.cntStack[n]
+	c.brkStack = c.brkStack[:n]
+	c.cntStack = c.cntStack[:n]
+	return brk, cont
+}
+
+// cond compiles a statement condition: evaluate, then fire the branch
+// observer on the condition root, leaving the value on the stack.
+func (c *compiler) cond(e lang.Expr) error {
+	if err := c.expr(e); err != nil {
+		return err
+	}
+	c.emit(opObsBranch, int32(e.ID()), 0, 0)
+	return nil
+}
+
+func (c *compiler) assign(st *lang.Assign) error {
+	c.line(st.Pos())
+	scalar := lang.IsScalar(st.LHS.Type())
+	switch lhs := st.LHS.(type) {
+	case *lang.VarRef:
+		if err := c.expr(st.Value); err != nil {
+			return err
+		}
+		global := int32(0)
+		if lhs.Sym.Kind == lang.SymGlobal {
+			global = 1
+		}
+		switch {
+		case scalar:
+			c.emit(opObsAssignLocal, int32(lhs.Sym.Slot), global, int32(st.ID()))
+		case lang.IsPointer(st.LHS.Type()):
+			c.emit(opObsPtrLocal, int32(lhs.Sym.Slot), global, int32(st.ID()))
+		case global == 1:
+			c.emit(opStoreGlobal, int32(lhs.Sym.Slot), 0, 0)
+		default:
+			c.emit(opStoreLocal, int32(lhs.Sym.Slot), 0, 0)
+		}
+		return nil
+	case *lang.Index, *lang.Field:
+		if err := c.lvalueAddr(st.LHS); err != nil {
+			return err
+		}
+		if err := c.expr(st.Value); err != nil {
+			return err
+		}
+		obs := int32(0)
+		switch {
+		case scalar:
+			obs = 1
+		case lang.IsPointer(st.LHS.Type()):
+			obs = 2
+		}
+		c.emit(opStoreHeapObs, int32(st.ID()), obs, 0)
+		return nil
+	}
+	return fmt.Errorf("vm: bad assignment target %T", st.LHS)
+}
+
+// lvalueAddr compiles the address computation for an Index or Field
+// lvalue, pushing an address value.
+func (c *compiler) lvalueAddr(e lang.Expr) error {
+	switch ex := e.(type) {
+	case *lang.Index:
+		if err := c.expr(ex.Base); err != nil {
+			return err
+		}
+		if err := c.expr(ex.Idx); err != nil {
+			return err
+		}
+		elem := lang.Int
+		if pt, ok := ex.Base.Type().(*lang.PointerType); ok {
+			elem = pt.Elem
+		}
+		c.emit(opIndexAddr, int32(lang.SizeOf(elem)), 0, int32(ex.ID()))
+		return nil
+	case *lang.Field:
+		if ex.Arrow {
+			if err := c.expr(ex.Base); err != nil {
+				return err
+			}
+			c.emit(opFieldAddr, int32(ex.FieldIndex), 0, int32(ex.ID()))
+			return nil
+		}
+		if err := c.lvalueAddr(ex.Base); err != nil {
+			return err
+		}
+		c.emit(opAddrField, int32(ex.FieldIndex), 0, 0)
+		return nil
+	}
+	return fmt.Errorf("vm: not an lvalue: %T", e)
+}
+
+func (c *compiler) expr(e lang.Expr) error {
+	switch ex := e.(type) {
+	case *lang.IntLit:
+		c.emit(opConst, c.constIndex(IntVal(ex.Value)), 0, 0)
+		return nil
+	case *lang.StrLit:
+		c.emit(opConst, c.constIndex(StrVal(ex.Value)), 0, 0)
+		return nil
+	case *lang.NullLit:
+		c.emit(opConst, c.constIndex(Null), 0, 0)
+		return nil
+	case *lang.VarRef:
+		if ex.Sym.Kind == lang.SymGlobal {
+			c.emit(opLoadGlobal, int32(ex.Sym.Slot), 0, 0)
+		} else {
+			c.emit(opLoadLocal, int32(ex.Sym.Slot), 0, 0)
+		}
+		return nil
+	case *lang.Binary:
+		return c.binary(ex)
+	case *lang.Unary:
+		if err := c.expr(ex.E); err != nil {
+			return err
+		}
+		if ex.Op == lang.OpNeg {
+			c.emit(opNeg, 0, 0, 0)
+		} else {
+			c.emit(opNot, 0, 0, 0)
+		}
+		return nil
+	case *lang.Call:
+		for _, a := range ex.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		c.line(ex.Pos())
+		if ex.Builtin != nil {
+			c.emit(opCallBuiltin, c.builtinIndex(ex.Name), int32(len(ex.Args)), int32(ex.ID()))
+		} else {
+			c.emit(opCall, int32(c.fnIndex[ex.Name]), int32(len(ex.Args)), 0)
+		}
+		if ex.Type() != nil && ex.Type().Equal(lang.Int) {
+			c.emit(opObsRet, int32(ex.ID()), 0, 0)
+		}
+		return nil
+	case *lang.Index, *lang.Field:
+		if err := c.lvalueAddr(e); err != nil {
+			return err
+		}
+		c.emit(opLoadAddr, 0, 0, 0)
+		return nil
+	case *lang.NewArray:
+		if err := c.expr(ex.Count); err != nil {
+			return err
+		}
+		c.emit(opNewArray, c.typeIndex(ex.Elem), 0, 0)
+		return nil
+	case *lang.NewStruct:
+		c.emit(opNewStruct, c.typeIndex(ex.Struct), 0, 0)
+		return nil
+	}
+	return fmt.Errorf("vm: unknown expression %T", e)
+}
+
+func (c *compiler) binary(b *lang.Binary) error {
+	switch b.Op {
+	case lang.OpAnd:
+		// left; ObsBranch(left); if zero -> push 0; else right != 0.
+		if err := c.expr(b.L); err != nil {
+			return err
+		}
+		c.emit(opObsBranch, int32(b.L.ID()), 0, 0)
+		jz := c.emit(opJumpIfZero, 0, 0, 0)
+		if err := c.expr(b.R); err != nil {
+			return err
+		}
+		// Normalize right to 0/1: r != 0.
+		c.emit(opConst, c.constIndex(IntVal(0)), 0, 0)
+		c.emit(opEq, 0, 1, 0) // !=
+		jend := c.emit(opJump, 0, 0, 0)
+		c.patch(jz, c.here())
+		c.emit(opConst, c.constIndex(IntVal(0)), 0, 0)
+		c.patch(jend, c.here())
+		return nil
+	case lang.OpOr:
+		if err := c.expr(b.L); err != nil {
+			return err
+		}
+		c.emit(opObsBranch, int32(b.L.ID()), 0, 0)
+		jnz := c.emit(opJumpIfNZero, 0, 0, 0)
+		if err := c.expr(b.R); err != nil {
+			return err
+		}
+		c.emit(opConst, c.constIndex(IntVal(0)), 0, 0)
+		c.emit(opEq, 0, 1, 0)
+		jend := c.emit(opJump, 0, 0, 0)
+		c.patch(jnz, c.here())
+		c.emit(opConst, c.constIndex(IntVal(1)), 0, 0)
+		c.patch(jend, c.here())
+		return nil
+	}
+
+	if err := c.expr(b.L); err != nil {
+		return err
+	}
+	if err := c.expr(b.R); err != nil {
+		return err
+	}
+	switch b.Op {
+	case lang.OpAdd:
+		c.emit(opAdd, 0, 0, 0)
+	case lang.OpSub:
+		c.emit(opSub, 0, 0, 0)
+	case lang.OpMul:
+		c.emit(opMul, 0, 0, 0)
+	case lang.OpDiv:
+		c.emit(opDiv, 0, 0, 0)
+	case lang.OpMod:
+		c.emit(opMod, 0, 0, 0)
+	case lang.OpEq:
+		c.emit(opEq, 0, 0, 0)
+	case lang.OpNe:
+		c.emit(opEq, 0, 1, 0)
+	case lang.OpLt:
+		c.emit(opLt, 0, 0, 0)
+	case lang.OpLe:
+		c.emit(opLe, 0, 0, 0)
+	case lang.OpGt:
+		c.emit(opGt, 0, 0, 0)
+	case lang.OpGe:
+		c.emit(opGe, 0, 0, 0)
+	default:
+		return fmt.Errorf("vm: unknown operator %s", b.Op)
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package vm
+
+import (
+	"cbi/internal/interp"
+	"cbi/internal/lang"
+)
+
+// CompileOptimized compiles prog and applies Optimize.
+func CompileOptimized(prog *lang.Program) (*Module, error) {
+	mod, err := Compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	Optimize(mod)
+	return mod, nil
+}
+
+// Optimize applies semantics-preserving bytecode optimizations to every
+// function in the module, in place:
+//
+//   - constant folding: const/const arithmetic and comparisons are
+//     evaluated at compile time when they cannot trap;
+//   - jump threading: jumps whose target is another unconditional jump
+//     go straight to the final destination;
+//   - dead-code elision: instructions that can never be reached
+//     (between an unconditional control transfer and the next jump
+//     target) become nops.
+//
+// Observer events, traps, allocation order, and step-limit *outcomes*
+// are unaffected: folding only touches trap-free constant arithmetic,
+// and the engines' step counts were never comparable across backends
+// anyway. The progen differential fuzz and the subject differential
+// tests run against optimized modules, which is the correctness
+// argument.
+func Optimize(mod *Module) {
+	for _, fn := range mod.Funcs {
+		foldConstants(mod, fn)
+		threadJumps(fn)
+		elideDeadCode(fn)
+	}
+}
+
+// foldConstants rewrites const/const binary operations into a single
+// const instruction. Only trap-free foldings are performed: division
+// and modulo by a constant zero are left for runtime so the trap still
+// fires in program order.
+func foldConstants(mod *Module, fn *Func) {
+	code := fn.Code
+	// jumpTargets marks instructions that are jump destinations; we
+	// must not fold across them (the middle of a folded triple could
+	// be a live jump target).
+	targets := jumpTargetSet(code)
+
+	for i := 0; i+2 < len(code); i++ {
+		a, b, op := code[i], code[i+1], code[i+2]
+		if a.Op != opConst || b.Op != opConst {
+			continue
+		}
+		if targets[i+1] || targets[i+2] {
+			continue
+		}
+		va, vb := mod.Consts[a.A], mod.Consts[b.A]
+		folded, ok := foldBinary(op, va, vb)
+		if !ok {
+			continue
+		}
+		idx := constIndex(mod, folded)
+		code[i] = Instr{Op: opConst, A: idx}
+		code[i+1] = Instr{Op: opNop}
+		code[i+2] = Instr{Op: opNop}
+	}
+}
+
+// foldBinary evaluates op on two constant values when that cannot trap
+// or change observable behaviour.
+func foldBinary(in Instr, l, r Value) (Value, bool) {
+	bothInt := l.Kind == KInt && r.Kind == KInt
+	switch in.Op {
+	case opAdd:
+		if bothInt {
+			return IntVal(l.Int + r.Int), true
+		}
+		if l.Kind == KStr && r.Kind == KStr {
+			return StrVal(l.Str + r.Str), true
+		}
+	case opSub:
+		if bothInt {
+			return IntVal(l.Int - r.Int), true
+		}
+	case opMul:
+		if bothInt {
+			return IntVal(l.Int * r.Int), true
+		}
+	case opDiv:
+		if bothInt && r.Int != 0 {
+			return IntVal(interp.DivWrap(l.Int, r.Int)), true
+		}
+	case opMod:
+		if bothInt && r.Int != 0 {
+			return IntVal(interp.ModWrap(l.Int, r.Int)), true
+		}
+	case opEq:
+		eq, ok := interp.ValuesEqual(l, r)
+		if ok {
+			if in.B == 1 {
+				eq = !eq
+			}
+			return boolVal(eq), true
+		}
+	case opLt, opLe, opGt, opGe:
+		if bothInt {
+			return boolVal(intOrder(in.Op, l.Int, r.Int)), true
+		}
+		if l.Kind == KStr && r.Kind == KStr {
+			return boolVal(strOrder(in.Op, l.Str, r.Str)), true
+		}
+	}
+	return Value{}, false
+}
+
+func constIndex(mod *Module, v Value) int32 {
+	for i, existing := range mod.Consts {
+		if sameConst(existing, v) {
+			return int32(i)
+		}
+	}
+	mod.Consts = append(mod.Consts, v)
+	return int32(len(mod.Consts) - 1)
+}
+
+// jumpTargetSet returns which instruction indices are jump targets.
+func jumpTargetSet(code []Instr) map[int]bool {
+	targets := map[int]bool{}
+	for _, in := range code {
+		switch in.Op {
+		case opJump, opJumpIfZero, opJumpIfNZero:
+			targets[int(in.A)] = true
+		}
+	}
+	return targets
+}
+
+// threadJumps retargets jumps that land on unconditional jumps.
+func threadJumps(fn *Func) {
+	code := fn.Code
+	final := func(t int) int {
+		seen := map[int]bool{}
+		for t < len(code) && !seen[t] {
+			seen[t] = true
+			// Skip nops at the landing point.
+			u := t
+			for u < len(code) && code[u].Op == opNop {
+				u++
+			}
+			if u < len(code) && code[u].Op == opJump {
+				t = int(code[u].A)
+				continue
+			}
+			return u
+		}
+		return t
+	}
+	for i := range code {
+		switch code[i].Op {
+		case opJump, opJumpIfZero, opJumpIfNZero:
+			code[i].A = int32(final(int(code[i].A)))
+		}
+	}
+}
+
+// elideDeadCode turns unreachable instructions into nops. Reachability
+// is a simple forward scan: after an unconditional transfer (jump,
+// return), instructions are dead until the next jump target.
+func elideDeadCode(fn *Func) {
+	code := fn.Code
+	targets := jumpTargetSet(code)
+	dead := false
+	for i := range code {
+		if targets[i] {
+			dead = false
+		}
+		if dead {
+			code[i] = Instr{Op: opNop}
+			continue
+		}
+		switch code[i].Op {
+		case opJump, opReturn, opReturnVoid:
+			dead = true
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"cbi/internal/instrument"
+	"cbi/internal/interp"
+	"cbi/internal/sampling"
+	"cbi/internal/subjects"
+)
+
+func TestConstantFolding(t *testing.T) {
+	_, mod := compileSrc(t, `int main() { return 2 + 3 * 4; }`)
+	Optimize(mod)
+	asm := Disasm(mod.Funcs[mod.Main])
+	// 3 * 4 folds to 12, then 2 + 12 requires a second pass we don't
+	// do — but at least one arithmetic op must be gone.
+	if strings.Count(asm, "mul") != 0 {
+		t.Errorf("multiplication not folded:\n%s", asm)
+	}
+	out := New(mod, nil).Run(interp.Input{})
+	if out.ExitCode != 14 {
+		t.Errorf("optimized exit = %d, want 14", out.ExitCode)
+	}
+}
+
+func TestFoldingSkipsTrappingDivision(t *testing.T) {
+	_, mod := compileSrc(t, `int main() { return 1 / 0; }`)
+	Optimize(mod)
+	out := New(mod, nil).Run(interp.Input{})
+	if !out.Crashed || out.Trap != interp.TrapDivByZero {
+		t.Errorf("optimized division by zero: %v %s", out.Crashed, out.Trap)
+	}
+}
+
+func TestDivWrapSemantics(t *testing.T) {
+	// MinInt64 / -1 and % -1 must not panic the host process and must
+	// agree across engines (wrap semantics).
+	src := `
+int main() {
+  int big = 0 - 9223372036854775807 - 1;
+  int d = big / -1;
+  int m = big % -1;
+  output(d);
+  output(m);
+  return 0;
+}`
+	prog, mod := compileSrc(t, src)
+	a := interp.Run(prog, interp.Input{}, nil)
+	b := New(mod, nil).Run(interp.Input{})
+	if a.Crashed || b.Crashed {
+		t.Fatalf("wrap semantics crashed: tree=%v vm=%v", a.Trap, b.Trap)
+	}
+	if strings.Join(a.Output, ",") != strings.Join(b.Output, ",") {
+		t.Fatalf("outputs differ: %v vs %v", a.Output, b.Output)
+	}
+	if a.Output[0] != "-9223372036854775808" || a.Output[1] != "0" {
+		t.Errorf("wrap values: %v", a.Output)
+	}
+}
+
+func TestDeadCodeElision(t *testing.T) {
+	_, mod := compileSrc(t, `
+int main() {
+  return 1;
+  output("unreachable");
+  return 2;
+}`)
+	Optimize(mod)
+	asm := Disasm(mod.Funcs[mod.Main])
+	if strings.Contains(asm, "callbuiltin") {
+		t.Errorf("unreachable call not elided:\n%s", asm)
+	}
+	out := New(mod, nil).Run(interp.Input{})
+	if out.ExitCode != 1 || len(out.Output) != 0 {
+		t.Errorf("optimized run: exit=%d output=%v", out.ExitCode, out.Output)
+	}
+}
+
+// TestOptimizedDifferentialSubjects: the optimizer must preserve
+// outcomes AND instrumentation reports on every subject.
+func TestOptimizedDifferentialSubjects(t *testing.T) {
+	const runs = 250
+	for _, s := range subjects.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			prog := s.Program(true)
+			plan := instrument.BuildPlan(prog)
+
+			rtPlain := instrument.NewRuntime(plan, sampling.Always{})
+			plain := New(MustCompile(prog), rtPlain)
+
+			optMod, err := CompileOptimized(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rtOpt := instrument.NewRuntime(plan, sampling.Always{})
+			opt := New(optMod, rtOpt)
+
+			for i := int64(0); i < runs; i++ {
+				input := s.Input(i)
+				rtPlain.BeginRun(i + 1)
+				a := plain.Run(input)
+				repA := rtPlain.Snapshot(a.Crashed)
+				rtOpt.BeginRun(i + 1)
+				b := opt.Run(input)
+				repB := rtOpt.Snapshot(b.Crashed)
+
+				if !outcomesAgree(a, b) {
+					t.Fatalf("input %d: optimizer changed outcome: %s/%d vs %s/%d",
+						i, a.Trap, a.ExitCode, b.Trap, b.ExitCode)
+				}
+				if len(repA.TruePreds) != len(repB.TruePreds) {
+					t.Fatalf("input %d: optimizer changed report: %d vs %d preds",
+						i, len(repA.TruePreds), len(repB.TruePreds))
+				}
+				for j := range repA.TruePreds {
+					if repA.TruePreds[j] != repB.TruePreds[j] {
+						t.Fatalf("input %d: report pred %d differs", i, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestOptimizeShrinksLiveCode(t *testing.T) {
+	prog := subjects.Moss().Program(true)
+	plain := MustCompile(prog)
+	opt, err := CompileOptimized(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := func(m *Module) int {
+		n := 0
+		for _, fn := range m.Funcs {
+			for _, in := range fn.Code {
+				if in.Op != opNop {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	lp, lo := live(plain), live(opt)
+	if lo >= lp {
+		t.Errorf("optimizer removed nothing: %d -> %d live instructions", lp, lo)
+	}
+	t.Logf("live instructions: %d -> %d", lp, lo)
+}

@@ -1,0 +1,38 @@
+package vm
+
+import (
+	"cbi/internal/interp"
+	"cbi/internal/lang"
+)
+
+// The VM shares the interpreter's value model, heap, traps, and
+// builtins through interp.State, so the two engines cannot drift apart
+// semantically.
+
+// Value is the runtime value type shared with the tree-walker.
+type Value = interp.Value
+
+// Re-exported constructors for convenience inside this package.
+var (
+	IntVal = interp.IntVal
+	StrVal = interp.StrVal
+	Null   = interp.Null
+)
+
+// Value kind shorthands.
+const (
+	KInt = interp.KInt
+	KStr = interp.KStr
+	KPtr = interp.KPtr
+)
+
+func zeroOf(t lang.Type) Value {
+	switch {
+	case t.Equal(lang.String):
+		return StrVal("")
+	case lang.IsPointer(t):
+		return Null
+	default:
+		return IntVal(0)
+	}
+}

@@ -1,0 +1,282 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"cbi/internal/instrument"
+	"cbi/internal/interp"
+	"cbi/internal/lang"
+	"cbi/internal/sampling"
+	"cbi/internal/subjects"
+)
+
+func compileSrc(t *testing.T, src string) (*lang.Program, *Module) {
+	t.Helper()
+	prog, err := lang.Parse("test.mc", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := lang.Resolve(prog); err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	mod, err := Compile(prog)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return prog, mod
+}
+
+func runVM(t *testing.T, src string, input interp.Input) *interp.Outcome {
+	t.Helper()
+	_, mod := compileSrc(t, src)
+	return New(mod, nil).Run(input)
+}
+
+func TestVMBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int64
+	}{
+		{"arith", `int main() { return (1 + 2 * 3 - 4 / 2) % 5; }`, 0},
+		{"loops", `int main() { int s = 0; for (int i = 0; i < 10; i = i + 1) { if (i % 2 == 0) { continue; } if (i > 7) { break; } s = s + i; } return s; }`, 16},
+		{"while", `int main() { int i = 0; while (i < 100) { i = i + 7; } return i; }`, 105},
+		{"fib", `int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); } int main() { return fib(15); }`, 610},
+		{"shortcircuit", `int g = 0; int bump() { g = g + 1; return 1; } int main() { int a = 0 && bump(); int b = 1 || bump(); int c = 1 && bump(); return g * 10 + a + b + c; }`, 12},
+		{"structs", `struct P { int x; int y; } int main() { P* a = new P[3]; for (int i = 0; i < 3; i = i + 1) { a[i].x = i; a[i].y = i * i; } P* s = new P; s->x = 100; int r = s->x; for (int i = 0; i < 3; i = i + 1) { r = r + a[i].x + a[i].y; } return r; }`, 108},
+		{"list", `struct N { int v; N* next; } int main() { N* h = null; for (int i = 1; i <= 5; i = i + 1) { N* n = new N; n->v = i; n->next = h; h = n; } int s = 0; N* p = h; while (p != null) { s = s + p->v; p = p->next; } return s; }`, 15},
+		{"strings", `int main() { string s = "ab" + "cd"; if (s == "abcd" && strlen(s) == 4 && "a" < "b") { return 7; } return 0; }`, 7},
+		{"voidfn", `void f() { output("x"); } int main() { f(); return 3; }`, 3},
+		{"globals", `int g = 40; string n = "xy"; int main() { g = g + strlen(n); return g; }`, 42},
+		{"falloff", `int f() { int x = 1; } int main() { return f(); }`, 0},
+		{"unary", `int main() { return -(3 - 5) + !0 + !7; }`, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := runVM(t, tc.src, interp.Input{})
+			if out.Crashed {
+				t.Fatalf("crashed: %s %s (stack %v)", out.Trap, out.Msg, out.Stack)
+			}
+			if out.ExitCode != tc.want {
+				t.Errorf("exit = %d, want %d", out.ExitCode, tc.want)
+			}
+		})
+	}
+}
+
+func TestVMTraps(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		trap interp.TrapKind
+	}{
+		{"null index", `int main() { int* p = null; return p[0]; }`, interp.TrapNullDeref},
+		{"null arrow", `struct S { int v; } int main() { S* p = null; return p->v; }`, interp.TrapNullDeref},
+		{"div zero", `int main() { int z = 0; return 1 / z; }`, interp.TrapDivByZero},
+		{"fail", `int main() { fail("boom"); return 0; }`, interp.TrapExplicitFail},
+		{"overflowing recursion", `int f(int n) { return f(n + 1); } int main() { return f(0); }`, interp.TrapStackOverflow},
+		{"steps", `int main() { while (1) { } return 0; }`, interp.TrapStepLimit},
+		{"neg alloc", `int main() { int n = -5; int* p = new int[n]; return p[0]; }`, interp.TrapBadAlloc},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := runVM(t, tc.src, interp.Input{})
+			if !out.Crashed {
+				t.Fatalf("did not crash (exit %d)", out.ExitCode)
+			}
+			if out.Trap != tc.trap {
+				t.Errorf("trap = %s, want %s", out.Trap, tc.trap)
+			}
+			if len(out.Stack) == 0 {
+				t.Error("no stack trace")
+			}
+		})
+	}
+}
+
+func TestVMStackTrace(t *testing.T) {
+	out := runVM(t, `
+int inner() { int* p = null; return p[2]; }
+int middle() { return inner(); }
+int main() { return middle(); }`, interp.Input{})
+	if !out.Crashed {
+		t.Fatal("expected crash")
+	}
+	if sig := out.StackSignature(); sig != "inner<middle<main" {
+		t.Errorf("signature = %q", sig)
+	}
+}
+
+// outcomesAgree compares engine outcomes on the observable dimensions
+// that must match exactly (step counts and line numbers may differ by
+// engine).
+func outcomesAgree(a, b *interp.Outcome) bool {
+	if a.Crashed != b.Crashed || a.Trap != b.Trap {
+		return false
+	}
+	if !a.Crashed && a.ExitCode != b.ExitCode {
+		return false
+	}
+	if a.StackSignature() != b.StackSignature() {
+		return false
+	}
+	if strings.Join(a.Output, "\n") != strings.Join(b.Output, "\n") {
+		return false
+	}
+	if len(a.BugsObserved) != len(b.BugsObserved) {
+		return false
+	}
+	for i := range a.BugsObserved {
+		if a.BugsObserved[i] != b.BugsObserved[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDifferentialSubjects runs every built-in subject on both engines
+// over many inputs and requires identical outcomes — crash/no-crash,
+// trap kind, stack signature, outputs, exit codes, and ground truth.
+// This is the semantic-equivalence guarantee for the compiled backend.
+func TestDifferentialSubjects(t *testing.T) {
+	const runsPerSubject = 600
+	for _, s := range subjects.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			prog := s.Program(true)
+			tree := interp.New(prog, nil)
+			machine := New(MustCompile(prog), nil)
+			for i := int64(0); i < runsPerSubject; i++ {
+				input := s.Input(i)
+				a := tree.Run(input)
+				b := machine.Run(input)
+				if !outcomesAgree(a, b) {
+					t.Fatalf("input %d diverges:\n tree: crash=%v trap=%s exit=%d sig=%q bugs=%v out=%d lines\n   vm: crash=%v trap=%s exit=%d sig=%q bugs=%v out=%d lines",
+						i,
+						a.Crashed, a.Trap, a.ExitCode, a.StackSignature(), a.BugsObserved, len(a.Output),
+						b.Crashed, b.Trap, b.ExitCode, b.StackSignature(), b.BugsObserved, len(b.Output))
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialObserverEvents runs both engines with full-observation
+// instrumentation runtimes and requires identical feedback reports —
+// i.e. the engines agree not just on outcomes but on every predicate
+// observation.
+func TestDifferentialObserverEvents(t *testing.T) {
+	const runs = 150
+	for _, name := range []string{"ccrypt", "bc", "exif", "rhythmbox"} {
+		s := subjects.ByName(name)
+		t.Run(name, func(t *testing.T) {
+			prog := s.Program(true)
+			plan := instrument.BuildPlan(prog)
+
+			rtTree := instrument.NewRuntime(plan, sampling.Always{})
+			tree := interp.New(prog, rtTree)
+			rtVM := instrument.NewRuntime(plan, sampling.Always{})
+			machine := New(MustCompile(prog), rtVM)
+
+			for i := int64(0); i < runs; i++ {
+				input := s.Input(i)
+				rtTree.BeginRun(i + 1)
+				a := tree.Run(input)
+				repA := rtTree.Snapshot(a.Crashed)
+				rtVM.BeginRun(i + 1)
+				b := machine.Run(input)
+				repB := rtVM.Snapshot(b.Crashed)
+
+				if len(repA.TruePreds) != len(repB.TruePreds) || len(repA.ObservedSites) != len(repB.ObservedSites) {
+					t.Fatalf("input %d: report shape differs: tree %d/%d preds/sites, vm %d/%d",
+						i, len(repA.TruePreds), len(repA.ObservedSites), len(repB.TruePreds), len(repB.ObservedSites))
+				}
+				for j := range repA.TruePreds {
+					if repA.TruePreds[j] != repB.TruePreds[j] {
+						p := plan.Preds[repA.TruePreds[j]]
+						q := plan.Preds[repB.TruePreds[j]]
+						t.Fatalf("input %d: pred lists differ at %d: tree %q vs vm %q", i, j, p.Text, q.Text)
+					}
+				}
+				for j := range repA.ObservedSites {
+					if repA.ObservedSites[j] != repB.ObservedSites[j] {
+						t.Fatalf("input %d: site lists differ at %d", i, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialSampledEvents checks agreement under sparse sampling:
+// since both engines produce the same event sequence and the sampler is
+// seeded per run, the sampled reports must match too.
+func TestDifferentialSampledEvents(t *testing.T) {
+	s := subjects.ByName("bc")
+	prog := s.Program(true)
+	plan := instrument.BuildPlan(prog)
+	rtTree := instrument.NewRuntime(plan, sampling.NewUniform(0.05))
+	tree := interp.New(prog, rtTree)
+	rtVM := instrument.NewRuntime(plan, sampling.NewUniform(0.05))
+	machine := New(MustCompile(prog), rtVM)
+
+	for i := int64(0); i < 300; i++ {
+		input := s.Input(i)
+		rtTree.BeginRun(i + 1)
+		tree.Run(input)
+		repA := rtTree.Snapshot(false)
+		rtVM.BeginRun(i + 1)
+		machine.Run(input)
+		repB := rtVM.Snapshot(false)
+		if len(repA.TruePreds) != len(repB.TruePreds) {
+			t.Fatalf("input %d: sampled pred counts differ: %d vs %d", i, len(repA.TruePreds), len(repB.TruePreds))
+		}
+		for j := range repA.TruePreds {
+			if repA.TruePreds[j] != repB.TruePreds[j] {
+				t.Fatalf("input %d: sampled pred lists differ at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestVMDeterminism(t *testing.T) {
+	s := subjects.ByName("moss")
+	machine := New(MustCompile(s.Program(true)), nil)
+	a := machine.Run(s.Input(7))
+	b := machine.Run(s.Input(7))
+	if !outcomesAgree(a, b) {
+		t.Error("same input diverged across runs")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	prog, err := lang.Parse("t", `int f() { return 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unresolved/mainless program: Compile must refuse gracefully.
+	if _, err := Compile(prog); err == nil {
+		t.Error("Compile accepted a program without main")
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	_, mod := compileSrc(t, `int main() { int x = 2 + 3; return x; }`)
+	asm := Disasm(mod.Funcs[mod.Main])
+	for _, want := range []string{"const", "add", "return"} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, asm)
+		}
+	}
+}
+
+func TestVMLimits(t *testing.T) {
+	_, mod := compileSrc(t, `int main() { while (1) { int* p = new int[100]; p[0] = 1; } return 0; }`)
+	machine := New(mod, nil)
+	machine.SetLimits(interp.Limits{HeapSlots: 5000, Steps: 10_000_000})
+	out := machine.Run(interp.Input{})
+	if !out.Crashed || out.Trap != interp.TrapOutOfMemory {
+		t.Errorf("got %v/%s, want OOM", out.Crashed, out.Trap)
+	}
+}
