@@ -9,9 +9,13 @@
 package cbi_bench
 
 import (
+	"bytes"
+	"io"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	"cbi/internal/collector"
 	"cbi/internal/core"
 	"cbi/internal/experiments"
 	"cbi/internal/harness"
@@ -19,6 +23,7 @@ import (
 	"cbi/internal/interp"
 	"cbi/internal/lang"
 	"cbi/internal/logreg"
+	"cbi/internal/report"
 	"cbi/internal/sampling"
 	"cbi/internal/subjects"
 	"cbi/internal/vm"
@@ -267,4 +272,75 @@ func BenchmarkParseResolve(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkReportEncodeBinary measures wire-format encoding throughput
+// over a full MOSS corpus.
+func BenchmarkReportEncodeBinary(b *testing.B) {
+	res := warm(b, "moss", harness.SampleUniform)
+	var buf bytes.Buffer
+	if err := res.Set.MarshalBinary(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := res.Set.MarshalBinary(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReportDecodeBinary measures wire-format decoding throughput.
+func BenchmarkReportDecodeBinary(b *testing.B) {
+	res := warm(b, "moss", harness.SampleUniform)
+	var buf bytes.Buffer
+	if err := res.Set.MarshalBinary(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := report.UnmarshalBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReportEncodeText is the baseline the binary codec competes
+// with.
+func BenchmarkReportEncodeText(b *testing.B) {
+	res := warm(b, "moss", harness.SampleUniform)
+	for i := 0; i < b.N; i++ {
+		if err := res.Set.Marshal(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectorIngest measures streaming-aggregation throughput:
+// reports/sec folded into the collector's sharded counters from
+// parallel ingesters (the server's apply path minus HTTP).
+func BenchmarkCollectorIngest(b *testing.B) {
+	res := warm(b, "moss", harness.SampleUniform)
+	in := res.CoreInput()
+	srv, err := collector.New(collector.Config{
+		NumSites: in.Set.NumSites,
+		NumPreds: in.Set.NumPreds,
+		SiteOf:   in.SiteOf,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	reports := in.Set.Reports
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			srv.Ingest(reports[int(i)%len(reports)])
+		}
+	})
 }

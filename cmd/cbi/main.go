@@ -12,6 +12,8 @@
 //	cbi analyze <file.mc> [flags]    re-analyze a saved report corpus
 //	cbi subject <name> [flags]       run a built-in case-study subject
 //	cbi html <name> -o report.html   write an interactive HTML report
+//	cbi serve [flags]                run a feedback-report collector server
+//	cbi submit [flags]               stream reports to a running collector
 //
 // Run `cbi <subcommand> -h` for per-command flags.
 package main
@@ -46,6 +48,10 @@ func main() {
 		err = cmdSubject(os.Args[2:])
 	case "html":
 		err = cmdHTML(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -70,6 +76,8 @@ subcommands:
   analyze <file.mc>   re-analyze a corpus saved with run -save
   subject <name>      run a built-in subject (moss, ccrypt, bc, exif, rhythmbox)
   html <name>         write an interactive HTML report for a subject
+  serve               run a feedback-report collector (ingestion + live ranking)
+  submit              stream reports to a running collector
 `)
 }
 

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"cbi/internal/collector"
+	"cbi/internal/harness"
+	"cbi/internal/instrument"
+	"cbi/internal/report"
+	"cbi/internal/subjects"
+)
+
+// planFor derives the instrumentation plan for -subject or -program,
+// which fixes the collector's site/predicate dimensions.
+func planFor(subject, program string) (*instrument.Plan, string, error) {
+	switch {
+	case subject != "" && program != "":
+		return nil, "", fmt.Errorf("use -subject or -program, not both")
+	case subject != "":
+		subj := subjects.ByName(subject)
+		if subj == nil {
+			return nil, "", fmt.Errorf("unknown subject %q", subject)
+		}
+		return instrument.BuildPlan(subj.Program(true)), subject, nil
+	case program != "":
+		prog, err := loadProgram(program)
+		if err != nil {
+			return nil, "", err
+		}
+		return instrument.BuildPlan(prog), program, nil
+	default:
+		return nil, "", fmt.Errorf("one of -subject or -program is required")
+	}
+}
+
+func siteOf(plan *instrument.Plan) []int32 {
+	out := make([]int32, plan.NumPreds())
+	for i, p := range plan.Preds {
+		out[i] = int32(p.Site)
+	}
+	return out
+}
+
+// cmdServe runs a collector: a report-ingestion server with streaming
+// aggregation, live /v1/scores ranking, and snapshot persistence.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":7575", "listen address")
+	subject := fs.String("subject", "", "built-in subject fixing the predicate universe")
+	program := fs.String("program", "", "MiniC source file fixing the predicate universe")
+	snapshot := fs.String("snapshot", "", "snapshot file (restored on start, persisted periodically)")
+	snapshotEvery := fs.Duration("snapshot-every", 30*time.Second, "periodic snapshot interval")
+	queueSize := fs.Int("queue", 256, "ingest queue bound in batches (backpressure beyond)")
+	shards := fs.Int("shards", 16, "aggregate counter stripes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, name, err := planFor(*subject, *program)
+	if err != nil {
+		return err
+	}
+	srv, err := collector.New(collector.Config{
+		NumSites:      plan.NumSites(),
+		NumPreds:      plan.NumPreds(),
+		SiteOf:        siteOf(plan),
+		Fingerprint:   plan.Fingerprint(),
+		QueueSize:     *queueSize,
+		Shards:        *shards,
+		SnapshotPath:  *snapshot,
+		SnapshotEvery: *snapshotEvery,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collector for %s: %d sites, %d predicates, fingerprint %d\n",
+		name, plan.NumSites(), plan.NumPreds(), plan.Fingerprint())
+
+	// Drain gracefully on SIGINT/SIGTERM: stop accepting, apply the
+	// queue, persist a final snapshot, then close the listener.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+
+	if err := srv.ListenAndServe(*addr); err != nil {
+		return err
+	}
+	return <-done
+}
+
+// cmdSubmit streams reports to a collector: either a saved report set
+// (-reports) or a fresh experiment run live through the harness
+// streaming hook (-subject -runs).
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:7575", "collector base URL")
+	subject := fs.String("subject", "", "run this built-in subject and stream its reports")
+	runs := fs.Int("runs", 2000, "number of runs (with -subject)")
+	mode := fs.String("mode", "uniform", "sampling: always, uniform, or nonuniform (with -subject)")
+	reportsFile := fs.String("reports", "", "stream a report set saved by `cbi run -save` instead of running")
+	batch := fs.Int("batch", 64, "reports per batch")
+	top := fs.Int("top", 0, "print the server's top-K ranking after submitting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	var set *report.Set
+	switch {
+	case *reportsFile != "" && *subject != "":
+		return fmt.Errorf("use -subject or -reports, not both")
+	case *reportsFile != "":
+		f, err := os.Open(*reportsFile)
+		if err != nil {
+			return err
+		}
+		set, err = report.Unmarshal(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	case *subject != "":
+		// Resolved below; the harness streams as it runs.
+	default:
+		return fmt.Errorf("one of -subject or -reports is required")
+	}
+
+	if set != nil {
+		client := collector.NewClient(*addr, set.NumSites, set.NumPreds,
+			collector.WithBatchSize(*batch))
+		if err := client.SubmitSet(ctx, set); err != nil {
+			return err
+		}
+		fmt.Printf("submitted %d reports (%d retries)\n", client.Submitted(), client.Retries())
+		return finishSubmit(ctx, client, *top)
+	}
+
+	subj := subjects.ByName(*subject)
+	if subj == nil {
+		return fmt.Errorf("unknown subject %q", *subject)
+	}
+	var m harness.Mode
+	switch *mode {
+	case "always":
+		m = harness.SampleAlways
+	case "uniform":
+		m = harness.SampleUniform
+	case "nonuniform":
+		m = harness.SampleNonuniform
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	plan := instrument.BuildPlan(subj.Program(true))
+	client := collector.NewClient(*addr, plan.NumSites(), plan.NumPreds(),
+		collector.WithBatchSize(*batch))
+	var streamMu sync.Mutex
+	var streamErr error
+	res := harness.Run(harness.Config{
+		Subject: subj,
+		Runs:    *runs,
+		Mode:    m,
+		Stream: func(run int, rep *report.Report, meta harness.RunMeta) {
+			if err := client.Add(ctx, rep); err != nil {
+				streamMu.Lock()
+				if streamErr == nil {
+					streamErr = err
+				}
+				streamMu.Unlock()
+			}
+		},
+	})
+	if streamErr != nil {
+		return streamErr
+	}
+	if err := client.Flush(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("%s: streamed %d runs (%d failing) to %s (%d retries)\n",
+		subj.Name, len(res.Set.Reports), res.NumFailing(), *addr, client.Retries())
+	return finishSubmit(ctx, client, *top)
+}
+
+// finishSubmit prints the server's view: stats, plus the live top-K
+// ranking when requested.
+func finishSubmit(ctx context.Context, client *collector.Client, top int) error {
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server: %d runs applied (%d failing, %d successful), queue depth %d\n",
+		stats.ReportsApplied, stats.Failing, stats.Successful, stats.QueueDepth)
+	if top <= 0 {
+		return nil
+	}
+	scores, err := client.Scores(ctx, top)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("live top-%d predictors by Importance:\n", top)
+	for i, e := range scores {
+		fmt.Printf("%2d. pred %5d  Imp=%.3f Inc=%.3f±%.3f F=%d S=%d\n",
+			i+1, e.Pred, e.Importance, e.Increase, e.IncreaseCI, e.F, e.S)
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"cbi/internal/collector"
+	"cbi/internal/instrument"
+	"cbi/internal/subjects"
+)
+
+// freePort grabs an ephemeral port. The tiny close-to-bind window is
+// acceptable for a test on localhost.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}
+
+// TestServeAndSubmitEndToEnd builds the cbi binary, starts a live
+// `cbi serve` process, streams a subject experiment into it with
+// `cbi submit`'s code path, checks the live stats, and verifies SIGTERM
+// drains gracefully and persists a snapshot.
+func TestServeAndSubmitEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess end-to-end test")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "cbi")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cbi: %v\n%s", err, out)
+	}
+
+	port := freePort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	base := "http://" + addr
+	snap := filepath.Join(dir, "collector.snap")
+
+	serve := exec.Command(bin, "serve",
+		"-addr", addr, "-subject", "ccrypt", "-snapshot", snap)
+	serve.Stdout = os.Stderr
+	serve.Stderr = os.Stderr
+	if err := serve.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer serve.Process.Kill()
+
+	plan := instrument.BuildPlan(subjects.Ccrypt().Program(true))
+	client := collector.NewClient(base, plan.NumSites(), plan.NumPreds())
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for !client.Healthy(ctx) {
+		select {
+		case <-ctx.Done():
+			t.Fatal("server never became healthy")
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+
+	const runs = 300
+	if err := cmdSubmit([]string{
+		"-addr", base, "-subject", "ccrypt", "-runs", fmt.Sprint(runs),
+		"-mode", "always", "-batch", "32", "-top", "5",
+	}); err != nil {
+		t.Fatalf("cbi submit: %v", err)
+	}
+
+	// The submit path waits for nothing; poll until the server applied
+	// everything, then check the live view.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		stats, err := client.Stats(ctx)
+		if err == nil && stats.ReportsApplied >= runs {
+			if stats.Runs != runs {
+				t.Fatalf("server counted %d runs, want %d", stats.Runs, runs)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never applied all reports")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	scores, err := client.Scores(ctx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) == 0 {
+		t.Fatal("live server returned an empty ranking for a failing subject")
+	}
+
+	// SIGTERM must drain and persist a final snapshot, then exit 0.
+	if err := serve.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := serve.Wait(); err != nil {
+		t.Fatalf("serve exited with error: %v", err)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("no snapshot after graceful shutdown: %v", err)
+	}
+
+	// A restarted server resumes from the snapshot.
+	serve2 := exec.Command(bin, "serve",
+		"-addr", addr, "-subject", "ccrypt", "-snapshot", snap)
+	serve2.Stdout = os.Stderr
+	serve2.Stderr = os.Stderr
+	if err := serve2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer serve2.Process.Kill()
+	for !client.Healthy(ctx) {
+		select {
+		case <-ctx.Done():
+			t.Fatal("restarted server never became healthy")
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs != runs {
+		t.Fatalf("restarted server has %d runs, want %d", stats.Runs, runs)
+	}
+	serve2.Process.Signal(syscall.SIGTERM)
+	serve2.Wait()
+}

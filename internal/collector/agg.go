@@ -1,0 +1,168 @@
+// Package collector implements the paper's deployment model as a
+// networked system: thousands of instrumented clients ship feedback
+// reports to a central server, which aggregates them incrementally and
+// serves a live Importance ranking (§2's "central database" made
+// concrete). The server never stores reports — ingestion folds each
+// one into sharded aggregate counters whose totals are exactly what
+// core.Aggregate would compute over the same report set, so live
+// rankings match the batch pipeline bit for bit.
+package collector
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cbi/internal/core"
+	"cbi/internal/corpus"
+	"cbi/internal/report"
+)
+
+// shardedAgg maintains the per-site and per-predicate tallies of
+// core.AggregateSubset under concurrent ingestion. Counters are striped
+// into contiguous blocks, each guarded by its own mutex; because report
+// id lists are sorted ascending, an applier walks each list taking each
+// stripe lock at most once.
+//
+// A top-level RWMutex makes whole reports atomic with respect to
+// readers: appliers hold the read side for the duration of one report,
+// snapshots and score queries take the write side, so they never
+// observe a half-applied report.
+type shardedAgg struct {
+	numSites, numPreds   int
+	siteBlock, predBlock int // stripe widths (ids per stripe)
+
+	gate        sync.RWMutex
+	siteStripes []sync.Mutex
+	predStripes []sync.Mutex
+
+	// Guarded by the stripe owning the index.
+	fObsSite, sObsSite []int64
+	fPred, sPred       []int64
+
+	// Run counts, updated atomically after a report's counters land.
+	numF, numS atomic.Int64
+}
+
+func newShardedAgg(numSites, numPreds, shards int) *shardedAgg {
+	if shards < 1 {
+		shards = 1
+	}
+	a := &shardedAgg{
+		numSites:    numSites,
+		numPreds:    numPreds,
+		siteBlock:   blockSize(numSites, shards),
+		predBlock:   blockSize(numPreds, shards),
+		siteStripes: make([]sync.Mutex, shards),
+		predStripes: make([]sync.Mutex, shards),
+		fObsSite:    make([]int64, numSites),
+		sObsSite:    make([]int64, numSites),
+		fPred:       make([]int64, numPreds),
+		sPred:       make([]int64, numPreds),
+	}
+	return a
+}
+
+func blockSize(dim, shards int) int {
+	b := (dim + shards - 1) / shards
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Apply folds one report into the aggregate. Safe for concurrent use.
+func (a *shardedAgg) Apply(r *report.Report) {
+	a.gate.RLock()
+	defer a.gate.RUnlock()
+
+	siteCounts, predCounts := a.sObsSite, a.sPred
+	if r.Failed {
+		siteCounts, predCounts = a.fObsSite, a.fPred
+	}
+	bumpStriped(a.siteStripes, a.siteBlock, siteCounts, r.ObservedSites)
+	bumpStriped(a.predStripes, a.predBlock, predCounts, r.TruePreds)
+
+	if r.Failed {
+		a.numF.Add(1)
+	} else {
+		a.numS.Add(1)
+	}
+}
+
+// bumpStriped increments counts[id] for each id in the ascending list,
+// acquiring each stripe's lock once as the walk crosses stripes.
+func bumpStriped(stripes []sync.Mutex, block int, counts []int64, ids []int32) {
+	held := -1
+	for _, id := range ids {
+		st := int(id) / block
+		if st != held {
+			if held >= 0 {
+				stripes[held].Unlock()
+			}
+			stripes[st].Lock()
+			held = st
+		}
+		counts[id]++
+	}
+	if held >= 0 {
+		stripes[held].Unlock()
+	}
+}
+
+// Runs returns the (failing, successful) run counts applied so far.
+func (a *shardedAgg) Runs() (numF, numS int64) {
+	return a.numF.Load(), a.numS.Load()
+}
+
+// Snapshot captures a consistent copy of all counters.
+func (a *shardedAgg) Snapshot(fingerprint uint64) *corpus.AggSnapshot {
+	a.gate.Lock()
+	defer a.gate.Unlock()
+	return &corpus.AggSnapshot{
+		NumSites:    a.numSites,
+		NumPreds:    a.numPreds,
+		Fingerprint: fingerprint,
+		NumF:        a.numF.Load(),
+		NumS:        a.numS.Load(),
+		FobsSite:    append([]int64{}, a.fObsSite...),
+		SobsSite:    append([]int64{}, a.sObsSite...),
+		FPred:       append([]int64{}, a.fPred...),
+		SPred:       append([]int64{}, a.sPred...),
+	}
+}
+
+// Restore overwrites the counters from a snapshot. Callers must ensure
+// no concurrent Apply (it is used before a server starts ingesting).
+func (a *shardedAgg) Restore(snap *corpus.AggSnapshot) {
+	a.gate.Lock()
+	defer a.gate.Unlock()
+	copy(a.fObsSite, snap.FobsSite)
+	copy(a.sObsSite, snap.SobsSite)
+	copy(a.fPred, snap.FPred)
+	copy(a.sPred, snap.SPred)
+	a.numF.Store(snap.NumF)
+	a.numS.Store(snap.NumS)
+}
+
+// ToAgg converts the live counters into a core.Agg, attaching each
+// predicate's site-observation counts via siteOf — the exact shape
+// core.Aggregate produces, so all of core's scoring applies unchanged.
+func (a *shardedAgg) ToAgg(siteOf []int32) *core.Agg {
+	a.gate.Lock()
+	defer a.gate.Unlock()
+	agg := &core.Agg{
+		Stats: make([]core.Stats, a.numPreds),
+		NumF:  int(a.numF.Load()),
+		NumS:  int(a.numS.Load()),
+	}
+	for p := 0; p < a.numPreds; p++ {
+		site := siteOf[p]
+		agg.Stats[p] = core.Stats{
+			F:    int(a.fPred[p]),
+			S:    int(a.sPred[p]),
+			Fobs: int(a.fObsSite[site]),
+			Sobs: int(a.sObsSite[site]),
+		}
+	}
+	return agg
+}

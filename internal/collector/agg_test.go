@@ -1,0 +1,103 @@
+package collector
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"cbi/internal/core"
+	"cbi/internal/harness"
+	"cbi/internal/subjects"
+)
+
+var (
+	corpusOnce sync.Once
+	corpusRes  *harness.Result
+)
+
+// testCorpus runs one shared ccrypt experiment — a full subject corpus
+// with real failures — used by every equivalence test in the package.
+func testCorpus(t *testing.T) *harness.Result {
+	t.Helper()
+	corpusOnce.Do(func() {
+		corpusRes = harness.Run(harness.Config{
+			Subject: subjects.Ccrypt(),
+			Runs:    1000,
+			Mode:    harness.SampleUniform,
+			Workers: 4,
+		})
+	})
+	if corpusRes.NumFailing() == 0 {
+		t.Fatal("test corpus has no failing runs; equivalence tests are vacuous")
+	}
+	return corpusRes
+}
+
+// TestShardedAggMatchesBatchAggregate is the core streaming-equivalence
+// property: folding reports one at a time into the sharded counters,
+// from many goroutines in arbitrary order, must produce exactly the
+// aggregate core.Aggregate computes over the same set.
+func TestShardedAggMatchesBatchAggregate(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+
+	for _, shards := range []int{1, 3, 16} {
+		agg := newShardedAgg(in.Set.NumSites, in.Set.NumPreds, shards)
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(in.Set.Reports); i += 8 {
+					agg.Apply(in.Set.Reports[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		got := agg.ToAgg(in.SiteOf)
+		want := core.Aggregate(in)
+		if got.NumF != want.NumF || got.NumS != want.NumS {
+			t.Fatalf("shards=%d: run counts (%d,%d), want (%d,%d)",
+				shards, got.NumF, got.NumS, want.NumF, want.NumS)
+		}
+		if !reflect.DeepEqual(got.Stats, want.Stats) {
+			t.Fatalf("shards=%d: per-predicate stats diverge from batch aggregate", shards)
+		}
+	}
+}
+
+func TestShardedAggSnapshotRestore(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+
+	agg := newShardedAgg(in.Set.NumSites, in.Set.NumPreds, 8)
+	for _, r := range in.Set.Reports {
+		agg.Apply(r)
+	}
+	snap := agg.Snapshot(12345)
+	if snap.Fingerprint != 12345 {
+		t.Errorf("snapshot fingerprint = %d", snap.Fingerprint)
+	}
+
+	fresh := newShardedAgg(in.Set.NumSites, in.Set.NumPreds, 8)
+	fresh.Restore(snap)
+	if !reflect.DeepEqual(fresh.ToAgg(in.SiteOf), agg.ToAgg(in.SiteOf)) {
+		t.Fatal("restored aggregate differs from original")
+	}
+	numF, numS := fresh.Runs()
+	if int(numF) != res.NumFailing() || int(numF+numS) != len(in.Set.Reports) {
+		t.Fatalf("restored run counts (%d,%d) wrong", numF, numS)
+	}
+
+	// Snapshot must be a copy: further ingestion into the original must
+	// not alias the snapshot's slices.
+	savedFobs := append([]int64{}, snap.FobsSite...)
+	savedFPred := append([]int64{}, snap.FPred...)
+	for _, r := range in.Set.Reports {
+		agg.Apply(r)
+	}
+	if !reflect.DeepEqual(snap.FobsSite, savedFobs) || !reflect.DeepEqual(snap.FPred, savedFPred) {
+		t.Fatal("snapshot aliases live counters")
+	}
+}

@@ -1,0 +1,294 @@
+package collector
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cbi/internal/report"
+)
+
+// Client ships feedback reports to a collector server. It batches
+// reports, compresses batches, and retries transient failures (429
+// backpressure, 5xx, network errors) with exponential backoff. Safe
+// for concurrent use — a parallel harness can stream from all workers
+// through one client.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	numSites, numPreds int
+
+	batchSize   int
+	maxRetries  int
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+	gzipOn      bool
+
+	mu    sync.Mutex
+	batch []*report.Report
+
+	submitted atomic.Int64 // reports acked by the server
+	retries   atomic.Int64 // transient failures retried
+}
+
+// ClientOption customizes a Client.
+type ClientOption func(*Client)
+
+// WithBatchSize sets the flush threshold in reports (default 64).
+func WithBatchSize(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.batchSize = n
+		}
+	}
+}
+
+// WithHTTPClient substitutes the HTTP client (default: 30s timeout).
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetry sets the retry budget per batch and the initial backoff,
+// which doubles per attempt up to 10s (defaults: 5 retries, 50ms).
+func WithRetry(maxRetries int, base time.Duration) ClientOption {
+	return func(c *Client) {
+		c.maxRetries = maxRetries
+		if base > 0 {
+			c.baseBackoff = base
+		}
+	}
+}
+
+// WithGzip toggles batch compression (default on).
+func WithGzip(on bool) ClientOption {
+	return func(c *Client) { c.gzipOn = on }
+}
+
+// NewClient builds a client for the collector at baseURL (e.g.
+// "http://localhost:7575"). numSites and numPreds must match the
+// collector's configured dimensions.
+func NewClient(baseURL string, numSites, numPreds int, opts ...ClientOption) *Client {
+	c := &Client{
+		base:        baseURL,
+		hc:          &http.Client{Timeout: 30 * time.Second},
+		numSites:    numSites,
+		numPreds:    numPreds,
+		batchSize:   64,
+		maxRetries:  5,
+		baseBackoff: 50 * time.Millisecond,
+		maxBackoff:  10 * time.Second,
+		gzipOn:      true,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Add buffers one report, flushing the batch to the server when it
+// reaches the batch size.
+func (c *Client) Add(ctx context.Context, r *report.Report) error {
+	c.mu.Lock()
+	c.batch = append(c.batch, r)
+	if len(c.batch) < c.batchSize {
+		c.mu.Unlock()
+		return nil
+	}
+	batch := c.batch
+	c.batch = nil
+	c.mu.Unlock()
+	return c.send(ctx, batch)
+}
+
+// Flush sends any buffered reports.
+func (c *Client) Flush(ctx context.Context) error {
+	c.mu.Lock()
+	batch := c.batch
+	c.batch = nil
+	c.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	return c.send(ctx, batch)
+}
+
+// SubmitSet streams a whole report set in batch-size chunks.
+func (c *Client) SubmitSet(ctx context.Context, set *report.Set) error {
+	if set.NumSites != c.numSites || set.NumPreds != c.numPreds {
+		return fmt.Errorf("collector: set dimensions %dx%d do not match client %dx%d",
+			set.NumSites, set.NumPreds, c.numSites, c.numPreds)
+	}
+	for lo := 0; lo < len(set.Reports); lo += c.batchSize {
+		hi := lo + c.batchSize
+		if hi > len(set.Reports) {
+			hi = len(set.Reports)
+		}
+		if err := c.send(ctx, set.Reports[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Submitted returns the number of reports acked by the server.
+func (c *Client) Submitted() int64 { return c.submitted.Load() }
+
+// Retries returns the number of transient failures retried.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// send encodes one batch and POSTs it, retrying transient failures.
+func (c *Client) send(ctx context.Context, batch []*report.Report) error {
+	set := &report.Set{NumSites: c.numSites, NumPreds: c.numPreds, Reports: batch}
+	var buf bytes.Buffer
+	if c.gzipOn {
+		gz := gzip.NewWriter(&buf)
+		if err := set.MarshalBinary(gz); err != nil {
+			return err
+		}
+		if err := gz.Close(); err != nil {
+			return err
+		}
+	} else if err := set.MarshalBinary(&buf); err != nil {
+		return err
+	}
+	payload := buf.Bytes()
+
+	backoff := c.baseBackoff
+	for attempt := 0; ; attempt++ {
+		retryable, err := c.post(ctx, payload, len(batch))
+		if err == nil {
+			return nil
+		}
+		if !retryable || attempt >= c.maxRetries {
+			return fmt.Errorf("collector: submitting batch of %d: %v", len(batch), err)
+		}
+		c.retries.Add(1)
+		var delay time.Duration
+		if ra, ok := retryAfter(err); ok {
+			delay = ra
+		} else {
+			delay = backoff
+		}
+		if delay > c.maxBackoff {
+			delay = c.maxBackoff
+		}
+		backoff *= 2
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// httpError is a non-2xx response; it keeps the Retry-After hint.
+type httpError struct {
+	status     int
+	body       string
+	retryAfter time.Duration
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.status, e.body)
+}
+
+func retryAfter(err error) (time.Duration, bool) {
+	if he, ok := err.(*httpError); ok && he.retryAfter > 0 {
+		return he.retryAfter, true
+	}
+	return 0, false
+}
+
+// post performs one POST attempt; the bool reports retryability.
+func (c *Client) post(ctx context.Context, payload []byte, n int) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/reports", bytes.NewReader(payload))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/x-cbi-reports")
+	if c.gzipOn {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		// Network-level failures (refused, reset, timeout) are the
+		// retryable case a flaky deployment hits constantly.
+		return true, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		c.submitted.Add(int64(n))
+		return false, nil
+	}
+	he := &httpError{status: resp.StatusCode, body: string(bytes.TrimSpace(body))}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			he.retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	retryable := resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500
+	return retryable, he
+}
+
+// Stats fetches GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var out Stats
+	if err := c.getJSON(ctx, "/v1/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Scores fetches the live top-k ranking from GET /v1/scores.
+func (c *Client) Scores(ctx context.Context, k int) ([]ScoreEntry, error) {
+	var out []ScoreEntry
+	if err := c.getJSON(ctx, fmt.Sprintf("/v1/scores?k=%d", k), &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Healthy reports whether GET /healthz returns 200.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("collector: GET %s: %d: %s", path, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

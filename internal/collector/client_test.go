@@ -1,0 +1,165 @@
+package collector
+
+import (
+	"compress/gzip"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cbi/internal/report"
+)
+
+func testReport(i int) *report.Report {
+	return &report.Report{Failed: i%3 == 0, ObservedSites: []int32{0}, TruePreds: []int32{int32(i % 2)}}
+}
+
+// TestClientRetriesTransientFailures drives a batch through a server
+// that sheds load twice before accepting.
+func TestClientRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+		case 2:
+			http.Error(w, "transient", http.StatusInternalServerError)
+		default:
+			w.WriteHeader(http.StatusAccepted)
+		}
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, 2, 2, WithBatchSize(1), WithRetry(5, time.Millisecond))
+	if err := c.Add(context.Background(), testReport(0)); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3", got)
+	}
+	if c.Retries() != 2 {
+		t.Errorf("Retries() = %d, want 2", c.Retries())
+	}
+	if c.Submitted() != 1 {
+		t.Errorf("Submitted() = %d, want 1", c.Submitted())
+	}
+}
+
+// TestClientTerminalErrorsDoNotRetry: a 400 means the batch itself is
+// bad; retrying would loop forever.
+func TestClientTerminalErrorsDoNotRetry(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad batch", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, 2, 2, WithBatchSize(1), WithRetry(5, time.Millisecond))
+	if err := c.Add(context.Background(), testReport(0)); err == nil {
+		t.Fatal("expected error for 400")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d attempts, want 1", got)
+	}
+}
+
+// TestClientRetryBudgetExhausted: persistent backpressure eventually
+// surfaces as an error instead of blocking forever.
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, 2, 2, WithBatchSize(1), WithRetry(3, time.Millisecond))
+	if err := c.Add(context.Background(), testReport(0)); err == nil {
+		t.Fatal("expected error after retry budget")
+	}
+	if got := calls.Load(); got != 4 {
+		t.Errorf("server saw %d attempts, want 4 (1 + 3 retries)", got)
+	}
+}
+
+// TestClientContextCancellation: a cancelled context interrupts the
+// backoff wait promptly.
+func TestClientContextCancellation(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, 2, 2, WithBatchSize(1), WithRetry(100, time.Hour))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.Add(ctx, testReport(0))
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; backoff ignored the context", elapsed)
+	}
+}
+
+// TestClientBatching: Adds below the batch size stay buffered until
+// Flush; the server sees exactly the right report count.
+func TestClientBatching(t *testing.T) {
+	var batches atomic.Int64
+	var reports atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		set, err := decodePost(r)
+		if err != nil {
+			t.Errorf("decoding batch: %v", err)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		batches.Add(1)
+		reports.Add(int64(len(set.Reports)))
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, 2, 2, WithBatchSize(10))
+	ctx := context.Background()
+	for i := 0; i < 25; i++ {
+		if err := c.Add(ctx, testReport(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := batches.Load(); got != 2 {
+		t.Errorf("before flush: %d batches, want 2", got)
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got, n := batches.Load(), reports.Load(); got != 3 || n != 25 {
+		t.Errorf("after flush: %d batches / %d reports, want 3 / 25", got, n)
+	}
+	// Flushing an empty buffer is a no-op.
+	if err := c.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := batches.Load(); got != 3 {
+		t.Errorf("empty flush sent a batch")
+	}
+}
+
+// decodePost decodes a client POST the way the server does.
+func decodePost(r *http.Request) (*report.Set, error) {
+	body := r.Body
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		gz, err := gzip.NewReader(body)
+		if err != nil {
+			return nil, err
+		}
+		defer gz.Close()
+		return report.UnmarshalBinary(gz)
+	}
+	return report.UnmarshalBinary(body)
+}

@@ -1,0 +1,481 @@
+package collector
+
+import (
+	"bufio"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cbi/internal/core"
+	"cbi/internal/corpus"
+	"cbi/internal/report"
+)
+
+// Config configures a collector server.
+type Config struct {
+	// NumSites and NumPreds fix the index spaces; batches with other
+	// dimensions are rejected with 400.
+	NumSites, NumPreds int
+	// SiteOf maps each predicate to its site (len NumPreds), needed to
+	// attach site-observation counts when scoring.
+	SiteOf []int32
+	// Fingerprint identifies the instrumentation plan (0 = unchecked).
+	// Snapshots record it and a restart refuses a mismatched snapshot.
+	Fingerprint uint64
+	// QueueSize bounds the ingest queue in batches (default 256). When
+	// the queue is full, POST /v1/reports sheds load with 429.
+	QueueSize int
+	// Workers is the number of apply workers (default GOMAXPROCS).
+	Workers int
+	// Shards is the number of counter stripes (default 16).
+	Shards int
+	// SnapshotPath, when set, is where periodic snapshots persist; an
+	// existing snapshot is restored on startup.
+	SnapshotPath string
+	// SnapshotEvery is the snapshot period (0 = only on Shutdown).
+	SnapshotEvery time.Duration
+	// Logf receives server log lines (default: discard).
+	Logf func(format string, args ...any)
+	// applyHook, when set (tests only), runs before each report is
+	// applied; it must be set before New so workers see it.
+	applyHook func(*report.Report)
+}
+
+// Stats is the GET /v1/stats response.
+type Stats struct {
+	NumSites        int    `json:"num_sites"`
+	NumPreds        int    `json:"num_preds"`
+	Fingerprint     uint64 `json:"fingerprint"`
+	Runs            int64  `json:"runs"`
+	Failing         int64  `json:"failing"`
+	Successful      int64  `json:"successful"`
+	QueueDepth      int    `json:"queue_depth"`
+	BatchesAccepted int64  `json:"batches_accepted"`
+	BatchesRejected int64  `json:"batches_rejected"`
+	ReportsEnqueued int64  `json:"reports_enqueued"`
+	ReportsApplied  int64  `json:"reports_applied"`
+	Snapshots       int64  `json:"snapshots"`
+}
+
+// ScoreEntry is one row of the GET /v1/scores response.
+type ScoreEntry struct {
+	Pred         int     `json:"pred"`
+	Importance   float64 `json:"importance"`
+	ImportanceCI float64 `json:"importance_ci"`
+	Increase     float64 `json:"increase"`
+	IncreaseCI   float64 `json:"increase_ci"`
+	Failure      float64 `json:"failure"`
+	Context      float64 `json:"context"`
+	F            int     `json:"f"`
+	S            int     `json:"s"`
+	Fobs         int     `json:"fobs"`
+	Sobs         int     `json:"sobs"`
+}
+
+// Server ingests feedback-report batches and serves live rankings.
+type Server struct {
+	cfg Config
+	agg *shardedAgg
+
+	queue chan []*report.Report
+
+	// acceptMu guards accepting and orders handler enqueues before the
+	// queue close during drain.
+	acceptMu  sync.RWMutex
+	accepting bool
+
+	workers sync.WaitGroup
+	bg      sync.WaitGroup
+	die     chan struct{} // closed by Close (hard kill)
+	stopped sync.Once
+
+	batchesAccepted atomic.Int64
+	batchesRejected atomic.Int64
+	reportsEnqueued atomic.Int64
+	reportsApplied  atomic.Int64
+	snapshots       atomic.Int64
+
+	srvMu   sync.Mutex
+	httpSrv *http.Server
+}
+
+// New builds a server, restoring state from cfg.SnapshotPath when a
+// snapshot exists, and starts its apply workers.
+func New(cfg Config) (*Server, error) {
+	if cfg.NumSites < 0 || cfg.NumPreds <= 0 {
+		return nil, fmt.Errorf("collector: bad dimensions %d sites, %d preds", cfg.NumSites, cfg.NumPreds)
+	}
+	if len(cfg.SiteOf) != cfg.NumPreds {
+		return nil, fmt.Errorf("collector: SiteOf has %d entries, want %d", len(cfg.SiteOf), cfg.NumPreds)
+	}
+	for p, s := range cfg.SiteOf {
+		if s < 0 || int(s) >= cfg.NumSites {
+			return nil, fmt.Errorf("collector: SiteOf[%d] = %d out of range", p, s)
+		}
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 256
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	s := &Server{
+		cfg:       cfg,
+		agg:       newShardedAgg(cfg.NumSites, cfg.NumPreds, cfg.Shards),
+		queue:     make(chan []*report.Report, cfg.QueueSize),
+		accepting: true,
+		die:       make(chan struct{}),
+	}
+
+	if cfg.SnapshotPath != "" {
+		snap, err := corpus.ReadAggSnapshotFile(cfg.SnapshotPath)
+		if err != nil {
+			return nil, fmt.Errorf("collector: loading snapshot: %v", err)
+		}
+		if snap != nil {
+			if snap.NumSites != cfg.NumSites || snap.NumPreds != cfg.NumPreds {
+				return nil, fmt.Errorf("collector: snapshot dimensions %dx%d do not match server %dx%d",
+					snap.NumSites, snap.NumPreds, cfg.NumSites, cfg.NumPreds)
+			}
+			if cfg.Fingerprint != 0 && snap.Fingerprint != 0 && snap.Fingerprint != cfg.Fingerprint {
+				return nil, fmt.Errorf("collector: snapshot fingerprint %d does not match plan %d",
+					snap.Fingerprint, cfg.Fingerprint)
+			}
+			s.agg.Restore(snap)
+			restored := snap.NumF + snap.NumS
+			s.reportsEnqueued.Store(restored)
+			s.reportsApplied.Store(restored)
+			cfg.Logf("collector: restored snapshot %s (%d runs)", cfg.SnapshotPath, restored)
+		}
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.applyLoop()
+	}
+	if cfg.SnapshotPath != "" && cfg.SnapshotEvery > 0 {
+		s.bg.Add(1)
+		go s.snapshotLoop()
+	}
+	return s, nil
+}
+
+func (s *Server) applyLoop() {
+	defer s.workers.Done()
+	for {
+		select {
+		case <-s.die:
+			return
+		case batch, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			for _, r := range batch {
+				if s.cfg.applyHook != nil {
+					s.cfg.applyHook(r)
+				}
+				s.agg.Apply(r)
+				s.reportsApplied.Add(1)
+			}
+		}
+	}
+}
+
+func (s *Server) snapshotLoop() {
+	defer s.bg.Done()
+	t := time.NewTicker(s.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.die:
+			return
+		case <-t.C:
+			if err := s.SnapshotNow(); err != nil {
+				s.cfg.Logf("collector: periodic snapshot: %v", err)
+			}
+		}
+	}
+}
+
+// Ingest folds one report into the live aggregate synchronously,
+// bypassing the HTTP path and queue — for in-process feeding (a harness
+// and collector sharing a process) and ingestion benchmarks. Safe for
+// concurrent use with itself and with HTTP ingestion.
+func (s *Server) Ingest(r *report.Report) {
+	s.reportsEnqueued.Add(1)
+	s.agg.Apply(r)
+	s.reportsApplied.Add(1)
+}
+
+// SnapshotNow persists the current aggregate to cfg.SnapshotPath.
+func (s *Server) SnapshotNow() error {
+	if s.cfg.SnapshotPath == "" {
+		return fmt.Errorf("collector: no snapshot path configured")
+	}
+	snap := s.agg.Snapshot(s.cfg.Fingerprint)
+	if err := corpus.WriteAggSnapshotFile(s.cfg.SnapshotPath, snap); err != nil {
+		return err
+	}
+	s.snapshots.Add(1)
+	s.cfg.Logf("collector: snapshot %s (%d runs)", s.cfg.SnapshotPath, snap.NumF+snap.NumS)
+	return nil
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/reports", s.handleReports)
+	mux.HandleFunc("/v1/scores", s.handleScores)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// maxBatchBytes bounds one POST body (decompressed input is further
+// bounded by the codec's own validation).
+const maxBatchBytes = 64 << 20
+
+func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBatchBytes)
+	var reader = bufio.NewReader(body)
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		gz, err := gzip.NewReader(reader)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad gzip body: %v", err), http.StatusBadRequest)
+			return
+		}
+		defer gz.Close()
+		// Bound the decompressed size too, so a gzip bomb cannot smuggle
+		// an oversized batch past MaxBytesReader; a truncated stream
+		// fails decoding below with 400.
+		reader = bufio.NewReader(io.LimitReader(gz, maxBatchBytes))
+	}
+	// Accept both codecs, sniffed by magic: "CBR1" (binary wire format)
+	// or the "cbi-reports" text header.
+	magic, err := reader.Peek(4)
+	if err != nil {
+		http.Error(w, "empty body", http.StatusBadRequest)
+		return
+	}
+	var set *report.Set
+	if string(magic) == "CBR1" {
+		set, err = report.UnmarshalBinary(reader)
+	} else {
+		set, err = report.Unmarshal(reader)
+	}
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad batch: %v", err), http.StatusBadRequest)
+		return
+	}
+	if set.NumSites != s.cfg.NumSites || set.NumPreds != s.cfg.NumPreds {
+		http.Error(w, fmt.Sprintf("batch dimensions %dx%d do not match collector %dx%d",
+			set.NumSites, set.NumPreds, s.cfg.NumSites, s.cfg.NumPreds), http.StatusBadRequest)
+		return
+	}
+	if len(set.Reports) == 0 {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+
+	s.acceptMu.RLock()
+	if !s.accepting {
+		s.acceptMu.RUnlock()
+		http.Error(w, "collector is shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	select {
+	case s.queue <- set.Reports:
+		s.acceptMu.RUnlock()
+		s.batchesAccepted.Add(1)
+		s.reportsEnqueued.Add(int64(len(set.Reports)))
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"accepted":%d}`+"\n", len(set.Reports))
+	default:
+		s.acceptMu.RUnlock()
+		s.batchesRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
+	}
+}
+
+func (s *Server) handleScores(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	k := 20
+	if q := r.URL.Query().Get("k"); q != "" {
+		if _, err := fmt.Sscanf(q, "%d", &k); err != nil {
+			http.Error(w, "bad k", http.StatusBadRequest)
+			return
+		}
+	}
+	ranked := core.TopKImportance(s.agg.ToAgg(s.cfg.SiteOf), k)
+	out := make([]ScoreEntry, len(ranked))
+	for i, ps := range ranked {
+		out[i] = ScoreEntry{
+			Pred:         ps.Pred,
+			Importance:   ps.Scores.Importance,
+			ImportanceCI: ps.Scores.ImportanceCI,
+			Increase:     ps.Scores.Increase,
+			IncreaseCI:   ps.Scores.IncreaseCI,
+			Failure:      ps.Scores.Failure,
+			Context:      ps.Scores.Context,
+			F:            ps.Stats.F,
+			S:            ps.Stats.S,
+			Fobs:         ps.Stats.Fobs,
+			Sobs:         ps.Stats.Sobs,
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.StatsNow())
+}
+
+// StatsNow returns the server's current statistics.
+func (s *Server) StatsNow() Stats {
+	numF, numS := s.agg.Runs()
+	return Stats{
+		NumSites:        s.cfg.NumSites,
+		NumPreds:        s.cfg.NumPreds,
+		Fingerprint:     s.cfg.Fingerprint,
+		Runs:            numF + numS,
+		Failing:         numF,
+		Successful:      numS,
+		QueueDepth:      len(s.queue),
+		BatchesAccepted: s.batchesAccepted.Load(),
+		BatchesRejected: s.batchesRejected.Load(),
+		ReportsEnqueued: s.reportsEnqueued.Load(),
+		ReportsApplied:  s.reportsApplied.Load(),
+		Snapshots:       s.snapshots.Load(),
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.acceptMu.RLock()
+	ok := s.accepting
+	s.acceptMu.RUnlock()
+	if !ok {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// Serve accepts HTTP connections on l until Shutdown or Close.
+func (s *Server) Serve(l net.Listener) error {
+	s.srvMu.Lock()
+	srv := &http.Server{Handler: s.Handler()}
+	s.httpSrv = srv
+	s.srvMu.Unlock()
+	err := srv.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// httpServer returns the HTTP server, if Serve was called.
+func (s *Server) httpServer() *http.Server {
+	s.srvMu.Lock()
+	defer s.srvMu.Unlock()
+	return s.httpSrv
+}
+
+// ListenAndServe listens on addr and serves until Shutdown or Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.cfg.Logf("collector: listening on %s", l.Addr())
+	return s.Serve(l)
+}
+
+// stopAccepting flips the accepting flag; returns true on the first
+// call. After it returns, no handler can enqueue to the queue.
+func (s *Server) stopAccepting() bool {
+	s.acceptMu.Lock()
+	defer s.acceptMu.Unlock()
+	was := s.accepting
+	s.accepting = false
+	return was
+}
+
+// Shutdown drains gracefully: it stops accepting new batches, waits for
+// the queue to empty, persists a final snapshot (when configured), and
+// closes the HTTP listener.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.stopAccepting() {
+		close(s.queue)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.stopped.Do(func() { close(s.die) })
+	s.bg.Wait()
+
+	var err error
+	if s.cfg.SnapshotPath != "" {
+		err = s.SnapshotNow()
+	}
+	if srv := s.httpServer(); srv != nil {
+		if herr := srv.Shutdown(ctx); err == nil {
+			err = herr
+		}
+	}
+	s.cfg.Logf("collector: drained and stopped (%d reports applied)", s.reportsApplied.Load())
+	return err
+}
+
+// Close hard-stops the server without draining the queue or writing a
+// final snapshot — the moral equivalent of kill -9, used to test
+// restart-from-snapshot behaviour.
+func (s *Server) Close() error {
+	s.stopAccepting()
+	s.stopped.Do(func() { close(s.die) })
+	s.workers.Wait()
+	s.bg.Wait()
+	if srv := s.httpServer(); srv != nil {
+		return srv.Close()
+	}
+	return nil
+}

@@ -1,0 +1,492 @@
+package collector
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"cbi/internal/core"
+	"cbi/internal/report"
+)
+
+// serverConfig builds a Config matching the shared test corpus.
+func serverConfig(t *testing.T) Config {
+	res := testCorpus(t)
+	in := res.CoreInput()
+	return Config{
+		NumSites:    in.Set.NumSites,
+		NumPreds:    in.Set.NumPreds,
+		SiteOf:      in.SiteOf,
+		Fingerprint: res.Plan.Fingerprint(),
+	}
+}
+
+// waitApplied polls until the server has applied n reports.
+func waitApplied(t *testing.T, s *Server, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.StatsNow().ReportsApplied >= n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("server applied %d of %d reports before deadline", s.StatsNow().ReportsApplied, n)
+}
+
+// wantTopK is the batch pipeline's ranking over a report subset — the
+// ground truth every live ranking must match exactly.
+func wantTopK(in core.Input, reports []*report.Report, k int) []ScoreEntry {
+	sub := core.Input{
+		Set: &report.Set{
+			NumSites: in.Set.NumSites,
+			NumPreds: in.Set.NumPreds,
+			Reports:  reports,
+		},
+		SiteOf: in.SiteOf,
+	}
+	ranked := core.TopKImportance(core.Aggregate(sub), k)
+	out := make([]ScoreEntry, len(ranked))
+	for i, ps := range ranked {
+		out[i] = ScoreEntry{
+			Pred:         ps.Pred,
+			Importance:   ps.Scores.Importance,
+			ImportanceCI: ps.Scores.ImportanceCI,
+			Increase:     ps.Scores.Increase,
+			IncreaseCI:   ps.Scores.IncreaseCI,
+			Failure:      ps.Scores.Failure,
+			Context:      ps.Scores.Context,
+			F:            ps.Stats.F,
+			S:            ps.Stats.S,
+			Fobs:         ps.Stats.Fobs,
+			Sobs:         ps.Stats.Sobs,
+		}
+	}
+	return out
+}
+
+// TestEndToEndConcurrentClientsMatchBatch is the headline equivalence
+// test: 8 concurrent clients stream a full subject corpus over HTTP
+// into a live collector, and the resulting /v1/scores ranking must be
+// identical — predicates, order, and every score — to the batch core
+// pipeline run over the same reports.
+func TestEndToEndConcurrentClientsMatchBatch(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+
+	srv, err := New(serverConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	base := "http://" + l.Addr().String()
+
+	const numClients = 8
+	clients := make([]*Client, numClients)
+	var wg sync.WaitGroup
+	errs := make(chan error, numClients)
+	for w := 0; w < numClients; w++ {
+		// Vary batch sizes so flush boundaries differ across clients.
+		clients[w] = NewClient(base, in.Set.NumSites, in.Set.NumPreds,
+			WithBatchSize(7+w*5))
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := w; i < len(in.Set.Reports); i += numClients {
+				if err := clients[w].Add(ctx, in.Set.Reports[i]); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- clients[w].Flush(ctx)
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < numClients; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitApplied(t, srv, int64(len(in.Set.Reports)))
+
+	ctx := context.Background()
+	stats, err := clients[0].Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(stats.Runs) != len(in.Set.Reports) || int(stats.Failing) != res.NumFailing() {
+		t.Fatalf("stats runs=%d failing=%d, want %d/%d",
+			stats.Runs, stats.Failing, len(in.Set.Reports), res.NumFailing())
+	}
+
+	const k = 25
+	got, err := clients[0].Scores(ctx, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantTopK(in, in.Set.Reports, k)
+	if len(want) == 0 {
+		t.Fatal("batch pipeline produced an empty ranking; test is vacuous")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("live ranking diverges from batch pipeline:\ngot:  %+v\nwant: %+v", got, want)
+	}
+
+	if !clients[0].Healthy(ctx) {
+		t.Error("healthz not ok on a live server")
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestSnapshotKillRestart kills a collector (no drain, no final
+// snapshot) and restarts it from its latest snapshot: stats and ranking
+// must equal the pre-kill snapshot state, and retrying the batches
+// submitted after the snapshot must converge to the full-corpus state.
+func TestSnapshotKillRestart(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+	cfg := serverConfig(t)
+	cfg.SnapshotPath = filepath.Join(t.TempDir(), "collector.snap")
+
+	half := len(in.Set.Reports) / 2
+	firstHalf, secondHalf := in.Set.Reports[:half], in.Set.Reports[half:]
+
+	srv1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	client := NewClient(ts1.URL, in.Set.NumSites, in.Set.NumPreds, WithBatchSize(32))
+	ctx := context.Background()
+
+	submit := func(c *Client, reps []*report.Report) {
+		t.Helper()
+		if err := c.SubmitSet(ctx, &report.Set{
+			NumSites: in.Set.NumSites, NumPreds: in.Set.NumPreds, Reports: reps,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	submit(client, firstHalf)
+	waitApplied(t, srv1, int64(half))
+	if err := srv1.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	statsAtSnap := srv1.StatsNow()
+	scoresAtSnap, err := client.Scores(ctx, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// More reports arrive and are acked after the snapshot...
+	submit(client, secondHalf)
+	waitApplied(t, srv1, int64(len(in.Set.Reports)))
+
+	// ...then the collector dies without warning.
+	ts1.Close()
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart from the latest snapshot: post-snapshot reports are gone,
+	// everything up to the snapshot is intact.
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	client2 := NewClient(ts2.URL, in.Set.NumSites, in.Set.NumPreds, WithBatchSize(32))
+
+	restored := srv2.StatsNow()
+	if restored.Runs != statsAtSnap.Runs || restored.Failing != statsAtSnap.Failing ||
+		restored.Successful != statsAtSnap.Successful {
+		t.Fatalf("restored stats (%d/%d/%d) != snapshot stats (%d/%d/%d)",
+			restored.Runs, restored.Failing, restored.Successful,
+			statsAtSnap.Runs, statsAtSnap.Failing, statsAtSnap.Successful)
+	}
+	scoresRestored, err := client2.Scores(ctx, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scoresRestored, scoresAtSnap) {
+		t.Fatal("restored ranking differs from pre-kill snapshot ranking")
+	}
+
+	// Clients retry the unacknowledged tail; the collector converges to
+	// exactly the batch pipeline over the full corpus.
+	submit(client2, secondHalf)
+	waitApplied(t, srv2, int64(len(in.Set.Reports)))
+	finalScores, err := client2.Scores(ctx, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wantTopK(in, in.Set.Reports, 25); !reflect.DeepEqual(finalScores, want) {
+		t.Fatal("post-retry ranking diverges from batch pipeline over the full corpus")
+	}
+	final := srv2.StatsNow()
+	if int(final.Runs) != len(in.Set.Reports) || int(final.Failing) != res.NumFailing() {
+		t.Fatalf("final stats (%d/%d) wrong", final.Runs, final.Failing)
+	}
+	if err := srv2.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGracefulShutdownPersistsSnapshot checks Shutdown's contract:
+// everything queued is applied and the final snapshot covers it.
+func TestGracefulShutdownPersistsSnapshot(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+	cfg := serverConfig(t)
+	cfg.SnapshotPath = filepath.Join(t.TempDir(), "collector.snap")
+
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	client := NewClient(ts.URL, in.Set.NumSites, in.Set.NumPreds)
+	ctx := context.Background()
+	if err := client.SubmitSet(ctx, in.Set); err != nil {
+		t.Fatal(err)
+	}
+	// No waitApplied: Shutdown itself must drain the queue.
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	stats := srv2.StatsNow()
+	if int(stats.Runs) != len(in.Set.Reports) || int(stats.Failing) != res.NumFailing() {
+		t.Fatalf("snapshot after drain has %d runs (%d failing), want %d (%d)",
+			stats.Runs, stats.Failing, len(in.Set.Reports), res.NumFailing())
+	}
+}
+
+// encodeBatch builds a gzip'd binary POST body for raw HTTP tests.
+func encodeBatch(t *testing.T, in core.Input, reps []*report.Report) []byte {
+	t.Helper()
+	set := &report.Set{NumSites: in.Set.NumSites, NumPreds: in.Set.NumPreds, Reports: reps}
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if err := set.MarshalBinary(gz); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBackpressure429 wedges the apply pipeline and posts until the
+// bounded queue overflows: the server must shed load with 429 +
+// Retry-After rather than buffer without bound, and a retrying client
+// must succeed once the pipeline unwedges.
+func TestBackpressure429(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+	cfg := serverConfig(t)
+	cfg.QueueSize = 2
+	cfg.Workers = 1
+	gate := make(chan struct{})
+	cfg.applyHook = func(*report.Report) { <-gate }
+
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	payload := encodeBatch(t, in, in.Set.Reports[:1])
+	post := func() *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/reports", bytes.NewReader(payload))
+		req.Header.Set("Content-Encoding", "gzip")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	var saw429 bool
+	var accepted int
+	for i := 0; i < 50 && !saw429; i++ {
+		resp := post()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests:
+			saw429 = true
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
+		default:
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	if !saw429 {
+		t.Fatalf("no 429 after %d accepted batches with queue size 2", accepted)
+	}
+	if srv.StatsNow().BatchesRejected == 0 {
+		t.Error("stats do not count rejected batches")
+	}
+
+	// Unwedge; a client with retries drives its batch through.
+	close(gate)
+	retrying := NewClient(ts.URL, in.Set.NumSites, in.Set.NumPreds,
+		WithBatchSize(8), WithRetry(20, time.Millisecond))
+	if err := retrying.SubmitSet(context.Background(), &report.Set{
+		NumSites: in.Set.NumSites, NumPreds: in.Set.NumPreds, Reports: in.Set.Reports[:20],
+	}); err != nil {
+		t.Fatalf("retrying client failed: %v", err)
+	}
+	waitApplied(t, srv, int64(accepted+20))
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHandlerValidation covers the API's rejection paths.
+func TestHandlerValidation(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+	srv, err := New(serverConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	postBody := func(body []byte, gzipped bool) int {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/reports", bytes.NewReader(body))
+		if gzipped {
+			req.Header.Set("Content-Encoding", "gzip")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := get("/v1/reports"); got != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/reports = %d, want 405", got)
+	}
+	if got := postBody(nil, false); got != http.StatusBadRequest {
+		t.Errorf("empty POST = %d, want 400", got)
+	}
+	if got := postBody([]byte("CBR1 garbage"), false); got != http.StatusBadRequest {
+		t.Errorf("garbage POST = %d, want 400", got)
+	}
+	if got := postBody([]byte("not gzip"), true); got != http.StatusBadRequest {
+		t.Errorf("bad gzip POST = %d, want 400", got)
+	}
+
+	// Dimension mismatch must be rejected before ingestion.
+	wrong := &report.Set{NumSites: 1, NumPreds: 1, Reports: []*report.Report{{}}}
+	var buf bytes.Buffer
+	if err := wrong.MarshalBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := postBody(buf.Bytes(), false); got != http.StatusBadRequest {
+		t.Errorf("mismatched dimensions POST = %d, want 400", got)
+	}
+
+	// The text codec is accepted too, sniffed by magic.
+	var txt bytes.Buffer
+	sub := &report.Set{NumSites: in.Set.NumSites, NumPreds: in.Set.NumPreds,
+		Reports: in.Set.Reports[:3]}
+	if err := sub.Marshal(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if got := postBody(txt.Bytes(), false); got != http.StatusAccepted {
+		t.Errorf("text codec POST = %d, want 202", got)
+	}
+
+	if got := get("/v1/scores?k=bogus"); got != http.StatusBadRequest {
+		t.Errorf("bad k = %d, want 400", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("healthz = %d, want 200", got)
+	}
+	if got := get("/v1/stats"); got != http.StatusOK {
+		t.Errorf("stats = %d, want 200", got)
+	}
+}
+
+// TestNewValidation covers constructor error paths.
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{NumSites: 1, NumPreds: 0}); err == nil {
+		t.Error("zero preds accepted")
+	}
+	if _, err := New(Config{NumSites: 1, NumPreds: 2, SiteOf: []int32{0}}); err == nil {
+		t.Error("short SiteOf accepted")
+	}
+	if _, err := New(Config{NumSites: 1, NumPreds: 1, SiteOf: []int32{5}}); err == nil {
+		t.Error("out-of-range SiteOf accepted")
+	}
+
+	// A snapshot from a different universe must be refused.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.snap")
+	cfg := Config{NumSites: 2, NumPreds: 2, SiteOf: []int32{0, 1},
+		Fingerprint: 7, SnapshotPath: path}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	bad := cfg
+	bad.NumSites, bad.NumPreds, bad.SiteOf = 3, 3, []int32{0, 1, 2}
+	if _, err := New(bad); err == nil {
+		t.Error("dimension-mismatched snapshot accepted")
+	}
+	bad = cfg
+	bad.Fingerprint = 8
+	if _, err := New(bad); err == nil {
+		t.Error("fingerprint-mismatched snapshot accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import "sort"
+
+// PredScore pairs a predicate with its scores, for ranked listings that
+// carry the metrics along (the collector's live ranking endpoint and
+// the batch pipeline share this shape).
+type PredScore struct {
+	Pred   int
+	Stats  Stats
+	Scores Scores
+}
+
+// TopKImportance returns the k highest-Importance predicates of an
+// aggregation, in decreasing Importance order with ties broken toward
+// smaller predicate ids. Predicates with zero Importance (undefined or
+// non-positive Increase) are excluded, so the result may be shorter
+// than k; k <= 0 means no cap.
+//
+// This is the streaming counterpart of RankByImportance: it consumes
+// only an Agg — which incremental aggregators (internal/collector) can
+// maintain per report — rather than the report set itself, so it can be
+// recomputed per scores query against a live aggregate.
+func TopKImportance(agg *Agg, k int) []PredScore {
+	type cand struct {
+		ps  PredScore
+		imp float64
+	}
+	var cands []cand
+	for p, st := range agg.Stats {
+		imp := Importance(st, agg.NumF)
+		if imp <= 0 {
+			continue
+		}
+		cands = append(cands, cand{PredScore{Pred: p, Stats: st}, imp})
+	}
+	// Stable sort + ascending-id candidates = ties break toward the
+	// smaller predicate id, matching Eliminate's tie policy.
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].imp > cands[j].imp })
+	if k > 0 && len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]PredScore, len(cands))
+	for i, c := range cands {
+		out[i] = c.ps
+		out[i].Scores = ComputeScores(out[i].Stats, agg.NumF)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cbi/internal/report"
+)
+
+// randomInput builds a random report set with one site per two preds.
+func randomInput(rng *rand.Rand, numSites, numPreds, runs int) Input {
+	siteOf := make([]int32, numPreds)
+	for p := range siteOf {
+		siteOf[p] = int32(p % numSites)
+	}
+	set := &report.Set{NumSites: numSites, NumPreds: numPreds}
+	for i := 0; i < runs; i++ {
+		r := &report.Report{Failed: rng.Intn(3) == 0}
+		for s := 0; s < numSites; s++ {
+			if rng.Intn(2) == 0 {
+				r.ObservedSites = append(r.ObservedSites, int32(s))
+			}
+		}
+		for p := 0; p < numPreds; p++ {
+			if r.ObservedSite(siteOf[p]) && rng.Intn(3) == 0 {
+				r.TruePreds = append(r.TruePreds, int32(p))
+			}
+		}
+		set.Reports = append(set.Reports, r)
+	}
+	return Input{Set: set, SiteOf: siteOf}
+}
+
+func TestTopKImportanceMatchesRankByImportance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	in := randomInput(rng, 8, 40, 400)
+	agg := Aggregate(in)
+
+	all := make([]int, in.Set.NumPreds)
+	for p := range all {
+		all[p] = p
+	}
+	ranked := RankByImportance(in, all)
+
+	top := TopKImportance(agg, 0)
+	if len(top) == 0 {
+		t.Fatal("expected some positive-Importance predicates")
+	}
+	for i, ps := range top {
+		if ranked[i] != ps.Pred {
+			t.Fatalf("rank %d: TopKImportance=%d, RankByImportance=%d", i, ps.Pred, ranked[i])
+		}
+		want := ComputeScores(agg.Stats[ps.Pred], agg.NumF)
+		if ps.Scores != want {
+			t.Fatalf("pred %d scores mismatch: %+v vs %+v", ps.Pred, ps.Scores, want)
+		}
+	}
+
+	k := 3
+	topK := TopKImportance(agg, k)
+	if len(topK) != k {
+		t.Fatalf("k=%d returned %d entries", k, len(topK))
+	}
+	for i := range topK {
+		if topK[i] != top[i] {
+			t.Fatalf("truncation changed entry %d", i)
+		}
+	}
+}
+
+func TestTopKImportanceEmpty(t *testing.T) {
+	agg := &Agg{Stats: make([]Stats, 10)}
+	if got := TopKImportance(agg, 5); len(got) != 0 {
+		t.Fatalf("empty agg: got %d entries", len(got))
+	}
+}

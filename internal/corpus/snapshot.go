@@ -1,0 +1,153 @@
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// aggSnapVersion is bumped on breaking aggregate-snapshot changes.
+const aggSnapVersion = 1
+
+// AggSnapshot is a persisted aggregate state: the per-site observation
+// tallies and per-predicate truth tallies a streaming collector
+// maintains, split by run outcome, plus the set-level run counts. It is
+// the durable form of a live collector's counters — everything needed
+// to serve /v1/scores and /v1/stats — without the reports themselves,
+// so its size is O(sites + preds) no matter how many runs were
+// ingested.
+type AggSnapshot struct {
+	NumSites int
+	NumPreds int
+	// Fingerprint identifies the instrumentation plan the counters are
+	// for (0 when the collector was started without a plan).
+	Fingerprint uint64
+	// NumF and NumS are the failing and successful run counts.
+	NumF, NumS int64
+	// FobsSite and SobsSite count, per site, the failing/successful runs
+	// that observed the site.
+	FobsSite, SobsSite []int64
+	// FPred and SPred count, per predicate, the failing/successful runs
+	// in which the predicate was observed true.
+	FPred, SPred []int64
+}
+
+// SaveAggSnapshot writes the snapshot in a line-oriented text format:
+//
+//	cbi-aggsnap 1 <numSites> <numPreds> <fingerprint> <numF> <numS>
+//	FOBS <numSites ints>
+//	SOBS <numSites ints>
+//	FPRED <numPreds ints>
+//	SPRED <numPreds ints>
+func SaveAggSnapshot(w io.Writer, snap *AggSnapshot) error {
+	if len(snap.FobsSite) != snap.NumSites || len(snap.SobsSite) != snap.NumSites ||
+		len(snap.FPred) != snap.NumPreds || len(snap.SPred) != snap.NumPreds {
+		return fmt.Errorf("corpus: snapshot slice lengths disagree with dimensions")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "cbi-aggsnap %d %d %d %d %d %d\n",
+		aggSnapVersion, snap.NumSites, snap.NumPreds, snap.Fingerprint, snap.NumF, snap.NumS)
+	for _, sec := range []struct {
+		tag string
+		xs  []int64
+	}{
+		{"FOBS", snap.FobsSite}, {"SOBS", snap.SobsSite},
+		{"FPRED", snap.FPred}, {"SPRED", snap.SPred},
+	} {
+		bw.WriteString(sec.tag)
+		for _, x := range sec.xs {
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(x, 10))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// LoadAggSnapshot reads a snapshot written by SaveAggSnapshot.
+func LoadAggSnapshot(r io.Reader) (*AggSnapshot, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("corpus: empty aggregate snapshot")
+	}
+	snap := &AggSnapshot{}
+	var version int
+	if _, err := fmt.Sscanf(sc.Text(), "cbi-aggsnap %d %d %d %d %d %d",
+		&version, &snap.NumSites, &snap.NumPreds, &snap.Fingerprint, &snap.NumF, &snap.NumS); err != nil {
+		return nil, fmt.Errorf("corpus: bad aggsnap header %q: %v", sc.Text(), err)
+	}
+	if version != aggSnapVersion {
+		return nil, fmt.Errorf("corpus: unsupported aggsnap version %d", version)
+	}
+	if snap.NumSites < 0 || snap.NumPreds < 0 || snap.NumF < 0 || snap.NumS < 0 {
+		return nil, fmt.Errorf("corpus: negative aggsnap dimensions")
+	}
+	for _, sec := range []struct {
+		tag string
+		n   int
+		dst *[]int64
+	}{
+		{"FOBS", snap.NumSites, &snap.FobsSite}, {"SOBS", snap.NumSites, &snap.SobsSite},
+		{"FPRED", snap.NumPreds, &snap.FPred}, {"SPRED", snap.NumPreds, &snap.SPred},
+	} {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("corpus: aggsnap missing %s section: %v", sec.tag, sc.Err())
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || fields[0] != sec.tag {
+			return nil, fmt.Errorf("corpus: aggsnap expected %s section, got %q", sec.tag, sc.Text())
+		}
+		if len(fields)-1 != sec.n {
+			return nil, fmt.Errorf("corpus: aggsnap %s has %d entries, want %d", sec.tag, len(fields)-1, sec.n)
+		}
+		xs := make([]int64, sec.n)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("corpus: aggsnap %s entry %d: %v", sec.tag, i, err)
+			}
+			xs[i] = v
+		}
+		*sec.dst = xs
+	}
+	return snap, nil
+}
+
+// WriteAggSnapshotFile atomically persists the snapshot to path via a
+// temp file + rename, so a crash mid-write never clobbers the previous
+// good snapshot.
+func WriteAggSnapshotFile(path string, snap *AggSnapshot) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := SaveAggSnapshot(tmp, snap); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadAggSnapshotFile loads a snapshot file; a missing file returns
+// (nil, nil) so callers can treat "no snapshot yet" as a cold start.
+func ReadAggSnapshotFile(path string) (*AggSnapshot, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadAggSnapshot(f)
+}

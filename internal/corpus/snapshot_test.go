@@ -1,0 +1,96 @@
+package corpus
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleSnap() *AggSnapshot {
+	return &AggSnapshot{
+		NumSites:    3,
+		NumPreds:    5,
+		Fingerprint: 0xdeadbeef,
+		NumF:        7,
+		NumS:        13,
+		FobsSite:    []int64{1, 0, 7},
+		SobsSite:    []int64{13, 2, 0},
+		FPred:       []int64{0, 1, 2, 3, 4},
+		SPred:       []int64{5, 0, 0, 9, 13},
+	}
+}
+
+func TestAggSnapshotRoundTrip(t *testing.T) {
+	snap := sampleSnap()
+	var buf bytes.Buffer
+	if err := SaveAggSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadAggSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, got) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", snap, got)
+	}
+}
+
+func TestAggSnapshotFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "collector.snap")
+
+	// Missing file is a cold start, not an error.
+	got, err := ReadAggSnapshotFile(path)
+	if err != nil || got != nil {
+		t.Fatalf("missing file: got %+v, %v; want nil, nil", got, err)
+	}
+
+	snap := sampleSnap()
+	if err := WriteAggSnapshotFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadAggSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, got) {
+		t.Fatalf("file round trip mismatch: %+v vs %+v", snap, got)
+	}
+
+	// Overwrite with new counts; rename must replace atomically.
+	snap.NumF = 100
+	snap.FobsSite[0] = 42
+	if err := WriteAggSnapshotFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadAggSnapshotFile(path)
+	if err != nil || got.NumF != 100 || got.FobsSite[0] != 42 {
+		t.Fatalf("overwrite: got %+v, %v", got, err)
+	}
+}
+
+func TestAggSnapshotErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad header":    "cbi-aggsnap nope\n",
+		"bad version":   "cbi-aggsnap 2 1 1 0 0 0\nFOBS 0\nSOBS 0\nFPRED 0\nSPRED 0\n",
+		"missing sec":   "cbi-aggsnap 1 1 1 0 0 0\nFOBS 0\n",
+		"wrong tag":     "cbi-aggsnap 1 1 1 0 0 0\nXOBS 0\nSOBS 0\nFPRED 0\nSPRED 0\n",
+		"short section": "cbi-aggsnap 1 2 1 0 0 0\nFOBS 0\nSOBS 0 0\nFPRED 0\nSPRED 0\n",
+		"bad int":       "cbi-aggsnap 1 1 1 0 0 0\nFOBS x\nSOBS 0\nFPRED 0\nSPRED 0\n",
+		"negative dims": "cbi-aggsnap 1 -1 1 0 0 0\nFOBS\nSOBS\nFPRED 0\nSPRED 0\n",
+	}
+	for name, text := range cases {
+		if _, err := LoadAggSnapshot(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+
+	// Save refuses inconsistent dimensions.
+	snap := sampleSnap()
+	snap.FPred = snap.FPred[:2]
+	if err := SaveAggSnapshot(&bytes.Buffer{}, snap); err == nil {
+		t.Error("inconsistent save: expected error")
+	}
+}

@@ -97,6 +97,13 @@ type Config struct {
 	Instrument instrument.Options
 	// SeedBase offsets run seeds, for run-to-run variation studies.
 	SeedBase int64
+	// Stream, if non-nil, receives every completed run's feedback
+	// report and ground truth as soon as the run finishes — the hook a
+	// deployment uses to feed a live collector (internal/collector)
+	// instead of, or as well as, the in-memory Set. It is invoked
+	// concurrently from worker goroutines and must be safe for
+	// concurrent use (collector.Client is).
+	Stream func(run int, rep *report.Report, meta RunMeta)
 }
 
 // RunMeta is per-run ground truth and crash metadata, which a real
@@ -246,6 +253,9 @@ func Run(cfg Config) *Result {
 				}
 				res.Metas[i] = meta
 				res.Set.Reports[i] = rt.Snapshot(meta.Failed())
+				if cfg.Stream != nil {
+					cfg.Stream(i, res.Set.Reports[i], meta)
+				}
 			}
 		}()
 	}

@@ -1,0 +1,171 @@
+// Binary wire codec for feedback reports — the compact format clients
+// use to ship batches to a collector (and a denser at-rest alternative
+// to the text codec).
+//
+// Layout (all integers are unsigned LEB128 varints):
+//
+//	magic   "CBR1" (4 bytes)
+//	header  numSites numPreds numReports
+//	report  flags(1 byte: bit0 = failed)
+//	        len(sites)  sites delta-encoded (first absolute, then gaps)
+//	        len(preds)  preds delta-encoded
+//
+// Site and predicate lists are strictly ascending, so every gap after
+// the first element is at least 1; delta encoding keeps typical entries
+// to one or two bytes even in large predicate spaces. The decoder
+// validates monotonicity and range, and never panics or over-allocates
+// on malformed input (fuzz-verified by FuzzReportRoundTripBinary).
+package report
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// binaryMagic identifies the binary report format, version 1.
+const binaryMagic = "CBR1"
+
+// maxDim bounds the site/predicate index spaces so ids fit in int32 and
+// a hostile header cannot demand absurd allocations.
+const maxDim = 1 << 30
+
+// MarshalBinary writes the set in the compact binary wire format.
+func (s *Set) MarshalBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(binaryMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		bw.Write(tmp[:n])
+	}
+	putUvarint(uint64(s.NumSites))
+	putUvarint(uint64(s.NumPreds))
+	putUvarint(uint64(len(s.Reports)))
+	for _, r := range s.Reports {
+		var flags byte
+		if r.Failed {
+			flags |= 1
+		}
+		bw.WriteByte(flags)
+		for _, list := range [2][]int32{r.ObservedSites, r.TruePreds} {
+			putUvarint(uint64(len(list)))
+			prev := int32(0)
+			for i, v := range list {
+				if i == 0 {
+					putUvarint(uint64(v))
+				} else {
+					putUvarint(uint64(v - prev))
+				}
+				prev = v
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// UnmarshalBinary parses a set written by MarshalBinary. It is safe on
+// arbitrary (malformed, truncated, hostile) input: it returns an error
+// rather than panicking, and allocation is bounded by the input size.
+func UnmarshalBinary(r io.Reader) (*Set, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("report: binary magic: %v", err)
+	}
+	if string(magic[:]) != binaryMagic {
+		return nil, fmt.Errorf("report: bad binary magic %q", magic[:])
+	}
+	numSites, err := readDim(br, "numSites")
+	if err != nil {
+		return nil, err
+	}
+	numPreds, err := readDim(br, "numPreds")
+	if err != nil {
+		return nil, err
+	}
+	numReports, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("report: binary numReports: %v", err)
+	}
+	// Each report needs at least 3 bytes on the wire; cap the
+	// preallocation accordingly so a lying header cannot force OOM.
+	capHint := int(numReports)
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	set := &Set{NumSites: numSites, NumPreds: numPreds,
+		Reports: make([]*Report, 0, capHint)}
+	for i := uint64(0); i < numReports; i++ {
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("report: binary report %d flags: %v", i, err)
+		}
+		if flags > 1 {
+			return nil, fmt.Errorf("report: binary report %d: unknown flags %#x", i, flags)
+		}
+		rep := &Report{Failed: flags&1 != 0}
+		if rep.ObservedSites, err = readDeltaList(br, numSites); err != nil {
+			return nil, fmt.Errorf("report: binary report %d sites: %v", i, err)
+		}
+		if rep.TruePreds, err = readDeltaList(br, numPreds); err != nil {
+			return nil, fmt.Errorf("report: binary report %d preds: %v", i, err)
+		}
+		set.Reports = append(set.Reports, rep)
+	}
+	return set, nil
+}
+
+func readDim(br *bufio.Reader, what string) (int, error) {
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, fmt.Errorf("report: binary %s: %v", what, err)
+	}
+	if v > maxDim {
+		return 0, fmt.Errorf("report: binary %s %d exceeds limit", what, v)
+	}
+	return int(v), nil
+}
+
+// readDeltaList decodes a strictly ascending id list with ids in
+// [0, dim). The length is implicitly bounded by dim: an ascending list
+// cannot hold more distinct values than the index space.
+func readDeltaList(br *bufio.Reader, dim int) ([]int32, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(dim) {
+		return nil, fmt.Errorf("list length %d exceeds dimension %d", n, dim)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int32, 0, n)
+	prev := int64(-1)
+	for i := uint64(0); i < n; i++ {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if d > uint64(dim) {
+			return nil, fmt.Errorf("id delta %d out of range [0,%d)", d, dim)
+		}
+		var v int64
+		if prev < 0 {
+			v = int64(d)
+		} else {
+			if d == 0 {
+				return nil, fmt.Errorf("non-ascending entry at index %d", i)
+			}
+			v = prev + int64(d)
+		}
+		if v >= int64(dim) {
+			return nil, fmt.Errorf("id %d out of range [0,%d)", v, dim)
+		}
+		out = append(out, int32(v))
+		prev = v
+	}
+	return out, nil
+}

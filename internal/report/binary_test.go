@@ -1,0 +1,118 @@
+package report
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func randomSet(rng *rand.Rand, numSites, numPreds, numReports int) *Set {
+	set := &Set{NumSites: numSites, NumPreds: numPreds}
+	for i := 0; i < numReports; i++ {
+		r := &Report{Failed: rng.Intn(2) == 0}
+		r.ObservedSites = randomAscending(rng, numSites)
+		r.TruePreds = randomAscending(rng, numPreds)
+		set.Reports = append(set.Reports, r)
+	}
+	return set
+}
+
+func randomAscending(rng *rand.Rand, dim int) []int32 {
+	if dim == 0 {
+		return nil
+	}
+	var out []int32
+	for v := rng.Intn(4); v < dim; v += 1 + rng.Intn(5) {
+		out = append(out, int32(v))
+	}
+	if rng.Intn(4) == 0 {
+		return nil
+	}
+	return out
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		set := randomSet(rng, 1+rng.Intn(200), 1+rng.Intn(600), rng.Intn(30))
+		var buf bytes.Buffer
+		if err := set.MarshalBinary(&buf); err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		got, err := UnmarshalBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if !reflect.DeepEqual(canonSet(set), canonSet(got)) {
+			t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", set, got)
+		}
+	}
+}
+
+// canonSet normalizes nil vs empty slices so DeepEqual compares
+// membership, which is what the codec promises to preserve.
+func canonSet(s *Set) *Set {
+	out := &Set{NumSites: s.NumSites, NumPreds: s.NumPreds}
+	for _, r := range s.Reports {
+		cr := &Report{Failed: r.Failed}
+		cr.ObservedSites = append([]int32{}, r.ObservedSites...)
+		cr.TruePreds = append([]int32{}, r.TruePreds...)
+		out.Reports = append(out.Reports, cr)
+	}
+	return out
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	set := randomSet(rng, 500, 2000, 200)
+	var bin, txt bytes.Buffer
+	if err := set.MarshalBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Marshal(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= txt.Len() {
+		t.Errorf("binary (%d bytes) not smaller than text (%d bytes)", bin.Len(), txt.Len())
+	}
+}
+
+func TestBinaryMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	set := randomSet(rand.New(rand.NewSource(3)), 50, 120, 5)
+	if err := set.MarshalBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"short magic":    []byte("CB"),
+		"wrong magic":    []byte("XXXX\x01\x01\x00"),
+		"truncated body": valid[:len(valid)-3],
+		"header only":    valid[:7],
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error, got nil", name)
+		}
+	}
+
+	// Flipping bytes must never panic; errors are fine, and a byte flip
+	// that still decodes is acceptable (e.g. a flipped failure flag).
+	for i := range valid {
+		mut := append([]byte{}, valid...)
+		mut[i] ^= 0xff
+		UnmarshalBinary(bytes.NewReader(mut))
+	}
+}
+
+func TestBinaryRejectsHugeHeader(t *testing.T) {
+	// numSites = 2^40 must be rejected before any allocation.
+	data := []byte("CBR1\x80\x80\x80\x80\x80\x80\x80\x80\x01")
+	if _, err := UnmarshalBinary(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Errorf("huge numSites: got %v, want limit error", err)
+	}
+}

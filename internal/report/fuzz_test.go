@@ -1,0 +1,86 @@
+package report
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds returns a few valid sets whose encodings seed both fuzzers.
+func fuzzSeeds() []*Set {
+	return []*Set{
+		{NumSites: 0, NumPreds: 0},
+		{NumSites: 3, NumPreds: 6, Reports: []*Report{
+			{Failed: true, ObservedSites: []int32{0, 2}, TruePreds: []int32{1, 4, 5}},
+			{Failed: false},
+		}},
+		{NumSites: 1000, NumPreds: 4000, Reports: []*Report{
+			{Failed: false, ObservedSites: []int32{999}, TruePreds: []int32{0, 3999}},
+		}},
+	}
+}
+
+// FuzzReportRoundTripBinary checks the binary codec: arbitrary input
+// never panics, and any input that decodes re-encodes to a set that
+// decodes identically (decode∘encode is the identity on valid data).
+func FuzzReportRoundTripBinary(f *testing.F) {
+	for _, set := range fuzzSeeds() {
+		var buf bytes.Buffer
+		if err := set.MarshalBinary(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("CBR1"))
+	f.Add([]byte("cbi-reports 1 0 0 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set, err := UnmarshalBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := set.MarshalBinary(&buf); err != nil {
+			t.Fatalf("re-encode of decoded set failed: %v", err)
+		}
+		again, err := UnmarshalBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(canonSet(set), canonSet(again)) {
+			t.Fatalf("round trip mismatch:\nfirst:  %+v\nsecond: %+v", set, again)
+		}
+	})
+}
+
+// FuzzReportRoundTripText does the same for the line-oriented text
+// codec. The text codec does not canonicalize (it preserves whatever
+// integers appear), so the property is the same decode∘encode identity.
+func FuzzReportRoundTripText(f *testing.F) {
+	for _, set := range fuzzSeeds() {
+		var buf bytes.Buffer
+		if err := set.Marshal(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.String())
+	}
+	f.Add("cbi-reports 1 2 2 1\nF | 0 | 1\n")
+	f.Add("cbi-reports 9 0 0 0\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		set, err := Unmarshal(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := set.Marshal(&buf); err != nil {
+			t.Fatalf("re-encode of decoded set failed: %v", err)
+		}
+		again, err := Unmarshal(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(canonSet(set), canonSet(again)) {
+			t.Fatalf("round trip mismatch:\nfirst:  %+v\nsecond: %+v", set, again)
+		}
+	})
+}
