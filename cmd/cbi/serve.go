@@ -195,11 +195,25 @@ func cmdSubmit(args []string) error {
 }
 
 // finishSubmit prints the server's view: stats, plus the live top-K
-// ranking when requested.
+// ranking when requested. Ingestion is asynchronous — acked batches
+// may still be draining through the queue — so it first waits
+// (bounded) for the applied count to catch up with the enqueued count
+// rather than print an undercount of what was just submitted.
 func finishSubmit(ctx context.Context, client *collector.Client, top int) error {
 	stats, err := client.Stats(ctx)
 	if err != nil {
 		return err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for stats.ReportsApplied < stats.ReportsEnqueued && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		if stats, err = client.Stats(ctx); err != nil {
+			return err
+		}
+	}
+	if stats.ReportsApplied < stats.ReportsEnqueued {
+		fmt.Printf("server: still draining (%d of %d enqueued reports applied)\n",
+			stats.ReportsApplied, stats.ReportsEnqueued)
 	}
 	fmt.Printf("server: %d runs applied (%d failing, %d successful), queue depth %d\n",
 		stats.ReportsApplied, stats.Failing, stats.Successful, stats.QueueDepth)

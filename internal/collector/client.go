@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"compress/gzip"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,7 +20,10 @@ import (
 
 // Client ships feedback reports to a collector server. It batches
 // reports, compresses batches, and retries transient failures (429
-// backpressure, 5xx, network errors) with exponential backoff. Safe
+// backpressure, 5xx, network errors) with exponential backoff. Each
+// batch carries a stable random id so the server can deduplicate
+// retries whose original ack was lost in transit — without it,
+// at-least-once delivery would silently double-count reports. Safe
 // for concurrent use — a parallel harness can stream from all workers
 // through one client.
 type Client struct {
@@ -162,9 +167,19 @@ func (c *Client) send(ctx context.Context, batch []*report.Report) error {
 	}
 	payload := buf.Bytes()
 
+	// A batch id, stable across retry attempts, lets the server
+	// recognize re-deliveries: a POST can land server-side while the
+	// response is lost (timeout, connection reset), and without the id
+	// the retry would ingest the whole batch a second time.
+	var id string
+	var idBytes [12]byte
+	if _, err := rand.Read(idBytes[:]); err == nil {
+		id = hex.EncodeToString(idBytes[:])
+	}
+
 	backoff := c.baseBackoff
 	for attempt := 0; ; attempt++ {
-		retryable, err := c.post(ctx, payload, len(batch))
+		retryable, err := c.post(ctx, payload, len(batch), id)
 		if err == nil {
 			return nil
 		}
@@ -211,13 +226,16 @@ func retryAfter(err error) (time.Duration, bool) {
 }
 
 // post performs one POST attempt; the bool reports retryability.
-func (c *Client) post(ctx context.Context, payload []byte, n int) (bool, error) {
+func (c *Client) post(ctx context.Context, payload []byte, n int, batchID string) (bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		c.base+"/v1/reports", bytes.NewReader(payload))
 	if err != nil {
 		return false, err
 	}
 	req.Header.Set("Content-Type", "application/x-cbi-reports")
+	if batchID != "" {
+		req.Header.Set("X-CBI-Batch-ID", batchID)
+	}
 	if c.gzipOn {
 		req.Header.Set("Content-Encoding", "gzip")
 	}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -45,6 +46,48 @@ func TestClientRetriesTransientFailures(t *testing.T) {
 	}
 	if c.Submitted() != 1 {
 		t.Errorf("Submitted() = %d, want 1", c.Submitted())
+	}
+}
+
+// TestClientBatchIDStableAcrossRetries: every attempt to deliver one
+// batch must carry the same X-CBI-Batch-ID (so the server can dedup a
+// retry whose ack was lost), and distinct batches must carry distinct
+// ids.
+func TestClientBatchIDStableAcrossRetries(t *testing.T) {
+	var mu sync.Mutex
+	var ids []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ids = append(ids, r.Header.Get("X-CBI-Batch-ID"))
+		first := len(ids) == 1
+		mu.Unlock()
+		if first {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, 2, 2, WithBatchSize(1), WithRetry(5, time.Millisecond))
+	ctx := context.Background()
+	if err := c.Add(ctx, testReport(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(ctx, testReport(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(ids))
+	}
+	if ids[0] == "" {
+		t.Fatal("no batch id on first attempt")
+	}
+	if ids[0] != ids[1] {
+		t.Errorf("retry changed the batch id: %q then %q", ids[0], ids[1])
+	}
+	if ids[2] == ids[0] {
+		t.Errorf("distinct batches share batch id %q", ids[2])
 	}
 }
 

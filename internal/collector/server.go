@@ -60,6 +60,7 @@ type Stats struct {
 	QueueDepth      int    `json:"queue_depth"`
 	BatchesAccepted int64  `json:"batches_accepted"`
 	BatchesRejected int64  `json:"batches_rejected"`
+	BatchesDeduped  int64  `json:"batches_deduped"`
 	ReportsEnqueued int64  `json:"reports_enqueued"`
 	ReportsApplied  int64  `json:"reports_applied"`
 	Snapshots       int64  `json:"snapshots"`
@@ -99,9 +100,16 @@ type Server struct {
 
 	batchesAccepted atomic.Int64
 	batchesRejected atomic.Int64
+	batchesDeduped  atomic.Int64
 	reportsEnqueued atomic.Int64
 	reportsApplied  atomic.Int64
 	snapshots       atomic.Int64
+
+	// Recently enqueued client batch ids (X-CBI-Batch-ID), so a retry
+	// of a batch whose ack was lost in transit is not ingested twice.
+	dedupMu   sync.Mutex
+	dedupSeen map[string]struct{}
+	dedupFIFO []string
 
 	srvMu   sync.Mutex
 	httpSrv *http.Server
@@ -140,6 +148,7 @@ func New(cfg Config) (*Server, error) {
 		queue:     make(chan []*report.Report, cfg.QueueSize),
 		accepting: true,
 		die:       make(chan struct{}),
+		dedupSeen: make(map[string]struct{}),
 	}
 
 	if cfg.SnapshotPath != "" {
@@ -236,6 +245,38 @@ func (s *Server) SnapshotNow() error {
 	return nil
 }
 
+// dedupWindow bounds how many recent batch ids the server remembers.
+// It only needs to cover ids still inside some client's retry loop, so
+// a small FIFO window suffices.
+const dedupWindow = 8192
+
+// rememberBatch records a client batch id and reports whether it was
+// already seen — i.e. this POST is a retry of a batch the server
+// enqueued but whose ack was lost. Old ids age out FIFO.
+func (s *Server) rememberBatch(id string) (dup bool) {
+	s.dedupMu.Lock()
+	defer s.dedupMu.Unlock()
+	if _, ok := s.dedupSeen[id]; ok {
+		return true
+	}
+	s.dedupSeen[id] = struct{}{}
+	s.dedupFIFO = append(s.dedupFIFO, id)
+	if len(s.dedupFIFO) > dedupWindow {
+		delete(s.dedupSeen, s.dedupFIFO[0])
+		s.dedupFIFO = s.dedupFIFO[1:]
+	}
+	return false
+}
+
+// forgetBatch drops an id recorded by rememberBatch when the batch was
+// not actually enqueued (queue full, draining), so the client's retry
+// is not mistaken for a duplicate.
+func (s *Server) forgetBatch(id string) {
+	s.dedupMu.Lock()
+	delete(s.dedupSeen, id)
+	s.dedupMu.Unlock()
+}
+
 // Handler returns the server's HTTP API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -296,9 +337,23 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Delivery is at-least-once: a batch can be enqueued while the ack
+	// is lost in transit, and the client then retries it. The batch id
+	// makes the retry idempotent — ack it again without re-ingesting.
+	batchID := r.Header.Get("X-CBI-Batch-ID")
+	if batchID != "" && s.rememberBatch(batchID) {
+		s.batchesDeduped.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"accepted":%d,"duplicate":true}`+"\n", len(set.Reports))
+		return
+	}
+
 	s.acceptMu.RLock()
 	if !s.accepting {
 		s.acceptMu.RUnlock()
+		if batchID != "" {
+			s.forgetBatch(batchID)
+		}
 		http.Error(w, "collector is shutting down", http.StatusServiceUnavailable)
 		return
 	}
@@ -311,6 +366,9 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, `{"accepted":%d}`+"\n", len(set.Reports))
 	default:
 		s.acceptMu.RUnlock()
+		if batchID != "" {
+			s.forgetBatch(batchID)
+		}
 		s.batchesRejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
@@ -370,6 +428,7 @@ func (s *Server) StatsNow() Stats {
 		QueueDepth:      len(s.queue),
 		BatchesAccepted: s.batchesAccepted.Load(),
 		BatchesRejected: s.batchesRejected.Load(),
+		BatchesDeduped:  s.batchesDeduped.Load(),
 		ReportsEnqueued: s.reportsEnqueued.Load(),
 		ReportsApplied:  s.reportsApplied.Load(),
 		Snapshots:       s.snapshots.Load(),

@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"compress/gzip"
 	"context"
+	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -442,6 +445,15 @@ func TestHandlerValidation(t *testing.T) {
 		t.Errorf("text codec POST = %d, want 202", got)
 	}
 
+	// A text batch with correct dimensions but an out-of-range
+	// predicate id must be rejected with 400 — it used to be acked and
+	// then panic an apply worker, killing the whole collector.
+	hostile := fmt.Sprintf("cbi-reports 1 %d %d 1\nF | 0 | %d\n",
+		in.Set.NumSites, in.Set.NumPreds, in.Set.NumPreds)
+	if got := postBody([]byte(hostile), false); got != http.StatusBadRequest {
+		t.Errorf("out-of-range text POST = %d, want 400", got)
+	}
+
 	if got := get("/v1/scores?k=bogus"); got != http.StatusBadRequest {
 		t.Errorf("bad k = %d, want 400", got)
 	}
@@ -450,6 +462,137 @@ func TestHandlerValidation(t *testing.T) {
 	}
 	if got := get("/v1/stats"); got != http.StatusOK {
 		t.Errorf("stats = %d, want 200", got)
+	}
+}
+
+// TestBatchDedup: delivery is at-least-once — a batch can be enqueued
+// while its ack is lost, and the client retries it with the same
+// X-CBI-Batch-ID. The retry must be acked without being ingested twice.
+func TestBatchDedup(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+	srv, err := New(serverConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	payload := encodeBatch(t, in, in.Set.Reports[:5])
+	post := func(id string) (int, string) {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/reports", bytes.NewReader(payload))
+		req.Header.Set("Content-Encoding", "gzip")
+		if id != "" {
+			req.Header.Set("X-CBI-Batch-ID", id)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	if got, _ := post("batch-1"); got != http.StatusAccepted {
+		t.Fatalf("first POST = %d, want 202", got)
+	}
+	got, body := post("batch-1")
+	if got != http.StatusAccepted {
+		t.Fatalf("retried POST = %d, want 202 (idempotent ack)", got)
+	}
+	if !strings.Contains(body, `"duplicate":true`) {
+		t.Errorf("retried POST body %q does not flag the duplicate", body)
+	}
+	waitApplied(t, srv, 5)
+	st := srv.StatsNow()
+	if st.ReportsEnqueued != 5 {
+		t.Errorf("duplicate batch was re-ingested: %d reports enqueued, want 5", st.ReportsEnqueued)
+	}
+	if st.BatchesDeduped != 1 {
+		t.Errorf("BatchesDeduped = %d, want 1", st.BatchesDeduped)
+	}
+
+	// Batches without an id (legacy clients) are never deduplicated.
+	if got, _ := post(""); got != http.StatusAccepted {
+		t.Fatalf("id-less POST = %d, want 202", got)
+	}
+	if got, _ := post(""); got != http.StatusAccepted {
+		t.Fatalf("second id-less POST = %d, want 202", got)
+	}
+	waitApplied(t, srv, 15)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchDedupNotClaimedOn429: a 429 rejection must not record the
+// batch id — otherwise the client's retry of a batch that was never
+// ingested would be dropped as a "duplicate".
+func TestBatchDedupNotClaimedOn429(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+	cfg := serverConfig(t)
+	cfg.QueueSize = 1
+	cfg.Workers = 1
+	gate := make(chan struct{})
+	cfg.applyHook = func(*report.Report) { <-gate }
+
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	payload := encodeBatch(t, in, in.Set.Reports[:1])
+	post := func(id string) (int, string) {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/reports", bytes.NewReader(payload))
+		req.Header.Set("Content-Encoding", "gzip")
+		req.Header.Set("X-CBI-Batch-ID", id)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	// Wedge the pipeline until "retry-me" bounces with 429.
+	saw429 := false
+	for i := 0; i < 50 && !saw429; i++ {
+		if got, _ := post(fmt.Sprintf("fill-%d", i)); got == http.StatusTooManyRequests {
+			saw429 = true
+		}
+	}
+	if !saw429 {
+		t.Fatal("queue never overflowed")
+	}
+	if got, _ := post("retry-me"); got != http.StatusTooManyRequests {
+		t.Fatal("expected 429 for retry-me while wedged")
+	}
+
+	// Unwedge; the retry must be accepted as fresh, not deduplicated.
+	close(gate)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got, body := post("retry-me")
+		if got == http.StatusAccepted {
+			if strings.Contains(body, `"duplicate":true`) {
+				t.Fatalf("retry after 429 treated as duplicate: %s", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retry-me never accepted (last status %d)", got)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
 	}
 }
 

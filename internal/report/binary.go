@@ -142,7 +142,14 @@ func readDeltaList(br *bufio.Reader, dim int) ([]int32, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	out := make([]int32, 0, n)
+	// Preallocate conservatively: every entry costs at least one wire
+	// byte, so a lying length (up to dim = 2^30) must not be able to
+	// force a multi-GiB allocation before any list bytes are read.
+	capHint := n
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	out := make([]int32, 0, capHint)
 	prev := int64(-1)
 	for i := uint64(0); i < n; i++ {
 		d, err := binary.ReadUvarint(br)

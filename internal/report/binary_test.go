@@ -2,8 +2,10 @@ package report
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -114,5 +116,32 @@ func TestBinaryRejectsHugeHeader(t *testing.T) {
 	data := []byte("CBR1\x80\x80\x80\x80\x80\x80\x80\x80\x01")
 	if _, err := UnmarshalBinary(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "limit") {
 		t.Errorf("huge numSites: got %v, want limit error", err)
+	}
+}
+
+func TestBinaryHugeListLengthBoundedAlloc(t *testing.T) {
+	// A tiny payload declaring a 2^30-entry site list (legal against
+	// dim = 2^30, but with no list bytes following) must fail on EOF
+	// without first allocating a ~4 GiB slice for the declared length.
+	var buf bytes.Buffer
+	buf.WriteString(binaryMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) { n := binary.PutUvarint(tmp[:], v); buf.Write(tmp[:n]) }
+	put(1 << 30) // numSites
+	put(1 << 30) // numPreds
+	put(1)       // numReports
+	buf.WriteByte(0)
+	put(1 << 30) // claimed sites list length, then EOF
+	payload := buf.Bytes()
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	_, err := UnmarshalBinary(bytes.NewReader(payload))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("truncated huge list decoded without error")
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 64<<20 {
+		t.Errorf("decoding a %d-byte hostile payload allocated %d bytes", len(payload), grew)
 	}
 }

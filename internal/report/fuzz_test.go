@@ -54,8 +54,9 @@ func FuzzReportRoundTripBinary(f *testing.F) {
 }
 
 // FuzzReportRoundTripText does the same for the line-oriented text
-// codec. The text codec does not canonicalize (it preserves whatever
-// integers appear), so the property is the same decode∘encode identity.
+// codec, which enforces the same invariants as the binary one (bounded
+// dimensions, ascending in-range ids), so any input that decodes obeys
+// the decode∘encode identity.
 func FuzzReportRoundTripText(f *testing.F) {
 	for _, set := range fuzzSeeds() {
 		var buf bytes.Buffer

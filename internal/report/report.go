@@ -96,7 +96,12 @@ func writeInts(bw *bufio.Writer, xs []int32) {
 	}
 }
 
-// Unmarshal parses a set previously written by Marshal.
+// Unmarshal parses a set previously written by Marshal. It enforces the
+// same structural invariants as the binary decoder: dimensions are
+// bounded, labels are "S" or "F", and id lists are strictly ascending
+// with every id inside [0, NumSites) / [0, NumPreds). Hostile or
+// corrupt input is rejected here rather than handed to downstream
+// consumers that index dense counter arrays by id.
 func Unmarshal(r io.Reader) (*Set, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
@@ -110,7 +115,23 @@ func Unmarshal(r io.Reader) (*Set, error) {
 	if version != 1 {
 		return nil, fmt.Errorf("report: unsupported version %d", version)
 	}
-	set := &Set{NumSites: numSites, NumPreds: numPreds, Reports: make([]*Report, 0, numReports)}
+	if numSites < 0 || numSites > maxDim {
+		return nil, fmt.Errorf("report: numSites %d out of range", numSites)
+	}
+	if numPreds < 0 || numPreds > maxDim {
+		return nil, fmt.Errorf("report: numPreds %d out of range", numPreds)
+	}
+	if numReports < 0 {
+		return nil, fmt.Errorf("report: negative report count %d", numReports)
+	}
+	// Preallocate conservatively: the count is validated against the
+	// actual line count only after the scan, so a lying header must not
+	// be able to force a huge allocation up front.
+	capHint := numReports
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	set := &Set{NumSites: numSites, NumPreds: numPreds, Reports: make([]*Report, 0, capHint)}
 	for sc.Scan() {
 		line := sc.Text()
 		if line == "" {
@@ -120,12 +141,16 @@ func Unmarshal(r io.Reader) (*Set, error) {
 		if len(parts) != 3 {
 			return nil, fmt.Errorf("report: bad line %q", line)
 		}
-		rep := &Report{Failed: strings.TrimSpace(parts[0]) == "F"}
+		label := strings.TrimSpace(parts[0])
+		if label != "S" && label != "F" {
+			return nil, fmt.Errorf("report: bad label %q in %q", label, line)
+		}
+		rep := &Report{Failed: label == "F"}
 		var err error
-		if rep.ObservedSites, err = parseInts(parts[1]); err != nil {
+		if rep.ObservedSites, err = parseIDList(parts[1], numSites); err != nil {
 			return nil, fmt.Errorf("report: bad sites in %q: %v", line, err)
 		}
-		if rep.TruePreds, err = parseInts(parts[2]); err != nil {
+		if rep.TruePreds, err = parseIDList(parts[2], numPreds); err != nil {
 			return nil, fmt.Errorf("report: bad preds in %q: %v", line, err)
 		}
 		set.Reports = append(set.Reports, rep)
@@ -139,19 +164,30 @@ func Unmarshal(r io.Reader) (*Set, error) {
 	return set, nil
 }
 
-func parseInts(s string) ([]int32, error) {
+// parseIDList parses a comma-separated id list, requiring strictly
+// ascending ids in [0, dim) — the invariant every Report consumer
+// (binary search membership, dense counter bumps) relies on.
+func parseIDList(s string, dim int) ([]int32, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return nil, nil
 	}
 	parts := strings.Split(s, ",")
-	out := make([]int32, len(parts))
-	for i, p := range parts {
+	out := make([]int32, 0, len(parts))
+	prev := -1
+	for _, p := range parts {
 		v, err := strconv.Atoi(p)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = int32(v)
+		if v < 0 || v >= dim {
+			return nil, fmt.Errorf("id %d out of range [0,%d)", v, dim)
+		}
+		if v <= prev {
+			return nil, fmt.Errorf("non-ascending id %d after %d", v, prev)
+		}
+		out = append(out, int32(v))
+		prev = v
 	}
 	return out, nil
 }

@@ -144,6 +144,16 @@ func TestUnmarshalErrors(t *testing.T) {
 		{"bad line", "cbi-reports 1 1 1 1\nF | 1\n"},
 		{"bad int", "cbi-reports 1 1 1 1\nF | x | \n"},
 		{"count mismatch", "cbi-reports 1 1 1 5\nF |  | \n"},
+		{"negative sites", "cbi-reports 1 -1 1 0\n"},
+		{"negative preds", "cbi-reports 1 1 -1 0\n"},
+		{"negative count", "cbi-reports 1 1 1 -1\n"},
+		{"huge sites", "cbi-reports 1 1073741825 1 0\n"},
+		{"bad label", "cbi-reports 1 1 1 1\nX |  | \n"},
+		{"site out of range", "cbi-reports 1 4 8 1\nF | 4 | \n"},
+		{"pred out of range", "cbi-reports 1 4 8 1\nF | 2 | 999\n"},
+		{"negative id", "cbi-reports 1 4 8 1\nF | -1 | \n"},
+		{"non-ascending", "cbi-reports 1 8 8 1\nF | 3,2 | \n"},
+		{"duplicate id", "cbi-reports 1 8 8 1\nF |  | 5,5\n"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
