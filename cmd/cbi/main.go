@@ -14,6 +14,7 @@
 //	cbi html <name> -o report.html   write an interactive HTML report
 //	cbi serve [flags]                run a feedback-report collector server
 //	cbi submit [flags]               stream reports to a running collector
+//	cbi predictors [flags]           fetch a collector's live cause-isolation ranking
 //
 // Run `cbi <subcommand> -h` for per-command flags.
 package main
@@ -52,6 +53,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "submit":
 		err = cmdSubmit(os.Args[2:])
+	case "predictors":
+		err = cmdPredictors(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -78,6 +81,7 @@ subcommands:
   html <name>         write an interactive HTML report for a subject
   serve               run a feedback-report collector (ingestion + live ranking)
   submit              stream reports to a running collector
+  predictors          fetch a collector's live cause-isolation ranking
 `)
 }
 

@@ -16,6 +16,7 @@ import (
 	"cbi/internal/instrument"
 	"cbi/internal/report"
 	"cbi/internal/subjects"
+	"cbi/internal/thermo"
 )
 
 // planFor derives the instrumentation plan for -subject or -program,
@@ -60,6 +61,7 @@ func cmdServe(args []string) error {
 	snapshotEvery := fs.Duration("snapshot-every", 30*time.Second, "periodic snapshot interval")
 	queueSize := fs.Int("queue", 256, "ingest queue bound in batches (backpressure beyond)")
 	shards := fs.Int("shards", 16, "aggregate counter stripes")
+	runlog := fs.Int("runlog", 0, "run-log retention cap in runs (0 = default 262144, negative disables /v1/predictors)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +76,7 @@ func cmdServe(args []string) error {
 		Fingerprint:   plan.Fingerprint(),
 		QueueSize:     *queueSize,
 		Shards:        *shards,
+		RunLogSize:    *runlog,
 		SnapshotPath:  *snapshot,
 		SnapshotEvery: *snapshotEvery,
 		Logf:          log.Printf,
@@ -192,6 +195,54 @@ func cmdSubmit(args []string) error {
 	fmt.Printf("%s: streamed %d runs (%d failing) to %s (%d retries)\n",
 		subj.Name, len(res.Set.Reports), res.NumFailing(), *addr, client.Retries())
 	return finishSubmit(ctx, client, *top)
+}
+
+// cmdPredictors fetches a collector's live cause-isolation ranking —
+// the /v1/predictors view of the retained run window: elimination
+// order, initial and effective thermometers, and affinity lists.
+func cmdPredictors(args []string) error {
+	fs := flag.NewFlagSet("predictors", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:7575", "collector base URL")
+	top := fs.Int("top", 12, "max predictors to fetch (0 = no cap)")
+	affinityK := fs.Int("affinity", 3, "affinity entries per predictor (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	// Dimensions are only needed for submitting; stats carries them.
+	client := collector.NewClient(*addr, 0, 0)
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collector: %d retained runs of %d ingested (%d failing), run-log cap %d, %d evicted\n",
+		stats.RunLogRuns, stats.ReportsApplied, stats.Failing, stats.RunLogCap, stats.RunLogEvicted)
+	preds, err := client.Predictors(ctx, *top, *affinityK)
+	if err != nil {
+		return err
+	}
+	if len(preds) == 0 {
+		fmt.Println("elimination selected no predictors (no failing runs in the retained window?)")
+		return nil
+	}
+	fmt.Println("live ranked bug predictors (initial | effective thermometers):")
+	for i, e := range preds {
+		ti := thermo.Thermometer{Len01: e.Initial.Thermo.Len01, Black: e.Initial.Thermo.Black,
+			Dark: e.Initial.Thermo.Dark, Light: e.Initial.Thermo.Light,
+			White: e.Initial.Thermo.White, Obs: e.Initial.Thermo.Obs}
+		te := thermo.Thermometer{Len01: e.Effective.Thermo.Len01, Black: e.Effective.Thermo.Black,
+			Dark: e.Effective.Thermo.Dark, Light: e.Effective.Thermo.Light,
+			White: e.Effective.Thermo.White, Obs: e.Effective.Thermo.Obs}
+		fmt.Printf("%2d. %s %s  pred %5d  Imp=%.3f Inc=%.3f±%.3f F=%d S=%d\n",
+			i+1, ti.Text(16), te.Text(16), e.Pred,
+			e.Effective.Importance, e.Initial.Increase, e.Initial.IncreaseCI,
+			e.Initial.F, e.Initial.S)
+		for _, a := range e.Affinity {
+			fmt.Printf("      affinity: pred %5d  drop %.3f (%.3f -> %.3f)\n",
+				a.Pred, a.Drop, a.Before, a.After)
+		}
+	}
+	return nil
 }
 
 // finishSubmit prints the server's view: stats, plus the live top-K

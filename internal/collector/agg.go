@@ -1,11 +1,17 @@
 // Package collector implements the paper's deployment model as a
 // networked system: thousands of instrumented clients ship feedback
 // reports to a central server, which aggregates them incrementally and
-// serves a live Importance ranking (§2's "central database" made
-// concrete). The server never stores reports — ingestion folds each
-// one into sharded aggregate counters whose totals are exactly what
-// core.Aggregate would compute over the same report set, so live
-// rankings match the batch pipeline bit for bit.
+// serves live rankings (§2's "central database" made concrete). The
+// server keeps two complementary representations of the stream: sharded
+// aggregate counters whose totals are exactly what core.Aggregate would
+// compute over the same report set (serving the pre-elimination
+// /v1/scores ranking), and a compact run-level membership log that
+// records which predicates each retained run observed true (serving the
+// full /v1/predictors cause-isolation ranking — elimination discards
+// runs, so counters alone cannot drive it). The log is bounded by a
+// retention cap; when a run is evicted, its contribution is subtracted
+// from the counters, so counters and log always describe exactly the
+// retained window.
 package collector
 
 import (
@@ -18,15 +24,17 @@ import (
 )
 
 // shardedAgg maintains the per-site and per-predicate tallies of
-// core.AggregateSubset under concurrent ingestion. Counters are striped
-// into contiguous blocks, each guarded by its own mutex; because report
-// id lists are sorted ascending, an applier walks each list taking each
-// stripe lock at most once.
+// core.AggregateSubset under concurrent ingestion, plus the run-level
+// membership log. Counters are striped into contiguous blocks, each
+// guarded by its own mutex; because report id lists are sorted
+// ascending, an applier walks each list taking each stripe lock at most
+// once.
 //
 // A top-level RWMutex makes whole reports atomic with respect to
-// readers: appliers hold the read side for the duration of one report,
+// readers: appliers hold the read side for the duration of one report
+// (counter bumps, log append, and eviction decrement together), while
 // snapshots and score queries take the write side, so they never
-// observe a half-applied report.
+// observe a half-applied report or a log/counter mismatch.
 type shardedAgg struct {
 	numSites, numPreds   int
 	siteBlock, predBlock int // stripe widths (ids per stripe)
@@ -41,9 +49,14 @@ type shardedAgg struct {
 
 	// Run counts, updated atomically after a report's counters land.
 	numF, numS atomic.Int64
+
+	// logMu guards log; nil log means run-level retention is disabled
+	// (counters only, /v1/predictors unavailable).
+	logMu sync.Mutex
+	log   *runLog
 }
 
-func newShardedAgg(numSites, numPreds, shards int) *shardedAgg {
+func newShardedAgg(numSites, numPreds, shards, runLogCap int) *shardedAgg {
 	if shards < 1 {
 		shards = 1
 	}
@@ -59,6 +72,9 @@ func newShardedAgg(numSites, numPreds, shards int) *shardedAgg {
 		fPred:       make([]int64, numPreds),
 		sPred:       make([]int64, numPreds),
 	}
+	if runLogCap > 0 {
+		a.log = newRunLog(runLogCap)
+	}
 	return a
 }
 
@@ -70,28 +86,55 @@ func blockSize(dim, shards int) int {
 	return b
 }
 
-// Apply folds one report into the aggregate. Safe for concurrent use.
+// Apply folds one report into the aggregate and the run log, evicting
+// (and un-counting) the oldest run when the log is at capacity. Safe
+// for concurrent use.
 func (a *shardedAgg) Apply(r *report.Report) {
 	a.gate.RLock()
 	defer a.gate.RUnlock()
 
+	var evicted []byte
+	if a.log != nil {
+		rec := report.AppendRecord(nil, r)
+		a.logMu.Lock()
+		evicted = a.log.append(rec)
+		a.logMu.Unlock()
+	}
+
+	a.bump(r, +1)
+	if evicted != nil {
+		// The record was produced by AppendRecord on an already-validated
+		// report, so decoding cannot fail; a corrupted record would mean
+		// memory corruption, and dropping it silently would desync the
+		// counters from the log.
+		old, err := decodeRecords([][]byte{evicted}, a.numSites, a.numPreds)
+		if err != nil {
+			panic(err)
+		}
+		a.bump(old[0], -1)
+	}
+}
+
+// bump adds delta to every counter the report touches. Callers must
+// hold gate.RLock.
+func (a *shardedAgg) bump(r *report.Report, delta int64) {
 	siteCounts, predCounts := a.sObsSite, a.sPred
 	if r.Failed {
 		siteCounts, predCounts = a.fObsSite, a.fPred
 	}
-	bumpStriped(a.siteStripes, a.siteBlock, siteCounts, r.ObservedSites)
-	bumpStriped(a.predStripes, a.predBlock, predCounts, r.TruePreds)
+	bumpStriped(a.siteStripes, a.siteBlock, siteCounts, r.ObservedSites, delta)
+	bumpStriped(a.predStripes, a.predBlock, predCounts, r.TruePreds, delta)
 
 	if r.Failed {
-		a.numF.Add(1)
+		a.numF.Add(delta)
 	} else {
-		a.numS.Add(1)
+		a.numS.Add(delta)
 	}
 }
 
-// bumpStriped increments counts[id] for each id in the ascending list,
-// acquiring each stripe's lock once as the walk crosses stripes.
-func bumpStriped(stripes []sync.Mutex, block int, counts []int64, ids []int32) {
+// bumpStriped adds delta to counts[id] for each id in the ascending
+// list, acquiring each stripe's lock once as the walk crosses stripes.
+func bumpStriped(stripes []sync.Mutex, block int, counts []int64, ids []int32, delta int64) {
 	held := -1
 	for _, id := range ids {
 		st := int(id) / block
@@ -102,23 +145,25 @@ func bumpStriped(stripes []sync.Mutex, block int, counts []int64, ids []int32) {
 			stripes[st].Lock()
 			held = st
 		}
-		counts[id]++
+		counts[id] += delta
 	}
 	if held >= 0 {
 		stripes[held].Unlock()
 	}
 }
 
-// Runs returns the (failing, successful) run counts applied so far.
+// Runs returns the (failing, successful) run counts currently retained.
 func (a *shardedAgg) Runs() (numF, numS int64) {
 	return a.numF.Load(), a.numS.Load()
 }
 
-// Snapshot captures a consistent copy of all counters.
-func (a *shardedAgg) Snapshot(fingerprint uint64) *corpus.AggSnapshot {
+// Snapshot captures a consistent copy of all counters together with the
+// run-log records they describe (nil when retention is disabled). The
+// record slices are immutable and safe to decode without locks.
+func (a *shardedAgg) Snapshot(fingerprint uint64) (*corpus.AggSnapshot, [][]byte) {
 	a.gate.Lock()
 	defer a.gate.Unlock()
-	return &corpus.AggSnapshot{
+	snap := &corpus.AggSnapshot{
 		NumSites:    a.numSites,
 		NumPreds:    a.numPreds,
 		Fingerprint: fingerprint,
@@ -129,6 +174,11 @@ func (a *shardedAgg) Snapshot(fingerprint uint64) *corpus.AggSnapshot {
 		FPred:       append([]int64{}, a.fPred...),
 		SPred:       append([]int64{}, a.sPred...),
 	}
+	var recs [][]byte
+	if a.log != nil {
+		recs = a.log.records()
+	}
+	return snap, recs
 }
 
 // Restore overwrites the counters from a snapshot. Callers must ensure
@@ -142,6 +192,79 @@ func (a *shardedAgg) Restore(snap *corpus.AggSnapshot) {
 	copy(a.sPred, snap.SPred)
 	a.numF.Store(snap.NumF)
 	a.numS.Store(snap.NumS)
+}
+
+// RestoreLog refills the run log from decoded reports (oldest first),
+// without touching the counters. No-op when retention is disabled.
+func (a *shardedAgg) RestoreLog(reports []*report.Report) {
+	if a.log == nil {
+		return
+	}
+	a.gate.Lock()
+	defer a.gate.Unlock()
+	a.log.restore(reports)
+}
+
+// RecountFromLog rebuilds every counter from the retained run log —
+// the log is the source of truth whenever the two disagree (e.g. a
+// crash tore the snapshot pair). Callers must ensure no concurrent
+// Apply.
+func (a *shardedAgg) RecountFromLog() error {
+	a.gate.Lock()
+	defer a.gate.Unlock()
+	for _, xs := range [][]int64{a.fObsSite, a.sObsSite, a.fPred, a.sPred} {
+		for i := range xs {
+			xs[i] = 0
+		}
+	}
+	a.numF.Store(0)
+	a.numS.Store(0)
+	if a.log == nil {
+		return nil
+	}
+	reports, err := decodeRecords(a.log.records(), a.numSites, a.numPreds)
+	if err != nil {
+		return err
+	}
+	for _, r := range reports {
+		a.bump(r, +1)
+	}
+	return nil
+}
+
+// LogView returns the retained run-log records in arrival order along
+// with the log version (for cache invalidation). ok is false when
+// retention is disabled. The records are immutable and may be decoded
+// without holding any lock; a view taken concurrently with ingestion is
+// a consistent prefix of the stream as the log saw it.
+func (a *shardedAgg) LogView() (recs [][]byte, version uint64, ok bool) {
+	if a.log == nil {
+		return nil, 0, false
+	}
+	a.logMu.Lock()
+	defer a.logMu.Unlock()
+	return a.log.records(), a.log.version, true
+}
+
+// LogVersion returns the current run-log version (0 when disabled).
+func (a *shardedAgg) LogVersion() uint64 {
+	if a.log == nil {
+		return 0
+	}
+	a.logMu.Lock()
+	defer a.logMu.Unlock()
+	return a.log.version
+}
+
+// LogStats returns the retained-run count, the eviction count, and the
+// retention cap (all zero when retention is disabled).
+func (a *shardedAgg) LogStats() (retained int, evicted int64, capRuns int) {
+	if a.log == nil {
+		return 0, 0, 0
+	}
+	a.logMu.Lock()
+	defer a.logMu.Unlock()
+	return a.log.len(), a.log.evicted, a.log.cap
 }
 
 // ToAgg converts the live counters into a core.Agg, attaching each

@@ -42,7 +42,7 @@ func TestShardedAggMatchesBatchAggregate(t *testing.T) {
 	in := res.CoreInput()
 
 	for _, shards := range []int{1, 3, 16} {
-		agg := newShardedAgg(in.Set.NumSites, in.Set.NumPreds, shards)
+		agg := newShardedAgg(in.Set.NumSites, in.Set.NumPreds, shards, defaultRunLogCap)
 		var wg sync.WaitGroup
 		for w := 0; w < 8; w++ {
 			wg.Add(1)
@@ -71,16 +71,19 @@ func TestShardedAggSnapshotRestore(t *testing.T) {
 	res := testCorpus(t)
 	in := res.CoreInput()
 
-	agg := newShardedAgg(in.Set.NumSites, in.Set.NumPreds, 8)
+	agg := newShardedAgg(in.Set.NumSites, in.Set.NumPreds, 8, defaultRunLogCap)
 	for _, r := range in.Set.Reports {
 		agg.Apply(r)
 	}
-	snap := agg.Snapshot(12345)
+	snap, recs := agg.Snapshot(12345)
 	if snap.Fingerprint != 12345 {
 		t.Errorf("snapshot fingerprint = %d", snap.Fingerprint)
 	}
+	if len(recs) != len(in.Set.Reports) {
+		t.Errorf("snapshot captured %d run-log records, want %d", len(recs), len(in.Set.Reports))
+	}
 
-	fresh := newShardedAgg(in.Set.NumSites, in.Set.NumPreds, 8)
+	fresh := newShardedAgg(in.Set.NumSites, in.Set.NumPreds, 8, defaultRunLogCap)
 	fresh.Restore(snap)
 	if !reflect.DeepEqual(fresh.ToAgg(in.SiteOf), agg.ToAgg(in.SiteOf)) {
 		t.Fatal("restored aggregate differs from original")

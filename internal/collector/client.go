@@ -279,6 +279,18 @@ func (c *Client) Scores(ctx context.Context, k int) ([]ScoreEntry, error) {
 	return out, nil
 }
 
+// Predictors fetches the live cause-isolation ranking from
+// GET /v1/predictors: at most k ranked predictors (0 = no cap), each
+// with at most affinityK affinity entries (0 = none).
+func (c *Client) Predictors(ctx context.Context, k, affinityK int) ([]PredictorEntry, error) {
+	var out []PredictorEntry
+	path := fmt.Sprintf("/v1/predictors?k=%d&affinity=%d", k, affinityK)
+	if err := c.getJSON(ctx, path, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Healthy reports whether GET /healthz returns 200.
 func (c *Client) Healthy(ctx context.Context) bool {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)

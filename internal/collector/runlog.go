@@ -1,0 +1,95 @@
+package collector
+
+import (
+	"bytes"
+	"fmt"
+
+	"cbi/internal/report"
+)
+
+// defaultRunLogCap is the default run-log retention cap: enough to hold
+// every run of any realistic single-collector experiment, while
+// bounding memory to the window a deployment actually analyzes.
+const defaultRunLogCap = 1 << 18
+
+// runLog is the collector's run-level predicate membership log: one
+// compact binary record per retained run (report.AppendRecord — the
+// wire format's per-report encoding), in arrival order, bounded by a
+// retention cap with oldest-run eviction. It is what elevates the
+// collector from aggregate counters (enough for Importance ranking) to
+// full cause isolation: core.Eliminate discards *runs*, not counters,
+// so it needs to know which predicates each retained run observed true.
+//
+// The log is not itself goroutine-safe; shardedAgg serializes access
+// under its own locks so that counters and log always describe the
+// same run set.
+type runLog struct {
+	cap  int
+	recs [][]byte // ring once len == cap
+	head int      // index of the oldest record
+	// version increments on every mutation; /v1/predictors caches are
+	// keyed on it so repeated polls between ingests never rescan.
+	version uint64
+	// evicted counts runs dropped by retention since startup.
+	evicted int64
+}
+
+func newRunLog(capRuns int) *runLog {
+	return &runLog{cap: capRuns}
+}
+
+// append stores one encoded record, returning the evicted oldest
+// record (nil when under cap). The returned slice is immutable: rings
+// swap record pointers, never reuse their bytes.
+func (l *runLog) append(rec []byte) (evicted []byte) {
+	if len(l.recs) < l.cap {
+		l.recs = append(l.recs, rec)
+	} else {
+		evicted = l.recs[l.head]
+		l.recs[l.head] = rec
+		l.head = (l.head + 1) % l.cap
+		l.evicted++
+	}
+	l.version++
+	return evicted
+}
+
+// len returns the number of retained runs.
+func (l *runLog) len() int { return len(l.recs) }
+
+// records returns the retained records in arrival order. The returned
+// slice is a fresh header but shares the (immutable) record bytes, so
+// callers may decode it without holding the aggregate's locks.
+func (l *runLog) records() [][]byte {
+	out := make([][]byte, 0, len(l.recs))
+	out = append(out, l.recs[l.head:]...)
+	out = append(out, l.recs[:l.head]...)
+	return out
+}
+
+// restore refills the log from decoded reports (oldest first), keeping
+// only the newest cap runs. Counters are the caller's business.
+func (l *runLog) restore(reports []*report.Report) {
+	if len(reports) > l.cap {
+		reports = reports[len(reports)-l.cap:]
+	}
+	l.recs = make([][]byte, 0, len(reports))
+	l.head = 0
+	for _, r := range reports {
+		l.recs = append(l.recs, report.AppendRecord(nil, r))
+	}
+	l.version++
+}
+
+// decodeRecords decodes run-log records into reports, in order.
+func decodeRecords(recs [][]byte, numSites, numPreds int) ([]*report.Report, error) {
+	out := make([]*report.Report, 0, len(recs))
+	for i, rec := range recs {
+		r, err := report.ReadRecord(bytes.NewReader(rec), numSites, numPreds)
+		if err != nil {
+			return nil, fmt.Errorf("collector: run-log record %d: %v", i, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -33,6 +33,13 @@ type Config struct {
 	// QueueSize bounds the ingest queue in batches (default 256). When
 	// the queue is full, POST /v1/reports sheds load with 429.
 	QueueSize int
+	// RunLogSize caps the run-level membership log in runs (default
+	// 262144; negative disables it). The log is what powers the full
+	// cause-isolation ranking: when it is at capacity the oldest run is
+	// evicted and un-counted, so /v1/scores, /v1/stats, and
+	// /v1/predictors all describe exactly the retained window. Negative
+	// means counters-only operation (/v1/predictors returns 501).
+	RunLogSize int
 	// Workers is the number of apply workers (default GOMAXPROCS).
 	Workers int
 	// Shards is the number of counter stripes (default 16).
@@ -64,6 +71,16 @@ type Stats struct {
 	ReportsEnqueued int64  `json:"reports_enqueued"`
 	ReportsApplied  int64  `json:"reports_applied"`
 	Snapshots       int64  `json:"snapshots"`
+	// Run-log retention: retained window size, configured cap, and runs
+	// evicted (and un-counted) since startup. All zero when the run log
+	// is disabled.
+	RunLogRuns    int   `json:"runlog_runs"`
+	RunLogCap     int   `json:"runlog_cap"`
+	RunLogEvicted int64 `json:"runlog_evicted"`
+	// /v1/predictors cache behaviour: full eliminations computed vs
+	// polls served from cache (no rescan between ingests).
+	PredictorsComputed  int64 `json:"predictors_computed"`
+	PredictorsCacheHits int64 `json:"predictors_cache_hits"`
 }
 
 // ScoreEntry is one row of the GET /v1/scores response.
@@ -105,6 +122,17 @@ type Server struct {
 	reportsApplied  atomic.Int64
 	snapshots       atomic.Int64
 
+	predictorsComputed  atomic.Int64
+	predictorsCacheHits atomic.Int64
+
+	// Cached /v1/predictors response, keyed by query parameters and the
+	// run-log version at computation time; any ingest bumps the version
+	// and thereby invalidates the cache.
+	predMu      sync.Mutex
+	predKey     string
+	predVersion uint64
+	predBody    []byte
+
 	// Recently enqueued client batch ids (X-CBI-Batch-ID), so a retry
 	// of a batch whose ack was lost in transit is not ingested twice.
 	dedupMu   sync.Mutex
@@ -132,6 +160,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = 256
 	}
+	if cfg.RunLogSize == 0 {
+		cfg.RunLogSize = defaultRunLogCap
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -144,7 +175,7 @@ func New(cfg Config) (*Server, error) {
 
 	s := &Server{
 		cfg:       cfg,
-		agg:       newShardedAgg(cfg.NumSites, cfg.NumPreds, cfg.Shards),
+		agg:       newShardedAgg(cfg.NumSites, cfg.NumPreds, cfg.Shards, cfg.RunLogSize),
 		queue:     make(chan []*report.Report, cfg.QueueSize),
 		accepting: true,
 		die:       make(chan struct{}),
@@ -152,24 +183,8 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	if cfg.SnapshotPath != "" {
-		snap, err := corpus.ReadAggSnapshotFile(cfg.SnapshotPath)
-		if err != nil {
-			return nil, fmt.Errorf("collector: loading snapshot: %v", err)
-		}
-		if snap != nil {
-			if snap.NumSites != cfg.NumSites || snap.NumPreds != cfg.NumPreds {
-				return nil, fmt.Errorf("collector: snapshot dimensions %dx%d do not match server %dx%d",
-					snap.NumSites, snap.NumPreds, cfg.NumSites, cfg.NumPreds)
-			}
-			if cfg.Fingerprint != 0 && snap.Fingerprint != 0 && snap.Fingerprint != cfg.Fingerprint {
-				return nil, fmt.Errorf("collector: snapshot fingerprint %d does not match plan %d",
-					snap.Fingerprint, cfg.Fingerprint)
-			}
-			s.agg.Restore(snap)
-			restored := snap.NumF + snap.NumS
-			s.reportsEnqueued.Store(restored)
-			s.reportsApplied.Store(restored)
-			cfg.Logf("collector: restored snapshot %s (%d runs)", cfg.SnapshotPath, restored)
+		if err := s.restore(); err != nil {
+			return nil, err
 		}
 	}
 
@@ -182,6 +197,61 @@ func New(cfg Config) (*Server, error) {
 		go s.snapshotLoop()
 	}
 	return s, nil
+}
+
+// restore loads the durable pair — aggregate snapshot and run-log
+// window — from cfg.SnapshotPath. The run log is the source of truth:
+// if the counters disagree with it (a crash tore the pair, or the
+// snapshot predates run-level retention and the log file was written by
+// a newer run), the counters are rebuilt from the retained runs so the
+// two views can never serve different windows.
+func (s *Server) restore() error {
+	cfg := s.cfg
+	snap, err := corpus.ReadAggSnapshotFile(cfg.SnapshotPath)
+	if err != nil {
+		return fmt.Errorf("collector: loading snapshot: %v", err)
+	}
+	if snap != nil {
+		if snap.NumSites != cfg.NumSites || snap.NumPreds != cfg.NumPreds {
+			return fmt.Errorf("collector: snapshot dimensions %dx%d do not match server %dx%d",
+				snap.NumSites, snap.NumPreds, cfg.NumSites, cfg.NumPreds)
+		}
+		if cfg.Fingerprint != 0 && snap.Fingerprint != 0 && snap.Fingerprint != cfg.Fingerprint {
+			return fmt.Errorf("collector: snapshot fingerprint %d does not match plan %d",
+				snap.Fingerprint, cfg.Fingerprint)
+		}
+		s.agg.Restore(snap)
+	}
+
+	logSet, err := corpus.ReadRunLogFile(corpus.RunLogPath(cfg.SnapshotPath))
+	if err != nil {
+		return fmt.Errorf("collector: loading run log: %v", err)
+	}
+	if logSet != nil && cfg.RunLogSize > 0 {
+		if logSet.NumSites != cfg.NumSites || logSet.NumPreds != cfg.NumPreds {
+			return fmt.Errorf("collector: run log dimensions %dx%d do not match server %dx%d",
+				logSet.NumSites, logSet.NumPreds, cfg.NumSites, cfg.NumPreds)
+		}
+		s.agg.RestoreLog(logSet.Reports)
+		if snap == nil || snap.NumF+snap.NumS != int64(len(logSet.Reports)) || len(logSet.Reports) > cfg.RunLogSize {
+			cfg.Logf("collector: counters disagree with run log (%d runs logged); recounting from the log",
+				len(logSet.Reports))
+			if err := s.agg.RecountFromLog(); err != nil {
+				return fmt.Errorf("collector: recounting from run log: %v", err)
+			}
+		}
+	} else if snap != nil && snap.NumF+snap.NumS > 0 && cfg.RunLogSize > 0 {
+		cfg.Logf("collector: snapshot has no run log; /v1/predictors starts empty until new runs arrive")
+	}
+
+	numF, numS := s.agg.Runs()
+	restored := numF + numS
+	if restored > 0 || snap != nil || logSet != nil {
+		s.reportsEnqueued.Store(restored)
+		s.reportsApplied.Store(restored)
+		s.cfg.Logf("collector: restored snapshot %s (%d runs)", cfg.SnapshotPath, restored)
+	}
+	return nil
 }
 
 func (s *Server) applyLoop() {
@@ -231,17 +301,33 @@ func (s *Server) Ingest(r *report.Report) {
 	s.reportsApplied.Add(1)
 }
 
-// SnapshotNow persists the current aggregate to cfg.SnapshotPath.
+// SnapshotNow persists the current aggregate to cfg.SnapshotPath and,
+// when run-level retention is on, the retained run window to its
+// sibling file. Counters and window are captured under one lock, and
+// the run log lands on disk before the counters: the aggregate snapshot
+// is the commit point, and a crash between the two writes leaves a
+// mismatch that restore detects and repairs by recounting from the log.
 func (s *Server) SnapshotNow() error {
 	if s.cfg.SnapshotPath == "" {
 		return fmt.Errorf("collector: no snapshot path configured")
 	}
-	snap := s.agg.Snapshot(s.cfg.Fingerprint)
+	snap, recs := s.agg.Snapshot(s.cfg.Fingerprint)
+	if recs != nil {
+		reports, err := decodeRecords(recs, s.cfg.NumSites, s.cfg.NumPreds)
+		if err != nil {
+			return err
+		}
+		set := &report.Set{NumSites: s.cfg.NumSites, NumPreds: s.cfg.NumPreds, Reports: reports}
+		if err := corpus.WriteRunLogFile(corpus.RunLogPath(s.cfg.SnapshotPath), set); err != nil {
+			return err
+		}
+	}
 	if err := corpus.WriteAggSnapshotFile(s.cfg.SnapshotPath, snap); err != nil {
 		return err
 	}
 	s.snapshots.Add(1)
-	s.cfg.Logf("collector: snapshot %s (%d runs)", s.cfg.SnapshotPath, snap.NumF+snap.NumS)
+	s.cfg.Logf("collector: snapshot %s (%d runs, %d logged)",
+		s.cfg.SnapshotPath, snap.NumF+snap.NumS, len(recs))
 	return nil
 }
 
@@ -282,6 +368,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/reports", s.handleReports)
 	mux.HandleFunc("/v1/scores", s.handleScores)
+	mux.HandleFunc("/v1/predictors", s.handlePredictors)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -407,6 +494,72 @@ func (s *Server) handleScores(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// handlePredictors serves the full cause-isolation ranking over the
+// retained run window: core.Eliminate with affinity lists and
+// thermometers, exactly what the batch pipeline produces over the same
+// runs (see BuildPredictors). Query parameters: k caps the ranked list
+// (default 20, 0 = no cap) and affinity caps each predictor's affinity
+// list (default 5, 0 = none). Responses are cached per (k, affinity)
+// and invalidated whenever a run is ingested or evicted, so repeated
+// polls between ingests never rescan the log.
+func (s *Server) handlePredictors(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	k, affinityK := 20, 5
+	for _, q := range []struct {
+		name string
+		dst  *int
+	}{{"k", &k}, {"affinity", &affinityK}} {
+		if v := r.URL.Query().Get(q.name); v != "" {
+			if _, err := fmt.Sscanf(v, "%d", q.dst); err != nil || *q.dst < 0 {
+				http.Error(w, "bad "+q.name, http.StatusBadRequest)
+				return
+			}
+		}
+	}
+	key := fmt.Sprintf("k=%d&affinity=%d", k, affinityK)
+
+	version := s.agg.LogVersion()
+	s.predMu.Lock()
+	if s.predBody != nil && s.predKey == key && s.predVersion == version {
+		body := s.predBody
+		s.predMu.Unlock()
+		s.predictorsCacheHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
+	s.predMu.Unlock()
+
+	recs, version, ok := s.agg.LogView()
+	if !ok {
+		http.Error(w, "run log disabled (collector started with RunLogSize < 0)", http.StatusNotImplemented)
+		return
+	}
+	reports, err := decodeRecords(recs, s.cfg.NumSites, s.cfg.NumPreds)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	in := inputFromReports(s.cfg.NumSites, s.cfg.NumPreds, s.cfg.SiteOf, reports)
+	entries := BuildPredictors(in, k, affinityK)
+	s.predictorsComputed.Add(1)
+
+	body, err := json.Marshal(entries)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	body = append(body, '\n')
+	s.predMu.Lock()
+	s.predKey, s.predVersion, s.predBody = key, version, body
+	s.predMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
@@ -418,20 +571,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // StatsNow returns the server's current statistics.
 func (s *Server) StatsNow() Stats {
 	numF, numS := s.agg.Runs()
+	logRuns, logEvicted, logCap := s.agg.LogStats()
 	return Stats{
-		NumSites:        s.cfg.NumSites,
-		NumPreds:        s.cfg.NumPreds,
-		Fingerprint:     s.cfg.Fingerprint,
-		Runs:            numF + numS,
-		Failing:         numF,
-		Successful:      numS,
-		QueueDepth:      len(s.queue),
-		BatchesAccepted: s.batchesAccepted.Load(),
-		BatchesRejected: s.batchesRejected.Load(),
-		BatchesDeduped:  s.batchesDeduped.Load(),
-		ReportsEnqueued: s.reportsEnqueued.Load(),
-		ReportsApplied:  s.reportsApplied.Load(),
-		Snapshots:       s.snapshots.Load(),
+		NumSites:            s.cfg.NumSites,
+		NumPreds:            s.cfg.NumPreds,
+		Fingerprint:         s.cfg.Fingerprint,
+		Runs:                numF + numS,
+		Failing:             numF,
+		Successful:          numS,
+		QueueDepth:          len(s.queue),
+		BatchesAccepted:     s.batchesAccepted.Load(),
+		BatchesRejected:     s.batchesRejected.Load(),
+		BatchesDeduped:      s.batchesDeduped.Load(),
+		ReportsEnqueued:     s.reportsEnqueued.Load(),
+		ReportsApplied:      s.reportsApplied.Load(),
+		Snapshots:           s.snapshots.Load(),
+		RunLogRuns:          logRuns,
+		RunLogCap:           logCap,
+		RunLogEvicted:       logEvicted,
+		PredictorsComputed:  s.predictorsComputed.Load(),
+		PredictorsCacheHits: s.predictorsCacheHits.Load(),
 	}
 }
 

@@ -190,6 +190,25 @@ func TestSnapshotKillRestart(t *testing.T) {
 		}
 	}
 
+	// Raw JSON bytes, so the restart check below is bit-for-bit, not
+	// merely DeepEqual after a decode round trip.
+	rawPredictors := func(ts *httptest.Server) []byte {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/predictors?k=25&affinity=4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/predictors = %d", resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
 	submit(client, firstHalf)
 	waitApplied(t, srv1, int64(half))
 	if err := srv1.SnapshotNow(); err != nil {
@@ -200,6 +219,7 @@ func TestSnapshotKillRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	predsAtSnap := rawPredictors(ts1)
 
 	// More reports arrive and are acked after the snapshot...
 	submit(client, secondHalf)
@@ -235,6 +255,15 @@ func TestSnapshotKillRestart(t *testing.T) {
 	if !reflect.DeepEqual(scoresRestored, scoresAtSnap) {
 		t.Fatal("restored ranking differs from pre-kill snapshot ranking")
 	}
+	if restored.RunLogRuns != int(statsAtSnap.Runs) {
+		t.Fatalf("restored run log holds %d runs, want %d", restored.RunLogRuns, statsAtSnap.Runs)
+	}
+	// The restored run log must reproduce the live cause-isolation view
+	// bit for bit — same JSON bytes as the pre-kill collector served.
+	if predsRestored := rawPredictors(ts2); !bytes.Equal(predsRestored, predsAtSnap) {
+		t.Fatalf("restored /v1/predictors differs from pre-kill bytes:\npre-kill: %s\nrestored: %s",
+			predsAtSnap, predsRestored)
+	}
 
 	// Clients retry the unacknowledged tail; the collector converges to
 	// exactly the batch pipeline over the full corpus.
@@ -246,6 +275,13 @@ func TestSnapshotKillRestart(t *testing.T) {
 	}
 	if want := wantTopK(in, in.Set.Reports, 25); !reflect.DeepEqual(finalScores, want) {
 		t.Fatal("post-retry ranking diverges from batch pipeline over the full corpus")
+	}
+	finalPreds, err := client2.Predictors(ctx, 25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := BuildPredictors(in, 25, 4); !reflect.DeepEqual(finalPreds, want) {
+		t.Fatal("post-retry /v1/predictors diverges from batch cause isolation over the full corpus")
 	}
 	final := srv2.StatsNow()
 	if int(final.Runs) != len(in.Set.Reports) || int(final.Failing) != res.NumFailing() {

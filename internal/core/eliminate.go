@@ -81,6 +81,12 @@ type ElimOptions struct {
 //
 // The returned predictors are in selection order, which is the paper's
 // ranked output list.
+//
+// The output is fully deterministic for a given report multiset:
+// candidates are scanned in ascending predicate id, so an Importance
+// tie always selects the smaller id. TopKImportance applies the same
+// rule, which is what lets a live collector's incremental ranking be
+// compared element-for-element against this batch path.
 func Eliminate(in Input, opts ElimOptions) []Ranked {
 	if opts.Z == 0 {
 		opts.Z = Z95

@@ -2,12 +2,15 @@ package corpus
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+
+	"cbi/internal/report"
 )
 
 // aggSnapVersion is bumped on breaking aggregate-snapshot changes.
@@ -150,4 +153,60 @@ func ReadAggSnapshotFile(path string) (*AggSnapshot, error) {
 	}
 	defer f.Close()
 	return LoadAggSnapshot(f)
+}
+
+// RunLogPath derives the run-log sibling of an aggregate snapshot path.
+// The two files together are a collector's durable state: the counters
+// (O(sites+preds)) and the retained run-level membership window the
+// counters describe.
+func RunLogPath(snapshotPath string) string { return snapshotPath + ".runs" }
+
+// WriteRunLogFile atomically persists a retained-run window as a
+// gzip-compressed binary report set (the wire codec doubles as the
+// at-rest format), via temp file + rename like WriteAggSnapshotFile.
+func WriteRunLogFile(path string, set *report.Set) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	gz := gzip.NewWriter(tmp)
+	if err := set.MarshalBinary(gz); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := gz.Close(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadRunLogFile loads a run log written by WriteRunLogFile; a missing
+// file returns (nil, nil) — collectors restarted from a pre-run-log
+// snapshot (or with retention disabled) simply start with an empty
+// window.
+func ReadRunLogFile(path string) (*report.Set, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(bufio.NewReader(f))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: run log %s: %v", path, err)
+	}
+	defer gz.Close()
+	set, err := report.UnmarshalBinary(gz)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: run log %s: %v", path, err)
+	}
+	return set, nil
 }

@@ -2,10 +2,14 @@ package corpus
 
 import (
 	"bytes"
+	"compress/gzip"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
+
+	"cbi/internal/report"
 )
 
 func sampleSnap() *AggSnapshot {
@@ -67,6 +71,70 @@ func TestAggSnapshotFileRoundTrip(t *testing.T) {
 	got, err = ReadAggSnapshotFile(path)
 	if err != nil || got.NumF != 100 || got.FobsSite[0] != 42 {
 		t.Fatalf("overwrite: got %+v, %v", got, err)
+	}
+}
+
+func TestRunLogFileRoundTrip(t *testing.T) {
+	snapPath := filepath.Join(t.TempDir(), "collector.snap")
+	path := RunLogPath(snapPath)
+	if path != snapPath+".runs" {
+		t.Fatalf("RunLogPath = %q", path)
+	}
+
+	// Missing file is a cold start (or a pre-run-log snapshot), not an
+	// error.
+	got, err := ReadRunLogFile(path)
+	if err != nil || got != nil {
+		t.Fatalf("missing file: got %+v, %v; want nil, nil", got, err)
+	}
+
+	set := &report.Set{
+		NumSites: 4,
+		NumPreds: 9,
+		Reports: []*report.Report{
+			{Failed: true, ObservedSites: []int32{0, 2}, TruePreds: []int32{1, 5, 8}},
+			{Failed: false, ObservedSites: []int32{1, 2, 3}, TruePreds: []int32{3}},
+			{Failed: false},
+		},
+	}
+	if err := WriteRunLogFile(path, set); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadRunLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(set, got) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", set, got)
+	}
+
+	// Overwrite with a shorter window; rename must replace atomically.
+	set.Reports = set.Reports[1:]
+	if err := WriteRunLogFile(path, set); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadRunLogFile(path)
+	if err != nil || len(got.Reports) != 2 {
+		t.Fatalf("overwrite: got %+v, %v", got, err)
+	}
+
+	// Corrupt bytes (not gzip, truncated gzip) are errors, not silent
+	// empty windows.
+	if err := os.WriteFile(path, []byte("not gzip at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRunLogFile(path); err == nil {
+		t.Error("non-gzip run log: expected error")
+	}
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	set.MarshalBinary(gz)
+	gz.Close()
+	if err := os.WriteFile(path, buf.Bytes()[:buf.Len()/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRunLogFile(path); err == nil {
+		t.Error("truncated run log: expected error")
 	}
 }
 

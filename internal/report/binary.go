@@ -6,7 +6,7 @@
 //
 //	magic   "CBR1" (4 bytes)
 //	header  numSites numPreds numReports
-//	report  flags(1 byte: bit0 = failed)
+//	record  flags(1 byte: bit0 = failed)
 //	        len(sites)  sites delta-encoded (first absolute, then gaps)
 //	        len(preds)  preds delta-encoded
 //
@@ -15,6 +15,12 @@
 // to one or two bytes even in large predicate spaces. The decoder
 // validates monotonicity and range, and never panics or over-allocates
 // on malformed input (fuzz-verified by FuzzReportRoundTripBinary).
+//
+// The per-report record encoding is exposed on its own as
+// AppendRecord/ReadRecord: the collector's run-level membership log
+// stores each retained run as exactly one such record (fuzz-verified by
+// FuzzRunLogRoundTrip), so the wire format and the run log cannot
+// drift apart.
 package report
 
 import (
@@ -43,26 +49,66 @@ func (s *Set) MarshalBinary(w io.Writer) error {
 	putUvarint(uint64(s.NumSites))
 	putUvarint(uint64(s.NumPreds))
 	putUvarint(uint64(len(s.Reports)))
+	var rec []byte
 	for _, r := range s.Reports {
-		var flags byte
-		if r.Failed {
-			flags |= 1
-		}
-		bw.WriteByte(flags)
-		for _, list := range [2][]int32{r.ObservedSites, r.TruePreds} {
-			putUvarint(uint64(len(list)))
-			prev := int32(0)
-			for i, v := range list {
-				if i == 0 {
-					putUvarint(uint64(v))
-				} else {
-					putUvarint(uint64(v - prev))
-				}
-				prev = v
-			}
-		}
+		rec = AppendRecord(rec[:0], r)
+		bw.Write(rec)
 	}
 	return bw.Flush()
+}
+
+// AppendRecord appends the binary record encoding of one report to dst
+// and returns the extended slice: a flags byte (bit0 = failed) followed
+// by the delta/varint-encoded ObservedSites and TruePreds lists. This
+// is exactly the per-report layout of MarshalBinary.
+func AppendRecord(dst []byte, r *Report) []byte {
+	var flags byte
+	if r.Failed {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	var tmp [binary.MaxVarintLen64]byte
+	appendUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		dst = append(dst, tmp[:n]...)
+	}
+	for _, list := range [2][]int32{r.ObservedSites, r.TruePreds} {
+		appendUvarint(uint64(len(list)))
+		prev := int32(0)
+		for i, v := range list {
+			if i == 0 {
+				appendUvarint(uint64(v))
+			} else {
+				appendUvarint(uint64(v - prev))
+			}
+			prev = v
+		}
+	}
+	return dst
+}
+
+// ReadRecord decodes one record written by AppendRecord, validating the
+// same invariants as UnmarshalBinary: known flags, strictly ascending
+// id lists, every id inside [0, numSites) / [0, numPreds). It is safe
+// on arbitrary input — it returns an error rather than panicking, and
+// allocation is bounded by the input size (fuzz-verified by
+// FuzzRunLogRoundTrip).
+func ReadRecord(br io.ByteReader, numSites, numPreds int) (*Report, error) {
+	flags, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("report: record flags: %v", err)
+	}
+	if flags > 1 {
+		return nil, fmt.Errorf("report: record: unknown flags %#x", flags)
+	}
+	rep := &Report{Failed: flags&1 != 0}
+	if rep.ObservedSites, err = readDeltaList(br, numSites); err != nil {
+		return nil, fmt.Errorf("report: record sites: %v", err)
+	}
+	if rep.TruePreds, err = readDeltaList(br, numPreds); err != nil {
+		return nil, fmt.Errorf("report: record preds: %v", err)
+	}
+	return rep, nil
 }
 
 // UnmarshalBinary parses a set written by MarshalBinary. It is safe on
@@ -98,19 +144,9 @@ func UnmarshalBinary(r io.Reader) (*Set, error) {
 	set := &Set{NumSites: numSites, NumPreds: numPreds,
 		Reports: make([]*Report, 0, capHint)}
 	for i := uint64(0); i < numReports; i++ {
-		flags, err := br.ReadByte()
+		rep, err := ReadRecord(br, numSites, numPreds)
 		if err != nil {
-			return nil, fmt.Errorf("report: binary report %d flags: %v", i, err)
-		}
-		if flags > 1 {
-			return nil, fmt.Errorf("report: binary report %d: unknown flags %#x", i, flags)
-		}
-		rep := &Report{Failed: flags&1 != 0}
-		if rep.ObservedSites, err = readDeltaList(br, numSites); err != nil {
-			return nil, fmt.Errorf("report: binary report %d sites: %v", i, err)
-		}
-		if rep.TruePreds, err = readDeltaList(br, numPreds); err != nil {
-			return nil, fmt.Errorf("report: binary report %d preds: %v", i, err)
+			return nil, fmt.Errorf("report: binary report %d: %v", i, err)
 		}
 		set.Reports = append(set.Reports, rep)
 	}
@@ -131,7 +167,7 @@ func readDim(br *bufio.Reader, what string) (int, error) {
 // readDeltaList decodes a strictly ascending id list with ids in
 // [0, dim). The length is implicitly bounded by dim: an ascending list
 // cannot hold more distinct values than the index space.
-func readDeltaList(br *bufio.Reader, dim int) ([]int32, error) {
+func readDeltaList(br io.ByteReader, dim int) ([]int32, error) {
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err

@@ -66,6 +66,62 @@ func canonSet(s *Set) *Set {
 	return out
 }
 
+func TestRecordRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 100; trial++ {
+		numSites, numPreds := 1+rng.Intn(300), 1+rng.Intn(900)
+		want := &Report{Failed: rng.Intn(2) == 0}
+		want.ObservedSites = randomAscending(rng, numSites)
+		want.TruePreds = randomAscending(rng, numPreds)
+
+		rec := AppendRecord(nil, want)
+		got, err := ReadRecord(bytes.NewReader(rec), numSites, numPreds)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Failed != want.Failed ||
+			!reflect.DeepEqual(append([]int32{}, got.ObservedSites...), append([]int32{}, want.ObservedSites...)) ||
+			!reflect.DeepEqual(append([]int32{}, got.TruePreds...), append([]int32{}, want.TruePreds...)) {
+			t.Fatalf("record round trip mismatch:\nin:  %+v\nout: %+v", want, got)
+		}
+	}
+}
+
+// TestRecordMatchesSetEncoding pins the promise the run log relies on:
+// a set's binary body is exactly the concatenation of its reports'
+// records, so records written by either path decode with the other.
+func TestRecordMatchesSetEncoding(t *testing.T) {
+	set := randomSet(rand.New(rand.NewSource(23)), 40, 90, 12)
+	var buf bytes.Buffer
+	if err := set.MarshalBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for _, r := range set.Reports {
+		want = AppendRecord(want, r)
+	}
+	full := buf.Bytes()
+	if !bytes.HasSuffix(full, want) {
+		t.Fatal("set encoding body is not the concatenation of AppendRecord outputs")
+	}
+}
+
+func TestRecordMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad flags":     {0x7f},
+		"truncated":     {0x01, 0x02, 0x00},
+		"huge list len": {0x00, 0xff, 0xff, 0xff, 0x7f},
+		"zero delta":    {0x00, 0x02, 0x01, 0x00, 0x00},
+		"out of range":  {0x00, 0x01, 0x63, 0x00},
+	}
+	for name, data := range cases {
+		if _, err := ReadRecord(bytes.NewReader(data), 10, 10); err == nil {
+			t.Errorf("%s: expected error, got nil", name)
+		}
+	}
+}
+
 func TestBinarySmallerThanText(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	set := randomSet(rng, 500, 2000, 200)
