@@ -15,6 +15,9 @@
 //	cbi serve [flags]                run a feedback-report collector server
 //	cbi submit [flags]               stream reports to a running collector
 //	cbi predictors [flags]           fetch a collector's live cause-isolation ranking
+//	cbi route [flags]                run a sharding router over several collectors
+//	cbi gateway [flags]              run a merging query gateway over several collectors
+//	cbi merge [flags] <snap>...      merge collector snapshots or push into a live peer
 //
 // Run `cbi <subcommand> -h` for per-command flags.
 package main
@@ -55,6 +58,12 @@ func main() {
 		err = cmdSubmit(os.Args[2:])
 	case "predictors":
 		err = cmdPredictors(os.Args[2:])
+	case "route":
+		err = cmdRoute(os.Args[2:])
+	case "gateway":
+		err = cmdGateway(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -82,6 +91,9 @@ subcommands:
   serve               run a feedback-report collector (ingestion + live ranking)
   submit              stream reports to a running collector
   predictors          fetch a collector's live cause-isolation ranking
+  route               run a sharding router in front of several collectors
+  gateway             run a merging query gateway over several collectors
+  merge               merge collector snapshots offline or push into a live peer
 `)
 }
 

@@ -7,6 +7,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -62,10 +63,16 @@ func cmdServe(args []string) error {
 	queueSize := fs.Int("queue", 256, "ingest queue bound in batches (backpressure beyond)")
 	shards := fs.Int("shards", 16, "aggregate counter stripes")
 	runlog := fs.Int("runlog", 0, "run-log retention cap in runs (0 = default 262144, negative disables /v1/predictors)")
+	runlogMaxAge := fs.Duration("runlog-max-age", 0, "evict retained runs older than this (0 = no age cap)")
+	apiKeysPath := fs.String("api-keys", "", "file of accepted API keys, one per line; write endpoints require Authorization: Bearer")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	plan, name, err := planFor(*subject, *program)
+	if err != nil {
+		return err
+	}
+	keys, err := loadAPIKeys(*apiKeysPath)
 	if err != nil {
 		return err
 	}
@@ -77,6 +84,8 @@ func cmdServe(args []string) error {
 		QueueSize:     *queueSize,
 		Shards:        *shards,
 		RunLogSize:    *runlog,
+		RunLogMaxAge:  *runlogMaxAge,
+		APIKeys:       keys,
 		SnapshotPath:  *snapshot,
 		SnapshotEvery: *snapshotEvery,
 		Logf:          log.Printf,
@@ -105,6 +114,30 @@ func cmdServe(args []string) error {
 	return <-done
 }
 
+// loadAPIKeys reads one key per line from path, skipping blanks and
+// '#' comments. An empty path means no auth.
+func loadAPIKeys(path string) ([]string, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		keys = append(keys, line)
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("api-keys file %s holds no keys", path)
+	}
+	return keys, nil
+}
+
 // cmdSubmit streams reports to a collector: either a saved report set
 // (-reports) or a fresh experiment run live through the harness
 // streaming hook (-subject -runs).
@@ -117,6 +150,7 @@ func cmdSubmit(args []string) error {
 	reportsFile := fs.String("reports", "", "stream a report set saved by `cbi run -save` instead of running")
 	batch := fs.Int("batch", 64, "reports per batch")
 	top := fs.Int("top", 0, "print the server's top-K ranking after submitting")
+	key := fs.String("key", "", "API key for collectors that require one")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -144,7 +178,7 @@ func cmdSubmit(args []string) error {
 
 	if set != nil {
 		client := collector.NewClient(*addr, set.NumSites, set.NumPreds,
-			collector.WithBatchSize(*batch))
+			collector.WithBatchSize(*batch), collector.WithAPIKey(*key))
 		if err := client.SubmitSet(ctx, set); err != nil {
 			return err
 		}
@@ -169,7 +203,7 @@ func cmdSubmit(args []string) error {
 	}
 	plan := instrument.BuildPlan(subj.Program(true))
 	client := collector.NewClient(*addr, plan.NumSites(), plan.NumPreds(),
-		collector.WithBatchSize(*batch))
+		collector.WithBatchSize(*batch), collector.WithAPIKey(*key))
 	var streamMu sync.Mutex
 	var streamErr error
 	res := harness.Run(harness.Config{
@@ -254,6 +288,13 @@ func finishSubmit(ctx context.Context, client *collector.Client, top int) error 
 	stats, err := client.Stats(ctx)
 	if err != nil {
 		return err
+	}
+	if stats.NumPreds == 0 {
+		// A shard router answers /v1/stats with routing counters, not
+		// collector counters; per-shard totals live on the shards and
+		// the merged view on the gateway.
+		fmt.Println("server: submitted via a shard router; query a gateway or shard /v1/stats for applied counts")
+		return nil
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for stats.ReportsApplied < stats.ReportsEnqueued && time.Now().Before(deadline) {

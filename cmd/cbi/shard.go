@@ -1,0 +1,202 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cbi/internal/collector"
+	"cbi/internal/corpus"
+	"cbi/internal/report"
+	"cbi/internal/shard"
+)
+
+// cmdRoute runs the sharded tier's write-path front: a router that
+// consistent-hashes each submitting client onto one of the backend
+// collectors and forwards its report batches there, with failover when
+// a backend is down.
+func cmdRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	addr := fs.String("addr", ":7570", "listen address")
+	backends := fs.String("backends", "", "comma-separated collector base URLs (required)")
+	queue := fs.Int("queue", 256, "pending-forward queue bound per backend, in batches")
+	workers := fs.Int("workers", 4, "forwarder goroutines per backend")
+	health := fs.Duration("health-every", 2*time.Second, "backend health-probe interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	urls := splitURLs(*backends)
+	if len(urls) == 0 {
+		return fmt.Errorf("route: -backends is required (comma-separated collector URLs)")
+	}
+	r, err := shard.NewRouter(shard.RouterConfig{
+		Backends:       urls,
+		QueueSize:      *queue,
+		Workers:        *workers,
+		HealthInterval: *health,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	fmt.Printf("router on %s over %d backends\n", *addr, len(urls))
+	return serveUntilSignal(*addr, r.Handler(), func() { r.Drain(10 * time.Second) })
+}
+
+// cmdGateway runs the sharded tier's read-path front: a gateway that
+// fans queries out to every shard and serves the merged /v1/scores,
+// /v1/stats and /v1/predictors — the same responses one unsharded
+// collector over all the runs would give.
+func cmdGateway(args []string) error {
+	fs := flag.NewFlagSet("gateway", flag.ExitOnError)
+	addr := fs.String("addr", ":7580", "listen address")
+	shardsFlag := fs.String("shards", "", "comma-separated collector base URLs (required)")
+	subject := fs.String("subject", "", "built-in subject fixing the predicate universe")
+	program := fs.String("program", "", "MiniC source file fixing the predicate universe")
+	timeout := fs.Duration("timeout", 15*time.Second, "per-shard fetch timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	urls := splitURLs(*shardsFlag)
+	if len(urls) == 0 {
+		return fmt.Errorf("gateway: -shards is required (comma-separated collector URLs)")
+	}
+	plan, name, err := planFor(*subject, *program)
+	if err != nil {
+		return err
+	}
+	g, err := shard.NewGateway(shard.GatewayConfig{
+		Shards:      urls,
+		NumSites:    plan.NumSites(),
+		NumPreds:    plan.NumPreds(),
+		SiteOf:      siteOf(plan),
+		Fingerprint: plan.Fingerprint(),
+		Timeout:     *timeout,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gateway for %s on %s over %d shards\n", name, *addr, len(urls))
+	return serveUntilSignal(*addr, g.Handler(), nil)
+}
+
+// cmdMerge folds collector state files together offline, or pushes one
+// collector's saved state into a live peer's /v1/merge — the reducer
+// step of a sharded deployment.
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("o", "", "write the merged snapshot (and run log) to this path")
+	push := fs.String("push", "", "POST each input as a merge segment to this collector base URL")
+	key := fs.String("key", "", "API key for -push against collectors that require one")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("usage: cbi merge [-o merged.snap | -push URL] <snapshot>...")
+	}
+	if (*out == "") == (*push == "") {
+		return fmt.Errorf("merge: exactly one of -o or -push is required")
+	}
+
+	type state struct {
+		snap *corpus.AggSnapshot
+		set  *report.Set
+	}
+	var states []state
+	for _, p := range paths {
+		snap, err := corpus.ReadAggSnapshotFile(p)
+		if err != nil {
+			return fmt.Errorf("merge: %s: %v", p, err)
+		}
+		set, err := corpus.ReadRunLogFile(corpus.RunLogPath(p))
+		if err != nil {
+			if !os.IsNotExist(err) {
+				return fmt.Errorf("merge: %s: %v", corpus.RunLogPath(p), err)
+			}
+			set = &report.Set{NumSites: snap.NumSites, NumPreds: snap.NumPreds}
+		}
+		states = append(states, state{snap, set})
+	}
+
+	if *push != "" {
+		ctx := context.Background()
+		first := states[0].snap
+		client := collector.NewClient(*push, first.NumSites, first.NumPreds,
+			collector.WithAPIKey(*key))
+		total := 0
+		for i, st := range states {
+			if err := client.PushMerge(ctx, st.snap, st.set); err != nil {
+				return fmt.Errorf("merge: pushing %s: %v", paths[i], err)
+			}
+			total += len(st.set.Reports)
+			fmt.Printf("pushed %s: %d runs of counters, %d logged runs\n",
+				paths[i], st.snap.NumF+st.snap.NumS, len(st.set.Reports))
+		}
+		fmt.Printf("pushed %d segments (%d logged runs) to %s\n", len(states), total, *push)
+		return nil
+	}
+
+	merged := corpus.NewAggSnapshot(states[0].snap.NumSites, states[0].snap.NumPreds)
+	set := &report.Set{NumSites: merged.NumSites, NumPreds: merged.NumPreds}
+	for i, st := range states {
+		if err := corpus.MergeAggSnapshot(merged, st.snap); err != nil {
+			return fmt.Errorf("merge: %s: %v", paths[i], err)
+		}
+		set.Reports = append(set.Reports, st.set.Reports...)
+	}
+	merged.Logged = int64(len(set.Reports))
+	if err := corpus.WriteRunLogFile(corpus.RunLogPath(*out), set); err != nil {
+		return err
+	}
+	if err := corpus.WriteAggSnapshotFile(*out, merged); err != nil {
+		return err
+	}
+	fmt.Printf("merged %d snapshots: %d runs of counters (%d failing), %d logged runs -> %s\n",
+		len(states), merged.NumF+merged.NumS, merged.NumF, len(set.Reports), *out)
+	return nil
+}
+
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		u = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(u), "/"))
+		if u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// serveUntilSignal serves handler on addr until SIGINT/SIGTERM, then
+// shuts the HTTP server down gracefully and runs drain (when set)
+// before returning.
+func serveUntilSignal(addr string, handler http.Handler, drain func()) error {
+	srv := &http.Server{Addr: addr, Handler: handler}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if drain != nil {
+			drain()
+		}
+		done <- err
+	}()
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return <-done
+}

@@ -17,6 +17,7 @@ package collector
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cbi/internal/core"
 	"cbi/internal/corpus"
@@ -54,11 +55,19 @@ type shardedAgg struct {
 	// (counters only, /v1/predictors unavailable).
 	logMu sync.Mutex
 	log   *runLog
+
+	// maxAge, when positive, additionally evicts retained runs older
+	// than the cap; now is the retention clock (time.Now outside tests).
+	maxAge time.Duration
+	now    func() time.Time
 }
 
-func newShardedAgg(numSites, numPreds, shards, runLogCap int) *shardedAgg {
+func newShardedAgg(numSites, numPreds, shards, runLogCap int, maxAge time.Duration, now func() time.Time) *shardedAgg {
 	if shards < 1 {
 		shards = 1
+	}
+	if now == nil {
+		now = time.Now
 	}
 	a := &shardedAgg{
 		numSites:    numSites,
@@ -71,6 +80,8 @@ func newShardedAgg(numSites, numPreds, shards, runLogCap int) *shardedAgg {
 		sObsSite:    make([]int64, numSites),
 		fPred:       make([]int64, numPreds),
 		sPred:       make([]int64, numPreds),
+		maxAge:      maxAge,
+		now:         now,
 	}
 	if runLogCap > 0 {
 		a.log = newRunLog(runLogCap)
@@ -87,32 +98,105 @@ func blockSize(dim, shards int) int {
 }
 
 // Apply folds one report into the aggregate and the run log, evicting
-// (and un-counting) the oldest run when the log is at capacity. Safe
-// for concurrent use.
+// (and un-counting) runs the retention caps no longer cover — the
+// oldest run when the log is at its count capacity, plus any runs
+// older than the age cap. Safe for concurrent use.
 func (a *shardedAgg) Apply(r *report.Report) {
 	a.gate.RLock()
 	defer a.gate.RUnlock()
 
-	var evicted []byte
+	var evicted [][]byte
 	if a.log != nil {
 		rec := report.AppendRecord(nil, r)
+		now := a.now().UnixNano()
 		a.logMu.Lock()
-		evicted = a.log.append(rec)
+		if a.maxAge > 0 {
+			evicted = a.log.evictExpired(now - int64(a.maxAge))
+		}
+		if e := a.log.append(rec, now); e != nil {
+			evicted = append(evicted, e)
+		}
 		a.logMu.Unlock()
 	}
 
 	a.bump(r, +1)
-	if evicted != nil {
-		// The record was produced by AppendRecord on an already-validated
-		// report, so decoding cannot fail; a corrupted record would mean
-		// memory corruption, and dropping it silently would desync the
-		// counters from the log.
-		old, err := decodeRecords([][]byte{evicted}, a.numSites, a.numPreds)
-		if err != nil {
-			panic(err)
-		}
-		a.bump(old[0], -1)
+	a.uncount(evicted)
+}
+
+// uncount subtracts evicted run-log records from the counters. Callers
+// must hold gate (either side).
+func (a *shardedAgg) uncount(evicted [][]byte) {
+	if len(evicted) == 0 {
+		return
 	}
+	// The records were produced by AppendRecord on already-validated
+	// reports, so decoding cannot fail; a corrupted record would mean
+	// memory corruption, and dropping it silently would desync the
+	// counters from the log.
+	old, err := decodeRecords(evicted, a.numSites, a.numPreds)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range old {
+		a.bump(r, -1)
+	}
+}
+
+// EvictExpired evicts (and un-counts) runs older than the age cap, so
+// retention holds even across idle stretches with no ingest. No-op
+// when the log or the age cap is disabled. Safe for concurrent use.
+func (a *shardedAgg) EvictExpired() {
+	if a.log == nil || a.maxAge <= 0 {
+		return
+	}
+	a.gate.RLock()
+	defer a.gate.RUnlock()
+	cutoff := a.now().UnixNano() - int64(a.maxAge)
+	a.logMu.Lock()
+	evicted := a.log.evictExpired(cutoff)
+	a.logMu.Unlock()
+	a.uncount(evicted)
+}
+
+// MergeSegment folds a peer collector's exported state in: the peer's
+// counters add onto ours (exact, since every counter is a sum over
+// independent runs), and its retained runs join the log *without*
+// re-counting — the snapshot already includes them — while retention
+// caps apply to them as usual. The whole merge is atomic with respect
+// to snapshots and score queries.
+func (a *shardedAgg) MergeSegment(snap *corpus.AggSnapshot, reports []*report.Report) {
+	a.gate.Lock()
+	defer a.gate.Unlock()
+	for i, v := range snap.FobsSite {
+		a.fObsSite[i] += v
+	}
+	for i, v := range snap.SobsSite {
+		a.sObsSite[i] += v
+	}
+	for i, v := range snap.FPred {
+		a.fPred[i] += v
+	}
+	for i, v := range snap.SPred {
+		a.sPred[i] += v
+	}
+	a.numF.Add(snap.NumF)
+	a.numS.Add(snap.NumS)
+
+	var evicted [][]byte
+	if a.log != nil {
+		now := a.now().UnixNano()
+		a.logMu.Lock()
+		if a.maxAge > 0 {
+			evicted = a.log.evictExpired(now - int64(a.maxAge))
+		}
+		for _, r := range reports {
+			if e := a.log.append(report.AppendRecord(nil, r), now); e != nil {
+				evicted = append(evicted, e)
+			}
+		}
+		a.logMu.Unlock()
+	}
+	a.uncount(evicted)
 }
 
 // bump adds delta to every counter the report touches. Callers must
@@ -178,6 +262,7 @@ func (a *shardedAgg) Snapshot(fingerprint uint64) (*corpus.AggSnapshot, [][]byte
 	if a.log != nil {
 		recs = a.log.records()
 	}
+	snap.Logged = int64(len(recs))
 	return snap, recs
 }
 
@@ -202,7 +287,7 @@ func (a *shardedAgg) RestoreLog(reports []*report.Report) {
 	}
 	a.gate.Lock()
 	defer a.gate.Unlock()
-	a.log.restore(reports)
+	a.log.restore(reports, a.now().UnixNano())
 }
 
 // RecountFromLog rebuilds every counter from the retained run log —

@@ -1,0 +1,117 @@
+package collector
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cbi/internal/report"
+)
+
+// TestAPIKeyAuth locks the write endpoints behind bearer keys: requests
+// without a valid key get 401 (and the auth_rejected stat), requests
+// with any configured key pass, and the read endpoints stay open.
+func TestAPIKeyAuth(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+	cfg := serverConfig(t)
+	cfg.APIKeys = []string{"alpha-key", "beta-key"}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	batch := encodeBatch(t, in, in.Set.Reports[:3])
+	post := func(auth string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/reports", bytes.NewReader(batch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/x-cbi-reports")
+		req.Header.Set("Content-Encoding", "gzip")
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusUnauthorized {
+			if www := resp.Header.Get("WWW-Authenticate"); www == "" {
+				t.Fatal("401 without WWW-Authenticate header")
+			}
+		}
+		return resp.StatusCode
+	}
+
+	for _, bad := range []string{"", "Bearer wrong-key", "Bearer ", "Basic alpha-key", "alpha-key"} {
+		if code := post(bad); code != http.StatusUnauthorized {
+			t.Fatalf("POST with auth %q = %d, want 401", bad, code)
+		}
+	}
+	rejected := srv.StatsNow().AuthRejected
+	if rejected != 5 {
+		t.Fatalf("auth_rejected = %d, want 5", rejected)
+	}
+	if srv.StatsNow().Runs != 0 {
+		t.Fatal("unauthorized batches were ingested")
+	}
+
+	for _, good := range []string{"Bearer alpha-key", "Bearer beta-key", "bearer alpha-key"} {
+		if code := post(good); code != http.StatusAccepted {
+			t.Fatalf("POST with auth %q = %d, want 202", good, code)
+		}
+	}
+	waitApplied(t, srv, 9)
+
+	// /v1/merge is gated the same way.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/merge", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated POST /v1/merge = %d, want 401", resp.StatusCode)
+	}
+
+	// Reads stay open.
+	for _, path := range []string{"/v1/stats", "/v1/scores?k=5", "/healthz", "/v1/snapshot"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s without key = %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	// The client option wires the key end to end.
+	client := NewClient(ts.URL, in.Set.NumSites, in.Set.NumPreds,
+		WithAPIKey("beta-key"), WithRetry(0, 0))
+	if err := client.SubmitSet(context.Background(), &report.Set{
+		NumSites: in.Set.NumSites, NumPreds: in.Set.NumPreds,
+		Reports: in.Set.Reports[:4],
+	}); err != nil {
+		t.Fatalf("keyed client rejected: %v", err)
+	}
+	badClient := NewClient(ts.URL, in.Set.NumSites, in.Set.NumPreds,
+		WithAPIKey("not-a-key"), WithRetry(0, 0))
+	if err := badClient.SubmitSet(context.Background(), &report.Set{
+		NumSites: in.Set.NumSites, NumPreds: in.Set.NumPreds,
+		Reports: in.Set.Reports[:4],
+	}); err == nil {
+		t.Fatal("client with a wrong key was accepted")
+	}
+}

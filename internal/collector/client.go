@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cbi/internal/corpus"
 	"cbi/internal/report"
 )
 
@@ -37,6 +38,14 @@ type Client struct {
 	baseBackoff time.Duration
 	maxBackoff  time.Duration
 	gzipOn      bool
+
+	// Key is the API key presented as "Authorization: Bearer <Key>" on
+	// write requests when the collector (or the shard router in front
+	// of it) requires one. Empty means unauthenticated.
+	Key string
+	// clientID is a stable identity sent as X-CBI-Client-ID so a shard
+	// router can consistently partition this client's traffic.
+	clientID string
 
 	mu    sync.Mutex
 	batch []*report.Report
@@ -78,6 +87,18 @@ func WithGzip(on bool) ClientOption {
 	return func(c *Client) { c.gzipOn = on }
 }
 
+// WithAPIKey sets the API key presented on write requests.
+func WithAPIKey(key string) ClientOption {
+	return func(c *Client) { c.Key = key }
+}
+
+// WithClientID pins the routing identity sent as X-CBI-Client-ID
+// (default: a random id per Client). A shard router hashes it to pick
+// this client's collector backend.
+func WithClientID(id string) ClientOption {
+	return func(c *Client) { c.clientID = id }
+}
+
 // NewClient builds a client for the collector at baseURL (e.g.
 // "http://localhost:7575"). numSites and numPreds must match the
 // collector's configured dimensions.
@@ -92,11 +113,22 @@ func NewClient(baseURL string, numSites, numPreds int, opts ...ClientOption) *Cl
 		baseBackoff: 50 * time.Millisecond,
 		maxBackoff:  10 * time.Second,
 		gzipOn:      true,
+		clientID:    randomID(),
 	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
+}
+
+// randomID returns a 24-hex-char random identifier (empty only if the
+// system entropy source fails).
+func randomID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Add buffers one report, flushing the batch to the server when it
@@ -171,72 +203,127 @@ func (c *Client) send(ctx context.Context, batch []*report.Report) error {
 	// recognize re-deliveries: a POST can land server-side while the
 	// response is lost (timeout, connection reset), and without the id
 	// the retry would ingest the whole batch a second time.
-	var id string
-	var idBytes [12]byte
-	if _, err := rand.Read(idBytes[:]); err == nil {
-		id = hex.EncodeToString(idBytes[:])
+	err := c.deliver(ctx, "/v1/reports", "application/x-cbi-reports",
+		payload, len(batch), randomID())
+	if err != nil {
+		return fmt.Errorf("collector: submitting batch of %d: %v", len(batch), err)
 	}
+	return nil
+}
 
+// PushMerge ships a counter snapshot plus its run-log segment to the
+// collector's /v1/merge endpoint as one gzip'd merge segment, with the
+// same retry/dedup discipline as report batches. It is how a shard (or
+// an offline reducer) folds its state into a peer.
+func (c *Client) PushMerge(ctx context.Context, snap *corpus.AggSnapshot, set *report.Set) error {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if err := corpus.WriteMergeSegment(gz, snap, set); err != nil {
+		return err
+	}
+	if err := gz.Close(); err != nil {
+		return err
+	}
+	err := c.deliver(ctx, "/v1/merge", "application/x-cbi-merge",
+		buf.Bytes(), len(set.Reports), randomID())
+	if err != nil {
+		return fmt.Errorf("collector: pushing merge of %d runs: %v", len(set.Reports), err)
+	}
+	return nil
+}
+
+// deliver POSTs one gzip'd payload with retries: exponential backoff
+// doubling from baseBackoff, overridden by a server Retry-After hint on
+// 429/503, capped at maxBackoff.
+func (c *Client) deliver(ctx context.Context, path, contentType string, payload []byte, n int, batchID string) error {
 	backoff := c.baseBackoff
 	for attempt := 0; ; attempt++ {
-		retryable, err := c.post(ctx, payload, len(batch), id)
+		retryable, err := c.post(ctx, path, contentType, payload, n, batchID)
 		if err == nil {
 			return nil
 		}
 		if !retryable || attempt >= c.maxRetries {
-			return fmt.Errorf("collector: submitting batch of %d: %v", len(batch), err)
+			return err
 		}
 		c.retries.Add(1)
-		var delay time.Duration
-		if ra, ok := retryAfter(err); ok {
-			delay = ra
-		} else {
-			delay = backoff
+		delay := backoff
+		// An explicit Retry-After from a 429/503 is the server telling
+		// us when capacity returns; honor it (even zero — "now") rather
+		// than guessing with backoff.
+		if he, ok := err.(*httpError); ok && he.hasRetryAfter &&
+			(he.status == http.StatusTooManyRequests || he.status == http.StatusServiceUnavailable) {
+			delay = he.retryAfter
 		}
 		if delay > c.maxBackoff {
 			delay = c.maxBackoff
 		}
 		backoff *= 2
-		t := time.NewTimer(delay)
-		select {
-		case <-ctx.Done():
-			t.Stop()
+		if delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		} else if ctx.Err() != nil {
 			return ctx.Err()
-		case <-t.C:
 		}
 	}
 }
 
 // httpError is a non-2xx response; it keeps the Retry-After hint.
 type httpError struct {
-	status     int
-	body       string
-	retryAfter time.Duration
+	status        int
+	body          string
+	retryAfter    time.Duration
+	hasRetryAfter bool
 }
 
 func (e *httpError) Error() string {
 	return fmt.Sprintf("server returned %d: %s", e.status, e.body)
 }
 
-func retryAfter(err error) (time.Duration, bool) {
-	if he, ok := err.(*httpError); ok && he.retryAfter > 0 {
-		return he.retryAfter, true
+// parseRetryAfter handles both RFC 9110 forms: delta-seconds and an
+// HTTP-date.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		d := at.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
 	}
 	return 0, false
 }
 
 // post performs one POST attempt; the bool reports retryability.
-func (c *Client) post(ctx context.Context, payload []byte, n int, batchID string) (bool, error) {
+func (c *Client) post(ctx context.Context, path, contentType string, payload []byte, n int, batchID string) (bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.base+"/v1/reports", bytes.NewReader(payload))
+		c.base+path, bytes.NewReader(payload))
 	if err != nil {
 		return false, err
 	}
-	req.Header.Set("Content-Type", "application/x-cbi-reports")
+	req.Header.Set("Content-Type", contentType)
 	if batchID != "" {
 		req.Header.Set("X-CBI-Batch-ID", batchID)
 	}
-	if c.gzipOn {
+	if c.clientID != "" {
+		req.Header.Set("X-CBI-Client-ID", c.clientID)
+	}
+	if c.Key != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Key)
+	}
+	if c.gzipOn || path == "/v1/merge" {
 		req.Header.Set("Content-Encoding", "gzip")
 	}
 	resp, err := c.hc.Do(req)
@@ -252,11 +339,7 @@ func (c *Client) post(ctx context.Context, payload []byte, n int, batchID string
 		return false, nil
 	}
 	he := &httpError{status: resp.StatusCode, body: string(bytes.TrimSpace(body))}
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
-			he.retryAfter = time.Duration(secs) * time.Second
-		}
-	}
+	he.retryAfter, he.hasRetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 	retryable := resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500
 	return retryable, he
 }

@@ -1,0 +1,199 @@
+package collector
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"cbi/internal/corpus"
+)
+
+// fakeClock is an injectable retention clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// TestRunLogAgeEviction drives the age cap with an injected clock:
+// runs older than RunLogMaxAge are evicted and un-counted on the next
+// arrival, so stats and scores describe exactly the fresh window — the
+// same evict-and-decrement consistency the count cap keeps.
+func TestRunLogAgeEviction(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+	clock := &fakeClock{now: time.Unix(1_700_000_000, 0)}
+	cfg := serverConfig(t)
+	cfg.RunLogMaxAge = time.Hour
+	cfg.nowFn = clock.Now
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const old, fresh = 300, 120
+	for _, r := range in.Set.Reports[:old] {
+		srv.Ingest(r)
+	}
+	if st := srv.StatsNow(); st.Runs != old || st.RunLogRuns != old {
+		t.Fatalf("before aging: %d runs / %d logged, want %d/%d", st.Runs, st.RunLogRuns, old, old)
+	}
+
+	// Two hours pass; every retained run is now stale. The next
+	// arrivals must push all of them out.
+	clock.Advance(2 * time.Hour)
+	for _, r := range in.Set.Reports[old : old+fresh] {
+		srv.Ingest(r)
+	}
+	st := srv.StatsNow()
+	if st.Runs != fresh || st.RunLogRuns != fresh {
+		t.Fatalf("after aging: %d runs / %d logged, want %d/%d", st.Runs, st.RunLogRuns, fresh, fresh)
+	}
+	if st.RunLogEvicted != old {
+		t.Fatalf("evicted = %d, want %d", st.RunLogEvicted, old)
+	}
+
+	// Counters were decremented, not just the log truncated: the live
+	// ranking equals the batch pipeline over only the fresh window.
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL, in.Set.NumSites, in.Set.NumPreds)
+	got, err := client.Scores(context.Background(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantTopK(in, in.Set.Reports[old:old+fresh], 20)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("scores after age eviction diverge from batch pipeline over the fresh window")
+	}
+}
+
+// TestRunLogAgeSweep checks the background sweep: with no ingest at
+// all, stale runs still leave on schedule.
+func TestRunLogAgeSweep(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+	clock := &fakeClock{now: time.Unix(1_700_000_000, 0)}
+	cfg := serverConfig(t)
+	cfg.RunLogMaxAge = 200 * time.Millisecond // sweep period clamps to 50ms
+	cfg.nowFn = clock.Now
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, r := range in.Set.Reports[:50] {
+		srv.Ingest(r)
+	}
+	clock.Advance(time.Minute)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := srv.StatsNow()
+		if st.RunLogRuns == 0 && st.Runs == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never evicted: %d runs / %d logged still retained", st.Runs, st.RunLogRuns)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCorruptSnapshotRecount is the torn-pair repair property: the
+// counter snapshot on disk is corrupted (counters and LOGGED tampered,
+// as a torn write would leave them), and on restart the collector must
+// notice the disagreement and rebuild the counters from the run log —
+// serving /v1/scores and /v1/predictors bit-for-bit identical to what
+// it served before the kill.
+func TestCorruptSnapshotRecount(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+	cfg := serverConfig(t)
+	cfg.SnapshotPath = filepath.Join(t.TempDir(), "collector.snap")
+
+	srv1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range in.Set.Reports[:400] {
+		srv1.Ingest(r)
+	}
+	if err := srv1.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	raw := func(ts *httptest.Server, path string) []byte {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	scoresBefore := raw(ts1, "/v1/scores?k=25")
+	predsBefore := raw(ts1, "/v1/predictors?k=25&affinity=4")
+	ts1.Close()
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the counter snapshot the way a torn write would: counters
+	// drifted from the log the file claims to accompany.
+	snap, err := corpus.ReadAggSnapshotFile(cfg.SnapshotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.NumF += 7
+	snap.FPred[len(snap.FPred)/2] += 100
+	snap.SobsSite[0] += 13
+	snap.Logged -= 3
+	if err := corpus.WriteAggSnapshotFile(cfg.SnapshotPath, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart on corrupt snapshot: %v", err)
+	}
+	defer srv2.Close()
+	if st := srv2.StatsNow(); st.Runs != 400 || st.RunLogRuns != 400 {
+		t.Fatalf("recounted state = %d runs / %d logged, want 400/400", st.Runs, st.RunLogRuns)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	if got := raw(ts2, "/v1/scores?k=25"); !bytes.Equal(got, scoresBefore) {
+		t.Fatalf("recounted /v1/scores differs:\nbefore: %s\nafter:  %s", scoresBefore, got)
+	}
+	if got := raw(ts2, "/v1/predictors?k=25&affinity=4"); !bytes.Equal(got, predsBefore) {
+		t.Fatalf("recounted /v1/predictors differs:\nbefore: %s\nafter:  %s", predsBefore, got)
+	}
+}

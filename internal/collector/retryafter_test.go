@@ -1,0 +1,116 @@
+package collector
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter covers both RFC 9110 forms and the junk cases.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, false},
+		{"5", 5 * time.Second, true},
+		{"0", 0, true},
+		{"-3", 0, false},
+		{"soon", 0, false},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		// A date in the past means "now"; it must not go negative.
+		{now.Add(-time.Hour).Format(http.TimeFormat), 0, true},
+	}
+	for _, c := range cases {
+		got, ok := parseRetryAfter(c.in, now)
+		if got != c.want || ok != c.ok {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestClientHonorsRetryAfterZero is the bugfix regression: a 429 with
+// "Retry-After: 0" means "retry now". The old client ignored zero and
+// fell back to its exponential backoff, so with a large base backoff a
+// shed batch sat idle for seconds. The fixed client must come back
+// immediately.
+func TestClientHonorsRetryAfterZero(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer ts.Close()
+
+	// Base backoff of 30s: if the hint is ignored, this test times out.
+	c := NewClient(ts.URL, 2, 2, WithBatchSize(1), WithRetry(3, 30*time.Second))
+	start := time.Now()
+	if err := c.Add(context.Background(), testReport(0)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry after 'Retry-After: 0' took %v; the hint was ignored", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d attempts, want 2", calls.Load())
+	}
+}
+
+// TestClientHonorsRetryAfterDate accepts the HTTP-date form, which the
+// old integer-only parse dropped on the floor.
+func TestClientHonorsRetryAfterDate(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// A date already in the past: "retry now".
+			w.Header().Set("Retry-After", time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat))
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, 2, 2, WithBatchSize(1), WithRetry(3, 30*time.Second))
+	start := time.Now()
+	if err := c.Add(context.Background(), testReport(0)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry after HTTP-date Retry-After took %v; the hint was ignored", elapsed)
+	}
+}
+
+// TestRetryAfterOnlyOn429And503: a 500 with a (bogus) Retry-After
+// header must not override the client's own backoff policy — the hint
+// is only meaningful on the two shed statuses.
+func TestRetryAfterOnlyOn429And503(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3600")
+			http.Error(w, "oops", http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, 2, 2, WithBatchSize(1), WithRetry(3, time.Millisecond))
+	start := time.Now()
+	if err := c.Add(context.Background(), testReport(0)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("500 with Retry-After: 3600 delayed the retry %v; hint must be ignored on 500", elapsed)
+	}
+}

@@ -15,22 +15,30 @@ const defaultRunLogCap = 1 << 18
 // runLog is the collector's run-level predicate membership log: one
 // compact binary record per retained run (report.AppendRecord — the
 // wire format's per-report encoding), in arrival order, bounded by a
-// retention cap with oldest-run eviction. It is what elevates the
-// collector from aggregate counters (enough for Importance ranking) to
-// full cause isolation: core.Eliminate discards *runs*, not counters,
-// so it needs to know which predicates each retained run observed true.
+// retention cap with oldest-run eviction. Each record carries its
+// arrival time so an age cap can evict stale runs alongside the count
+// cap. It is what elevates the collector from aggregate counters
+// (enough for Importance ranking) to full cause isolation:
+// core.Eliminate discards *runs*, not counters, so it needs to know
+// which predicates each retained run observed true.
 //
 // The log is not itself goroutine-safe; shardedAgg serializes access
 // under its own locks so that counters and log always describe the
 // same run set.
 type runLog struct {
-	cap  int
-	recs [][]byte // ring once len == cap
-	head int      // index of the oldest record
+	cap int
+	// Circular buffer: recs/times share indices, len(recs) is the
+	// allocated ring size (grows amortized up to cap), head the oldest
+	// entry, n the live count.
+	recs  [][]byte
+	times []int64 // arrival UnixNano, same order as recs
+	head  int
+	n     int
 	// version increments on every mutation; /v1/predictors caches are
 	// keyed on it so repeated polls between ingests never rescan.
 	version uint64
-	// evicted counts runs dropped by retention since startup.
+	// evicted counts runs dropped by retention (count or age cap)
+	// since startup.
 	evicted int64
 }
 
@@ -38,45 +46,90 @@ func newRunLog(capRuns int) *runLog {
 	return &runLog{cap: capRuns}
 }
 
-// append stores one encoded record, returning the evicted oldest
-// record (nil when under cap). The returned slice is immutable: rings
-// swap record pointers, never reuse their bytes.
-func (l *runLog) append(rec []byte) (evicted []byte) {
-	if len(l.recs) < l.cap {
-		l.recs = append(l.recs, rec)
-	} else {
-		evicted = l.recs[l.head]
-		l.recs[l.head] = rec
-		l.head = (l.head + 1) % l.cap
-		l.evicted++
+// grow doubles the ring allocation (up to cap), relinearizing at 0.
+func (l *runLog) grow() {
+	size := 2 * len(l.recs)
+	if size == 0 {
+		size = 64
 	}
+	if size > l.cap {
+		size = l.cap
+	}
+	recs := make([][]byte, size)
+	times := make([]int64, size)
+	for i := 0; i < l.n; i++ {
+		j := (l.head + i) % len(l.recs)
+		recs[i], times[i] = l.recs[j], l.times[j]
+	}
+	l.recs, l.times, l.head = recs, times, 0
+}
+
+// append stores one encoded record stamped with its arrival time,
+// returning the evicted oldest record when the count cap forces one
+// out (nil when under cap). The returned slice is immutable: rings
+// swap record pointers, never reuse their bytes.
+func (l *runLog) append(rec []byte, now int64) (evicted []byte) {
+	if l.n == l.cap {
+		evicted = l.evictOldest()
+	} else if l.n == len(l.recs) {
+		l.grow()
+	}
+	i := (l.head + l.n) % len(l.recs)
+	l.recs[i], l.times[i] = rec, now
+	l.n++
 	l.version++
 	return evicted
 }
 
+// evictOldest pops and returns the oldest record.
+func (l *runLog) evictOldest() []byte {
+	rec := l.recs[l.head]
+	l.recs[l.head] = nil
+	l.head = (l.head + 1) % len(l.recs)
+	l.n--
+	l.evicted++
+	l.version++
+	return rec
+}
+
+// evictExpired pops every record that arrived before cutoff (UnixNano),
+// oldest first, and returns them so the caller can un-count each. Runs
+// arrive in time order, so the expired set is always a prefix.
+func (l *runLog) evictExpired(cutoff int64) (evicted [][]byte) {
+	for l.n > 0 && l.times[l.head] < cutoff {
+		evicted = append(evicted, l.evictOldest())
+	}
+	return evicted
+}
+
 // len returns the number of retained runs.
-func (l *runLog) len() int { return len(l.recs) }
+func (l *runLog) len() int { return l.n }
 
 // records returns the retained records in arrival order. The returned
 // slice is a fresh header but shares the (immutable) record bytes, so
 // callers may decode it without holding the aggregate's locks.
 func (l *runLog) records() [][]byte {
-	out := make([][]byte, 0, len(l.recs))
-	out = append(out, l.recs[l.head:]...)
-	out = append(out, l.recs[:l.head]...)
+	out := make([][]byte, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.recs[(l.head+i)%len(l.recs)])
+	}
 	return out
 }
 
 // restore refills the log from decoded reports (oldest first), keeping
-// only the newest cap runs. Counters are the caller's business.
-func (l *runLog) restore(reports []*report.Report) {
+// only the newest cap runs, all stamped with the restore time (the
+// at-rest format carries no per-run clock, so ages restart
+// conservatively). Counters are the caller's business.
+func (l *runLog) restore(reports []*report.Report, now int64) {
 	if len(reports) > l.cap {
 		reports = reports[len(reports)-l.cap:]
 	}
-	l.recs = make([][]byte, 0, len(reports))
-	l.head = 0
-	for _, r := range reports {
-		l.recs = append(l.recs, report.AppendRecord(nil, r))
+	l.recs = make([][]byte, len(reports))
+	l.times = make([]int64, len(reports))
+	l.head, l.n = 0, len(reports)
+	for i, r := range reports {
+		l.recs[i] = report.AppendRecord(nil, r)
+		l.times[i] = now
 	}
 	l.version++
 }

@@ -4,12 +4,14 @@ import (
 	"bufio"
 	"compress/gzip"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +42,17 @@ type Config struct {
 	// /v1/predictors all describe exactly the retained window. Negative
 	// means counters-only operation (/v1/predictors returns 501).
 	RunLogSize int
+	// RunLogMaxAge, when positive, additionally evicts retained runs
+	// older than the cap — with the same evict-and-decrement counter
+	// consistency as the count cap. A background sweep enforces it even
+	// when no new reports arrive.
+	RunLogMaxAge time.Duration
+	// APIKeys, when non-empty, gates the write endpoints: POST
+	// /v1/reports and /v1/merge must carry "Authorization: Bearer <key>"
+	// matching one of the keys (constant-time compare) or they are
+	// rejected with 401 and counted in the auth_rejected stat. Read
+	// endpoints stay open.
+	APIKeys []string
 	// Workers is the number of apply workers (default GOMAXPROCS).
 	Workers int
 	// Shards is the number of counter stripes (default 16).
@@ -54,6 +67,8 @@ type Config struct {
 	// applyHook, when set (tests only), runs before each report is
 	// applied; it must be set before New so workers see it.
 	applyHook func(*report.Report)
+	// nowFn, when set (tests only), overrides the retention clock.
+	nowFn func() time.Time
 }
 
 // Stats is the GET /v1/stats response.
@@ -81,6 +96,13 @@ type Stats struct {
 	// polls served from cache (no rescan between ingests).
 	PredictorsComputed  int64 `json:"predictors_computed"`
 	PredictorsCacheHits int64 `json:"predictors_cache_hits"`
+	// Write-endpoint auth: requests rejected with 401 (only ever
+	// non-zero when the server was configured with API keys).
+	AuthRejected int64 `json:"auth_rejected"`
+	// Shard-merge traffic on POST /v1/merge: segments folded in and the
+	// total runs their counter snapshots carried.
+	MergesAccepted int64 `json:"merges_accepted"`
+	MergedRuns     int64 `json:"merged_runs"`
 }
 
 // ScoreEntry is one row of the GET /v1/scores response.
@@ -121,6 +143,9 @@ type Server struct {
 	reportsEnqueued atomic.Int64
 	reportsApplied  atomic.Int64
 	snapshots       atomic.Int64
+	authRejected    atomic.Int64
+	mergesAccepted  atomic.Int64
+	mergedRuns      atomic.Int64
 
 	predictorsComputed  atomic.Int64
 	predictorsCacheHits atomic.Int64
@@ -175,7 +200,7 @@ func New(cfg Config) (*Server, error) {
 
 	s := &Server{
 		cfg:       cfg,
-		agg:       newShardedAgg(cfg.NumSites, cfg.NumPreds, cfg.Shards, cfg.RunLogSize),
+		agg:       newShardedAgg(cfg.NumSites, cfg.NumPreds, cfg.Shards, cfg.RunLogSize, cfg.RunLogMaxAge, cfg.nowFn),
 		queue:     make(chan []*report.Report, cfg.QueueSize),
 		accepting: true,
 		die:       make(chan struct{}),
@@ -196,7 +221,34 @@ func New(cfg Config) (*Server, error) {
 		s.bg.Add(1)
 		go s.snapshotLoop()
 	}
+	if cfg.RunLogMaxAge > 0 && cfg.RunLogSize > 0 {
+		s.bg.Add(1)
+		go s.sweepLoop()
+	}
 	return s, nil
+}
+
+// sweepLoop periodically evicts runs older than the age cap, so the
+// retained window shrinks on schedule even when no reports arrive.
+func (s *Server) sweepLoop() {
+	defer s.bg.Done()
+	period := s.cfg.RunLogMaxAge / 10
+	if period < 50*time.Millisecond {
+		period = 50 * time.Millisecond
+	}
+	if period > 30*time.Second {
+		period = 30 * time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.die:
+			return
+		case <-t.C:
+			s.agg.EvictExpired()
+		}
+	}
 }
 
 // restore loads the durable pair — aggregate snapshot and run-log
@@ -233,7 +285,17 @@ func (s *Server) restore() error {
 				logSet.NumSites, logSet.NumPreds, cfg.NumSites, cfg.NumPreds)
 		}
 		s.agg.RestoreLog(logSet.Reports)
-		if snap == nil || snap.NumF+snap.NumS != int64(len(logSet.Reports)) || len(logSet.Reports) > cfg.RunLogSize {
+		// The snapshot records how many runs its companion log held (a
+		// legacy v1 snapshot does not; fall back to its run counts,
+		// which equal the logged count unless state was merged in).
+		wantLogged := int64(-1)
+		if snap != nil {
+			wantLogged = snap.Logged
+			if wantLogged < 0 {
+				wantLogged = snap.NumF + snap.NumS
+			}
+		}
+		if snap == nil || wantLogged != int64(len(logSet.Reports)) || len(logSet.Reports) > cfg.RunLogSize {
 			cfg.Logf("collector: counters disagree with run log (%d runs logged); recounting from the log",
 				len(logSet.Reports))
 			if err := s.agg.RecountFromLog(); err != nil {
@@ -367,6 +429,8 @@ func (s *Server) forgetBatch(id string) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/reports", s.handleReports)
+	mux.HandleFunc("/v1/merge", s.handleMerge)
+	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/v1/scores", s.handleScores)
 	mux.HandleFunc("/v1/predictors", s.handlePredictors)
 	mux.HandleFunc("/v1/stats", s.handleStats)
@@ -374,28 +438,76 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// authorize enforces API-key auth on a write endpoint. When keys are
+// configured, the request must present "Authorization: Bearer <key>"
+// for one of them; comparison is constant-time per key so response
+// timing leaks nothing about key contents. On rejection it writes the
+// 401 itself and returns false.
+func (s *Server) authorize(w http.ResponseWriter, r *http.Request) bool {
+	if len(s.cfg.APIKeys) == 0 {
+		return true
+	}
+	const scheme = "Bearer "
+	auth := r.Header.Get("Authorization")
+	presented := ""
+	if len(auth) > len(scheme) && strings.EqualFold(auth[:len(scheme)], scheme) {
+		presented = auth[len(scheme):]
+	}
+	ok := false
+	for _, key := range s.cfg.APIKeys {
+		// No early exit: every configured key is compared on every
+		// request so match position is not observable either.
+		if subtle.ConstantTimeCompare([]byte(presented), []byte(key)) == 1 {
+			ok = true
+		}
+	}
+	if !ok {
+		s.authRejected.Add(1)
+		w.Header().Set("WWW-Authenticate", `Bearer realm="cbi-collector"`)
+		http.Error(w, "missing or invalid API key", http.StatusUnauthorized)
+	}
+	return ok
+}
+
 // maxBatchBytes bounds one POST body (decompressed input is further
 // bounded by the codec's own validation).
 const maxBatchBytes = 64 << 20
+
+// postBodyReader wraps a write-endpoint request body: size-bounded,
+// transparently gunzipped per Content-Encoding. On a bad gzip header it
+// writes the 400 itself and returns ok=false. closer must be closed by
+// the caller when non-nil.
+func (s *Server) postBodyReader(w http.ResponseWriter, r *http.Request) (reader *bufio.Reader, closer io.Closer, ok bool) {
+	body := http.MaxBytesReader(w, r.Body, maxBatchBytes)
+	reader = bufio.NewReader(body)
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		gz, err := gzip.NewReader(reader)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad gzip body: %v", err), http.StatusBadRequest)
+			return nil, nil, false
+		}
+		// Bound the decompressed size too, so a gzip bomb cannot smuggle
+		// an oversized batch past MaxBytesReader; a truncated stream
+		// fails decoding with 400.
+		return bufio.NewReader(io.LimitReader(gz, maxBatchBytes)), gz, true
+	}
+	return reader, nil, true
+}
 
 func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, maxBatchBytes)
-	var reader = bufio.NewReader(body)
-	if r.Header.Get("Content-Encoding") == "gzip" {
-		gz, err := gzip.NewReader(reader)
-		if err != nil {
-			http.Error(w, fmt.Sprintf("bad gzip body: %v", err), http.StatusBadRequest)
-			return
-		}
-		defer gz.Close()
-		// Bound the decompressed size too, so a gzip bomb cannot smuggle
-		// an oversized batch past MaxBytesReader; a truncated stream
-		// fails decoding below with 400.
-		reader = bufio.NewReader(io.LimitReader(gz, maxBatchBytes))
+	if !s.authorize(w, r) {
+		return
+	}
+	reader, closer, ok := s.postBodyReader(w, r)
+	if !ok {
+		return
+	}
+	if closer != nil {
+		defer closer.Close()
 	}
 	// Accept both codecs, sniffed by magic: "CBR1" (binary wire format)
 	// or the "cbi-reports" text header.
@@ -441,6 +553,9 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		if batchID != "" {
 			s.forgetBatch(batchID)
 		}
+		// A draining backend tells clients when to try again, so a
+		// shard router's retry can land on whatever replaces it.
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, "collector is shutting down", http.StatusServiceUnavailable)
 		return
 	}
@@ -462,6 +577,98 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleMerge folds a peer collector's exported state (counter
+// snapshot + retained run-log segment, the WriteMergeSegment framing)
+// into this one. Counters add exactly; the peer's runs join the run
+// log without re-counting. Merges are applied synchronously — they are
+// rare reducer traffic, not the per-run hot path — and are idempotent
+// under lost-ack retries via the same X-CBI-Batch-ID dedup as
+// /v1/reports.
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.authorize(w, r) {
+		return
+	}
+	reader, closer, ok := s.postBodyReader(w, r)
+	if !ok {
+		return
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	snap, set, err := corpus.ReadMergeSegment(reader)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad merge segment: %v", err), http.StatusBadRequest)
+		return
+	}
+	if snap.NumSites != s.cfg.NumSites || snap.NumPreds != s.cfg.NumPreds {
+		http.Error(w, fmt.Sprintf("merge dimensions %dx%d do not match collector %dx%d",
+			snap.NumSites, snap.NumPreds, s.cfg.NumSites, s.cfg.NumPreds), http.StatusBadRequest)
+		return
+	}
+	if s.cfg.Fingerprint != 0 && snap.Fingerprint != 0 && snap.Fingerprint != s.cfg.Fingerprint {
+		http.Error(w, fmt.Sprintf("merge fingerprint %d does not match plan %d",
+			snap.Fingerprint, s.cfg.Fingerprint), http.StatusBadRequest)
+		return
+	}
+
+	batchID := r.Header.Get("X-CBI-Batch-ID")
+	if batchID != "" && s.rememberBatch(batchID) {
+		s.batchesDeduped.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"merged_runs":%d,"duplicate":true}`+"\n", snap.NumF+snap.NumS)
+		return
+	}
+
+	s.acceptMu.RLock()
+	if !s.accepting {
+		s.acceptMu.RUnlock()
+		if batchID != "" {
+			s.forgetBatch(batchID)
+		}
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "collector is shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	s.agg.MergeSegment(snap, set.Reports)
+	s.acceptMu.RUnlock()
+	s.mergesAccepted.Add(1)
+	s.mergedRuns.Add(snap.NumF + snap.NumS)
+	s.cfg.Logf("collector: merged peer segment (%d runs counted, %d logged)",
+		snap.NumF+snap.NumS, len(set.Reports))
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintf(w, `{"merged_runs":%d,"merged_logged":%d}`+"\n", snap.NumF+snap.NumS, len(set.Reports))
+}
+
+// handleSnapshot exports the collector's live state as a gzip'd merge
+// segment — counter snapshot plus retained run-log window, captured
+// atomically — for shard gateways and offline reducers (`cbi merge`).
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	snap, recs := s.agg.Snapshot(s.cfg.Fingerprint)
+	reports, err := decodeRecords(recs, s.cfg.NumSites, s.cfg.NumPreds)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	set := &report.Set{NumSites: s.cfg.NumSites, NumPreds: s.cfg.NumPreds, Reports: reports}
+	w.Header().Set("Content-Type", "application/x-cbi-merge+gzip")
+	gz := gzip.NewWriter(w)
+	if err := corpus.WriteMergeSegment(gz, snap, set); err != nil {
+		s.cfg.Logf("collector: snapshot export: %v", err)
+		return
+	}
+	if err := gz.Close(); err != nil {
+		s.cfg.Logf("collector: snapshot export: %v", err)
+	}
+}
+
 func (s *Server) handleScores(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
@@ -474,7 +681,13 @@ func (s *Server) handleScores(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ranked := core.TopKImportance(s.agg.ToAgg(s.cfg.SiteOf), k)
+	writeJSON(w, ScoreEntries(core.TopKImportance(s.agg.ToAgg(s.cfg.SiteOf), k)))
+}
+
+// ScoreEntries converts a TopKImportance ranking into /v1/scores
+// response rows — shared by the collector and the shard gateway so the
+// two views marshal identically.
+func ScoreEntries(ranked []core.PredScore) []ScoreEntry {
 	out := make([]ScoreEntry, len(ranked))
 	for i, ps := range ranked {
 		out[i] = ScoreEntry{
@@ -491,7 +704,7 @@ func (s *Server) handleScores(w http.ResponseWriter, r *http.Request) {
 			Sobs:         ps.Stats.Sobs,
 		}
 	}
-	writeJSON(w, out)
+	return out
 }
 
 // handlePredictors serves the full cause-isolation ranking over the
@@ -591,6 +804,9 @@ func (s *Server) StatsNow() Stats {
 		RunLogEvicted:       logEvicted,
 		PredictorsComputed:  s.predictorsComputed.Load(),
 		PredictorsCacheHits: s.predictorsCacheHits.Load(),
+		AuthRejected:        s.authRejected.Load(),
+		MergesAccepted:      s.mergesAccepted.Load(),
+		MergedRuns:          s.mergedRuns.Load(),
 	}
 }
 

@@ -1,0 +1,163 @@
+package corpus
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cbi/internal/report"
+)
+
+func TestMergeAggSnapshot(t *testing.T) {
+	dst := NewAggSnapshot(3, 5)
+	a := sampleSnap()
+	b := sampleSnap()
+	b.NumF, b.NumS = 2, 3
+	b.FPred = []int64{10, 10, 10, 10, 10}
+
+	if err := MergeAggSnapshot(dst, a); err != nil {
+		t.Fatal(err)
+	}
+	// A zero-fingerprint destination adopts the source's.
+	if dst.Fingerprint != a.Fingerprint {
+		t.Fatalf("dst fingerprint %x, want adopted %x", dst.Fingerprint, a.Fingerprint)
+	}
+	if err := MergeAggSnapshot(dst, b); err != nil {
+		t.Fatal(err)
+	}
+	if dst.NumF != a.NumF+2 || dst.NumS != a.NumS+3 {
+		t.Fatalf("run counts = %d/%d, want %d/%d", dst.NumF, dst.NumS, a.NumF+2, a.NumS+3)
+	}
+	for i := range dst.FPred {
+		if dst.FPred[i] != a.FPred[i]+10 {
+			t.Fatalf("FPred[%d] = %d, want %d", i, dst.FPred[i], a.FPred[i]+10)
+		}
+	}
+	for i := range dst.FobsSite {
+		if dst.FobsSite[i] != a.FobsSite[i]+b.FobsSite[i] {
+			t.Fatalf("FobsSite[%d] = %d", i, dst.FobsSite[i])
+		}
+	}
+
+	// Dimension mismatch refuses.
+	if err := MergeAggSnapshot(dst, NewAggSnapshot(3, 6)); err == nil {
+		t.Fatal("merging mismatched dimensions succeeded")
+	}
+	// Conflicting nonzero fingerprints refuse.
+	c := sampleSnap()
+	c.Fingerprint = 0x1234
+	if err := MergeAggSnapshot(dst, c); err == nil {
+		t.Fatal("merging conflicting fingerprints succeeded")
+	}
+	// A zero-fingerprint source merges into a stamped destination.
+	d := sampleSnap()
+	d.Fingerprint = 0
+	if err := MergeAggSnapshot(dst, d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeSegmentRoundTrip(t *testing.T) {
+	snap := sampleSnap()
+	set := &report.Set{
+		NumSites: snap.NumSites, NumPreds: snap.NumPreds,
+		Reports: []*report.Report{
+			{Failed: true, ObservedSites: []int32{0, 2}, TruePreds: []int32{1, 4}},
+			{Failed: false, ObservedSites: []int32{1}, TruePreds: []int32{3}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteMergeSegment(&buf, snap, set); err != nil {
+		t.Fatal(err)
+	}
+	gotSnap, gotSet, err := ReadMergeSegment(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotSnap, snap) {
+		t.Fatalf("snapshot round trip mismatch:\nin:  %+v\nout: %+v", snap, gotSnap)
+	}
+	if !reflect.DeepEqual(gotSet, set) {
+		t.Fatalf("set round trip mismatch:\nin:  %+v\nout: %+v", set, gotSet)
+	}
+}
+
+func TestMergeSegmentErrors(t *testing.T) {
+	snap := sampleSnap()
+	okSet := &report.Set{NumSites: snap.NumSites, NumPreds: snap.NumPreds}
+
+	// Mismatched dimensions refuse at write time.
+	if err := WriteMergeSegment(&bytes.Buffer{}, snap,
+		&report.Set{NumSites: 9, NumPreds: 9}); err == nil {
+		t.Fatal("writing mismatched segment succeeded")
+	}
+
+	// More logged reports than the counters claim refuse at read time.
+	over := &report.Set{NumSites: snap.NumSites, NumPreds: snap.NumPreds}
+	for i := int64(0); i < snap.NumF+snap.NumS+1; i++ {
+		over.Reports = append(over.Reports, &report.Report{ObservedSites: []int32{0}})
+	}
+	var buf bytes.Buffer
+	if err := WriteMergeSegment(&buf, snap, over); err == nil {
+		if _, _, err := ReadMergeSegment(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Fatal("segment logging more runs than counted was accepted")
+		}
+	}
+
+	for _, bad := range []string{
+		"",
+		"cbi-merge\n",
+		"cbi-merge 99 10\n",
+		"cbi-merge 1 -5\n",
+		"cbi-merge 1 999999999999\n",
+		"cbi-merge 1 3\nabc", // snapshot bytes are not an aggsnap
+	} {
+		if _, _, err := ReadMergeSegment(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ReadMergeSegment(%q) succeeded", bad)
+		}
+	}
+
+	// Truncated stream: a valid header whose body was cut off.
+	var full bytes.Buffer
+	if err := WriteMergeSegment(&full, snap, okSet); err != nil {
+		t.Fatal(err)
+	}
+	cut := full.Bytes()[:full.Len()/2]
+	if _, _, err := ReadMergeSegment(bytes.NewReader(cut)); err == nil {
+		t.Fatal("truncated segment was accepted")
+	}
+}
+
+// TestAggSnapshotV1Compat loads a version-1 file (no LOGGED line):
+// it must parse, with Logged reporting -1 (unknown).
+func TestAggSnapshotV1Compat(t *testing.T) {
+	snap := sampleSnap()
+	var buf bytes.Buffer
+	if err := SaveAggSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "\nLOGGED ") {
+		t.Fatalf("v2 snapshot missing LOGGED line:\n%s", text)
+	}
+	v1 := strings.Replace(text, "cbi-aggsnap 2 ", "cbi-aggsnap 1 ", 1)
+	v1 = v1[:strings.Index(v1, "LOGGED ")]
+	got, err := LoadAggSnapshot(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("loading v1 snapshot: %v", err)
+	}
+	if got.Logged != -1 {
+		t.Fatalf("v1 snapshot Logged = %d, want -1", got.Logged)
+	}
+	got.Logged = snap.Logged
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("v1 snapshot counters mismatch:\nin:  %+v\nout: %+v", snap, got)
+	}
+
+	// Future versions refuse.
+	v9 := strings.Replace(text, "cbi-aggsnap 2 ", "cbi-aggsnap 9 ", 1)
+	if _, err := LoadAggSnapshot(strings.NewReader(v9)); err == nil {
+		t.Fatal("version-9 snapshot was accepted")
+	}
+}

@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
 	"fmt"
 	"io"
@@ -10,11 +11,14 @@ import (
 	"strconv"
 	"strings"
 
+	"cbi/internal/core"
 	"cbi/internal/report"
 )
 
 // aggSnapVersion is bumped on breaking aggregate-snapshot changes.
-const aggSnapVersion = 1
+// Version 2 added the LOGGED line; version-1 files still load, with
+// Logged reported as unknown (-1).
+const aggSnapVersion = 2
 
 // AggSnapshot is a persisted aggregate state: the per-site observation
 // tallies and per-predicate truth tallies a streaming collector
@@ -37,15 +41,100 @@ type AggSnapshot struct {
 	// FPred and SPred count, per predicate, the failing/successful runs
 	// in which the predicate was observed true.
 	FPred, SPred []int64
+	// Logged records how many retained runs the sibling run-log file
+	// held when this snapshot was captured, so a restore can tell a
+	// torn snapshot/log pair (recount from the log) from counters that
+	// legitimately cover more runs than the retained window (merged-in
+	// shard state whose own windows had evicted runs). -1 means unknown
+	// (a version-1 file).
+	Logged int64
+}
+
+// NewAggSnapshot returns an all-zero snapshot for the given dimensions
+// — the identity element reducers start from when folding shard
+// snapshots with MergeAggSnapshot.
+func NewAggSnapshot(numSites, numPreds int) *AggSnapshot {
+	return &AggSnapshot{
+		NumSites: numSites,
+		NumPreds: numPreds,
+		FobsSite: make([]int64, numSites),
+		SobsSite: make([]int64, numSites),
+		FPred:    make([]int64, numPreds),
+		SPred:    make([]int64, numPreds),
+	}
+}
+
+// MergeAggSnapshot folds src into dst element-wise. Because every
+// counter is a sum over independent runs, merging is exact and
+// commutative: folding N shard snapshots in any order yields exactly
+// the snapshot one collector would have produced ingesting all their
+// runs. Dimensions must match; fingerprints must agree where both are
+// set (dst adopts src's fingerprint when it has none).
+func MergeAggSnapshot(dst, src *AggSnapshot) error {
+	if src.NumSites != dst.NumSites || src.NumPreds != dst.NumPreds {
+		return fmt.Errorf("corpus: merging snapshot %dx%d into %dx%d",
+			src.NumSites, src.NumPreds, dst.NumSites, dst.NumPreds)
+	}
+	if len(src.FobsSite) != src.NumSites || len(src.SobsSite) != src.NumSites ||
+		len(src.FPred) != src.NumPreds || len(src.SPred) != src.NumPreds ||
+		len(dst.FobsSite) != dst.NumSites || len(dst.SobsSite) != dst.NumSites ||
+		len(dst.FPred) != dst.NumPreds || len(dst.SPred) != dst.NumPreds {
+		return fmt.Errorf("corpus: snapshot slice lengths disagree with dimensions")
+	}
+	switch {
+	case dst.Fingerprint == 0:
+		dst.Fingerprint = src.Fingerprint
+	case src.Fingerprint != 0 && src.Fingerprint != dst.Fingerprint:
+		return fmt.Errorf("corpus: merging snapshot fingerprint %d into %d",
+			src.Fingerprint, dst.Fingerprint)
+	}
+	dst.NumF += src.NumF
+	dst.NumS += src.NumS
+	for i, v := range src.FobsSite {
+		dst.FobsSite[i] += v
+	}
+	for i, v := range src.SobsSite {
+		dst.SobsSite[i] += v
+	}
+	for i, v := range src.FPred {
+		dst.FPred[i] += v
+	}
+	for i, v := range src.SPred {
+		dst.SPred[i] += v
+	}
+	return nil
+}
+
+// ToAgg converts the snapshot counters into a core.Agg, attaching each
+// predicate's site-observation counts via siteOf — the exact shape
+// core.Aggregate produces, so all of core's scoring applies to merged
+// shard state unchanged.
+func (snap *AggSnapshot) ToAgg(siteOf []int32) *core.Agg {
+	agg := &core.Agg{
+		Stats: make([]core.Stats, snap.NumPreds),
+		NumF:  int(snap.NumF),
+		NumS:  int(snap.NumS),
+	}
+	for p := 0; p < snap.NumPreds; p++ {
+		site := siteOf[p]
+		agg.Stats[p] = core.Stats{
+			F:    int(snap.FPred[p]),
+			S:    int(snap.SPred[p]),
+			Fobs: int(snap.FobsSite[site]),
+			Sobs: int(snap.SobsSite[site]),
+		}
+	}
+	return agg
 }
 
 // SaveAggSnapshot writes the snapshot in a line-oriented text format:
 //
-//	cbi-aggsnap 1 <numSites> <numPreds> <fingerprint> <numF> <numS>
+//	cbi-aggsnap 2 <numSites> <numPreds> <fingerprint> <numF> <numS>
 //	FOBS <numSites ints>
 //	SOBS <numSites ints>
 //	FPRED <numPreds ints>
 //	SPRED <numPreds ints>
+//	LOGGED <runs in the sibling run log at capture>
 func SaveAggSnapshot(w io.Writer, snap *AggSnapshot) error {
 	if len(snap.FobsSite) != snap.NumSites || len(snap.SobsSite) != snap.NumSites ||
 		len(snap.FPred) != snap.NumPreds || len(snap.SPred) != snap.NumPreds {
@@ -68,6 +157,7 @@ func SaveAggSnapshot(w io.Writer, snap *AggSnapshot) error {
 		}
 		bw.WriteByte('\n')
 	}
+	fmt.Fprintf(bw, "LOGGED %d\n", snap.Logged)
 	return bw.Flush()
 }
 
@@ -84,7 +174,7 @@ func LoadAggSnapshot(r io.Reader) (*AggSnapshot, error) {
 		&version, &snap.NumSites, &snap.NumPreds, &snap.Fingerprint, &snap.NumF, &snap.NumS); err != nil {
 		return nil, fmt.Errorf("corpus: bad aggsnap header %q: %v", sc.Text(), err)
 	}
-	if version != aggSnapVersion {
+	if version < 1 || version > aggSnapVersion {
 		return nil, fmt.Errorf("corpus: unsupported aggsnap version %d", version)
 	}
 	if snap.NumSites < 0 || snap.NumPreds < 0 || snap.NumF < 0 || snap.NumS < 0 {
@@ -117,6 +207,16 @@ func LoadAggSnapshot(r io.Reader) (*AggSnapshot, error) {
 			xs[i] = v
 		}
 		*sec.dst = xs
+	}
+	if version < 2 {
+		snap.Logged = -1
+		return snap, nil
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("corpus: aggsnap missing LOGGED line: %v", sc.Err())
+	}
+	if _, err := fmt.Sscanf(sc.Text(), "LOGGED %d", &snap.Logged); err != nil {
+		return nil, fmt.Errorf("corpus: bad aggsnap LOGGED line %q: %v", sc.Text(), err)
 	}
 	return snap, nil
 }
@@ -184,6 +284,87 @@ func WriteRunLogFile(path string, set *report.Set) error {
 		return err
 	}
 	return os.Rename(tmp.Name(), path)
+}
+
+// mergeSegVersion is bumped on breaking merge-segment changes.
+const mergeSegVersion = 1
+
+// maxMergeSnapBytes bounds the snapshot part of a merge segment so a
+// hostile header cannot demand an absurd allocation (a real snapshot is
+// O(sites+preds) decimal integers).
+const maxMergeSnapBytes = 1 << 28
+
+// WriteMergeSegment writes one shard's exported state — its counter
+// snapshot plus its retained run-log window as a binary report set —
+// as a single framed stream:
+//
+//	cbi-merge 1 <snapshotBytes>
+//	<snapshotBytes bytes of SaveAggSnapshot text>
+//	<report.Set binary wire format>
+//
+// This is the payload of the collector's POST /v1/merge endpoint and
+// GET /v1/snapshot export: together the two parts let a reducer fold N
+// shard states into one exact global state (counters add, run windows
+// concatenate).
+func WriteMergeSegment(w io.Writer, snap *AggSnapshot, set *report.Set) error {
+	if set.NumSites != snap.NumSites || set.NumPreds != snap.NumPreds {
+		return fmt.Errorf("corpus: merge segment set dimensions %dx%d disagree with snapshot %dx%d",
+			set.NumSites, set.NumPreds, snap.NumSites, snap.NumPreds)
+	}
+	var buf bytes.Buffer
+	if err := SaveAggSnapshot(&buf, snap); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "cbi-merge %d %d\n", mergeSegVersion, buf.Len()); err != nil {
+		return err
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	return set.MarshalBinary(w)
+}
+
+// ReadMergeSegment parses a stream written by WriteMergeSegment,
+// validating that the two parts describe the same predicate universe.
+// It is safe on hostile input: allocation is bounded and errors are
+// returned rather than panicking.
+func ReadMergeSegment(r io.Reader) (*AggSnapshot, *report.Set, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return nil, nil, fmt.Errorf("corpus: merge segment header: %v", err)
+	}
+	var version, snapLen int
+	if _, err := fmt.Sscanf(line, "cbi-merge %d %d", &version, &snapLen); err != nil {
+		return nil, nil, fmt.Errorf("corpus: bad merge segment header %q: %v", strings.TrimSpace(line), err)
+	}
+	if version != mergeSegVersion {
+		return nil, nil, fmt.Errorf("corpus: unsupported merge segment version %d", version)
+	}
+	if snapLen <= 0 || snapLen > maxMergeSnapBytes {
+		return nil, nil, fmt.Errorf("corpus: merge segment snapshot length %d out of range", snapLen)
+	}
+	snapText := make([]byte, snapLen)
+	if _, err := io.ReadFull(br, snapText); err != nil {
+		return nil, nil, fmt.Errorf("corpus: merge segment snapshot: %v", err)
+	}
+	snap, err := LoadAggSnapshot(bytes.NewReader(snapText))
+	if err != nil {
+		return nil, nil, err
+	}
+	set, err := report.UnmarshalBinary(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	if set.NumSites != snap.NumSites || set.NumPreds != snap.NumPreds {
+		return nil, nil, fmt.Errorf("corpus: merge segment set dimensions %dx%d disagree with snapshot %dx%d",
+			set.NumSites, set.NumPreds, snap.NumSites, snap.NumPreds)
+	}
+	if int64(len(set.Reports)) > snap.NumF+snap.NumS {
+		return nil, nil, fmt.Errorf("corpus: merge segment logs %d runs but counts only %d",
+			len(set.Reports), snap.NumF+snap.NumS)
+	}
+	return snap, set, nil
 }
 
 // ReadRunLogFile loads a run log written by WriteRunLogFile; a missing

@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cbi/internal/collector"
+)
+
+// BenchmarkShardedIngest measures end-to-end sharded ingestion: 8
+// clients streaming a synthetic corpus through the router into 3
+// collector shards, timed until every report is applied. CI runs it
+// with -benchtime=1x as a smoke test that the full write path works
+// under the race detector's scrutiny too.
+func BenchmarkShardedIngest(b *testing.B) {
+	set, siteOf := syntheticInput(2000)
+	cfg := collector.Config{
+		NumSites: set.NumSites, NumPreds: set.NumPreds, SiteOf: siteOf,
+		Logf: quietLogf,
+	}
+	const numShards = 3
+	shards := make([]*collector.Server, numShards)
+	urls := make([]string, numShards)
+	for i := range shards {
+		srv, err := collector.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		shards[i], urls[i] = srv, ts.URL
+	}
+	router, err := NewRouter(RouterConfig{Backends: urls, Logf: quietLogf})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer router.Close()
+	rt := httptest.NewServer(router.Handler())
+	defer rt.Close()
+
+	ctx := context.Background()
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		done := make(chan error, 8)
+		for w := 0; w < 8; w++ {
+			go func(w int) {
+				client := collector.NewClient(rt.URL, set.NumSites, set.NumPreds,
+					collector.WithBatchSize(64),
+					collector.WithClientID(fmt.Sprintf("bench-%d-%d", iter, w)))
+				for i := w; i < len(set.Reports); i += 8 {
+					if err := client.Add(ctx, set.Reports[i]); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- client.Flush(ctx)
+			}(w)
+		}
+		for w := 0; w < 8; w++ {
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := router.Drain(30 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		want := int64(len(set.Reports)) * int64(iter+1)
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			var total int64
+			for _, s := range shards {
+				total += s.StatsNow().ReportsApplied
+			}
+			if total >= want {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("shards applied %d of %d", total, want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	b.ReportMetric(float64(len(set.Reports)), "reports/op")
+}

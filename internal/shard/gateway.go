@@ -1,0 +1,326 @@
+package shard
+
+import (
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"cbi/internal/collector"
+	"cbi/internal/core"
+	"cbi/internal/corpus"
+	"cbi/internal/report"
+)
+
+// GatewayConfig configures a Gateway.
+type GatewayConfig struct {
+	// Shards are the collector base URLs, in the same order as the
+	// router's Backends.
+	Shards []string
+	// NumSites and NumPreds are the instrumentation-plan dimensions all
+	// shards must agree on.
+	NumSites, NumPreds int
+	// SiteOf maps predicate id → site id; required for /v1/scores and
+	// /v1/predictors.
+	SiteOf []int32
+	// Fingerprint, when nonzero, is enforced against every shard
+	// snapshot.
+	Fingerprint uint64
+	// Timeout bounds one shard fetch during a fan-out (default 15s).
+	Timeout time.Duration
+	// Logf receives gateway diagnostics (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Gateway is the read-path of a sharded collector deployment: it fans a
+// query out to every shard, pulls each shard's counter snapshot and
+// run-log segment, and merges them into exactly the responses one
+// unsharded collector would serve. Counters merge by addition (they are
+// sums over disjoint run sets); run logs merge by concatenation, and
+// because every core analysis step is order-independent with
+// deterministic tie-breaking, the merged /v1/predictors output is
+// element-for-element identical to single-collector output over the
+// same runs.
+//
+// The gateway is stateless — every query re-fetches — so it needs no
+// recovery story and any number of gateways can front the same shards.
+// A shard that fails to answer is skipped and counted in
+// degraded_shards; the gateway serves the union of the live shards
+// rather than failing the query.
+type Gateway struct {
+	cfg     GatewayConfig
+	hc      *http.Client
+	logf    func(string, ...any)
+	handler http.Handler
+}
+
+// NewGateway builds a gateway over cfg.Shards.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("shard: gateway needs at least one shard")
+	}
+	if cfg.NumSites <= 0 || cfg.NumPreds <= 0 {
+		return nil, fmt.Errorf("shard: gateway needs positive dimensions, got %dx%d", cfg.NumSites, cfg.NumPreds)
+	}
+	if len(cfg.SiteOf) != cfg.NumPreds {
+		return nil, fmt.Errorf("shard: gateway SiteOf has %d entries for %d predicates", len(cfg.SiteOf), cfg.NumPreds)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 15 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	g := &Gateway{
+		cfg:  cfg,
+		hc:   &http.Client{Timeout: cfg.Timeout},
+		logf: cfg.Logf,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/scores", g.handleScores)
+	mux.HandleFunc("/v1/predictors", g.handlePredictors)
+	mux.HandleFunc("/v1/stats", g.handleStats)
+	mux.HandleFunc("/healthz", g.handleHealthz)
+	g.handler = mux
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.handler }
+
+// shardState is one shard's contribution to a merged query.
+type shardState struct {
+	snap *corpus.AggSnapshot
+	set  *report.Set
+	err  error
+}
+
+// fetchAll pulls every shard's /v1/snapshot concurrently. Failed shards
+// come back with err set; the caller decides how degraded is too
+// degraded.
+func (g *Gateway) fetchAll(ctx context.Context) []shardState {
+	out := make([]shardState, len(g.cfg.Shards))
+	var wg sync.WaitGroup
+	for i, url := range g.cfg.Shards {
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			out[i].snap, out[i].set, out[i].err = g.fetchSnapshot(ctx, url)
+		}(i, url)
+	}
+	wg.Wait()
+	return out
+}
+
+// fetchSnapshot pulls one shard's merge segment and validates its
+// dimensions against the gateway's plan.
+func (g *Gateway) fetchSnapshot(ctx context.Context, url string) (*corpus.AggSnapshot, *report.Set, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/snapshot", nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return nil, nil, fmt.Errorf("GET /v1/snapshot: %d: %s", resp.StatusCode, body)
+	}
+	gz, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot gzip: %v", err)
+	}
+	defer gz.Close()
+	snap, set, err := corpus.ReadMergeSegment(gz)
+	if err != nil {
+		return nil, nil, err
+	}
+	if snap.NumSites != g.cfg.NumSites || snap.NumPreds != g.cfg.NumPreds {
+		return nil, nil, fmt.Errorf("shard dimensions %dx%d do not match gateway %dx%d",
+			snap.NumSites, snap.NumPreds, g.cfg.NumSites, g.cfg.NumPreds)
+	}
+	if g.cfg.Fingerprint != 0 && snap.Fingerprint != 0 && snap.Fingerprint != g.cfg.Fingerprint {
+		return nil, nil, fmt.Errorf("shard fingerprint %016x does not match gateway %016x",
+			snap.Fingerprint, g.cfg.Fingerprint)
+	}
+	return snap, set, nil
+}
+
+// merge folds the live shards' states into one snapshot and one run
+// set. It returns the merged state plus how many shards answered; an
+// error only when *no* shard answered.
+func (g *Gateway) merge(states []shardState) (*corpus.AggSnapshot, *report.Set, int, error) {
+	merged := corpus.NewAggSnapshot(g.cfg.NumSites, g.cfg.NumPreds)
+	merged.Fingerprint = g.cfg.Fingerprint
+	set := &report.Set{NumSites: g.cfg.NumSites, NumPreds: g.cfg.NumPreds}
+	live := 0
+	for i, st := range states {
+		if st.err != nil {
+			g.logf("shard: gateway: shard %d unavailable: %v", i, st.err)
+			continue
+		}
+		if err := corpus.MergeAggSnapshot(merged, st.snap); err != nil {
+			g.logf("shard: gateway: shard %d snapshot rejected: %v", i, err)
+			continue
+		}
+		set.Reports = append(set.Reports, st.set.Reports...)
+		live++
+	}
+	if live == 0 {
+		return nil, nil, 0, fmt.Errorf("no shard answered")
+	}
+	return merged, set, live, nil
+}
+
+// intQuery mirrors the collector's query parsing exactly: absent means
+// the default, malformed is a 400, and negative values pass through
+// (k<=0 means "no cap" downstream) — so the gateway is a drop-in for a
+// single collector on the read path.
+func intQuery(w http.ResponseWriter, req *http.Request, key string, def int) (int, bool) {
+	v := req.URL.Query().Get(key)
+	if v == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		http.Error(w, "bad "+key, http.StatusBadRequest)
+		return 0, false
+	}
+	return n, true
+}
+
+func (g *Gateway) handleScores(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	k, ok := intQuery(w, req, "k", 20)
+	if !ok {
+		return
+	}
+	merged, _, _, err := g.merge(g.fetchAll(req.Context()))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	ranked := core.TopKImportance(merged.ToAgg(g.cfg.SiteOf), k)
+	writeJSON(w, collector.ScoreEntries(ranked))
+}
+
+func (g *Gateway) handlePredictors(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	k, ok := intQuery(w, req, "k", 0)
+	if !ok {
+		return
+	}
+	affinityK, ok := intQuery(w, req, "affinity", 0)
+	if !ok {
+		return
+	}
+	_, set, _, err := g.merge(g.fetchAll(req.Context()))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	// Cause isolation runs over the union of the shards' retained run
+	// logs — the same BuildPredictors path a single collector uses, so
+	// the output shape and tie-breaking match exactly.
+	entries := collector.BuildPredictors(core.Input{Set: set, SiteOf: g.cfg.SiteOf}, k, affinityK)
+	writeJSON(w, entries)
+}
+
+// GatewayStats is the gateway's GET /v1/stats response: the merged
+// run/counter totals plus per-shard health.
+type GatewayStats struct {
+	NumSites       int      `json:"num_sites"`
+	NumPreds       int      `json:"num_preds"`
+	Fingerprint    uint64   `json:"fingerprint"`
+	Runs           int64    `json:"runs"`
+	Failing        int64    `json:"failing"`
+	Successful     int64    `json:"successful"`
+	RunLogRuns     int      `json:"runlog_runs"`
+	Shards         int      `json:"shards"`
+	DegradedShards int      `json:"degraded_shards"`
+	ShardErrors    []string `json:"shard_errors,omitempty"`
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	states := g.fetchAll(req.Context())
+	st := GatewayStats{
+		NumSites:    g.cfg.NumSites,
+		NumPreds:    g.cfg.NumPreds,
+		Fingerprint: g.cfg.Fingerprint,
+		Shards:      len(states),
+	}
+	for i, s := range states {
+		if s.err != nil {
+			st.DegradedShards++
+			st.ShardErrors = append(st.ShardErrors, fmt.Sprintf("shard %d: %v", i, s.err))
+			continue
+		}
+		st.Runs += s.snap.NumF + s.snap.NumS
+		st.Failing += s.snap.NumF
+		st.Successful += s.snap.NumS
+		st.RunLogRuns += len(s.set.Reports)
+	}
+	if st.DegradedShards == len(states) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, st)
+}
+
+// handleHealthz reports 200 while at least one shard answers its own
+// health check.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	ctx, cancel := context.WithTimeout(req.Context(), g.cfg.Timeout)
+	defer cancel()
+	ch := make(chan bool, len(g.cfg.Shards))
+	for _, url := range g.cfg.Shards {
+		go func(url string) {
+			r, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+			if err != nil {
+				ch <- false
+				return
+			}
+			resp, err := g.hc.Do(r)
+			if err != nil {
+				ch <- false
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			ch <- resp.StatusCode == http.StatusOK
+		}(url)
+	}
+	for range g.cfg.Shards {
+		if <-ch {
+			w.WriteHeader(http.StatusOK)
+			io.WriteString(w, "ok\n")
+			return
+		}
+	}
+	http.Error(w, "no live shard", http.StatusServiceUnavailable)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,464 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RouterConfig configures a Router.
+type RouterConfig struct {
+	// Backends are the collector base URLs (e.g. "http://host:7575"),
+	// one per shard. Order is the shard numbering; it must match the
+	// gateway's.
+	Backends []string
+	// QueueSize bounds each backend's pending-forward queue in batches
+	// (default 256). A full queue sheds with 429 instead of buffering
+	// unboundedly — the client's retry/backoff absorbs the pressure.
+	QueueSize int
+	// Workers is the forwarder count per backend (default 4).
+	Workers int
+	// Vnodes is the virtual-node count per backend on the hash ring
+	// (default 64).
+	Vnodes int
+	// HealthInterval is the backend /healthz polling period (default
+	// 2s). Health checks both detect outages and bring failed backends
+	// back into rotation.
+	HealthInterval time.Duration
+	// ForwardTimeout bounds one forwarded POST (default 30s).
+	ForwardTimeout time.Duration
+	// Logf receives router diagnostics (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// backend is one collector shard as the router sees it: its URL, a
+// liveness flag flipped by forward errors and health probes, and a
+// bounded queue drained by forward workers.
+type backend struct {
+	url   string
+	up    atomic.Bool
+	queue chan *job
+
+	routed   atomic.Int64 // batches enqueued to this backend
+	failed   atomic.Int64 // forward attempts that errored
+	rerouted atomic.Int64 // batches this backend took over from a down peer
+}
+
+// job is one client batch in flight: the opaque body plus the header
+// subset the collector cares about, and the failover order to walk if
+// the preferred backend is down.
+type job struct {
+	body    []byte
+	header  http.Header
+	order   []int // failover order; order[0] is the consistent-hash owner
+	attempt int   // index into order currently being tried
+}
+
+// Router is the write-path front of a sharded collector deployment. It
+// terminates POST /v1/reports, picks the owning shard by consistent
+// hashing on the client id, and forwards the batch opaquely — the
+// router never decodes report payloads, so it stays cheap and
+// version-agnostic. When a shard is down, batches re-route to the next
+// backend in the key's failover order; the collector-side batch-id
+// dedup keeps retries across that transition from double-counting on
+// any single shard.
+type Router struct {
+	cfg      RouterConfig
+	ring     *ring
+	backends []*backend
+	hc       *http.Client
+	logf     func(string, ...any)
+
+	accepted atomic.Int64 // batches accepted (202)
+	shed     atomic.Int64 // batches shed with 429 (queue full)
+	noShards atomic.Int64 // batches refused with 503 (all backends down)
+	dropped  atomic.Int64 // batches that exhausted every backend and were lost
+
+	handler http.Handler
+	wg      sync.WaitGroup
+	ctx     context.Context
+	cancel  context.CancelFunc
+	closed  sync.Once
+}
+
+// NewRouter builds a router over cfg.Backends. At least one backend is
+// required.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("shard: router needs at least one backend")
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 256
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Router{
+		cfg:    cfg,
+		ring:   newRing(len(cfg.Backends), cfg.Vnodes),
+		hc:     &http.Client{Timeout: cfg.ForwardTimeout},
+		logf:   cfg.Logf,
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	for _, u := range cfg.Backends {
+		b := &backend{url: u, queue: make(chan *job, cfg.QueueSize)}
+		b.up.Store(true) // optimistic: the first failed forward flips it
+		r.backends = append(r.backends, b)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/reports", r.handleReports)
+	mux.HandleFunc("/v1/stats", r.handleStats)
+	mux.HandleFunc("/healthz", r.handleHealthz)
+	r.handler = mux
+	for i, b := range r.backends {
+		for w := 0; w < cfg.Workers; w++ {
+			r.wg.Add(1)
+			go r.forwardLoop(i, b)
+		}
+	}
+	r.wg.Add(1)
+	go r.healthLoop()
+	return r, nil
+}
+
+// Handler returns the router's HTTP handler.
+func (r *Router) Handler() http.Handler { return r.handler }
+
+// routingKey picks the partition key for a request: the client's
+// stable identity when it sends one, else the batch id (stable across
+// retries of one batch, so a retried batch at least stays on one
+// shard), else the peer address.
+func routingKey(req *http.Request) string {
+	if id := req.Header.Get("X-CBI-Client-ID"); id != "" {
+		return id
+	}
+	if id := req.Header.Get("X-CBI-Batch-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(req.RemoteAddr)
+	if err != nil {
+		return req.RemoteAddr
+	}
+	return host
+}
+
+// forwardedHeaders is the header subset relayed to the backend.
+var forwardedHeaders = []string{
+	"Content-Type", "Content-Encoding", "X-CBI-Batch-ID", "X-CBI-Client-ID", "Authorization",
+}
+
+// maxForwardBody bounds one relayed batch (matches the collector's own
+// request cap).
+const maxForwardBody = 64 << 20
+
+func (r *Router) handleReports(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxForwardBody))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	order := r.ring.order(routingKey(req))
+	hdr := make(http.Header, len(forwardedHeaders))
+	for _, k := range forwardedHeaders {
+		if v := req.Header.Get(k); v != "" {
+			hdr.Set(k, v)
+		}
+	}
+	j := &job{body: body, header: hdr, order: order}
+
+	// Enqueue on the first *live* backend in the key's failover order.
+	// A full queue on the owner sheds with 429 rather than spilling to
+	// the next shard: overload is not an outage, and spilling would
+	// smear a client's runs across shards every load spike.
+	for _, bi := range order {
+		b := r.backends[bi]
+		if !b.up.Load() {
+			continue
+		}
+		j.attempt = indexOf(order, bi)
+		select {
+		case b.queue <- j:
+			b.routed.Add(1)
+			if bi != order[0] {
+				b.rerouted.Add(1)
+			}
+			r.accepted.Add(1)
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprintf(w, `{"routed_to":%d}`, bi)
+			return
+		default:
+			r.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shard queue full", http.StatusTooManyRequests)
+			return
+		}
+	}
+	r.noShards.Add(1)
+	w.Header().Set("Retry-After", "2")
+	http.Error(w, "no live shard", http.StatusServiceUnavailable)
+}
+
+func indexOf(order []int, b int) int {
+	for i, v := range order {
+		if v == b {
+			return i
+		}
+	}
+	return 0
+}
+
+// forwardLoop drains one backend's queue. On a network-level failure it
+// marks the backend down and re-enqueues the job to the next live
+// backend in its failover order; an HTTP-level error (4xx/5xx) is the
+// backend *answering*, so it is not treated as an outage — the job is
+// retried here a bounded number of times for 429/5xx, then dropped with
+// a log line (the submitting client's own retry loop is the real
+// recovery path, and the batch id keeps that retry dedup-safe).
+func (r *Router) forwardLoop(bi int, b *backend) {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case j := <-b.queue:
+			r.forward(bi, b, j)
+		}
+	}
+}
+
+func (r *Router) forward(bi int, b *backend, j *job) {
+	const httpRetries = 3
+	backoff := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(r.ctx, http.MethodPost,
+			b.url+"/v1/reports", bytes.NewReader(j.body))
+		if err != nil {
+			r.logf("shard: router: building forward request: %v", err)
+			return
+		}
+		for k, vs := range j.header {
+			req.Header[k] = vs
+		}
+		resp, err := r.hc.Do(req)
+		if err != nil {
+			// Network failure: the backend is gone. Mark it down so the
+			// health loop owns its return, and hand the job to the next
+			// backend in the key's order.
+			b.failed.Add(1)
+			b.up.Store(false)
+			r.logf("shard: router: backend %d down (%v), re-routing", bi, err)
+			r.reroute(j)
+			return
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+		if resp.StatusCode < 300 {
+			return
+		}
+		b.failed.Add(1)
+		retryable := resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500
+		if !retryable || attempt >= httpRetries {
+			r.dropped.Add(1)
+			r.logf("shard: router: backend %d refused batch (%d); dropping (client retry will redeliver)",
+				bi, resp.StatusCode)
+			return
+		}
+		t := time.NewTimer(backoff)
+		backoff *= 2
+		select {
+		case <-r.ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// reroute hands a job whose backend died to the next live backend in
+// its failover order, blocking (briefly) on that queue since the job is
+// already acked.
+func (r *Router) reroute(j *job) {
+	for next := j.attempt + 1; next < len(j.order); next++ {
+		b := r.backends[j.order[next]]
+		if !b.up.Load() {
+			continue
+		}
+		j.attempt = next
+		select {
+		case b.queue <- j:
+			b.routed.Add(1)
+			b.rerouted.Add(1)
+			return
+		case <-r.ctx.Done():
+			return
+		case <-time.After(time.Second):
+			// Queue saturated for a full second — treat as unavailable
+			// and keep walking.
+		}
+	}
+	r.dropped.Add(1)
+	r.logf("shard: router: batch exhausted all backends; dropped (client retry will redeliver)")
+}
+
+// healthLoop probes each backend's /healthz. It both detects outages
+// the forward path hasn't hit yet and — the part the forward path
+// can't do — brings recovered backends back up.
+func (r *Router) healthLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-t.C:
+			for i, b := range r.backends {
+				up := r.probe(b)
+				if up != b.up.Load() {
+					b.up.Store(up)
+					r.logf("shard: router: backend %d (%s) now up=%v", i, b.url, up)
+				}
+			}
+		}
+	}
+}
+
+func (r *Router) probe(b *backend) bool {
+	ctx, cancel := context.WithTimeout(r.ctx, r.cfg.HealthInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// BackendStats is one backend's row in the router's /v1/stats.
+type BackendStats struct {
+	URL        string `json:"url"`
+	Up         bool   `json:"up"`
+	QueueDepth int    `json:"queue_depth"`
+	Routed     int64  `json:"routed"`
+	Rerouted   int64  `json:"rerouted"`
+	Failed     int64  `json:"failed"`
+}
+
+// RouterStats is the router's GET /v1/stats response.
+type RouterStats struct {
+	Backends []BackendStats `json:"backends"`
+	Accepted int64          `json:"accepted"`
+	Shed     int64          `json:"shed"`
+	NoShards int64          `json:"no_shards"`
+	Dropped  int64          `json:"dropped"`
+}
+
+// StatsNow captures the router's counters.
+func (r *Router) StatsNow() RouterStats {
+	st := RouterStats{
+		Accepted: r.accepted.Load(),
+		Shed:     r.shed.Load(),
+		NoShards: r.noShards.Load(),
+		Dropped:  r.dropped.Load(),
+	}
+	for _, b := range r.backends {
+		st.Backends = append(st.Backends, BackendStats{
+			URL:        b.url,
+			Up:         b.up.Load(),
+			QueueDepth: len(b.queue),
+			Routed:     b.routed.Load(),
+			Rerouted:   b.rerouted.Load(),
+			Failed:     b.failed.Load(),
+		})
+	}
+	return st
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(r.StatsNow())
+}
+
+// handleHealthz reports 200 while at least one backend is live —
+// the router can still place work somewhere.
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	for _, b := range r.backends {
+		if b.up.Load() {
+			w.WriteHeader(http.StatusOK)
+			io.WriteString(w, "ok\n")
+			return
+		}
+	}
+	http.Error(w, "no live backend", http.StatusServiceUnavailable)
+}
+
+// Drain waits (up to timeout) for every backend queue to empty, so
+// tests and shutdowns can establish that all acked batches have been
+// forwarded.
+func (r *Router) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		depth := 0
+		for _, b := range r.backends {
+			depth += len(b.queue)
+		}
+		if depth == 0 {
+			// Queues empty; give in-flight forwards a beat to land.
+			time.Sleep(20 * time.Millisecond)
+			depth = 0
+			for _, b := range r.backends {
+				depth += len(b.queue)
+			}
+			if depth == 0 {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("shard: router drain timed out with %d queued", depth)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Close stops the workers and health loop. Queued batches not yet
+// forwarded are dropped — call Drain first for a clean shutdown.
+func (r *Router) Close() {
+	r.closed.Do(func() {
+		r.cancel()
+		r.wg.Wait()
+	})
+}
