@@ -20,6 +20,11 @@
 //	cbi merge [flags] <snap>...      merge collector snapshots or push into a live peer
 //
 // Run `cbi <subcommand> -h` for per-command flags.
+//
+// The server subcommands (serve, route, gateway) all export Prometheus
+// metrics at GET /metrics and accept -pprof and -slow-request-ms; see
+// METRICS.md for the metric reference and OPERATIONS.md for the
+// deployment runbook.
 package main
 
 import (

@@ -65,6 +65,8 @@ func cmdServe(args []string) error {
 	runlog := fs.Int("runlog", 0, "run-log retention cap in runs (0 = default 262144, negative disables /v1/predictors)")
 	runlogMaxAge := fs.Duration("runlog-max-age", 0, "evict retained runs older than this (0 = no age cap)")
 	apiKeysPath := fs.String("api-keys", "", "file of accepted API keys, one per line; write endpoints require Authorization: Bearer")
+	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	slowMs := fs.Int("slow-request-ms", 0, "log any HTTP request slower than this many milliseconds (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,6 +90,8 @@ func cmdServe(args []string) error {
 		APIKeys:       keys,
 		SnapshotPath:  *snapshot,
 		SnapshotEvery: *snapshotEvery,
+		EnablePprof:   *pprofFlag,
+		SlowRequest:   time.Duration(*slowMs) * time.Millisecond,
 		Logf:          log.Printf,
 	})
 	if err != nil {

@@ -29,6 +29,8 @@ func cmdRoute(args []string) error {
 	queue := fs.Int("queue", 256, "pending-forward queue bound per backend, in batches")
 	workers := fs.Int("workers", 4, "forwarder goroutines per backend")
 	health := fs.Duration("health-every", 2*time.Second, "backend health-probe interval")
+	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	slowMs := fs.Int("slow-request-ms", 0, "log any HTTP request slower than this many milliseconds (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,6 +43,8 @@ func cmdRoute(args []string) error {
 		QueueSize:      *queue,
 		Workers:        *workers,
 		HealthInterval: *health,
+		EnablePprof:    *pprofFlag,
+		SlowRequest:    time.Duration(*slowMs) * time.Millisecond,
 		Logf:           log.Printf,
 	})
 	if err != nil {
@@ -62,6 +66,8 @@ func cmdGateway(args []string) error {
 	subject := fs.String("subject", "", "built-in subject fixing the predicate universe")
 	program := fs.String("program", "", "MiniC source file fixing the predicate universe")
 	timeout := fs.Duration("timeout", 15*time.Second, "per-shard fetch timeout")
+	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	slowMs := fs.Int("slow-request-ms", 0, "log any HTTP request slower than this many milliseconds (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,6 +86,8 @@ func cmdGateway(args []string) error {
 		SiteOf:      siteOf(plan),
 		Fingerprint: plan.Fingerprint(),
 		Timeout:     *timeout,
+		EnablePprof: *pprofFlag,
+		SlowRequest: time.Duration(*slowMs) * time.Millisecond,
 		Logf:        log.Printf,
 	})
 	if err != nil {

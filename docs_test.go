@@ -1,0 +1,69 @@
+package cbi_bench
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles are the repository's own documents, whose cross-references
+// must resolve. (PAPER.md / PAPERS.md / SNIPPETS.md / ISSUE.md are
+// generated scaffolding and may cite external material.)
+var docFiles = []string{
+	"README.md",
+	"DESIGN.md",
+	"EXPERIMENTS.md",
+	"METRICS.md",
+	"OPERATIONS.md",
+	"ROADMAP.md",
+}
+
+var (
+	// [text](target) markdown links, excluding images.
+	mdLink = regexp.MustCompile(`[^!]\[[^\]]*\]\(([^)\s]+)\)`)
+	// `FILE.md` or `dir/file.go` backtick references to repo paths.
+	tickRef = regexp.MustCompile("`([A-Za-z0-9_./-]+\\.(?:md|go))`")
+)
+
+// TestDocsLinksResolve fails when documentation drifts from the tree:
+// every relative markdown link and every backticked file path in the
+// repo's own docs must name a file that exists.
+func TestDocsLinksResolve(t *testing.T) {
+	for _, doc := range docFiles {
+		doc := doc
+		t.Run(doc, func(t *testing.T) {
+			data, err := os.ReadFile(doc)
+			if err != nil {
+				t.Fatalf("documentation file missing: %v", err)
+			}
+			text := string(data)
+			base := filepath.Dir(doc)
+
+			for _, m := range mdLink.FindAllStringSubmatch(text, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "#") {
+					continue // external URL or intra-document anchor
+				}
+				target = strings.SplitN(target, "#", 2)[0]
+				if _, err := os.Stat(filepath.Join(base, target)); err != nil {
+					t.Errorf("%s links to %q, which does not exist", doc, m[1])
+				}
+			}
+
+			for _, m := range tickRef.FindAllStringSubmatch(text, -1) {
+				ref := m[1]
+				// A backtick path resolves relative to the doc or the
+				// repository root (docs cite both styles).
+				if _, err := os.Stat(filepath.Join(base, ref)); err == nil {
+					continue
+				}
+				if _, err := os.Stat(ref); err == nil {
+					continue
+				}
+				t.Errorf("%s mentions `%s`, which does not exist", doc, ref)
+			}
+		})
+	}
+}

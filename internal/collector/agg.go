@@ -12,6 +12,11 @@
 // retention cap; when a run is evicted, its contribution is subtracted
 // from the counters, so counters and log always describe exactly the
 // retained window.
+//
+// The server's counters live in an internal/obs registry exported at
+// GET /metrics (Prometheus text format, documented in METRICS.md);
+// the /v1/stats JSON reads the same registry objects, so the two
+// surfaces cannot disagree.
 package collector
 
 import (

@@ -13,11 +13,11 @@ import (
 	"runtime"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"cbi/internal/core"
 	"cbi/internal/corpus"
+	"cbi/internal/obs"
 	"cbi/internal/report"
 )
 
@@ -62,6 +62,18 @@ type Config struct {
 	SnapshotPath string
 	// SnapshotEvery is the snapshot period (0 = only on Shutdown).
 	SnapshotEvery time.Duration
+	// Metrics, when set, is the registry the server's metrics register
+	// into (shared registries let one process host several servers under
+	// distinct names); nil creates a private registry. Either way the
+	// registry is served at GET /metrics and is the single source of
+	// truth for /v1/stats — the JSON view reads the same counters.
+	Metrics *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (opt-in:
+	// profiling endpoints reveal heap contents and cost CPU).
+	EnablePprof bool
+	// SlowRequest, when positive, logs one structured line for every
+	// HTTP request slower than this threshold.
+	SlowRequest time.Duration
 	// Logf receives server log lines (default: discard).
 	Logf func(format string, args ...any)
 	// applyHook, when set (tests only), runs before each report is
@@ -137,18 +149,25 @@ type Server struct {
 	die     chan struct{} // closed by Close (hard kill)
 	stopped sync.Once
 
-	batchesAccepted atomic.Int64
-	batchesRejected atomic.Int64
-	batchesDeduped  atomic.Int64
-	reportsEnqueued atomic.Int64
-	reportsApplied  atomic.Int64
-	snapshots       atomic.Int64
-	authRejected    atomic.Int64
-	mergesAccepted  atomic.Int64
-	mergedRuns      atomic.Int64
+	// Operational counters live in the metrics registry; /v1/stats and
+	// /metrics read the same objects, so the two views cannot disagree.
+	metrics *obs.Registry
+	httpObs *obs.HTTP
 
-	predictorsComputed  atomic.Int64
-	predictorsCacheHits atomic.Int64
+	batchesAccepted *obs.Counter
+	batchesRejected *obs.Counter
+	batchesDeduped  *obs.Counter
+	reportsEnqueued *obs.Counter
+	reportsApplied  *obs.Counter
+	snapshots       *obs.Counter
+	authRejected    *obs.Counter
+	mergesAccepted  *obs.Counter
+	mergedRuns      *obs.Counter
+	runlogSweeps    *obs.Counter
+	snapshotSeconds *obs.Histogram
+
+	predictorsComputed  *obs.Counter
+	predictorsCacheHits *obs.Counter
 
 	// Cached /v1/predictors response, keyed by query parameters and the
 	// run-log version at computation time; any ingest bumps the version
@@ -206,6 +225,7 @@ func New(cfg Config) (*Server, error) {
 		die:       make(chan struct{}),
 		dedupSeen: make(map[string]struct{}),
 	}
+	s.initMetrics()
 
 	if cfg.SnapshotPath != "" {
 		if err := s.restore(); err != nil {
@@ -228,6 +248,82 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// initMetrics registers every collector metric (documented in
+// METRICS.md) on the configured registry. Counters on the ingest hot
+// path are registry objects directly — one atomic add, no extra
+// bookkeeping — and instantaneous state (queue depth, retained window)
+// is read from the aggregate at scrape time, so /metrics, /v1/stats,
+// and the actual server state are always the same numbers.
+func (s *Server) initMetrics() {
+	m := s.cfg.Metrics
+	if m == nil {
+		m = obs.NewRegistry()
+		s.cfg.Metrics = m
+	}
+	s.metrics = m
+
+	s.batchesAccepted = m.Counter("cbi_collector_batches_accepted_total",
+		"Report batches accepted onto the ingest queue (202).")
+	s.batchesRejected = m.Counter("cbi_collector_batches_rejected_total",
+		"Report batches shed with 429 because the ingest queue was full.")
+	s.batchesDeduped = m.Counter("cbi_collector_batches_deduped_total",
+		"Retried batches recognized by X-CBI-Batch-ID and acked without re-ingesting.")
+	s.reportsEnqueued = m.Counter("cbi_collector_reports_enqueued_total",
+		"Individual run reports enqueued for aggregation.")
+	s.reportsApplied = m.Counter("cbi_collector_reports_applied_total",
+		"Individual run reports folded into the aggregate counters.")
+	s.snapshots = m.Counter("cbi_collector_snapshots_total",
+		"Snapshot+run-log pairs persisted to disk.")
+	s.authRejected = m.Counter("cbi_collector_auth_rejected_total",
+		"Write requests rejected with 401 (missing or invalid API key).")
+	s.mergesAccepted = m.Counter("cbi_collector_merges_accepted_total",
+		"Peer merge segments folded in via POST /v1/merge.")
+	s.mergedRuns = m.Counter("cbi_collector_merged_runs_total",
+		"Runs carried by accepted merge segments' counter snapshots.")
+	s.runlogSweeps = m.Counter("cbi_collector_runlog_age_sweeps_total",
+		"Background age-retention sweeps over the run log.")
+	s.predictorsComputed = m.Counter("cbi_collector_predictors_computed_total",
+		"Full cause-isolation eliminations computed for /v1/predictors.")
+	s.predictorsCacheHits = m.Counter("cbi_collector_predictors_cache_hits_total",
+		"/v1/predictors polls served from the version-keyed cache.")
+	s.snapshotSeconds = m.Histogram("cbi_collector_snapshot_write_seconds",
+		"Wall time to persist one snapshot+run-log pair, in seconds.", nil)
+
+	m.GaugeFunc("cbi_collector_queue_depth",
+		"Report batches waiting on the ingest queue.",
+		func() float64 { return float64(len(s.queue)) })
+	m.GaugeFunc("cbi_collector_queue_capacity",
+		"Ingest queue bound in batches; 429s begin when depth reaches it.",
+		func() float64 { return float64(cap(s.queue)) })
+	m.GaugeFunc("cbi_collector_runs_failing",
+		"Failing runs in the retained window (falls on eviction).",
+		func() float64 { f, _ := s.agg.Runs(); return float64(f) })
+	m.GaugeFunc("cbi_collector_runs_successful",
+		"Successful runs in the retained window (falls on eviction).",
+		func() float64 { _, ns := s.agg.Runs(); return float64(ns) })
+	m.GaugeFunc("cbi_collector_runlog_runs",
+		"Runs currently retained in the run-level membership log.",
+		func() float64 { n, _, _ := s.agg.LogStats(); return float64(n) })
+	m.GaugeFunc("cbi_collector_runlog_cap",
+		"Run-log retention cap in runs (0 when retention is disabled).",
+		func() float64 { _, _, c := s.agg.LogStats(); return float64(c) })
+	m.CounterFunc("cbi_collector_runlog_evicted_total",
+		"Runs evicted (and un-counted) by the count or age retention cap.",
+		func() float64 { _, ev, _ := s.agg.LogStats(); return float64(ev) })
+
+	s.httpObs = obs.NewHTTP(obs.HTTPConfig{
+		Registry: m,
+		Paths: []string{"/v1/reports", "/v1/merge", "/v1/snapshot", "/v1/scores",
+			"/v1/predictors", "/v1/stats", "/healthz", "/metrics"},
+		SlowRequest: s.cfg.SlowRequest,
+		Logf:        s.cfg.Logf,
+	})
+}
+
+// Metrics returns the server's metrics registry (also served at
+// GET /metrics).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
 // sweepLoop periodically evicts runs older than the age cap, so the
 // retained window shrinks on schedule even when no reports arrive.
 func (s *Server) sweepLoop() {
@@ -247,6 +343,7 @@ func (s *Server) sweepLoop() {
 			return
 		case <-t.C:
 			s.agg.EvictExpired()
+			s.runlogSweeps.Inc()
 		}
 	}
 }
@@ -373,6 +470,8 @@ func (s *Server) SnapshotNow() error {
 	if s.cfg.SnapshotPath == "" {
 		return fmt.Errorf("collector: no snapshot path configured")
 	}
+	start := time.Now()
+	defer func() { s.snapshotSeconds.ObserveDuration(time.Since(start)) }()
 	snap, recs := s.agg.Snapshot(s.cfg.Fingerprint)
 	if recs != nil {
 		reports, err := decodeRecords(recs, s.cfg.NumSites, s.cfg.NumPreds)
@@ -425,7 +524,9 @@ func (s *Server) forgetBatch(id string) {
 	s.dedupMu.Unlock()
 }
 
-// Handler returns the server's HTTP API.
+// Handler returns the server's HTTP API, wrapped in the per-endpoint
+// metrics middleware. /metrics serves the same registry /v1/stats
+// reads; /debug/pprof/ appears only when cfg.EnablePprof is set.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/reports", s.handleReports)
@@ -435,7 +536,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/predictors", s.handlePredictors)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	return mux
+	mux.Handle("/metrics", s.metrics.Handler())
+	if s.cfg.EnablePprof {
+		obs.RegisterPprof(mux)
+	}
+	return s.httpObs.Wrap(mux)
 }
 
 // authorize enforces API-key auth on a write endpoint. When keys are
@@ -793,20 +898,20 @@ func (s *Server) StatsNow() Stats {
 		Failing:             numF,
 		Successful:          numS,
 		QueueDepth:          len(s.queue),
-		BatchesAccepted:     s.batchesAccepted.Load(),
-		BatchesRejected:     s.batchesRejected.Load(),
-		BatchesDeduped:      s.batchesDeduped.Load(),
-		ReportsEnqueued:     s.reportsEnqueued.Load(),
-		ReportsApplied:      s.reportsApplied.Load(),
-		Snapshots:           s.snapshots.Load(),
+		BatchesAccepted:     s.batchesAccepted.Value(),
+		BatchesRejected:     s.batchesRejected.Value(),
+		BatchesDeduped:      s.batchesDeduped.Value(),
+		ReportsEnqueued:     s.reportsEnqueued.Value(),
+		ReportsApplied:      s.reportsApplied.Value(),
+		Snapshots:           s.snapshots.Value(),
 		RunLogRuns:          logRuns,
 		RunLogCap:           logCap,
 		RunLogEvicted:       logEvicted,
-		PredictorsComputed:  s.predictorsComputed.Load(),
-		PredictorsCacheHits: s.predictorsCacheHits.Load(),
-		AuthRejected:        s.authRejected.Load(),
-		MergesAccepted:      s.mergesAccepted.Load(),
-		MergedRuns:          s.mergedRuns.Load(),
+		PredictorsComputed:  s.predictorsComputed.Value(),
+		PredictorsCacheHits: s.predictorsCacheHits.Value(),
+		AuthRejected:        s.authRejected.Value(),
+		MergesAccepted:      s.mergesAccepted.Value(),
+		MergedRuns:          s.mergedRuns.Value(),
 	}
 }
 
@@ -896,7 +1001,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			err = herr
 		}
 	}
-	s.cfg.Logf("collector: drained and stopped (%d reports applied)", s.reportsApplied.Load())
+	s.cfg.Logf("collector: drained and stopped (%d reports applied)", s.reportsApplied.Value())
 	return err
 }
 

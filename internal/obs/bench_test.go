@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The benchmarks below bound the cost of instrumentation on hot paths.
+// The collector's ingest loop does one Counter.Add per batch and one
+// per report; both must stay at the cost of a bare atomic add so that
+// wiring obs into the ingest path is a ≤2% change (checked end to end
+// by BenchmarkCollectorIngest at the repository root).
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "b")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "b")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "b", LatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+}
+
+func BenchmarkVecWith(b *testing.B) {
+	v := NewRegistry().CounterVec("bench_vec_total", "b", "path")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("/v1/reports").Inc()
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("bench_depth", "b")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+// BenchmarkMiddleware measures the per-request overhead of the HTTP
+// middleware (status capture, in-flight gauge, counter, histogram)
+// against a no-op handler — the upper bound it adds to every endpoint.
+func BenchmarkMiddleware(b *testing.B) {
+	h := NewHTTP(HTTPConfig{
+		Registry:    NewRegistry(),
+		Paths:       []string{"/v1/reports", "/v1/stats"},
+		SlowRequest: time.Second,
+	})
+	wrapped := h.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	req := httptest.NewRequest(http.MethodPost, "/v1/reports", nil)
+	w := httptest.NewRecorder()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wrapped.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkWritePrometheus measures a full scrape render over a
+// registry about the size of the collector's — the cost a scraper
+// imposes per poll, which runs outside the ingest path entirely.
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	for _, n := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		r.Counter("bench_"+n+"_total", "b").Add(12345)
+	}
+	g := r.GaugeVec("bench_depth", "b", "backend")
+	for _, k := range []string{"0", "1", "2"} {
+		g.With(k).Set(7)
+	}
+	h := r.HistogramVec("bench_seconds", "b", LatencyBuckets, "path")
+	for _, p := range []string{"/v1/reports", "/v1/stats", "/v1/scores"} {
+		for i := 0; i < 100; i++ {
+			h.With(p).Observe(0.001 * float64(i))
+		}
+	}
+	var sb strings.Builder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sb.Reset()
+		r.WritePrometheus(&sb)
+	}
+}

@@ -1,0 +1,379 @@
+package obs_test
+
+// The metrics contract: METRICS.md and the code cannot drift. This test
+// parses the metric tables out of METRICS.md, boots a real
+// collector + router + gateway, drives load through all three tiers,
+// scrapes each /metrics, and then checks BOTH directions:
+//
+//   - every metric METRICS.md documents for a binary appears in that
+//     binary's scrape (docs cannot promise what code does not export);
+//   - every cbi_-prefixed family in a scrape appears in METRICS.md
+//     (code cannot export what docs do not explain).
+//
+// It also validates that each scrape is well-formed Prometheus text
+// exposition: every sample line parses, and every sample belongs to a
+// family with a preceding # TYPE line.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"cbi/internal/collector"
+	"cbi/internal/report"
+	"cbi/internal/shard"
+)
+
+const (
+	testSites = 6
+	testPreds = 18
+)
+
+func testSiteOf() []int32 {
+	siteOf := make([]int32, testPreds)
+	for p := range siteOf {
+		siteOf[p] = int32(p / 3) // three predicates per site, like the real schemes
+	}
+	return siteOf
+}
+
+// testReports builds a small deterministic corpus: even runs succeed,
+// odd runs fail, with varied predicate membership.
+func testReports(n int) []*report.Report {
+	out := make([]*report.Report, n)
+	for i := range out {
+		r := &report.Report{Failed: i%2 == 1}
+		for s := int32(0); s < testSites; s++ {
+			if (i+int(s))%3 != 0 {
+				r.ObservedSites = append(r.ObservedSites, s)
+				for j := int32(0); j < 3; j++ {
+					p := s*3 + j
+					if (i+int(p))%2 == 0 {
+						r.TruePreds = append(r.TruePreds, p)
+					}
+				}
+			}
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// metricsDoc is METRICS.md parsed into per-binary metric name sets.
+type metricsDoc map[string]map[string]string // section -> name -> type
+
+// sectionOf maps a METRICS.md heading to its key in metricsDoc.
+var sectionHeads = map[string]string{
+	"## Collector (`cbi serve`)":            "collector",
+	"## Router (`cbi route`)":               "router",
+	"## Gateway (`cbi gateway`)":            "gateway",
+	"## Shared HTTP metrics (every binary)": "http",
+}
+
+var tableRow = regexp.MustCompile("^\\| `(cbi_[a-zA-Z0-9_]+)` \\| ([a-z]+) \\|")
+
+func parseMetricsDoc(t *testing.T) metricsDoc {
+	t.Helper()
+	f, err := os.Open("../../METRICS.md")
+	if err != nil {
+		t.Fatalf("METRICS.md must exist at the repository root: %v", err)
+	}
+	defer f.Close()
+	doc := metricsDoc{}
+	section := ""
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "## ") {
+			section = sectionHeads[strings.TrimSpace(line)]
+			continue
+		}
+		m := tableRow.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		if section == "" {
+			t.Fatalf("METRICS.md lists %s outside any known binary section", m[1])
+		}
+		if doc[section] == nil {
+			doc[section] = map[string]string{}
+		}
+		doc[section][m[1]] = m[2]
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"collector", "router", "gateway", "http"} {
+		if len(doc[want]) == 0 {
+			t.Fatalf("METRICS.md has no metric rows for section %q (headings renamed? update sectionHeads)", want)
+		}
+	}
+	return doc
+}
+
+// scrape fetches and format-validates one /metrics endpoint, returning
+// the set of family names (with # TYPE) it exposes.
+func scrape(t *testing.T, url string) (families map[string]string, body string) {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET %s/metrics: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s/metrics = %d: %s", url, resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("%s/metrics Content-Type = %q, want text exposition", url, ct)
+	}
+	body = string(raw)
+	families = validateExposition(t, body)
+	return families, body
+}
+
+var (
+	typeLine   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	helpLine   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$`)
+	sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+)
+
+// validateExposition checks the scraped body line by line against the
+// Prometheus text format and returns family name -> declared type.
+func validateExposition(t *testing.T, body string) map[string]string {
+	t.Helper()
+	families := map[string]string{}
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if m := typeLine.FindStringSubmatch(line); m != nil {
+			families[m[1]] = m[2]
+			continue
+		}
+		if helpLine.MatchString(line) {
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("line %d is not valid Prometheus text exposition: %q", ln+1, line)
+			continue
+		}
+		// A sample must belong to a family declared by a TYPE line;
+		// histogram samples append _bucket/_sum/_count to the family.
+		name := m[1]
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name {
+				if typ, ok := families[trimmed]; ok && typ == "histogram" {
+					base = trimmed
+				}
+				break
+			}
+		}
+		if _, ok := families[base]; !ok {
+			t.Errorf("line %d: sample %q has no preceding # TYPE line", ln+1, name)
+		}
+	}
+	return families
+}
+
+// TestMetricsContract is the doc/code drift gate (see file comment).
+func TestMetricsContract(t *testing.T) {
+	doc := parseMetricsDoc(t)
+	ctx := context.Background()
+	siteOf := testSiteOf()
+
+	// One collector shard, fronted by a router and a gateway.
+	coll, err := collector.New(collector.Config{
+		NumSites:     testSites,
+		NumPreds:     testPreds,
+		SiteOf:       siteOf,
+		RunLogSize:   64, // small cap so evictions actually happen under load
+		RunLogMaxAge: time.Hour,
+		SnapshotPath: t.TempDir() + "/contract.snap",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	collTS := httptest.NewServer(coll.Handler())
+	defer collTS.Close()
+
+	router, err := shard.NewRouter(shard.RouterConfig{
+		Backends:       []string{collTS.URL},
+		HealthInterval: 100 * time.Millisecond,
+		Logf:           func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	routerTS := httptest.NewServer(router.Handler())
+	defer routerTS.Close()
+
+	gw, err := shard.NewGateway(shard.GatewayConfig{
+		Shards:   []string{collTS.URL},
+		NumSites: testSites,
+		NumPreds: testPreds,
+		SiteOf:   siteOf,
+		Logf:     func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwTS := httptest.NewServer(gw.Handler())
+	defer gwTS.Close()
+
+	// Drive load through every tier: batches through the router (small
+	// batch size so several POSTs land), reads everywhere, a snapshot,
+	// and an unknown path (the path="other" bucket).
+	client := collector.NewClient(routerTS.URL, testSites, testPreds, collector.WithBatchSize(16))
+	set := &report.Set{NumSites: testSites, NumPreds: testPreds, Reports: testReports(200)}
+	if err := client.SubmitSet(ctx, set); err != nil {
+		t.Fatal(err)
+	}
+	if err := router.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitApplied(t, coll, 200)
+	if err := coll.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	for _, url := range []string{
+		collTS.URL + "/v1/scores?k=5",
+		collTS.URL + "/v1/predictors?k=5",
+		collTS.URL + "/v1/stats",
+		collTS.URL + "/healthz",
+		collTS.URL + "/no/such/path",
+		routerTS.URL + "/v1/stats",
+		routerTS.URL + "/healthz",
+		gwTS.URL + "/v1/scores?k=5",
+		gwTS.URL + "/v1/predictors?k=5",
+		gwTS.URL + "/v1/stats",
+		gwTS.URL + "/healthz",
+	} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	for _, tier := range []struct {
+		name, url string
+	}{
+		{"collector", collTS.URL},
+		{"router", routerTS.URL},
+		{"gateway", gwTS.URL},
+	} {
+		t.Run(tier.name, func(t *testing.T) {
+			families, body := scrape(t, tier.url)
+
+			// Documented -> exported.
+			want := map[string]string{}
+			for n, typ := range doc[tier.name] {
+				want[n] = typ
+			}
+			for n, typ := range doc["http"] {
+				want[n] = typ
+			}
+			for name, typ := range want {
+				got, ok := families[name]
+				if !ok {
+					t.Errorf("METRICS.md documents %s for the %s but its /metrics does not export it", name, tier.name)
+					continue
+				}
+				if got != typ {
+					t.Errorf("%s: METRICS.md says %s is a %s, /metrics says %s", tier.name, name, typ, got)
+				}
+			}
+
+			// Exported -> documented.
+			for name := range families {
+				if !strings.HasPrefix(name, "cbi_") {
+					continue
+				}
+				if _, ok := want[name]; !ok {
+					t.Errorf("%s exports %s but METRICS.md does not document it", tier.name, name)
+				}
+			}
+
+			// Spot-check that load actually moved the needles: the scrape
+			// must show real traffic, not a page of zeros.
+			nonzero := map[string]string{
+				"collector": `cbi_collector_reports_applied_total 200`,
+				"router":    `cbi_router_accepted_total`,
+				"gateway":   `cbi_gateway_merge_seconds_count`,
+			}[tier.name]
+			if !strings.Contains(body, nonzero) {
+				t.Errorf("%s scrape does not show expected load marker %q:\n%s", tier.name, nonzero, body)
+			}
+		})
+	}
+}
+
+func waitApplied(t *testing.T, s *collector.Server, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.StatsNow().ReportsApplied >= n {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("collector applied %d of %d reports before deadline", s.StatsNow().ReportsApplied, n)
+}
+
+// TestStatsAndMetricsAgree pins the "single source of truth" property:
+// the JSON /v1/stats counters and the /metrics rendering are the same
+// objects, so after any load the two surfaces must report identical
+// values.
+func TestStatsAndMetricsAgree(t *testing.T) {
+	ctx := context.Background()
+	coll, err := collector.New(collector.Config{
+		NumSites: testSites,
+		NumPreds: testPreds,
+		SiteOf:   testSiteOf(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	ts := httptest.NewServer(coll.Handler())
+	defer ts.Close()
+
+	client := collector.NewClient(ts.URL, testSites, testPreds, collector.WithBatchSize(32))
+	if err := client.SubmitSet(ctx, &report.Set{
+		NumSites: testSites, NumPreds: testPreds, Reports: testReports(128),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitApplied(t, coll, 128)
+
+	st := coll.StatsNow()
+	_, body := scrape(t, ts.URL)
+	for metric, want := range map[string]int64{
+		"cbi_collector_batches_accepted_total": st.BatchesAccepted,
+		"cbi_collector_reports_applied_total":  st.ReportsApplied,
+		"cbi_collector_reports_enqueued_total": st.ReportsEnqueued,
+		"cbi_collector_runlog_runs":            int64(st.RunLogRuns),
+		"cbi_collector_runs_failing":           st.Failing,
+		"cbi_collector_runs_successful":        st.Successful,
+	} {
+		line := fmt.Sprintf("%s %d\n", metric, want)
+		if !strings.Contains(body, line) {
+			t.Errorf("/v1/stats and /metrics disagree: want %q in:\n%s", strings.TrimSpace(line), body)
+		}
+	}
+}

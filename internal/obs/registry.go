@@ -1,0 +1,488 @@
+// Package obs is the observability layer shared by every server in the
+// CBI deployment tier — the collector (`cbi serve`), the shard router
+// (`cbi route`), and the merging gateway (`cbi gateway`).
+//
+// It provides a zero-dependency metrics registry (counters, gauges, and
+// histograms with fixed log-scale latency buckets) that renders the
+// Prometheus text exposition format, an HTTP middleware that records
+// per-endpoint request count / latency / in-flight / status class (plus
+// an optional slow-request structured log line), and a helper that
+// mounts net/http/pprof on a private mux for opt-in profiling.
+//
+// The registry is deliberately the *single* source of truth: servers
+// keep their operational counters as registry metrics and derive their
+// JSON /v1/stats responses from the same values, so the two surfaces
+// can never disagree. That matters beyond ops hygiene — run-log
+// evictions, 429 sheds, and failovers silently change the denominator
+// of the paper's Failure(P)/Context(P) scores, so an operator needs the
+// exact retained-window accounting, not an approximation of it.
+//
+// Every exported metric is documented in METRICS.md at the repository
+// root; a contract test scrapes live servers and fails if code and
+// documentation drift apart.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// validName is the Prometheus metric/label name grammar.
+var validName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// Registry holds a set of named metric families and renders them in
+// Prometheus text exposition format. All registration methods panic on
+// an invalid or duplicate name — both are programmer errors, caught the
+// first time a server starts. Registration typically happens at server
+// construction; observation methods on the returned metrics are safe
+// for concurrent use and are designed to sit on hot paths (a Counter is
+// one atomic add).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one named metric: its metadata plus the concrete samples
+// (a single unlabeled series, or labeled children for vectors).
+type family struct {
+	name, help, typ string
+	labels          []string // label names, for vectors
+
+	mu       sync.Mutex
+	children map[string]sample // label-values key -> sample
+	single   sample            // unlabeled metric
+}
+
+// sample is anything that can emit exposition lines for one series.
+type sample interface {
+	write(w io.Writer, name, labels string)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register installs a family, panicking on bad or duplicate names.
+func (r *Registry) register(name, help, typ string, labels []string) *family {
+	if !validName.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName.MatchString(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	f := &family{name: name, help: help, typ: typ, labels: labels}
+	if len(labels) > 0 {
+		f.children = make(map[string]sample)
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers and returns a monotonically increasing counter.
+// Counter names should end in _total by Prometheus convention.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", nil).single = c
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for monotonic totals already maintained elsewhere (e.g. a run
+// log's eviction count) that would otherwise need double bookkeeping.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, "counter", nil).single = funcSample(fn)
+}
+
+// Gauge registers and returns a settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", nil).single = g
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time — the natural shape for instantaneous state the server already
+// tracks (queue depth, retained-window size).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", nil).single = funcSample(fn)
+}
+
+// Histogram registers and returns a histogram over the given bucket
+// upper bounds (ascending, in the observed unit; an implicit +Inf
+// bucket is always appended). Nil bounds means LatencyBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(bounds)
+	r.register(name, help, "histogram", nil).single = h
+	return h
+}
+
+// CounterVec registers a labeled counter family. Children are created
+// on first use via With; label values should be low-cardinality (shard
+// indices, endpoint paths, status classes — never user data).
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{fam: r.register(name, help, "counter", labels)}
+}
+
+// GaugeVec registers a labeled gauge family. Children may be settable
+// (With) or read from a function at scrape time (WithFunc).
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.register(name, help, "gauge", labels)}
+}
+
+// HistogramVec registers a labeled histogram family; every child shares
+// the same bucket bounds (nil means LatencyBuckets).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	return &HistogramVec{fam: r.register(name, help, "histogram", labels), bounds: bounds}
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format, sorted by family name (and by label values within
+// a family) so scrapes are deterministic and diffable.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+// Handler returns the GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+func (f *family) write(w io.Writer) {
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+	if f.children == nil {
+		if f.single != nil {
+			f.single.write(w, f.name, "")
+		}
+		return
+	}
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type kv struct {
+		labels string
+		s      sample
+	}
+	rows := make([]kv, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, kv{labelString(f.labels, splitKey(k)), f.children[k]})
+	}
+	f.mu.Unlock()
+	for _, row := range rows {
+		row.s.write(w, f.name, row.labels)
+	}
+}
+
+// child returns (creating if needed) the labeled sample for values,
+// using mk to build a missing one.
+func (f *family) child(values []string, mk func() sample) sample {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	k := joinKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.children[k]
+	if !ok {
+		s = mk()
+		f.children[k] = s
+	}
+	return s
+}
+
+// joinKey/splitKey pack label values into one map key. 0x1f (unit
+// separator) cannot collide with escaped values because escapeLabel
+// never emits it... it can appear in raw values, so escape it too.
+func joinKey(values []string) string {
+	esc := make([]string, len(values))
+	for i, v := range values {
+		esc[i] = strings.ReplaceAll(v, "\x1f", "\x1f\x1f")
+	}
+	return strings.Join(esc, "\x1f ")
+}
+
+func splitKey(k string) []string {
+	parts := strings.Split(k, "\x1f ")
+	for i, p := range parts {
+		parts[i] = strings.ReplaceAll(p, "\x1f\x1f", "\x1f")
+	}
+	return parts
+}
+
+func labelString(names, values []string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ---- Counter ----
+
+// Counter is a monotonically increasing count. The zero value is ready
+// to use, but counters should be obtained from a Registry so they are
+// scraped. One atomic add per observation.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Store overwrites the count. It exists solely for restart restoration
+// (a collector restoring a snapshot resumes its applied-report totals);
+// ordinary code must only Inc/Add.
+func (c *Counter) Store(n int64) { c.v.Store(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, c.v.Load())
+}
+
+// ---- Gauge ----
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(g.Value()))
+}
+
+// funcSample reads its value at scrape time.
+type funcSample func() float64
+
+func (f funcSample) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(f()))
+}
+
+// ---- Histogram ----
+
+// LatencyBuckets is the fixed log-scale bucket ladder shared by every
+// latency histogram in the deployment tier: upper bounds doubling from
+// 500µs to ~16s (in seconds). A fixed shared ladder keeps histograms
+// from different servers aggregable and the per-observation cost a
+// cheap branch-free index computation.
+var LatencyBuckets = func() []float64 {
+	b := make([]float64, 16)
+	v := 0.0005
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// Histogram counts observations into fixed buckets by upper bound, and
+// tracks the total sum — rendering as the cumulative
+// <name>_bucket{le=...} / _sum / _count triplet Prometheus expects.
+// Observations are lock-free: one atomic add on the bucket plus a CAS
+// loop on the sum.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // float64 bits
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// bucketIndex returns the index of the first bucket whose upper bound
+// is >= v — len(bounds) (the +Inf bucket) when v exceeds them all.
+func (h *Histogram) bucketIndex(v float64) int {
+	// Binary search, not sort.SearchFloat64s: bounds are tiny and this
+	// sits on request paths.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Observe records one value (for latency histograms: seconds).
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+func (h *Histogram) write(w io.Writer, name, labels string) {
+	// Cumulative counts: each le bucket includes everything below it.
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, `le="`+formatFloat(bound)+`"`), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
+}
+
+// mergeLabels appends one extra label pair to an existing (possibly
+// empty) rendered label set.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// ---- Vectors ----
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ fam *family }
+
+// With returns the child counter for the given label values, creating
+// it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.fam.child(values, func() sample { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ fam *family }
+
+// With returns the settable child gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.fam.child(values, func() sample { return &Gauge{} }).(*Gauge)
+}
+
+// WithFunc installs a child whose value is read from fn at scrape time.
+func (v *GaugeVec) WithFunc(fn func() float64, values ...string) {
+	v.fam.child(values, func() sample { return funcSample(fn) })
+}
+
+// HistogramVec is a histogram family partitioned by label values; all
+// children share the family's bucket bounds.
+type HistogramVec struct {
+	fam    *family
+	bounds []float64
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.fam.child(values, func() sample { return newHistogram(v.bounds) }).(*Histogram)
+}

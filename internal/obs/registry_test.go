@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(r *Registry) string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+func TestCounterGaugeRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "Events.")
+	c.Inc()
+	c.Add(41)
+	g := r.Gauge("test_depth", "Depth.")
+	g.Set(3)
+	g.Add(-0.5)
+	r.GaugeFunc("test_fn", "Func gauge.", func() float64 { return 7 })
+	r.CounterFunc("test_fn_total", "Func counter.", func() float64 { return 9 })
+
+	out := render(r)
+	for _, want := range []string{
+		"# HELP test_events_total Events.\n# TYPE test_events_total counter\ntest_events_total 42\n",
+		"# TYPE test_depth gauge\ntest_depth 2.5\n",
+		"test_fn 7\n",
+		"test_fn_total 9\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q in:\n%s", want, out)
+		}
+	}
+	if c.Value() != 42 {
+		t.Errorf("counter value = %d, want 42", c.Value())
+	}
+}
+
+func TestRenderingSortedAndDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_b_total", "b")
+	r.Counter("test_a_total", "a")
+	v := r.CounterVec("test_c_total", "c", "shard")
+	v.With("2").Inc()
+	v.With("0").Inc()
+	v.With("1").Inc()
+	out := render(r)
+	ia, ib := strings.Index(out, "test_a_total 0"), strings.Index(out, "test_b_total 0")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+	i0 := strings.Index(out, `test_c_total{shard="0"}`)
+	i1 := strings.Index(out, `test_c_total{shard="1"}`)
+	i2 := strings.Index(out, `test_c_total{shard="2"}`)
+	if !(0 <= i0 && i0 < i1 && i1 < i2) {
+		t.Errorf("children not sorted by label value:\n%s", out)
+	}
+	if out != render(r) {
+		t.Error("two renders of an unchanged registry differ")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_esc_total", "esc", "path")
+	v.With("a\"b\\c\nd").Inc()
+	out := render(r)
+	want := `test_esc_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("escaped label missing %q in:\n%s", want, out)
+	}
+}
+
+func TestDuplicateAndInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_dup_total", "x")
+	for name, fn := range map[string]func(){
+		"duplicate":     func() { r.Counter("test_dup_total", "x") },
+		"invalid name":  func() { r.Counter("bad-name", "x") },
+		"invalid label": func() { r.CounterVec("test_l_total", "x", "bad-label") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: registration did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramBucketMath(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+
+	// Boundary semantics: le is inclusive, so an observation exactly on
+	// a bound lands in that bound's bucket.
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0}, {0.5, 0}, {1, 0}, {1.0001, 1}, {2, 1}, {3, 2}, {4, 2},
+		{7.9, 3}, {8, 3}, {8.1, 4}, {1e9, 4}, {math.Inf(1), 4},
+	}
+	for _, c := range cases {
+		if got := h.bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+
+	for _, v := range []float64{0.5, 1, 1.5, 3, 9} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 15 {
+		t.Errorf("sum = %v, want 15", h.Sum())
+	}
+
+	var b strings.Builder
+	h.write(&b, "test_h", "")
+	out := b.String()
+	// Cumulative: le=1 covers {0.5, 1}; le=2 adds 1.5; le=4 adds 3;
+	// le=8 adds nothing; +Inf adds 9.
+	for _, want := range []string{
+		`test_h_bucket{le="1"} 2`,
+		`test_h_bucket{le="2"} 3`,
+		`test_h_bucket{le="4"} 4`,
+		`test_h_bucket{le="8"} 4`,
+		`test_h_bucket{le="+Inf"} 5`,
+		`test_h_sum 15`,
+		`test_h_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram rendering missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramVecSharesBoundsAndLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("test_lat_seconds", "lat", []float64{0.1, 1}, "path")
+	v.With("/a").Observe(0.05)
+	v.With("/b").Observe(0.5)
+	out := render(r)
+	for _, want := range []string{
+		`test_lat_seconds_bucket{path="/a",le="0.1"} 1`,
+		`test_lat_seconds_bucket{path="/b",le="0.1"} 0`,
+		`test_lat_seconds_bucket{path="/b",le="1"} 1`,
+		`test_lat_seconds_count{path="/a"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("labeled histogram missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLatencyBucketsShape(t *testing.T) {
+	if len(LatencyBuckets) != 16 {
+		t.Fatalf("LatencyBuckets has %d buckets, want 16", len(LatencyBuckets))
+	}
+	if LatencyBuckets[0] != 0.0005 {
+		t.Errorf("first bound = %v, want 0.0005", LatencyBuckets[0])
+	}
+	for i := 1; i < len(LatencyBuckets); i++ {
+		if LatencyBuckets[i] != 2*LatencyBuckets[i-1] {
+			t.Errorf("bound %d = %v, want double of %v (log-scale ladder)",
+				i, LatencyBuckets[i], LatencyBuckets[i-1])
+		}
+	}
+}
+
+func TestNonAscendingBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending bounds did not panic")
+		}
+	}()
+	newHistogram([]float64{1, 1})
+}
+
+func TestConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "c")
+	h := r.Histogram("test_conc_seconds", "h", nil)
+	v := r.CounterVec("test_conc_vec_total", "v", "k")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.001)
+				v.With("a").Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+	if got := v.With("a").Value(); got != 8000 {
+		t.Errorf("vec child = %d, want 8000", got)
+	}
+	if math.Abs(h.Sum()-8.0) > 1e-9 {
+		t.Errorf("histogram sum = %v, want 8.0", h.Sum())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"cbi/internal/collector"
 	"cbi/internal/core"
 	"cbi/internal/corpus"
+	"cbi/internal/obs"
 	"cbi/internal/report"
 )
 
@@ -34,6 +35,14 @@ type GatewayConfig struct {
 	Fingerprint uint64
 	// Timeout bounds one shard fetch during a fan-out (default 15s).
 	Timeout time.Duration
+	// Metrics, when set, is the registry the gateway's metrics register
+	// into; nil creates a private one. Served at GET /metrics.
+	Metrics *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// SlowRequest, when positive, logs every HTTP request slower than
+	// this threshold.
+	SlowRequest time.Duration
 	// Logf receives gateway diagnostics (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -58,6 +67,19 @@ type Gateway struct {
 	hc      *http.Client
 	logf    func(string, ...any)
 	handler http.Handler
+
+	metrics           *obs.Registry
+	fanoutSeconds     *obs.HistogramVec // per-shard snapshot fetch latency
+	mergeSeconds      *obs.Histogram    // counter+run-log fold duration
+	degradedShards    *obs.Gauge        // shards that failed the last fan-out
+	degradedResponses *obs.Counter      // stats responses served from cache
+	shardErrors       *obs.CounterVec   // failed fetches per shard
+
+	// statsMu guards the last fully- or partially-successful stats
+	// response, served (marked stale) when every shard is down rather
+	// than erroring with an all-zero body.
+	statsMu   sync.Mutex
+	lastStats *GatewayStats
 }
 
 // NewGateway builds a gateway over cfg.Shards.
@@ -82,14 +104,42 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		hc:   &http.Client{Timeout: cfg.Timeout},
 		logf: cfg.Logf,
 	}
+	m := cfg.Metrics
+	if m == nil {
+		m = obs.NewRegistry()
+	}
+	g.metrics = m
+	g.fanoutSeconds = m.HistogramVec("cbi_gateway_fanout_seconds",
+		"Per-shard /v1/snapshot fetch latency during a fan-out, in seconds.", nil, "shard")
+	g.mergeSeconds = m.Histogram("cbi_gateway_merge_seconds",
+		"Time to fold fetched shard snapshots and run logs together, in seconds.", nil)
+	g.degradedShards = m.Gauge("cbi_gateway_degraded_shards",
+		"Shards that failed to answer the most recent fan-out.")
+	g.degradedResponses = m.Counter("cbi_gateway_degraded_responses_total",
+		"/v1/stats responses served from the cached totals because no shard answered.")
+	g.shardErrors = m.CounterVec("cbi_gateway_shard_errors_total",
+		"Failed snapshot fetches per shard.", "shard")
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/scores", g.handleScores)
 	mux.HandleFunc("/v1/predictors", g.handlePredictors)
 	mux.HandleFunc("/v1/stats", g.handleStats)
 	mux.HandleFunc("/healthz", g.handleHealthz)
-	g.handler = mux
+	mux.Handle("/metrics", m.Handler())
+	if cfg.EnablePprof {
+		obs.RegisterPprof(mux)
+	}
+	g.handler = obs.NewHTTP(obs.HTTPConfig{
+		Registry:    m,
+		Paths:       []string{"/v1/scores", "/v1/predictors", "/v1/stats", "/healthz", "/metrics"},
+		SlowRequest: cfg.SlowRequest,
+		Logf:        cfg.Logf,
+	}).Wrap(mux)
 	return g, nil
 }
+
+// Metrics returns the gateway's metrics registry (also served at
+// GET /metrics).
+func (g *Gateway) Metrics() *obs.Registry { return g.metrics }
 
 // Handler returns the gateway's HTTP handler.
 func (g *Gateway) Handler() http.Handler { return g.handler }
@@ -111,10 +161,23 @@ func (g *Gateway) fetchAll(ctx context.Context) []shardState {
 		wg.Add(1)
 		go func(i int, url string) {
 			defer wg.Done()
+			start := time.Now()
 			out[i].snap, out[i].set, out[i].err = g.fetchSnapshot(ctx, url)
+			shard := strconv.Itoa(i)
+			g.fanoutSeconds.With(shard).ObserveDuration(time.Since(start))
+			if out[i].err != nil {
+				g.shardErrors.With(shard).Inc()
+			}
 		}(i, url)
 	}
 	wg.Wait()
+	down := 0
+	for _, st := range out {
+		if st.err != nil {
+			down++
+		}
+	}
+	g.degradedShards.Set(float64(down))
 	return out
 }
 
@@ -158,6 +221,8 @@ func (g *Gateway) fetchSnapshot(ctx context.Context, url string) (*corpus.AggSna
 // set. It returns the merged state plus how many shards answered; an
 // error only when *no* shard answered.
 func (g *Gateway) merge(states []shardState) (*corpus.AggSnapshot, *report.Set, int, error) {
+	start := time.Now()
+	defer func() { g.mergeSeconds.ObserveDuration(time.Since(start)) }()
 	merged := corpus.NewAggSnapshot(g.cfg.NumSites, g.cfg.NumPreds)
 	merged.Fingerprint = g.cfg.Fingerprint
 	set := &report.Set{NumSites: g.cfg.NumSites, NumPreds: g.cfg.NumPreds}
@@ -243,7 +308,9 @@ func (g *Gateway) handlePredictors(w http.ResponseWriter, req *http.Request) {
 }
 
 // GatewayStats is the gateway's GET /v1/stats response: the merged
-// run/counter totals plus per-shard health.
+// run/counter totals plus per-shard health. Stale marks a response
+// whose totals were served from the gateway's cache because no shard
+// answered the fan-out (degraded_shards tells the current health).
 type GatewayStats struct {
 	NumSites       int      `json:"num_sites"`
 	NumPreds       int      `json:"num_preds"`
@@ -254,6 +321,7 @@ type GatewayStats struct {
 	RunLogRuns     int      `json:"runlog_runs"`
 	Shards         int      `json:"shards"`
 	DegradedShards int      `json:"degraded_shards"`
+	Stale          bool     `json:"stale,omitempty"`
 	ShardErrors    []string `json:"shard_errors,omitempty"`
 }
 
@@ -282,8 +350,33 @@ func (g *Gateway) handleStats(w http.ResponseWriter, req *http.Request) {
 		st.RunLogRuns += len(s.set.Reports)
 	}
 	if st.DegradedShards == len(states) {
+		// Every shard is down: the freshly computed totals are all
+		// zeros, which an operator's dashboard would read as "the data
+		// vanished". Serve the last known totals instead, marked stale
+		// with the current shard errors attached, and count the
+		// degradation. Only when there has never been a successful
+		// fan-out is an all-zero 503 the honest answer.
+		g.degradedResponses.Inc()
+		g.statsMu.Lock()
+		cached := g.lastStats
+		g.statsMu.Unlock()
+		if cached != nil {
+			resp := *cached
+			resp.DegradedShards = st.DegradedShards
+			resp.Stale = true
+			resp.ShardErrors = st.ShardErrors
+			writeJSON(w, resp)
+			return
+		}
 		w.WriteHeader(http.StatusServiceUnavailable)
+		writeJSON(w, st)
+		return
 	}
+	snapshot := st
+	snapshot.ShardErrors = nil
+	g.statsMu.Lock()
+	g.lastStats = &snapshot
+	g.statsMu.Unlock()
 	writeJSON(w, st)
 }
 

@@ -12,6 +12,12 @@
 // have produced. There is no approximation layer to tune; the only
 // caveats are retention windows (each shard evicts independently) and
 // at-least-once delivery across a failover (see DESIGN.md).
+//
+// Both servers export Prometheus metrics at GET /metrics via
+// internal/obs — routing and shed counters, per-backend queue depth
+// and health, fan-out and merge latency — documented in METRICS.md;
+// OPERATIONS.md maps each failure mode (dead shard, flapping backend,
+// total outage) to the metric that reveals it.
 package shard
 
 import (

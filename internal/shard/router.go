@@ -9,9 +9,12 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cbi/internal/obs"
 )
 
 // RouterConfig configures a Router.
@@ -35,6 +38,15 @@ type RouterConfig struct {
 	HealthInterval time.Duration
 	// ForwardTimeout bounds one forwarded POST (default 30s).
 	ForwardTimeout time.Duration
+	// Metrics, when set, is the registry the router's metrics register
+	// into; nil creates a private one. Served at GET /metrics, and the
+	// source /v1/stats reads from.
+	Metrics *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// SlowRequest, when positive, logs every HTTP request slower than
+	// this threshold.
+	SlowRequest time.Duration
 	// Logf receives router diagnostics (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -47,9 +59,10 @@ type backend struct {
 	up    atomic.Bool
 	queue chan *job
 
-	routed   atomic.Int64 // batches enqueued to this backend
-	failed   atomic.Int64 // forward attempts that errored
-	rerouted atomic.Int64 // batches this backend took over from a down peer
+	routed      *obs.Counter // batches enqueued to this backend
+	failed      *obs.Counter // forward attempts that errored
+	rerouted    *obs.Counter // batches this backend took over from a down peer
+	transitions *obs.Counter // up<->down health flips
 }
 
 // job is one client batch in flight: the opaque body plus the header
@@ -77,10 +90,13 @@ type Router struct {
 	hc       *http.Client
 	logf     func(string, ...any)
 
-	accepted atomic.Int64 // batches accepted (202)
-	shed     atomic.Int64 // batches shed with 429 (queue full)
-	noShards atomic.Int64 // batches refused with 503 (all backends down)
-	dropped  atomic.Int64 // batches that exhausted every backend and were lost
+	// Counters are registry metrics: /v1/stats and /metrics read the
+	// same objects (see METRICS.md for the exported names).
+	metrics  *obs.Registry
+	accepted *obs.Counter // batches accepted (202)
+	shed     *obs.Counter // batches shed with 429 (queue full)
+	noShards *obs.Counter // batches refused with 503 (all backends down)
+	dropped  *obs.Counter // batches that exhausted every backend and were lost
 
 	handler http.Handler
 	wg      sync.WaitGroup
@@ -119,16 +135,65 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		ctx:    ctx,
 		cancel: cancel,
 	}
-	for _, u := range cfg.Backends {
-		b := &backend{url: u, queue: make(chan *job, cfg.QueueSize)}
+	m := cfg.Metrics
+	if m == nil {
+		m = obs.NewRegistry()
+	}
+	r.metrics = m
+	r.accepted = m.Counter("cbi_router_accepted_total",
+		"Batches accepted (202) and queued for forwarding.")
+	r.shed = m.Counter("cbi_router_shed_total",
+		"Batches shed with 429 because the owning backend's queue was full.")
+	r.noShards = m.Counter("cbi_router_no_shard_total",
+		"Batches refused with 503 because no backend was live.")
+	r.dropped = m.Counter("cbi_router_dropped_total",
+		"Acked batches lost after exhausting every backend (client retry redelivers).")
+	routedVec := m.CounterVec("cbi_router_backend_routed_total",
+		"Batches enqueued to this backend.", "backend")
+	failedVec := m.CounterVec("cbi_router_backend_failed_total",
+		"Forward attempts to this backend that errored or were refused.", "backend")
+	reroutedVec := m.CounterVec("cbi_router_backend_rerouted_total",
+		"Failover batches this backend took over from a down peer.", "backend")
+	transVec := m.CounterVec("cbi_router_backend_health_transitions_total",
+		"Times this backend flipped between up and down.", "backend")
+	depthVec := m.GaugeVec("cbi_router_backend_queue_depth",
+		"Batches waiting on this backend's forward queue.", "backend")
+	upVec := m.GaugeVec("cbi_router_backend_up",
+		"1 while this backend is considered live, else 0.", "backend")
+	for i, u := range cfg.Backends {
+		bi := strconv.Itoa(i)
+		b := &backend{
+			url:         u,
+			queue:       make(chan *job, cfg.QueueSize),
+			routed:      routedVec.With(bi),
+			failed:      failedVec.With(bi),
+			rerouted:    reroutedVec.With(bi),
+			transitions: transVec.With(bi),
+		}
 		b.up.Store(true) // optimistic: the first failed forward flips it
+		depthVec.WithFunc(func() float64 { return float64(len(b.queue)) }, bi)
+		upVec.WithFunc(func() float64 {
+			if b.up.Load() {
+				return 1
+			}
+			return 0
+		}, bi)
 		r.backends = append(r.backends, b)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/reports", r.handleReports)
 	mux.HandleFunc("/v1/stats", r.handleStats)
 	mux.HandleFunc("/healthz", r.handleHealthz)
-	r.handler = mux
+	mux.Handle("/metrics", m.Handler())
+	if cfg.EnablePprof {
+		obs.RegisterPprof(mux)
+	}
+	r.handler = obs.NewHTTP(obs.HTTPConfig{
+		Registry:    m,
+		Paths:       []string{"/v1/reports", "/v1/stats", "/healthz", "/metrics"},
+		SlowRequest: cfg.SlowRequest,
+		Logf:        cfg.Logf,
+	}).Wrap(mux)
 	for i, b := range r.backends {
 		for w := 0; w < cfg.Workers; w++ {
 			r.wg.Add(1)
@@ -269,7 +334,9 @@ func (r *Router) forward(bi int, b *backend, j *job) {
 			// health loop owns its return, and hand the job to the next
 			// backend in the key's order.
 			b.failed.Add(1)
-			b.up.Store(false)
+			if b.up.Swap(false) {
+				b.transitions.Inc()
+			}
 			r.logf("shard: router: backend %d down (%v), re-routing", bi, err)
 			r.reroute(j)
 			return
@@ -340,6 +407,7 @@ func (r *Router) healthLoop() {
 				up := r.probe(b)
 				if up != b.up.Load() {
 					b.up.Store(up)
+					b.transitions.Inc()
 					r.logf("shard: router: backend %d (%s) now up=%v", i, b.url, up)
 				}
 			}
@@ -382,26 +450,31 @@ type RouterStats struct {
 	Dropped  int64          `json:"dropped"`
 }
 
-// StatsNow captures the router's counters.
+// StatsNow captures the router's counters — the same registry objects
+// /metrics renders, so the two surfaces always agree.
 func (r *Router) StatsNow() RouterStats {
 	st := RouterStats{
-		Accepted: r.accepted.Load(),
-		Shed:     r.shed.Load(),
-		NoShards: r.noShards.Load(),
-		Dropped:  r.dropped.Load(),
+		Accepted: r.accepted.Value(),
+		Shed:     r.shed.Value(),
+		NoShards: r.noShards.Value(),
+		Dropped:  r.dropped.Value(),
 	}
 	for _, b := range r.backends {
 		st.Backends = append(st.Backends, BackendStats{
 			URL:        b.url,
 			Up:         b.up.Load(),
 			QueueDepth: len(b.queue),
-			Routed:     b.routed.Load(),
-			Rerouted:   b.rerouted.Load(),
-			Failed:     b.failed.Load(),
+			Routed:     b.routed.Value(),
+			Rerouted:   b.rerouted.Value(),
+			Failed:     b.failed.Value(),
 		})
 	}
 	return st
 }
+
+// Metrics returns the router's metrics registry (also served at
+// GET /metrics).
+func (r *Router) Metrics() *obs.Registry { return r.metrics }
 
 func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodGet {

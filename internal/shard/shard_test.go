@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -428,5 +429,109 @@ func TestRoutingKeyPrecedence(t *testing.T) {
 	}
 	if got := routingKey(mk("", "")); got != "10.1.2.3" {
 		t.Fatalf("routingKey with no ids = %q, want peer host", got)
+	}
+}
+
+// TestGatewayStatsServesCachedWhenAllShardsDown pins the degraded-mode
+// contract of GET /v1/stats: once the gateway has answered successfully
+// at least once, a total shard outage yields the last known totals
+// marked stale (HTTP 200) rather than an all-zero error body, and each
+// such response is counted in cbi_gateway_degraded_responses_total. A
+// gateway that has never seen a healthy fan-out still returns 503.
+func TestGatewayStatsServesCachedWhenAllShardsDown(t *testing.T) {
+	const (
+		numSites = 2
+		numPreds = 6
+	)
+	siteOf := []int32{0, 0, 0, 1, 1, 1}
+
+	srv, ts := startCollector(t, collector.Config{
+		NumSites: numSites, NumPreds: numPreds, SiteOf: siteOf,
+		RunLogSize: 16,
+	})
+	defer srv.Close()
+
+	client := collector.NewClient(ts.URL, numSites, numPreds)
+	set := &report.Set{NumSites: numSites, NumPreds: numPreds}
+	for i := 0; i < 8; i++ {
+		set.Reports = append(set.Reports, &report.Report{
+			Failed:        i%2 == 0,
+			ObservedSites: []int32{0, 1},
+			TruePreds:     []int32{int32(i % numPreds)},
+		})
+	}
+	if err := client.SubmitSet(context.Background(), set); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.StatsNow().ReportsApplied < int64(len(set.Reports)) {
+		if time.Now().After(deadline) {
+			t.Fatal("collector never applied the submitted reports")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	gw, err := NewGateway(GatewayConfig{
+		Shards:   []string{ts.URL},
+		NumSites: numSites, NumPreds: numPreds, SiteOf: siteOf,
+		Timeout: 2 * time.Second,
+		Logf:    quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gts := httptest.NewServer(gw.Handler())
+	defer gts.Close()
+
+	// Healthy fan-out: fresh totals, cached for later.
+	var healthy GatewayStats
+	if code := getJSON(t, gts.URL+"/v1/stats", &healthy); code != http.StatusOK {
+		t.Fatalf("healthy /v1/stats = %d, want 200", code)
+	}
+	if healthy.Stale || healthy.DegradedShards != 0 {
+		t.Fatalf("healthy stats marked degraded: %+v", healthy)
+	}
+	if healthy.Runs != int64(len(set.Reports)) {
+		t.Fatalf("healthy stats runs = %d, want %d", healthy.Runs, len(set.Reports))
+	}
+
+	// Kill the only shard: the same endpoint must keep answering with
+	// the cached totals, marked stale, at 200.
+	ts.Close()
+	var stale GatewayStats
+	if code := getJSON(t, gts.URL+"/v1/stats", &stale); code != http.StatusOK {
+		t.Fatalf("degraded /v1/stats = %d, want 200 with cached body", code)
+	}
+	if !stale.Stale {
+		t.Fatalf("degraded response not marked stale: %+v", stale)
+	}
+	if stale.Runs != healthy.Runs || stale.Failing != healthy.Failing {
+		t.Fatalf("stale totals %+v do not match last healthy totals %+v", stale, healthy)
+	}
+	if stale.DegradedShards != 1 || len(stale.ShardErrors) == 0 {
+		t.Fatalf("stale response must report the outage: %+v", stale)
+	}
+
+	var metrics strings.Builder
+	gw.Metrics().WritePrometheus(&metrics)
+	if !strings.Contains(metrics.String(), "cbi_gateway_degraded_responses_total 1") {
+		t.Fatalf("degraded response not counted:\n%s", metrics.String())
+	}
+
+	// A gateway with no cache yet is honest about the outage: 503.
+	cold, err := NewGateway(GatewayConfig{
+		Shards:   []string{ts.URL}, // already closed
+		NumSites: numSites, NumPreds: numPreds, SiteOf: siteOf,
+		Timeout: 2 * time.Second,
+		Logf:    quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(cold.Handler())
+	defer cts.Close()
+	var zero GatewayStats
+	if code := getJSON(t, cts.URL+"/v1/stats", &zero); code != http.StatusServiceUnavailable {
+		t.Fatalf("cold degraded /v1/stats = %d, want 503", code)
 	}
 }
