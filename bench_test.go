@@ -11,9 +11,13 @@ package cbi_bench
 import (
 	"bytes"
 	"io"
+	"math"
+	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"cbi/internal/collector"
 	"cbi/internal/core"
@@ -343,4 +347,77 @@ func BenchmarkCollectorIngest(b *testing.B) {
 			srv.Ingest(reports[int(i)%len(reports)])
 		}
 	})
+}
+
+// BenchmarkCollectorIngestPlanner is BenchmarkCollectorIngest with the
+// closed-loop sampling planner live: re-planning on a millisecond-scale
+// tick reads the aggregate concurrently with the fold, so this measures
+// what adaptive sampling costs the hot write path. The gate
+// (TestPlannerIngestOverhead) asserts the answer is "within noise".
+func BenchmarkCollectorIngestPlanner(b *testing.B) {
+	res := warm(b, "moss", harness.SampleUniform)
+	in := res.CoreInput()
+	srv, err := collector.New(collector.Config{
+		NumSites:    in.Set.NumSites,
+		NumPreds:    in.Set.NumPreds,
+		SiteOf:      in.SiteOf,
+		PlanEvery:   2 * time.Millisecond,
+		PlanMinRuns: 1,
+		Logf:        func(string, ...any) {},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	reports := in.Set.Reports
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			srv.Ingest(reports[int(i)%len(reports)])
+		}
+	})
+}
+
+// TestPlannerIngestOverhead is the throughput gate for the closed loop:
+// ingest with the planner re-planning every 2ms must stay within
+// tolerance (default 2%) of the plain collector. Wall-clock gates are
+// machine-sensitive, so it runs only when CBI_PERF_GATE=1 is set (CI
+// machines and laptops under load would flake it); CBI_PERF_TOLERANCE
+// overrides the tolerance.
+func TestPlannerIngestOverhead(t *testing.T) {
+	if os.Getenv("CBI_PERF_GATE") == "" {
+		t.Skip("set CBI_PERF_GATE=1 to run the planner ingest throughput gate " +
+			"(CBI_PERF_TOLERANCE overrides the default 0.02)")
+	}
+	tol := 0.02
+	if s := os.Getenv("CBI_PERF_TOLERANCE"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 {
+			t.Fatalf("CBI_PERF_TOLERANCE=%q: want a positive float", s)
+		}
+		tol = v
+	}
+	// Generate the corpus before timing anything so neither side's
+	// first measurement absorbs generation's allocation burst.
+	runner().Result("moss", harness.SampleUniform)
+	// Interleave the two sides and keep each one's best of five: the
+	// minimum is the stable estimator of how fast a path can go, and
+	// interleaving spreads machine-load drift across both.
+	baseNs, planNs := math.MaxFloat64, math.MaxFloat64
+	for i := 0; i < 5; i++ {
+		if ns := float64(testing.Benchmark(BenchmarkCollectorIngest).NsPerOp()); ns < baseNs {
+			baseNs = ns
+		}
+		if ns := float64(testing.Benchmark(BenchmarkCollectorIngestPlanner).NsPerOp()); ns < planNs {
+			planNs = ns
+		}
+	}
+	slowdown := planNs/baseNs - 1
+	t.Logf("ingest %.0f ns/op plain, %.0f ns/op with planner (%+.2f%%)",
+		baseNs, planNs, slowdown*100)
+	if slowdown > tol {
+		t.Fatalf("planner slows ingest by %.2f%%, tolerance %.2f%%", slowdown*100, tol*100)
+	}
 }

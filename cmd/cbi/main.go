@@ -15,6 +15,7 @@
 //	cbi serve [flags]                run a feedback-report collector server
 //	cbi submit [flags]               stream reports to a running collector
 //	cbi predictors [flags]           fetch a collector's live cause-isolation ranking
+//	cbi plan [flags]                 inspect the fleet sampling plan a server serves
 //	cbi route [flags]                run a sharding router over several collectors
 //	cbi gateway [flags]              run a merging query gateway over several collectors
 //	cbi merge [flags] <snap>...      merge collector snapshots or push into a live peer
@@ -63,6 +64,8 @@ func main() {
 		err = cmdSubmit(os.Args[2:])
 	case "predictors":
 		err = cmdPredictors(os.Args[2:])
+	case "plan":
+		err = cmdPlan(os.Args[2:])
 	case "route":
 		err = cmdRoute(os.Args[2:])
 	case "gateway":
@@ -96,6 +99,7 @@ subcommands:
   serve               run a feedback-report collector (ingestion + live ranking)
   submit              stream reports to a running collector
   predictors          fetch a collector's live cause-isolation ranking
+  plan                inspect the fleet sampling plan a server serves
   route               run a sharding router in front of several collectors
   gateway             run a merging query gateway over several collectors
   merge               merge collector snapshots offline or push into a live peer

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"time"
+
+	"cbi/internal/collector"
+	"cbi/internal/plan"
+)
+
+// cmdPlan inspects the fleet sampling plan a collector, router, or
+// gateway serves at GET /v1/plan: version, provenance, and a rate
+// summary an operator can eyeball for "is the loop converging".
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:7575", "collector, router, or gateway base URL")
+	watch := fs.Duration("watch", 0, "keep polling at this interval and print each new version (0 = print once)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	// Dimensions come from the plan itself; 0,0 skips the client's check.
+	client := collector.NewClient(*addr, 0, 0)
+	p, _, err := client.FetchPlan(ctx)
+	if err != nil {
+		return err
+	}
+	printPlan(p)
+	if *watch <= 0 {
+		return nil
+	}
+	for {
+		time.Sleep(*watch)
+		next, changed, err := client.FetchPlan(ctx)
+		if err != nil {
+			fmt.Printf("plan poll: %v\n", err)
+			continue
+		}
+		if changed {
+			printPlan(next)
+		}
+	}
+}
+
+func printPlan(p *plan.Plan) {
+	created := "bootstrap"
+	if p.CreatedUnix > 0 {
+		created = time.Unix(p.CreatedUnix, 0).UTC().Format(time.RFC3339)
+	}
+	min, max, sum := 1.0, 0.0, 0.0
+	atFloor, atOne := 0, 0
+	for _, r := range p.Rates {
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+		sum += r
+		if r <= p.MinRate {
+			atFloor++
+		}
+		if r >= 1 {
+			atOne++
+		}
+	}
+	fmt.Printf("plan v%d  source=%s  created=%s  window=%d runs\n",
+		p.Version, p.Source, created, p.Runs)
+	fmt.Printf("  %d sites: rates [%.4g, %.4g] mean %.4g  (%d at floor %.4g, %d at 1)\n",
+		len(p.Rates), min, max, sum/float64(len(p.Rates)), atFloor, p.MinRate, atOne)
+	if p.BoostSite >= 0 {
+		fmt.Printf("  boost: %d sites around top-predictor site %d at rate 1\n",
+			len(p.Boosts), p.BoostSite)
+	}
+}

@@ -64,7 +64,14 @@ func cmdServe(args []string) error {
 	shards := fs.Int("shards", 16, "aggregate counter stripes")
 	runlog := fs.Int("runlog", 0, "run-log retention cap in runs (0 = default 262144, negative disables /v1/predictors)")
 	runlogMaxAge := fs.Duration("runlog-max-age", 0, "evict retained runs older than this (0 = no age cap)")
+	runlogMaxBytes := fs.Int64("runlog-max-bytes", 0, "run-log retention cap in encoded bytes (0 = no byte cap; the newest run is never evicted)")
 	apiKeysPath := fs.String("api-keys", "", "file of accepted API keys, one per line; write endpoints require Authorization: Bearer")
+	apiKeysFile := fs.String("api-keys-file", "", "like -api-keys, but re-read on SIGHUP for zero-downtime key rotation")
+	planEvery := fs.Duration("plan-every", 0, "re-plan per-site sampling rates from the live aggregate at this interval (0 = planner off)")
+	planTarget := fs.Float64("plan-target", 0, "expected samples per site per run the planner aims for (0 = default 100)")
+	planMinRate := fs.Float64("plan-min-rate", 0, "floor for planned sampling rates (0 = default 1/100)")
+	planMinRuns := fs.Int64("plan-min-runs", 0, "minimum runs in the window before the planner publishes (0 = default 100)")
+	planBoostRadius := fs.Int("plan-boost-radius", 0, "half-width of the top-predictor site neighborhood boosted to rate 1 (0 = no boosting)")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	slowMs := fs.Int("slow-request-ms", 0, "log any HTTP request slower than this many milliseconds (0 = off)")
 	if err := fs.Parse(args); err != nil {
@@ -74,31 +81,62 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	keys, err := loadAPIKeys(*apiKeysPath)
+	if *apiKeysPath != "" && *apiKeysFile != "" {
+		return fmt.Errorf("use -api-keys or -api-keys-file, not both")
+	}
+	keysPath := *apiKeysPath
+	if *apiKeysFile != "" {
+		keysPath = *apiKeysFile
+	}
+	keys, err := loadAPIKeys(keysPath)
 	if err != nil {
 		return err
 	}
 	srv, err := collector.New(collector.Config{
-		NumSites:      plan.NumSites(),
-		NumPreds:      plan.NumPreds(),
-		SiteOf:        siteOf(plan),
-		Fingerprint:   plan.Fingerprint(),
-		QueueSize:     *queueSize,
-		Shards:        *shards,
-		RunLogSize:    *runlog,
-		RunLogMaxAge:  *runlogMaxAge,
-		APIKeys:       keys,
-		SnapshotPath:  *snapshot,
-		SnapshotEvery: *snapshotEvery,
-		EnablePprof:   *pprofFlag,
-		SlowRequest:   time.Duration(*slowMs) * time.Millisecond,
-		Logf:          log.Printf,
+		NumSites:        plan.NumSites(),
+		NumPreds:        plan.NumPreds(),
+		SiteOf:          siteOf(plan),
+		Fingerprint:     plan.Fingerprint(),
+		QueueSize:       *queueSize,
+		Shards:          *shards,
+		RunLogSize:      *runlog,
+		RunLogMaxAge:    *runlogMaxAge,
+		RunLogMaxBytes:  *runlogMaxBytes,
+		APIKeys:         keys,
+		SnapshotPath:    *snapshot,
+		SnapshotEvery:   *snapshotEvery,
+		PlanEvery:       *planEvery,
+		PlanTarget:      *planTarget,
+		PlanMinRate:     *planMinRate,
+		PlanMinRuns:     *planMinRuns,
+		PlanBoostRadius: *planBoostRadius,
+		EnablePprof:     *pprofFlag,
+		SlowRequest:     time.Duration(*slowMs) * time.Millisecond,
+		Logf:            log.Printf,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("collector for %s: %d sites, %d predicates, fingerprint %d\n",
 		name, plan.NumSites(), plan.NumPreds(), plan.Fingerprint())
+
+	// SIGHUP rotates API keys in place when -api-keys-file is used: the
+	// file is re-read and swapped atomically; a bad reload keeps the
+	// current keys so a typo cannot lock the fleet out.
+	if *apiKeysFile != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				next, err := loadAPIKeys(*apiKeysFile)
+				if err != nil {
+					log.Printf("serve: SIGHUP key reload failed, keeping current keys: %v", err)
+					continue
+				}
+				srv.SetAPIKeys(next)
+			}
+		}()
+	}
 
 	// Drain gracefully on SIGINT/SIGTERM: stop accepting, apply the
 	// queue, persist a final snapshot, then close the listener.
@@ -155,6 +193,7 @@ func cmdSubmit(args []string) error {
 	batch := fs.Int("batch", 64, "reports per batch")
 	top := fs.Int("top", 0, "print the server's top-K ranking after submitting")
 	key := fs.String("key", "", "API key for collectors that require one")
+	planFollow := fs.Duration("plan-follow", 0, "poll GET /v1/plan at this interval and sample under the served plan (with -subject; 0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -208,12 +247,23 @@ func cmdSubmit(args []string) error {
 	plan := instrument.BuildPlan(subj.Program(true))
 	client := collector.NewClient(*addr, plan.NumSites(), plan.NumPreds(),
 		collector.WithBatchSize(*batch), collector.WithAPIKey(*key))
+	var planHook func() (uint64, []float64)
+	if *planFollow > 0 {
+		if _, _, err := client.FetchPlan(ctx); err != nil {
+			return fmt.Errorf("fetching initial sampling plan: %v", err)
+		}
+		stop := client.FollowPlan(ctx, *planFollow)
+		defer stop()
+		planHook = client.PlanFunc()
+		fmt.Printf("following sampling plan v%d from %s\n", client.CurrentPlan().Version, *addr)
+	}
 	var streamMu sync.Mutex
 	var streamErr error
 	res := harness.Run(harness.Config{
 		Subject: subj,
 		Runs:    *runs,
 		Mode:    m,
+		Plan:    planHook,
 		Stream: func(run int, rep *report.Report, meta harness.RunMeta) {
 			if err := client.Add(ctx, rep); err != nil {
 				streamMu.Lock()

@@ -29,6 +29,7 @@ func cmdRoute(args []string) error {
 	queue := fs.Int("queue", 256, "pending-forward queue bound per backend, in batches")
 	workers := fs.Int("workers", 4, "forwarder goroutines per backend")
 	health := fs.Duration("health-every", 2*time.Second, "backend health-probe interval")
+	planFrom := fs.String("plan-from", "", "base URL GET /v1/plan is forwarded to (default: first live backend; point at the gateway in planner deployments)")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	slowMs := fs.Int("slow-request-ms", 0, "log any HTTP request slower than this many milliseconds (0 = off)")
 	if err := fs.Parse(args); err != nil {
@@ -43,6 +44,7 @@ func cmdRoute(args []string) error {
 		QueueSize:      *queue,
 		Workers:        *workers,
 		HealthInterval: *health,
+		PlanFrom:       strings.TrimSuffix(strings.TrimSpace(*planFrom), "/"),
 		EnablePprof:    *pprofFlag,
 		SlowRequest:    time.Duration(*slowMs) * time.Millisecond,
 		Logf:           log.Printf,
@@ -66,6 +68,12 @@ func cmdGateway(args []string) error {
 	subject := fs.String("subject", "", "built-in subject fixing the predicate universe")
 	program := fs.String("program", "", "MiniC source file fixing the predicate universe")
 	timeout := fs.Duration("timeout", 15*time.Second, "per-shard fetch timeout")
+	planEvery := fs.Duration("plan-every", 0, "re-plan fleet sampling rates from the merged shard view at this interval (0 = proxy plans from shards instead)")
+	planTarget := fs.Float64("plan-target", 0, "expected samples per site per run the planner aims for (0 = default 100)")
+	planMinRate := fs.Float64("plan-min-rate", 0, "floor for planned sampling rates (0 = default 1/100)")
+	planMinRuns := fs.Int64("plan-min-runs", 0, "minimum merged runs before the planner publishes (0 = default 100)")
+	planBoostRadius := fs.Int("plan-boost-radius", 0, "half-width of the top-predictor site neighborhood boosted to rate 1 (0 = no boosting)")
+	planPushKey := fs.String("plan-push-key", "", "API key presented when pushing plans to shards that require one")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	slowMs := fs.Int("slow-request-ms", 0, "log any HTTP request slower than this many milliseconds (0 = off)")
 	if err := fs.Parse(args); err != nil {
@@ -80,19 +88,26 @@ func cmdGateway(args []string) error {
 		return err
 	}
 	g, err := shard.NewGateway(shard.GatewayConfig{
-		Shards:      urls,
-		NumSites:    plan.NumSites(),
-		NumPreds:    plan.NumPreds(),
-		SiteOf:      siteOf(plan),
-		Fingerprint: plan.Fingerprint(),
-		Timeout:     *timeout,
-		EnablePprof: *pprofFlag,
-		SlowRequest: time.Duration(*slowMs) * time.Millisecond,
-		Logf:        log.Printf,
+		Shards:          urls,
+		NumSites:        plan.NumSites(),
+		NumPreds:        plan.NumPreds(),
+		SiteOf:          siteOf(plan),
+		Fingerprint:     plan.Fingerprint(),
+		Timeout:         *timeout,
+		PlanEvery:       *planEvery,
+		PlanTarget:      *planTarget,
+		PlanMinRate:     *planMinRate,
+		PlanMinRuns:     *planMinRuns,
+		PlanBoostRadius: *planBoostRadius,
+		PlanPushKey:     *planPushKey,
+		EnablePprof:     *pprofFlag,
+		SlowRequest:     time.Duration(*slowMs) * time.Millisecond,
+		Logf:            log.Printf,
 	})
 	if err != nil {
 		return err
 	}
+	defer g.Close()
 	fmt.Printf("gateway for %s on %s over %d shards\n", name, *addr, len(urls))
 	return serveUntilSignal(*addr, g.Handler(), nil)
 }

@@ -67,7 +67,7 @@ type shardedAgg struct {
 	now    func() time.Time
 }
 
-func newShardedAgg(numSites, numPreds, shards, runLogCap int, maxAge time.Duration, now func() time.Time) *shardedAgg {
+func newShardedAgg(numSites, numPreds, shards, runLogCap int, runLogMaxBytes int64, maxAge time.Duration, now func() time.Time) *shardedAgg {
 	if shards < 1 {
 		shards = 1
 	}
@@ -89,7 +89,7 @@ func newShardedAgg(numSites, numPreds, shards, runLogCap int, maxAge time.Durati
 		now:         now,
 	}
 	if runLogCap > 0 {
-		a.log = newRunLog(runLogCap)
+		a.log = newRunLog(runLogCap, runLogMaxBytes)
 	}
 	return a
 }
@@ -118,9 +118,7 @@ func (a *shardedAgg) Apply(r *report.Report) {
 		if a.maxAge > 0 {
 			evicted = a.log.evictExpired(now - int64(a.maxAge))
 		}
-		if e := a.log.append(rec, now); e != nil {
-			evicted = append(evicted, e)
-		}
+		evicted = append(evicted, a.log.append(rec, now)...)
 		a.logMu.Unlock()
 	}
 
@@ -195,9 +193,7 @@ func (a *shardedAgg) MergeSegment(snap *corpus.AggSnapshot, reports []*report.Re
 			evicted = a.log.evictExpired(now - int64(a.maxAge))
 		}
 		for _, r := range reports {
-			if e := a.log.append(report.AppendRecord(nil, r), now); e != nil {
-				evicted = append(evicted, e)
-			}
+			evicted = append(evicted, a.log.append(report.AppendRecord(nil, r), now)...)
 		}
 		a.logMu.Unlock()
 	}
@@ -285,14 +281,16 @@ func (a *shardedAgg) Restore(snap *corpus.AggSnapshot) {
 }
 
 // RestoreLog refills the run log from decoded reports (oldest first),
-// without touching the counters. No-op when retention is disabled.
-func (a *shardedAgg) RestoreLog(reports []*report.Report) {
+// without touching the counters, and returns how many runs the
+// retention caps let it keep. No-op (returning 0) when retention is
+// disabled.
+func (a *shardedAgg) RestoreLog(reports []*report.Report) (retained int) {
 	if a.log == nil {
-		return
+		return 0
 	}
 	a.gate.Lock()
 	defer a.gate.Unlock()
-	a.log.restore(reports, a.now().UnixNano())
+	return a.log.restore(reports, a.now().UnixNano())
 }
 
 // RecountFromLog rebuilds every counter from the retained run log —
@@ -346,15 +344,43 @@ func (a *shardedAgg) LogVersion() uint64 {
 	return a.log.version
 }
 
-// LogStats returns the retained-run count, the eviction count, and the
-// retention cap (all zero when retention is disabled).
-func (a *shardedAgg) LogStats() (retained int, evicted int64, capRuns int) {
+// runLogStats is a consistent read of the run log's retention state.
+type runLogStats struct {
+	retained int   // runs currently retained
+	evicted  int64 // runs evicted by any retention cap since startup
+	capRuns  int   // configured count cap (0 = retention disabled)
+	bytes    int64 // summed encoded size of retained records
+	maxBytes int64 // configured byte cap (0 = no byte cap)
+}
+
+// LogStats returns the run log's retention state (zero when retention
+// is disabled).
+func (a *shardedAgg) LogStats() runLogStats {
 	if a.log == nil {
-		return 0, 0, 0
+		return runLogStats{}
 	}
 	a.logMu.Lock()
 	defer a.logMu.Unlock()
-	return a.log.len(), a.log.evicted, a.log.cap
+	return runLogStats{
+		retained: a.log.len(),
+		evicted:  a.log.evicted,
+		capRuns:  a.log.cap,
+		bytes:    a.log.bytes,
+		maxBytes: a.log.maxBytes,
+	}
+}
+
+// SiteObservedRuns returns, under one consistent capture, the number of
+// retained runs that observed each site (failing + successful) and the
+// total retained run count — the planner's raw input.
+func (a *shardedAgg) SiteObservedRuns() (observed []int64, runs int64) {
+	a.gate.Lock()
+	defer a.gate.Unlock()
+	observed = make([]int64, a.numSites)
+	for i := range observed {
+		observed[i] = a.fObsSite[i] + a.sObsSite[i]
+	}
+	return observed, a.numF.Load() + a.numS.Load()
 }
 
 // ToAgg converts the live counters into a core.Agg, attaching each

@@ -42,7 +42,7 @@ func TestShardedAggMatchesBatchAggregate(t *testing.T) {
 	in := res.CoreInput()
 
 	for _, shards := range []int{1, 3, 16} {
-		agg := newShardedAgg(in.Set.NumSites, in.Set.NumPreds, shards, defaultRunLogCap, 0, nil)
+		agg := newShardedAgg(in.Set.NumSites, in.Set.NumPreds, shards, defaultRunLogCap, 0, 0, nil)
 		var wg sync.WaitGroup
 		for w := 0; w < 8; w++ {
 			wg.Add(1)
@@ -71,7 +71,7 @@ func TestShardedAggSnapshotRestore(t *testing.T) {
 	res := testCorpus(t)
 	in := res.CoreInput()
 
-	agg := newShardedAgg(in.Set.NumSites, in.Set.NumPreds, 8, defaultRunLogCap, 0, nil)
+	agg := newShardedAgg(in.Set.NumSites, in.Set.NumPreds, 8, defaultRunLogCap, 0, 0, nil)
 	for _, r := range in.Set.Reports {
 		agg.Apply(r)
 	}
@@ -83,7 +83,7 @@ func TestShardedAggSnapshotRestore(t *testing.T) {
 		t.Errorf("snapshot captured %d run-log records, want %d", len(recs), len(in.Set.Reports))
 	}
 
-	fresh := newShardedAgg(in.Set.NumSites, in.Set.NumPreds, 8, defaultRunLogCap, 0, nil)
+	fresh := newShardedAgg(in.Set.NumSites, in.Set.NumPreds, 8, defaultRunLogCap, 0, 0, nil)
 	fresh.Restore(snap)
 	if !reflect.DeepEqual(fresh.ToAgg(in.SiteOf), agg.ToAgg(in.SiteOf)) {
 		t.Fatal("restored aggregate differs from original")

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"cbi/internal/corpus"
+	"cbi/internal/plan"
 	"cbi/internal/report"
 )
 
@@ -49,6 +50,11 @@ type Client struct {
 
 	mu    sync.Mutex
 	batch []*report.Report
+
+	// plan is the most recent sampling plan fetched from /v1/plan; its
+	// version stamps outgoing batches so the collector can attribute
+	// counts to the rates that produced them.
+	plan atomic.Pointer[plan.Plan]
 
 	submitted atomic.Int64 // reports acked by the server
 	retries   atomic.Int64 // transient failures retried
@@ -326,6 +332,9 @@ func (c *Client) post(ctx context.Context, path, contentType string, payload []b
 	if c.gzipOn || path == "/v1/merge" {
 		req.Header.Set("Content-Encoding", "gzip")
 	}
+	if p := c.plan.Load(); p != nil {
+		req.Header.Set("X-CBI-Plan-Version", strconv.FormatUint(p.Version, 10))
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		// Network-level failures (refused, reset, timeout) are the
@@ -387,6 +396,96 @@ func (c *Client) Healthy(ctx context.Context) bool {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	return resp.StatusCode == http.StatusOK
+}
+
+// FetchPlan fetches the current sampling plan from GET /v1/plan,
+// conditionally: when the client already holds a plan, the request
+// carries `?since=<version>` and If-None-Match, and a 304 (plan
+// unchanged) returns (current, false, nil) without a body transfer.
+// A newly fetched plan is remembered: CurrentPlan returns it and every
+// subsequent batch is stamped with its version.
+func (c *Client) FetchPlan(ctx context.Context) (p *plan.Plan, changed bool, err error) {
+	cur := c.plan.Load()
+	path := "/v1/plan"
+	if cur != nil {
+		path = fmt.Sprintf("/v1/plan?since=%d", cur.Version)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return cur, false, err
+	}
+	if cur != nil {
+		req.Header.Set("If-None-Match", cur.ETag())
+	}
+	if c.clientID != "" {
+		req.Header.Set("X-CBI-Client-ID", c.clientID)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return cur, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		io.Copy(io.Discard, resp.Body)
+		return cur, false, nil
+	case http.StatusOK:
+		next, err := plan.Decode(resp.Body, c.numSites)
+		if err != nil {
+			return cur, false, err
+		}
+		// Keep the newest plan even if responses race out of order.
+		if cur != nil && next.Version <= cur.Version {
+			return cur, false, nil
+		}
+		c.plan.Store(next)
+		return next, true, nil
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return cur, false, fmt.Errorf("collector: GET %s: %d: %s", path, resp.StatusCode, bytes.TrimSpace(body))
+	}
+}
+
+// CurrentPlan returns the most recently fetched sampling plan (nil
+// before the first successful FetchPlan).
+func (c *Client) CurrentPlan() *plan.Plan { return c.plan.Load() }
+
+// PlanFunc adapts the client's current plan to the harness's
+// Config.Plan hook: it returns the fetched plan's version and rates
+// (0, nil before the first fetch) without any network traffic — pair
+// it with FollowPlan or explicit FetchPlan calls to keep it fresh.
+func (c *Client) PlanFunc() func() (version uint64, rates []float64) {
+	return func() (uint64, []float64) {
+		p := c.plan.Load()
+		if p == nil {
+			return 0, nil
+		}
+		return p.Version, p.Rates
+	}
+}
+
+// FollowPlan polls /v1/plan every interval (conditionally, so an
+// unchanged plan costs a 304) until the returned stop function is
+// called or ctx is done. Fetch errors are transient by construction —
+// the client just keeps its current plan — so they are not reported.
+func (c *Client) FollowPlan(ctx context.Context, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-done:
+				return
+			case <-t.C:
+				c.FetchPlan(ctx)
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, v any) error {

@@ -1,0 +1,344 @@
+package collector
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cbi/internal/plan"
+	"cbi/internal/report"
+)
+
+// TestPlanEndpoint covers the /v1/plan protocol end to end: the
+// deterministic bootstrap plan is served immediately, conditional GETs
+// are cheap 304s, authorized pushes advance the version monotonically,
+// and the client wrapper tracks it all.
+func TestPlanEndpoint(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+	cfg := serverConfig(t)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+
+	client := NewClient(ts.URL, in.Set.NumSites, in.Set.NumPreds)
+	p, changed, err := client.FetchPlan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || p.Version != 1 || p.Source != "bootstrap" {
+		t.Fatalf("first fetch: changed=%v plan=%+v", changed, p)
+	}
+	if len(p.Rates) != in.Set.NumSites {
+		t.Fatalf("bootstrap plan has %d rates for %d sites", len(p.Rates), in.Set.NumSites)
+	}
+
+	// Refetch: the client sends If-None-Match and the server answers 304.
+	if _, changed, err = client.FetchPlan(ctx); err != nil || changed {
+		t.Fatalf("refetch: changed=%v err=%v, want cached plan", changed, err)
+	}
+	st := srv.StatsNow()
+	if st.PlanFetches != 1 || st.PlanNotModified != 1 {
+		t.Fatalf("fetch counters = %d/%d, want 1 fetch + 1 not-modified", st.PlanFetches, st.PlanNotModified)
+	}
+	if v, rates := client.PlanFunc()(); v != 1 || len(rates) != in.Set.NumSites {
+		t.Fatalf("PlanFunc = v%d with %d rates", v, len(rates))
+	}
+
+	// Push a successor; the next conditional fetch picks it up.
+	next := plan.Bootstrap(in.Set.NumSites, cfg.Fingerprint, 100, 0.01)
+	next.Version = 5
+	next.Source = "gateway"
+	var buf bytes.Buffer
+	if err := next.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("push = %d, want 202", resp.StatusCode)
+	}
+	if got := srv.Plan().Version; got != 5 {
+		t.Fatalf("server plan version = %d after push, want 5", got)
+	}
+	p, changed, err = client.FetchPlan(ctx)
+	if err != nil || !changed || p.Version != 5 {
+		t.Fatalf("fetch after push: changed=%v v%d err=%v", changed, p.Version, err)
+	}
+
+	// An older or equal version is refused without forking the chain.
+	stale := plan.Bootstrap(in.Set.NumSites, cfg.Fingerprint, 100, 0.01)
+	stale.Version = 5
+	buf.Reset()
+	stale.Encode(&buf)
+	resp, err = http.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale push = %d, want 200 (not accepted)", resp.StatusCode)
+	}
+	if srv.Plan().Version != 5 {
+		t.Fatal("stale push changed the version")
+	}
+
+	// A plan for a different instrumentation fingerprint is a 400.
+	wrong := plan.Bootstrap(in.Set.NumSites, cfg.Fingerprint+1, 100, 0.01)
+	wrong.Version = 9
+	buf.Reset()
+	wrong.Encode(&buf)
+	resp, err = http.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-fingerprint push = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestReplanAndPersistence: a live re-plan bumps the version, persists
+// the plan beside the snapshot, and a restarted collector serves the
+// same version instead of regressing to bootstrap.
+func TestReplanAndPersistence(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+	cfg := serverConfig(t)
+	cfg.SnapshotPath = filepath.Join(t.TempDir(), "collector.snap")
+	cfg.PlanMinRuns = 10
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Under the MinRuns gate nothing publishes.
+	if _, published := srv.Replan(); published {
+		t.Fatal("re-plan published below the MinRuns gate")
+	}
+
+	for _, r := range in.Set.Reports[:200] {
+		srv.Ingest(r)
+	}
+	p, published := srv.Replan()
+	if !published {
+		t.Fatal("re-plan over 200 runs did not publish")
+	}
+	if p.Version != 2 || p.Source != "collector" || p.Runs != 200 {
+		t.Fatalf("published plan: %+v", p)
+	}
+	if st := srv.StatsNow(); st.Replans != 1 || st.PlanVersion != 2 {
+		t.Fatalf("stats after re-plan: replans=%d version=%d", st.Replans, st.PlanVersion)
+	}
+	if err := srv.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The sidecar file exists and round-trips.
+	side, err := plan.ReadFile(plan.Path(cfg.SnapshotPath), cfg.NumSites)
+	if err != nil || side == nil {
+		t.Fatalf("plan sidecar: %v, %v", side, err)
+	}
+	if !reflect.DeepEqual(side, p) {
+		t.Fatal("persisted plan differs from the published plan")
+	}
+
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	got := srv2.Plan()
+	if got.Version != 2 || !reflect.DeepEqual(got.Rates, p.Rates) {
+		t.Fatalf("restored plan v%d, want the persisted v2", got.Version)
+	}
+}
+
+// TestPlanBatchAttribution: batches stamped with the current plan
+// version count as current; batches stamped with an older version (a
+// client that has not yet polled) count as stale.
+func TestPlanBatchAttribution(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+	cfg := serverConfig(t)
+	cfg.PlanMinRuns = 10
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+
+	client := NewClient(ts.URL, in.Set.NumSites, in.Set.NumPreds, WithBatchSize(16))
+	if _, _, err := client.FetchPlan(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SubmitSet(ctx, &report.Set{
+		NumSites: in.Set.NumSites, NumPreds: in.Set.NumPreds,
+		Reports: in.Set.Reports[:64],
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitApplied(t, srv, 64)
+	st := srv.StatsNow()
+	if st.PlanBatchesCurrent != 4 || st.PlanBatchesStale != 0 {
+		t.Fatalf("attribution v1 = %d current / %d stale, want 4/0", st.PlanBatchesCurrent, st.PlanBatchesStale)
+	}
+
+	// Re-plan; the client keeps streaming on the old version until it
+	// polls again.
+	if _, published := srv.Replan(); !published {
+		t.Fatal("re-plan did not publish")
+	}
+	if err := client.SubmitSet(ctx, &report.Set{
+		NumSites: in.Set.NumSites, NumPreds: in.Set.NumPreds,
+		Reports: in.Set.Reports[64:96],
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitApplied(t, srv, 96)
+	st = srv.StatsNow()
+	if st.PlanBatchesStale != 2 {
+		t.Fatalf("stale batches = %d, want 2", st.PlanBatchesStale)
+	}
+
+	// After polling, batches are current again.
+	if _, changed, err := client.FetchPlan(ctx); err != nil || !changed {
+		t.Fatalf("poll after re-plan: changed=%v err=%v", changed, err)
+	}
+	if err := client.SubmitSet(ctx, &report.Set{
+		NumSites: in.Set.NumSites, NumPreds: in.Set.NumPreds,
+		Reports: in.Set.Reports[96:112],
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitApplied(t, srv, 112)
+	st = srv.StatsNow()
+	if st.PlanBatchesCurrent != 5 || st.PlanBatchesStale != 2 {
+		t.Fatalf("attribution v2 = %d current / %d stale, want 5/2", st.PlanBatchesCurrent, st.PlanBatchesStale)
+	}
+}
+
+// TestRunLogByteCap: the byte cap evicts oldest-first with the same
+// evict-and-decrement consistency as the count cap, never evicts the
+// newest run, and reports its footprint in stats.
+func TestRunLogByteCap(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+	cfg := serverConfig(t)
+	cfg.RunLogMaxBytes = 4096
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, r := range in.Set.Reports[:500] {
+		srv.Ingest(r)
+	}
+	st := srv.StatsNow()
+	if st.RunLogMaxBytes != 4096 {
+		t.Fatalf("runlog_max_bytes = %d, want 4096", st.RunLogMaxBytes)
+	}
+	if st.RunLogBytes > 4096 {
+		t.Fatalf("runlog_bytes = %d exceeds the cap", st.RunLogBytes)
+	}
+	if st.RunLogRuns == 0 {
+		t.Fatal("byte cap evicted the newest run")
+	}
+	if st.RunLogRuns >= 500 {
+		t.Fatalf("byte cap retained all %d runs under a 4KiB cap", st.RunLogRuns)
+	}
+	if st.RunLogEvicted != int64(500-st.RunLogRuns) {
+		t.Fatalf("evicted = %d with %d retained, want %d", st.RunLogEvicted, st.RunLogRuns, 500-st.RunLogRuns)
+	}
+	// Evict-and-decrement: the counters describe exactly the retained
+	// window, so runs == runlog_runs.
+	if st.Runs != int64(st.RunLogRuns) {
+		t.Fatalf("counters describe %d runs but the log retains %d", st.Runs, st.RunLogRuns)
+	}
+}
+
+// TestAPIKeyRotation: SetAPIKeys swaps the accepted key set atomically;
+// old keys stop working, new keys start, GET /v1/plan stays open
+// throughout (a fleet must be able to poll plans across a rotation),
+// and the reload is counted.
+func TestAPIKeyRotation(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+	cfg := serverConfig(t)
+	cfg.APIKeys = []string{"old-key"}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	batch := encodeBatch(t, in, in.Set.Reports[:2])
+	post := func(key string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/reports", bytes.NewReader(batch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/x-cbi-reports")
+		req.Header.Set("Content-Encoding", "gzip")
+		req.Header.Set("Authorization", "Bearer "+key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	planGet := func() int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/plan")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := post("old-key"); code != http.StatusAccepted {
+		t.Fatalf("pre-rotation POST with old key = %d, want 202", code)
+	}
+	if code := planGet(); code != http.StatusOK {
+		t.Fatalf("pre-rotation GET /v1/plan = %d, want 200", code)
+	}
+
+	srv.SetAPIKeys([]string{"new-key"})
+
+	if code := post("old-key"); code != http.StatusUnauthorized {
+		t.Fatalf("post-rotation POST with old key = %d, want 401", code)
+	}
+	if code := post("new-key"); code != http.StatusAccepted {
+		t.Fatalf("post-rotation POST with new key = %d, want 202", code)
+	}
+	if code := planGet(); code != http.StatusOK {
+		t.Fatalf("post-rotation GET /v1/plan = %d, want 200", code)
+	}
+	if st := srv.StatsNow(); st.APIKeyReloads != 1 {
+		t.Fatalf("api_key_reloads = %d, want 1", st.APIKeyReloads)
+	}
+}

@@ -27,6 +27,12 @@ const defaultRunLogCap = 1 << 18
 // same run set.
 type runLog struct {
 	cap int
+	// maxBytes, when positive, additionally caps the summed encoded size
+	// of retained records; bytes tracks the current sum. The newest run
+	// is never evicted by the byte cap, so the window always holds at
+	// least one run.
+	maxBytes int64
+	bytes    int64
 	// Circular buffer: recs/times share indices, len(recs) is the
 	// allocated ring size (grows amortized up to cap), head the oldest
 	// entry, n the live count.
@@ -37,13 +43,13 @@ type runLog struct {
 	// version increments on every mutation; /v1/predictors caches are
 	// keyed on it so repeated polls between ingests never rescan.
 	version uint64
-	// evicted counts runs dropped by retention (count or age cap)
+	// evicted counts runs dropped by retention (count, age, or byte cap)
 	// since startup.
 	evicted int64
 }
 
-func newRunLog(capRuns int) *runLog {
-	return &runLog{cap: capRuns}
+func newRunLog(capRuns int, maxBytes int64) *runLog {
+	return &runLog{cap: capRuns, maxBytes: maxBytes}
 }
 
 // grow doubles the ring allocation (up to cap), relinearizing at 0.
@@ -65,19 +71,27 @@ func (l *runLog) grow() {
 }
 
 // append stores one encoded record stamped with its arrival time,
-// returning the evicted oldest record when the count cap forces one
-// out (nil when under cap). The returned slice is immutable: rings
-// swap record pointers, never reuse their bytes.
-func (l *runLog) append(rec []byte, now int64) (evicted []byte) {
+// returning the evicted records the retention caps force out, oldest
+// first (nil when under cap): at most one for the count cap, plus as
+// many oldest runs as it takes to get back under the byte cap. The
+// returned slices are immutable: rings swap record pointers, never
+// reuse their bytes.
+func (l *runLog) append(rec []byte, now int64) (evicted [][]byte) {
 	if l.n == l.cap {
-		evicted = l.evictOldest()
+		evicted = append(evicted, l.evictOldest())
 	} else if l.n == len(l.recs) {
 		l.grow()
 	}
 	i := (l.head + l.n) % len(l.recs)
 	l.recs[i], l.times[i] = rec, now
 	l.n++
+	l.bytes += int64(len(rec))
 	l.version++
+	if l.maxBytes > 0 {
+		for l.bytes > l.maxBytes && l.n > 1 {
+			evicted = append(evicted, l.evictOldest())
+		}
+	}
 	return evicted
 }
 
@@ -87,6 +101,7 @@ func (l *runLog) evictOldest() []byte {
 	l.recs[l.head] = nil
 	l.head = (l.head + 1) % len(l.recs)
 	l.n--
+	l.bytes -= int64(len(rec))
 	l.evicted++
 	l.version++
 	return rec
@@ -117,21 +132,33 @@ func (l *runLog) records() [][]byte {
 }
 
 // restore refills the log from decoded reports (oldest first), keeping
-// only the newest cap runs, all stamped with the restore time (the
-// at-rest format carries no per-run clock, so ages restart
-// conservatively). Counters are the caller's business.
-func (l *runLog) restore(reports []*report.Report, now int64) {
+// only the newest cap runs (count and byte caps both apply), all
+// stamped with the restore time (the at-rest format carries no per-run
+// clock, so ages restart conservatively). It returns how many runs were
+// retained so the caller can detect a trim. Counters are the caller's
+// business.
+func (l *runLog) restore(reports []*report.Report, now int64) (retained int) {
 	if len(reports) > l.cap {
 		reports = reports[len(reports)-l.cap:]
 	}
 	l.recs = make([][]byte, len(reports))
 	l.times = make([]int64, len(reports))
-	l.head, l.n = 0, len(reports)
+	l.head, l.n, l.bytes = 0, len(reports), 0
 	for i, r := range reports {
 		l.recs[i] = report.AppendRecord(nil, r)
 		l.times[i] = now
+		l.bytes += int64(len(l.recs[i]))
+	}
+	if l.maxBytes > 0 {
+		for l.bytes > l.maxBytes && l.n > 1 {
+			l.bytes -= int64(len(l.recs[l.head]))
+			l.recs[l.head] = nil
+			l.head++
+			l.n--
+		}
 	}
 	l.version++
+	return l.n
 }
 
 // decodeRecords decodes run-log records into reports, in order.

@@ -11,14 +11,18 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cbi/internal/core"
 	"cbi/internal/corpus"
 	"cbi/internal/obs"
+	"cbi/internal/plan"
 	"cbi/internal/report"
+	"cbi/internal/sampling"
 )
 
 // Config configures a collector server.
@@ -47,12 +51,40 @@ type Config struct {
 	// consistency as the count cap. A background sweep enforces it even
 	// when no new reports arrive.
 	RunLogMaxAge time.Duration
+	// RunLogMaxBytes, when positive, additionally caps the retained
+	// window by summed encoded record size — the operator-facing knob
+	// when memory, not run count, is the scarce resource. Eviction has
+	// the same evict-and-decrement counter consistency as the other
+	// caps; the newest run is never evicted.
+	RunLogMaxBytes int64
 	// APIKeys, when non-empty, gates the write endpoints: POST
-	// /v1/reports and /v1/merge must carry "Authorization: Bearer <key>"
-	// matching one of the keys (constant-time compare) or they are
-	// rejected with 401 and counted in the auth_rejected stat. Read
-	// endpoints stay open.
+	// /v1/reports, /v1/merge, and /v1/plan must carry "Authorization:
+	// Bearer <key>" matching one of the keys (constant-time compare) or
+	// they are rejected with 401 and counted in the auth_rejected stat.
+	// Read endpoints — including GET /v1/plan, so key rollover never
+	// blinds the fleet's rate control — stay open. Keys can be rotated
+	// live with SetAPIKeys.
 	APIKeys []string
+	// PlanEvery, when positive, runs the closed-loop sampling planner:
+	// every period the live aggregate's observation counts are re-planned
+	// into a new versioned sampling plan (see internal/plan) served at
+	// GET /v1/plan. Zero disables the loop; the endpoint still serves the
+	// bootstrap (or restored / pushed) plan, and Replan can be driven
+	// manually.
+	PlanEvery time.Duration
+	// PlanTarget is the per-run expected sample count each site is
+	// planned toward (default sampling.DefaultTargetSamples).
+	PlanTarget float64
+	// PlanMinRate floors planned rates (default sampling.DefaultRate).
+	PlanMinRate float64
+	// PlanMinRuns gates re-planning until the retained window holds at
+	// least this many runs (default plan.DefaultMinRuns).
+	PlanMinRuns int64
+	// PlanBoostRadius, when positive, boosts the site neighborhood of
+	// the current top predictor (±radius sites) to rate 1 in each new
+	// plan — the targeted-deployment hook that confirms or kills the
+	// leading cause faster. Zero disables boosting.
+	PlanBoostRadius int
 	// Workers is the number of apply workers (default GOMAXPROCS).
 	Workers int
 	// Shards is the number of counter stripes (default 16).
@@ -98,12 +130,14 @@ type Stats struct {
 	ReportsEnqueued int64  `json:"reports_enqueued"`
 	ReportsApplied  int64  `json:"reports_applied"`
 	Snapshots       int64  `json:"snapshots"`
-	// Run-log retention: retained window size, configured cap, and runs
-	// evicted (and un-counted) since startup. All zero when the run log
-	// is disabled.
-	RunLogRuns    int   `json:"runlog_runs"`
-	RunLogCap     int   `json:"runlog_cap"`
-	RunLogEvicted int64 `json:"runlog_evicted"`
+	// Run-log retention: retained window size, configured caps, current
+	// encoded byte footprint, and runs evicted (and un-counted) since
+	// startup. All zero when the run log is disabled.
+	RunLogRuns     int   `json:"runlog_runs"`
+	RunLogCap      int   `json:"runlog_cap"`
+	RunLogEvicted  int64 `json:"runlog_evicted"`
+	RunLogBytes    int64 `json:"runlog_bytes"`
+	RunLogMaxBytes int64 `json:"runlog_max_bytes"`
 	// /v1/predictors cache behaviour: full eliminations computed vs
 	// polls served from cache (no rescan between ingests).
 	PredictorsComputed  int64 `json:"predictors_computed"`
@@ -115,6 +149,23 @@ type Stats struct {
 	// total runs their counter snapshots carried.
 	MergesAccepted int64 `json:"merges_accepted"`
 	MergedRuns     int64 `json:"merged_runs"`
+	// Closed-loop sampling plan state: the current plan version, how
+	// many new versions this server published (locally re-planned or
+	// accepted via POST /v1/plan push), /v1/plan fetch traffic, and how
+	// many sites the current plan boosts to rate 1.
+	PlanVersion      uint64 `json:"plan_version"`
+	Replans          int64  `json:"replans"`
+	PlanPushes       int64  `json:"plan_pushes"`
+	PlanFetches      int64  `json:"plan_fetches"`
+	PlanNotModified  int64  `json:"plan_not_modified"`
+	PlanBoostedSites int    `json:"plan_boosted_sites"`
+	// Report-batch plan attribution (X-CBI-Plan-Version): batches
+	// produced under the currently served plan vs. an older one — the
+	// operator's view of how far rate changes have propagated.
+	PlanBatchesCurrent int64 `json:"plan_batches_current"`
+	PlanBatchesStale   int64 `json:"plan_batches_stale"`
+	// Live API-key rotations applied via SetAPIKeys (SIGHUP reload).
+	APIKeyReloads int64 `json:"api_key_reloads"`
 }
 
 // ScoreEntry is one row of the GET /v1/scores response.
@@ -136,6 +187,18 @@ type ScoreEntry struct {
 type Server struct {
 	cfg Config
 	agg *shardedAgg
+
+	// apiKeys holds the live write-endpoint key set; SetAPIKeys swaps it
+	// without a restart (SIGHUP rotation).
+	apiKeys atomic.Pointer[[]string]
+
+	// planStore serves GET /v1/plan; planner computes successors from
+	// the live aggregate (driven by planLoop or Replan).
+	planStore *plan.Store
+	planner   *plan.Planner
+	// planMu serializes publication sources (local re-plans and POST
+	// /v1/plan pushes) with their sidecar persistence.
+	planMu sync.Mutex
 
 	queue chan []*report.Report
 
@@ -168,6 +231,14 @@ type Server struct {
 
 	predictorsComputed  *obs.Counter
 	predictorsCacheHits *obs.Counter
+
+	replans            *obs.Counter
+	planPushes         *obs.Counter
+	planFetches        *obs.Counter
+	planNotModified    *obs.Counter
+	planBatchesCurrent *obs.Counter
+	planBatchesStale   *obs.Counter
+	apiKeyReloads      *obs.Counter
 
 	// Cached /v1/predictors response, keyed by query parameters and the
 	// run-log version at computation time; any ingest bumps the version
@@ -213,18 +284,40 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 16
 	}
+	if cfg.PlanTarget <= 0 {
+		cfg.PlanTarget = sampling.DefaultTargetSamples
+	}
+	if cfg.PlanMinRate <= 0 {
+		cfg.PlanMinRate = sampling.DefaultRate
+	}
+	if cfg.PlanMinRuns <= 0 {
+		cfg.PlanMinRuns = plan.DefaultMinRuns
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
 
 	s := &Server{
 		cfg:       cfg,
-		agg:       newShardedAgg(cfg.NumSites, cfg.NumPreds, cfg.Shards, cfg.RunLogSize, cfg.RunLogMaxAge, cfg.nowFn),
+		agg:       newShardedAgg(cfg.NumSites, cfg.NumPreds, cfg.Shards, cfg.RunLogSize, cfg.RunLogMaxBytes, cfg.RunLogMaxAge, cfg.nowFn),
 		queue:     make(chan []*report.Report, cfg.QueueSize),
 		accepting: true,
 		die:       make(chan struct{}),
 		dedupSeen: make(map[string]struct{}),
 	}
+	keys := append([]string(nil), cfg.APIKeys...)
+	s.apiKeys.Store(&keys)
+	s.planStore = plan.NewStore(plan.Bootstrap(cfg.NumSites, cfg.Fingerprint, cfg.PlanTarget, cfg.PlanMinRate))
+	s.planner = plan.NewPlanner(s.planStore, plan.PlannerConfig{
+		Source:      s.planInput,
+		Target:      cfg.PlanTarget,
+		MinRate:     cfg.PlanMinRate,
+		MinRuns:     cfg.PlanMinRuns,
+		BoostRadius: cfg.PlanBoostRadius,
+		Fingerprint: cfg.Fingerprint,
+		SourceName:  "collector",
+		Now:         cfg.nowFn,
+	})
 	s.initMetrics()
 
 	if cfg.SnapshotPath != "" {
@@ -244,6 +337,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RunLogMaxAge > 0 && cfg.RunLogSize > 0 {
 		s.bg.Add(1)
 		go s.sweepLoop()
+	}
+	if cfg.PlanEvery > 0 {
+		s.bg.Add(1)
+		go s.planLoop()
 	}
 	return s, nil
 }
@@ -286,6 +383,20 @@ func (s *Server) initMetrics() {
 		"Full cause-isolation eliminations computed for /v1/predictors.")
 	s.predictorsCacheHits = m.Counter("cbi_collector_predictors_cache_hits_total",
 		"/v1/predictors polls served from the version-keyed cache.")
+	s.replans = m.Counter("cbi_collector_replans_total",
+		"Sampling plans published by the local closed-loop planner.")
+	s.planPushes = m.Counter("cbi_collector_plan_pushes_total",
+		"Newer sampling plans accepted via POST /v1/plan (gateway pushes).")
+	s.planFetches = m.Counter("cbi_collector_plan_fetches_total",
+		"GET /v1/plan responses that carried a full plan body.")
+	s.planNotModified = m.Counter("cbi_collector_plan_not_modified_total",
+		"GET /v1/plan polls answered 304 (client already current).")
+	s.planBatchesCurrent = m.Counter("cbi_collector_plan_batches_current_total",
+		"Accepted report batches stamped with the currently served plan version.")
+	s.planBatchesStale = m.Counter("cbi_collector_plan_batches_stale_total",
+		"Accepted report batches stamped with an older plan version (rates still propagating).")
+	s.apiKeyReloads = m.Counter("cbi_collector_api_key_reloads_total",
+		"Live API-key set swaps applied via SetAPIKeys (SIGHUP rotation).")
 	s.snapshotSeconds = m.Histogram("cbi_collector_snapshot_write_seconds",
 		"Wall time to persist one snapshot+run-log pair, in seconds.", nil)
 
@@ -303,18 +414,35 @@ func (s *Server) initMetrics() {
 		func() float64 { _, ns := s.agg.Runs(); return float64(ns) })
 	m.GaugeFunc("cbi_collector_runlog_runs",
 		"Runs currently retained in the run-level membership log.",
-		func() float64 { n, _, _ := s.agg.LogStats(); return float64(n) })
+		func() float64 { return float64(s.agg.LogStats().retained) })
 	m.GaugeFunc("cbi_collector_runlog_cap",
 		"Run-log retention cap in runs (0 when retention is disabled).",
-		func() float64 { _, _, c := s.agg.LogStats(); return float64(c) })
+		func() float64 { return float64(s.agg.LogStats().capRuns) })
 	m.CounterFunc("cbi_collector_runlog_evicted_total",
-		"Runs evicted (and un-counted) by the count or age retention cap.",
-		func() float64 { _, ev, _ := s.agg.LogStats(); return float64(ev) })
+		"Runs evicted (and un-counted) by the count, age, or byte retention cap.",
+		func() float64 { return float64(s.agg.LogStats().evicted) })
+	m.GaugeFunc("cbi_collector_runlog_bytes",
+		"Encoded bytes currently retained in the run-level membership log.",
+		func() float64 { return float64(s.agg.LogStats().bytes) })
+	m.GaugeFunc("cbi_collector_runlog_max_bytes",
+		"Run-log retention cap in encoded bytes (0 when no byte cap is set).",
+		func() float64 { return float64(s.agg.LogStats().maxBytes) })
+	m.GaugeFunc("cbi_collector_plan_version",
+		"Version of the sampling plan currently served at /v1/plan.",
+		func() float64 { return float64(s.planStore.Version()) })
+	m.GaugeFunc("cbi_collector_plan_boosted_sites",
+		"Sites boosted to rate 1 by the current plan's targeted-deployment hook.",
+		func() float64 {
+			if p := s.planStore.Current(); p != nil {
+				return float64(len(p.Boosts))
+			}
+			return 0
+		})
 
 	s.httpObs = obs.NewHTTP(obs.HTTPConfig{
 		Registry: m,
 		Paths: []string{"/v1/reports", "/v1/merge", "/v1/snapshot", "/v1/scores",
-			"/v1/predictors", "/v1/stats", "/healthz", "/metrics"},
+			"/v1/predictors", "/v1/stats", "/v1/plan", "/healthz", "/metrics"},
 		SlowRequest: s.cfg.SlowRequest,
 		Logf:        s.cfg.Logf,
 	})
@@ -346,6 +474,80 @@ func (s *Server) sweepLoop() {
 			s.runlogSweeps.Inc()
 		}
 	}
+}
+
+// planLoop periodically re-plans sampling rates from the live
+// aggregate, publishing (and persisting) a new plan version whenever
+// the rates actually change.
+func (s *Server) planLoop() {
+	defer s.bg.Done()
+	t := time.NewTicker(s.cfg.PlanEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.die:
+			return
+		case <-t.C:
+			s.Replan()
+		}
+	}
+}
+
+// planInput captures the planner's view of the aggregate: per-site
+// observed-run counts, the window size, and (when boosting is on) the
+// site of the current top predictor.
+func (s *Server) planInput() plan.Input {
+	observed, runs := s.agg.SiteObservedRuns()
+	in := plan.Input{Observed: observed, Runs: runs, TopSite: -1}
+	if s.cfg.PlanBoostRadius > 0 {
+		if ranked := core.TopKImportance(s.agg.ToAgg(s.cfg.SiteOf), 1); len(ranked) > 0 {
+			in.TopSite = int(s.cfg.SiteOf[ranked[0].Pred])
+		}
+	}
+	return in
+}
+
+// Replan runs one planning pass over the live aggregate, publishing a
+// new plan version if the window is large enough and the rates changed.
+// It returns the plan now being served and whether a new version was
+// published. The periodic loop (Config.PlanEvery) calls this; tests and
+// operators can drive it directly.
+func (s *Server) Replan() (*plan.Plan, bool) {
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	p, published := s.planner.Replan()
+	if published {
+		s.replans.Add(1)
+		s.persistPlanLocked(p)
+		s.cfg.Logf("collector: published sampling plan v%d (%d runs, %d boosted sites)",
+			p.Version, p.Runs, len(p.Boosts))
+	}
+	return p, published
+}
+
+// persistPlanLocked writes the current plan's sidecar file (best
+// effort; the plan is already live). Callers hold planMu.
+func (s *Server) persistPlanLocked(p *plan.Plan) {
+	if s.cfg.SnapshotPath == "" {
+		return
+	}
+	if err := plan.WriteFile(plan.Path(s.cfg.SnapshotPath), p); err != nil {
+		s.cfg.Logf("collector: persisting sampling plan v%d: %v", p.Version, err)
+	}
+}
+
+// Plan returns the sampling plan currently served at GET /v1/plan.
+func (s *Server) Plan() *plan.Plan { return s.planStore.Current() }
+
+// SetAPIKeys swaps the write-endpoint API-key set live — the SIGHUP
+// rotation path. An empty set disables auth (matching Config.APIKeys
+// semantics). In-flight requests finish against whichever set they
+// loaded; new requests see the new set.
+func (s *Server) SetAPIKeys(keys []string) {
+	cp := append([]string(nil), keys...)
+	s.apiKeys.Store(&cp)
+	s.apiKeyReloads.Add(1)
+	s.cfg.Logf("collector: API key set reloaded (%d keys)", len(cp))
 }
 
 // restore loads the durable pair — aggregate snapshot and run-log
@@ -381,7 +583,7 @@ func (s *Server) restore() error {
 			return fmt.Errorf("collector: run log dimensions %dx%d do not match server %dx%d",
 				logSet.NumSites, logSet.NumPreds, cfg.NumSites, cfg.NumPreds)
 		}
-		s.agg.RestoreLog(logSet.Reports)
+		retained := s.agg.RestoreLog(logSet.Reports)
 		// The snapshot records how many runs its companion log held (a
 		// legacy v1 snapshot does not; fall back to its run counts,
 		// which equal the logged count unless state was merged in).
@@ -392,15 +594,34 @@ func (s *Server) restore() error {
 				wantLogged = snap.NumF + snap.NumS
 			}
 		}
-		if snap == nil || wantLogged != int64(len(logSet.Reports)) || len(logSet.Reports) > cfg.RunLogSize {
-			cfg.Logf("collector: counters disagree with run log (%d runs logged); recounting from the log",
-				len(logSet.Reports))
+		// Recount whenever the counters cannot match the retained window:
+		// torn snapshot pair, or retention caps (count or bytes) trimmed
+		// the restored log below what the snapshot described.
+		if snap == nil || wantLogged != int64(len(logSet.Reports)) || retained != len(logSet.Reports) {
+			cfg.Logf("collector: counters disagree with run log (%d runs logged, %d retained); recounting from the log",
+				len(logSet.Reports), retained)
 			if err := s.agg.RecountFromLog(); err != nil {
 				return fmt.Errorf("collector: recounting from run log: %v", err)
 			}
 		}
 	} else if snap != nil && snap.NumF+snap.NumS > 0 && cfg.RunLogSize > 0 {
 		cfg.Logf("collector: snapshot has no run log; /v1/predictors starts empty until new runs arrive")
+	}
+
+	// The sampling plan persists beside the snapshot; restoring it keeps
+	// the fleet's rates (and the version clients resume polling from)
+	// across a restart. A missing sidecar just leaves the bootstrap plan.
+	p, err := plan.ReadFile(plan.Path(cfg.SnapshotPath), cfg.NumSites)
+	if err != nil {
+		return fmt.Errorf("collector: loading sampling plan: %v", err)
+	}
+	if p != nil {
+		if cfg.Fingerprint != 0 && p.Fingerprint != 0 && p.Fingerprint != cfg.Fingerprint {
+			return fmt.Errorf("collector: sampling plan fingerprint %d does not match plan %d",
+				p.Fingerprint, cfg.Fingerprint)
+		}
+		s.planStore.Publish(p)
+		cfg.Logf("collector: restored sampling plan v%d", p.Version)
 	}
 
 	numF, numS := s.agg.Runs()
@@ -535,6 +756,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/scores", s.handleScores)
 	mux.HandleFunc("/v1/predictors", s.handlePredictors)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/plan", s.handlePlan)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", s.metrics.Handler())
 	if s.cfg.EnablePprof {
@@ -549,7 +771,8 @@ func (s *Server) Handler() http.Handler {
 // timing leaks nothing about key contents. On rejection it writes the
 // 401 itself and returns false.
 func (s *Server) authorize(w http.ResponseWriter, r *http.Request) bool {
-	if len(s.cfg.APIKeys) == 0 {
+	keys := *s.apiKeys.Load()
+	if len(keys) == 0 {
 		return true
 	}
 	const scheme = "Bearer "
@@ -559,7 +782,7 @@ func (s *Server) authorize(w http.ResponseWriter, r *http.Request) bool {
 		presented = auth[len(scheme):]
 	}
 	ok := false
-	for _, key := range s.cfg.APIKeys {
+	for _, key := range keys {
 		// No early exit: every configured key is compared on every
 		// request so match position is not observable either.
 		if subtle.ConstantTimeCompare([]byte(presented), []byte(key)) == 1 {
@@ -669,6 +892,18 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		s.acceptMu.RUnlock()
 		s.batchesAccepted.Add(1)
 		s.reportsEnqueued.Add(int64(len(set.Reports)))
+		// Plan attribution: clients stamp batches with the plan version
+		// their sampler ran under, so operators can see how much of the
+		// stream is still producing counts under superseded rates.
+		if pv := r.Header.Get("X-CBI-Plan-Version"); pv != "" {
+			if v, err := strconv.ParseUint(pv, 10, 64); err == nil {
+				if v >= s.planStore.Version() {
+					s.planBatchesCurrent.Add(1)
+				} else {
+					s.planBatchesStale.Add(1)
+				}
+			}
+		}
 		w.WriteHeader(http.StatusAccepted)
 		fmt.Fprintf(w, `{"accepted":%d}`+"\n", len(set.Reports))
 	default:
@@ -889,7 +1124,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // StatsNow returns the server's current statistics.
 func (s *Server) StatsNow() Stats {
 	numF, numS := s.agg.Runs()
-	logRuns, logEvicted, logCap := s.agg.LogStats()
+	ls := s.agg.LogStats()
+	boosted := 0
+	if p := s.planStore.Current(); p != nil {
+		boosted = len(p.Boosts)
+	}
 	return Stats{
 		NumSites:            s.cfg.NumSites,
 		NumPreds:            s.cfg.NumPreds,
@@ -904,14 +1143,71 @@ func (s *Server) StatsNow() Stats {
 		ReportsEnqueued:     s.reportsEnqueued.Value(),
 		ReportsApplied:      s.reportsApplied.Value(),
 		Snapshots:           s.snapshots.Value(),
-		RunLogRuns:          logRuns,
-		RunLogCap:           logCap,
-		RunLogEvicted:       logEvicted,
+		RunLogRuns:          ls.retained,
+		RunLogCap:           ls.capRuns,
+		RunLogEvicted:       ls.evicted,
+		RunLogBytes:         ls.bytes,
+		RunLogMaxBytes:      ls.maxBytes,
 		PredictorsComputed:  s.predictorsComputed.Value(),
 		PredictorsCacheHits: s.predictorsCacheHits.Value(),
 		AuthRejected:        s.authRejected.Value(),
 		MergesAccepted:      s.mergesAccepted.Value(),
 		MergedRuns:          s.mergedRuns.Value(),
+		PlanVersion:         s.planStore.Version(),
+		Replans:             s.replans.Value(),
+		PlanPushes:          s.planPushes.Value(),
+		PlanFetches:         s.planFetches.Value(),
+		PlanNotModified:     s.planNotModified.Value(),
+		PlanBoostedSites:    boosted,
+		PlanBatchesCurrent:  s.planBatchesCurrent.Value(),
+		PlanBatchesStale:    s.planBatchesStale.Value(),
+		APIKeyReloads:       s.apiKeyReloads.Value(),
+	}
+}
+
+// handlePlan serves the current sampling plan (GET, open: clients must
+// always be able to learn their rates, even mid key-rotation) and
+// accepts newer-version plan pushes (POST, authorized: a fleet gateway
+// replacing per-shard plans with the fleet-wide one). GET honors
+// `?since=<version>` and If-None-Match with 304, so steady-state
+// polling costs no body bytes.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		if plan.ServeGet(w, r, s.planStore) {
+			s.planNotModified.Add(1)
+		} else {
+			s.planFetches.Add(1)
+		}
+	case http.MethodPost:
+		if !s.authorize(w, r) {
+			return
+		}
+		p, err := plan.Decode(http.MaxBytesReader(w, r.Body, plan.MaxEncodedBytes), s.cfg.NumSites)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if s.cfg.Fingerprint != 0 && p.Fingerprint != 0 && p.Fingerprint != s.cfg.Fingerprint {
+			http.Error(w, fmt.Sprintf("plan fingerprint %d does not match %d",
+				p.Fingerprint, s.cfg.Fingerprint), http.StatusBadRequest)
+			return
+		}
+		s.planMu.Lock()
+		accepted := s.planStore.Publish(p)
+		if accepted {
+			s.planPushes.Add(1)
+			s.persistPlanLocked(p)
+		}
+		s.planMu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if accepted {
+			s.cfg.Logf("collector: accepted pushed sampling plan v%d (%s)", p.Version, p.Source)
+			w.WriteHeader(http.StatusAccepted)
+		}
+		fmt.Fprintf(w, `{"accepted":%v,"version":%d}`+"\n", accepted, s.planStore.Version())
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
 	}
 }
 

@@ -104,6 +104,15 @@ type Config struct {
 	// concurrently from worker goroutines and must be safe for
 	// concurrent use (collector.Client is).
 	Stream func(run int, rep *report.Report, meta RunMeta)
+	// Plan, if non-nil, closes the sampling loop: before each run, every
+	// worker consults it for the current fleet plan (version, per-site
+	// rates) and adopts the rates when the version changed since the
+	// worker's last look — the client half of internal/plan's live
+	// re-planning. It overrides Mode's sampler choice with a Nonuniform
+	// sampler seeded from the first non-nil rates (UniformRate everywhere
+	// until then). collector.Client.PlanFunc is the intended source; it
+	// must be safe for concurrent use (it is called from every worker).
+	Plan func() (version uint64, rates []float64)
 }
 
 // RunMeta is per-run ground truth and crash metadata, which a real
@@ -227,13 +236,38 @@ func Run(cfg Config) *Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rt := instrument.NewRuntime(plan, newSampler())
+			sampler := newSampler()
+			// Closed-loop mode: each worker runs its own Nonuniform
+			// sampler and adopts new fleet rates whenever the plan
+			// version moves, between runs (never mid-run, so each run is
+			// sampled under exactly one plan).
+			var planSampler *sampling.Nonuniform
+			var planVersion uint64
+			if cfg.Plan != nil {
+				init := make([]float64, plan.NumSites())
+				for i := range init {
+					init[i] = cfg.UniformRate
+				}
+				if v, rates := cfg.Plan(); rates != nil && len(rates) == len(init) {
+					copy(init, rates)
+					planVersion = v
+				}
+				planSampler = sampling.NewNonuniform(init)
+				sampler = planSampler
+			}
+			rt := instrument.NewRuntime(plan, sampler)
 			buggy := newEngine(prog, buggyMod, rt)
 			var ref engineRunner
 			if cfg.Subject.HasOracle {
 				ref = newEngine(cfg.Subject.Program(false), refMod, nil)
 			}
 			for i := range next {
+				if planSampler != nil {
+					if v, rates := cfg.Plan(); v != planVersion && rates != nil && len(rates) == plan.NumSites() {
+						planSampler.SetRates(rates)
+						planVersion = v
+					}
+				}
 				input := cfg.Subject.Input(int64(i))
 				input.Seed += cfg.SeedBase
 				rt.BeginRun(int64(i) + cfg.SeedBase + 1)

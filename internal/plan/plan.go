@@ -1,0 +1,248 @@
+// Package plan closes the paper's §4 sampling loop at fleet scale. The
+// offline story — train per-site rates on a 1,000-run corpus, deploy,
+// hope the workload matches — becomes a control loop: a Planner
+// periodically re-plans per-site rates from the live aggregate's
+// observation counts (via sampling.EstimateReaches + sampling.PlanRates),
+// versions the result as an immutable Plan, and publishes it through a
+// Store that collectors, gateways, and routers serve at GET /v1/plan.
+// Clients poll with `?since=<version>` (or If-None-Match), pick up new
+// rates between batches, and stamp subsequent report batches with the
+// plan version so the aggregator can attribute counts to the rates that
+// produced them.
+//
+// Identifiability caveat, documented once here and honored everywhere:
+// the live aggregate records *run-level membership* (how many retained
+// runs observed each site), not sample multiplicities. Inverting
+// P(observed) = 1-(1-rate)^reaches recovers a site's per-run reach count
+// only while that probability is usefully below 1; a site observed in
+// virtually every run is saturated, and its true frequency — and hence
+// its paper-exact rate target/reaches — is unidentifiable from
+// membership bits. The planner therefore raises under-observed sites
+// aggressively (the direction the signal actually supports, and the
+// payoff of §4's nonuniform sampling) and holds saturated sites at
+// their current rate: they are already observed in essentially every
+// retained run, which is exactly the quantity the scoring denominators
+// Fobs/Sobs consume.
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// Plan is one immutable, versioned fleet sampling plan. Versions are
+// assigned by the publishing Store and are strictly increasing per
+// store; a Plan is never mutated after publication — re-planning
+// allocates a successor.
+type Plan struct {
+	// Version orders plans; clients poll /v1/plan?since=<version> and a
+	// store only accepts a pushed plan with a newer version.
+	Version uint64 `json:"version"`
+	// Fingerprint identifies the instrumentation plan the rates index
+	// into (0 = unchecked), mirroring snapshot fingerprinting.
+	Fingerprint uint64 `json:"fingerprint,omitempty"`
+	// CreatedUnix is the planning wall-clock second (0 for the
+	// deterministic bootstrap plan).
+	CreatedUnix int64 `json:"created_unix,omitempty"`
+	// Source names the planning tier ("bootstrap", "collector",
+	// "gateway") for operator forensics.
+	Source string `json:"source,omitempty"`
+	// Target and MinRate are the sampling.PlanRates parameters the plan
+	// was computed with.
+	Target  float64 `json:"target"`
+	MinRate float64 `json:"min_rate"`
+	// Runs is the retained-window run count the plan was computed from
+	// (0 for bootstrap).
+	Runs int64 `json:"runs,omitempty"`
+	// Rates is the effective per-site sampling rate vector, boosts
+	// included — what a client's sampler should run.
+	Rates []float64 `json:"rates"`
+	// BaseRates preserves the unboosted rates when Boosts is non-empty,
+	// so the next re-plan can release a boost without the temporary
+	// rate-1 neighborhood masquerading as the site's planned rate. Nil
+	// when no boost is active (Rates are the base rates).
+	BaseRates []float64 `json:"base_rates,omitempty"`
+	// BoostSite is the site whose neighborhood is boosted to rate 1 —
+	// the site of the current top predictor — or -1 when no boost is
+	// active.
+	BoostSite int `json:"boost_site"`
+	// Boosts lists the boosted site ids, ascending.
+	Boosts []int32 `json:"boosts,omitempty"`
+}
+
+// BaseRate returns site i's unboosted rate.
+func (p *Plan) BaseRate(i int) float64 {
+	if p.BaseRates != nil {
+		return p.BaseRates[i]
+	}
+	return p.Rates[i]
+}
+
+// ETag is the plan's HTTP entity tag.
+func (p *Plan) ETag() string { return `"v` + strconv.FormatUint(p.Version, 10) + `"` }
+
+// Validate checks the structural invariants every Plan consumer relies
+// on. numSites > 0 additionally pins the dimension (0 skips the check,
+// for consumers that learn dimensions from the plan itself).
+func (p *Plan) Validate(numSites int) error {
+	if p.Version < 1 {
+		return fmt.Errorf("plan: version %d < 1", p.Version)
+	}
+	if numSites > 0 && len(p.Rates) != numSites {
+		return fmt.Errorf("plan: %d rates for %d sites", len(p.Rates), numSites)
+	}
+	if !(p.Target > 0) {
+		return fmt.Errorf("plan: target %v must be positive", p.Target)
+	}
+	if !(p.MinRate > 0 && p.MinRate <= 1) {
+		return fmt.Errorf("plan: min_rate %v out of (0, 1]", p.MinRate)
+	}
+	for i, r := range p.Rates {
+		if !(r > 0 && r <= 1) {
+			return fmt.Errorf("plan: rate %v out of (0, 1] at site %d", r, i)
+		}
+	}
+	if p.BaseRates != nil {
+		if len(p.BaseRates) != len(p.Rates) {
+			return fmt.Errorf("plan: %d base rates for %d rates", len(p.BaseRates), len(p.Rates))
+		}
+		for i, r := range p.BaseRates {
+			if !(r > 0 && r <= 1) {
+				return fmt.Errorf("plan: base rate %v out of (0, 1] at site %d", r, i)
+			}
+		}
+	}
+	if p.BoostSite < -1 || p.BoostSite >= len(p.Rates) {
+		return fmt.Errorf("plan: boost site %d out of range", p.BoostSite)
+	}
+	prev := int32(-1)
+	for _, s := range p.Boosts {
+		if s < 0 || int(s) >= len(p.Rates) {
+			return fmt.Errorf("plan: boosted site %d out of range", s)
+		}
+		if s <= prev {
+			return fmt.Errorf("plan: boosted sites not strictly ascending at %d", s)
+		}
+		prev = s
+	}
+	return nil
+}
+
+// Encode writes the plan as JSON (one object, trailing newline).
+func (p *Plan) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(p)
+}
+
+// MaxEncodedBytes bounds one plan document on the wire and at rest
+// (a 10M-site fleet plan is ~200MB of JSON; nobody's plan is close).
+const MaxEncodedBytes = 64 << 20
+
+// Decode parses and validates one plan. numSites > 0 pins the rate
+// vector's dimension.
+func Decode(r io.Reader, numSites int) (*Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(io.LimitReader(r, MaxEncodedBytes))
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("plan: decoding: %v", err)
+	}
+	if err := p.Validate(numSites); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Bootstrap returns the deterministic version-1 plan every store starts
+// from: the paper's uniform default — every site at minRate — so a
+// fleet has defined sampling behavior before the first re-plan, and
+// every tier's bootstrap is byte-identical (CreatedUnix is 0 on
+// purpose: a timestamp would make collector and gateway bootstraps
+// spuriously differ).
+func Bootstrap(numSites int, fingerprint uint64, target, minRate float64) *Plan {
+	rates := make([]float64, numSites)
+	for i := range rates {
+		rates[i] = minRate
+	}
+	return &Plan{
+		Version:     1,
+		Fingerprint: fingerprint,
+		Source:      "bootstrap",
+		Target:      target,
+		MinRate:     minRate,
+		Rates:       rates,
+		BoostSite:   -1,
+	}
+}
+
+// Path returns the plan sidecar path beside a collector snapshot.
+func Path(snapshotPath string) string { return snapshotPath + ".plan" }
+
+// WriteFile persists a plan via temp file + rename, like the snapshot
+// writer: a crash mid-write never clobbers the previous plan.
+func WriteFile(path string, p *Plan) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := p.Encode(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile loads a persisted plan; (nil, nil) when the file does not
+// exist.
+func ReadFile(path string, numSites int) (*Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f, numSites)
+}
+
+// ServeGet answers GET /v1/plan from a store with the conditional
+// protocol every tier shares: the response always carries the plan's
+// ETag and X-CBI-Plan-Version; a request whose `?since=<version>` is
+// current (or whose If-None-Match matches) gets 304 with no body, so a
+// million polling clients cost bytes only when the plan actually
+// changes. Returns whether a 304 was served (for the caller's
+// fetch/not-modified counters).
+func ServeGet(w http.ResponseWriter, r *http.Request, st *Store) (notModified bool) {
+	cur := st.Current()
+	if cur == nil {
+		http.Error(w, "no plan published", http.StatusNotFound)
+		return false
+	}
+	etag := cur.ETag()
+	w.Header().Set("ETag", etag)
+	w.Header().Set("X-CBI-Plan-Version", strconv.FormatUint(cur.Version, 10))
+	w.Header().Set("Cache-Control", "no-cache")
+	if since := r.URL.Query().Get("since"); since != "" {
+		if v, err := strconv.ParseUint(since, 10, 64); err == nil && cur.Version <= v {
+			w.WriteHeader(http.StatusNotModified)
+			return true
+		}
+	}
+	if inm := r.Header.Get("If-None-Match"); inm != "" && inm == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	w.Header().Set("Content-Type", "application/json")
+	cur.Encode(w)
+	return false
+}

@@ -1,0 +1,209 @@
+package plan
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func validPlan() *Plan {
+	return &Plan{
+		Version:   3,
+		Target:    100,
+		MinRate:   0.01,
+		Rates:     []float64{0.01, 1, 0.5},
+		BoostSite: -1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := validPlan().Validate(3); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if err := validPlan().Validate(0); err != nil {
+		t.Fatalf("dimension-free validation rejected: %v", err)
+	}
+	cases := []struct {
+		name     string
+		mutate   func(*Plan)
+		numSites int
+	}{
+		{"zero version", func(p *Plan) { p.Version = 0 }, 3},
+		{"wrong dimension", func(p *Plan) {}, 4},
+		{"zero target", func(p *Plan) { p.Target = 0 }, 3},
+		{"min rate above one", func(p *Plan) { p.MinRate = 1.5 }, 3},
+		{"zero rate", func(p *Plan) { p.Rates[1] = 0 }, 3},
+		{"rate above one", func(p *Plan) { p.Rates[1] = 1.0001 }, 3},
+		{"base rates wrong length", func(p *Plan) { p.BaseRates = []float64{0.5} }, 3},
+		{"base rate zero", func(p *Plan) { p.BaseRates = []float64{0.5, 0, 0.5} }, 3},
+		{"boost site out of range", func(p *Plan) { p.BoostSite = 3 }, 3},
+		{"boost site below -1", func(p *Plan) { p.BoostSite = -2 }, 3},
+		{"boost out of range", func(p *Plan) { p.Boosts = []int32{3} }, 3},
+		{"boosts not ascending", func(p *Plan) { p.Boosts = []int32{1, 1} }, 3},
+	}
+	for _, tc := range cases {
+		p := validPlan()
+		tc.mutate(p)
+		if err := p.Validate(tc.numSites); err == nil {
+			t.Errorf("%s: Validate accepted", tc.name)
+		}
+	}
+}
+
+func TestBaseRate(t *testing.T) {
+	p := validPlan()
+	if got := p.BaseRate(1); got != 1 {
+		t.Fatalf("BaseRate without boosts = %v, want the effective rate", got)
+	}
+	p.BaseRates = []float64{0.01, 0.25, 0.5}
+	if got := p.BaseRate(1); got != 0.25 {
+		t.Fatalf("BaseRate with boosts = %v, want 0.25", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := validPlan()
+	p.BaseRates = []float64{0.01, 0.25, 0.5}
+	p.BoostSite = 1
+	p.Boosts = []int32{1, 2}
+	p.Fingerprint = 0xfeed
+	p.Source = "collector"
+	p.Runs = 1234
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip: got %+v, want %+v", got, p)
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte(`{"version":0}`)), 0); err == nil {
+		t.Fatal("Decode accepted an invalid plan")
+	}
+	if _, err := Decode(bytes.NewReader([]byte(`not json`)), 0); err == nil {
+		t.Fatal("Decode accepted garbage")
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	a, b := Bootstrap(4, 7, 100, 0.01), Bootstrap(4, 7, 100, 0.01)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("bootstrap plans differ across calls")
+	}
+	if a.Version != 1 || a.CreatedUnix != 0 || a.Source != "bootstrap" {
+		t.Fatalf("bootstrap identity fields: %+v", a)
+	}
+	for i, r := range a.Rates {
+		if r != 0.01 {
+			t.Fatalf("bootstrap rate[%d] = %v, want the floor", i, r)
+		}
+	}
+	if err := a.Validate(4); err != nil {
+		t.Fatalf("bootstrap plan invalid: %v", err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := Path(filepath.Join(dir, "collector.snap"))
+	if p, err := ReadFile(path, 0); p != nil || err != nil {
+		t.Fatalf("missing file: got (%v, %v), want (nil, nil)", p, err)
+	}
+	want := validPlan()
+	if err := WriteFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("file round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestStoreMonotonic(t *testing.T) {
+	st := NewStore(nil)
+	if st.Current() != nil || st.Version() != 0 {
+		t.Fatal("empty store not empty")
+	}
+	p3 := validPlan()
+	if !st.Publish(p3) {
+		t.Fatal("publish into empty store rejected")
+	}
+	if st.Version() != 3 {
+		t.Fatalf("version = %d, want 3", st.Version())
+	}
+	same := validPlan()
+	if st.Publish(same) {
+		t.Fatal("publish of an equal version accepted")
+	}
+	older := validPlan()
+	older.Version = 2
+	if st.Publish(older) {
+		t.Fatal("publish of an older version accepted")
+	}
+	newer := validPlan()
+	newer.Version = 4
+	if !st.Publish(newer) {
+		t.Fatal("publish of a newer version rejected")
+	}
+}
+
+func TestServeGet(t *testing.T) {
+	st := NewStore(nil)
+	get := func(target string, inm string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, target, nil)
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		w := httptest.NewRecorder()
+		ServeGet(w, req, st)
+		return w
+	}
+
+	if w := get("/v1/plan", ""); w.Code != http.StatusNotFound {
+		t.Fatalf("empty store: %d, want 404", w.Code)
+	}
+
+	st.Publish(validPlan()) // version 3
+	w := get("/v1/plan", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("plain GET: %d, want 200", w.Code)
+	}
+	if w.Header().Get("ETag") != `"v3"` || w.Header().Get("X-CBI-Plan-Version") != "3" {
+		t.Fatalf("headers: ETag=%q version=%q", w.Header().Get("ETag"), w.Header().Get("X-CBI-Plan-Version"))
+	}
+	if _, err := Decode(w.Body, 3); err != nil {
+		t.Fatalf("body does not decode: %v", err)
+	}
+
+	if w := get("/v1/plan?since=3", ""); w.Code != http.StatusNotModified {
+		t.Fatalf("since=current: %d, want 304", w.Code)
+	}
+	if w := get("/v1/plan?since=7", ""); w.Code != http.StatusNotModified {
+		t.Fatalf("since=future: %d, want 304", w.Code)
+	}
+	if w := get("/v1/plan?since=2", ""); w.Code != http.StatusOK {
+		t.Fatalf("since=older: %d, want 200", w.Code)
+	}
+	if w := get("/v1/plan", `"v3"`); w.Code != http.StatusNotModified {
+		t.Fatalf("If-None-Match match: %d, want 304", w.Code)
+	}
+	if w := get("/v1/plan", `"v2"`); w.Code != http.StatusOK {
+		t.Fatalf("If-None-Match mismatch: %d, want 200", w.Code)
+	}
+	// 304s still carry the version headers so pollers can log them.
+	if w := get("/v1/plan?since=3", ""); w.Header().Get("X-CBI-Plan-Version") != "3" {
+		t.Fatal("304 lost the version header")
+	}
+}

@@ -1,0 +1,179 @@
+package plan
+
+import (
+	"time"
+
+	"cbi/internal/sampling"
+)
+
+// Input is one planning observation: the per-site observed-run counts
+// and total run count of the aggregate window the plan is computed
+// from, plus an optional targeted-deployment hint.
+type Input struct {
+	// Observed[i] is the number of retained runs (failing + successful)
+	// that observed site i at least once.
+	Observed []int64
+	// Runs is the total number of retained runs.
+	Runs int64
+	// TopSite is the site of the current top predictor, or -1 when there
+	// is none; its neighborhood is boosted to rate 1 so the fleet
+	// confirms or kills the leading cause faster.
+	TopSite int
+}
+
+// PlannerConfig configures a Planner. Zero values get defaults from
+// sampling (Target, MinRate) and DefaultMinRuns.
+type PlannerConfig struct {
+	// Source supplies the aggregate window each re-plan reads. Required.
+	Source func() Input
+	// Target is the expected per-run sample count each site is planned
+	// toward (default sampling.DefaultTargetSamples).
+	Target float64
+	// MinRate floors planned rates (default sampling.DefaultRate).
+	MinRate float64
+	// MinRuns gates planning: no re-plan until the window holds at least
+	// this many runs (default DefaultMinRuns), so a cold collector does
+	// not thrash rates off a handful of runs.
+	MinRuns int64
+	// BoostRadius is the half-width of the site neighborhood boosted to
+	// rate 1 around Input.TopSite. 0 disables boosting.
+	BoostRadius int
+	// Fingerprint stamps published plans (0 = unchecked).
+	Fingerprint uint64
+	// SourceName stamps Plan.Source ("collector", "gateway").
+	SourceName string
+	// Now supplies plan timestamps (default time.Now).
+	Now func() time.Time
+}
+
+// DefaultMinRuns is the default planning gate: at least this many runs
+// in the window before the first re-plan.
+const DefaultMinRuns = 100
+
+// Planner computes successor plans from live aggregate windows and
+// publishes them to a Store. It is a pure compute component: owners
+// (collector, gateway) drive it from their own tickers and persist /
+// push what it publishes.
+type Planner struct {
+	store *Store
+	cfg   PlannerConfig
+}
+
+// NewPlanner returns a planner publishing into store.
+func NewPlanner(store *Store, cfg PlannerConfig) *Planner {
+	if cfg.Source == nil {
+		panic("plan: PlannerConfig.Source is required")
+	}
+	if cfg.Target <= 0 {
+		cfg.Target = sampling.DefaultTargetSamples
+	}
+	if cfg.MinRate <= 0 {
+		cfg.MinRate = sampling.DefaultRate
+	}
+	if cfg.MinRuns <= 0 {
+		cfg.MinRuns = DefaultMinRuns
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Planner{store: store, cfg: cfg}
+}
+
+// Replan reads one Input from the source and publishes a successor plan
+// if the window is large enough and the resulting rates differ from the
+// current plan. It returns the store's plan after the attempt and
+// whether a new version was published.
+//
+// Per-site policy (see the package comment for the identifiability
+// argument): sites whose reach count is identifiable from the window
+// get the paper's rate target/reaches via sampling.PlanRates; saturated
+// sites hold their current base rate. Boosting then overlays rate 1 on
+// the TopSite neighborhood, with the base rates preserved in
+// Plan.BaseRates so a later re-plan can release the boost cleanly.
+func (p *Planner) Replan() (*Plan, bool) {
+	cur := p.store.Current()
+	if cur == nil {
+		return nil, false
+	}
+	in := p.cfg.Source()
+	if in.Runs < p.cfg.MinRuns || len(in.Observed) != len(cur.Rates) {
+		return cur, false
+	}
+	est, identified := sampling.EstimateReaches(in.Observed, in.Runs, cur.Rates)
+	planned := sampling.PlanRates(est, p.cfg.Target, p.cfg.MinRate)
+	base := make([]float64, len(planned))
+	for i := range base {
+		if identified[i] {
+			base[i] = planned[i]
+		} else {
+			base[i] = cur.BaseRate(i)
+		}
+	}
+
+	rates := base
+	var boosts []int32
+	boostSite := -1
+	if p.cfg.BoostRadius > 0 && in.TopSite >= 0 && in.TopSite < len(base) {
+		boostSite = in.TopSite
+		lo := boostSite - p.cfg.BoostRadius
+		if lo < 0 {
+			lo = 0
+		}
+		hi := boostSite + p.cfg.BoostRadius
+		if hi >= len(base) {
+			hi = len(base) - 1
+		}
+		rates = append([]float64(nil), base...)
+		for s := lo; s <= hi; s++ {
+			rates[s] = 1
+			boosts = append(boosts, int32(s))
+		}
+	}
+
+	if float64sEqual(rates, cur.Rates) && int32sEqual(boosts, cur.Boosts) {
+		return cur, false
+	}
+	next := &Plan{
+		Version:     cur.Version + 1,
+		Fingerprint: p.cfg.Fingerprint,
+		CreatedUnix: p.cfg.Now().Unix(),
+		Source:      p.cfg.SourceName,
+		Target:      p.cfg.Target,
+		MinRate:     p.cfg.MinRate,
+		Runs:        in.Runs,
+		Rates:       rates,
+		BoostSite:   boostSite,
+		Boosts:      boosts,
+	}
+	if boosts != nil {
+		next.BaseRates = base
+	}
+	if !p.store.Publish(next) {
+		return p.store.Current(), false
+	}
+	return next, true
+}
+
+func float64sEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func int32sEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,45 @@
+package plan
+
+import "sync"
+
+// Store holds the current plan for one serving tier. Publication is
+// monotone: a plan is accepted only if its version is strictly newer
+// than the current one, so late or duplicate pushes (a gateway retry, a
+// restarted planner catching up) can never roll a fleet's rates back.
+type Store struct {
+	mu  sync.RWMutex
+	cur *Plan
+}
+
+// NewStore returns a store holding the given initial plan (may be nil).
+func NewStore(initial *Plan) *Store { return &Store{cur: initial} }
+
+// Current returns the current plan, nil if none was ever published.
+// The returned plan is shared and must not be mutated.
+func (s *Store) Current() *Plan {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cur
+}
+
+// Version returns the current plan version (0 when empty).
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.cur == nil {
+		return 0
+	}
+	return s.cur.Version
+}
+
+// Publish installs p if it is strictly newer than the current plan and
+// reports whether it was accepted.
+func (s *Store) Publish(p *Plan) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur != nil && p.Version <= s.cur.Version {
+		return false
+	}
+	s.cur = p
+	return true
+}

@@ -1,0 +1,149 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEstimateReachesInversion: EstimateReaches is the exact inverse of
+// the observation model f = 1-(1-r)^k, so feeding it noiseless observed
+// fractions recovers the true reach counts.
+func TestEstimateReachesInversion(t *testing.T) {
+	const runs = 100_000
+	reaches := []float64{1, 10, 100, 250}
+	rates := []float64{0.01, 0.01, 0.01, 0.01}
+	observed := make([]int64, len(reaches))
+	for i, k := range reaches {
+		f := 1 - math.Pow(1-rates[i], k)
+		observed[i] = int64(math.Round(f * runs))
+	}
+	est, identified := EstimateReaches(observed, runs, rates)
+	for i, k := range reaches {
+		if !identified[i] {
+			t.Fatalf("site %d (k=%v, f=%.3f) marked unidentified", i, k, float64(observed[i])/runs)
+		}
+		if rel := math.Abs(est[i]-k) / k; rel > 0.01 {
+			t.Fatalf("site %d: est %v for true reach %v", i, est[i], k)
+		}
+	}
+}
+
+func TestEstimateReachesSaturation(t *testing.T) {
+	const runs = 1000
+	// 97% observed at 1%: above SaturationFraction — est is a lower
+	// bound only, and the site must be flagged unidentified.
+	est, identified := EstimateReaches([]int64{970, runs}, runs, []float64{0.01, 0.01})
+	for i := range est {
+		if identified[i] {
+			t.Fatalf("saturated site %d marked identified", i)
+		}
+		if math.IsInf(est[i], 0) || math.IsNaN(est[i]) {
+			t.Fatalf("saturated site %d: est = %v, want finite", i, est[i])
+		}
+	}
+	// Fully observed still inverts finitely via the 1-1/(2*runs) cap.
+	if est[1] <= est[0] {
+		t.Fatalf("fully observed est %v not above partially saturated est %v", est[1], est[0])
+	}
+}
+
+func TestEstimateReachesRateOne(t *testing.T) {
+	const runs = 100_000
+	// At rate 1 observation = reach: f = 1-e^-k for Poisson-ish arrivals
+	// is the documented inversion; k=2 gives f ≈ 0.865.
+	f := 1 - math.Exp(-2)
+	est, identified := EstimateReaches([]int64{int64(f * runs)}, runs, []float64{1})
+	if !identified[0] {
+		t.Fatal("moderate site at rate 1 marked unidentified")
+	}
+	if math.Abs(est[0]-2) > 0.05 {
+		t.Fatalf("rate-1 inversion: est %v, want ~2", est[0])
+	}
+}
+
+func TestEstimateReachesEdges(t *testing.T) {
+	// No runs: nothing identified, nothing estimated.
+	est, identified := EstimateReaches([]int64{5}, 0, []float64{0.5})
+	if est[0] != 0 || identified[0] {
+		t.Fatalf("runs=0: est %v identified %v", est[0], identified[0])
+	}
+	// Never observed: zero estimate, identified (PlanRates raises it).
+	est, identified = EstimateReaches([]int64{0}, 100, []float64{0.5})
+	if est[0] != 0 || !identified[0] {
+		t.Fatalf("f=0: est %v identified %v", est[0], identified[0])
+	}
+}
+
+func TestEstimateReachesPanics(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("length mismatch", func() {
+		EstimateReaches([]int64{1}, 10, []float64{0.5, 0.5})
+	})
+	assertPanics("rate zero", func() {
+		EstimateReaches([]int64{1}, 10, []float64{0})
+	})
+}
+
+// TestSetRates: new rates take effect immediately and Reset stays
+// deterministic under the new rates.
+func TestSetRates(t *testing.T) {
+	n := NewNonuniform([]float64{0.001, 1})
+	n.SetRates([]float64{1, 0.001})
+	// Site 0 now samples every time; site 1 almost never.
+	for i := 0; i < 100; i++ {
+		if !n.Sample(0) {
+			t.Fatal("site 0 at rate 1 skipped a sample after SetRates")
+		}
+	}
+	hits := 0
+	for i := 0; i < 100; i++ {
+		if n.Sample(1) {
+			hits++
+		}
+	}
+	if hits > 2 {
+		t.Fatalf("site 1 at rate 0.001 sampled %d of 100 after SetRates", hits)
+	}
+
+	// Reset determinism is preserved across SetRates.
+	m := NewNonuniform([]float64{0.3, 0.7})
+	m.SetRates([]float64{0.7, 0.3})
+	m.Reset(42)
+	var a []bool
+	for i := 0; i < 200; i++ {
+		a = append(a, m.Sample(i%2))
+	}
+	m.Reset(42)
+	for i := 0; i < 200; i++ {
+		if m.Sample(i%2) != a[i] {
+			t.Fatalf("Reset after SetRates not deterministic at step %d", i)
+		}
+	}
+
+	// The copied slice means later caller mutation cannot corrupt the
+	// sampler.
+	rates := []float64{0.5, 0.5}
+	m.SetRates(rates)
+	rates[0] = 123
+	if m.Rates()[0] != 0.5 {
+		t.Fatal("SetRates aliased the caller's slice")
+	}
+
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("length mismatch", func() { m.SetRates([]float64{1}) })
+	assertPanics("rate out of range", func() { m.SetRates([]float64{0.5, 1.5}) })
+}

@@ -112,6 +112,26 @@ func NewNonuniform(rates []float64) *Nonuniform {
 // Rates returns the per-site rates (shared slice; do not modify).
 func (n *Nonuniform) Rates() []float64 { return n.rates }
 
+// SetRates replaces the per-site rates (copying the slice) and re-draws
+// every countdown from the sampler's current PRNG state so the new
+// rates take effect immediately; a subsequent Reset re-derives the
+// countdowns deterministically from the new rates as usual. The rate
+// vector's length must match and each rate must be in (0, 1].
+func (n *Nonuniform) SetRates(rates []float64) {
+	if len(rates) != len(n.rates) {
+		panic("sampling: SetRates length mismatch: " + itoa(len(rates)) + " != " + itoa(len(n.rates)))
+	}
+	for i, r := range rates {
+		if r <= 0 || r > 1 {
+			panic("sampling: site rate out of range at " + itoa(i))
+		}
+	}
+	n.rates = append([]float64(nil), rates...)
+	for i, r := range n.rates {
+		n.countdowns[i] = nextGeometric(&n.rng, r)
+	}
+}
+
 // Reset re-seeds all countdowns.
 func (n *Nonuniform) Reset(seed int64) {
 	n.rng = splitmix{state: uint64(seed) ^ 0xe7037ed1a0b428db}
@@ -154,6 +174,65 @@ func PlanRates(expectedReaches []float64, target float64, minRate float64) []flo
 		}
 	}
 	return rates
+}
+
+// SaturationFraction is the observed-run fraction above which a site's
+// reach count is treated as unidentifiable from run-level membership
+// counts: once nearly every retained run observes a site, the
+// observation probability 1-(1-rate)^reaches carries no usable gradient
+// (it is ~1 whether the site is reached 300 or 300,000 times per run).
+const SaturationFraction = 0.95
+
+// EstimateReaches inverts live aggregate observation counts into
+// per-site expected reach counts, the input sampling.PlanRates wants.
+//
+// Under sampling at rate r, a run reaching a site k times observes it
+// with probability f = 1-(1-r)^k, so from the observed-run fraction f
+// the reach count is est = log(1-f)/log(1-r). At rate 1 observation
+// equals reach, and for sites reached at most a handful of times per
+// run (the only ones identifiable at rate 1) the observed fraction is
+// ~1-e^-k, inverted as est = -log(1-f).
+//
+// identified[i] reports whether est[i] is trustworthy: false when the
+// site is saturated (f >= SaturationFraction), where est is only a
+// lower bound and callers should hold the site's current rate rather
+// than plan from it. The observed fraction is capped below 1 at
+// 1 - 1/(2*runs) so a site observed in every run still inverts to a
+// finite bound.
+//
+// Panics if the slice lengths differ or a rate is outside (0, 1],
+// matching this package's other input contracts.
+func EstimateReaches(observed []int64, runs int64, rates []float64) (est []float64, identified []bool) {
+	if len(observed) != len(rates) {
+		panic("sampling: EstimateReaches length mismatch: " + itoa(len(observed)) + " != " + itoa(len(rates)))
+	}
+	est = make([]float64, len(rates))
+	identified = make([]bool, len(rates))
+	if runs <= 0 {
+		return est, identified
+	}
+	fCap := 1 - 1/(2*float64(runs))
+	for i, r := range rates {
+		if r <= 0 || r > 1 {
+			panic("sampling: site rate out of range at " + itoa(i))
+		}
+		f := float64(observed[i]) / float64(runs)
+		if f <= 0 {
+			identified[i] = true
+			continue
+		}
+		sat := f >= SaturationFraction
+		if f > fCap {
+			f = fCap
+		}
+		if r >= 1 {
+			est[i] = -math.Log(1 - f)
+		} else {
+			est[i] = math.Log(1-f) / math.Log(1-r)
+		}
+		identified[i] = !sat
+	}
+	return est, identified
 }
 
 // DefaultRate is the paper's default uniform sampling rate.

@@ -16,7 +16,9 @@ import (
 	"cbi/internal/core"
 	"cbi/internal/corpus"
 	"cbi/internal/obs"
+	"cbi/internal/plan"
 	"cbi/internal/report"
+	"cbi/internal/sampling"
 )
 
 // GatewayConfig configures a Gateway.
@@ -45,6 +47,27 @@ type GatewayConfig struct {
 	SlowRequest time.Duration
 	// Logf receives gateway diagnostics (default log.Printf).
 	Logf func(format string, args ...any)
+
+	// PlanEvery, when positive, makes the gateway the fleet's planner: it
+	// periodically merges every shard's reach counts, re-plans per-site
+	// sampling rates from the fleet-wide view, and pushes each published
+	// plan to all shards. When zero the gateway is a plan proxy: GET
+	// /v1/plan refreshes from the shards and serves the newest version
+	// the fleet knows.
+	PlanEvery time.Duration
+	// PlanTarget and PlanMinRate parameterize sampling.PlanRates
+	// (defaults sampling.DefaultTargetSamples, sampling.DefaultRate).
+	PlanTarget  float64
+	PlanMinRate float64
+	// PlanMinRuns gates re-planning until the merged window holds at
+	// least this many runs (default plan.DefaultMinRuns).
+	PlanMinRuns int64
+	// PlanBoostRadius is the half-width of the top-predictor site
+	// neighborhood boosted to rate 1; 0 disables boosting.
+	PlanBoostRadius int
+	// PlanPushKey is the API key presented when pushing plans to shards
+	// whose write path requires one.
+	PlanPushKey string
 }
 
 // Gateway is the read-path of a sharded collector deployment: it fans a
@@ -75,6 +98,22 @@ type Gateway struct {
 	degradedResponses *obs.Counter      // stats responses served from cache
 	shardErrors       *obs.CounterVec   // failed fetches per shard
 
+	replans         *obs.Counter // published fleet plans
+	planFetches     *obs.Counter // /v1/plan bodies served
+	planNotModified *obs.Counter // /v1/plan 304s served
+	planPushes      *obs.Counter // plans accepted by shards
+	planPushErrors  *obs.Counter // failed plan pushes to shards
+
+	// planMu serializes re-planning, shard refresh, and pushes so
+	// concurrent /v1/plan proxying and the planner ticker cannot
+	// interleave version adoption.
+	planMu    sync.Mutex
+	planStore *plan.Store
+	planner   *plan.Planner
+
+	die       chan struct{}
+	closeOnce sync.Once
+
 	// statsMu guards the last fully- or partially-successful stats
 	// response, served (marked stale) when every shard is down rather
 	// than erroring with an all-zero body.
@@ -99,11 +138,31 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.PlanTarget <= 0 {
+		cfg.PlanTarget = sampling.DefaultTargetSamples
+	}
+	if cfg.PlanMinRate <= 0 {
+		cfg.PlanMinRate = sampling.DefaultRate
+	}
+	if cfg.PlanMinRuns <= 0 {
+		cfg.PlanMinRuns = plan.DefaultMinRuns
+	}
 	g := &Gateway{
 		cfg:  cfg,
 		hc:   &http.Client{Timeout: cfg.Timeout},
 		logf: cfg.Logf,
+		die:  make(chan struct{}),
 	}
+	g.planStore = plan.NewStore(plan.Bootstrap(cfg.NumSites, cfg.Fingerprint, cfg.PlanTarget, cfg.PlanMinRate))
+	g.planner = plan.NewPlanner(g.planStore, plan.PlannerConfig{
+		Source:      g.planInput,
+		Target:      cfg.PlanTarget,
+		MinRate:     cfg.PlanMinRate,
+		MinRuns:     cfg.PlanMinRuns,
+		BoostRadius: cfg.PlanBoostRadius,
+		Fingerprint: cfg.Fingerprint,
+		SourceName:  "gateway",
+	})
 	m := cfg.Metrics
 	if m == nil {
 		m = obs.NewRegistry()
@@ -119,10 +178,32 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		"/v1/stats responses served from the cached totals because no shard answered.")
 	g.shardErrors = m.CounterVec("cbi_gateway_shard_errors_total",
 		"Failed snapshot fetches per shard.", "shard")
+	g.replans = m.Counter("cbi_gateway_replans_total",
+		"Fleet sampling plans published by the gateway planner.")
+	g.planFetches = m.Counter("cbi_gateway_plan_fetches_total",
+		"GET /v1/plan responses served with a plan body.")
+	g.planNotModified = m.Counter("cbi_gateway_plan_not_modified_total",
+		"GET /v1/plan responses answered 304 Not Modified.")
+	g.planPushes = m.Counter("cbi_gateway_plan_pushes_total",
+		"Sampling plans successfully pushed to shards.")
+	g.planPushErrors = m.Counter("cbi_gateway_plan_push_errors_total",
+		"Failed sampling-plan pushes to shards.")
+	m.GaugeFunc("cbi_gateway_plan_version",
+		"Version of the sampling plan the gateway currently serves.", func() float64 {
+			return float64(g.planStore.Version())
+		})
+	m.GaugeFunc("cbi_gateway_plan_boosted_sites",
+		"Sites boosted to rate 1 in the current sampling plan.", func() float64 {
+			if p := g.planStore.Current(); p != nil {
+				return float64(len(p.Boosts))
+			}
+			return 0
+		})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/scores", g.handleScores)
 	mux.HandleFunc("/v1/predictors", g.handlePredictors)
 	mux.HandleFunc("/v1/stats", g.handleStats)
+	mux.HandleFunc("/v1/plan", g.handlePlan)
 	mux.HandleFunc("/healthz", g.handleHealthz)
 	mux.Handle("/metrics", m.Handler())
 	if cfg.EnablePprof {
@@ -130,12 +211,19 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	}
 	g.handler = obs.NewHTTP(obs.HTTPConfig{
 		Registry:    m,
-		Paths:       []string{"/v1/scores", "/v1/predictors", "/v1/stats", "/healthz", "/metrics"},
+		Paths:       []string{"/v1/scores", "/v1/predictors", "/v1/stats", "/v1/plan", "/healthz", "/metrics"},
 		SlowRequest: cfg.SlowRequest,
 		Logf:        cfg.Logf,
 	}).Wrap(mux)
+	if cfg.PlanEvery > 0 {
+		go g.planLoop()
+	}
 	return g, nil
 }
+
+// Close stops the gateway's planner loop (if any). Safe to call more
+// than once.
+func (g *Gateway) Close() { g.closeOnce.Do(func() { close(g.die) }) }
 
 // Metrics returns the gateway's metrics registry (also served at
 // GET /metrics).
@@ -319,6 +407,7 @@ type GatewayStats struct {
 	Failing        int64    `json:"failing"`
 	Successful     int64    `json:"successful"`
 	RunLogRuns     int      `json:"runlog_runs"`
+	PlanVersion    uint64   `json:"plan_version"`
 	Shards         int      `json:"shards"`
 	DegradedShards int      `json:"degraded_shards"`
 	Stale          bool     `json:"stale,omitempty"`
@@ -336,6 +425,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, req *http.Request) {
 		NumSites:    g.cfg.NumSites,
 		NumPreds:    g.cfg.NumPreds,
 		Fingerprint: g.cfg.Fingerprint,
+		PlanVersion: g.planStore.Version(),
 		Shards:      len(states),
 	}
 	for i, s := range states {

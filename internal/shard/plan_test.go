@@ -1,0 +1,262 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cbi/internal/collector"
+	"cbi/internal/report"
+)
+
+// planPhaseReports builds n synthetic post-sampling reports where site
+// i is observed with probability pObs[i] — a controllable observation
+// profile so successive planning windows actually move the rates.
+func planPhaseReports(seed int64, n int, pObs []float64) []*report.Report {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*report.Report, 0, n)
+	for i := 0; i < n; i++ {
+		r := &report.Report{Failed: rng.Intn(5) == 0}
+		for s, p := range pObs {
+			if rng.Float64() < p {
+				r.ObservedSites = append(r.ObservedSites, int32(s))
+			}
+		}
+		if len(r.ObservedSites) == 0 {
+			r.ObservedSites = []int32{0}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestPlanPropagationUnderShardFailover is the sharded tier's plan
+// convergence property: a gateway plans from the merged fleet view and
+// pushes to every shard; a router forwards /v1/plan to the gateway;
+// and when the shard owning a client dies mid-experiment, the rerouted
+// client still converges to the same strictly-increasing plan version
+// the surviving shard and gateway agree on.
+func TestPlanPropagationUnderShardFailover(t *testing.T) {
+	const (
+		numSites = 8
+		numPreds = 8
+		phase    = 300
+	)
+	siteOf := make([]int32, numPreds)
+	for p := range siteOf {
+		siteOf[p] = int32(p)
+	}
+	cfg := collector.Config{
+		NumSites: numSites, NumPreds: numPreds, SiteOf: siteOf,
+		PlanMinRuns: 10,
+	}
+
+	shards := make([]*collector.Server, 2)
+	backends := make([]*httptest.Server, 2)
+	urls := make([]string, 2)
+	for i := range shards {
+		shards[i], backends[i] = startCollector(t, cfg)
+		urls[i] = backends[i].URL
+	}
+
+	gwSrv, err := NewGateway(GatewayConfig{
+		Shards:   urls,
+		NumSites: numSites, NumPreds: numPreds, SiteOf: siteOf,
+		Timeout: 5 * time.Second,
+		// Planner mode, driven manually: PlanTarget 2 keeps moderate
+		// sites on fractional rates, so each shifted window re-plans.
+		PlanEvery:   time.Hour,
+		PlanTarget:  2,
+		PlanMinRate: 0.01,
+		PlanMinRuns: 10,
+		Logf:        quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gwSrv.Close)
+	gw := httptest.NewServer(gwSrv.Handler())
+	t.Cleanup(gw.Close)
+
+	router, err := NewRouter(RouterConfig{
+		Backends:       urls,
+		HealthInterval: 50 * time.Millisecond,
+		PlanFrom:       gw.URL,
+		Logf:           quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(router.Close)
+	rt := httptest.NewServer(router.Handler())
+	t.Cleanup(rt.Close)
+
+	ctx := context.Background()
+	client := collector.NewClient(rt.URL, numSites, numPreds,
+		collector.WithBatchSize(32), collector.WithClientID("plan-client"))
+
+	// The bootstrap plan reaches the client through the router before
+	// any data flows.
+	p, _, err := client.FetchPlan(ctx)
+	if err != nil {
+		t.Fatalf("bootstrap fetch through router: %v", err)
+	}
+	if p.Version != 1 {
+		t.Fatalf("bootstrap plan v%d, want v1", p.Version)
+	}
+
+	stream := func(reports []*report.Report) {
+		t.Helper()
+		for _, r := range reports {
+			if err := client.Add(ctx, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := client.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := router.Drain(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stream(planPhaseReports(1, phase, []float64{1, 0.7, 0.3, 0.5, 0.2, 0.6, 0.4, 0.8}))
+	waitAppliedTotal(t, shards, phase)
+
+	p2, published := gwSrv.Replan(ctx)
+	if !published {
+		t.Fatal("gateway re-plan over the first window did not publish")
+	}
+	if p2.Version != 2 || p2.Source != "gateway" {
+		t.Fatalf("gateway plan: %+v", p2)
+	}
+	// The push delivered the plan to every shard.
+	for i, s := range shards {
+		if v := s.Plan().Version; v != 2 {
+			t.Fatalf("shard %d plan v%d after push, want v2", i, v)
+		}
+	}
+	// And the router forwards the gateway's view to clients.
+	p, changed, err := client.FetchPlan(ctx)
+	if err != nil || !changed || p.Version != 2 {
+		t.Fatalf("client fetch after re-plan: v%d changed=%v err=%v", p.Version, changed, err)
+	}
+
+	// Kill the shard that owns this client; the ring reroutes the
+	// client's traffic to the survivor.
+	owner := 0
+	if shards[1].StatsNow().ReportsApplied > shards[0].StatsNow().ReportsApplied {
+		owner = 1
+	}
+	if n := shards[owner].StatsNow().ReportsApplied; n != phase {
+		t.Fatalf("expected one shard to own all %d reports, owner has %d", phase, n)
+	}
+	survivor := 1 - owner
+	backends[owner].Close()
+	if err := shards[owner].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	stream(planPhaseReports(2, phase, []float64{1, 0.2, 0.8, 0.3, 0.7, 0.1, 0.9, 0.4}))
+	waitAppliedTotal(t, []*collector.Server{shards[survivor]}, phase)
+
+	p3, published := gwSrv.Replan(ctx)
+	if !published {
+		t.Fatal("gateway re-plan after failover did not publish")
+	}
+	if p3.Version <= p2.Version {
+		t.Fatalf("plan version not strictly increasing: v%d after v%d", p3.Version, p2.Version)
+	}
+
+	// Convergence: the rerouted client, the surviving shard, the
+	// gateway, and the router all see the same new version.
+	p, changed, err = client.FetchPlan(ctx)
+	if err != nil || !changed {
+		t.Fatalf("client fetch after failover: changed=%v err=%v", changed, err)
+	}
+	if p.Version != p3.Version {
+		t.Fatalf("client plan v%d, gateway published v%d", p.Version, p3.Version)
+	}
+	if v := shards[survivor].Plan().Version; v != p3.Version {
+		t.Fatalf("surviving shard plan v%d, want v%d", v, p3.Version)
+	}
+	var gst GatewayStats
+	getJSON(t, gw.URL+"/v1/stats", &gst)
+	if gst.PlanVersion != p3.Version {
+		t.Fatalf("gateway stats plan v%d, want v%d", gst.PlanVersion, p3.Version)
+	}
+
+	// The saturated always-observed site held its floor rate; the plan
+	// raised genuinely under-observed sites instead.
+	if p.Rates[0] != 0.01 {
+		t.Fatalf("saturated site 0 rate = %v, want held at the 0.01 floor", p.Rates[0])
+	}
+
+	// A fresh client routed around the dead shard gets the same plan.
+	fresh := collector.NewClient(rt.URL, numSites, numPreds,
+		collector.WithClientID("late-joiner"))
+	pf, _, err := fresh.FetchPlan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Version != p3.Version {
+		t.Fatalf("late joiner plan v%d, want v%d", pf.Version, p3.Version)
+	}
+}
+
+// TestGatewayPlanProxyMode: a gateway with no planner refreshes from
+// its shards on GET /v1/plan, so it serves the fleet's newest version
+// rather than forking its own chain — and a restarted gateway re-adopts
+// the fleet version the same way.
+func TestGatewayPlanProxyMode(t *testing.T) {
+	const (
+		numSites = 4
+		numPreds = 4
+	)
+	siteOf := []int32{0, 1, 2, 3}
+	srv, ts := startCollector(t, collector.Config{
+		NumSites: numSites, NumPreds: numPreds, SiteOf: siteOf,
+		PlanMinRuns: 5,
+	})
+	defer srv.Close()
+
+	// Advance the shard's own plan by re-planning over a small window.
+	for _, r := range planPhaseReports(3, 50, []float64{1, 0.5, 0.2, 0}) {
+		srv.Ingest(r)
+	}
+	p, published := srv.Replan()
+	if !published {
+		t.Fatal("collector re-plan did not publish")
+	}
+	if p.Version != 2 {
+		t.Fatalf("collector plan v%d, want v2", p.Version)
+	}
+
+	gwSrv, err := NewGateway(GatewayConfig{
+		Shards:   []string{ts.URL},
+		NumSites: numSites, NumPreds: numPreds, SiteOf: siteOf,
+		Timeout: 5 * time.Second,
+		Logf:    quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gwSrv.Close()
+	gw := httptest.NewServer(gwSrv.Handler())
+	defer gw.Close()
+
+	client := collector.NewClient(gw.URL, numSites, numPreds)
+	got, _, err := client.FetchPlan(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 2 {
+		t.Fatalf("proxy-mode gateway served v%d, want the shard's v2", got.Version)
+	}
+	if fmt.Sprintf("%v", got.Rates) != fmt.Sprintf("%v", p.Rates) {
+		t.Fatalf("proxied rates %v differ from the shard's %v", got.Rates, p.Rates)
+	}
+}

@@ -38,6 +38,12 @@ type RouterConfig struct {
 	HealthInterval time.Duration
 	// ForwardTimeout bounds one forwarded POST (default 30s).
 	ForwardTimeout time.Duration
+	// PlanFrom, when set, is the base URL GET /v1/plan is forwarded to —
+	// in a planning deployment, the gateway (the fleet-wide planner).
+	// Empty forwards to the first live backend, which serves the
+	// single-shard case and gateway-push deployments (every shard holds
+	// the fleet plan) alike.
+	PlanFrom string
 	// Metrics, when set, is the registry the router's metrics register
 	// into; nil creates a private one. Served at GET /metrics, and the
 	// source /v1/stats reads from.
@@ -92,11 +98,13 @@ type Router struct {
 
 	// Counters are registry metrics: /v1/stats and /metrics read the
 	// same objects (see METRICS.md for the exported names).
-	metrics  *obs.Registry
-	accepted *obs.Counter // batches accepted (202)
-	shed     *obs.Counter // batches shed with 429 (queue full)
-	noShards *obs.Counter // batches refused with 503 (all backends down)
-	dropped  *obs.Counter // batches that exhausted every backend and were lost
+	metrics       *obs.Registry
+	accepted      *obs.Counter // batches accepted (202)
+	shed          *obs.Counter // batches shed with 429 (queue full)
+	noShards      *obs.Counter // batches refused with 503 (all backends down)
+	dropped       *obs.Counter // batches that exhausted every backend and were lost
+	planForwarded *obs.Counter // GET /v1/plan requests relayed to the plan source
+	planErrors    *obs.Counter // GET /v1/plan relays that failed (502/503)
 
 	handler http.Handler
 	wg      sync.WaitGroup
@@ -148,6 +156,10 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		"Batches refused with 503 because no backend was live.")
 	r.dropped = m.Counter("cbi_router_dropped_total",
 		"Acked batches lost after exhausting every backend (client retry redelivers).")
+	r.planForwarded = m.Counter("cbi_router_plan_forwarded_total",
+		"GET /v1/plan requests relayed to the plan source.")
+	r.planErrors = m.Counter("cbi_router_plan_errors_total",
+		"GET /v1/plan relays that failed (no live source or relay error).")
 	routedVec := m.CounterVec("cbi_router_backend_routed_total",
 		"Batches enqueued to this backend.", "backend")
 	failedVec := m.CounterVec("cbi_router_backend_failed_total",
@@ -183,6 +195,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/reports", r.handleReports)
 	mux.HandleFunc("/v1/stats", r.handleStats)
+	mux.HandleFunc("/v1/plan", r.handlePlan)
 	mux.HandleFunc("/healthz", r.handleHealthz)
 	mux.Handle("/metrics", m.Handler())
 	if cfg.EnablePprof {
@@ -190,7 +203,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	r.handler = obs.NewHTTP(obs.HTTPConfig{
 		Registry:    m,
-		Paths:       []string{"/v1/reports", "/v1/stats", "/healthz", "/metrics"},
+		Paths:       []string{"/v1/reports", "/v1/stats", "/v1/plan", "/healthz", "/metrics"},
 		SlowRequest: cfg.SlowRequest,
 		Logf:        cfg.Logf,
 	}).Wrap(mux)
@@ -227,8 +240,11 @@ func routingKey(req *http.Request) string {
 }
 
 // forwardedHeaders is the header subset relayed to the backend.
+// X-CBI-Plan-Version rides along so the owning collector can attribute
+// batches to the sampling plan that produced them.
 var forwardedHeaders = []string{
-	"Content-Type", "Content-Encoding", "X-CBI-Batch-ID", "X-CBI-Client-ID", "Authorization",
+	"Content-Type", "Content-Encoding", "X-CBI-Batch-ID", "X-CBI-Client-ID",
+	"X-CBI-Plan-Version", "Authorization",
 }
 
 // maxForwardBody bounds one relayed batch (matches the collector's own
@@ -294,6 +310,65 @@ func indexOf(order []int, b int) int {
 		}
 	}
 	return 0
+}
+
+// handlePlan relays GET /v1/plan so fleet clients keep one endpoint for
+// both report submission and rate discovery. The relay is conditional
+// end to end: the client's ?since= and If-None-Match pass through, and
+// the source's status (200/304), ETag, and plan version headers pass
+// back, so steady-state polling through the router still costs no body
+// bytes.
+func (r *Router) handlePlan(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	source := r.cfg.PlanFrom
+	if source == "" {
+		for _, b := range r.backends {
+			if b.up.Load() {
+				source = b.url
+				break
+			}
+		}
+	}
+	if source == "" {
+		r.planErrors.Add(1)
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, "no live plan source", http.StatusServiceUnavailable)
+		return
+	}
+	url := source + "/v1/plan"
+	if req.URL.RawQuery != "" {
+		url += "?" + req.URL.RawQuery
+	}
+	fwd, err := http.NewRequestWithContext(req.Context(), http.MethodGet, url, nil)
+	if err != nil {
+		r.planErrors.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	for _, k := range []string{"If-None-Match", "X-CBI-Client-ID"} {
+		if v := req.Header.Get(k); v != "" {
+			fwd.Header.Set(k, v)
+		}
+	}
+	resp, err := r.hc.Do(fwd)
+	if err != nil {
+		r.planErrors.Add(1)
+		http.Error(w, "plan source unreachable: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for _, k := range []string{"ETag", "X-CBI-Plan-Version", "Cache-Control", "Content-Type"} {
+		if v := resp.Header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, io.LimitReader(resp.Body, maxForwardBody))
+	r.planForwarded.Add(1)
 }
 
 // forwardLoop drains one backend's queue. On a network-level failure it
@@ -443,21 +518,25 @@ type BackendStats struct {
 
 // RouterStats is the router's GET /v1/stats response.
 type RouterStats struct {
-	Backends []BackendStats `json:"backends"`
-	Accepted int64          `json:"accepted"`
-	Shed     int64          `json:"shed"`
-	NoShards int64          `json:"no_shards"`
-	Dropped  int64          `json:"dropped"`
+	Backends      []BackendStats `json:"backends"`
+	Accepted      int64          `json:"accepted"`
+	Shed          int64          `json:"shed"`
+	NoShards      int64          `json:"no_shards"`
+	Dropped       int64          `json:"dropped"`
+	PlanForwarded int64          `json:"plan_forwarded"`
+	PlanErrors    int64          `json:"plan_errors"`
 }
 
 // StatsNow captures the router's counters — the same registry objects
 // /metrics renders, so the two surfaces always agree.
 func (r *Router) StatsNow() RouterStats {
 	st := RouterStats{
-		Accepted: r.accepted.Value(),
-		Shed:     r.shed.Value(),
-		NoShards: r.noShards.Value(),
-		Dropped:  r.dropped.Value(),
+		Accepted:      r.accepted.Value(),
+		Shed:          r.shed.Value(),
+		NoShards:      r.noShards.Value(),
+		Dropped:       r.dropped.Value(),
+		PlanForwarded: r.planForwarded.Value(),
+		PlanErrors:    r.planErrors.Value(),
 	}
 	for _, b := range r.backends {
 		st.Backends = append(st.Backends, BackendStats{

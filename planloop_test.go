@@ -1,0 +1,318 @@
+// Closed-loop convergence: the headline property of internal/plan. A
+// deterministic fleet (harness workers streaming every run to a live
+// collector through a router, with a proxy-mode gateway watching the
+// same shard) adopts versioned sampling plans between runs via
+// collector.Client.PlanFunc. Driving the collector's planner between
+// phases must (a) publish strictly increasing versions that every tier
+// — collector, router, gateway — agrees on, (b) raise the observed
+// reach of genuinely under-observed sites toward the target, and
+// (c) land the first re-plan (computed over a cleanly bootstrap-sampled
+// window) on the same rates the offline trainer sampling.PlanRates
+// derives from full-observation reach counts.
+package cbi_bench
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cbi/internal/collector"
+	"cbi/internal/harness"
+	"cbi/internal/instrument"
+	"cbi/internal/interp"
+	"cbi/internal/report"
+	"cbi/internal/sampling"
+	"cbi/internal/shard"
+	"cbi/internal/subjects"
+)
+
+// trainReaches is harness.TrainRates' first half with the intermediate
+// exposed: average full-observation per-run reach counts, the ground
+// truth the live estimator is trying to recover from membership bits.
+func trainReaches(subj *subjects.Subject, iplan *instrument.Plan, trainingRuns int) []float64 {
+	prog := subj.Program(true)
+	counts := make([]float64, iplan.NumSites())
+	rt := instrument.NewRuntime(iplan, sampling.Always{})
+	eng := interp.New(prog, rt)
+	for i := 0; i < trainingRuns; i++ {
+		rt.BeginRun(int64(i) + 1)
+		eng.Run(subj.Input(int64(-1 - i)))
+		rep := rt.Snapshot(false)
+		for _, s := range rep.ObservedSites {
+			counts[s] += float64(rt.SiteObservedCount(int(s)))
+		}
+	}
+	for i := range counts {
+		counts[i] /= float64(trainingRuns)
+	}
+	return counts
+}
+
+func TestClosedLoopConvergence(t *testing.T) {
+	const (
+		phaseRuns    = 600
+		trainingRuns = 200
+		// The subject's per-run reaches split into a rare band (<= 1)
+		// and a moderate band (~6-20); a target of 5 sits between them,
+		// so the plan has both rate-1 sites and fractional
+		// (window-sensitive) rates that keep successive re-plans live.
+		planTarget = 5
+	)
+	quiet := func(string, ...any) {}
+
+	subj := subjects.Ccrypt()
+	iplan := instrument.BuildPlan(subj.Program(true))
+	numSites, numPreds := iplan.NumSites(), iplan.NumPreds()
+	siteOf := make([]int32, numPreds)
+	for i, pr := range iplan.Preds {
+		siteOf[i] = int32(pr.Site)
+	}
+
+	// Offline reference: full-observation reach counts and the rates
+	// the paper's trainer would plan from them.
+	reaches := trainReaches(subj, iplan, trainingRuns)
+	offline := sampling.PlanRates(reaches, planTarget, sampling.DefaultRate)
+
+	srv, err := collector.New(collector.Config{
+		NumSites:    numSites,
+		NumPreds:    numPreds,
+		SiteOf:      siteOf,
+		Fingerprint: iplan.Fingerprint(),
+		PlanTarget:  planTarget,
+		PlanMinRuns: 50,
+		Logf:        quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	router, err := shard.NewRouter(shard.RouterConfig{
+		Backends:       []string{ts.URL},
+		HealthInterval: 50 * time.Millisecond,
+		Logf:           quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	rts := httptest.NewServer(router.Handler())
+	defer rts.Close()
+
+	// Proxy-mode gateway over the same shard: it plans nothing itself
+	// and must surface the collector's version chain unchanged.
+	gwSrv, err := shard.NewGateway(shard.GatewayConfig{
+		Shards:      []string{ts.URL},
+		NumSites:    numSites,
+		NumPreds:    numPreds,
+		SiteOf:      siteOf,
+		Fingerprint: iplan.Fingerprint(),
+		PlanTarget:  planTarget,
+		Timeout:     5 * time.Second,
+		Logf:        quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gwSrv.Close()
+	gts := httptest.NewServer(gwSrv.Handler())
+	defer gts.Close()
+
+	ctx := context.Background()
+	client := collector.NewClient(rts.URL, numSites, numPreds,
+		collector.WithClientID("loop-fleet"))
+	gwClient := collector.NewClient(gts.URL, numSites, numPreds,
+		collector.WithClientID("loop-gw-observer"))
+
+	p, _, err := client.FetchPlan(ctx)
+	if err != nil {
+		t.Fatalf("bootstrap fetch through router: %v", err)
+	}
+	if p.Version != 1 {
+		t.Fatalf("bootstrap plan v%d through router, want v1", p.Version)
+	}
+
+	applied := int64(0)
+	waitApplied := func() {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for srv.StatsNow().ReportsApplied < applied {
+			if time.Now().After(deadline) {
+				t.Fatalf("collector applied %d of %d streamed reports",
+					srv.StatsNow().ReportsApplied, applied)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// One fleet phase: deterministic monitored runs whose workers adopt
+	// the client's current plan between runs and stream every report to
+	// the collector through the router.
+	phase := func(seedBase int64) *harness.Result {
+		t.Helper()
+		res := harness.Run(harness.Config{
+			Subject:  subj,
+			Runs:     phaseRuns,
+			Engine:   harness.EngineVM,
+			SeedBase: seedBase,
+			Plan:     client.PlanFunc(),
+			Stream: func(_ int, rep *report.Report, _ harness.RunMeta) {
+				if err := client.Add(ctx, rep); err != nil {
+					t.Error(err)
+				}
+			},
+		})
+		if err := client.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := router.Drain(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		applied += phaseRuns
+		waitApplied()
+		return res
+	}
+
+	siteObs := func(res *harness.Result) []float64 {
+		counts := make([]float64, numSites)
+		for _, rep := range res.Set.Reports {
+			for _, s := range rep.ObservedSites {
+				counts[s]++
+			}
+		}
+		return counts
+	}
+
+	// Phase 1 runs entirely under the bootstrap plan (the 1% floor
+	// everywhere), so the first re-plan sees a cleanly-sampled window
+	// and is directly comparable to the offline fixed point.
+	res1 := phase(0)
+	obs1 := siteObs(res1)
+
+	p2, published := srv.Replan()
+	if !published {
+		t.Fatal("re-plan over the first phase did not publish")
+	}
+	if p2.Version != 2 || p2.Source != "collector" {
+		t.Fatalf("first re-plan identity: v%d source=%q", p2.Version, p2.Source)
+	}
+
+	// The fleet picks the new plan up through the router; the gateway
+	// proxies the same version from the shard.
+	p, changed, err := client.FetchPlan(ctx)
+	if err != nil || !changed || p.Version != 2 {
+		t.Fatalf("router fetch after re-plan: v%d changed=%v err=%v", p.Version, changed, err)
+	}
+	gp, _, err := gwClient.FetchPlan(ctx)
+	if err != nil || gp.Version != 2 {
+		t.Fatalf("gateway fetch after re-plan: v%d err=%v", gp.Version, err)
+	}
+
+	// Offline match on the pure window. Rare-but-reachable sites (well
+	// under target, where the offline trainer plans rate 1) must be
+	// raised to 1; moderate-band sites — identifiable at the bootstrap
+	// rate — must land within sampling noise of target/reach.
+	var rare []int
+	moderate := 0
+	for i := range reaches {
+		f1 := obs1[i] / phaseRuns
+		switch {
+		case reaches[i] > 0 && reaches[i] <= planTarget/2.0:
+			rare = append(rare, i)
+			if p2.Rates[i] != 1 {
+				t.Errorf("rare site %d (reach %.1f): rate %v, want 1",
+					i, reaches[i], p2.Rates[i])
+			}
+		case offline[i] >= 0.1 && offline[i] <= 0.9 && f1 < 0.9:
+			moderate++
+			if r := p2.Rates[i] / offline[i]; r < 0.4 || r > 2.5 {
+				t.Errorf("moderate site %d (reach %.1f, observed %.0f/%d): live rate %v vs offline %v",
+					i, reaches[i], obs1[i], phaseRuns, p2.Rates[i], offline[i])
+			}
+		}
+	}
+	if len(rare) == 0 {
+		t.Fatal("subject has no rare sites; the convergence assertion is vacuous")
+	}
+	if moderate == 0 {
+		t.Error("subject has no identifiable moderate-band sites; pick a lower target")
+	}
+	t.Logf("offline match: %d rare sites at rate 1, %d moderate sites within tolerance",
+		len(rare), moderate)
+
+	// Phase 2 samples under v2; the shifted cumulative window re-plans
+	// to a strictly newer version.
+	phase(10_000)
+	p3, published := srv.Replan()
+	if !published {
+		t.Fatal("re-plan over the second phase did not publish")
+	}
+	if p3.Version <= p2.Version {
+		t.Fatalf("plan version not strictly increasing: v%d after v%d", p3.Version, p2.Version)
+	}
+	p, changed, err = client.FetchPlan(ctx)
+	if err != nil || !changed || p.Version != p3.Version {
+		t.Fatalf("router fetch after second re-plan: v%d changed=%v err=%v", p.Version, changed, err)
+	}
+
+	// Phase 3 samples under v3: the closed loop has had two adaptation
+	// steps, so rare sites now run at rate 1.
+	res3 := phase(20_000)
+	obs3 := siteObs(res3)
+
+	// A final re-plan may or may not publish (the window may have
+	// converged); either way every tier reports the same version.
+	pFinal, _ := srv.Replan()
+	if pFinal.Version < p3.Version {
+		t.Fatalf("final plan v%d regressed below v%d", pFinal.Version, p3.Version)
+	}
+	p, _, err = client.FetchPlan(ctx)
+	if err != nil || p.Version != pFinal.Version {
+		t.Fatalf("router view v%d, collector v%d (err=%v)", p.Version, pFinal.Version, err)
+	}
+	gp, _, err = gwClient.FetchPlan(ctx)
+	if err != nil || gp.Version != pFinal.Version {
+		t.Fatalf("gateway view v%d, collector v%d (err=%v)", gp.Version, pFinal.Version, err)
+	}
+	for i := range gp.Rates {
+		if gp.Rates[i] != pFinal.Rates[i] {
+			t.Fatalf("gateway rate[%d]=%v differs from collector's %v", i, gp.Rates[i], pFinal.Rates[i])
+		}
+	}
+	if st := srv.StatsNow(); st.Replans < 2 {
+		t.Fatalf("collector re-planned %d times, want >= 2", st.Replans)
+	}
+
+	// The point of the loop: under-observed sites are observed far more
+	// often once their rates rise. Aggregate over the rare sites: at the
+	// 1% bootstrap rate they were nearly invisible; at rate 1 every
+	// reach is an observation.
+	var sum1, sum3 float64
+	for _, i := range rare {
+		sum1 += obs1[i]
+		sum3 += obs3[i]
+	}
+	if sum3 < 2*math.Max(sum1, 1) {
+		t.Fatalf("rare-site observations did not rise: phase1 %v, phase3 %v", sum1, sum3)
+	}
+	t.Logf("rare-site observations: phase1 %v -> phase3 %v across %d sites (final plan v%d)",
+		sum1, sum3, len(rare), pFinal.Version)
+
+	// Hot sites saturate the membership estimator, so the planner holds
+	// them at the floor instead of guessing.
+	for i := range reaches {
+		if obs1[i]/phaseRuns >= 0.96 && pFinal.Rates[i] != sampling.DefaultRate {
+			t.Errorf("saturated site %d (reach %.0f): rate %v, want held at the floor",
+				i, reaches[i], pFinal.Rates[i])
+		}
+	}
+
+	// Batch attribution saw traffic under the then-current plan.
+	if st := srv.StatsNow(); st.PlanBatchesCurrent == 0 {
+		t.Error("no batches attributed to the current plan version")
+	}
+}

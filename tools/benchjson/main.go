@@ -1,0 +1,176 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON benchmark record, and optionally appends it to a trajectory
+// artifact — a committed JSON array that accumulates one entry per
+// recorded speed pass, so ingest-throughput history survives in the
+// repository instead of in someone's scrollback.
+//
+// Usage:
+//
+//	go test -run=xxx -bench 'BenchmarkCollectorIngest' . |
+//	  go run ./tools/benchjson -note "baseline" -append -o BENCH_collector.json
+//
+// Without -o the entry is printed to stdout. With -append the existing
+// artifact (if any) is read first and the new entry appended; without
+// it the file is overwritten with a single-entry trajectory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one `BenchmarkName-P  N  ...` result line.
+type Benchmark struct {
+	Name    string  `json:"name"`
+	Pkg     string  `json:"pkg,omitempty"`
+	Procs   int     `json:"procs,omitempty"`
+	Runs    int64   `json:"runs"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every other reported unit (MB/s, B/op, allocs/op,
+	// custom b.ReportMetric units like reports/op).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Entry is one trajectory record: the machine context `go test` printed
+// plus every benchmark parsed from the stream.
+type Entry struct {
+	Note       string      `json:"note,omitempty"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func parse(r io.Reader) (*Entry, error) {
+	e := &Entry{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			e.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			e.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			e.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBench(line)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", line, err)
+			}
+			b.Pkg = pkg
+			e.Benchmarks = append(e.Benchmarks, *b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(e.Benchmarks) == 0 {
+		return nil, errors.New("no benchmark result lines on stdin")
+	}
+	sort.Slice(e.Benchmarks, func(i, j int) bool {
+		a, b := e.Benchmarks[i], e.Benchmarks[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		return a.Name < b.Name
+	})
+	return e, nil
+}
+
+// parseBench parses `BenchmarkFoo-8  1000  22749 ns/op  1.2 MB/s ...`:
+// the name (with a trailing -GOMAXPROCS suffix), the iteration count,
+// then value/unit pairs.
+func parseBench(line string) (*Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil, errors.New("too few fields")
+	}
+	b := &Benchmark{Name: fields[0]}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("iteration count: %w", err)
+	}
+	b.Runs = runs
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metric value %q: %w", fields[i], err)
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[unit] = v
+	}
+	return b, nil
+}
+
+func run() error {
+	out := flag.String("o", "", "trajectory file to write (default: print the entry to stdout)")
+	appendTo := flag.Bool("append", false, "append to the existing -o trajectory instead of replacing it")
+	note := flag.String("note", "", "free-form label stored with the entry")
+	flag.Parse()
+
+	entry, err := parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	entry.Note = *note
+
+	if *out == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(entry)
+	}
+
+	var trajectory []*Entry
+	if *appendTo {
+		data, err := os.ReadFile(*out)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// First entry.
+		case err != nil:
+			return err
+		default:
+			if err := json.Unmarshal(data, &trajectory); err != nil {
+				return fmt.Errorf("existing trajectory %s: %w", *out, err)
+			}
+		}
+	}
+	trajectory = append(trajectory, entry)
+	data, err := json.MarshalIndent(trajectory, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*out, append(data, '\n'), 0o644)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
