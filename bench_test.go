@@ -10,9 +10,13 @@ package cbi_bench
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -378,6 +382,144 @@ func BenchmarkCollectorIngestPlanner(b *testing.B) {
 			srv.Ingest(reports[int(i)%len(reports)])
 		}
 	})
+}
+
+// BenchmarkCollectorIngestBatch measures the durable ingest unit — one
+// identified batch through IngestBatch — without a WAL, as the baseline
+// BenchmarkCollectorIngestWAL is gated against.
+func BenchmarkCollectorIngestBatch(b *testing.B) {
+	benchIngestBatch(b, false)
+}
+
+// BenchmarkCollectorIngestWAL is BenchmarkCollectorIngestBatch with the
+// write-ahead log on: every batch is encoded, CRC-framed, and appended
+// to the current WAL segment before it is applied. The gate
+// (TestWALIngestOverhead) asserts durability costs at most 5% of batch
+// ingest throughput.
+func BenchmarkCollectorIngestWAL(b *testing.B) {
+	benchIngestBatch(b, true)
+}
+
+func benchIngestBatch(b *testing.B, wal bool) {
+	res := warm(b, "moss", harness.SampleUniform)
+	in := res.CoreInput()
+	// Bound the run log so retention reaches steady state early: an
+	// unbounded window keeps growing the live heap, and the rising GC
+	// tax would make ns/op a function of b.N instead of the ingest path.
+	cfg := collector.Config{
+		NumSites:   in.Set.NumSites,
+		NumPreds:   in.Set.NumPreds,
+		SiteOf:     in.SiteOf,
+		RunLogSize: 8192,
+		Logf:       func(string, ...any) {},
+	}
+	if wal {
+		dir := b.TempDir()
+		cfg.SnapshotPath = filepath.Join(dir, "collector.snap")
+		cfg.WALPath = filepath.Join(dir, "collector.wal")
+		cfg.CheckpointEvery = time.Hour // never during the loop
+	}
+	srv, err := collector.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	const batchSize = 100
+	reports := in.Set.Reports
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (i * batchSize) % (len(reports) - batchSize)
+		if err := srv.IngestBatch(fmt.Sprintf("bench-%d", i), reports[off:off+batchSize]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(batchSize, "reports/op")
+}
+
+// TestWALIngestOverhead is the durability throughput gate: batch ingest
+// with the write-ahead log on must stay within tolerance (default 5%)
+// of the WAL-less batch path. Like TestPlannerIngestOverhead it is
+// wall-clock sensitive, so it runs only under CBI_PERF_GATE=1;
+// CBI_PERF_TOLERANCE overrides the tolerance.
+func TestWALIngestOverhead(t *testing.T) {
+	if os.Getenv("CBI_PERF_GATE") == "" {
+		t.Skip("set CBI_PERF_GATE=1 to run the WAL ingest throughput gate " +
+			"(CBI_PERF_TOLERANCE overrides the default 0.05)")
+	}
+	tol := 0.05
+	if s := os.Getenv("CBI_PERF_TOLERANCE"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 {
+			t.Fatalf("CBI_PERF_TOLERANCE=%q: want a positive float", s)
+		}
+		tol = v
+	}
+	in := runner().Result("moss", harness.SampleUniform).CoreInput()
+	// Time a fixed batch count per trial on a fresh server, rather than
+	// letting testing.Benchmark pick iteration counts: state (and thus
+	// GC tax) grows with batches ingested, so unequal counts between
+	// the two sides would bias the comparison. Interleaved best-of-5,
+	// as in TestPlannerIngestOverhead.
+	const batches, batchSize = 300, 100
+	trial := func(trialID int, wal bool) float64 {
+		cfg := collector.Config{
+			NumSites:   in.Set.NumSites,
+			NumPreds:   in.Set.NumPreds,
+			SiteOf:     in.SiteOf,
+			RunLogSize: 8192,
+			Logf:       func(string, ...any) {},
+		}
+		if wal {
+			dir := t.TempDir()
+			cfg.SnapshotPath = filepath.Join(dir, "collector.snap")
+			cfg.WALPath = filepath.Join(dir, "collector.wal")
+			cfg.CheckpointEvery = time.Hour
+			// Drop the trial's WAL pages as soon as it ends. Production
+			// checkpoints prune segments long before the kernel's
+			// writeback expiry; letting seven trials' worth of doomed
+			// dirty pages accumulate instead would send writeback storms
+			// into the later pairs.
+			defer os.RemoveAll(dir)
+		}
+		srv, err := collector.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		reports := in.Set.Reports
+		// Start each timed region from a collected heap so GC cycles
+		// land comparably across trials.
+		runtime.GC()
+		start := time.Now()
+		for i := 0; i < batches; i++ {
+			off := (i * batchSize) % (len(reports) - batchSize)
+			if err := srv.IngestBatch(fmt.Sprintf("gate-%d-%v-%d", trialID, wal, i), reports[off:off+batchSize]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / batches
+	}
+	// Paired trials, median slowdown: machine drift (page-cache state,
+	// writeback, GC phase) moves both sides of a back-to-back pair
+	// together, so per-pair ratios are far more stable than comparing
+	// the best plain trial against the best WAL trial from different
+	// moments of the run.
+	const pairs = 7
+	ratios := make([]float64, 0, pairs)
+	var baseNs, walNs float64
+	for i := 0; i < pairs; i++ {
+		p := trial(i, false)
+		w := trial(i, true)
+		baseNs, walNs = p, w
+		ratios = append(ratios, w/p)
+	}
+	sort.Float64s(ratios)
+	slowdown := ratios[pairs/2] - 1
+	t.Logf("batch ingest %.0f ns/op plain, %.0f ns/op with WAL (last pair); median slowdown %+.2f%% over %d pairs",
+		baseNs, walNs, slowdown*100, pairs)
+	if slowdown > tol {
+		t.Fatalf("WAL slows batch ingest by %.2f%% (median of %d pairs), tolerance %.2f%%", slowdown*100, pairs, tol*100)
+	}
 }
 
 // TestPlannerIngestOverhead is the throughput gate for the closed loop:

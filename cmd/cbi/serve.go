@@ -60,6 +60,8 @@ func cmdServe(args []string) error {
 	program := fs.String("program", "", "MiniC source file fixing the predicate universe")
 	snapshot := fs.String("snapshot", "", "snapshot file (restored on start, persisted periodically)")
 	snapshotEvery := fs.Duration("snapshot-every", 30*time.Second, "periodic snapshot interval")
+	wal := fs.String("wal", "", "write-ahead log base path (segments at <base>.NNNNNNNN; requires -snapshot)")
+	checkpointEvery := fs.Duration("checkpoint-every", 0, "checkpoint interval with -wal (0 = -snapshot-every)")
 	queueSize := fs.Int("queue", 256, "ingest queue bound in batches (backpressure beyond)")
 	shards := fs.Int("shards", 16, "aggregate counter stripes")
 	runlog := fs.Int("runlog", 0, "run-log retention cap in runs (0 = default 262144, negative disables /v1/predictors)")
@@ -105,6 +107,8 @@ func cmdServe(args []string) error {
 		APIKeys:         keys,
 		SnapshotPath:    *snapshot,
 		SnapshotEvery:   *snapshotEvery,
+		WALPath:         *wal,
+		CheckpointEvery: *checkpointEvery,
 		PlanEvery:       *planEvery,
 		PlanTarget:      *planTarget,
 		PlanMinRate:     *planMinRate,

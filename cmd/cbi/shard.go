@@ -30,6 +30,7 @@ func cmdRoute(args []string) error {
 	workers := fs.Int("workers", 4, "forwarder goroutines per backend")
 	health := fs.Duration("health-every", 2*time.Second, "backend health-probe interval")
 	planFrom := fs.String("plan-from", "", "base URL GET /v1/plan is forwarded to (default: first live backend; point at the gateway in planner deployments)")
+	key := fs.String("key", "", "API key presented on router-originated /v1/revoke calls to backends that require one")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	slowMs := fs.Int("slow-request-ms", 0, "log any HTTP request slower than this many milliseconds (0 = off)")
 	if err := fs.Parse(args); err != nil {
@@ -45,6 +46,7 @@ func cmdRoute(args []string) error {
 		Workers:        *workers,
 		HealthInterval: *health,
 		PlanFrom:       strings.TrimSuffix(strings.TrimSpace(*planFrom), "/"),
+		APIKey:         *key,
 		EnablePprof:    *pprofFlag,
 		SlowRequest:    time.Duration(*slowMs) * time.Millisecond,
 		Logf:           log.Printf,
@@ -74,6 +76,7 @@ func cmdGateway(args []string) error {
 	planMinRuns := fs.Int64("plan-min-runs", 0, "minimum merged runs before the planner publishes (0 = default 100)")
 	planBoostRadius := fs.Int("plan-boost-radius", 0, "half-width of the top-predictor site neighborhood boosted to rate 1 (0 = no boosting)")
 	planPushKey := fs.String("plan-push-key", "", "API key presented when pushing plans to shards that require one")
+	noDelta := fs.Bool("no-delta", false, "disable warm delta sync; fetch a full snapshot from every shard per query")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	slowMs := fs.Int("slow-request-ms", 0, "log any HTTP request slower than this many milliseconds (0 = off)")
 	if err := fs.Parse(args); err != nil {
@@ -88,21 +91,22 @@ func cmdGateway(args []string) error {
 		return err
 	}
 	g, err := shard.NewGateway(shard.GatewayConfig{
-		Shards:          urls,
-		NumSites:        plan.NumSites(),
-		NumPreds:        plan.NumPreds(),
-		SiteOf:          siteOf(plan),
-		Fingerprint:     plan.Fingerprint(),
-		Timeout:         *timeout,
-		PlanEvery:       *planEvery,
-		PlanTarget:      *planTarget,
-		PlanMinRate:     *planMinRate,
-		PlanMinRuns:     *planMinRuns,
-		PlanBoostRadius: *planBoostRadius,
-		PlanPushKey:     *planPushKey,
-		EnablePprof:     *pprofFlag,
-		SlowRequest:     time.Duration(*slowMs) * time.Millisecond,
-		Logf:            log.Printf,
+		Shards:           urls,
+		NumSites:         plan.NumSites(),
+		NumPreds:         plan.NumPreds(),
+		SiteOf:           siteOf(plan),
+		Fingerprint:      plan.Fingerprint(),
+		Timeout:          *timeout,
+		PlanEvery:        *planEvery,
+		PlanTarget:       *planTarget,
+		PlanMinRate:      *planMinRate,
+		PlanMinRuns:      *planMinRuns,
+		PlanBoostRadius:  *planBoostRadius,
+		PlanPushKey:      *planPushKey,
+		DisableDeltaSync: *noDelta,
+		EnablePprof:      *pprofFlag,
+		SlowRequest:      time.Duration(*slowMs) * time.Millisecond,
+		Logf:             log.Printf,
 	})
 	if err != nil {
 		return err

@@ -20,6 +20,7 @@
 package collector
 
 import (
+	"bytes"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,10 +62,63 @@ type shardedAgg struct {
 	logMu sync.Mutex
 	log   *runLog
 
+	// Delta-sync state, guarded by logMu alongside the log it describes.
+	// epoch is a random per-boot scope for state versions; stateVer
+	// counts every state mutation; hist retains the recent mutations as
+	// delta events so GET /v1/snapshot?since= can replay just the
+	// changes. nil hist disables delta serving.
+	epoch    uint64
+	stateVer uint64
+	hist     *deltaHist
+
 	// maxAge, when positive, additionally evicts retained runs older
 	// than the cap; now is the retention clock (time.Now outside tests).
 	maxAge time.Duration
 	now    func() time.Time
+}
+
+// defaultDeltaHistory is the default delta-event retention: enough to
+// cover many polling intervals of heavy ingest while bounding memory
+// (events are tiny except merge folds, which the byte cap bounds).
+const defaultDeltaHistory = 1 << 16
+
+// deltaHist retains the most recent state-mutation events. The event at
+// offset i (from the oldest) advanced the state from version base+i to
+// base+i+1, where base = stateVer - len(history).
+type deltaHist struct {
+	maxEvents int
+	maxBytes  int64
+	evs       []corpus.DeltaEvent
+	head      int // index of the oldest retained event
+	bytes     int64
+}
+
+func (h *deltaHist) add(ev corpus.DeltaEvent) {
+	h.evs = append(h.evs, ev)
+	h.bytes += int64(len(ev.Data))
+	for (h.maxEvents > 0 && len(h.evs)-h.head > h.maxEvents) ||
+		(h.maxBytes > 0 && h.bytes > h.maxBytes && len(h.evs)-h.head > 1) {
+		h.bytes -= int64(len(h.evs[h.head].Data))
+		h.evs[h.head] = corpus.DeltaEvent{}
+		h.head++
+	}
+	// Compact the dead prefix once it dominates the backing array.
+	if h.head > 1024 && h.head*2 >= len(h.evs) {
+		h.evs = append([]corpus.DeltaEvent(nil), h.evs[h.head:]...)
+		h.head = 0
+	}
+}
+
+func (h *deltaHist) len() int { return len(h.evs) - h.head }
+
+// since returns a copy of the events from the given offset (0 = oldest
+// retained) onward; the copies share the immutable Data bytes.
+func (h *deltaHist) since(offset int) []corpus.DeltaEvent {
+	return append([]corpus.DeltaEvent(nil), h.evs[h.head+offset:]...)
+}
+
+func (h *deltaHist) reset() {
+	h.evs, h.head, h.bytes = nil, 0, 0
 }
 
 func newShardedAgg(numSites, numPreds, shards, runLogCap int, runLogMaxBytes int64, maxAge time.Duration, now func() time.Time) *shardedAgg {
@@ -102,6 +156,29 @@ func blockSize(dim, shards int) int {
 	return b
 }
 
+// enableDeltaHistory turns on delta serving: state mutations are
+// recorded as delta events under the given per-boot epoch. maxEvents 0
+// picks the default; callers must invoke this before ingestion starts.
+// No-op when run-level retention is disabled (deltas replay the run
+// window, so there is nothing to serve without one).
+func (a *shardedAgg) enableDeltaHistory(maxEvents int, maxBytes int64, epoch uint64) {
+	if a.log == nil {
+		return
+	}
+	if maxEvents == 0 {
+		maxEvents = defaultDeltaHistory
+	}
+	a.hist = &deltaHist{maxEvents: maxEvents, maxBytes: maxBytes}
+	a.epoch = epoch
+}
+
+// noteLocked records one state mutation; callers hold logMu (plus gate,
+// either side) and only call when hist is enabled.
+func (a *shardedAgg) noteLocked(kind byte, data []byte) {
+	a.stateVer++
+	a.hist.add(corpus.DeltaEvent{Kind: kind, Data: data})
+}
+
 // Apply folds one report into the aggregate and the run log, evicting
 // (and un-counting) runs the retention caps no longer cover — the
 // oldest run when the log is at its count capacity, plus any runs
@@ -109,21 +186,72 @@ func blockSize(dim, shards int) int {
 func (a *shardedAgg) Apply(r *report.Report) {
 	a.gate.RLock()
 	defer a.gate.RUnlock()
+	a.applyOne(r, nil)
+}
 
+// ApplyBatch folds a whole batch atomically with respect to snapshots
+// and queries: the gate is held across every report, and after (when
+// non-nil) runs under the same hold with the batch's encoded run-log
+// records — the point where callers mark the batch's WAL sequence
+// applied and stash the records for revoke reversal, so a concurrent
+// snapshot can never capture half a batch or a mark without its state.
+// encoded, when non-nil, supplies each report's AppendRecord bytes
+// (index-aligned with reports) so a caller that already encoded the
+// batch — the WAL append path — doesn't pay for it twice. recs is nil
+// when retention is disabled.
+func (a *shardedAgg) ApplyBatch(reports []*report.Report, encoded [][]byte, after func(recs [][]byte)) [][]byte {
+	a.gate.RLock()
+	defer a.gate.RUnlock()
+	var recs [][]byte
+	if a.log != nil {
+		recs = make([][]byte, 0, len(reports))
+	}
+	for i, r := range reports {
+		var pre []byte
+		if encoded != nil {
+			pre = encoded[i]
+		}
+		rec := a.applyOne(r, pre)
+		if a.log != nil {
+			recs = append(recs, rec)
+		}
+	}
+	if after != nil {
+		after(recs)
+	}
+	return recs
+}
+
+// applyOne folds one report; callers hold gate.RLock. rec, when
+// non-nil, is the report's pre-computed AppendRecord encoding. Returns
+// the encoded run-log record (nil when retention is disabled).
+func (a *shardedAgg) applyOne(r *report.Report, rec []byte) []byte {
 	var evicted [][]byte
 	if a.log != nil {
-		rec := report.AppendRecord(nil, r)
+		if rec == nil {
+			rec = report.AppendRecord(nil, r)
+		}
 		now := a.now().UnixNano()
 		a.logMu.Lock()
 		if a.maxAge > 0 {
 			evicted = a.log.evictExpired(now - int64(a.maxAge))
 		}
 		evicted = append(evicted, a.log.append(rec, now)...)
+		if a.hist != nil {
+			// Recording the evictions before the append is equivalent to
+			// the interleaved order above: the byte cap never evicts the
+			// newest run, and counter updates commute.
+			for range evicted {
+				a.noteLocked(corpus.DeltaEvict, nil)
+			}
+			a.noteLocked(corpus.DeltaAppend, rec)
+		}
 		a.logMu.Unlock()
 	}
 
 	a.bump(r, +1)
 	a.uncount(evicted)
+	return rec
 }
 
 // uncount subtracts evicted run-log records from the counters. Callers
@@ -157,6 +285,11 @@ func (a *shardedAgg) EvictExpired() {
 	cutoff := a.now().UnixNano() - int64(a.maxAge)
 	a.logMu.Lock()
 	evicted := a.log.evictExpired(cutoff)
+	if a.hist != nil {
+		for range evicted {
+			a.noteLocked(corpus.DeltaEvict, nil)
+		}
+	}
 	a.logMu.Unlock()
 	a.uncount(evicted)
 }
@@ -166,8 +299,9 @@ func (a *shardedAgg) EvictExpired() {
 // independent runs), and its retained runs join the log *without*
 // re-counting — the snapshot already includes them — while retention
 // caps apply to them as usual. The whole merge is atomic with respect
-// to snapshots and score queries.
-func (a *shardedAgg) MergeSegment(snap *corpus.AggSnapshot, reports []*report.Report) {
+// to snapshots and score queries; after (when non-nil) runs under the
+// same hold, where the caller marks the merge's WAL sequence applied.
+func (a *shardedAgg) MergeSegment(snap *corpus.AggSnapshot, reports []*report.Report, after func()) {
 	a.gate.Lock()
 	defer a.gate.Unlock()
 	for i, v := range snap.FobsSite {
@@ -189,15 +323,47 @@ func (a *shardedAgg) MergeSegment(snap *corpus.AggSnapshot, reports []*report.Re
 	if a.log != nil {
 		now := a.now().UnixNano()
 		a.logMu.Lock()
+		if a.hist != nil {
+			// The counter fold becomes one 'M' event carrying the peer
+			// snapshot; the joined runs follow as uncounted 'J' appends.
+			clean := *snap
+			clean.WALSeq, clean.WALIslands = 0, nil
+			var buf bytes.Buffer
+			if err := corpus.SaveAggSnapshot(&buf, &clean); err == nil {
+				a.noteLocked(corpus.DeltaMerge, buf.Bytes())
+			} else {
+				// An unencodable snapshot cannot reach warm views; force
+				// them to full-resync rather than serve a gap.
+				a.stateVer++
+				a.hist.reset()
+			}
+		}
 		if a.maxAge > 0 {
-			evicted = a.log.evictExpired(now - int64(a.maxAge))
+			ev := a.log.evictExpired(now - int64(a.maxAge))
+			if a.hist != nil {
+				for range ev {
+					a.noteLocked(corpus.DeltaEvict, nil)
+				}
+			}
+			evicted = append(evicted, ev...)
 		}
 		for _, r := range reports {
-			evicted = append(evicted, a.log.append(report.AppendRecord(nil, r), now)...)
+			rec := report.AppendRecord(nil, r)
+			ev := a.log.append(rec, now)
+			if a.hist != nil {
+				for range ev {
+					a.noteLocked(corpus.DeltaEvict, nil)
+				}
+				a.noteLocked(corpus.DeltaJoin, rec)
+			}
+			evicted = append(evicted, ev...)
 		}
 		a.logMu.Unlock()
 	}
 	a.uncount(evicted)
+	if after != nil {
+		after()
+	}
 }
 
 // bump adds delta to every counter the report touches. Callers must
@@ -246,6 +412,17 @@ func (a *shardedAgg) Runs() (numF, numS int64) {
 // run-log records they describe (nil when retention is disabled). The
 // record slices are immutable and safe to decode without locks.
 func (a *shardedAgg) Snapshot(fingerprint uint64) (*corpus.AggSnapshot, [][]byte) {
+	snap, recs, _, _ := a.SnapshotState(fingerprint, nil)
+	return snap, recs
+}
+
+// SnapshotState is Snapshot plus the delta-sync coordinates the state
+// was captured at: the per-boot epoch and the state version the
+// returned counters+window correspond to (both zero when delta serving
+// is disabled). capture, when non-nil, runs on the snapshot under the
+// same exclusive hold — the point where the server stamps the WAL
+// watermark, so checkpoint state and WAL coverage cannot tear.
+func (a *shardedAgg) SnapshotState(fingerprint uint64, capture func(*corpus.AggSnapshot)) (*corpus.AggSnapshot, [][]byte, uint64, uint64) {
 	a.gate.Lock()
 	defer a.gate.Unlock()
 	snap := &corpus.AggSnapshot{
@@ -264,7 +441,75 @@ func (a *shardedAgg) Snapshot(fingerprint uint64) (*corpus.AggSnapshot, [][]byte
 		recs = a.log.records()
 	}
 	snap.Logged = int64(len(recs))
-	return snap, recs
+	var epoch, ver uint64
+	if a.hist != nil {
+		// No mutator can be active under gate.Lock, so the version is
+		// exactly the one the captured counters correspond to.
+		epoch, ver = a.epoch, a.stateVer
+	}
+	if capture != nil {
+		capture(snap)
+	}
+	return snap, recs, epoch, ver
+}
+
+// DeltaCapable reports whether delta serving is enabled.
+func (a *shardedAgg) DeltaCapable() bool {
+	if a.log == nil {
+		return false
+	}
+	a.logMu.Lock()
+	defer a.logMu.Unlock()
+	return a.hist != nil
+}
+
+// DeltaSince returns the state-mutation events that advance a copy of
+// this collector's state at version since (within the given epoch) to
+// the current version. ok is false when the request cannot be served
+// incrementally — delta serving disabled, a different epoch (the
+// collector restarted), or since outside the retained history — in
+// which case the caller falls back to a full snapshot. The returned
+// events share immutable Data bytes and are safe to encode without
+// locks.
+func (a *shardedAgg) DeltaSince(epoch, since uint64) (events []corpus.DeltaEvent, from, to uint64, ok bool) {
+	if a.log == nil {
+		return nil, 0, 0, false
+	}
+	a.logMu.Lock()
+	defer a.logMu.Unlock()
+	if a.hist == nil || epoch != a.epoch || since > a.stateVer {
+		return nil, 0, 0, false
+	}
+	base := a.stateVer - uint64(a.hist.len())
+	if since < base {
+		return nil, 0, 0, false
+	}
+	return a.hist.since(int(since - base)), since, a.stateVer, true
+}
+
+// RemoveRecords removes up to one log occurrence per given encoded
+// record (matching by exact bytes — the canonical AppendRecord
+// encoding) and subtracts the removed runs from the counters. This is
+// the revoke path: un-applying a batch that a router failover caused to
+// land on two shards. Runs the retention caps already evicted are
+// simply not found (they were un-counted at eviction). Removal has no
+// incremental delta representation, so the event history resets and
+// warm views full-resync. Returns how many runs were removed.
+func (a *shardedAgg) RemoveRecords(recs [][]byte) int {
+	if a.log == nil || len(recs) == 0 {
+		return 0
+	}
+	a.gate.Lock()
+	defer a.gate.Unlock()
+	a.logMu.Lock()
+	removed := a.log.remove(recs)
+	if a.hist != nil && len(removed) > 0 {
+		a.stateVer++
+		a.hist.reset()
+	}
+	a.logMu.Unlock()
+	a.uncount(removed)
+	return len(removed)
 }
 
 // Restore overwrites the counters from a snapshot. Callers must ensure

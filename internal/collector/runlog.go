@@ -131,6 +131,44 @@ func (l *runLog) records() [][]byte {
 	return out
 }
 
+// remove drops up to one retained occurrence per given encoded record,
+// matching by exact bytes, preserving arrival order of the survivors.
+// It returns the removed records (for the caller to un-count); the
+// eviction counter is untouched — removal is revocation, not
+// retention.
+func (l *runLog) remove(recs [][]byte) (removed [][]byte) {
+	if l.n == 0 || len(recs) == 0 {
+		return nil
+	}
+	want := make(map[string]int, len(recs))
+	for _, rec := range recs {
+		want[string(rec)]++
+	}
+	kept := make([][]byte, 0, l.n)
+	times := make([]int64, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		j := (l.head + i) % len(l.recs)
+		rec := l.recs[j]
+		if c := want[string(rec)]; c > 0 {
+			want[string(rec)] = c - 1
+			removed = append(removed, rec)
+			continue
+		}
+		kept = append(kept, rec)
+		times = append(times, l.times[j])
+	}
+	if len(removed) == 0 {
+		return nil
+	}
+	l.recs, l.times, l.head, l.n = kept, times, 0, len(kept)
+	l.bytes = 0
+	for _, rec := range kept {
+		l.bytes += int64(len(rec))
+	}
+	l.version++
+	return removed
+}
+
 // restore refills the log from decoded reports (oldest first), keeping
 // only the newest cap runs (count and byte caps both apply), all
 // stamped with the restore time (the at-rest format carries no per-run

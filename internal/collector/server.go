@@ -94,6 +94,22 @@ type Config struct {
 	SnapshotPath string
 	// SnapshotEvery is the snapshot period (0 = only on Shutdown).
 	SnapshotEvery time.Duration
+	// WALPath, when set, enables the write-ahead log: every accepted
+	// batch, merge, and revoke is appended to the current WAL segment
+	// (<WALPath>.<n>) before it is acked, shrinking the
+	// acked-but-unsnapshotted loss window to ~zero. Requires
+	// SnapshotPath: periodic snapshots become checkpoints (a single
+	// atomic state file) that rotate and prune the log, and boot replays
+	// the WAL records the checkpoint does not cover.
+	WALPath string
+	// CheckpointEvery is the checkpoint period when the WAL is enabled
+	// (default: SnapshotEvery, or 30s when that is unset).
+	CheckpointEvery time.Duration
+	// DeltaHistory caps the in-memory state-mutation history backing
+	// incremental GET /v1/snapshot?since= responses, in events (0 =
+	// default 65536; negative disables delta serving). Only meaningful
+	// when the run log is enabled.
+	DeltaHistory int
 	// Metrics, when set, is the registry the server's metrics register
 	// into (shared registries let one process host several servers under
 	// distinct names); nil creates a private registry. Either way the
@@ -113,6 +129,13 @@ type Config struct {
 	applyHook func(*report.Report)
 	// nowFn, when set (tests only), overrides the retention clock.
 	nowFn func() time.Time
+	// walHook, when set (tests only), runs around each WAL append
+	// ("pre-append", "post-append") so crash tests can copy the state
+	// directory at exact durability boundaries.
+	walHook func(stage string)
+	// checkpointHook, when set (tests only), runs at checkpoint stages
+	// ("begin", "committed", "done").
+	checkpointHook func(stage string)
 }
 
 // Stats is the GET /v1/stats response.
@@ -166,6 +189,25 @@ type Stats struct {
 	PlanBatchesStale   int64 `json:"plan_batches_stale"`
 	// Live API-key rotations applied via SetAPIKeys (SIGHUP reload).
 	APIKeyReloads int64 `json:"api_key_reloads"`
+	// Write-ahead log state: records appended since startup, records
+	// re-applied by boot replay, torn tails truncated, segments pruned
+	// after a covering checkpoint, and the log's current on-disk
+	// footprint. All zero when the WAL is disabled.
+	WALAppends     int64 `json:"wal_appends"`
+	WALReplayed    int64 `json:"wal_replayed"`
+	WALTornTails   int64 `json:"wal_torn_tails"`
+	WALTruncations int64 `json:"wal_truncations"`
+	WALBytes       int64 `json:"wal_bytes"`
+	WALSegments    int   `json:"wal_segments"`
+	// Incremental snapshot serving: GET /v1/snapshot?since= requests
+	// seen, and how many were answered with a delta segment instead of a
+	// full state export.
+	DeltaRequests int64 `json:"delta_requests"`
+	DeltaServed   int64 `json:"delta_served"`
+	// POST /v1/revoke traffic: batches whose retained runs were removed
+	// and the total runs removed (the failover double-count repair path).
+	RevokedBatches int64 `json:"revoked_batches"`
+	RevokedRuns    int64 `json:"revoked_runs"`
 }
 
 // ScoreEntry is one row of the GET /v1/scores response.
@@ -200,12 +242,29 @@ type Server struct {
 	// /v1/plan pushes) with their sidecar persistence.
 	planMu sync.Mutex
 
-	queue chan []*report.Report
+	queue chan *ingestBatch
+	// sem is the ingest admission semaphore (capacity == cap(queue)): a
+	// handler acquires a slot *before* the WAL append so a batch is never
+	// made durable and then shed with 429, and the subsequent queue send
+	// can never block. Workers release the slot on dequeue.
+	sem chan struct{}
 
 	// acceptMu guards accepting and orders handler enqueues before the
 	// queue close during drain.
 	acceptMu  sync.RWMutex
 	accepting bool
+
+	// Write-ahead log state. walMu serializes sequence assignment,
+	// appends, rotation, and pruning; seqs tracks which sequences the
+	// aggregate has absorbed (watermark + out-of-order islands) so replay
+	// and checkpoints agree on coverage.
+	walMu     sync.Mutex
+	wal       *corpus.WAL  // current segment; nil when the WAL is disabled
+	walIndex  uint64       // current segment index
+	walSeq    uint64       // last assigned sequence number
+	walPrev   []walSegment // closed segments not yet covered by a checkpoint
+	walBroken bool         // an un-repairable append failure poisoned the log
+	seqs      seqTracker
 
 	workers sync.WaitGroup
 	bg      sync.WaitGroup
@@ -240,6 +299,15 @@ type Server struct {
 	planBatchesStale   *obs.Counter
 	apiKeyReloads      *obs.Counter
 
+	walAppends     *obs.Counter
+	walReplayed    *obs.Counter
+	walTornTails   *obs.Counter
+	walTruncations *obs.Counter
+	deltaRequests  *obs.Counter
+	deltaServed    *obs.Counter
+	revokedBatches *obs.Counter
+	revokedRuns    *obs.Counter
+
 	// Cached /v1/predictors response, keyed by query parameters and the
 	// run-log version at computation time; any ingest bumps the version
 	// and thereby invalidates the cache.
@@ -250,8 +318,12 @@ type Server struct {
 
 	// Recently enqueued client batch ids (X-CBI-Batch-ID), so a retry
 	// of a batch whose ack was lost in transit is not ingested twice.
+	// The value, once the batch has applied, is its runs' encoded
+	// run-log records (nil before apply or after a revoke) — what POST
+	// /v1/revoke uses to surgically remove a batch that a failover
+	// re-routed to another shard.
 	dedupMu   sync.Mutex
-	dedupSeen map[string]struct{}
+	dedupSeen map[string][][]byte
 	dedupFIFO []string
 
 	srvMu   sync.Mutex
@@ -296,14 +368,34 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.WALPath != "" {
+		if cfg.SnapshotPath == "" {
+			return nil, fmt.Errorf("collector: WALPath requires SnapshotPath (checkpoints anchor WAL replay)")
+		}
+		if cfg.CheckpointEvery <= 0 {
+			if cfg.SnapshotEvery > 0 {
+				cfg.CheckpointEvery = cfg.SnapshotEvery
+			} else {
+				cfg.CheckpointEvery = 30 * time.Second
+			}
+		}
+		cfg.SnapshotEvery = cfg.CheckpointEvery
+	}
 
 	s := &Server{
 		cfg:       cfg,
 		agg:       newShardedAgg(cfg.NumSites, cfg.NumPreds, cfg.Shards, cfg.RunLogSize, cfg.RunLogMaxBytes, cfg.RunLogMaxAge, cfg.nowFn),
-		queue:     make(chan []*report.Report, cfg.QueueSize),
+		queue:     make(chan *ingestBatch, cfg.QueueSize),
+		sem:       make(chan struct{}, cfg.QueueSize),
 		accepting: true,
 		die:       make(chan struct{}),
-		dedupSeen: make(map[string]struct{}),
+		dedupSeen: make(map[string][][]byte),
+	}
+	if cfg.RunLogSize > 0 && cfg.DeltaHistory >= 0 {
+		// Per-boot epoch: a restarted collector's version counter resets,
+		// so versions are only comparable within one epoch. Random and
+		// nonzero so no two boots (or two shards) ever collide.
+		s.agg.enableDeltaHistory(cfg.DeltaHistory, maxDeltaHistBytes, newEpoch())
 	}
 	keys := append([]string(nil), cfg.APIKeys...)
 	s.apiKeys.Store(&keys)
@@ -397,6 +489,22 @@ func (s *Server) initMetrics() {
 		"Accepted report batches stamped with an older plan version (rates still propagating).")
 	s.apiKeyReloads = m.Counter("cbi_collector_api_key_reloads_total",
 		"Live API-key set swaps applied via SetAPIKeys (SIGHUP rotation).")
+	s.walAppends = m.Counter("cbi_collector_wal_appends_total",
+		"Batch, merge, and revoke records appended to the write-ahead log.")
+	s.walReplayed = m.Counter("cbi_collector_wal_replayed_total",
+		"WAL records re-applied during boot replay (not covered by the checkpoint).")
+	s.walTornTails = m.Counter("cbi_collector_wal_torn_tails_total",
+		"Torn WAL tails truncated at boot (partial final record from a crash).")
+	s.walTruncations = m.Counter("cbi_collector_wal_truncations_total",
+		"WAL segments truncated or deleted after a covering checkpoint.")
+	s.deltaRequests = m.Counter("cbi_collector_delta_requests_total",
+		"GET /v1/snapshot requests that asked for an incremental delta (since=).")
+	s.deltaServed = m.Counter("cbi_collector_delta_served_total",
+		"Snapshot requests answered with a delta segment instead of a full export.")
+	s.revokedBatches = m.Counter("cbi_collector_revoked_batches_total",
+		"Batches whose retained runs were removed via POST /v1/revoke.")
+	s.revokedRuns = m.Counter("cbi_collector_revoked_runs_total",
+		"Individual runs removed (and un-counted) via POST /v1/revoke.")
 	s.snapshotSeconds = m.Histogram("cbi_collector_snapshot_write_seconds",
 		"Wall time to persist one snapshot+run-log pair, in seconds.", nil)
 
@@ -427,6 +535,12 @@ func (s *Server) initMetrics() {
 	m.GaugeFunc("cbi_collector_runlog_max_bytes",
 		"Run-log retention cap in encoded bytes (0 when no byte cap is set).",
 		func() float64 { return float64(s.agg.LogStats().maxBytes) })
+	m.GaugeFunc("cbi_collector_wal_bytes",
+		"On-disk bytes across all live write-ahead-log segments (0 when disabled).",
+		func() float64 { b, _ := s.walUsage(); return float64(b) })
+	m.GaugeFunc("cbi_collector_wal_segments",
+		"Live write-ahead-log segment files (0 when the WAL is disabled).",
+		func() float64 { _, n := s.walUsage(); return float64(n) })
 	m.GaugeFunc("cbi_collector_plan_version",
 		"Version of the sampling plan currently served at /v1/plan.",
 		func() float64 { return float64(s.planStore.Version()) })
@@ -441,7 +555,7 @@ func (s *Server) initMetrics() {
 
 	s.httpObs = obs.NewHTTP(obs.HTTPConfig{
 		Registry: m,
-		Paths: []string{"/v1/reports", "/v1/merge", "/v1/snapshot", "/v1/scores",
+		Paths: []string{"/v1/reports", "/v1/merge", "/v1/revoke", "/v1/snapshot", "/v1/scores",
 			"/v1/predictors", "/v1/stats", "/v1/plan", "/healthz", "/metrics"},
 		SlowRequest: s.cfg.SlowRequest,
 		Logf:        s.cfg.Logf,
@@ -550,15 +664,17 @@ func (s *Server) SetAPIKeys(keys []string) {
 	s.cfg.Logf("collector: API key set reloaded (%d keys)", len(cp))
 }
 
-// restore loads the durable pair — aggregate snapshot and run-log
-// window — from cfg.SnapshotPath. The run log is the source of truth:
-// if the counters disagree with it (a crash tore the pair, or the
-// snapshot predates run-level retention and the log file was written by
-// a newer run), the counters are rebuilt from the retained runs so the
-// two views can never serve different windows.
+// restore loads durable state from cfg.SnapshotPath — either a
+// checkpoint (one atomic file: counters + window together, written when
+// the WAL is on) or the legacy snapshot + run-log pair — and then, when
+// the WAL is enabled, replays every WAL record the loaded state does
+// not cover. For the legacy pair the run log is the source of truth: if
+// the counters disagree with it (a crash tore the pair, or retention
+// caps trimmed the restored window), the counters are rebuilt from the
+// retained runs so the two views can never serve different windows.
 func (s *Server) restore() error {
 	cfg := s.cfg
-	snap, err := corpus.ReadAggSnapshotFile(cfg.SnapshotPath)
+	snap, ckptSet, isCheckpoint, err := corpus.ReadStateFile(cfg.SnapshotPath)
 	if err != nil {
 		return fmt.Errorf("collector: loading snapshot: %v", err)
 	}
@@ -572,40 +688,62 @@ func (s *Server) restore() error {
 				snap.Fingerprint, cfg.Fingerprint)
 		}
 		s.agg.Restore(snap)
+		s.seqs.restoreState(snap.WALSeq, snap.WALIslands)
 	}
 
-	logSet, err := corpus.ReadRunLogFile(corpus.RunLogPath(cfg.SnapshotPath))
-	if err != nil {
-		return fmt.Errorf("collector: loading run log: %v", err)
+	if isCheckpoint {
+		// Counters and window were written atomically; they can only
+		// disagree if retention caps shrank across the restart.
+		if cfg.RunLogSize > 0 && ckptSet != nil && len(ckptSet.Reports) > 0 {
+			retained := s.agg.RestoreLog(ckptSet.Reports)
+			if retained != len(ckptSet.Reports) {
+				cfg.Logf("collector: retention caps trimmed the checkpoint window (%d runs checkpointed, %d retained); recounting",
+					len(ckptSet.Reports), retained)
+				if err := s.agg.RecountFromLog(); err != nil {
+					return fmt.Errorf("collector: recounting from checkpoint window: %v", err)
+				}
+			}
+		}
+	} else {
+		logSet, err := corpus.ReadRunLogFile(corpus.RunLogPath(cfg.SnapshotPath))
+		if err != nil {
+			return fmt.Errorf("collector: loading run log: %v", err)
+		}
+		if logSet != nil && cfg.RunLogSize > 0 {
+			if logSet.NumSites != cfg.NumSites || logSet.NumPreds != cfg.NumPreds {
+				return fmt.Errorf("collector: run log dimensions %dx%d do not match server %dx%d",
+					logSet.NumSites, logSet.NumPreds, cfg.NumSites, cfg.NumPreds)
+			}
+			retained := s.agg.RestoreLog(logSet.Reports)
+			// The snapshot records how many runs its companion log held (a
+			// legacy v1 snapshot does not; fall back to its run counts,
+			// which equal the logged count unless state was merged in).
+			wantLogged := int64(-1)
+			if snap != nil {
+				wantLogged = snap.Logged
+				if wantLogged < 0 {
+					wantLogged = snap.NumF + snap.NumS
+				}
+			}
+			// Recount whenever the counters cannot match the retained window:
+			// torn snapshot pair, or retention caps (count or bytes) trimmed
+			// the restored log below what the snapshot described.
+			if snap == nil || wantLogged != int64(len(logSet.Reports)) || retained != len(logSet.Reports) {
+				cfg.Logf("collector: counters disagree with run log (%d runs logged, %d retained); recounting from the log",
+					len(logSet.Reports), retained)
+				if err := s.agg.RecountFromLog(); err != nil {
+					return fmt.Errorf("collector: recounting from run log: %v", err)
+				}
+			}
+		} else if snap != nil && snap.NumF+snap.NumS > 0 && cfg.RunLogSize > 0 {
+			cfg.Logf("collector: snapshot has no run log; /v1/predictors starts empty until new runs arrive")
+		}
 	}
-	if logSet != nil && cfg.RunLogSize > 0 {
-		if logSet.NumSites != cfg.NumSites || logSet.NumPreds != cfg.NumPreds {
-			return fmt.Errorf("collector: run log dimensions %dx%d do not match server %dx%d",
-				logSet.NumSites, logSet.NumPreds, cfg.NumSites, cfg.NumPreds)
+
+	if cfg.WALPath != "" {
+		if err := s.replayWAL(); err != nil {
+			return err
 		}
-		retained := s.agg.RestoreLog(logSet.Reports)
-		// The snapshot records how many runs its companion log held (a
-		// legacy v1 snapshot does not; fall back to its run counts,
-		// which equal the logged count unless state was merged in).
-		wantLogged := int64(-1)
-		if snap != nil {
-			wantLogged = snap.Logged
-			if wantLogged < 0 {
-				wantLogged = snap.NumF + snap.NumS
-			}
-		}
-		// Recount whenever the counters cannot match the retained window:
-		// torn snapshot pair, or retention caps (count or bytes) trimmed
-		// the restored log below what the snapshot described.
-		if snap == nil || wantLogged != int64(len(logSet.Reports)) || retained != len(logSet.Reports) {
-			cfg.Logf("collector: counters disagree with run log (%d runs logged, %d retained); recounting from the log",
-				len(logSet.Reports), retained)
-			if err := s.agg.RecountFromLog(); err != nil {
-				return fmt.Errorf("collector: recounting from run log: %v", err)
-			}
-		}
-	} else if snap != nil && snap.NumF+snap.NumS > 0 && cfg.RunLogSize > 0 {
-		cfg.Logf("collector: snapshot has no run log; /v1/predictors starts empty until new runs arrive")
 	}
 
 	// The sampling plan persists beside the snapshot; restoring it keeps
@@ -626,7 +764,7 @@ func (s *Server) restore() error {
 
 	numF, numS := s.agg.Runs()
 	restored := numF + numS
-	if restored > 0 || snap != nil || logSet != nil {
+	if restored > 0 || snap != nil {
 		s.reportsEnqueued.Store(restored)
 		s.reportsApplied.Store(restored)
 		s.cfg.Logf("collector: restored snapshot %s (%d runs)", cfg.SnapshotPath, restored)
@@ -640,17 +778,28 @@ func (s *Server) applyLoop() {
 		select {
 		case <-s.die:
 			return
-		case batch, ok := <-s.queue:
+		case b, ok := <-s.queue:
 			if !ok {
 				return
 			}
-			for _, r := range batch {
-				if s.cfg.applyHook != nil {
+			// Release the admission slot taken by the handler: the batch
+			// has left the queue, so a new one may enter. Every queued
+			// batch holds exactly one slot, so this never blocks.
+			<-s.sem
+			// Hooks run before the aggregate lock is touched — test hooks
+			// may block on channels.
+			if s.cfg.applyHook != nil {
+				for _, r := range b.reports {
 					s.cfg.applyHook(r)
 				}
-				s.agg.Apply(r)
-				s.reportsApplied.Add(1)
 			}
+			s.agg.ApplyBatch(b.reports, b.recs, func(recs [][]byte) {
+				s.seqs.markApplied(b.seq)
+				if b.id != "" {
+					s.storeBatchRecs(b.id, recs)
+				}
+			})
+			s.reportsApplied.Add(int64(len(b.reports)))
 		}
 	}
 }
@@ -681,19 +830,53 @@ func (s *Server) Ingest(r *report.Report) {
 	s.reportsApplied.Add(1)
 }
 
-// SnapshotNow persists the current aggregate to cfg.SnapshotPath and,
-// when run-level retention is on, the retained run window to its
-// sibling file. Counters and window are captured under one lock, and
-// the run log lands on disk before the counters: the aggregate snapshot
-// is the commit point, and a crash between the two writes leaves a
-// mismatch that restore detects and repairs by recounting from the log.
+// SnapshotNow persists the current aggregate to cfg.SnapshotPath.
+//
+// With the WAL enabled this is a checkpoint: counters, window, and the
+// WAL coverage watermark are captured under one lock and land in a
+// single atomically-renamed file (no torn-pair window at all), after
+// which WAL segments the checkpoint covers are pruned.
+//
+// Without the WAL it is the legacy pair — the run log lands on disk
+// before the counters: the aggregate snapshot is the commit point, and
+// a crash between the two writes leaves a mismatch that restore detects
+// and repairs by recounting from the log.
 func (s *Server) SnapshotNow() error {
 	if s.cfg.SnapshotPath == "" {
 		return fmt.Errorf("collector: no snapshot path configured")
 	}
 	start := time.Now()
 	defer func() { s.snapshotSeconds.ObserveDuration(time.Since(start)) }()
-	snap, recs := s.agg.Snapshot(s.cfg.Fingerprint)
+	if s.cfg.checkpointHook != nil {
+		s.cfg.checkpointHook("begin")
+	}
+	walOn := s.cfg.WALPath != ""
+	snap, recs, _, _ := s.agg.SnapshotState(s.cfg.Fingerprint, func(sn *corpus.AggSnapshot) {
+		if walOn {
+			sn.WALSeq, sn.WALIslands = s.seqs.capture()
+		}
+	})
+	if walOn {
+		reports, err := decodeRecords(recs, s.cfg.NumSites, s.cfg.NumPreds)
+		if err != nil {
+			return err
+		}
+		set := &report.Set{NumSites: s.cfg.NumSites, NumPreds: s.cfg.NumPreds, Reports: reports}
+		if err := corpus.WriteCheckpointFile(s.cfg.SnapshotPath, snap, set); err != nil {
+			return err
+		}
+		s.snapshots.Add(1)
+		if s.cfg.checkpointHook != nil {
+			s.cfg.checkpointHook("committed")
+		}
+		s.pruneWAL(snap.WALSeq)
+		if s.cfg.checkpointHook != nil {
+			s.cfg.checkpointHook("done")
+		}
+		s.cfg.Logf("collector: checkpoint %s (%d runs, %d logged, WAL covered through %d)",
+			s.cfg.SnapshotPath, snap.NumF+snap.NumS, len(recs), snap.WALSeq)
+		return nil
+	}
 	if recs != nil {
 		reports, err := decodeRecords(recs, s.cfg.NumSites, s.cfg.NumPreds)
 		if err != nil {
@@ -727,13 +910,38 @@ func (s *Server) rememberBatch(id string) (dup bool) {
 	if _, ok := s.dedupSeen[id]; ok {
 		return true
 	}
-	s.dedupSeen[id] = struct{}{}
+	s.dedupSeen[id] = nil
 	s.dedupFIFO = append(s.dedupFIFO, id)
 	if len(s.dedupFIFO) > dedupWindow {
 		delete(s.dedupSeen, s.dedupFIFO[0])
 		s.dedupFIFO = s.dedupFIFO[1:]
 	}
 	return false
+}
+
+// storeBatchRecs attaches a just-applied batch's encoded run records to
+// its remembered id, making the batch revocable (POST /v1/revoke). A
+// no-op if the id has already aged out of the dedup window.
+func (s *Server) storeBatchRecs(id string, recs [][]byte) {
+	s.dedupMu.Lock()
+	if _, ok := s.dedupSeen[id]; ok {
+		s.dedupSeen[id] = recs
+	}
+	s.dedupMu.Unlock()
+}
+
+// takeBatchRecs detaches and returns a batch's stored run records (nil
+// if unknown or already revoked). It only touches dedupMu — callers
+// remove the runs from the aggregate afterwards, never while holding
+// it, so the worker's aggregate-then-dedup lock order can't deadlock.
+func (s *Server) takeBatchRecs(id string) [][]byte {
+	s.dedupMu.Lock()
+	defer s.dedupMu.Unlock()
+	recs := s.dedupSeen[id]
+	if recs != nil {
+		s.dedupSeen[id] = nil
+	}
+	return recs
 }
 
 // forgetBatch drops an id recorded by rememberBatch when the batch was
@@ -752,6 +960,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/reports", s.handleReports)
 	mux.HandleFunc("/v1/merge", s.handleMerge)
+	mux.HandleFunc("/v1/revoke", s.handleRevoke)
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/v1/scores", s.handleScores)
 	mux.HandleFunc("/v1/predictors", s.handlePredictors)
@@ -887,25 +1096,11 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "collector is shutting down", http.StatusServiceUnavailable)
 		return
 	}
+	// Admission before durability: take a queue slot first, so a batch
+	// that would be shed with 429 is never written to the WAL, and a
+	// batch that was written is always enqueued and acked.
 	select {
-	case s.queue <- set.Reports:
-		s.acceptMu.RUnlock()
-		s.batchesAccepted.Add(1)
-		s.reportsEnqueued.Add(int64(len(set.Reports)))
-		// Plan attribution: clients stamp batches with the plan version
-		// their sampler ran under, so operators can see how much of the
-		// stream is still producing counts under superseded rates.
-		if pv := r.Header.Get("X-CBI-Plan-Version"); pv != "" {
-			if v, err := strconv.ParseUint(pv, 10, 64); err == nil {
-				if v >= s.planStore.Version() {
-					s.planBatchesCurrent.Add(1)
-				} else {
-					s.planBatchesStale.Add(1)
-				}
-			}
-		}
-		w.WriteHeader(http.StatusAccepted)
-		fmt.Fprintf(w, `{"accepted":%d}`+"\n", len(set.Reports))
+	case s.sem <- struct{}{}:
 	default:
 		s.acceptMu.RUnlock()
 		if batchID != "" {
@@ -914,7 +1109,44 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		s.batchesRejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
+		return
 	}
+	b := &ingestBatch{id: batchID, reports: set.Reports}
+	if s.cfg.WALPath != "" {
+		b.recs = encodeReports(set.Reports)
+		seq, err := s.walAppend(&corpus.WALRecord{Kind: corpus.WALBatch, BatchID: batchID, Recs: b.recs})
+		if err != nil {
+			<-s.sem
+			s.acceptMu.RUnlock()
+			if batchID != "" {
+				s.forgetBatch(batchID)
+			}
+			s.cfg.Logf("collector: WAL append: %v", err)
+			http.Error(w, "write-ahead log append failed", http.StatusInternalServerError)
+			return
+		}
+		b.seq = seq
+	}
+	// Cannot block: we hold an admission slot, and slots are only
+	// released when a batch leaves the queue.
+	s.queue <- b
+	s.acceptMu.RUnlock()
+	s.batchesAccepted.Add(1)
+	s.reportsEnqueued.Add(int64(len(set.Reports)))
+	// Plan attribution: clients stamp batches with the plan version
+	// their sampler ran under, so operators can see how much of the
+	// stream is still producing counts under superseded rates.
+	if pv := r.Header.Get("X-CBI-Plan-Version"); pv != "" {
+		if v, err := strconv.ParseUint(pv, 10, 64); err == nil {
+			if v >= s.planStore.Version() {
+				s.planBatchesCurrent.Add(1)
+			} else {
+				s.planBatchesStale.Add(1)
+			}
+		}
+	}
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintf(w, `{"accepted":%d}`+"\n", len(set.Reports))
 }
 
 // handleMerge folds a peer collector's exported state (counter
@@ -973,7 +1205,21 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "collector is shutting down", http.StatusServiceUnavailable)
 		return
 	}
-	s.agg.MergeSegment(snap, set.Reports)
+	var seq uint64
+	if s.cfg.WALPath != "" {
+		var werr error
+		seq, werr = s.walAppend(&corpus.WALRecord{Kind: corpus.WALMerge, BatchID: batchID, Snap: snap, Reports: set.Reports})
+		if werr != nil {
+			s.acceptMu.RUnlock()
+			if batchID != "" {
+				s.forgetBatch(batchID)
+			}
+			s.cfg.Logf("collector: WAL append: %v", werr)
+			http.Error(w, "write-ahead log append failed", http.StatusInternalServerError)
+			return
+		}
+	}
+	s.agg.MergeSegment(snap, set.Reports, func() { s.seqs.markApplied(seq) })
 	s.acceptMu.RUnlock()
 	s.mergesAccepted.Add(1)
 	s.mergedRuns.Add(snap.NumF + snap.NumS)
@@ -983,15 +1229,58 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, `{"merged_runs":%d,"merged_logged":%d}`+"\n", snap.NumF+snap.NumS, len(set.Reports))
 }
 
-// handleSnapshot exports the collector's live state as a gzip'd merge
+// handleSnapshot exports the collector's live state for shard gateways
+// and offline reducers (`cbi merge`).
+//
+// Without `since`, the response is the full state as a gzip'd merge
 // segment — counter snapshot plus retained run-log window, captured
-// atomically — for shard gateways and offline reducers (`cbi merge`).
+// atomically. When delta serving is on, the response carries
+// X-CBI-State-Epoch / X-CBI-State-Version headers naming the exact
+// state version exported.
+//
+// With `?since=<epoch>:<version>`, a client that already holds the
+// state at that version asks for just the mutations after it. If the
+// epoch matches this boot and the version is still inside the retained
+// event history, the response is a gzip'd delta segment
+// (application/x-cbi-delta+gzip) whose replay advances the client's
+// copy bit-for-bit to the version in the response headers; otherwise
+// the full export is returned and the client resyncs from it.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	snap, recs := s.agg.Snapshot(s.cfg.Fingerprint)
+	if since := r.URL.Query().Get("since"); since != "" && s.agg.DeltaCapable() {
+		s.deltaRequests.Add(1)
+		if epoch, ver, ok := parseSince(since); ok {
+			if events, from, to, ok := s.agg.DeltaSince(epoch, ver); ok {
+				seg := &corpus.DeltaSegment{
+					NumSites:    s.cfg.NumSites,
+					NumPreds:    s.cfg.NumPreds,
+					Fingerprint: s.cfg.Fingerprint,
+					Epoch:       epoch,
+					From:        from,
+					To:          to,
+					Events:      events,
+				}
+				w.Header().Set("Content-Type", "application/x-cbi-delta+gzip")
+				w.Header().Set("X-CBI-State-Epoch", strconv.FormatUint(epoch, 10))
+				w.Header().Set("X-CBI-State-Version", strconv.FormatUint(to, 10))
+				gz := gzip.NewWriter(w)
+				if err := corpus.WriteDeltaSegment(gz, seg); err != nil {
+					s.cfg.Logf("collector: delta export: %v", err)
+					return
+				}
+				if err := gz.Close(); err != nil {
+					s.cfg.Logf("collector: delta export: %v", err)
+					return
+				}
+				s.deltaServed.Add(1)
+				return
+			}
+		}
+	}
+	snap, recs, epoch, ver := s.agg.SnapshotState(s.cfg.Fingerprint, nil)
 	reports, err := decodeRecords(recs, s.cfg.NumSites, s.cfg.NumPreds)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -999,6 +1288,10 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	set := &report.Set{NumSites: s.cfg.NumSites, NumPreds: s.cfg.NumPreds, Reports: reports}
 	w.Header().Set("Content-Type", "application/x-cbi-merge+gzip")
+	if s.agg.DeltaCapable() {
+		w.Header().Set("X-CBI-State-Epoch", strconv.FormatUint(epoch, 10))
+		w.Header().Set("X-CBI-State-Version", strconv.FormatUint(ver, 10))
+	}
 	gz := gzip.NewWriter(w)
 	if err := corpus.WriteMergeSegment(gz, snap, set); err != nil {
 		s.cfg.Logf("collector: snapshot export: %v", err)
@@ -1007,6 +1300,17 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if err := gz.Close(); err != nil {
 		s.cfg.Logf("collector: snapshot export: %v", err)
 	}
+}
+
+// parseSince parses the `since` query value: "<epoch>:<version>".
+func parseSince(v string) (epoch, ver uint64, ok bool) {
+	i := strings.IndexByte(v, ':')
+	if i < 0 {
+		return 0, 0, false
+	}
+	epoch, err1 := strconv.ParseUint(v[:i], 10, 64)
+	ver, err2 := strconv.ParseUint(v[i+1:], 10, 64)
+	return epoch, ver, err1 == nil && err2 == nil
 }
 
 func (s *Server) handleScores(w http.ResponseWriter, r *http.Request) {
@@ -1129,6 +1433,7 @@ func (s *Server) StatsNow() Stats {
 	if p := s.planStore.Current(); p != nil {
 		boosted = len(p.Boosts)
 	}
+	walBytes, walSegments := s.walUsage()
 	return Stats{
 		NumSites:            s.cfg.NumSites,
 		NumPreds:            s.cfg.NumPreds,
@@ -1162,6 +1467,16 @@ func (s *Server) StatsNow() Stats {
 		PlanBatchesCurrent:  s.planBatchesCurrent.Value(),
 		PlanBatchesStale:    s.planBatchesStale.Value(),
 		APIKeyReloads:       s.apiKeyReloads.Value(),
+		WALAppends:          s.walAppends.Value(),
+		WALReplayed:         s.walReplayed.Value(),
+		WALTornTails:        s.walTornTails.Value(),
+		WALTruncations:      s.walTruncations.Value(),
+		WALBytes:            walBytes,
+		WALSegments:         walSegments,
+		DeltaRequests:       s.deltaRequests.Value(),
+		DeltaServed:         s.deltaServed.Value(),
+		RevokedBatches:      s.revokedBatches.Value(),
+		RevokedRuns:         s.revokedRuns.Value(),
 	}
 }
 
@@ -1292,6 +1607,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.cfg.SnapshotPath != "" {
 		err = s.SnapshotNow()
 	}
+	s.closeWAL()
 	if srv := s.httpServer(); srv != nil {
 		if herr := srv.Shutdown(ctx); err == nil {
 			err = herr
@@ -1299,6 +1615,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.cfg.Logf("collector: drained and stopped (%d reports applied)", s.reportsApplied.Value())
 	return err
+}
+
+// closeWAL closes the current WAL segment file; later appends fail.
+func (s *Server) closeWAL() {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.wal != nil {
+		s.wal.Close()
+		s.wal = nil
+	}
 }
 
 // Close hard-stops the server without draining the queue or writing a
@@ -1309,6 +1635,7 @@ func (s *Server) Close() error {
 	s.stopped.Do(func() { close(s.die) })
 	s.workers.Wait()
 	s.bg.Wait()
+	s.closeWAL()
 	if srv := s.httpServer(); srv != nil {
 		return srv.Close()
 	}

@@ -1,0 +1,176 @@
+package corpus
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cbi/internal/report"
+)
+
+func deltaReport(failed bool, sites, preds []int32) (*report.Report, []byte) {
+	r := &report.Report{Failed: failed, ObservedSites: sites, TruePreds: preds}
+	return r, report.AppendRecord(nil, r)
+}
+
+func TestDeltaSegmentRoundTrip(t *testing.T) {
+	r1, d1 := deltaReport(true, []int32{0, 2}, []int32{1, 4})
+	r2, d2 := deltaReport(false, []int32{1}, []int32{3})
+	snap := sampleSnap()
+	var snapText bytes.Buffer
+	if err := SaveAggSnapshot(&snapText, snap); err != nil {
+		t.Fatal(err)
+	}
+	seg := &DeltaSegment{
+		NumSites: 3, NumPreds: 5, Fingerprint: 0xdeadbeef,
+		Epoch: 99, From: 10, To: 15,
+		Events: []DeltaEvent{
+			{Kind: DeltaAppend, Data: d1},
+			{Kind: DeltaJoin, Data: d2},
+			{Kind: DeltaEvict},
+			{Kind: DeltaMerge, Data: snapText.Bytes()},
+			{Kind: DeltaAppend, Data: d2},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteDeltaSegment(&buf, seg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDeltaSegment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSites != 3 || got.NumPreds != 5 || got.Fingerprint != 0xdeadbeef ||
+		got.Epoch != 99 || got.From != 10 || got.To != 15 || len(got.Events) != 5 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Events[0].Report, r1) || !reflect.DeepEqual(got.Events[1].Report, r2) {
+		t.Fatalf("decoded reports mismatch")
+	}
+	if got.Events[2].Kind != DeltaEvict || got.Events[2].Report != nil {
+		t.Fatalf("evict event decoded wrong: %+v", got.Events[2])
+	}
+	if got.Events[3].Snap == nil || got.Events[3].Snap.NumF != snap.NumF {
+		t.Fatalf("merge event snapshot mismatch: %+v", got.Events[3].Snap)
+	}
+}
+
+func TestWriteDeltaSegmentCountMismatch(t *testing.T) {
+	seg := &DeltaSegment{NumSites: 1, NumPreds: 1, From: 0, To: 3,
+		Events: []DeltaEvent{{Kind: DeltaEvict}}}
+	if err := WriteDeltaSegment(&bytes.Buffer{}, seg); err == nil {
+		t.Fatal("event-count mismatch written without error")
+	}
+}
+
+// TestApplyDeltaEquivalence replays a mixed event stream onto a warm
+// state copy and compares it with the state built directly — the core
+// invariant warm gateway views depend on.
+func TestApplyDeltaEquivalence(t *testing.T) {
+	r1, d1 := deltaReport(true, []int32{0, 2}, []int32{1, 4})
+	r2, d2 := deltaReport(false, []int32{1}, []int32{3})
+	r3, d3 := deltaReport(true, []int32{0}, []int32{0})
+	peer := sampleSnap()
+	var peerText bytes.Buffer
+	if err := SaveAggSnapshot(&peerText, peer); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm copy: starts with r1 counted and windowed.
+	warm := NewAggSnapshot(3, 5)
+	warm.ApplyReport(r1, +1)
+	window := []*report.Report{r1}
+
+	seg := &DeltaSegment{NumSites: 3, NumPreds: 5, From: 1, To: 6,
+		Events: []DeltaEvent{
+			{Kind: DeltaAppend, Data: d2},
+			{Kind: DeltaAppend, Data: d3},
+			{Kind: DeltaEvict}, // drops r1
+			{Kind: DeltaMerge, Data: peerText.Bytes()},
+			{Kind: DeltaJoin, Data: d1}, // merge-joined run, counters already folded
+		}}
+	var buf bytes.Buffer
+	if err := WriteDeltaSegment(&buf, seg); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ReadDeltaSegment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window, err = ApplyDelta(warm, window, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold reference: the same history applied directly.
+	cold := NewAggSnapshot(3, 5)
+	for _, r := range []*report.Report{r2, r3} {
+		cold.ApplyReport(r, +1)
+	}
+	if err := MergeAggSnapshot(cold, peer); err != nil {
+		t.Fatal(err)
+	}
+	cold.Logged = 3
+
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatalf("warm state diverged:\nwarm %+v\ncold %+v", warm, cold)
+	}
+	wantWindow := []*report.Report{r2, r3, r1}
+	if !reflect.DeepEqual(window, wantWindow) {
+		t.Fatalf("window mismatch: %+v, want %+v", window, wantWindow)
+	}
+}
+
+func TestApplyDeltaEvictEmptyWindow(t *testing.T) {
+	seg := &DeltaSegment{NumSites: 3, NumPreds: 5, From: 0, To: 1,
+		Events: []DeltaEvent{{Kind: DeltaEvict}}}
+	if _, err := ApplyDelta(NewAggSnapshot(3, 5), nil, seg); err == nil {
+		t.Fatal("evict from empty window applied without error")
+	}
+}
+
+func TestReadDeltaSegmentHostile(t *testing.T) {
+	_, d1 := deltaReport(true, []int32{0}, []int32{1})
+	good := func() *bytes.Buffer {
+		var buf bytes.Buffer
+		WriteDeltaSegment(&buf, &DeltaSegment{NumSites: 3, NumPreds: 5, From: 0, To: 1,
+			Events: []DeltaEvent{{Kind: DeltaAppend, Data: d1}}})
+		return &buf
+	}
+	cases := map[string]string{
+		"not a delta":      "cbi-wal 1 3 5 0\n",
+		"bad version":      "cbi-delta 9 3 5 0 1 0 0 0\n",
+		"negative dims":    "cbi-delta 1 -3 5 0 1 0 0 0\n",
+		"count mismatch":   "cbi-delta 1 3 5 0 1 0 5 2\n",
+		"to before from":   "cbi-delta 1 3 5 0 1 9 5 0\n",
+		"huge count":       "cbi-delta 1 3 5 0 1 0 9999999999 9999999999\n",
+		"truncated events": "cbi-delta 1 3 5 0 1 0 2 2\nA",
+		"unknown kind":     "cbi-delta 1 3 5 0 1 0 1 1\nZ",
+	}
+	for name, in := range cases {
+		if _, err := ReadDeltaSegment(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+	// A valid segment still parses after all that.
+	if _, err := ReadDeltaSegment(good()); err != nil {
+		t.Errorf("good segment rejected: %v", err)
+	}
+	// Body shorter than its length prefix.
+	buf := good().Bytes()
+	if _, err := ReadDeltaSegment(bytes.NewReader(buf[:len(buf)-2])); err == nil {
+		t.Error("truncated body parsed without error")
+	}
+	// Merge event whose snapshot dimensions disagree with the header.
+	other := sampleSnap()
+	other.NumSites, other.FobsSite, other.SobsSite = 2, []int64{1, 0}, []int64{1, 0}
+	var snapText bytes.Buffer
+	SaveAggSnapshot(&snapText, other)
+	var seg bytes.Buffer
+	WriteDeltaSegment(&seg, &DeltaSegment{NumSites: 3, NumPreds: 5, From: 0, To: 1,
+		Events: []DeltaEvent{{Kind: DeltaMerge, Data: snapText.Bytes()}}})
+	if _, err := ReadDeltaSegment(&seg); err == nil {
+		t.Error("dimension-mismatched merge event parsed without error")
+	}
+}

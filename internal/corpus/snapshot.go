@@ -17,8 +17,16 @@ import (
 
 // aggSnapVersion is bumped on breaking aggregate-snapshot changes.
 // Version 2 added the LOGGED line; version-1 files still load, with
-// Logged reported as unknown (-1).
-const aggSnapVersion = 2
+// Logged reported as unknown (-1). Version 3 added the WALSEQ line
+// (write-ahead-log applied watermark + islands); snapshots without WAL
+// state still save as version 2, so non-WAL deployments keep producing
+// byte-identical files.
+const aggSnapVersion = 3
+
+// maxWALIslands bounds the islands list a hostile WALSEQ line may
+// demand. Real islands are bounded by the collector's in-flight batch
+// count (at most the ingest queue), never anywhere near this.
+const maxWALIslands = 1 << 20
 
 // AggSnapshot is a persisted aggregate state: the per-site observation
 // tallies and per-predicate truth tallies a streaming collector
@@ -48,6 +56,13 @@ type AggSnapshot struct {
 	// shard state whose own windows had evicted runs). -1 means unknown
 	// (a version-1 file).
 	Logged int64
+	// WALSeq is the write-ahead-log applied watermark at capture: every
+	// WAL record with sequence <= WALSeq is reflected in the counters.
+	// WALIslands lists applied sequences above the watermark (batches
+	// that finished out of order while earlier ones were still queued).
+	// Both are zero/empty outside WAL-enabled checkpoints.
+	WALSeq     uint64
+	WALIslands []uint64
 }
 
 // NewAggSnapshot returns an all-zero snapshot for the given dimensions
@@ -135,14 +150,22 @@ func (snap *AggSnapshot) ToAgg(siteOf []int32) *core.Agg {
 //	FPRED <numPreds ints>
 //	SPRED <numPreds ints>
 //	LOGGED <runs in the sibling run log at capture>
+//	WALSEQ <watermark> <island>...     (version 3; only with WAL state)
+//
+// Snapshots with no WAL state write version 2 with no WALSEQ line, so
+// non-WAL deployments keep producing the exact bytes they always have.
 func SaveAggSnapshot(w io.Writer, snap *AggSnapshot) error {
 	if len(snap.FobsSite) != snap.NumSites || len(snap.SobsSite) != snap.NumSites ||
 		len(snap.FPred) != snap.NumPreds || len(snap.SPred) != snap.NumPreds {
 		return fmt.Errorf("corpus: snapshot slice lengths disagree with dimensions")
 	}
+	version := 2
+	if snap.WALSeq != 0 || len(snap.WALIslands) > 0 {
+		version = aggSnapVersion
+	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "cbi-aggsnap %d %d %d %d %d %d\n",
-		aggSnapVersion, snap.NumSites, snap.NumPreds, snap.Fingerprint, snap.NumF, snap.NumS)
+		version, snap.NumSites, snap.NumPreds, snap.Fingerprint, snap.NumF, snap.NumS)
 	for _, sec := range []struct {
 		tag string
 		xs  []int64
@@ -158,6 +181,15 @@ func SaveAggSnapshot(w io.Writer, snap *AggSnapshot) error {
 		bw.WriteByte('\n')
 	}
 	fmt.Fprintf(bw, "LOGGED %d\n", snap.Logged)
+	if version >= 3 {
+		bw.WriteString("WALSEQ ")
+		bw.WriteString(strconv.FormatUint(snap.WALSeq, 10))
+		for _, s := range snap.WALIslands {
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatUint(s, 10))
+		}
+		bw.WriteByte('\n')
+	}
 	return bw.Flush()
 }
 
@@ -218,7 +250,71 @@ func LoadAggSnapshot(r io.Reader) (*AggSnapshot, error) {
 	if _, err := fmt.Sscanf(sc.Text(), "LOGGED %d", &snap.Logged); err != nil {
 		return nil, fmt.Errorf("corpus: bad aggsnap LOGGED line %q: %v", sc.Text(), err)
 	}
+	if version < 3 {
+		return snap, nil
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("corpus: aggsnap missing WALSEQ line: %v", sc.Err())
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) < 2 || fields[0] != "WALSEQ" {
+		return nil, fmt.Errorf("corpus: bad aggsnap WALSEQ line %q", sc.Text())
+	}
+	if len(fields)-2 > maxWALIslands {
+		return nil, fmt.Errorf("corpus: aggsnap lists %d WAL islands", len(fields)-2)
+	}
+	w, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: bad aggsnap WALSEQ watermark %q: %v", fields[1], err)
+	}
+	snap.WALSeq = w
+	for _, f := range fields[2:] {
+		s, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: bad aggsnap WALSEQ island %q: %v", f, err)
+		}
+		if s <= snap.WALSeq {
+			return nil, fmt.Errorf("corpus: aggsnap WAL island %d not above watermark %d", s, snap.WALSeq)
+		}
+		snap.WALIslands = append(snap.WALIslands, s)
+	}
 	return snap, nil
+}
+
+// Clone returns a deep copy of the snapshot. Warm gateway views hand
+// out clones so in-place delta application never races a reader.
+func (snap *AggSnapshot) Clone() *AggSnapshot {
+	dup := *snap
+	dup.FobsSite = append([]int64(nil), snap.FobsSite...)
+	dup.SobsSite = append([]int64(nil), snap.SobsSite...)
+	dup.FPred = append([]int64(nil), snap.FPred...)
+	dup.SPred = append([]int64(nil), snap.SPred...)
+	dup.WALIslands = append([]uint64(nil), snap.WALIslands...)
+	return &dup
+}
+
+// ApplyReport folds one run into (delta=+1) or out of (delta=-1) the
+// snapshot counters — exactly the per-run bump a live collector
+// performs, so replaying a delta stream of appends and evictions
+// reproduces the collector's counters bit for bit.
+func (snap *AggSnapshot) ApplyReport(r *report.Report, delta int64) {
+	if r.Failed {
+		snap.NumF += delta
+		for _, s := range r.ObservedSites {
+			snap.FobsSite[s] += delta
+		}
+		for _, p := range r.TruePreds {
+			snap.FPred[p] += delta
+		}
+	} else {
+		snap.NumS += delta
+		for _, s := range r.ObservedSites {
+			snap.SobsSite[s] += delta
+		}
+		for _, p := range r.TruePreds {
+			snap.SPred[p] += delta
+		}
+	}
 }
 
 // WriteAggSnapshotFile atomically persists the snapshot to path via a
@@ -365,6 +461,75 @@ func ReadMergeSegment(r io.Reader) (*AggSnapshot, *report.Set, error) {
 			len(set.Reports), snap.NumF+snap.NumS)
 	}
 	return snap, set, nil
+}
+
+// WriteCheckpointFile atomically persists a checkpoint — a snapshot
+// (including its WAL watermark) and the retained run window it
+// describes — as a single gzip-compressed merge segment via temp file +
+// rename. WAL-enabled collectors use this one-file form instead of the
+// legacy snapshot + .runs pair: with a write-ahead log in the recovery
+// path there must be no torn-pair window, because the legacy repair
+// (recount counters from the log) would disagree with WAL replay.
+func WriteCheckpointFile(path string, snap *AggSnapshot, set *report.Set) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	gz := gzip.NewWriter(tmp)
+	if err := WriteMergeSegment(gz, snap, set); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := gz.Close(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadStateFile loads a collector state file at path, which is either a
+// gzip checkpoint written by WriteCheckpointFile (checkpoint=true, the
+// run window inside the returned set) or a legacy plain-text snapshot
+// written by WriteAggSnapshotFile (checkpoint=false, set=nil; the run
+// window lives in the sibling .runs file). The two formats are
+// distinguished by sniffing the gzip magic. A missing file returns all
+// zero values: cold start.
+func ReadStateFile(path string) (snap *AggSnapshot, set *report.Set, checkpoint bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil, false, nil
+	}
+	if err != nil {
+		return nil, nil, false, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic, err := br.Peek(2)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("corpus: state file %s: %v", path, err)
+	}
+	if magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("corpus: checkpoint %s: %v", path, err)
+		}
+		defer gz.Close()
+		snap, set, err := ReadMergeSegment(gz)
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("corpus: checkpoint %s: %v", path, err)
+		}
+		return snap, set, true, nil
+	}
+	snap, err = LoadAggSnapshot(br)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return snap, nil, false, nil
 }
 
 // ReadRunLogFile loads a run log written by WriteRunLogFile; a missing

@@ -1,0 +1,57 @@
+package corpus
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// benchWALRecord builds a batch record shaped like a production ingest
+// unit: 100 runs of ~2KB of pre-encoded report records, the scale a
+// moss-sized deployment writes per append.
+func benchWALRecord() *WALRecord {
+	recs := make([][]byte, 100)
+	for i := range recs {
+		r := make([]byte, 2000)
+		for j := range r {
+			r[j] = byte(i + j)
+		}
+		recs[i] = r
+	}
+	return &WALRecord{Kind: WALBatch, BatchID: "bench-batch", Recs: recs}
+}
+
+// BenchmarkWALRecordEncode isolates the CPU half of an append: framing,
+// payload copy, and checksum into a reused buffer, no I/O.
+func BenchmarkWALRecordEncode(b *testing.B) {
+	rec := benchWALRecord()
+	var buf []byte
+	var err error
+	for i := 0; i < b.N; i++ {
+		rec.Seq = uint64(i + 1)
+		buf, err = AppendWALRecord(buf[:0], rec, 10, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+// BenchmarkWALAppend is the full durable append: encode plus the write
+// into the segment file (no fsync, as in production).
+func BenchmarkWALAppend(b *testing.B) {
+	w, err := CreateWALSegment(filepath.Join(b.TempDir(), "bench.wal.000000001"), 10, 10, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	rec := benchWALRecord()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Seq = uint64(i + 1)
+		if err := w.Append(rec, 10, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.SetBytes(w.Size() / int64(b.N))
+}

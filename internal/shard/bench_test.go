@@ -3,6 +3,8 @@ package shard
 import (
 	"context"
 	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -84,4 +86,79 @@ func BenchmarkShardedIngest(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(set.Reports)), "reports/op")
+}
+
+// BenchmarkGatewayQuery contrasts the two read-path modes over a live
+// fleet: each op trickles one fresh run into a shard, then queries the
+// gateway. With warm delta sync each fan-out ships only the mutation
+// since the last query (O(changes)); with DisableDeltaSync every
+// fan-out re-ships each shard's entire counter-and-window state
+// (O(state)) — the gap is the point of the warm views.
+func BenchmarkGatewayQuery(b *testing.B) {
+	set, siteOf := syntheticInput(2000)
+	cfg := collector.Config{
+		NumSites: set.NumSites, NumPreds: set.NumPreds, SiteOf: siteOf,
+		Logf: quietLogf,
+	}
+	const numShards = 3
+	shards := make([]*collector.Server, numShards)
+	urls := make([]string, numShards)
+	for i := range shards {
+		srv, err := collector.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		shards[i], urls[i] = srv, ts.URL
+	}
+	per := len(set.Reports) / numShards
+	for i := range shards {
+		if err := shards[i].IngestBatch(fmt.Sprintf("seed-%d", i), set.Reports[i*per:(i+1)*per]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"warm-delta", false},
+		{"full-fanout", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			gw, err := NewGateway(GatewayConfig{
+				Shards:   urls,
+				NumSites: set.NumSites, NumPreds: set.NumPreds, SiteOf: siteOf,
+				DisableDeltaSync: mode.disable,
+				Logf:             quietLogf,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gts := httptest.NewServer(gw.Handler())
+			defer gts.Close()
+			get := func() {
+				resp, err := http.Get(gts.URL + "/v1/scores?k=30")
+				if err != nil {
+					b.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("/v1/scores = %d", resp.StatusCode)
+				}
+			}
+			get() // warm the per-shard views before timing
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := shards[i%numShards].IngestBatch(
+					fmt.Sprintf("%s-%d", mode.name, i),
+					set.Reports[i%len(set.Reports):i%len(set.Reports)+1]); err != nil {
+					b.Fatal(err)
+				}
+				get()
+			}
+		})
+	}
 }

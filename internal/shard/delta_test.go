@@ -1,0 +1,415 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cbi/internal/collector"
+	"cbi/internal/report"
+)
+
+// getRaw fetches a URL and returns the raw response body, so two
+// gateways can be compared bit for bit rather than post-decode.
+func getRaw(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestGatewayDeltaEquivalence pins the headline property of warm
+// delta-synced gateway views: every response is bit-for-bit identical
+// to a cold gateway that re-fetches full state from every shard on
+// every query. The matrix covers quiescent pulls, incremental pulls
+// after more ingest, a shard whose delta history is too small to hold
+// the gap (forcing a full resync), concurrent ingest while queries
+// stream, and a shard restart (new state epoch) that must invalidate
+// the warm view rather than silently extend it.
+func TestGatewayDeltaEquivalence(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+	reports := in.Set.Reports[:900]
+	base := collector.Config{
+		NumSites:    in.Set.NumSites,
+		NumPreds:    in.Set.NumPreds,
+		SiteOf:      in.SiteOf,
+		Fingerprint: res.Plan.Fingerprint(),
+	}
+
+	// Shard 0 checkpoints to disk so it can be restarted with its data
+	// intact; shard 2 keeps an absurdly small delta history so any real
+	// ingest gap overflows it and forces the full-snapshot fallback.
+	cfg0 := base
+	cfg0.SnapshotPath = filepath.Join(t.TempDir(), "shard0.snap")
+	cfg2 := base
+	cfg2.DeltaHistory = 4
+
+	shard0, err := collector.New(withQuietLogf(cfg0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 0 sits behind a handler indirection so a restarted server
+	// can take over the same URL — exactly what a supervisor restarting
+	// a crashed collector on the same port looks like to the gateway.
+	var h0 atomic.Value
+	h0.Store(shard0.Handler())
+	ts0 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h0.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts0.Close)
+	shard1, ts1 := startCollector(t, base)
+	defer shard1.Close()
+	shard2, ts2 := startCollector(t, cfg2)
+	defer shard2.Close()
+	shards := []*collector.Server{shard0, shard1, shard2}
+	urls := []string{ts0.URL, ts1.URL, ts2.URL}
+
+	gwCfg := GatewayConfig{
+		Shards:      urls,
+		NumSites:    in.Set.NumSites,
+		NumPreds:    in.Set.NumPreds,
+		SiteOf:      in.SiteOf,
+		Fingerprint: res.Plan.Fingerprint(),
+		Logf:        quietLogf,
+	}
+	warmGW, err := NewGateway(gwCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := httptest.NewServer(warmGW.Handler())
+	t.Cleanup(warm.Close)
+	coldCfg := gwCfg
+	coldCfg.DisableDeltaSync = true
+	coldGW, err := NewGateway(coldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := httptest.NewServer(coldGW.Handler())
+	t.Cleanup(cold.Close)
+
+	// ingestSlice spreads one contiguous corpus slice round-robin over
+	// the three shards, one synchronous batch per shard.
+	ingestSlice := func(tag string, rs []*report.Report) {
+		t.Helper()
+		parts := make([][]*report.Report, len(shards))
+		for i, r := range rs {
+			parts[i%len(shards)] = append(parts[i%len(shards)], r)
+		}
+		for i, part := range parts {
+			if err := shards[i].IngestBatch(fmt.Sprintf("%s-shard%d", tag, i), part); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// check asserts the warm gateway's responses are byte-identical to
+	// the cold gateway's for both query endpoints.
+	check := func(stage string) {
+		t.Helper()
+		for _, path := range []string{"/v1/scores?k=30", "/v1/predictors?k=0&affinity=3"} {
+			got := getRaw(t, warm.URL+path)
+			want := getRaw(t, cold.URL+path)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: warm gateway %s diverged from cold full fan-out:\n got %s\nwant %s",
+					stage, path, got, want)
+			}
+			if len(got) <= 2 { // "[]" — a vacuous comparison
+				t.Fatalf("%s: gateway %s returned no rows", stage, path)
+			}
+		}
+	}
+
+	// Quiescent baseline: first warm fan-out pulls full state from all
+	// three shards, the second advances each warm view with an empty
+	// delta.
+	ingestSlice("p1", reports[:300])
+	check("baseline")
+	if full, delta := warmGW.fullPulls.Value(), warmGW.deltaPulls.Value(); full != 3 || delta != 3 {
+		t.Fatalf("baseline pulls: %d full, %d delta; want 3 full (cold start) + 3 delta (no-change)", full, delta)
+	}
+
+	// Incremental: shards 0 and 1 answer with deltas; shard 2's
+	// 4-event history cannot cover a 100-run gap, so it must resync
+	// with a full snapshot — never a wrong delta.
+	ingestSlice("p2", reports[300:600])
+	check("incremental")
+	if full, delta := warmGW.fullPulls.Value(), warmGW.deltaPulls.Value(); full != 4 || delta != 8 {
+		t.Fatalf("incremental pulls: %d full, %d delta; want 4 full (history overflow) + 8 delta", full, delta)
+	}
+
+	// Concurrent churn: ingest streams into every shard while queries
+	// hammer the warm gateway. No equivalence is asserted mid-flight
+	// (the two gateways would observe different instants); the point is
+	// that delta application races nothing (-race) and the first
+	// quiescent check afterwards converges.
+	var wg sync.WaitGroup
+	churn := reports[600:900]
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var mine []*report.Report
+			for j := i; j < len(churn); j += len(shards) {
+				mine = append(mine, churn[j])
+			}
+			for n := 0; n < len(mine); n += 10 {
+				end := min(n+10, len(mine))
+				if err := shards[i].IngestBatch(fmt.Sprintf("p3-shard%d-%d", i, n), mine[n:end]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; n < 30; n++ {
+			if resp, err := http.Get(warm.URL + "/v1/scores?k=10"); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	check("post-churn")
+
+	// Restart shard 0 from its checkpoint. The new process picks a new
+	// state epoch, so the warm view's since no longer names this state
+	// history: the shard must answer with a full snapshot and the
+	// gateway must adopt it — same bytes as the cold gateway throughout.
+	preFull := warmGW.fullPulls.Value()
+	if err := shard0.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	shard0.Close()
+	reborn, err := collector.New(withQuietLogf(cfg0))
+	if err != nil {
+		t.Fatalf("restarting shard 0: %v", err)
+	}
+	defer reborn.Close()
+	shards[0] = reborn
+	h0.Store(reborn.Handler())
+	check("post-restart")
+	if full := warmGW.fullPulls.Value(); full != preFull+1 {
+		t.Fatalf("restart full pulls: %d, want %d (exactly one epoch-mismatch resync)", full, preFull+1)
+	}
+
+	// The shard never lies about what it can serve, so the gateway's
+	// repair path (delta that doesn't continue the warm view) must have
+	// stayed cold through the whole matrix.
+	if fb := warmGW.deltaFallbacks.Value(); fb != 0 {
+		t.Fatalf("delta fallbacks = %d, want 0 (shards must answer full rather than a non-continuing delta)", fb)
+	}
+
+	// Ground truth: the merged view equals one unsharded collector over
+	// the same runs.
+	refSrv, ref := startCollector(t, base)
+	defer refSrv.Close()
+	for _, r := range reports {
+		refSrv.Ingest(r)
+	}
+	var gotScores, wantScores []collector.ScoreEntry
+	getJSON(t, warm.URL+"/v1/scores?k=30", &gotScores)
+	getJSON(t, ref.URL+"/v1/scores?k=30", &wantScores)
+	if !reflect.DeepEqual(gotScores, wantScores) {
+		t.Fatalf("delta-synced /v1/scores diverges from single collector:\n got %+v\nwant %+v", gotScores, wantScores)
+	}
+	var gotPreds, wantPreds []collector.PredictorEntry
+	getJSON(t, warm.URL+"/v1/predictors?k=0&affinity=3", &gotPreds)
+	getJSON(t, ref.URL+"/v1/predictors?k=0&affinity=3", &wantPreds)
+	if len(wantPreds) == 0 || !reflect.DeepEqual(gotPreds, wantPreds) {
+		t.Fatalf("delta-synced /v1/predictors diverges from single collector:\n got %+v\nwant %+v", gotPreds, wantPreds)
+	}
+}
+
+func withQuietLogf(cfg collector.Config) collector.Config {
+	cfg.Logf = quietLogf
+	return cfg
+}
+
+// TestRouterRevokeOnFailover reproduces the failover double-count and
+// proves the repair: a batch is *delivered* to its owning shard but the
+// connection severs before the ack, so the router re-routes it to the
+// next shard — two shards now hold the same runs. When the first shard
+// comes back, the router revokes the batch there and the fleet total
+// converges to exactly one copy.
+func TestRouterRevokeOnFailover(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+	cfg := collector.Config{
+		NumSites:    in.Set.NumSites,
+		NumPreds:    in.Set.NumPreds,
+		SiteOf:      in.SiteOf,
+		Fingerprint: res.Plan.Fingerprint(),
+	}
+	b0, b0ts := startCollector(t, cfg)
+	defer b0.Close()
+	b1, b1ts := startCollector(t, cfg)
+	defer b1.Close()
+
+	// A deliver-then-sever proxy fronts backend 0: while armed, a
+	// forwarded POST /v1/reports reaches the backend intact and is then
+	// cut off without a single response byte — the worst-case network
+	// failure, where the router cannot know whether the batch landed.
+	var severed atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req, err := http.NewRequest(r.Method, b0ts.URL+r.URL.RequestURI(), bytes.NewReader(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		respBody, _ := io.ReadAll(resp.Body)
+		if severed.Load() && r.Method == http.MethodPost && r.URL.Path == "/v1/reports" {
+			panic(http.ErrAbortHandler) // delivered, never acked
+		}
+		for k, vs := range resp.Header {
+			w.Header()[k] = vs
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(respBody)
+	}))
+	t.Cleanup(proxy.Close)
+
+	router, err := NewRouter(RouterConfig{
+		Backends:       []string{proxy.URL, b1ts.URL},
+		HealthInterval: 250 * time.Millisecond,
+		Logf:           quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(router.Close)
+	rt := httptest.NewServer(router.Handler())
+	t.Cleanup(rt.Close)
+
+	// Pick a client identity that consistent-hashes to backend 0, so
+	// the doomed batch's first stop is the severed proxy.
+	clientID := ""
+	for i := 0; i < 1000; i++ {
+		if id := fmt.Sprintf("victim-%d", i); router.ring.owner(id) == 0 {
+			clientID = id
+			break
+		}
+	}
+	if clientID == "" {
+		t.Fatal("no client id hashed to backend 0")
+	}
+	client := collector.NewClient(rt.URL, in.Set.NumSites, in.Set.NumPreds,
+		collector.WithBatchSize(64), collector.WithClientID(clientID))
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Sanity: with the proxy healthy, the client's batch lands once on
+	// backend 0.
+	mkSet := func(rs []*report.Report) *report.Set {
+		return &report.Set{NumSites: in.Set.NumSites, NumPreds: in.Set.NumPreds, Reports: rs}
+	}
+	batch1 := in.Set.Reports[:40]
+	batch2 := in.Set.Reports[40:70]
+	if err := client.SubmitSet(context.Background(), mkSet(batch1)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("backend 0 to apply the first batch", func() bool {
+		return b0.StatsNow().ReportsApplied == int64(len(batch1))
+	})
+
+	// Arm the sever and submit the doomed batch: backend 0 applies it,
+	// the router sees a network error, re-routes to backend 1, and
+	// records the duplicate for revocation. Both backends now hold it.
+	severed.Store(true)
+	if err := client.SubmitSet(context.Background(), mkSet(batch2)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("both backends to hold the re-routed batch", func() bool {
+		return b0.StatsNow().ReportsApplied == int64(len(batch1)+len(batch2)) &&
+			b1.StatsNow().ReportsApplied == int64(len(batch2))
+	})
+
+	// Heal the proxy: the next health probe brings backend 0 back and
+	// delivers the pending revoke, which removes the duplicate copy.
+	severed.Store(false)
+	waitFor("the duplicate to be revoked on backend 0", func() bool {
+		st := b0.StatsNow()
+		return st.RevokedBatches == 1 && st.RevokedRuns == int64(len(batch2))
+	})
+	waitFor("the router to count the revoke delivery", func() bool {
+		return router.StatsNow().RevokesSent == 1
+	})
+	if d := router.StatsNow().Dropped; d != 0 {
+		t.Fatalf("router dropped %d batches; the failover must re-home, not drop", d)
+	}
+
+	// The fleet now holds exactly one copy of every run: the merged
+	// gateway view equals one collector that ingested each batch once.
+	gwSrv, err := NewGateway(GatewayConfig{
+		Shards:      []string{proxy.URL, b1ts.URL},
+		NumSites:    in.Set.NumSites,
+		NumPreds:    in.Set.NumPreds,
+		SiteOf:      in.SiteOf,
+		Fingerprint: res.Plan.Fingerprint(),
+		Logf:        quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := httptest.NewServer(gwSrv.Handler())
+	t.Cleanup(gw.Close)
+	refSrv, ref := startCollector(t, cfg)
+	defer refSrv.Close()
+	for _, r := range in.Set.Reports[:70] {
+		refSrv.Ingest(r)
+	}
+	var gwStats GatewayStats
+	getJSON(t, gw.URL+"/v1/stats", &gwStats)
+	if gwStats.Runs != 70 {
+		t.Fatalf("fleet holds %d runs after revoke, want exactly 70 (no double-count)", gwStats.Runs)
+	}
+	var gotScores, wantScores []collector.ScoreEntry
+	getJSON(t, gw.URL+"/v1/scores?k=30", &gotScores)
+	getJSON(t, ref.URL+"/v1/scores?k=30", &wantScores)
+	if len(wantScores) == 0 || !reflect.DeepEqual(gotScores, wantScores) {
+		t.Fatalf("post-revoke /v1/scores diverges from single-copy reference:\n got %+v\nwant %+v", gotScores, wantScores)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,6 +38,12 @@ type GatewayConfig struct {
 	Fingerprint uint64
 	// Timeout bounds one shard fetch during a fan-out (default 15s).
 	Timeout time.Duration
+	// DisableDeltaSync turns off warm per-shard views: every fan-out
+	// re-fetches each shard's full state instead of asking for the
+	// mutations since the version the gateway already holds. Mostly a
+	// debugging/benchmarking knob — delta sync is semantically invisible
+	// (responses are bit-for-bit identical) and much cheaper.
+	DisableDeltaSync bool
 	// Metrics, when set, is the registry the gateway's metrics register
 	// into; nil creates a private one. Served at GET /metrics.
 	Metrics *obs.Registry
@@ -104,6 +111,14 @@ type Gateway struct {
 	planPushes      *obs.Counter // plans accepted by shards
 	planPushErrors  *obs.Counter // failed plan pushes to shards
 
+	deltaPulls     *obs.Counter // shard fetches answered incrementally
+	fullPulls      *obs.Counter // shard fetches that shipped full state
+	deltaFallbacks *obs.Counter // warm views dropped (restart / stale since)
+
+	// warm holds one cached state copy per shard, advanced by delta
+	// pulls; queries clone it instead of re-fetching full state.
+	warm []*warmShard
+
 	// planMu serializes re-planning, shard refresh, and pushes so
 	// concurrent /v1/plan proxying and the planner ticker cannot
 	// interleave version adoption.
@@ -152,6 +167,10 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		hc:   &http.Client{Timeout: cfg.Timeout},
 		logf: cfg.Logf,
 		die:  make(chan struct{}),
+		warm: make([]*warmShard, len(cfg.Shards)),
+	}
+	for i := range g.warm {
+		g.warm[i] = &warmShard{}
 	}
 	g.planStore = plan.NewStore(plan.Bootstrap(cfg.NumSites, cfg.Fingerprint, cfg.PlanTarget, cfg.PlanMinRate))
 	g.planner = plan.NewPlanner(g.planStore, plan.PlannerConfig{
@@ -188,6 +207,24 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		"Sampling plans successfully pushed to shards.")
 	g.planPushErrors = m.Counter("cbi_gateway_plan_push_errors_total",
 		"Failed sampling-plan pushes to shards.")
+	g.deltaPulls = m.Counter("cbi_gateway_delta_pulls_total",
+		"Shard state fetches answered incrementally (delta applied to the warm view).")
+	g.fullPulls = m.Counter("cbi_gateway_full_pulls_total",
+		"Shard state fetches that shipped the shard's full state.")
+	g.deltaFallbacks = m.Counter("cbi_gateway_delta_fallbacks_total",
+		"Warm shard views dropped and resynced (shard restart or delta history too old).")
+	m.GaugeFunc("cbi_gateway_warm_runs",
+		"Runs held across the gateway's warm per-shard state views.", func() float64 {
+			total := 0
+			for _, ws := range g.warm {
+				ws.mu.Lock()
+				if ws.valid {
+					total += len(ws.window)
+				}
+				ws.mu.Unlock()
+			}
+			return float64(total)
+		})
 	m.GaugeFunc("cbi_gateway_plan_version",
 		"Version of the sampling plan the gateway currently serves.", func() float64 {
 			return float64(g.planStore.Version())
@@ -239,9 +276,34 @@ type shardState struct {
 	err  error
 }
 
-// fetchAll pulls every shard's /v1/snapshot concurrently. Failed shards
-// come back with err set; the caller decides how degraded is too
-// degraded.
+// warmShard is one shard's cached state: the counter snapshot and run
+// window as of (epoch, version), advanced in place by delta pulls.
+// Queries receive clones, never the cached objects, so a later delta
+// apply cannot race a reader.
+type warmShard struct {
+	mu      sync.Mutex
+	valid   bool
+	epoch   uint64
+	version uint64
+	snap    *corpus.AggSnapshot
+	window  []*report.Report
+}
+
+// clone returns an independent copy of the warm state for one query.
+// The snapshot arrays are deep-copied; the window shares the immutable
+// report pointers under a fresh slice header.
+func (ws *warmShard) clone() (*corpus.AggSnapshot, *report.Set) {
+	snap := ws.snap.Clone()
+	return snap, &report.Set{
+		NumSites: snap.NumSites,
+		NumPreds: snap.NumPreds,
+		Reports:  append([]*report.Report(nil), ws.window...),
+	}
+}
+
+// fetchAll pulls every shard's state concurrently — incrementally where
+// a warm view exists, full otherwise. Failed shards come back with err
+// set; the caller decides how degraded is too degraded.
 func (g *Gateway) fetchAll(ctx context.Context) []shardState {
 	out := make([]shardState, len(g.cfg.Shards))
 	var wg sync.WaitGroup
@@ -250,7 +312,7 @@ func (g *Gateway) fetchAll(ctx context.Context) []shardState {
 		go func(i int, url string) {
 			defer wg.Done()
 			start := time.Now()
-			out[i].snap, out[i].set, out[i].err = g.fetchSnapshot(ctx, url)
+			out[i].snap, out[i].set, out[i].err = g.fetchShard(ctx, i, url)
 			shard := strconv.Itoa(i)
 			g.fanoutSeconds.With(shard).ObserveDuration(time.Since(start))
 			if out[i].err != nil {
@@ -269,40 +331,143 @@ func (g *Gateway) fetchAll(ctx context.Context) []shardState {
 	return out
 }
 
-// fetchSnapshot pulls one shard's merge segment and validates its
-// dimensions against the gateway's plan.
-func (g *Gateway) fetchSnapshot(ctx context.Context, url string) (*corpus.AggSnapshot, *report.Set, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/snapshot", nil)
+// fetchShard obtains one shard's current state. With a valid warm view
+// it asks the shard only for the mutations since the version it holds
+// (`?since=<epoch>:<version>`) and replays them onto the cached copy —
+// O(changes) instead of O(state). A full response (shard restarted, no
+// delta support, history evicted) replaces the warm view wholesale. A
+// network or HTTP failure degrades the shard for this query and leaves
+// the warm view untouched, ready for the next delta.
+func (g *Gateway) fetchShard(ctx context.Context, i int, url string) (*corpus.AggSnapshot, *report.Set, error) {
+	if g.cfg.DisableDeltaSync {
+		res, err := g.fetchState(ctx, url, "")
+		if err != nil {
+			return nil, nil, err
+		}
+		if res.delta != nil {
+			return nil, nil, fmt.Errorf("shard sent a delta to an unconditional snapshot request")
+		}
+		return res.snap, res.set, nil
+	}
+	ws := g.warm[i]
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		since := ""
+		if ws.valid {
+			since = fmt.Sprintf("%d:%d", ws.epoch, ws.version)
+		}
+		res, err := g.fetchState(ctx, url, since)
+		if err != nil {
+			return nil, nil, err
+		}
+		if res.delta == nil {
+			g.fullPulls.Inc()
+			if res.hasState {
+				ws.valid, ws.epoch, ws.version = true, res.epoch, res.version
+				ws.snap, ws.window = res.snap, res.set.Reports
+				snap, set := ws.clone()
+				return snap, set, nil
+			}
+			// The shard serves no state versions (delta disabled there);
+			// nothing to keep warm.
+			ws.valid, ws.snap, ws.window = false, nil, nil
+			return res.snap, res.set, nil
+		}
+		seg := res.delta
+		if ws.valid && seg.Epoch == ws.epoch && seg.From == ws.version {
+			window, err := corpus.ApplyDelta(ws.snap, ws.window, seg)
+			if err == nil {
+				ws.window, ws.version = window, seg.To
+				g.deltaPulls.Inc()
+				snap, set := ws.clone()
+				return snap, set, nil
+			}
+			g.logf("shard: gateway: delta apply failed for %s: %v; resyncing", url, err)
+		}
+		// The delta does not continue the state we hold (or failed to
+		// apply): drop the warm view and resync with a full fetch.
+		ws.valid, ws.snap, ws.window = false, nil, nil
+		g.deltaFallbacks.Inc()
+	}
+	return nil, nil, fmt.Errorf("shard answered an unconditional snapshot request with a delta")
+}
+
+// shardResponse is one decoded /v1/snapshot response: either a full
+// state export (snap+set) or a delta segment, plus the state version
+// headers when the shard serves them.
+type shardResponse struct {
+	snap           *corpus.AggSnapshot
+	set            *report.Set
+	delta          *corpus.DeltaSegment
+	epoch, version uint64
+	hasState       bool
+}
+
+// fetchState performs one GET /v1/snapshot (optionally conditional on
+// since) and decodes whichever body the shard chose to send, validating
+// dimensions and fingerprint against the gateway's plan.
+func (g *Gateway) fetchState(ctx context.Context, url, since string) (*shardResponse, error) {
+	target := url + "/v1/snapshot"
+	if since != "" {
+		target += "?since=" + since
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	resp, err := g.hc.Do(req)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-		return nil, nil, fmt.Errorf("GET /v1/snapshot: %d: %s", resp.StatusCode, body)
+		return nil, fmt.Errorf("GET /v1/snapshot: %d: %s", resp.StatusCode, body)
+	}
+	out := &shardResponse{}
+	if eh, vh := resp.Header.Get("X-CBI-State-Epoch"), resp.Header.Get("X-CBI-State-Version"); eh != "" && vh != "" {
+		e, err1 := strconv.ParseUint(eh, 10, 64)
+		v, err2 := strconv.ParseUint(vh, 10, 64)
+		if err1 == nil && err2 == nil && e != 0 {
+			out.epoch, out.version, out.hasState = e, v, true
+		}
 	}
 	gz, err := gzip.NewReader(resp.Body)
 	if err != nil {
-		return nil, nil, fmt.Errorf("snapshot gzip: %v", err)
+		return nil, fmt.Errorf("snapshot gzip: %v", err)
 	}
 	defer gz.Close()
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "application/x-cbi-delta") {
+		seg, err := corpus.ReadDeltaSegment(gz)
+		if err != nil {
+			return nil, fmt.Errorf("delta segment: %v", err)
+		}
+		if seg.NumSites != g.cfg.NumSites || seg.NumPreds != g.cfg.NumPreds {
+			return nil, fmt.Errorf("shard delta dimensions %dx%d do not match gateway %dx%d",
+				seg.NumSites, seg.NumPreds, g.cfg.NumSites, g.cfg.NumPreds)
+		}
+		if g.cfg.Fingerprint != 0 && seg.Fingerprint != 0 && seg.Fingerprint != g.cfg.Fingerprint {
+			return nil, fmt.Errorf("shard delta fingerprint %016x does not match gateway %016x",
+				seg.Fingerprint, g.cfg.Fingerprint)
+		}
+		out.delta = seg
+		return out, nil
+	}
 	snap, set, err := corpus.ReadMergeSegment(gz)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if snap.NumSites != g.cfg.NumSites || snap.NumPreds != g.cfg.NumPreds {
-		return nil, nil, fmt.Errorf("shard dimensions %dx%d do not match gateway %dx%d",
+		return nil, fmt.Errorf("shard dimensions %dx%d do not match gateway %dx%d",
 			snap.NumSites, snap.NumPreds, g.cfg.NumSites, g.cfg.NumPreds)
 	}
 	if g.cfg.Fingerprint != 0 && snap.Fingerprint != 0 && snap.Fingerprint != g.cfg.Fingerprint {
-		return nil, nil, fmt.Errorf("shard fingerprint %016x does not match gateway %016x",
+		return nil, fmt.Errorf("shard fingerprint %016x does not match gateway %016x",
 			snap.Fingerprint, g.cfg.Fingerprint)
 	}
-	return snap, set, nil
+	out.snap, out.set = snap, set
+	return out, nil
 }
 
 // merge folds the live shards' states into one snapshot and one run

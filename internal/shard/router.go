@@ -44,6 +44,11 @@ type RouterConfig struct {
 	// single-shard case and gateway-push deployments (every shard holds
 	// the fleet plan) alike.
 	PlanFrom string
+	// APIKey, when set, is presented (Bearer) on router-originated
+	// write requests to backends — today the POST /v1/revoke repair
+	// calls. Forwarded client batches carry the client's own
+	// Authorization header instead.
+	APIKey string
 	// Metrics, when set, is the registry the router's metrics register
 	// into; nil creates a private one. Served at GET /metrics, and the
 	// source /v1/stats reads from.
@@ -65,10 +70,55 @@ type backend struct {
 	up    atomic.Bool
 	queue chan *job
 
+	// revoked holds batch ids that were possibly applied here before the
+	// backend went dark and were then re-routed (so a second shard also
+	// applied them). When the backend recovers, the router POSTs
+	// /v1/revoke with these ids so the fleet total converges to exactly
+	// one copy of each batch (see DESIGN.md on failover double-counts).
+	revMu   sync.Mutex
+	revoked []string
+
 	routed      *obs.Counter // batches enqueued to this backend
 	failed      *obs.Counter // forward attempts that errored
 	rerouted    *obs.Counter // batches this backend took over from a down peer
 	transitions *obs.Counter // up<->down health flips
+}
+
+// maxPendingRevokes bounds one backend's pending-revoke list; beyond it
+// the oldest ids are dropped (with a log line) — the residual
+// double-count is bounded and visible rather than the memory unbounded.
+const maxPendingRevokes = 4096
+
+// addRevoke records one batch id to revoke when the backend recovers.
+func (b *backend) addRevoke(id string, logf func(string, ...any)) {
+	b.revMu.Lock()
+	defer b.revMu.Unlock()
+	if len(b.revoked) >= maxPendingRevokes {
+		drop := len(b.revoked) - maxPendingRevokes + 1
+		logf("shard: router: pending revokes for %s overflowed; dropping %d oldest (double-counts may persist)", b.url, drop)
+		b.revoked = append(b.revoked[:0], b.revoked[drop:]...)
+	}
+	b.revoked = append(b.revoked, id)
+}
+
+// takeRevokes detaches the pending-revoke list for delivery.
+func (b *backend) takeRevokes() []string {
+	b.revMu.Lock()
+	defer b.revMu.Unlock()
+	ids := b.revoked
+	b.revoked = nil
+	return ids
+}
+
+// requeueRevokes puts undelivered ids back (in front) after a failed
+// delivery.
+func (b *backend) requeueRevokes(ids []string) {
+	b.revMu.Lock()
+	b.revoked = append(ids, b.revoked...)
+	if len(b.revoked) > maxPendingRevokes {
+		b.revoked = b.revoked[:maxPendingRevokes]
+	}
+	b.revMu.Unlock()
 }
 
 // job is one client batch in flight: the opaque body plus the header
@@ -105,6 +155,8 @@ type Router struct {
 	dropped       *obs.Counter // batches that exhausted every backend and were lost
 	planForwarded *obs.Counter // GET /v1/plan requests relayed to the plan source
 	planErrors    *obs.Counter // GET /v1/plan relays that failed (502/503)
+	revokesSent   *obs.Counter // batch ids delivered to recovered backends' /v1/revoke
+	revokeErrors  *obs.Counter // failed revoke deliveries (ids requeued)
 
 	handler http.Handler
 	wg      sync.WaitGroup
@@ -160,6 +212,10 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		"GET /v1/plan requests relayed to the plan source.")
 	r.planErrors = m.Counter("cbi_router_plan_errors_total",
 		"GET /v1/plan relays that failed (no live source or relay error).")
+	r.revokesSent = m.Counter("cbi_router_revokes_sent_total",
+		"Re-routed batch ids delivered to a recovered backend's /v1/revoke.")
+	r.revokeErrors = m.Counter("cbi_router_revoke_errors_total",
+		"Failed /v1/revoke deliveries to recovered backends (ids requeued).")
 	routedVec := m.CounterVec("cbi_router_backend_routed_total",
 		"Batches enqueued to this backend.", "backend")
 	failedVec := m.CounterVec("cbi_router_backend_failed_total",
@@ -407,13 +463,23 @@ func (r *Router) forward(bi int, b *backend, j *job) {
 		if err != nil {
 			// Network failure: the backend is gone. Mark it down so the
 			// health loop owns its return, and hand the job to the next
-			// backend in the key's order.
+			// backend in the key's order. The failed request may still
+			// have been *delivered* (the connection can sever after the
+			// body landed), so if the job finds a new home the original
+			// backend may now hold a duplicate — remember the batch id and
+			// revoke it there once it recovers. Revoking a batch a backend
+			// never applied is a no-op, so recording conservatively is
+			// safe; not recording would leave a permanent double-count.
 			b.failed.Add(1)
 			if b.up.Swap(false) {
 				b.transitions.Inc()
 			}
 			r.logf("shard: router: backend %d down (%v), re-routing", bi, err)
-			r.reroute(j)
+			if r.reroute(j) {
+				if id := j.header.Get("X-CBI-Batch-ID"); id != "" {
+					b.addRevoke(id, r.logf)
+				}
+			}
 			return
 		}
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
@@ -442,8 +508,10 @@ func (r *Router) forward(bi int, b *backend, j *job) {
 
 // reroute hands a job whose backend died to the next live backend in
 // its failover order, blocking (briefly) on that queue since the job is
-// already acked.
-func (r *Router) reroute(j *job) {
+// already acked. It reports whether the job found a new home — the
+// caller only schedules a duplicate-repair revoke when it did; a
+// dropped job has no second copy to reconcile.
+func (r *Router) reroute(j *job) bool {
 	for next := j.attempt + 1; next < len(j.order); next++ {
 		b := r.backends[j.order[next]]
 		if !b.up.Load() {
@@ -454,9 +522,9 @@ func (r *Router) reroute(j *job) {
 		case b.queue <- j:
 			b.routed.Add(1)
 			b.rerouted.Add(1)
-			return
+			return true
 		case <-r.ctx.Done():
-			return
+			return false
 		case <-time.After(time.Second):
 			// Queue saturated for a full second — treat as unavailable
 			// and keep walking.
@@ -464,6 +532,7 @@ func (r *Router) reroute(j *job) {
 	}
 	r.dropped.Add(1)
 	r.logf("shard: router: batch exhausted all backends; dropped (client retry will redeliver)")
+	return false
 }
 
 // healthLoop probes each backend's /healthz. It both detects outages
@@ -485,9 +554,56 @@ func (r *Router) healthLoop() {
 					b.transitions.Inc()
 					r.logf("shard: router: backend %d (%s) now up=%v", i, b.url, up)
 				}
+				if up {
+					r.sendRevokes(i, b)
+				}
 			}
 		}
 	}
+}
+
+// sendRevokes delivers a recovered backend's pending duplicate-repair
+// revokes. A failed delivery requeues the ids for the next health tick.
+func (r *Router) sendRevokes(bi int, b *backend) {
+	ids := b.takeRevokes()
+	if len(ids) == 0 {
+		return
+	}
+	body, err := json.Marshal(map[string][]string{"ids": ids})
+	if err != nil {
+		r.logf("shard: router: encoding revoke request: %v", err)
+		b.requeueRevokes(ids)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.ctx, r.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/revoke", bytes.NewReader(body))
+	if err != nil {
+		r.logf("shard: router: building revoke request: %v", err)
+		b.requeueRevokes(ids)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if r.cfg.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+r.cfg.APIKey)
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		r.revokeErrors.Add(1)
+		r.logf("shard: router: delivering %d revokes to backend %d: %v (requeued)", len(ids), bi, err)
+		b.requeueRevokes(ids)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		r.revokeErrors.Add(1)
+		r.logf("shard: router: backend %d refused revokes (%d); requeued", bi, resp.StatusCode)
+		b.requeueRevokes(ids)
+		return
+	}
+	r.revokesSent.Add(int64(len(ids)))
+	r.logf("shard: router: delivered %d duplicate-repair revokes to backend %d", len(ids), bi)
 }
 
 func (r *Router) probe(b *backend) bool {
@@ -525,6 +641,8 @@ type RouterStats struct {
 	Dropped       int64          `json:"dropped"`
 	PlanForwarded int64          `json:"plan_forwarded"`
 	PlanErrors    int64          `json:"plan_errors"`
+	RevokesSent   int64          `json:"revokes_sent"`
+	RevokeErrors  int64          `json:"revoke_errors"`
 }
 
 // StatsNow captures the router's counters — the same registry objects
@@ -537,6 +655,8 @@ func (r *Router) StatsNow() RouterStats {
 		Dropped:       r.dropped.Value(),
 		PlanForwarded: r.planForwarded.Value(),
 		PlanErrors:    r.planErrors.Value(),
+		RevokesSent:   r.revokesSent.Value(),
+		RevokeErrors:  r.revokeErrors.Value(),
 	}
 	for _, b := range r.backends {
 		st.Backends = append(st.Backends, BackendStats{
