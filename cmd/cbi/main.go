@@ -19,6 +19,7 @@
 //	cbi route [flags]                run a sharding router over several collectors
 //	cbi gateway [flags]              run a merging query gateway over several collectors
 //	cbi merge [flags] <snap>...      merge collector snapshots or push into a live peer
+//	cbi resize [flags]               add or remove a collector from a live sharded ring
 //
 // Run `cbi <subcommand> -h` for per-command flags.
 //
@@ -72,6 +73,8 @@ func main() {
 		err = cmdGateway(os.Args[2:])
 	case "merge":
 		err = cmdMerge(os.Args[2:])
+	case "resize":
+		err = cmdResize(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -103,6 +106,7 @@ subcommands:
   route               run a sharding router in front of several collectors
   gateway             run a merging query gateway over several collectors
   merge               merge collector snapshots offline or push into a live peer
+  resize              add or remove a collector from a live sharded ring
 `)
 }
 

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cbi/internal/migrate"
+)
+
+// cmdResize runs one elastic ring resize to completion: it stages the
+// topology change at the router, streams the moving state between the
+// collectors (export → merge → evict), pauses and cuts the moving key
+// ranges over, and commits the new ring. Writes keep flowing the whole
+// time; the merged query results are element-for-element what a
+// never-resized deployment would serve. Interrupted? Run the same
+// command again — the controller resumes the staged resize.
+func cmdResize(args []string) error {
+	fs := flag.NewFlagSet("resize", flag.ExitOnError)
+	router := fs.String("router", "", "router base URL whose ring is being resized (required)")
+	add := fs.String("add", "", "collector base URL to bring into the ring")
+	remove := fs.String("remove", "", "collector base URL to drain out of the ring")
+	key := fs.String("key", "", "API key for the router's POST /v1/ring and the collectors' write endpoints")
+	chunk := fs.Int("chunk", 512, "runs per migration chunk")
+	drainTimeout := fs.Duration("drain-timeout", 60*time.Second, "how long to wait for sources to quiesce at the pause barrier")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := strings.TrimSuffix(strings.TrimSpace(*router), "/")
+	if r == "" {
+		return fmt.Errorf("resize: -router is required")
+	}
+	if (*add == "") == (*remove == "") {
+		return fmt.Errorf("resize: exactly one of -add or -remove is required")
+	}
+	action, url := "add", strings.TrimSuffix(strings.TrimSpace(*add), "/")
+	if *remove != "" {
+		action, url = "remove", strings.TrimSuffix(strings.TrimSpace(*remove), "/")
+	}
+	c, err := migrate.New(migrate.Config{
+		Router:       r,
+		APIKey:       *key,
+		ChunkRuns:    *chunk,
+		DrainTimeout: *drainTimeout,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := c.Resize(ctx, action, url)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resize %s %s: %d migration(s), %d runs / %d bytes moved, ring now v%d\n",
+		res.Action, url, res.Migrations, res.RunsMoved, res.BytesMoved, res.RingVersion)
+	return nil
+}

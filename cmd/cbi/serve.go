@@ -68,6 +68,8 @@ func cmdServe(args []string) error {
 	runlogMaxAge := fs.Duration("runlog-max-age", 0, "evict retained runs older than this (0 = no age cap)")
 	runlogMaxBytes := fs.Int64("runlog-max-bytes", 0, "run-log retention cap in encoded bytes (0 = no byte cap; the newest run is never evicted)")
 	apiKeysPath := fs.String("api-keys", "", "file of accepted API keys, one per line; write endpoints require Authorization: Bearer")
+	rateLimit := fs.Float64("rate-limit", 0, "per-key write rate limit in requests per second (0 = unlimited)")
+	rateBurst := fs.Int("rate-burst", 0, "write rate-limit burst allowance (0 = 2x -rate-limit)")
 	apiKeysFile := fs.String("api-keys-file", "", "like -api-keys, but re-read on SIGHUP for zero-downtime key rotation")
 	planEvery := fs.Duration("plan-every", 0, "re-plan per-site sampling rates from the live aggregate at this interval (0 = planner off)")
 	planTarget := fs.Float64("plan-target", 0, "expected samples per site per run the planner aims for (0 = default 100)")
@@ -105,6 +107,8 @@ func cmdServe(args []string) error {
 		RunLogMaxAge:    *runlogMaxAge,
 		RunLogMaxBytes:  *runlogMaxBytes,
 		APIKeys:         keys,
+		RateLimit:       *rateLimit,
+		RateBurst:       *rateBurst,
 		SnapshotPath:    *snapshot,
 		SnapshotEvery:   *snapshotEvery,
 		WALPath:         *wal,

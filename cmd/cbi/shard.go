@@ -29,8 +29,11 @@ func cmdRoute(args []string) error {
 	queue := fs.Int("queue", 256, "pending-forward queue bound per backend, in batches")
 	workers := fs.Int("workers", 4, "forwarder goroutines per backend")
 	health := fs.Duration("health-every", 2*time.Second, "backend health-probe interval")
+	migBuffer := fs.Int("migration-buffer", 1024, "writes parked per migration while its key ranges are paused for cutover")
 	planFrom := fs.String("plan-from", "", "base URL GET /v1/plan is forwarded to (default: first live backend; point at the gateway in planner deployments)")
-	key := fs.String("key", "", "API key presented on router-originated /v1/revoke calls to backends that require one")
+	key := fs.String("key", "", "API key presented on router-originated /v1/revoke calls to backends, and required on POST /v1/ring topology changes")
+	rateLimit := fs.Float64("rate-limit", 0, "per-key write rate limit on /v1/reports in requests per second (0 = unlimited)")
+	rateBurst := fs.Int("rate-burst", 0, "write rate-limit burst allowance (0 = 2x -rate-limit)")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	slowMs := fs.Int("slow-request-ms", 0, "log any HTTP request slower than this many milliseconds (0 = off)")
 	if err := fs.Parse(args); err != nil {
@@ -41,15 +44,18 @@ func cmdRoute(args []string) error {
 		return fmt.Errorf("route: -backends is required (comma-separated collector URLs)")
 	}
 	r, err := shard.NewRouter(shard.RouterConfig{
-		Backends:       urls,
-		QueueSize:      *queue,
-		Workers:        *workers,
-		HealthInterval: *health,
-		PlanFrom:       strings.TrimSuffix(strings.TrimSpace(*planFrom), "/"),
-		APIKey:         *key,
-		EnablePprof:    *pprofFlag,
-		SlowRequest:    time.Duration(*slowMs) * time.Millisecond,
-		Logf:           log.Printf,
+		Backends:        urls,
+		QueueSize:       *queue,
+		Workers:         *workers,
+		MigrationBuffer: *migBuffer,
+		HealthInterval:  *health,
+		PlanFrom:        strings.TrimSuffix(strings.TrimSpace(*planFrom), "/"),
+		APIKey:          *key,
+		RateLimit:       *rateLimit,
+		RateBurst:       *rateBurst,
+		EnablePprof:     *pprofFlag,
+		SlowRequest:     time.Duration(*slowMs) * time.Millisecond,
+		Logf:            log.Printf,
 	})
 	if err != nil {
 		return err
@@ -66,7 +72,9 @@ func cmdRoute(args []string) error {
 func cmdGateway(args []string) error {
 	fs := flag.NewFlagSet("gateway", flag.ExitOnError)
 	addr := fs.String("addr", ":7580", "listen address")
-	shardsFlag := fs.String("shards", "", "comma-separated collector base URLs (required)")
+	shardsFlag := fs.String("shards", "", "comma-separated collector base URLs (required unless -ring-from is set)")
+	ringFrom := fs.String("ring-from", "", "router base URL whose GET /v1/ring supplies the live shard set (survives elastic resizes)")
+	ringRefresh := fs.Duration("ring-refresh", 5*time.Second, "ring polling interval with -ring-from")
 	subject := fs.String("subject", "", "built-in subject fixing the predicate universe")
 	program := fs.String("program", "", "MiniC source file fixing the predicate universe")
 	timeout := fs.Duration("timeout", 15*time.Second, "per-shard fetch timeout")
@@ -83,8 +91,9 @@ func cmdGateway(args []string) error {
 		return err
 	}
 	urls := splitURLs(*shardsFlag)
-	if len(urls) == 0 {
-		return fmt.Errorf("gateway: -shards is required (comma-separated collector URLs)")
+	ring := strings.TrimSuffix(strings.TrimSpace(*ringFrom), "/")
+	if len(urls) == 0 && ring == "" {
+		return fmt.Errorf("gateway: -shards or -ring-from is required")
 	}
 	plan, name, err := planFor(*subject, *program)
 	if err != nil {
@@ -92,6 +101,8 @@ func cmdGateway(args []string) error {
 	}
 	g, err := shard.NewGateway(shard.GatewayConfig{
 		Shards:           urls,
+		RingFrom:         ring,
+		RingRefresh:      *ringRefresh,
 		NumSites:         plan.NumSites(),
 		NumPreds:         plan.NumPreds(),
 		SiteOf:           siteOf(plan),
@@ -112,7 +123,11 @@ func cmdGateway(args []string) error {
 		return err
 	}
 	defer g.Close()
-	fmt.Printf("gateway for %s on %s over %d shards\n", name, *addr, len(urls))
+	if ring != "" {
+		fmt.Printf("gateway for %s on %s over ring %s (%d seed shards)\n", name, *addr, ring, len(urls))
+	} else {
+		fmt.Printf("gateway for %s on %s over %d shards\n", name, *addr, len(urls))
+	}
 	return serveUntilSignal(*addr, g.Handler(), nil)
 }
 

@@ -21,6 +21,7 @@ package collector
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -145,6 +146,11 @@ func newShardedAgg(numSites, numPreds, shards, runLogCap int, runLogMaxBytes int
 	if runLogCap > 0 {
 		a.log = newRunLog(runLogCap, runLogMaxBytes)
 	}
+	// Every boot gets a fresh random epoch even when delta serving is
+	// off: range exports and evicts scope their sequence watermarks to
+	// it, so a migration controller can tell a restarted source (whose
+	// sequences renumbered) from a live one.
+	a.epoch = newEpoch()
 	return a
 }
 
@@ -186,7 +192,7 @@ func (a *shardedAgg) noteLocked(kind byte, data []byte) {
 func (a *shardedAgg) Apply(r *report.Report) {
 	a.gate.RLock()
 	defer a.gate.RUnlock()
-	a.applyOne(r, nil)
+	a.applyOne(r, nil, corpus.NoKey)
 }
 
 // ApplyBatch folds a whole batch atomically with respect to snapshots
@@ -197,9 +203,11 @@ func (a *shardedAgg) Apply(r *report.Report) {
 // snapshot can never capture half a batch or a mark without its state.
 // encoded, when non-nil, supplies each report's AppendRecord bytes
 // (index-aligned with reports) so a caller that already encoded the
-// batch — the WAL append path — doesn't pay for it twice. recs is nil
+// batch — the WAL append path — doesn't pay for it twice. key is the
+// batch's routing-key hash (corpus.NoKey when unknown); every run in a
+// batch shares one submitting client and hence one key. recs is nil
 // when retention is disabled.
-func (a *shardedAgg) ApplyBatch(reports []*report.Report, encoded [][]byte, after func(recs [][]byte)) [][]byte {
+func (a *shardedAgg) ApplyBatch(reports []*report.Report, encoded [][]byte, key uint64, after func(recs [][]byte)) [][]byte {
 	a.gate.RLock()
 	defer a.gate.RUnlock()
 	var recs [][]byte
@@ -211,7 +219,7 @@ func (a *shardedAgg) ApplyBatch(reports []*report.Report, encoded [][]byte, afte
 		if encoded != nil {
 			pre = encoded[i]
 		}
-		rec := a.applyOne(r, pre)
+		rec := a.applyOne(r, pre, key)
 		if a.log != nil {
 			recs = append(recs, rec)
 		}
@@ -225,7 +233,7 @@ func (a *shardedAgg) ApplyBatch(reports []*report.Report, encoded [][]byte, afte
 // applyOne folds one report; callers hold gate.RLock. rec, when
 // non-nil, is the report's pre-computed AppendRecord encoding. Returns
 // the encoded run-log record (nil when retention is disabled).
-func (a *shardedAgg) applyOne(r *report.Report, rec []byte) []byte {
+func (a *shardedAgg) applyOne(r *report.Report, rec []byte, key uint64) []byte {
 	var evicted [][]byte
 	if a.log != nil {
 		if rec == nil {
@@ -236,7 +244,7 @@ func (a *shardedAgg) applyOne(r *report.Report, rec []byte) []byte {
 		if a.maxAge > 0 {
 			evicted = a.log.evictExpired(now - int64(a.maxAge))
 		}
-		evicted = append(evicted, a.log.append(rec, now)...)
+		evicted = append(evicted, a.log.append(rec, key, now)...)
 		if a.hist != nil {
 			// Recording the evictions before the append is equivalent to
 			// the interleaved order above: the byte cap never evicts the
@@ -300,8 +308,15 @@ func (a *shardedAgg) EvictExpired() {
 // re-counting — the snapshot already includes them — while retention
 // caps apply to them as usual. The whole merge is atomic with respect
 // to snapshots and score queries; after (when non-nil) runs under the
-// same hold, where the caller marks the merge's WAL sequence applied.
-func (a *shardedAgg) MergeSegment(snap *corpus.AggSnapshot, reports []*report.Report, after func()) {
+// same hold with the joined runs' encoded records (nil when retention
+// is disabled) — where the caller marks the merge's WAL sequence
+// applied and stashes the records so the merge is revocable (a
+// migration chunk whose source crashed mid-handoff is un-applied by
+// exactly these bytes). keys, when non-nil, carries the peer's
+// per-record routing-key hashes (aligned with reports) so migrated
+// runs stay addressable by range on this shard; nil keys joins the
+// runs unkeyed.
+func (a *shardedAgg) MergeSegment(snap *corpus.AggSnapshot, reports []*report.Report, keys []uint64, after func(recs [][]byte)) {
 	a.gate.Lock()
 	defer a.gate.Unlock()
 	for i, v := range snap.FobsSite {
@@ -319,8 +334,9 @@ func (a *shardedAgg) MergeSegment(snap *corpus.AggSnapshot, reports []*report.Re
 	a.numF.Add(snap.NumF)
 	a.numS.Add(snap.NumS)
 
-	var evicted [][]byte
+	var evicted, joined [][]byte
 	if a.log != nil {
+		joined = make([][]byte, 0, len(reports))
 		now := a.now().UnixNano()
 		a.logMu.Lock()
 		if a.hist != nil {
@@ -347,9 +363,14 @@ func (a *shardedAgg) MergeSegment(snap *corpus.AggSnapshot, reports []*report.Re
 			}
 			evicted = append(evicted, ev...)
 		}
-		for _, r := range reports {
+		for i, r := range reports {
 			rec := report.AppendRecord(nil, r)
-			ev := a.log.append(rec, now)
+			joined = append(joined, rec)
+			key := corpus.NoKey
+			if keys != nil {
+				key = keys[i]
+			}
+			ev := a.log.append(rec, key, now)
 			if a.hist != nil {
 				for range ev {
 					a.noteLocked(corpus.DeltaEvict, nil)
@@ -362,7 +383,7 @@ func (a *shardedAgg) MergeSegment(snap *corpus.AggSnapshot, reports []*report.Re
 	}
 	a.uncount(evicted)
 	if after != nil {
-		after()
+		after(joined)
 	}
 }
 
@@ -412,7 +433,7 @@ func (a *shardedAgg) Runs() (numF, numS int64) {
 // run-log records they describe (nil when retention is disabled). The
 // record slices are immutable and safe to decode without locks.
 func (a *shardedAgg) Snapshot(fingerprint uint64) (*corpus.AggSnapshot, [][]byte) {
-	snap, recs, _, _ := a.SnapshotState(fingerprint, nil)
+	snap, recs, _, _, _ := a.SnapshotState(fingerprint, nil)
 	return snap, recs
 }
 
@@ -422,7 +443,7 @@ func (a *shardedAgg) Snapshot(fingerprint uint64) (*corpus.AggSnapshot, [][]byte
 // is disabled). capture, when non-nil, runs on the snapshot under the
 // same exclusive hold — the point where the server stamps the WAL
 // watermark, so checkpoint state and WAL coverage cannot tear.
-func (a *shardedAgg) SnapshotState(fingerprint uint64, capture func(*corpus.AggSnapshot)) (*corpus.AggSnapshot, [][]byte, uint64, uint64) {
+func (a *shardedAgg) SnapshotState(fingerprint uint64, capture func(*corpus.AggSnapshot)) (*corpus.AggSnapshot, [][]byte, []uint64, uint64, uint64) {
 	a.gate.Lock()
 	defer a.gate.Unlock()
 	snap := &corpus.AggSnapshot{
@@ -437,8 +458,9 @@ func (a *shardedAgg) SnapshotState(fingerprint uint64, capture func(*corpus.AggS
 		SPred:       append([]int64{}, a.sPred...),
 	}
 	var recs [][]byte
+	var keys []uint64
 	if a.log != nil {
-		recs = a.log.records()
+		recs, keys = a.log.recordsKeyed()
 	}
 	snap.Logged = int64(len(recs))
 	var epoch, ver uint64
@@ -450,7 +472,7 @@ func (a *shardedAgg) SnapshotState(fingerprint uint64, capture func(*corpus.AggS
 	if capture != nil {
 		capture(snap)
 	}
-	return snap, recs, epoch, ver
+	return snap, recs, keys, epoch, ver
 }
 
 // DeltaCapable reports whether delta serving is enabled.
@@ -489,15 +511,19 @@ func (a *shardedAgg) DeltaSince(epoch, since uint64) (events []corpus.DeltaEvent
 
 // RemoveRecords removes up to one log occurrence per given encoded
 // record (matching by exact bytes — the canonical AppendRecord
-// encoding) and subtracts the removed runs from the counters. This is
-// the revoke path: un-applying a batch that a router failover caused to
-// land on two shards. Runs the retention caps already evicted are
-// simply not found (they were un-counted at eviction). Removal has no
-// incremental delta representation, so the event history resets and
-// warm views full-resync. Returns how many runs were removed.
-func (a *shardedAgg) RemoveRecords(recs [][]byte) int {
+// encoding) and subtracts the removed runs from the counters. It
+// serves both revocation (un-applying a batch that a router failover
+// caused to land on two shards) and migration handoff eviction
+// (removing the runs a delivered export chunk carried). Records the
+// retention caps already evicted are simply not found (they were
+// un-counted at eviction), which makes a retry of the same removal a
+// no-op — the property the migration controller's crash repair leans
+// on. Removal has no incremental delta representation, so the event
+// history resets and warm views full-resync. Returns the removed
+// records (for WAL logging); len() of it is the removed-run count.
+func (a *shardedAgg) RemoveRecords(recs [][]byte) [][]byte {
 	if a.log == nil || len(recs) == 0 {
-		return 0
+		return nil
 	}
 	a.gate.Lock()
 	defer a.gate.Unlock()
@@ -509,7 +535,7 @@ func (a *shardedAgg) RemoveRecords(recs [][]byte) int {
 	}
 	a.logMu.Unlock()
 	a.uncount(removed)
-	return len(removed)
+	return removed
 }
 
 // Restore overwrites the counters from a snapshot. Callers must ensure
@@ -529,13 +555,13 @@ func (a *shardedAgg) Restore(snap *corpus.AggSnapshot) {
 // without touching the counters, and returns how many runs the
 // retention caps let it keep. No-op (returning 0) when retention is
 // disabled.
-func (a *shardedAgg) RestoreLog(reports []*report.Report) (retained int) {
+func (a *shardedAgg) RestoreLog(reports []*report.Report, keys []uint64) (retained int) {
 	if a.log == nil {
 		return 0
 	}
 	a.gate.Lock()
 	defer a.gate.Unlock()
-	return a.log.restore(reports, a.now().UnixNano())
+	return a.log.restore(reports, keys, a.now().UnixNano())
 }
 
 // RecountFromLog rebuilds every counter from the retained run log —
@@ -626,6 +652,168 @@ func (a *shardedAgg) SiteObservedRuns() (observed []int64, runs int64) {
 		observed[i] = a.fObsSite[i] + a.sObsSite[i]
 	}
 	return observed, a.numF.Load() + a.numS.Load()
+}
+
+// Epoch returns the per-boot random epoch scoping this aggregate's
+// append sequences (and delta-sync versions).
+func (a *shardedAgg) Epoch() uint64 { return a.epoch }
+
+// exportChunk is one bounded slice of a shard's migratable state: up
+// to max retained runs matching ranges past sinceSeq, their keys, the
+// counters those exact runs contribute (a chunk merged elsewhere and
+// then evicted here nets to zero), and the watermark to resume from.
+type exportChunk struct {
+	snap      *corpus.AggSnapshot
+	recs      [][]byte
+	keys      []uint64
+	watermark uint64
+	remaining int // matching runs left past the watermark
+	epoch     uint64
+}
+
+// ExportChunk selects the next chunk of a range migration. nil ranges
+// is a full drain (every retained run matches, keyed or not). The
+// chunk counters are computed from the selected records themselves, so
+// chunk.snap is exactly the runs' contribution regardless of what else
+// the counters hold. Returns an error only on a corrupt log record.
+func (a *shardedAgg) ExportChunk(ranges []corpus.KeyRange, sinceSeq uint64, max int) (*exportChunk, error) {
+	if a.log == nil {
+		return &exportChunk{snap: corpus.NewAggSnapshot(a.numSites, a.numPreds), watermark: sinceSeq, epoch: a.epoch}, nil
+	}
+	a.logMu.Lock()
+	recs, keys, watermark, remaining := a.log.selectRange(ranges, sinceSeq, max)
+	a.logMu.Unlock()
+	snap := corpus.NewAggSnapshot(a.numSites, a.numPreds)
+	reports, err := decodeRecords(recs, a.numSites, a.numPreds)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range reports {
+		snap.ApplyReport(r, +1)
+	}
+	snap.Logged = int64(len(recs))
+	return &exportChunk{snap: snap, recs: recs, keys: keys, watermark: watermark, remaining: remaining, epoch: a.epoch}, nil
+}
+
+// ComputeResidual returns the counters not explained by the retained
+// run window — merged-in state whose own windows had already evicted
+// runs, or legacy restores without a log. It is read-only: a drain
+// controller fetches the residual, delivers it to a successor as a
+// counters-only merge (idempotent under a deterministic batch id), and
+// only then commits the subtraction here via SubtractSnapshot — so a
+// crash at any point re-computes the identical residual (the shard is
+// quiesced during a drain) and the retry converges. Returns nil when
+// there is no residual.
+func (a *shardedAgg) ComputeResidual() (*corpus.AggSnapshot, error) {
+	a.gate.Lock()
+	defer a.gate.Unlock()
+	residual := &corpus.AggSnapshot{
+		NumSites: a.numSites,
+		NumPreds: a.numPreds,
+		NumF:     a.numF.Load(),
+		NumS:     a.numS.Load(),
+		FobsSite: append([]int64{}, a.fObsSite...),
+		SobsSite: append([]int64{}, a.sObsSite...),
+		FPred:    append([]int64{}, a.fPred...),
+		SPred:    append([]int64{}, a.sPred...),
+	}
+	var recs [][]byte
+	if a.log != nil {
+		a.logMu.Lock()
+		recs = a.log.records()
+		a.logMu.Unlock()
+	}
+	reports, err := decodeRecords(recs, a.numSites, a.numPreds)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range reports {
+		residual.ApplyReport(r, -1)
+	}
+	zero := residual.NumF == 0 && residual.NumS == 0
+	for _, xs := range [][]int64{residual.FobsSite, residual.SobsSite, residual.FPred, residual.SPred} {
+		for _, v := range xs {
+			if v != 0 {
+				zero = false
+			}
+		}
+	}
+	if zero {
+		return nil, nil
+	}
+	return residual, nil
+}
+
+// SubtractSnapshot subtracts a residual snapshot from the counters —
+// the commit step of a drain handoff, and its WAL 'D' replay. It
+// refuses (changing nothing) if any counter would go negative, which
+// catches a double-commit that slipped past batch-id dedup. after,
+// when non-nil, runs under the same exclusive hold, where the caller
+// marks the commit's WAL sequence applied so a concurrent checkpoint
+// can never capture the subtraction without its coverage mark. The
+// subtraction has no incremental delta representation, so warm views
+// full-resync.
+func (a *shardedAgg) SubtractSnapshot(snap *corpus.AggSnapshot, after func()) error {
+	a.gate.Lock()
+	defer a.gate.Unlock()
+	if a.numF.Load() < snap.NumF || a.numS.Load() < snap.NumS {
+		return fmt.Errorf("collector: residual subtraction would make run counts negative")
+	}
+	for i, v := range snap.FobsSite {
+		if a.fObsSite[i] < v {
+			return fmt.Errorf("collector: residual subtraction would make site %d counters negative", i)
+		}
+	}
+	for i, v := range snap.SobsSite {
+		if a.sObsSite[i] < v {
+			return fmt.Errorf("collector: residual subtraction would make site %d counters negative", i)
+		}
+	}
+	for i, v := range snap.FPred {
+		if a.fPred[i] < v {
+			return fmt.Errorf("collector: residual subtraction would make predicate %d counters negative", i)
+		}
+	}
+	for i, v := range snap.SPred {
+		if a.sPred[i] < v {
+			return fmt.Errorf("collector: residual subtraction would make predicate %d counters negative", i)
+		}
+	}
+	for i, v := range snap.FobsSite {
+		a.fObsSite[i] -= v
+	}
+	for i, v := range snap.SobsSite {
+		a.sObsSite[i] -= v
+	}
+	for i, v := range snap.FPred {
+		a.fPred[i] -= v
+	}
+	for i, v := range snap.SPred {
+		a.sPred[i] -= v
+	}
+	a.numF.Add(-snap.NumF)
+	a.numS.Add(-snap.NumS)
+	a.logMu.Lock()
+	if a.hist != nil {
+		a.stateVer++
+		a.hist.reset()
+	}
+	a.logMu.Unlock()
+	if after != nil {
+		after()
+	}
+	return nil
+}
+
+// LogSeq returns the most recently assigned run-log append sequence
+// (0 when retention is disabled or nothing appended this boot).
+func (a *shardedAgg) LogSeq() uint64 {
+	if a.log == nil {
+		return 0
+	}
+	a.logMu.Lock()
+	defer a.logMu.Unlock()
+	return a.log.lastSeq
 }
 
 // ToAgg converts the live counters into a core.Agg, attaching each

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"cbi/internal/corpus"
 	"cbi/internal/report"
 )
 
@@ -33,13 +34,21 @@ type runLog struct {
 	// least one run.
 	maxBytes int64
 	bytes    int64
-	// Circular buffer: recs/times share indices, len(recs) is the
-	// allocated ring size (grows amortized up to cap), head the oldest
-	// entry, n the live count.
+	// Circular buffer: recs/times/keys/seqs share indices, len(recs) is
+	// the allocated ring size (grows amortized up to cap), head the
+	// oldest entry, n the live count. keys holds each run's routing-key
+	// hash (corpus.NoKey when unknown) so a migration can select runs by
+	// ring range; seqs holds a per-boot, strictly increasing append
+	// sequence so an export can cut over on a watermark. Sequences are
+	// only meaningful within one boot epoch — a restart renumbers.
 	recs  [][]byte
 	times []int64 // arrival UnixNano, same order as recs
+	keys  []uint64
+	seqs  []uint64
 	head  int
 	n     int
+	// lastSeq is the most recently assigned append sequence.
+	lastSeq uint64
 	// version increments on every mutation; /v1/predictors caches are
 	// keyed on it so repeated polls between ingests never rescan.
 	version uint64
@@ -63,11 +72,13 @@ func (l *runLog) grow() {
 	}
 	recs := make([][]byte, size)
 	times := make([]int64, size)
+	keys := make([]uint64, size)
+	seqs := make([]uint64, size)
 	for i := 0; i < l.n; i++ {
 		j := (l.head + i) % len(l.recs)
-		recs[i], times[i] = l.recs[j], l.times[j]
+		recs[i], times[i], keys[i], seqs[i] = l.recs[j], l.times[j], l.keys[j], l.seqs[j]
 	}
-	l.recs, l.times, l.head = recs, times, 0
+	l.recs, l.times, l.keys, l.seqs, l.head = recs, times, keys, seqs, 0
 }
 
 // append stores one encoded record stamped with its arrival time,
@@ -76,14 +87,15 @@ func (l *runLog) grow() {
 // many oldest runs as it takes to get back under the byte cap. The
 // returned slices are immutable: rings swap record pointers, never
 // reuse their bytes.
-func (l *runLog) append(rec []byte, now int64) (evicted [][]byte) {
+func (l *runLog) append(rec []byte, key uint64, now int64) (evicted [][]byte) {
 	if l.n == l.cap {
 		evicted = append(evicted, l.evictOldest())
 	} else if l.n == len(l.recs) {
 		l.grow()
 	}
 	i := (l.head + l.n) % len(l.recs)
-	l.recs[i], l.times[i] = rec, now
+	l.lastSeq++
+	l.recs[i], l.times[i], l.keys[i], l.seqs[i] = rec, now, key, l.lastSeq
 	l.n++
 	l.bytes += int64(len(rec))
 	l.version++
@@ -131,6 +143,53 @@ func (l *runLog) records() [][]byte {
 	return out
 }
 
+// recordsKeyed returns the retained records and their routing-key
+// hashes, aligned, in arrival order.
+func (l *runLog) recordsKeyed() ([][]byte, []uint64) {
+	recs := make([][]byte, 0, l.n)
+	keys := make([]uint64, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		j := (l.head + i) % len(l.recs)
+		recs = append(recs, l.recs[j])
+		keys = append(keys, l.keys[j])
+	}
+	return recs, keys
+}
+
+// matchRange reports whether a record with the given key matches a
+// migration selector: nil ranges is a full drain and matches every
+// record; otherwise the key must fall in one of the arcs (unkeyed
+// records never do).
+func matchRange(key uint64, ranges []corpus.KeyRange) bool {
+	if ranges == nil {
+		return true
+	}
+	return corpus.InRanges(key, ranges)
+}
+
+// selectRange collects up to max retained records whose key matches
+// ranges and whose append sequence is > sinceSeq, in arrival order.
+// It returns the records, their keys, the highest sequence included
+// (the export watermark; sinceSeq when nothing matched), whether more
+// matching records remain past the watermark, and how many.
+func (l *runLog) selectRange(ranges []corpus.KeyRange, sinceSeq uint64, max int) (recs [][]byte, keys []uint64, watermark uint64, remaining int) {
+	watermark = sinceSeq
+	for i := 0; i < l.n; i++ {
+		j := (l.head + i) % len(l.recs)
+		if l.seqs[j] <= sinceSeq || !matchRange(l.keys[j], ranges) {
+			continue
+		}
+		if max > 0 && len(recs) >= max {
+			remaining++
+			continue
+		}
+		recs = append(recs, l.recs[j])
+		keys = append(keys, l.keys[j])
+		watermark = l.seqs[j]
+	}
+	return recs, keys, watermark, remaining
+}
+
 // remove drops up to one retained occurrence per given encoded record,
 // matching by exact bytes, preserving arrival order of the survivors.
 // It returns the removed records (for the caller to un-count); the
@@ -146,6 +205,8 @@ func (l *runLog) remove(recs [][]byte) (removed [][]byte) {
 	}
 	kept := make([][]byte, 0, l.n)
 	times := make([]int64, 0, l.n)
+	keys := make([]uint64, 0, l.n)
+	seqs := make([]uint64, 0, l.n)
 	for i := 0; i < l.n; i++ {
 		j := (l.head + i) % len(l.recs)
 		rec := l.recs[j]
@@ -156,11 +217,13 @@ func (l *runLog) remove(recs [][]byte) (removed [][]byte) {
 		}
 		kept = append(kept, rec)
 		times = append(times, l.times[j])
+		keys = append(keys, l.keys[j])
+		seqs = append(seqs, l.seqs[j])
 	}
 	if len(removed) == 0 {
 		return nil
 	}
-	l.recs, l.times, l.head, l.n = kept, times, 0, len(kept)
+	l.recs, l.times, l.keys, l.seqs, l.head, l.n = kept, times, keys, seqs, 0, len(kept)
 	l.bytes = 0
 	for _, rec := range kept {
 		l.bytes += int64(len(rec))
@@ -175,16 +238,29 @@ func (l *runLog) remove(recs [][]byte) (removed [][]byte) {
 // clock, so ages restart conservatively). It returns how many runs were
 // retained so the caller can detect a trim. Counters are the caller's
 // business.
-func (l *runLog) restore(reports []*report.Report, now int64) (retained int) {
+func (l *runLog) restore(reports []*report.Report, keys []uint64, now int64) (retained int) {
+	if len(keys) != 0 && len(keys) != len(reports) {
+		keys = nil
+	}
 	if len(reports) > l.cap {
+		if keys != nil {
+			keys = keys[len(reports)-l.cap:]
+		}
 		reports = reports[len(reports)-l.cap:]
 	}
 	l.recs = make([][]byte, len(reports))
 	l.times = make([]int64, len(reports))
+	l.keys = make([]uint64, len(reports))
+	l.seqs = make([]uint64, len(reports))
 	l.head, l.n, l.bytes = 0, len(reports), 0
 	for i, r := range reports {
 		l.recs[i] = report.AppendRecord(nil, r)
 		l.times[i] = now
+		if keys != nil {
+			l.keys[i] = keys[i]
+		}
+		l.lastSeq++
+		l.seqs[i] = l.lastSeq
 		l.bytes += int64(len(l.recs[i]))
 	}
 	if l.maxBytes > 0 {

@@ -21,6 +21,7 @@ import (
 	"cbi/internal/corpus"
 	"cbi/internal/obs"
 	"cbi/internal/plan"
+	"cbi/internal/ratelimit"
 	"cbi/internal/report"
 	"cbi/internal/sampling"
 )
@@ -65,6 +66,14 @@ type Config struct {
 	// blinds the fleet's rate control — stay open. Keys can be rotated
 	// live with SetAPIKeys.
 	APIKeys []string
+	// RateLimit, when positive, rate-limits the write endpoints
+	// (/v1/reports and /v1/merge) per API key (per client address when
+	// auth is off) with a token bucket of RateLimit requests per second.
+	// Limited requests get 429 with a Retry-After naming when the next
+	// token accrues.
+	RateLimit float64
+	// RateBurst is the token-bucket burst size (default 2*RateLimit).
+	RateBurst int
 	// PlanEvery, when positive, runs the closed-loop sampling planner:
 	// every period the live aggregate's observation counts are re-planned
 	// into a new versioned sampling plan (see internal/plan) served at
@@ -234,6 +243,9 @@ type Server struct {
 	// without a restart (SIGHUP rotation).
 	apiKeys atomic.Pointer[[]string]
 
+	// limiter rate-limits write endpoints per key (nil = no limiting).
+	limiter *ratelimit.PerKey
+
 	// planStore serves GET /v1/plan; planner computes successors from
 	// the live aggregate (driven by planLoop or Replan).
 	planStore *plan.Store
@@ -307,6 +319,19 @@ type Server struct {
 	deltaServed    *obs.Counter
 	revokedBatches *obs.Counter
 	revokedRuns    *obs.Counter
+	rateLimited    *obs.Counter
+
+	// Migration (elastic resharding) instrumentation: chunks, runs, and
+	// bytes exported via /v1/export; runs evicted after handoff via
+	// /v1/evict; residual handoffs committed via /v1/residual; and the
+	// matching-runs-still-pending gauge the last export observed (the
+	// operator's migration-lag signal).
+	exportChunks    *obs.Counter
+	exportRuns      *obs.Counter
+	exportBytes     *obs.Counter
+	migrateEvicted  *obs.Counter
+	residualCommits *obs.Counter
+	exportPending   *obs.Gauge
 
 	// Cached /v1/predictors response, keyed by query parameters and the
 	// run-log version at computation time; any ingest bumps the version
@@ -399,6 +424,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	keys := append([]string(nil), cfg.APIKeys...)
 	s.apiKeys.Store(&keys)
+	s.limiter = ratelimit.New(cfg.RateLimit, cfg.RateBurst)
 	s.planStore = plan.NewStore(plan.Bootstrap(cfg.NumSites, cfg.Fingerprint, cfg.PlanTarget, cfg.PlanMinRate))
 	s.planner = plan.NewPlanner(s.planStore, plan.PlannerConfig{
 		Source:      s.planInput,
@@ -505,6 +531,20 @@ func (s *Server) initMetrics() {
 		"Batches whose retained runs were removed via POST /v1/revoke.")
 	s.revokedRuns = m.Counter("cbi_collector_revoked_runs_total",
 		"Individual runs removed (and un-counted) via POST /v1/revoke.")
+	s.rateLimited = m.Counter("cbi_auth_rate_limited_total",
+		"Write requests shed with 429 by the per-key rate limiter.")
+	s.exportChunks = m.Counter("cbi_collector_export_chunks_total",
+		"Migration chunks served via POST /v1/export.")
+	s.exportRuns = m.Counter("cbi_collector_export_runs_total",
+		"Retained runs exported in migration chunks.")
+	s.exportBytes = m.Counter("cbi_collector_export_bytes_total",
+		"Compressed bytes of migration chunks served via POST /v1/export.")
+	s.migrateEvicted = m.Counter("cbi_collector_migrate_evicted_runs_total",
+		"Runs removed (and un-counted) after a migration handoff via POST /v1/evict.")
+	s.residualCommits = m.Counter("cbi_collector_residual_commits_total",
+		"Drain residual subtractions committed via POST /v1/residual.")
+	s.exportPending = m.Gauge("cbi_collector_export_pending_runs",
+		"Matching runs still awaiting export past the watermark, as of the last /v1/export — the migration-lag signal.")
 	s.snapshotSeconds = m.Histogram("cbi_collector_snapshot_write_seconds",
 		"Wall time to persist one snapshot+run-log pair, in seconds.", nil)
 
@@ -556,7 +596,8 @@ func (s *Server) initMetrics() {
 	s.httpObs = obs.NewHTTP(obs.HTTPConfig{
 		Registry: m,
 		Paths: []string{"/v1/reports", "/v1/merge", "/v1/revoke", "/v1/snapshot", "/v1/scores",
-			"/v1/predictors", "/v1/stats", "/v1/plan", "/healthz", "/metrics"},
+			"/v1/predictors", "/v1/stats", "/v1/plan", "/v1/export", "/v1/evict", "/v1/residual",
+			"/healthz", "/metrics"},
 		SlowRequest: s.cfg.SlowRequest,
 		Logf:        s.cfg.Logf,
 	})
@@ -674,7 +715,7 @@ func (s *Server) SetAPIKeys(keys []string) {
 // retained runs so the two views can never serve different windows.
 func (s *Server) restore() error {
 	cfg := s.cfg
-	snap, ckptSet, isCheckpoint, err := corpus.ReadStateFile(cfg.SnapshotPath)
+	snap, ckptSet, ckptKeys, isCheckpoint, err := corpus.ReadStateFileKeyed(cfg.SnapshotPath)
 	if err != nil {
 		return fmt.Errorf("collector: loading snapshot: %v", err)
 	}
@@ -695,7 +736,7 @@ func (s *Server) restore() error {
 		// Counters and window were written atomically; they can only
 		// disagree if retention caps shrank across the restart.
 		if cfg.RunLogSize > 0 && ckptSet != nil && len(ckptSet.Reports) > 0 {
-			retained := s.agg.RestoreLog(ckptSet.Reports)
+			retained := s.agg.RestoreLog(ckptSet.Reports, ckptKeys)
 			if retained != len(ckptSet.Reports) {
 				cfg.Logf("collector: retention caps trimmed the checkpoint window (%d runs checkpointed, %d retained); recounting",
 					len(ckptSet.Reports), retained)
@@ -714,7 +755,7 @@ func (s *Server) restore() error {
 				return fmt.Errorf("collector: run log dimensions %dx%d do not match server %dx%d",
 					logSet.NumSites, logSet.NumPreds, cfg.NumSites, cfg.NumPreds)
 			}
-			retained := s.agg.RestoreLog(logSet.Reports)
+			retained := s.agg.RestoreLog(logSet.Reports, nil)
 			// The snapshot records how many runs its companion log held (a
 			// legacy v1 snapshot does not; fall back to its run counts,
 			// which equal the logged count unless state was merged in).
@@ -793,7 +834,7 @@ func (s *Server) applyLoop() {
 					s.cfg.applyHook(r)
 				}
 			}
-			s.agg.ApplyBatch(b.reports, b.recs, func(recs [][]byte) {
+			s.agg.ApplyBatch(b.reports, b.recs, b.key, func(recs [][]byte) {
 				s.seqs.markApplied(b.seq)
 				if b.id != "" {
 					s.storeBatchRecs(b.id, recs)
@@ -851,7 +892,7 @@ func (s *Server) SnapshotNow() error {
 		s.cfg.checkpointHook("begin")
 	}
 	walOn := s.cfg.WALPath != ""
-	snap, recs, _, _ := s.agg.SnapshotState(s.cfg.Fingerprint, func(sn *corpus.AggSnapshot) {
+	snap, recs, keys, _, _ := s.agg.SnapshotState(s.cfg.Fingerprint, func(sn *corpus.AggSnapshot) {
 		if walOn {
 			sn.WALSeq, sn.WALIslands = s.seqs.capture()
 		}
@@ -862,7 +903,7 @@ func (s *Server) SnapshotNow() error {
 			return err
 		}
 		set := &report.Set{NumSites: s.cfg.NumSites, NumPreds: s.cfg.NumPreds, Reports: reports}
-		if err := corpus.WriteCheckpointFile(s.cfg.SnapshotPath, snap, set); err != nil {
+		if err := corpus.WriteCheckpointFileKeyed(s.cfg.SnapshotPath, snap, set, keys); err != nil {
 			return err
 		}
 		s.snapshots.Add(1)
@@ -961,6 +1002,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/reports", s.handleReports)
 	mux.HandleFunc("/v1/merge", s.handleMerge)
 	mux.HandleFunc("/v1/revoke", s.handleRevoke)
+	mux.HandleFunc("/v1/export", s.handleExport)
+	mux.HandleFunc("/v1/evict", s.handleEvict)
+	mux.HandleFunc("/v1/residual", s.handleResidual)
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/v1/scores", s.handleScores)
 	mux.HandleFunc("/v1/predictors", s.handlePredictors)
@@ -1006,6 +1050,53 @@ func (s *Server) authorize(w http.ResponseWriter, r *http.Request) bool {
 	return ok
 }
 
+// rateLimit enforces the per-key write rate limit. The bucket key is
+// the presented bearer token when there is one (each API key gets its
+// own budget) and the client address otherwise. On a limited request
+// it writes the 429 itself — with a Retry-After naming when the next
+// token accrues — and returns false. No-op (true) when Config.RateLimit
+// is unset.
+func (s *Server) rateLimit(w http.ResponseWriter, r *http.Request) bool {
+	if s.limiter == nil {
+		return true
+	}
+	key := r.Header.Get("Authorization")
+	if key == "" {
+		key = r.RemoteAddr
+		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+			key = host
+		}
+	}
+	ok, retry := s.limiter.Allow(key, time.Now())
+	if !ok {
+		s.rateLimited.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(ratelimit.RetrySeconds(retry)))
+		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+	}
+	return ok
+}
+
+// batchKey derives the routing-key hash a batch's runs are stamped
+// with. A shard router forwards the hash it placed the batch by
+// (X-CBI-Routing-Key); a direct client is keyed exactly as the router
+// would key it — client id first, then batch id — so records land in
+// the same ring ranges either way. Unkeyed batches get corpus.NoKey
+// and are only ever moved by a full drain.
+func batchKey(r *http.Request, batchID string) uint64 {
+	if v := r.Header.Get("X-CBI-Routing-Key"); v != "" {
+		if h, err := strconv.ParseUint(v, 10, 64); err == nil {
+			return h
+		}
+	}
+	if cid := r.Header.Get("X-CBI-Client-ID"); cid != "" {
+		return corpus.KeyHash(cid)
+	}
+	if batchID != "" {
+		return corpus.KeyHash(batchID)
+	}
+	return corpus.NoKey
+}
+
 // maxBatchBytes bounds one POST body (decompressed input is further
 // bounded by the codec's own validation).
 const maxBatchBytes = 64 << 20
@@ -1037,6 +1128,9 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.authorize(w, r) {
+		return
+	}
+	if !s.rateLimit(w, r) {
 		return
 	}
 	reader, closer, ok := s.postBodyReader(w, r)
@@ -1111,10 +1205,14 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
 		return
 	}
-	b := &ingestBatch{id: batchID, reports: set.Reports}
+	b := &ingestBatch{id: batchID, key: batchKey(r, batchID), reports: set.Reports}
 	if s.cfg.WALPath != "" {
 		b.recs = encodeReports(set.Reports)
-		seq, err := s.walAppend(&corpus.WALRecord{Kind: corpus.WALBatch, BatchID: batchID, Recs: b.recs})
+		kind := byte(corpus.WALBatch)
+		if b.key != corpus.NoKey {
+			kind = corpus.WALKeyedBatch
+		}
+		seq, err := s.walAppend(&corpus.WALRecord{Kind: kind, BatchID: batchID, Key: b.key, Recs: b.recs})
 		if err != nil {
 			<-s.sem
 			s.acceptMu.RUnlock()
@@ -1164,6 +1262,9 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	if !s.authorize(w, r) {
 		return
 	}
+	if !s.rateLimit(w, r) {
+		return
+	}
 	reader, closer, ok := s.postBodyReader(w, r)
 	if !ok {
 		return
@@ -1171,7 +1272,7 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	if closer != nil {
 		defer closer.Close()
 	}
-	snap, set, err := corpus.ReadMergeSegment(reader)
+	snap, set, keys, err := corpus.ReadMergeSegmentKeyed(reader)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("bad merge segment: %v", err), http.StatusBadRequest)
 		return
@@ -1208,7 +1309,7 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	var seq uint64
 	if s.cfg.WALPath != "" {
 		var werr error
-		seq, werr = s.walAppend(&corpus.WALRecord{Kind: corpus.WALMerge, BatchID: batchID, Snap: snap, Reports: set.Reports})
+		seq, werr = s.walAppend(&corpus.WALRecord{Kind: corpus.WALMerge, BatchID: batchID, Snap: snap, Reports: set.Reports, Keys: keys})
 		if werr != nil {
 			s.acceptMu.RUnlock()
 			if batchID != "" {
@@ -1219,7 +1320,15 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.agg.MergeSegment(snap, set.Reports, func() { s.seqs.markApplied(seq) })
+	s.agg.MergeSegment(snap, set.Reports, keys, func(recs [][]byte) {
+		s.seqs.markApplied(seq)
+		if batchID != "" {
+			// Stash the joined records so the merge is revocable — the
+			// repair path when a migration chunk's source crashes between
+			// delivery and its evict confirmation.
+			s.storeBatchRecs(batchID, recs)
+		}
+	})
 	s.acceptMu.RUnlock()
 	s.mergesAccepted.Add(1)
 	s.mergedRuns.Add(snap.NumF + snap.NumS)
@@ -1280,7 +1389,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	snap, recs, epoch, ver := s.agg.SnapshotState(s.cfg.Fingerprint, nil)
+	snap, recs, keys, epoch, ver := s.agg.SnapshotState(s.cfg.Fingerprint, nil)
 	reports, err := decodeRecords(recs, s.cfg.NumSites, s.cfg.NumPreds)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -1293,7 +1402,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-CBI-State-Version", strconv.FormatUint(ver, 10))
 	}
 	gz := gzip.NewWriter(w)
-	if err := corpus.WriteMergeSegment(gz, snap, set); err != nil {
+	if err := corpus.WriteMergeSegmentKeyed(gz, snap, set, keys); err != nil {
 		s.cfg.Logf("collector: snapshot export: %v", err)
 		return
 	}

@@ -39,6 +39,9 @@ type ingestBatch struct {
 	id      string
 	seq     uint64
 	reports []*report.Report
+	// key is the batch's routing-key hash (corpus.NoKey when unknown);
+	// every run in a batch shares one submitting client, hence one key.
+	key uint64
 	// recs holds each report's AppendRecord encoding when the WAL path
 	// already produced it (the WAL payload reuses the same bytes), so
 	// the apply worker doesn't encode the batch a second time.
@@ -290,12 +293,12 @@ func (s *Server) replayWAL() error {
 func (s *Server) applyWALRecord(rec *corpus.WALRecord) {
 	covered := s.seqs.applied(rec.Seq)
 	switch rec.Kind {
-	case corpus.WALBatch:
+	case corpus.WALBatch, corpus.WALKeyedBatch:
 		if rec.BatchID != "" {
 			s.rememberBatch(rec.BatchID)
 		}
 		if !covered {
-			s.agg.ApplyBatch(rec.Reports, nil, func(recs [][]byte) {
+			s.agg.ApplyBatch(rec.Reports, nil, rec.Key, func(recs [][]byte) {
 				s.seqs.markApplied(rec.Seq)
 				if rec.BatchID != "" {
 					s.storeBatchRecs(rec.BatchID, recs)
@@ -313,7 +316,39 @@ func (s *Server) applyWALRecord(rec *corpus.WALRecord) {
 			s.rememberBatch(rec.BatchID)
 		}
 		if !covered {
-			s.agg.MergeSegment(rec.Snap, rec.Reports, func() { s.seqs.markApplied(rec.Seq) })
+			s.agg.MergeSegment(rec.Snap, rec.Reports, rec.Keys, func(recs [][]byte) {
+				s.seqs.markApplied(rec.Seq)
+				if rec.BatchID != "" {
+					s.storeBatchRecs(rec.BatchID, recs)
+				}
+			})
+			s.walReplayed.Add(1)
+		}
+	case corpus.WALEvict:
+		// A migration handoff eviction: re-remove the exact records the
+		// live eviction removed. Records the checkpoint (or an earlier
+		// replayed evict) already dropped are simply not found, so the
+		// replay is idempotent and coverage marks are advisory.
+		if !covered {
+			if removed := s.agg.RemoveRecords(encodeReports(rec.Reports)); len(removed) > 0 {
+				s.migrateEvicted.Add(int64(len(removed)))
+			}
+			s.seqs.markApplied(rec.Seq)
+			s.walReplayed.Add(1)
+		}
+	case corpus.WALDrainResidual:
+		// A committed drain-residual subtraction. Unlike evict replay
+		// this is not idempotent, so coverage is load-bearing: the
+		// commit's markApplied runs under the same aggregate hold as the
+		// subtraction, and a checkpoint can never capture one without
+		// the other.
+		if rec.BatchID != "" {
+			s.rememberBatch(rec.BatchID)
+		}
+		if !covered {
+			if err := s.agg.SubtractSnapshot(rec.Snap, func() { s.seqs.markApplied(rec.Seq) }); err != nil {
+				s.cfg.Logf("collector: WAL drain-residual replay: %v", err)
+			}
 			s.walReplayed.Add(1)
 		}
 	case corpus.WALRevoke:
@@ -391,7 +426,7 @@ func (s *Server) revokeBatch(id string) int {
 	if len(recs) == 0 {
 		return 0
 	}
-	return s.agg.RemoveRecords(recs)
+	return len(s.agg.RemoveRecords(recs))
 }
 
 // handleRevoke removes previously ingested batches by id — the
@@ -480,7 +515,7 @@ func (s *Server) IngestBatch(id string, reports []*report.Report) error {
 		}
 	}
 	s.reportsEnqueued.Add(int64(len(reports)))
-	s.agg.ApplyBatch(reports, encoded, func(recs [][]byte) {
+	s.agg.ApplyBatch(reports, encoded, corpus.NoKey, func(recs [][]byte) {
 		s.seqs.markApplied(seq)
 		if id != "" {
 			s.storeBatchRecs(id, recs)

@@ -1,0 +1,70 @@
+package corpus
+
+import "hash/fnv"
+
+// Routing-key hashing and key ranges are shared vocabulary between the
+// router (which places clients on the hash ring), the collector (which
+// stamps every retained run with its routing-key hash so state can be
+// exported per range), and the migration controller (which moves the
+// key ranges a ring resize reassigns). They live in corpus because the
+// collector cannot import the shard package (the gateway imports the
+// collector) and both sides must agree bit-for-bit on the hash.
+
+// KeyHash hashes a routing key onto the ring circle: FNV-1a for the
+// content, then a splitmix64-style finalizer. Raw FNV of short,
+// mostly-shared-prefix keys (vnode labels, sequential client ids)
+// leaves the high bits — the bits that decide ring position — badly
+// mixed; the finalizer's avalanche restores a near-uniform circle.
+// This must stay identical to the router's ring hash or migrated
+// records would land outside their owning shard's ranges.
+func KeyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NoKey marks a run whose routing key is unknown (pre-migration
+// records, runs merged from peers that did not carry keys). Unkeyed
+// runs never match a KeyRange, so they are never moved by a range
+// migration — only by a full drain. Merged query results stay exact
+// either way; only placement locality is affected.
+const NoKey uint64 = 0
+
+// KeyRange is a half-open arc (Lo, Hi] of the hash circle, wrapping
+// through zero when Lo >= Hi. It mirrors consistent-hash ownership:
+// the vnode at Hi owns exactly the keys in (previous vnode, Hi].
+type KeyRange struct {
+	Lo uint64 `json:"lo"`
+	Hi uint64 `json:"hi"`
+}
+
+// Contains reports whether hash h falls inside the arc. NoKey is in no
+// range by definition.
+func (kr KeyRange) Contains(h uint64) bool {
+	if h == NoKey {
+		return false
+	}
+	if kr.Lo < kr.Hi {
+		return h > kr.Lo && h <= kr.Hi
+	}
+	// Wrapping arc (Lo >= Hi): everything clockwise of Lo through zero
+	// up to Hi. A degenerate Lo == Hi arc is the full circle (a ring
+	// with a single vnode boundary owns everything).
+	return h > kr.Lo || h <= kr.Hi
+}
+
+// InRanges reports whether h falls in any of the arcs.
+func InRanges(h uint64, ranges []KeyRange) bool {
+	for _, kr := range ranges {
+		if kr.Contains(h) {
+			return true
+		}
+	}
+	return false
+}

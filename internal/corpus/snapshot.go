@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"compress/gzip"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
@@ -116,6 +117,56 @@ func MergeAggSnapshot(dst, src *AggSnapshot) error {
 	}
 	for i, v := range src.SPred {
 		dst.SPred[i] += v
+	}
+	return nil
+}
+
+// SubtractAggSnapshot removes src's counters from dst — the inverse of
+// MergeAggSnapshot, used when a draining shard hands its beyond-window
+// residual counters to a successor and must stop counting them itself.
+// Underflow is an error: the caller computed src from dst's own state,
+// so going negative means the two no longer describe the same runs.
+func SubtractAggSnapshot(dst, src *AggSnapshot) error {
+	if src.NumSites != dst.NumSites || src.NumPreds != dst.NumPreds {
+		return fmt.Errorf("corpus: subtracting snapshot %dx%d from %dx%d",
+			src.NumSites, src.NumPreds, dst.NumSites, dst.NumPreds)
+	}
+	if src.NumF > dst.NumF || src.NumS > dst.NumS {
+		return fmt.Errorf("corpus: snapshot subtraction underflows run totals")
+	}
+	for i, v := range src.FobsSite {
+		if v > dst.FobsSite[i] {
+			return fmt.Errorf("corpus: snapshot subtraction underflows site %d", i)
+		}
+	}
+	for i, v := range src.SobsSite {
+		if v > dst.SobsSite[i] {
+			return fmt.Errorf("corpus: snapshot subtraction underflows site %d", i)
+		}
+	}
+	for i, v := range src.FPred {
+		if v > dst.FPred[i] {
+			return fmt.Errorf("corpus: snapshot subtraction underflows predicate %d", i)
+		}
+	}
+	for i, v := range src.SPred {
+		if v > dst.SPred[i] {
+			return fmt.Errorf("corpus: snapshot subtraction underflows predicate %d", i)
+		}
+	}
+	dst.NumF -= src.NumF
+	dst.NumS -= src.NumS
+	for i, v := range src.FobsSite {
+		dst.FobsSite[i] -= v
+	}
+	for i, v := range src.SobsSite {
+		dst.SobsSite[i] -= v
+	}
+	for i, v := range src.FPred {
+		dst.FPred[i] -= v
+	}
+	for i, v := range src.SPred {
+		dst.SPred[i] -= v
 	}
 	return nil
 }
@@ -383,7 +434,14 @@ func WriteRunLogFile(path string, set *report.Set) error {
 }
 
 // mergeSegVersion is bumped on breaking merge-segment changes.
-const mergeSegVersion = 1
+// Version 1 is snapshot + run window; version 2 appends a per-record
+// routing-key section and is only written when at least one record
+// actually carries a key, so deployments that never migrate keep
+// emitting byte-identical v1 segments.
+const (
+	mergeSegVersion      = 1
+	mergeSegVersionKeyed = 2
+)
 
 // maxMergeSnapBytes bounds the snapshot part of a merge segment so a
 // hostile header cannot demand an absurd allocation (a real snapshot is
@@ -403,21 +461,59 @@ const maxMergeSnapBytes = 1 << 28
 // shard states into one exact global state (counters add, run windows
 // concatenate).
 func WriteMergeSegment(w io.Writer, snap *AggSnapshot, set *report.Set) error {
+	return WriteMergeSegmentKeyed(w, snap, set, nil)
+}
+
+// WriteMergeSegmentKeyed writes a merge segment carrying a routing-key
+// hash per record (keys[i] belongs to set.Reports[i]; see KeyHash).
+// When keys is nil, or every key is NoKey, the output is a plain v1
+// segment byte-for-byte; otherwise a v2 segment with a key section —
+// a uvarint count followed by that many uvarint keys — after the run
+// window. Keys let migrated runs stay addressable by range on the
+// destination shard, so a later resize can move them again.
+func WriteMergeSegmentKeyed(w io.Writer, snap *AggSnapshot, set *report.Set, keys []uint64) error {
 	if set.NumSites != snap.NumSites || set.NumPreds != snap.NumPreds {
 		return fmt.Errorf("corpus: merge segment set dimensions %dx%d disagree with snapshot %dx%d",
 			set.NumSites, set.NumPreds, snap.NumSites, snap.NumPreds)
+	}
+	keyed := false
+	if keys != nil {
+		if len(keys) != len(set.Reports) {
+			return fmt.Errorf("corpus: merge segment has %d keys for %d records", len(keys), len(set.Reports))
+		}
+		for _, k := range keys {
+			if k != NoKey {
+				keyed = true
+				break
+			}
+		}
+	}
+	version := mergeSegVersion
+	if keyed {
+		version = mergeSegVersionKeyed
 	}
 	var buf bytes.Buffer
 	if err := SaveAggSnapshot(&buf, snap); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "cbi-merge %d %d\n", mergeSegVersion, buf.Len()); err != nil {
+	if _, err := fmt.Fprintf(w, "cbi-merge %d %d\n", version, buf.Len()); err != nil {
 		return err
 	}
 	if _, err := w.Write(buf.Bytes()); err != nil {
 		return err
 	}
-	return set.MarshalBinary(w)
+	if err := set.MarshalBinary(w); err != nil {
+		return err
+	}
+	if !keyed {
+		return nil
+	}
+	kb := binary.AppendUvarint(nil, uint64(len(keys)))
+	for _, k := range keys {
+		kb = binary.AppendUvarint(kb, k)
+	}
+	_, err := w.Write(kb)
+	return err
 }
 
 // ReadMergeSegment parses a stream written by WriteMergeSegment,
@@ -425,42 +521,68 @@ func WriteMergeSegment(w io.Writer, snap *AggSnapshot, set *report.Set) error {
 // It is safe on hostile input: allocation is bounded and errors are
 // returned rather than panicking.
 func ReadMergeSegment(r io.Reader) (*AggSnapshot, *report.Set, error) {
+	snap, set, _, err := ReadMergeSegmentKeyed(r)
+	return snap, set, err
+}
+
+// ReadMergeSegmentKeyed parses a merge segment and, for a keyed (v2)
+// segment, also returns the per-record routing-key hashes (aligned
+// with set.Reports). A v1 segment returns keys == nil.
+func ReadMergeSegmentKeyed(r io.Reader) (*AggSnapshot, *report.Set, []uint64, error) {
 	br := bufio.NewReader(r)
 	line, err := br.ReadString('\n')
 	if err != nil {
-		return nil, nil, fmt.Errorf("corpus: merge segment header: %v", err)
+		return nil, nil, nil, fmt.Errorf("corpus: merge segment header: %v", err)
 	}
 	var version, snapLen int
 	if _, err := fmt.Sscanf(line, "cbi-merge %d %d", &version, &snapLen); err != nil {
-		return nil, nil, fmt.Errorf("corpus: bad merge segment header %q: %v", strings.TrimSpace(line), err)
+		return nil, nil, nil, fmt.Errorf("corpus: bad merge segment header %q: %v", strings.TrimSpace(line), err)
 	}
-	if version != mergeSegVersion {
-		return nil, nil, fmt.Errorf("corpus: unsupported merge segment version %d", version)
+	if version != mergeSegVersion && version != mergeSegVersionKeyed {
+		return nil, nil, nil, fmt.Errorf("corpus: unsupported merge segment version %d", version)
 	}
 	if snapLen <= 0 || snapLen > maxMergeSnapBytes {
-		return nil, nil, fmt.Errorf("corpus: merge segment snapshot length %d out of range", snapLen)
+		return nil, nil, nil, fmt.Errorf("corpus: merge segment snapshot length %d out of range", snapLen)
 	}
 	snapText := make([]byte, snapLen)
 	if _, err := io.ReadFull(br, snapText); err != nil {
-		return nil, nil, fmt.Errorf("corpus: merge segment snapshot: %v", err)
+		return nil, nil, nil, fmt.Errorf("corpus: merge segment snapshot: %v", err)
 	}
 	snap, err := LoadAggSnapshot(bytes.NewReader(snapText))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	set, err := report.UnmarshalBinary(br)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if set.NumSites != snap.NumSites || set.NumPreds != snap.NumPreds {
-		return nil, nil, fmt.Errorf("corpus: merge segment set dimensions %dx%d disagree with snapshot %dx%d",
+		return nil, nil, nil, fmt.Errorf("corpus: merge segment set dimensions %dx%d disagree with snapshot %dx%d",
 			set.NumSites, set.NumPreds, snap.NumSites, snap.NumPreds)
 	}
 	if int64(len(set.Reports)) > snap.NumF+snap.NumS {
-		return nil, nil, fmt.Errorf("corpus: merge segment logs %d runs but counts only %d",
+		return nil, nil, nil, fmt.Errorf("corpus: merge segment logs %d runs but counts only %d",
 			len(set.Reports), snap.NumF+snap.NumS)
 	}
-	return snap, set, nil
+	var keys []uint64
+	if version == mergeSegVersionKeyed {
+		count, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("corpus: merge segment key count: %v", err)
+		}
+		if count != uint64(len(set.Reports)) {
+			return nil, nil, nil, fmt.Errorf("corpus: merge segment has %d keys for %d records", count, len(set.Reports))
+		}
+		keys = make([]uint64, count)
+		for i := range keys {
+			k, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("corpus: merge segment key %d: %v", i, err)
+			}
+			keys[i] = k
+		}
+	}
+	return snap, set, keys, nil
 }
 
 // WriteCheckpointFile atomically persists a checkpoint — a snapshot
@@ -471,6 +593,13 @@ func ReadMergeSegment(r io.Reader) (*AggSnapshot, *report.Set, error) {
 // path there must be no torn-pair window, because the legacy repair
 // (recount counters from the log) would disagree with WAL replay.
 func WriteCheckpointFile(path string, snap *AggSnapshot, set *report.Set) error {
+	return WriteCheckpointFileKeyed(path, snap, set, nil)
+}
+
+// WriteCheckpointFileKeyed is WriteCheckpointFile carrying per-record
+// routing-key hashes, so a restart does not lose the key stamps a
+// range migration needs (see WriteMergeSegmentKeyed).
+func WriteCheckpointFileKeyed(path string, snap *AggSnapshot, set *report.Set, keys []uint64) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -478,7 +607,7 @@ func WriteCheckpointFile(path string, snap *AggSnapshot, set *report.Set) error 
 	}
 	defer os.Remove(tmp.Name())
 	gz := gzip.NewWriter(tmp)
-	if err := WriteMergeSegment(gz, snap, set); err != nil {
+	if err := WriteMergeSegmentKeyed(gz, snap, set, keys); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -500,36 +629,44 @@ func WriteCheckpointFile(path string, snap *AggSnapshot, set *report.Set) error 
 // distinguished by sniffing the gzip magic. A missing file returns all
 // zero values: cold start.
 func ReadStateFile(path string) (snap *AggSnapshot, set *report.Set, checkpoint bool, err error) {
+	snap, set, _, checkpoint, err = ReadStateFileKeyed(path)
+	return snap, set, checkpoint, err
+}
+
+// ReadStateFileKeyed is ReadStateFile that also surfaces the
+// per-record routing-key hashes of a keyed checkpoint (nil for
+// unkeyed checkpoints and legacy snapshots).
+func ReadStateFileKeyed(path string) (snap *AggSnapshot, set *report.Set, keys []uint64, checkpoint bool, err error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return nil, nil, false, nil
+		return nil, nil, nil, false, nil
 	}
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, nil, false, err
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
 	magic, err := br.Peek(2)
 	if err != nil {
-		return nil, nil, false, fmt.Errorf("corpus: state file %s: %v", path, err)
+		return nil, nil, nil, false, fmt.Errorf("corpus: state file %s: %v", path, err)
 	}
 	if magic[0] == 0x1f && magic[1] == 0x8b {
 		gz, err := gzip.NewReader(br)
 		if err != nil {
-			return nil, nil, false, fmt.Errorf("corpus: checkpoint %s: %v", path, err)
+			return nil, nil, nil, false, fmt.Errorf("corpus: checkpoint %s: %v", path, err)
 		}
 		defer gz.Close()
-		snap, set, err := ReadMergeSegment(gz)
+		snap, set, keys, err := ReadMergeSegmentKeyed(gz)
 		if err != nil {
-			return nil, nil, false, fmt.Errorf("corpus: checkpoint %s: %v", path, err)
+			return nil, nil, nil, false, fmt.Errorf("corpus: checkpoint %s: %v", path, err)
 		}
-		return snap, set, true, nil
+		return snap, set, keys, true, nil
 	}
 	snap, err = LoadAggSnapshot(br)
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, nil, false, err
 	}
-	return snap, nil, false, nil
+	return snap, nil, nil, false, nil
 }
 
 // ReadRunLogFile loads a run log written by WriteRunLogFile; a missing

@@ -31,7 +31,8 @@ import (
 //
 // and each record is
 //
-//	kind     1 byte: 'B' batch | 'M' merge | 'R' revoke
+//	kind     1 byte: 'B' batch | 'M' merge | 'R' revoke |
+//	         'K' keyed batch | 'E' migration evict | 'D' drain residual
 //	seq      uvarint (strictly increasing across the whole log)
 //	idLen    uvarint, then idLen bytes of batch id (may be empty)
 //	payLen   uvarint, then payLen bytes of payload
@@ -45,11 +46,28 @@ import (
 // detected by the CRC (or by running out of bytes) and dropped; a
 // corrupt header or record in the middle of a segment is a hard error.
 
-// WAL record kinds.
+// WAL record kinds. The 'K', 'E' and 'D' kinds were added for live
+// migration; they are self-describing by their kind byte, so the
+// segment header version is unchanged — a pre-migration reader fails
+// loudly on an unknown kind instead of silently dropping state.
 const (
 	WALBatch  = 'B'
 	WALMerge  = 'M'
 	WALRevoke = 'R'
+	// WALKeyedBatch is a batch stamped with its routing-key hash: the
+	// payload is a uvarint key followed by a WALBatch payload. Written
+	// instead of WALBatch whenever the key is known, so replayed runs
+	// stay addressable by key range.
+	WALKeyedBatch = 'K'
+	// WALEvict records a migration handoff eviction: the payload is a
+	// WALBatch payload listing the exact records removed from the run
+	// log (and uncounted). Replay re-removes them, so handed-off runs
+	// stay handed off across a source crash.
+	WALEvict = 'E'
+	// WALDrainResidual records the subtraction of beyond-window residual
+	// counters during a full drain: the payload is a SaveAggSnapshot
+	// text of the subtracted counters.
+	WALDrainResidual = 'D'
 )
 
 const (
@@ -86,10 +104,16 @@ type WALRecord struct {
 	// encoding once. Ignored on other kinds; Reports is not consulted
 	// when set.
 	Recs [][]byte
-	// Snap is the merged peer's counter snapshot ('M' only).
+	// Snap is the merged peer's counter snapshot ('M'), or the
+	// subtracted residual counters ('D').
 	Snap *AggSnapshot
 	// IDs lists the batch ids reversed by a revoke ('R' only).
 	IDs []string
+	// Key is the routing-key hash of a keyed batch ('K' only).
+	Key uint64
+	// Keys, when non-nil on a 'M' record, carries the merged peer's
+	// per-record routing-key hashes (aligned with Reports).
+	Keys []uint64
 }
 
 // AppendWALRecord encodes rec and appends it to dst.
@@ -105,9 +129,12 @@ func AppendWALRecord(dst []byte, rec *WALRecord, numSites, numPreds int) ([]byte
 	preLen := -1
 	var payload []byte
 	switch rec.Kind {
-	case WALBatch:
+	case WALBatch, WALKeyedBatch, WALEvict:
+		if rec.Kind == WALKeyedBatch {
+			payload = binary.AppendUvarint(payload, rec.Key)
+		}
 		if rec.Recs != nil {
-			preLen = uvarintLen(uint64(len(rec.Recs)))
+			preLen = len(payload) + uvarintLen(uint64(len(rec.Recs)))
 			for _, r := range rec.Recs {
 				preLen += len(r)
 			}
@@ -123,7 +150,16 @@ func AppendWALRecord(dst []byte, rec *WALRecord, numSites, numPreds int) ([]byte
 		}
 		var buf bytes.Buffer
 		set := &report.Set{NumSites: rec.Snap.NumSites, NumPreds: rec.Snap.NumPreds, Reports: rec.Reports}
-		if err := WriteMergeSegment(&buf, rec.Snap, set); err != nil {
+		if err := WriteMergeSegmentKeyed(&buf, rec.Snap, set, rec.Keys); err != nil {
+			return nil, err
+		}
+		payload = buf.Bytes()
+	case WALDrainResidual:
+		if rec.Snap == nil {
+			return nil, fmt.Errorf("corpus: WAL drain-residual record without snapshot")
+		}
+		var buf bytes.Buffer
+		if err := SaveAggSnapshot(&buf, rec.Snap); err != nil {
 			return nil, err
 		}
 		payload = buf.Bytes()
@@ -156,6 +192,9 @@ func AppendWALRecord(dst []byte, rec *WALRecord, numSites, numPreds int) ([]byte
 	dst = append(dst, rec.BatchID...)
 	dst = binary.AppendUvarint(dst, uint64(plen))
 	if preLen >= 0 {
+		// payload holds any prefix built before the pre-encoded records
+		// (the routing key of a 'K' record); the records stream after it.
+		dst = append(dst, payload...)
 		dst = binary.AppendUvarint(dst, uint64(len(rec.Recs)))
 		for _, r := range rec.Recs {
 			dst = append(dst, r...)
@@ -247,7 +286,9 @@ func ReadWALRecord(br *bufio.Reader, numSites, numPreds int) (*WALRecord, error)
 	if err != nil {
 		return nil, err // io.EOF here is a clean end of log
 	}
-	if kind != WALBatch && kind != WALMerge && kind != WALRevoke {
+	switch kind {
+	case WALBatch, WALMerge, WALRevoke, WALKeyedBatch, WALEvict, WALDrainResidual:
+	default:
 		return nil, fmt.Errorf("corpus: unknown WAL record kind 0x%02x", kind)
 	}
 	seq, err := c.readUvarint()
@@ -286,8 +327,15 @@ func ReadWALRecord(br *bufio.Reader, numSites, numPreds int) (*WALRecord, error)
 	}
 	rec := &WALRecord{Kind: kind, Seq: seq, BatchID: string(id)}
 	switch kind {
-	case WALBatch:
+	case WALBatch, WALKeyedBatch, WALEvict:
 		pr := bytes.NewReader(payload)
+		if kind == WALKeyedBatch {
+			key, err := binary.ReadUvarint(pr)
+			if err != nil {
+				return nil, fmt.Errorf("corpus: WAL keyed batch key: %v", err)
+			}
+			rec.Key = key
+		}
 		count, err := binary.ReadUvarint(pr)
 		if err != nil {
 			return nil, fmt.Errorf("corpus: WAL batch count: %v", err)
@@ -308,7 +356,7 @@ func ReadWALRecord(br *bufio.Reader, numSites, numPreds int) (*WALRecord, error)
 			return nil, fmt.Errorf("corpus: WAL batch has %d trailing bytes", pr.Len())
 		}
 	case WALMerge:
-		snap, set, err := ReadMergeSegment(bytes.NewReader(payload))
+		snap, set, keys, err := ReadMergeSegmentKeyed(bytes.NewReader(payload))
 		if err != nil {
 			return nil, fmt.Errorf("corpus: WAL merge payload: %v", err)
 		}
@@ -318,6 +366,17 @@ func ReadWALRecord(br *bufio.Reader, numSites, numPreds int) (*WALRecord, error)
 		}
 		rec.Snap = snap
 		rec.Reports = set.Reports
+		rec.Keys = keys
+	case WALDrainResidual:
+		snap, err := LoadAggSnapshot(bytes.NewReader(payload))
+		if err != nil {
+			return nil, fmt.Errorf("corpus: WAL drain-residual payload: %v", err)
+		}
+		if snap.NumSites != numSites || snap.NumPreds != numPreds {
+			return nil, fmt.Errorf("corpus: WAL drain-residual dimensions %dx%d, log is %dx%d",
+				snap.NumSites, snap.NumPreds, numSites, numPreds)
+		}
+		rec.Snap = snap
 	case WALRevoke:
 		pr := bytes.NewReader(payload)
 		count, err := binary.ReadUvarint(pr)

@@ -1,0 +1,599 @@
+// Package migrate is the control plane of an elastic ring resize: it
+// drives a router's /v1/ring state machine and streams the moving
+// state shard-to-shard so that adding or removing a collector is
+// first-class, exact, and zero-downtime.
+//
+// The controller owns sequencing, not data: every byte moves through
+// the collectors' own endpoints (POST /v1/export on the source, the
+// ordinary POST /v1/merge on the destination, POST /v1/evict back on
+// the source), so the collectors' WAL, dedup, and snapshot machinery
+// give the migration its crash safety for free. One resize runs as:
+//
+//  1. stage    POST /v1/ring {add|remove, url} — the router computes
+//     which hash-circle arcs move and to whom;
+//  2. stream   per migration, export → merge → evict chunks until the
+//     source has nothing retained in the moving ranges
+//     (writes keep flowing; the watermark ratchets forward);
+//  3. pause    the router parks writes into the moving ranges in a
+//     bounded buffer; the controller waits for the source's
+//     pipeline (router queue + collector apply queue) to
+//     drain, then ships the final chunks;
+//  4. cutover  the router routes the ranges to the new owner and
+//     flushes the parked writes there;
+//  5. commit   the target ring becomes the serving ring.
+//
+// A removal is the same machinery pointed at everything the victim
+// holds (a drain export matches every retained run, plus a residual
+// transfer for counters beyond the retained window).
+//
+// Exactness under crashes: chunk batch ids are deterministic in
+// (migration, source epoch, watermark), so a re-delivered chunk dedups
+// at the destination; eviction names exact record bytes, so a re-posted
+// evict is a no-op for whatever already left. A crashed controller
+// simply reruns `cbi resize` — the router's GET /v1/ring says what was
+// staged, and re-streaming from sequence zero converges on the same
+// end state.
+package migrate
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"cbi/internal/corpus"
+	"cbi/internal/shard"
+)
+
+// Config configures a Controller.
+type Config struct {
+	// Router is the router base URL whose ring is being resized.
+	Router string
+	// APIKey, when set, is presented (Bearer) on POST /v1/ring and on
+	// the collectors' write endpoints (export, merge, evict, residual).
+	APIKey string
+	// ChunkRuns bounds one export chunk (default 512 runs).
+	ChunkRuns int
+	// DrainTimeout bounds the pause-phase wait for the source pipeline
+	// to quiesce (default 60s).
+	DrainTimeout time.Duration
+	// Poll is the drain-wait polling period (default 50ms).
+	Poll time.Duration
+	// HTTP, when set, overrides the controller's HTTP client.
+	HTTP *http.Client
+	// Logf receives progress diagnostics (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Result summarizes a completed resize.
+type Result struct {
+	Action      string `json:"action"`
+	Slot        int    `json:"slot"`
+	Migrations  int    `json:"migrations"`
+	RunsMoved   int64  `json:"runs_moved"`
+	BytesMoved  int64  `json:"bytes_moved"`
+	RingVersion uint64 `json:"ring_version"`
+}
+
+// Controller drives one router's resizes.
+type Controller struct {
+	cfg  Config
+	hc   *http.Client
+	logf func(string, ...any)
+}
+
+// New builds a controller for the router in cfg.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Router == "" {
+		return nil, fmt.Errorf("migrate: controller needs a router URL")
+	}
+	if cfg.ChunkRuns <= 0 {
+		cfg.ChunkRuns = 512
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 60 * time.Second
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 50 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	hc := cfg.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Controller{cfg: cfg, hc: hc, logf: cfg.Logf}, nil
+}
+
+// Add brings a new collector into the ring, streaming the arcs it takes
+// over from their current owners.
+func (c *Controller) Add(ctx context.Context, url string) (*Result, error) {
+	return c.Resize(ctx, "add", url)
+}
+
+// Remove drains a collector out of the ring: everything it holds moves
+// to the surviving backends.
+func (c *Controller) Remove(ctx context.Context, url string) (*Result, error) {
+	return c.Resize(ctx, "remove", url)
+}
+
+// Resize runs one full resize to completion. If a matching resize is
+// already staged (a previous controller crashed mid-flight), it resumes
+// it instead of failing.
+func (c *Controller) Resize(ctx context.Context, action, url string) (*Result, error) {
+	st, err := c.stage(ctx, action, url)
+	if err != nil {
+		return nil, err
+	}
+	if st.Resize == nil {
+		return nil, fmt.Errorf("migrate: router staged no resize")
+	}
+	res := &Result{Action: action, Slot: st.Resize.Slot, Migrations: len(st.Resize.Migrations)}
+	byURL := make(map[int]string, len(st.Backends))
+	for _, b := range st.Backends {
+		byURL[b.Slot] = b.URL
+	}
+
+	// Per-migration stream state: the export watermark ratchets across
+	// the streaming and final phases. A removal streams once as a full
+	// drain (the victim's run log may hold failover-rerouted runs whose
+	// keys fall outside its owned arcs; a drain catches those too).
+	type task struct {
+		id       string
+		src, dst string
+		srcSlot  int
+		ranges   []corpus.KeyRange
+		drain    bool
+		st       streamState
+	}
+	var tasks []*task
+	if action == "remove" {
+		victim := byURL[st.Resize.Slot]
+		dst := byURL[st.Resize.Migrations[0].To]
+		tasks = append(tasks, &task{
+			id:  fmt.Sprintf("drain%d", st.Resize.Slot),
+			src: victim, dst: dst, srcSlot: st.Resize.Slot, drain: true,
+		})
+	} else {
+		for _, mg := range st.Resize.Migrations {
+			tasks = append(tasks, &task{
+				id:  mg.ID,
+				src: byURL[mg.From], dst: byURL[mg.To], srcSlot: mg.From,
+				ranges: mg.Ranges,
+			})
+		}
+	}
+
+	// Phase 2: stream while writes keep flowing.
+	for _, t := range tasks {
+		if err := c.stream(ctx, t.src, t.dst, t.id, t.ranges, t.drain, &t.st, res); err != nil {
+			return nil, fmt.Errorf("migrate: streaming %s: %w", t.id, err)
+		}
+	}
+
+	// Phase 3: pause the moving ranges, wait for everything already
+	// acked to land at the sources, then ship the final chunks cut at a
+	// watermark nothing can move past.
+	if _, err := c.postRing(ctx, "pause", ""); err != nil {
+		return nil, fmt.Errorf("migrate: pause: %w", err)
+	}
+	c.logf("migrate: paused %d migration(s); waiting for sources to quiesce", len(tasks))
+	slots := make(map[int]string)
+	for _, t := range tasks {
+		slots[t.srcSlot] = t.src
+	}
+	if err := c.waitDrained(ctx, slots); err != nil {
+		return nil, fmt.Errorf("migrate: drain wait: %w", err)
+	}
+	for _, t := range tasks {
+		if err := c.stream(ctx, t.src, t.dst, t.id, t.ranges, t.drain, &t.st, res); err != nil {
+			return nil, fmt.Errorf("migrate: final chunks for %s: %w", t.id, err)
+		}
+	}
+
+	// Phase 4: cut the ranges over to their new owners (the router
+	// flushes the parked writes there).
+	if _, err := c.postRing(ctx, "cutover", ""); err != nil {
+		return nil, fmt.Errorf("migrate: cutover: %w", err)
+	}
+	c.logf("migrate: cut over %d migration(s)", len(tasks))
+
+	if action == "remove" {
+		// Until commit the victim can still catch failover traffic for
+		// non-moving ranges (it is another backend's fallback). Quiesce
+		// and drain once more so nothing retained is stranded, then move
+		// the residual counters the run window cannot explain.
+		t := tasks[0]
+		if err := c.waitDrained(ctx, slots); err != nil {
+			return nil, fmt.Errorf("migrate: post-cutover drain wait: %w", err)
+		}
+		if err := c.stream(ctx, t.src, t.dst, t.id, t.ranges, t.drain, &t.st, res); err != nil {
+			return nil, fmt.Errorf("migrate: post-cutover chunks: %w", err)
+		}
+		if err := c.moveResidual(ctx, t.src, t.dst, t.id); err != nil {
+			return nil, fmt.Errorf("migrate: residual: %w", err)
+		}
+	}
+
+	// Phase 5: adopt the target ring.
+	final, err := c.postRing(ctx, "commit", "")
+	if err != nil {
+		return nil, fmt.Errorf("migrate: commit: %w", err)
+	}
+	res.RingVersion = final.Version
+	c.logf("migrate: %s of %s committed (ring v%d, %d runs / %d bytes moved)",
+		action, url, final.Version, res.RunsMoved, res.BytesMoved)
+	return res, nil
+}
+
+// stage posts the add/remove action, resuming a matching staged resize
+// instead of failing when one is already in flight.
+func (c *Controller) stage(ctx context.Context, action, url string) (*shard.RingStatus, error) {
+	st, err := c.postRing(ctx, action, url)
+	if err == nil {
+		return st, nil
+	}
+	cur, gerr := c.getRing(ctx)
+	if gerr != nil || cur.Resize == nil || cur.Resize.Action != action {
+		return nil, err
+	}
+	staged := ""
+	for _, b := range cur.Backends {
+		if b.Slot == cur.Resize.Slot {
+			staged = b.URL
+		}
+	}
+	if staged != url {
+		return nil, fmt.Errorf("migrate: a different %s resize is staged (%s); finish or commit it first", action, staged)
+	}
+	c.logf("migrate: resuming staged %s of %s", action, url)
+	return cur, nil
+}
+
+// streamState is one migration's export cursor.
+type streamState struct {
+	epoch string
+	since uint64
+}
+
+// exportChunk is one delivered export: the verbatim gzip body plus the
+// resume metadata from the headers.
+type exportChunk struct {
+	body      []byte
+	epoch     string
+	watermark uint64
+	remaining int
+}
+
+// stream moves chunks source → destination until the source has nothing
+// retained (past the watermark) in the migration's ranges. Each chunk
+// is merged at the destination under a deterministic batch id, then
+// evicted at the source by posting the identical body back.
+func (c *Controller) stream(ctx context.Context, src, dst, migID string, ranges []corpus.KeyRange, drain bool, st *streamState, res *Result) error {
+	for {
+		chunk, err := c.export(ctx, src, ranges, drain, st)
+		if err != nil {
+			return err
+		}
+		if chunk.watermark == st.since {
+			return nil // nothing new past the watermark
+		}
+		id := fmt.Sprintf("migrate-%s-e%s-w%d", migID, chunk.epoch, chunk.watermark)
+		if err := c.merge(ctx, dst, chunk.body, id); err != nil {
+			return fmt.Errorf("delivering chunk %s: %w", id, err)
+		}
+		evicted, err := c.evict(ctx, src, chunk.body)
+		if err != nil {
+			return fmt.Errorf("evicting chunk %s: %w", id, err)
+		}
+		st.since = chunk.watermark
+		res.RunsMoved += evicted
+		res.BytesMoved += int64(len(chunk.body))
+		c.logf("migrate: %s moved %d runs (watermark %d, %d remaining)", migID, evicted, chunk.watermark, chunk.remaining)
+	}
+}
+
+// export fetches the next chunk. A 409 means the source restarted and
+// renumbered its log: adopt the new epoch and restart from sequence
+// zero — eviction is idempotent and chunk ids are epoch-scoped, so the
+// replay converges without double-counting.
+func (c *Controller) export(ctx context.Context, src string, ranges []corpus.KeyRange, drain bool, st *streamState) (*exportChunk, error) {
+	for attempt := 0; ; attempt++ {
+		body, err := json.Marshal(map[string]any{
+			"ranges":    ranges,
+			"since_seq": st.since,
+			"epoch":     st.epoch,
+			"max_runs":  c.cfg.ChunkRuns,
+			"drain":     drain,
+		})
+		if err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, src+"/v1/export", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		c.auth(req)
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusConflict && attempt == 0 {
+			next := resp.Header.Get("X-CBI-Export-Epoch")
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+			resp.Body.Close()
+			if next == "" {
+				return nil, fmt.Errorf("POST /v1/export: 409 without a new epoch")
+			}
+			c.logf("migrate: source %s restarted (epoch %s → %s); re-exporting from zero", src, st.epoch, next)
+			st.epoch, st.since = next, 0
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+			resp.Body.Close()
+			return nil, fmt.Errorf("POST /v1/export: %d: %s", resp.StatusCode, msg)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		chunk := &exportChunk{body: data, epoch: resp.Header.Get("X-CBI-Export-Epoch")}
+		chunk.watermark, err = strconv.ParseUint(resp.Header.Get("X-CBI-Export-Watermark"), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad export watermark: %v", err)
+		}
+		chunk.remaining, _ = strconv.Atoi(resp.Header.Get("X-CBI-Export-Remaining"))
+		if st.epoch == "" {
+			st.epoch = chunk.epoch
+		}
+		return chunk, nil
+	}
+}
+
+// merge delivers an export chunk to the destination through the
+// ordinary shard-merge endpoint. The batch id makes redelivery a dedup
+// hit, never a double-count.
+func (c *Controller) merge(ctx context.Context, dst string, body []byte, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, dst+"/v1/merge", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-cbi-merge+gzip")
+	req.Header.Set("Content-Encoding", "gzip")
+	req.Header.Set("X-CBI-Batch-ID", id)
+	c.auth(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("POST /v1/merge: %d: %s", resp.StatusCode, msg)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	return nil
+}
+
+// evict posts a delivered chunk back to the source, which removes and
+// un-counts exactly those records. Returns how many were evicted (zero
+// on a repeat — idempotent).
+func (c *Controller) evict(ctx context.Context, src string, body []byte) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, src+"/v1/evict", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/x-cbi-merge+gzip")
+	req.Header.Set("Content-Encoding", "gzip")
+	c.auth(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return 0, fmt.Errorf("POST /v1/evict: %d: %s", resp.StatusCode, msg)
+	}
+	var ack struct {
+		EvictedRuns int64 `json:"evicted_runs"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<10)).Decode(&ack); err != nil {
+		return 0, fmt.Errorf("decoding evict ack: %v", err)
+	}
+	return ack.EvictedRuns, nil
+}
+
+// moveResidual transfers a drained collector's beyond-window counters
+// (history no retained run explains) to the destination, then commits
+// the subtraction at the source. Compute → deliver → commit, each leg
+// idempotent or deduped, so a crash at any point re-runs cleanly.
+func (c *Controller) moveResidual(ctx context.Context, src, dst, migID string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, src+"/v1/residual", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	epoch := resp.Header.Get("X-CBI-Export-Epoch")
+	if resp.StatusCode == http.StatusNoContent {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+		return fmt.Errorf("GET /v1/residual: %d: %s", resp.StatusCode, msg)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	id := fmt.Sprintf("migrate-%s-residual-e%s", migID, epoch)
+	if err := c.merge(ctx, dst, body, id); err != nil {
+		return fmt.Errorf("delivering residual: %w", err)
+	}
+	commit, err := http.NewRequestWithContext(ctx, http.MethodPost, src+"/v1/residual", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	commit.Header.Set("Content-Type", "application/x-cbi-merge+gzip")
+	commit.Header.Set("Content-Encoding", "gzip")
+	commit.Header.Set("X-CBI-Batch-ID", id)
+	c.auth(commit)
+	cresp, err := c.hc.Do(commit)
+	if err != nil {
+		return err
+	}
+	defer cresp.Body.Close()
+	if cresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(cresp.Body, 4<<10))
+		return fmt.Errorf("POST /v1/residual: %d: %s", cresp.StatusCode, msg)
+	}
+	io.Copy(io.Discard, io.LimitReader(cresp.Body, 4<<10))
+	c.logf("migrate: %s residual counters moved and committed", migID)
+	return nil
+}
+
+// collectorQueue is the subset of the collector's /v1/stats the drain
+// wait reads.
+type collectorQueue struct {
+	QueueDepth      int   `json:"queue_depth"`
+	ReportsEnqueued int64 `json:"reports_enqueued"`
+	ReportsApplied  int64 `json:"reports_applied"`
+}
+
+// waitDrained blocks until every source's pipeline is quiet: nothing
+// queued or in flight for its slot at the router, and the collector has
+// applied everything it enqueued. Only then is the export watermark
+// final — every acked write either reached the source's run log (the
+// final chunk carries it) or is parked in the router's migration buffer
+// (the cutover flush delivers it to the destination).
+func (c *Controller) waitDrained(ctx context.Context, slots map[int]string) error {
+	deadline := time.Now().Add(c.cfg.DrainTimeout)
+	for {
+		quiet := true
+		ring, err := c.getRing(ctx)
+		if err != nil {
+			return err
+		}
+		for _, b := range ring.Backends {
+			if _, ok := slots[b.Slot]; ok && (b.QueueDepth > 0 || b.Inflight > 0) {
+				quiet = false
+			}
+		}
+		if quiet {
+			for _, url := range slots {
+				q, err := c.collectorStats(ctx, url)
+				if err != nil {
+					return err
+				}
+				if q.QueueDepth > 0 || q.ReportsApplied != q.ReportsEnqueued {
+					quiet = false
+					break
+				}
+			}
+		}
+		if quiet {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sources did not quiesce within %s", c.cfg.DrainTimeout)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(c.cfg.Poll):
+		}
+	}
+}
+
+func (c *Controller) collectorStats(ctx context.Context, url string) (*collectorQueue, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return nil, fmt.Errorf("GET %s/v1/stats: %d: %s", url, resp.StatusCode, msg)
+	}
+	var q collectorQueue
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&q); err != nil {
+		return nil, err
+	}
+	return &q, nil
+}
+
+// getRing fetches the router's topology.
+func (c *Controller) getRing(ctx context.Context) (*shard.RingStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.Router+"/v1/ring", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return nil, fmt.Errorf("GET /v1/ring: %d: %s", resp.StatusCode, msg)
+	}
+	var st shard.RingStatus
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// postRing drives the ring state machine one action forward.
+func (c *Controller) postRing(ctx context.Context, action, url string) (*shard.RingStatus, error) {
+	body, err := json.Marshal(map[string]string{"action": action, "url": url})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.Router+"/v1/ring", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.auth(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return nil, fmt.Errorf("POST /v1/ring %s: %d: %s", action, resp.StatusCode, msg)
+	}
+	var st shard.RingStatus
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func (c *Controller) auth(req *http.Request) {
+	if c.cfg.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.cfg.APIKey)
+	}
+}

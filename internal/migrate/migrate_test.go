@@ -1,0 +1,510 @@
+package migrate
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"cbi/internal/collector"
+	"cbi/internal/harness"
+	"cbi/internal/report"
+	"cbi/internal/shard"
+	"cbi/internal/subjects"
+)
+
+var (
+	corpusOnce sync.Once
+	corpusRes  *harness.Result
+)
+
+// testCorpus runs one shared ccrypt experiment — a real subject corpus
+// with real failures — reused by every test in the package.
+func testCorpus(t *testing.T) *harness.Result {
+	t.Helper()
+	corpusOnce.Do(func() {
+		corpusRes = harness.Run(harness.Config{
+			Subject: subjects.Ccrypt(),
+			Runs:    1000,
+			Mode:    harness.SampleUniform,
+			Workers: 4,
+		})
+	})
+	if corpusRes.NumFailing() == 0 {
+		t.Fatal("test corpus has no failing runs; exactness tests are vacuous")
+	}
+	return corpusRes
+}
+
+func quietLogf(string, ...any) {}
+
+// swapFront is a stable address in front of a collector that can be
+// "crashed": the serving instance is closed and a replacement restored
+// from the same on-disk snapshot+WAL takes over — a shard process
+// restarting behind a fixed URL, as the router and the migration
+// controller would see it.
+type swapFront struct {
+	mu  sync.RWMutex
+	srv *collector.Server
+}
+
+func (f *swapFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	f.srv.Handler().ServeHTTP(w, r)
+}
+
+// crashAndRestore kills the current instance and boots a replacement
+// from cfg's durable state. Requests in flight finish against the old
+// instance; requests arriving during the restart block until the new
+// one serves.
+func (f *swapFront) crashAndRestore(t *testing.T, cfg collector.Config) {
+	t.Helper()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.srv.Close()
+	srv, err := collector.New(cfg)
+	if err != nil {
+		t.Errorf("restoring crashed collector: %v", err)
+		return
+	}
+	f.srv = srv
+}
+
+// hookTransport lets a test observe (and react to) every response the
+// migration controller receives — the lever for injecting a shard crash
+// or a controller interruption at an exact protocol step.
+type hookTransport struct {
+	mu   sync.Mutex
+	hook func(req *http.Request, resp *http.Response)
+}
+
+func (ht *hookTransport) setHook(h func(*http.Request, *http.Response)) {
+	ht.mu.Lock()
+	ht.hook = h
+	ht.mu.Unlock()
+}
+
+func (ht *hookTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err == nil {
+		ht.mu.Lock()
+		h := ht.hook
+		ht.mu.Unlock()
+		if h != nil {
+			h(req, resp)
+		}
+	}
+	return resp, err
+}
+
+// streamReports pushes a slice of the corpus through the router from
+// numClients fixed identities, so shard placement is deterministic and
+// every phase's writes spread over the ring.
+func streamReports(url string, set *report.Set, reports []*report.Report, pace time.Duration) error {
+	const numClients = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, numClients)
+	for w := 0; w < numClients; w++ {
+		client := collector.NewClient(url, set.NumSites, set.NumPreds,
+			collector.WithBatchSize(7+3*w),
+			collector.WithClientID(fmt.Sprintf("client-%d", w)))
+		wg.Add(1)
+		go func(w int, client *collector.Client) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := w; i < len(reports); i += numClients {
+				if err := client.Add(ctx, reports[i]); err != nil {
+					errs <- err
+					return
+				}
+				if pace > 0 {
+					time.Sleep(pace)
+				}
+			}
+			errs <- client.Flush(ctx)
+		}(w, client)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, v); err != nil {
+			t.Fatalf("GET %s: decoding %q: %v", url, body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func collectorRuns(t *testing.T, url string) int64 {
+	t.Helper()
+	var st collector.Stats
+	if code := getJSON(t, url+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("GET %s/v1/stats = %d", url, code)
+	}
+	return st.Runs
+}
+
+// TestResizeExactness is the headline property of elastic resharding: a
+// deployment resized 2→3 and then 3→2 while writes are flowing — with a
+// source shard crashing and restarting mid-migration, and the
+// controller itself killed and re-run mid-drain — ends up serving
+// /v1/scores, /v1/predictors, and /v1/stats element-for-element
+// identical to one never-resized collector over the same corpus.
+func TestResizeExactness(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+	baseCfg := collector.Config{
+		NumSites:    in.Set.NumSites,
+		NumPreds:    in.Set.NumPreds,
+		SiteOf:      in.SiteOf,
+		Fingerprint: res.Plan.Fingerprint(),
+		Logf:        quietLogf,
+	}
+
+	// c0 is crash-capable: durable snapshot+WAL behind a stable front.
+	dir := t.TempDir()
+	c0cfg := baseCfg
+	c0cfg.SnapshotPath = filepath.Join(dir, "c0.snap")
+	c0cfg.WALPath = filepath.Join(dir, "c0.wal")
+	c0srv, err := collector.New(c0cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front0 := &swapFront{srv: c0srv}
+	ts0 := httptest.NewServer(front0)
+	t.Cleanup(ts0.Close)
+
+	newShard := func() *httptest.Server {
+		srv, err := collector.New(baseCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	ts1 := newShard()
+	ts2 := newShard() // the newcomer; not on the initial ring
+
+	router, err := shard.NewRouter(shard.RouterConfig{
+		Backends:       []string{ts0.URL, ts1.URL},
+		HealthInterval: 100 * time.Millisecond,
+		Logf:           quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(router.Close)
+	rt := httptest.NewServer(router.Handler())
+	t.Cleanup(rt.Close)
+
+	reports := in.Set.Reports
+	third := len(reports) / 3
+	ctx := context.Background()
+
+	// Phase 1: a third of the corpus lands on the 2-shard ring.
+	if err := streamReports(rt.URL, in.Set, reports[:third], 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: grow 2→3 while the second third streams in. The hooked
+	// transport crashes and restores c0 right after its first evict ack —
+	// the controller must adopt c0's new log epoch (409) and re-stream
+	// from sequence zero without double-counting what already moved.
+	ht := &hookTransport{}
+	var crashOnce sync.Once
+	crashed := make(chan struct{})
+	ht.setHook(func(req *http.Request, resp *http.Response) {
+		if req.URL.Path == "/v1/evict" && req.URL.Host == ts0.Listener.Addr().String() &&
+			resp.StatusCode == http.StatusOK {
+			crashOnce.Do(func() {
+				front0.crashAndRestore(t, c0cfg)
+				close(crashed)
+			})
+		}
+	})
+	ctrl, err := New(Config{
+		Router:       rt.URL,
+		ChunkRuns:    48,
+		DrainTimeout: 30 * time.Second,
+		Poll:         10 * time.Millisecond,
+		HTTP:         &http.Client{Transport: ht, Timeout: 30 * time.Second},
+		Logf:         quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestErr := make(chan error, 1)
+	go func() {
+		ingestErr <- streamReports(rt.URL, in.Set, reports[third:2*third], 200*time.Microsecond)
+	}()
+	addRes, err := ctrl.Add(ctx, ts2.URL)
+	if err != nil {
+		t.Fatalf("add resize: %v", err)
+	}
+	if err := <-ingestErr; err != nil {
+		t.Fatalf("ingest during add: %v", err)
+	}
+	select {
+	case <-crashed:
+	default:
+		t.Fatal("the source shard never crashed mid-migration; the crash-resume path went untested")
+	}
+	if addRes.RingVersion != 2 {
+		t.Fatalf("ring version after add = %d, want 2", addRes.RingVersion)
+	}
+	if got := collectorRuns(t, ts2.URL); got == 0 {
+		t.Fatal("newcomer shard holds no runs after the add migration")
+	}
+
+	// Phase 3: shrink 3→2 by draining c0 while the final third streams
+	// in. The controller is killed after its first evict (context cancel)
+	// and a fresh `cbi resize` resumes the staged remove to completion.
+	ht.setHook(nil)
+	ictx, interrupt := context.WithCancel(ctx)
+	defer interrupt()
+	var intOnce sync.Once
+	ht2 := &hookTransport{}
+	ht2.setHook(func(req *http.Request, resp *http.Response) {
+		if req.URL.Path == "/v1/evict" && resp.StatusCode == http.StatusOK {
+			intOnce.Do(interrupt)
+		}
+	})
+	interrupted, err := New(Config{
+		Router:    rt.URL,
+		ChunkRuns: 48,
+		HTTP:      &http.Client{Transport: ht2, Timeout: 30 * time.Second},
+		Logf:      quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		ingestErr <- streamReports(rt.URL, in.Set, reports[2*third:], 200*time.Microsecond)
+	}()
+	if _, err := interrupted.Remove(ictx, ts0.URL); err == nil {
+		t.Fatal("interrupted controller finished the remove; the interruption never fired")
+	}
+	resumed, err := New(Config{
+		Router:       rt.URL,
+		ChunkRuns:    48,
+		DrainTimeout: 30 * time.Second,
+		Poll:         10 * time.Millisecond,
+		Logf:         quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmRes, err := resumed.Remove(ctx, ts0.URL)
+	if err != nil {
+		t.Fatalf("resumed remove: %v", err)
+	}
+	if err := <-ingestErr; err != nil {
+		t.Fatalf("ingest during remove: %v", err)
+	}
+	if rmRes.RingVersion != 3 {
+		t.Fatalf("ring version after remove = %d, want 3", rmRes.RingVersion)
+	}
+	if err := router.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := collectorRuns(t, ts0.URL); got != 0 {
+		t.Fatalf("drained shard still holds %d runs; remove left state behind", got)
+	}
+
+	// The ring itself reflects both resizes: the victim is inactive, the
+	// newcomer active, and no resize is left in flight.
+	var ring shard.RingStatus
+	getJSON(t, rt.URL+"/v1/ring", &ring)
+	if ring.Resize != nil {
+		t.Fatalf("a resize is still staged after commit: %+v", ring.Resize)
+	}
+	active := map[string]bool{}
+	for _, b := range ring.Backends {
+		active[b.URL] = b.Active
+	}
+	if active[ts0.URL] || !active[ts1.URL] || !active[ts2.URL] {
+		t.Fatalf("ring active set wrong after resizes: %v", active)
+	}
+
+	// Zero write-path loss across both resizes: nothing dropped, nothing
+	// refused for want of a shard.
+	var rst shard.RouterStats
+	getJSON(t, rt.URL+"/v1/stats", &rst)
+	if rst.Dropped != 0 || rst.NoShards != 0 {
+		t.Fatalf("write path lost traffic during resizes: %+v", rst)
+	}
+
+	// The gateway discovers the post-resize shard set from the router's
+	// ring — no static shard list.
+	gwSrv, err := shard.NewGateway(shard.GatewayConfig{
+		RingFrom:    rt.URL,
+		NumSites:    in.Set.NumSites,
+		NumPreds:    in.Set.NumPreds,
+		SiteOf:      in.SiteOf,
+		Fingerprint: res.Plan.Fingerprint(),
+		Timeout:     5 * time.Second,
+		Logf:        quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gwSrv.Close)
+	gw := httptest.NewServer(gwSrv.Handler())
+	t.Cleanup(gw.Close)
+
+	// Reference: one collector that ingested the same corpus, never
+	// resized.
+	refSrv, err := collector.New(baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := httptest.NewServer(refSrv.Handler())
+	t.Cleanup(ref.Close)
+	for _, r := range reports {
+		refSrv.Ingest(r)
+	}
+
+	// Wait for both sides to finish applying, then compare element for
+	// element.
+	deadline := time.Now().Add(30 * time.Second)
+	var gwStats shard.GatewayStats
+	for {
+		getJSON(t, gw.URL+"/v1/stats", &gwStats)
+		if gwStats.Runs == int64(len(reports)) && refSrv.StatsNow().ReportsApplied == int64(len(reports)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resized deployment applied %d of %d runs before deadline", gwStats.Runs, len(reports))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var refStats collector.Stats
+	getJSON(t, ref.URL+"/v1/stats", &refStats)
+	if gwStats.Runs != refStats.Runs || gwStats.Failing != refStats.Failing {
+		t.Fatalf("resized /v1/stats (%d runs, %d failing) != reference (%d runs, %d failing)",
+			gwStats.Runs, gwStats.Failing, refStats.Runs, refStats.Failing)
+	}
+
+	var gotScores, wantScores []collector.ScoreEntry
+	getJSON(t, gw.URL+"/v1/scores?k=30", &gotScores)
+	getJSON(t, ref.URL+"/v1/scores?k=30", &wantScores)
+	if len(wantScores) == 0 {
+		t.Fatal("reference collector returned no scores")
+	}
+	if !reflect.DeepEqual(gotScores, wantScores) {
+		t.Fatalf("resized /v1/scores diverges from never-resized collector:\n got %+v\nwant %+v", gotScores, wantScores)
+	}
+
+	var gotPreds, wantPreds []collector.PredictorEntry
+	getJSON(t, gw.URL+"/v1/predictors?k=0&affinity=3", &gotPreds)
+	getJSON(t, ref.URL+"/v1/predictors?k=0&affinity=3", &wantPreds)
+	if len(wantPreds) == 0 {
+		t.Fatal("reference collector returned no predictors")
+	}
+	if !reflect.DeepEqual(gotPreds, wantPreds) {
+		t.Fatalf("resized /v1/predictors diverges from never-resized collector:\n got %+v\nwant %+v", gotPreds, wantPreds)
+	}
+}
+
+// syntheticSet builds a deterministic corpus for the benchmark.
+func syntheticSet(n int) (*report.Set, []int32) {
+	const numSites, numPreds = 32, 96
+	siteOf := make([]int32, numPreds)
+	for p := range siteOf {
+		siteOf[p] = int32(p / 3)
+	}
+	rng := rand.New(rand.NewSource(42))
+	set := &report.Set{NumSites: numSites, NumPreds: numPreds}
+	allSites := make([]int32, numSites)
+	for s := range allSites {
+		allSites[s] = int32(s)
+	}
+	for i := 0; i < n; i++ {
+		r := &report.Report{Failed: rng.Intn(4) == 0, ObservedSites: allSites}
+		for p := 0; p < numPreds; p++ {
+			if rng.Intn(3) == 0 {
+				r.TruePreds = append(r.TruePreds, int32(p))
+			}
+		}
+		set.Reports = append(set.Reports, r)
+	}
+	return set, siteOf
+}
+
+// BenchmarkMigrationThroughput measures the streaming leg of a
+// migration: export → merge → evict of a 512-run drain between two live
+// collectors, per iteration.
+func BenchmarkMigrationThroughput(b *testing.B) {
+	const runsPerIter = 512
+	set, siteOf := syntheticSet(runsPerIter)
+	mk := func() (*collector.Server, *httptest.Server) {
+		srv, err := collector.New(collector.Config{
+			NumSites: set.NumSites, NumPreds: set.NumPreds, SiteOf: siteOf,
+			Logf: quietLogf,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		b.Cleanup(ts.Close)
+		return srv, ts
+	}
+	src, srcTS := mk()
+	_, dstTS := mk()
+	c, err := New(Config{Router: "http://unused", ChunkRuns: 128, Logf: quietLogf})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	st := &streamState{}
+	total := &Result{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for _, r := range set.Reports {
+			src.Ingest(r)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for src.StatsNow().ReportsApplied < int64((i+1)*runsPerIter) {
+			if time.Now().After(deadline) {
+				b.Fatal("source never applied the seeded runs")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		b.StartTimer()
+		if err := c.stream(ctx, srcTS.URL, dstTS.URL, fmt.Sprintf("bench-%d", i), nil, true, st, total); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if total.RunsMoved != int64(b.N*runsPerIter) {
+		b.Fatalf("moved %d runs, want %d", total.RunsMoved, b.N*runsPerIter)
+	}
+	b.ReportMetric(float64(runsPerIter), "runs/op")
+	b.ReportMetric(float64(total.BytesMoved)/float64(b.N), "bytes/op")
+}

@@ -1,0 +1,87 @@
+package ratelimit
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBurstThenRefill(t *testing.T) {
+	l := New(10, 5) // 10/s, burst 5
+	now := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ {
+		if ok, _ := l.Allow("k", now); !ok {
+			t.Fatalf("request %d inside burst was limited", i)
+		}
+	}
+	ok, retry := l.Allow("k", now)
+	if ok {
+		t.Fatal("6th immediate request should be limited")
+	}
+	if retry <= 0 || retry > 100*time.Millisecond {
+		t.Fatalf("retry-after %v, want (0, 100ms]", retry)
+	}
+	// One token accrues after 100ms at 10/s.
+	if ok, _ := l.Allow("k", now.Add(100*time.Millisecond)); !ok {
+		t.Fatal("request after refill interval was limited")
+	}
+}
+
+func TestKeysIndependent(t *testing.T) {
+	l := New(1, 1)
+	now := time.Unix(1000, 0)
+	if ok, _ := l.Allow("a", now); !ok {
+		t.Fatal("first request for key a limited")
+	}
+	if ok, _ := l.Allow("b", now); !ok {
+		t.Fatal("first request for key b limited (buckets not independent)")
+	}
+	if ok, _ := l.Allow("a", now); ok {
+		t.Fatal("second immediate request for key a not limited")
+	}
+}
+
+func TestNilLimiterAllowsAll(t *testing.T) {
+	var l *PerKey
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("k", time.Unix(1000, 0)); !ok {
+			t.Fatal("nil limiter limited a request")
+		}
+	}
+	if l := New(0, 0); l != nil {
+		t.Fatal("New with rate 0 should return nil (limiting disabled)")
+	}
+}
+
+func TestBurstDefault(t *testing.T) {
+	l := New(3, 0)
+	now := time.Unix(1000, 0)
+	allowed := 0
+	for i := 0; i < 20; i++ {
+		if ok, _ := l.Allow("k", now); ok {
+			allowed++
+		}
+	}
+	if allowed != 6 { // default burst = 2*rate
+		t.Fatalf("default burst allowed %d, want 6", allowed)
+	}
+}
+
+func TestTableBounded(t *testing.T) {
+	l := New(1, 1)
+	now := time.Unix(1000, 0)
+	for i := 0; i < maxKeys+100; i++ {
+		l.Allow(string(rune('a'+i%26))+string(rune(i)), now.Add(time.Duration(i)))
+	}
+	if len(l.buckets) > maxKeys {
+		t.Fatalf("bucket table grew to %d, cap is %d", len(l.buckets), maxKeys)
+	}
+}
+
+func TestRetrySeconds(t *testing.T) {
+	if got := RetrySeconds(0); got != 1 {
+		t.Fatalf("RetrySeconds(0) = %d, want 1", got)
+	}
+	if got := RetrySeconds(1500 * time.Millisecond); got != 2 {
+		t.Fatalf("RetrySeconds(1.5s) = %d, want 2", got)
+	}
+}

@@ -25,8 +25,16 @@ import (
 // GatewayConfig configures a Gateway.
 type GatewayConfig struct {
 	// Shards are the collector base URLs, in the same order as the
-	// router's Backends.
+	// router's Backends. Optional when RingFrom is set.
 	Shards []string
+	// RingFrom, when set, is a router base URL whose GET /v1/ring the
+	// gateway polls for the current shard set — so an elastic resize
+	// (backend added or drained) reaches the read path without a
+	// gateway restart. Shards, if also set, seeds the list until the
+	// first successful poll.
+	RingFrom string
+	// RingRefresh is the RingFrom polling period (default 5s).
+	RingRefresh time.Duration
 	// NumSites and NumPreds are the instrumentation-plan dimensions all
 	// shards must agree on.
 	NumSites, NumPreds int
@@ -114,10 +122,13 @@ type Gateway struct {
 	deltaPulls     *obs.Counter // shard fetches answered incrementally
 	fullPulls      *obs.Counter // shard fetches that shipped full state
 	deltaFallbacks *obs.Counter // warm views dropped (restart / stale since)
+	ringReloads    *obs.Counter // shard-set changes adopted from the router's ring
 
-	// warm holds one cached state copy per shard, advanced by delta
-	// pulls; queries clone it instead of re-fetching full state.
-	warm []*warmShard
+	// shards is the live shard set: the URLs every fan-out queries plus
+	// one warm cached state view per shard, advanced by delta pulls.
+	// Static deployments fix it at cfg.Shards; with RingFrom set, the
+	// ring loop replaces it as resizes commit.
+	shards shardSet
 
 	// planMu serializes re-planning, shard refresh, and pushes so
 	// concurrent /v1/plan proxying and the planner ticker cannot
@@ -136,10 +147,11 @@ type Gateway struct {
 	lastStats *GatewayStats
 }
 
-// NewGateway builds a gateway over cfg.Shards.
+// NewGateway builds a gateway over cfg.Shards and/or the shard set the
+// router at cfg.RingFrom serves.
 func NewGateway(cfg GatewayConfig) (*Gateway, error) {
-	if len(cfg.Shards) == 0 {
-		return nil, fmt.Errorf("shard: gateway needs at least one shard")
+	if len(cfg.Shards) == 0 && cfg.RingFrom == "" {
+		return nil, fmt.Errorf("shard: gateway needs at least one shard (or a router to discover them from)")
 	}
 	if cfg.NumSites <= 0 || cfg.NumPreds <= 0 {
 		return nil, fmt.Errorf("shard: gateway needs positive dimensions, got %dx%d", cfg.NumSites, cfg.NumPreds)
@@ -162,16 +174,16 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	if cfg.PlanMinRuns <= 0 {
 		cfg.PlanMinRuns = plan.DefaultMinRuns
 	}
+	if cfg.RingRefresh <= 0 {
+		cfg.RingRefresh = 5 * time.Second
+	}
 	g := &Gateway{
 		cfg:  cfg,
 		hc:   &http.Client{Timeout: cfg.Timeout},
 		logf: cfg.Logf,
 		die:  make(chan struct{}),
-		warm: make([]*warmShard, len(cfg.Shards)),
 	}
-	for i := range g.warm {
-		g.warm[i] = &warmShard{}
-	}
+	g.shards.replace(cfg.Shards)
 	g.planStore = plan.NewStore(plan.Bootstrap(cfg.NumSites, cfg.Fingerprint, cfg.PlanTarget, cfg.PlanMinRate))
 	g.planner = plan.NewPlanner(g.planStore, plan.PlannerConfig{
 		Source:      g.planInput,
@@ -213,10 +225,16 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		"Shard state fetches that shipped the shard's full state.")
 	g.deltaFallbacks = m.Counter("cbi_gateway_delta_fallbacks_total",
 		"Warm shard views dropped and resynced (shard restart or delta history too old).")
+	g.ringReloads = m.Counter("cbi_gateway_ring_reloads_total",
+		"Shard-set changes adopted from the router's ring.")
+	m.GaugeFunc("cbi_gateway_shards",
+		"Shards the gateway currently fans queries out to.", func() float64 {
+			return float64(len(g.shards.list()))
+		})
 	m.GaugeFunc("cbi_gateway_warm_runs",
 		"Runs held across the gateway's warm per-shard state views.", func() float64 {
 			total := 0
-			for _, ws := range g.warm {
+			for _, ws := range g.shards.views() {
 				ws.mu.Lock()
 				if ws.valid {
 					total += len(ws.window)
@@ -255,7 +273,143 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	if cfg.PlanEvery > 0 {
 		go g.planLoop()
 	}
+	if cfg.RingFrom != "" {
+		// One synchronous best-effort refresh so a gateway started with
+		// no static shard list can answer its first query; then poll.
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+		g.refreshRing(ctx)
+		cancel()
+		go g.ringLoop()
+	}
 	return g, nil
+}
+
+// shardSet is the gateway's live shard list plus the warm per-shard
+// state views, keyed by URL so a view survives ring reloads that leave
+// its shard in place.
+type shardSet struct {
+	mu   sync.Mutex
+	urls []string
+	warm map[string]*warmShard
+}
+
+// list returns the current shard URLs (a copy).
+func (s *shardSet) list() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.urls...)
+}
+
+// views returns the current warm views (a copy of the map's values).
+func (s *shardSet) views() []*warmShard {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*warmShard, 0, len(s.warm))
+	for _, ws := range s.warm {
+		out = append(out, ws)
+	}
+	return out
+}
+
+// viewFor returns the warm view for a shard URL, creating it if needed.
+func (s *shardSet) viewFor(url string) *warmShard {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.warm == nil {
+		s.warm = make(map[string]*warmShard)
+	}
+	ws, ok := s.warm[url]
+	if !ok {
+		ws = &warmShard{}
+		s.warm[url] = ws
+	}
+	return ws
+}
+
+// replace swaps in a new shard list, dropping warm views for departed
+// shards. It reports whether the list changed.
+func (s *shardSet) replace(urls []string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	same := len(urls) == len(s.urls)
+	if same {
+		for i := range urls {
+			if urls[i] != s.urls[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		return false
+	}
+	keep := make(map[string]bool, len(urls))
+	for _, u := range urls {
+		keep[u] = true
+	}
+	for u := range s.warm {
+		if !keep[u] {
+			delete(s.warm, u)
+		}
+	}
+	s.urls = append([]string(nil), urls...)
+	return true
+}
+
+// refreshRing pulls the router's GET /v1/ring once and adopts the
+// active shard set. Best effort: any failure leaves the current set.
+func (g *Gateway) refreshRing(ctx context.Context) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.cfg.RingFrom+"/v1/ring", nil)
+	if err != nil {
+		return
+	}
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		g.logf("shard: gateway: ring refresh: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		g.logf("shard: gateway: ring refresh: router answered %d", resp.StatusCode)
+		return
+	}
+	var st RingStatus
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		g.logf("shard: gateway: ring refresh: decoding: %v", err)
+		return
+	}
+	urls := make([]string, 0, len(st.Backends))
+	for _, b := range st.Backends {
+		if b.Active {
+			urls = append(urls, b.URL)
+		}
+	}
+	if len(urls) == 0 {
+		// A ring with no active backend is a router mid-bootstrap or
+		// broken; keep serving the set we have.
+		return
+	}
+	if g.shards.replace(urls) {
+		g.ringReloads.Inc()
+		g.logf("shard: gateway: adopted ring v%d shard set (%d shards)", st.Version, len(urls))
+	}
+}
+
+// ringLoop keeps the shard set in sync with the router until Close.
+func (g *Gateway) ringLoop() {
+	t := time.NewTicker(g.cfg.RingRefresh)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.die:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), g.cfg.Timeout)
+			g.refreshRing(ctx)
+			cancel()
+		}
+	}
 }
 
 // Close stops the gateway's planner loop (if any). Safe to call more
@@ -305,14 +459,15 @@ func (ws *warmShard) clone() (*corpus.AggSnapshot, *report.Set) {
 // a warm view exists, full otherwise. Failed shards come back with err
 // set; the caller decides how degraded is too degraded.
 func (g *Gateway) fetchAll(ctx context.Context) []shardState {
-	out := make([]shardState, len(g.cfg.Shards))
+	shards := g.shards.list()
+	out := make([]shardState, len(shards))
 	var wg sync.WaitGroup
-	for i, url := range g.cfg.Shards {
+	for i, url := range shards {
 		wg.Add(1)
 		go func(i int, url string) {
 			defer wg.Done()
 			start := time.Now()
-			out[i].snap, out[i].set, out[i].err = g.fetchShard(ctx, i, url)
+			out[i].snap, out[i].set, out[i].err = g.fetchShard(ctx, url)
 			shard := strconv.Itoa(i)
 			g.fanoutSeconds.With(shard).ObserveDuration(time.Since(start))
 			if out[i].err != nil {
@@ -338,7 +493,7 @@ func (g *Gateway) fetchAll(ctx context.Context) []shardState {
 // delta support, history evicted) replaces the warm view wholesale. A
 // network or HTTP failure degrades the shard for this query and leaves
 // the warm view untouched, ready for the next delta.
-func (g *Gateway) fetchShard(ctx context.Context, i int, url string) (*corpus.AggSnapshot, *report.Set, error) {
+func (g *Gateway) fetchShard(ctx context.Context, url string) (*corpus.AggSnapshot, *report.Set, error) {
 	if g.cfg.DisableDeltaSync {
 		res, err := g.fetchState(ctx, url, "")
 		if err != nil {
@@ -349,7 +504,7 @@ func (g *Gateway) fetchShard(ctx context.Context, i int, url string) (*corpus.Ag
 		}
 		return res.snap, res.set, nil
 	}
-	ws := g.warm[i]
+	ws := g.shards.viewFor(url)
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
 	for attempt := 0; attempt < 2; attempt++ {
@@ -640,8 +795,9 @@ func (g *Gateway) handleStats(w http.ResponseWriter, req *http.Request) {
 func (g *Gateway) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	ctx, cancel := context.WithTimeout(req.Context(), g.cfg.Timeout)
 	defer cancel()
-	ch := make(chan bool, len(g.cfg.Shards))
-	for _, url := range g.cfg.Shards {
+	shards := g.shards.list()
+	ch := make(chan bool, len(shards))
+	for _, url := range shards {
 		go func(url string) {
 			r, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
 			if err != nil {
@@ -658,7 +814,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, req *http.Request) {
 			ch <- resp.StatusCode == http.StatusOK
 		}(url)
 	}
-	for range g.cfg.Shards {
+	for range shards {
 		if <-ch {
 			w.WriteHeader(http.StatusOK)
 			io.WriteString(w, "ok\n")

@@ -59,7 +59,7 @@ func (g *Gateway) planInput() plan.Input {
 func (g *Gateway) refreshFromShards(ctx context.Context) {
 	since := g.planStore.Version()
 	var best *plan.Plan
-	for i, url := range g.cfg.Shards {
+	for i, url := range g.shards.list() {
 		p, err := g.fetchShardPlan(ctx, url, since)
 		if err != nil {
 			g.logf("shard: gateway: plan refresh from shard %d: %v", i, err)
@@ -134,7 +134,7 @@ func (g *Gateway) pushPlan(ctx context.Context, p *plan.Plan) {
 		g.logf("shard: gateway: encoding plan v%d: %v", p.Version, err)
 		return
 	}
-	for i, url := range g.cfg.Shards {
+	for i, url := range g.shards.list() {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 			url+"/v1/plan", bytes.NewReader(buf.Bytes()))
 		if err != nil {

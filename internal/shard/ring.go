@@ -22,8 +22,9 @@ package shard
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
+
+	"cbi/internal/corpus"
 )
 
 // defaultVnodes is the virtual-node count per backend. 64 vnodes keeps
@@ -33,27 +34,45 @@ import (
 const defaultVnodes = 64
 
 // ring is a consistent-hash ring mapping string keys (client ids) to
-// backend indices. Immutable after build: the router builds one ring at
-// startup and consults it lock-free; liveness is handled above the ring
-// by walking the failover order, not by rebuilding it.
+// backend slots. Immutable after build: the router builds a ring per
+// topology and consults it lock-free; liveness is handled above the
+// ring by walking the failover order, not by rebuilding it.
 type ring struct {
 	hashes   []uint64 // sorted vnode hashes
 	backends []int    // backends[i] owns hashes[i]
-	n        int      // number of distinct backends
+	n        int      // number of distinct backend slots
+	maxSlot  int      // highest slot number on the ring
 }
 
-// newRing builds a ring over n backends with the given virtual-node
+// newRing builds a ring over slots 0..n-1 with the given virtual-node
 // count per backend (0 means defaultVnodes).
 func newRing(n, vnodes int) *ring {
+	slots := make([]int, n)
+	for i := range slots {
+		slots[i] = i
+	}
+	return newRingOver(slots, vnodes)
+}
+
+// newRingOver builds a ring over the given backend slots. A vnode's
+// position is derived from its slot number alone, so a backend keeps
+// exactly its arcs across resizes that add or remove *other* slots —
+// the property that makes an elastic resize move only the arcs a
+// textbook consistent-hash resize must move (≈1/n of the circle), and
+// lets movedRanges compute precisely which ones.
+func newRingOver(slots []int, vnodes int) *ring {
 	if vnodes <= 0 {
 		vnodes = defaultVnodes
 	}
 	r := &ring{
-		hashes:   make([]uint64, 0, n*vnodes),
-		backends: make([]int, 0, n*vnodes),
-		n:        n,
+		hashes:   make([]uint64, 0, len(slots)*vnodes),
+		backends: make([]int, 0, len(slots)*vnodes),
+		n:        len(slots),
 	}
-	for b := 0; b < n; b++ {
+	for _, b := range slots {
+		if b > r.maxSlot {
+			r.maxSlot = b
+		}
 		for v := 0; v < vnodes; v++ {
 			r.hashes = append(r.hashes, hashKey(fmt.Sprintf("vnode-%d-%d", b, v)))
 			r.backends = append(r.backends, b)
@@ -78,31 +97,22 @@ func newRing(n, vnodes int) *ring {
 	return r
 }
 
-// hashKey hashes a routing key: FNV-1a for the content, then a
-// splitmix64-style finalizer. Raw FNV of short, mostly-shared-prefix
-// keys (vnode labels, sequential client ids) leaves the high bits —
-// the bits that decide ring position — badly mixed, which in practice
-// skewed a 5-backend ring by 40x; the finalizer's avalanche restores a
-// near-uniform circle.
-func hashKey(key string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	x := h.Sum64()
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
+// hashKey hashes a routing key. It is corpus.KeyHash — FNV-1a plus a
+// splitmix64-style finalizer — shared with the collector so the hash a
+// router places a batch by and the hash a collector stamps its runs
+// with are the same value, and a migration's key ranges select exactly
+// the runs the router would route into them.
+func hashKey(key string) uint64 { return corpus.KeyHash(key) }
 
 // owner returns the backend owning key: the backend of the first vnode
 // clockwise from the key's hash.
-func (r *ring) owner(key string) int {
+func (r *ring) owner(key string) int { return r.ownerOfHash(hashKey(key)) }
+
+// ownerOfHash returns the backend owning the given key hash.
+func (r *ring) ownerOfHash(h uint64) int {
 	if len(r.hashes) == 0 {
 		return 0
 	}
-	h := hashKey(key)
 	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
 	if i == len(r.hashes) {
 		i = 0
@@ -120,7 +130,7 @@ func (r *ring) order(key string) []int {
 	if len(r.hashes) == 0 {
 		return out
 	}
-	seen := make([]bool, r.n)
+	seen := make([]bool, r.maxSlot+1)
 	h := hashKey(key)
 	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
 	for i := 0; i < len(r.hashes) && len(out) < r.n; i++ {
@@ -129,6 +139,45 @@ func (r *ring) order(key string) []int {
 			seen[b] = true
 			out = append(out, b)
 		}
+	}
+	return out
+}
+
+// movedRanges computes which arcs of the hash circle change owner
+// between two rings, grouped by (old owner, new owner) pair. The
+// union of the two rings' vnode hashes cuts the circle into elementary
+// arcs; within one arc ownership is constant on both rings (an arc's
+// owner is decided by the first vnode at or past its upper endpoint,
+// and no vnode of either ring lies inside an arc), so comparing owners
+// at the upper endpoint classifies every key in it at once. Adjacent
+// arcs moving between the same pair are coalesced. Arcs follow
+// corpus.KeyRange semantics: half-open (Lo, Hi], wrapping when
+// Lo >= Hi.
+func movedRanges(old, next *ring) map[[2]int][]corpus.KeyRange {
+	bounds := append(append([]uint64(nil), old.hashes...), next.hashes...)
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	uniq := bounds[:0]
+	for i, h := range bounds {
+		if i == 0 || h != bounds[i-1] {
+			uniq = append(uniq, h)
+		}
+	}
+	bounds = uniq
+	out := make(map[[2]int][]corpus.KeyRange)
+	for i, hi := range bounds {
+		lo := bounds[(i+len(bounds)-1)%len(bounds)]
+		from, to := old.ownerOfHash(hi), next.ownerOfHash(hi)
+		if from == to {
+			continue
+		}
+		pair := [2]int{from, to}
+		rs := out[pair]
+		if n := len(rs); n > 0 && rs[n-1].Hi == lo && i > 0 {
+			rs[n-1].Hi = hi // extend the previous contiguous arc
+		} else {
+			rs = append(rs, corpus.KeyRange{Lo: lo, Hi: hi})
+		}
+		out[pair] = rs
 	}
 	return out
 }

@@ -14,14 +14,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cbi/internal/corpus"
 	"cbi/internal/obs"
+	"cbi/internal/ratelimit"
 )
 
 // RouterConfig configures a Router.
 type RouterConfig struct {
 	// Backends are the collector base URLs (e.g. "http://host:7575"),
 	// one per shard. Order is the shard numbering; it must match the
-	// gateway's.
+	// gateway's. Backends added later via POST /v1/ring take the next
+	// slot numbers; slots are never reused.
 	Backends []string
 	// QueueSize bounds each backend's pending-forward queue in batches
 	// (default 256). A full queue sheds with 429 instead of buffering
@@ -32,6 +35,11 @@ type RouterConfig struct {
 	// Vnodes is the virtual-node count per backend on the hash ring
 	// (default 64).
 	Vnodes int
+	// MigrationBuffer bounds, in batches, the writes parked per
+	// migration while its key ranges are paused for cutover (default
+	// 1024). A full buffer sheds with 429 + Retry-After; nothing acked
+	// is ever dropped.
+	MigrationBuffer int
 	// HealthInterval is the backend /healthz polling period (default
 	// 2s). Health checks both detect outages and bring failed backends
 	// back into rotation.
@@ -46,9 +54,18 @@ type RouterConfig struct {
 	PlanFrom string
 	// APIKey, when set, is presented (Bearer) on router-originated
 	// write requests to backends — today the POST /v1/revoke repair
-	// calls. Forwarded client batches carry the client's own
-	// Authorization header instead.
+	// calls — and required (Bearer) on POST /v1/ring topology changes.
+	// Forwarded client batches carry the client's own Authorization
+	// header instead.
 	APIKey string
+	// RateLimit, when positive, caps each API key's sustained write rate
+	// on POST /v1/reports in requests per second (the bucket key falls
+	// back to the client address when no Authorization header is
+	// presented). Limited requests get 429 with a Retry-After.
+	RateLimit float64
+	// RateBurst is the rate limiter's burst allowance (default
+	// 2*RateLimit).
+	RateBurst int
 	// Metrics, when set, is the registry the router's metrics register
 	// into; nil creates a private one. Served at GET /metrics, and the
 	// source /v1/stats reads from.
@@ -66,9 +83,15 @@ type RouterConfig struct {
 // liveness flag flipped by forward errors and health probes, and a
 // bounded queue drained by forward workers.
 type backend struct {
-	url   string
-	up    atomic.Bool
-	queue chan *job
+	slot int
+	url  string
+	up   atomic.Bool
+	// active is false once a resize has removed this slot from the
+	// topology: no new writes route here, but the workers keep draining
+	// whatever is still queued.
+	active   atomic.Bool
+	queue    chan *job
+	inflight atomic.Int64 // jobs dequeued whose forward hasn't finished
 
 	// revoked holds batch ids that were possibly applied here before the
 	// backend went dark and were then re-routed (so a second shard also
@@ -122,13 +145,62 @@ func (b *backend) requeueRevokes(ids []string) {
 }
 
 // job is one client batch in flight: the opaque body plus the header
-// subset the collector cares about, and the failover order to walk if
-// the preferred backend is down.
+// subset the collector cares about, the routing key it was placed by,
+// and the failover order to walk if the preferred backend is down.
 type job struct {
 	body    []byte
 	header  http.Header
+	key     string
 	order   []int // failover order; order[0] is the consistent-hash owner
 	attempt int   // index into order currently being tried
+}
+
+// Migration states. A migration covers the key ranges one resize moves
+// from one backend to another; writes into those ranges route by state:
+//
+//	forwarding — still to the old owner, whose run log retains them for
+//	             export (the streaming phase);
+//	buffering  — parked in a bounded router-side buffer while the
+//	             controller drains the source and ships the final chunk
+//	             (the brief pause before cutover);
+//	done       — to the new owner; the cutover flushed the buffer there.
+const (
+	migForwarding = int32(iota)
+	migBuffering
+	migDone
+)
+
+func migStateName(s int32) string {
+	switch s {
+	case migForwarding:
+		return "forwarding"
+	case migBuffering:
+		return "buffering"
+	case migDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// migration is the router's routing state for one (from, to) backend
+// pair of an in-flight resize.
+type migration struct {
+	id     string
+	from   int
+	to     int
+	ranges []corpus.KeyRange
+	state  atomic.Int32
+
+	mu  sync.Mutex
+	buf []*job
+}
+
+// resizeOp is one in-flight topology change: the slot being added or
+// removed and the per-pair migrations that carry its key ranges.
+type resizeOp struct {
+	action string // "add" or "remove"
+	slot   int
+	migs   []*migration
 }
 
 // Router is the write-path front of a sharded collector deployment. It
@@ -139,12 +211,26 @@ type job struct {
 // backend in the key's failover order; the collector-side batch-id
 // dedup keeps retries across that transition from double-counting on
 // any single shard.
+//
+// The topology is elastic: POST /v1/ring stages a resize, the
+// migration controller (internal/migrate) streams the moving state
+// shard-to-shard, and per-range migration states route writes so that
+// nothing is lost or double-counted while ownership moves.
 type Router struct {
-	cfg      RouterConfig
-	ring     *ring
-	backends []*backend
-	hc       *http.Client
-	logf     func(string, ...any)
+	cfg     RouterConfig
+	hc      *http.Client
+	logf    func(string, ...any)
+	limiter *ratelimit.PerKey
+
+	// topoMu guards the serving topology: the ring, the backend list
+	// (append-only; slots are stable), and the in-flight resize. The
+	// hot path takes it shared for one ring lookup per request.
+	topoMu      sync.RWMutex
+	ring        *ring
+	next        *ring // target ring while resize != nil
+	resize      *resizeOp
+	backends    []*backend
+	ringVersion uint64
 
 	// Counters are registry metrics: /v1/stats and /metrics read the
 	// same objects (see METRICS.md for the exported names).
@@ -157,6 +243,18 @@ type Router struct {
 	planErrors    *obs.Counter // GET /v1/plan relays that failed (502/503)
 	revokesSent   *obs.Counter // batch ids delivered to recovered backends' /v1/revoke
 	revokeErrors  *obs.Counter // failed revoke deliveries (ids requeued)
+	rateLimited   *obs.Counter // writes refused by the per-key rate limit
+	bufferedTotal *obs.Counter // writes parked in a migration buffer
+	bufferRejects *obs.Counter // writes shed because a migration buffer was full
+	cutovers      *obs.Counter // migrations cut over to their new owner
+
+	routedVec   *obs.CounterVec
+	failedVec   *obs.CounterVec
+	reroutedVec *obs.CounterVec
+	transVec    *obs.CounterVec
+	depthVec    *obs.GaugeVec
+	upVec       *obs.GaugeVec
+	inflightVec *obs.GaugeVec
 
 	handler http.Handler
 	wg      sync.WaitGroup
@@ -177,6 +275,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
+	if cfg.MigrationBuffer <= 0 {
+		cfg.MigrationBuffer = 1024
+	}
 	if cfg.HealthInterval <= 0 {
 		cfg.HealthInterval = 2 * time.Second
 	}
@@ -188,12 +289,14 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Router{
-		cfg:    cfg,
-		ring:   newRing(len(cfg.Backends), cfg.Vnodes),
-		hc:     &http.Client{Timeout: cfg.ForwardTimeout},
-		logf:   cfg.Logf,
-		ctx:    ctx,
-		cancel: cancel,
+		cfg:         cfg,
+		ring:        newRing(len(cfg.Backends), cfg.Vnodes),
+		hc:          &http.Client{Timeout: cfg.ForwardTimeout},
+		logf:        cfg.Logf,
+		limiter:     ratelimit.New(cfg.RateLimit, cfg.RateBurst),
+		ringVersion: 1,
+		ctx:         ctx,
+		cancel:      cancel,
 	}
 	m := cfg.Metrics
 	if m == nil {
@@ -216,42 +319,72 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		"Re-routed batch ids delivered to a recovered backend's /v1/revoke.")
 	r.revokeErrors = m.Counter("cbi_router_revoke_errors_total",
 		"Failed /v1/revoke deliveries to recovered backends (ids requeued).")
-	routedVec := m.CounterVec("cbi_router_backend_routed_total",
-		"Batches enqueued to this backend.", "backend")
-	failedVec := m.CounterVec("cbi_router_backend_failed_total",
-		"Forward attempts to this backend that errored or were refused.", "backend")
-	reroutedVec := m.CounterVec("cbi_router_backend_rerouted_total",
-		"Failover batches this backend took over from a down peer.", "backend")
-	transVec := m.CounterVec("cbi_router_backend_health_transitions_total",
-		"Times this backend flipped between up and down.", "backend")
-	depthVec := m.GaugeVec("cbi_router_backend_queue_depth",
-		"Batches waiting on this backend's forward queue.", "backend")
-	upVec := m.GaugeVec("cbi_router_backend_up",
-		"1 while this backend is considered live, else 0.", "backend")
-	for i, u := range cfg.Backends {
-		bi := strconv.Itoa(i)
-		b := &backend{
-			url:         u,
-			queue:       make(chan *job, cfg.QueueSize),
-			routed:      routedVec.With(bi),
-			failed:      failedVec.With(bi),
-			rerouted:    reroutedVec.With(bi),
-			transitions: transVec.With(bi),
-		}
-		b.up.Store(true) // optimistic: the first failed forward flips it
-		depthVec.WithFunc(func() float64 { return float64(len(b.queue)) }, bi)
-		upVec.WithFunc(func() float64 {
-			if b.up.Load() {
-				return 1
+	r.rateLimited = m.Counter("cbi_auth_rate_limited_total",
+		"Write requests refused with 429 by the per-key rate limit.")
+	r.bufferedTotal = m.Counter("cbi_router_migration_buffered_total",
+		"Writes parked in a migration buffer while their key range was paused for cutover.")
+	r.bufferRejects = m.Counter("cbi_router_migration_buffer_rejects_total",
+		"Writes shed with 429 because a paused migration's buffer was full.")
+	r.cutovers = m.Counter("cbi_router_migration_cutovers_total",
+		"Migrations cut over: buffered writes flushed to the new owner.")
+	m.GaugeFunc("cbi_router_ring_version",
+		"Version of the topology the router currently serves (bumped per committed resize).", func() float64 {
+			r.topoMu.RLock()
+			defer r.topoMu.RUnlock()
+			return float64(r.ringVersion)
+		})
+	m.GaugeFunc("cbi_router_migrations_active",
+		"Per-pair migrations of the in-flight resize not yet cut over.", func() float64 {
+			r.topoMu.RLock()
+			defer r.topoMu.RUnlock()
+			if r.resize == nil {
+				return 0
 			}
-			return 0
-		}, bi)
-		r.backends = append(r.backends, b)
+			n := 0
+			for _, mg := range r.resize.migs {
+				if mg.state.Load() != migDone {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	m.GaugeFunc("cbi_router_migration_buffered",
+		"Writes currently parked in migration buffers awaiting cutover.", func() float64 {
+			r.topoMu.RLock()
+			defer r.topoMu.RUnlock()
+			if r.resize == nil {
+				return 0
+			}
+			n := 0
+			for _, mg := range r.resize.migs {
+				mg.mu.Lock()
+				n += len(mg.buf)
+				mg.mu.Unlock()
+			}
+			return float64(n)
+		})
+	r.routedVec = m.CounterVec("cbi_router_backend_routed_total",
+		"Batches enqueued to this backend.", "backend")
+	r.failedVec = m.CounterVec("cbi_router_backend_failed_total",
+		"Forward attempts to this backend that errored or were refused.", "backend")
+	r.reroutedVec = m.CounterVec("cbi_router_backend_rerouted_total",
+		"Failover batches this backend took over from a down peer.", "backend")
+	r.transVec = m.CounterVec("cbi_router_backend_health_transitions_total",
+		"Times this backend flipped between up and down.", "backend")
+	r.depthVec = m.GaugeVec("cbi_router_backend_queue_depth",
+		"Batches waiting on this backend's forward queue.", "backend")
+	r.upVec = m.GaugeVec("cbi_router_backend_up",
+		"1 while this backend is considered live, else 0.", "backend")
+	r.inflightVec = m.GaugeVec("cbi_router_backend_inflight",
+		"Batches dequeued for this backend whose forward has not finished.", "backend")
+	for _, u := range cfg.Backends {
+		r.addBackendLocked(u)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/reports", r.handleReports)
 	mux.HandleFunc("/v1/stats", r.handleStats)
 	mux.HandleFunc("/v1/plan", r.handlePlan)
+	mux.HandleFunc("/v1/ring", r.handleRing)
 	mux.HandleFunc("/healthz", r.handleHealthz)
 	mux.Handle("/metrics", m.Handler())
 	if cfg.EnablePprof {
@@ -259,19 +392,55 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	r.handler = obs.NewHTTP(obs.HTTPConfig{
 		Registry:    m,
-		Paths:       []string{"/v1/reports", "/v1/stats", "/v1/plan", "/healthz", "/metrics"},
+		Paths:       []string{"/v1/reports", "/v1/stats", "/v1/plan", "/v1/ring", "/healthz", "/metrics"},
 		SlowRequest: cfg.SlowRequest,
 		Logf:        cfg.Logf,
 	}).Wrap(mux)
-	for i, b := range r.backends {
-		for w := 0; w < cfg.Workers; w++ {
-			r.wg.Add(1)
-			go r.forwardLoop(i, b)
-		}
-	}
 	r.wg.Add(1)
 	go r.healthLoop()
 	return r, nil
+}
+
+// addBackendLocked appends a backend at the next slot and starts its
+// forward workers. Callers hold topoMu (or are still inside NewRouter,
+// before the handler is reachable).
+func (r *Router) addBackendLocked(url string) *backend {
+	slot := len(r.backends)
+	bi := strconv.Itoa(slot)
+	b := &backend{
+		slot:        slot,
+		url:         url,
+		queue:       make(chan *job, r.cfg.QueueSize),
+		routed:      r.routedVec.With(bi),
+		failed:      r.failedVec.With(bi),
+		rerouted:    r.reroutedVec.With(bi),
+		transitions: r.transVec.With(bi),
+	}
+	b.up.Store(true) // optimistic: the first failed forward flips it
+	b.active.Store(true)
+	r.depthVec.WithFunc(func() float64 { return float64(len(b.queue)) }, bi)
+	r.upVec.WithFunc(func() float64 {
+		if b.up.Load() {
+			return 1
+		}
+		return 0
+	}, bi)
+	r.inflightVec.WithFunc(func() float64 { return float64(b.inflight.Load()) }, bi)
+	r.backends = append(r.backends, b)
+	for w := 0; w < r.cfg.Workers; w++ {
+		r.wg.Add(1)
+		go r.forwardLoop(slot, b)
+	}
+	return b
+}
+
+// backendSnapshot returns the current backend list. The slice is
+// append-only under topoMu, so a length-capped shallow copy is a
+// consistent view.
+func (r *Router) backendSnapshot() []*backend {
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
+	return r.backends[:len(r.backends):len(r.backends)]
 }
 
 // Handler returns the router's HTTP handler.
@@ -307,10 +476,37 @@ var forwardedHeaders = []string{
 // request cap).
 const maxForwardBody = 64 << 20
 
+// rateLimit enforces the per-key write rate limit, keyed by the
+// presented Authorization header (each API key gets its own budget)
+// with the client address as fallback. It writes the 429 + Retry-After
+// itself on a limited request. No-op when RateLimit is unset.
+func (r *Router) rateLimit(w http.ResponseWriter, req *http.Request) bool {
+	if r.limiter == nil {
+		return true
+	}
+	key := req.Header.Get("Authorization")
+	if key == "" {
+		key = req.RemoteAddr
+		if host, _, err := net.SplitHostPort(req.RemoteAddr); err == nil {
+			key = host
+		}
+	}
+	ok, retry := r.limiter.Allow(key, time.Now())
+	if !ok {
+		r.rateLimited.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(ratelimit.RetrySeconds(retry)))
+		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+	}
+	return ok
+}
+
 func (r *Router) handleReports(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if !r.rateLimit(w, req) {
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxForwardBody))
@@ -318,25 +514,79 @@ func (r *Router) handleReports(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	order := r.ring.order(routingKey(req))
-	hdr := make(http.Header, len(forwardedHeaders))
+	key := routingKey(req)
+	h := hashKey(key)
+	hdr := make(http.Header, len(forwardedHeaders)+1)
 	for _, k := range forwardedHeaders {
 		if v := req.Header.Get(k); v != "" {
 			hdr.Set(k, v)
 		}
 	}
-	j := &job{body: body, header: hdr, order: order}
+	// Stamp the routing-key hash so the owning collector tags the
+	// batch's runs with exactly the circle position the router placed
+	// them by — the tag a later migration selects runs by.
+	hdr.Set("X-CBI-Routing-Key", strconv.FormatUint(h, 10))
+	j := &job{body: body, header: hdr, key: key}
+
+	r.topoMu.RLock()
+	mg := r.lookupMigrationLocked(h)
+	var order []int
+	switch {
+	case mg != nil && mg.state.Load() == migBuffering:
+		r.topoMu.RUnlock()
+		// The range is paused for cutover: park the write (bounded) so
+		// the controller can drain the source and ship the final chunk
+		// without a moving target. Acked now, delivered to the new
+		// owner at cutover — exactly one ack, exactly one delivery.
+		mg.mu.Lock()
+		if mg.state.Load() != migBuffering {
+			// Cutover raced us between the state read and the lock; the
+			// flush already drained the buffer, so route normally below.
+			mg.mu.Unlock()
+		} else {
+			if len(mg.buf) >= r.cfg.MigrationBuffer {
+				mg.mu.Unlock()
+				r.bufferRejects.Add(1)
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "migration buffer full", http.StatusTooManyRequests)
+				return
+			}
+			mg.buf = append(mg.buf, j)
+			mg.mu.Unlock()
+			r.bufferedTotal.Add(1)
+			r.accepted.Add(1)
+			w.WriteHeader(http.StatusAccepted)
+			io.WriteString(w, `{"buffered":true}`)
+			return
+		}
+		r.topoMu.RLock()
+		order = r.routeOrderLocked(key, h)
+		r.topoMu.RUnlock()
+	case mg != nil && mg.state.Load() == migDone:
+		// Cut over: the new owner serves this range even though the
+		// serving ring still names the old one until commit.
+		order = orderVia(r.next, key, mg.to)
+		r.topoMu.RUnlock()
+	default:
+		// No resize in flight for this key, or its migration is still
+		// forwarding — the serving ring's owner is the range's source,
+		// whose run log retains what the export will stream.
+		order = r.ring.order(key)
+		r.topoMu.RUnlock()
+	}
 
 	// Enqueue on the first *live* backend in the key's failover order.
 	// A full queue on the owner sheds with 429 rather than spilling to
 	// the next shard: overload is not an outage, and spilling would
 	// smear a client's runs across shards every load spike.
+	backends := r.backendSnapshot()
 	for _, bi := range order {
-		b := r.backends[bi]
-		if !b.up.Load() {
+		b := backends[bi]
+		if !b.up.Load() || !b.active.Load() {
 			continue
 		}
 		j.attempt = indexOf(order, bi)
+		j.order = order
 		select {
 		case b.queue <- j:
 			b.routed.Add(1)
@@ -357,6 +607,47 @@ func (r *Router) handleReports(w http.ResponseWriter, req *http.Request) {
 	r.noShards.Add(1)
 	w.Header().Set("Retry-After", "2")
 	http.Error(w, "no live shard", http.StatusServiceUnavailable)
+}
+
+// routeOrderLocked computes the failover order for a key under topoMu,
+// honoring a done migration covering its hash (post-cutover keys go to
+// the new owner before commit).
+func (r *Router) routeOrderLocked(key string, h uint64) []int {
+	if mg := r.lookupMigrationLocked(h); mg != nil && mg.state.Load() == migDone {
+		return orderVia(r.next, key, mg.to)
+	}
+	return r.ring.order(key)
+}
+
+// lookupMigrationLocked returns the in-flight migration covering the
+// key hash, or nil. Callers hold topoMu. Migrations of one resize
+// cover disjoint arcs, so at most one matches.
+func (r *Router) lookupMigrationLocked(h uint64) *migration {
+	if r.resize == nil {
+		return nil
+	}
+	for _, mg := range r.resize.migs {
+		if corpus.InRanges(h, mg.ranges) {
+			return mg
+		}
+	}
+	return nil
+}
+
+// orderVia builds a failover order for key from the given ring,
+// guaranteeing `first` leads it. The migration's destination owns the
+// key on the target ring by construction; pinning it first keeps that
+// true even at the boundary hash of a coalesced arc.
+func orderVia(rg *ring, key string, first int) []int {
+	order := rg.order(key)
+	out := make([]int, 0, len(order)+1)
+	out = append(out, first)
+	for _, bi := range order {
+		if bi != first {
+			out = append(out, bi)
+		}
+	}
+	return out
 }
 
 func indexOf(order []int, b int) int {
@@ -382,8 +673,8 @@ func (r *Router) handlePlan(w http.ResponseWriter, req *http.Request) {
 	}
 	source := r.cfg.PlanFrom
 	if source == "" {
-		for _, b := range r.backends {
-			if b.up.Load() {
+		for _, b := range r.backendSnapshot() {
+			if b.up.Load() && b.active.Load() {
 				source = b.url
 				break
 			}
@@ -441,7 +732,9 @@ func (r *Router) forwardLoop(bi int, b *backend) {
 		case <-r.ctx.Done():
 			return
 		case j := <-b.queue:
+			b.inflight.Add(1)
 			r.forward(bi, b, j)
+			b.inflight.Add(-1)
 		}
 	}
 }
@@ -512,9 +805,10 @@ func (r *Router) forward(bi int, b *backend, j *job) {
 // caller only schedules a duplicate-repair revoke when it did; a
 // dropped job has no second copy to reconcile.
 func (r *Router) reroute(j *job) bool {
+	backends := r.backendSnapshot()
 	for next := j.attempt + 1; next < len(j.order); next++ {
-		b := r.backends[j.order[next]]
-		if !b.up.Load() {
+		b := backends[j.order[next]]
+		if !b.up.Load() || !b.active.Load() {
 			continue
 		}
 		j.attempt = next
@@ -547,7 +841,10 @@ func (r *Router) healthLoop() {
 		case <-r.ctx.Done():
 			return
 		case <-t.C:
-			for i, b := range r.backends {
+			for i, b := range r.backendSnapshot() {
+				if !b.active.Load() {
+					continue
+				}
 				up := r.probe(b)
 				if up != b.up.Load() {
 					b.up.Store(up)
@@ -624,9 +921,12 @@ func (r *Router) probe(b *backend) bool {
 
 // BackendStats is one backend's row in the router's /v1/stats.
 type BackendStats struct {
+	Slot       int    `json:"slot"`
 	URL        string `json:"url"`
 	Up         bool   `json:"up"`
+	Active     bool   `json:"active"`
 	QueueDepth int    `json:"queue_depth"`
+	Inflight   int64  `json:"inflight"`
 	Routed     int64  `json:"routed"`
 	Rerouted   int64  `json:"rerouted"`
 	Failed     int64  `json:"failed"`
@@ -635,6 +935,7 @@ type BackendStats struct {
 // RouterStats is the router's GET /v1/stats response.
 type RouterStats struct {
 	Backends      []BackendStats `json:"backends"`
+	RingVersion   uint64         `json:"ring_version"`
 	Accepted      int64          `json:"accepted"`
 	Shed          int64          `json:"shed"`
 	NoShards      int64          `json:"no_shards"`
@@ -643,12 +944,20 @@ type RouterStats struct {
 	PlanErrors    int64          `json:"plan_errors"`
 	RevokesSent   int64          `json:"revokes_sent"`
 	RevokeErrors  int64          `json:"revoke_errors"`
+	RateLimited   int64          `json:"rate_limited"`
+	Buffered      int64          `json:"migration_buffered"`
+	BufferRejects int64          `json:"migration_buffer_rejects"`
+	Cutovers      int64          `json:"migration_cutovers"`
 }
 
 // StatsNow captures the router's counters — the same registry objects
 // /metrics renders, so the two surfaces always agree.
 func (r *Router) StatsNow() RouterStats {
+	r.topoMu.RLock()
+	version := r.ringVersion
+	r.topoMu.RUnlock()
 	st := RouterStats{
+		RingVersion:   version,
 		Accepted:      r.accepted.Value(),
 		Shed:          r.shed.Value(),
 		NoShards:      r.noShards.Value(),
@@ -657,12 +966,19 @@ func (r *Router) StatsNow() RouterStats {
 		PlanErrors:    r.planErrors.Value(),
 		RevokesSent:   r.revokesSent.Value(),
 		RevokeErrors:  r.revokeErrors.Value(),
+		RateLimited:   r.rateLimited.Value(),
+		Buffered:      r.bufferedTotal.Value(),
+		BufferRejects: r.bufferRejects.Value(),
+		Cutovers:      r.cutovers.Value(),
 	}
-	for _, b := range r.backends {
+	for _, b := range r.backendSnapshot() {
 		st.Backends = append(st.Backends, BackendStats{
+			Slot:       b.slot,
 			URL:        b.url,
 			Up:         b.up.Load(),
+			Active:     b.active.Load(),
 			QueueDepth: len(b.queue),
+			Inflight:   b.inflight.Load(),
 			Routed:     b.routed.Value(),
 			Rerouted:   b.rerouted.Value(),
 			Failed:     b.failed.Value(),
@@ -688,8 +1004,8 @@ func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 // handleHealthz reports 200 while at least one backend is live —
 // the router can still place work somewhere.
 func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
-	for _, b := range r.backends {
-		if b.up.Load() {
+	for _, b := range r.backendSnapshot() {
+		if b.up.Load() && b.active.Load() {
 			w.WriteHeader(http.StatusOK)
 			io.WriteString(w, "ok\n")
 			return
@@ -698,29 +1014,28 @@ func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	http.Error(w, "no live backend", http.StatusServiceUnavailable)
 }
 
-// Drain waits (up to timeout) for every backend queue to empty, so
-// tests and shutdowns can establish that all acked batches have been
-// forwarded.
+// Drain waits (up to timeout) for every backend queue to empty and
+// every in-flight forward to land, so tests and shutdowns can establish
+// that all acked batches have been forwarded.
 func (r *Router) Drain(timeout time.Duration) error {
+	depth := func() int {
+		d := 0
+		for _, b := range r.backendSnapshot() {
+			d += len(b.queue) + int(b.inflight.Load())
+		}
+		return d
+	}
 	deadline := time.Now().Add(timeout)
 	for {
-		depth := 0
-		for _, b := range r.backends {
-			depth += len(b.queue)
-		}
-		if depth == 0 {
+		if depth() == 0 {
 			// Queues empty; give in-flight forwards a beat to land.
 			time.Sleep(20 * time.Millisecond)
-			depth = 0
-			for _, b := range r.backends {
-				depth += len(b.queue)
-			}
-			if depth == 0 {
+			if depth() == 0 {
 				return nil
 			}
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("shard: router drain timed out with %d queued", depth)
+			return fmt.Errorf("shard: router drain timed out with %d queued", depth())
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
