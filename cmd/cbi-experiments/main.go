@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	cbi-experiments [-scale smoke|default|paper] [-table all|1|2|3|4|5|6|7|8|9]
-//	                [-stacks] [-ablate discard|dedup|sampling|all]
+//	cbi-experiments [-scale smoke|default|paper] [-table all|1|2|3|4|5|6|7|8|9|engines]
+//	                [-subjects a,b,...] [-stacks] [-ablate discard|dedup|sampling|all]
 //	                [-runs N] [-workers N]
 //
 // Absolute numbers differ from the paper (different subjects, different
@@ -24,7 +24,8 @@ import (
 
 func main() {
 	scaleName := flag.String("scale", "default", "experiment scale: smoke, default, or paper")
-	table := flag.String("table", "all", "table to regenerate: all or 1-9")
+	table := flag.String("table", "all", "table to regenerate: all, 1-9, or engines")
+	subjectsFlag := flag.String("subjects", "moss,ccrypt,bc,exif,rhythmbox", "comma-separated subjects for the engine comparison table")
 	stacks := flag.Bool("stacks", false, "run the stack-signature study (§6)")
 	ablate := flag.String("ablate", "", "ablation to run: discard, dedup, sampling, nullness, or all")
 	runs := flag.Int("runs", 0, "override the number of monitored runs per subject")
@@ -96,6 +97,24 @@ func main() {
 		section("Table 9: l1-regularized logistic regression on MOSS", func() {
 			fmt.Print(experiments.RunTable9(r).Render())
 		})
+	}
+	if want("engines") {
+		var subjectList []string
+		for _, s := range strings.Split(*subjectsFlag, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				subjectList = append(subjectList, s)
+			}
+		}
+		tbl := experiments.RunEngineTable(r, subjectList, 20)
+		if *table == "engines" {
+			// Bare output (no section header or timing) so CI can diff
+			// the table rows against the committed EXPERIMENTS.md block.
+			fmt.Print(tbl.RenderMarkdown())
+		} else {
+			section("Engine comparison: ground-truth scorecard (see ENGINES.md)", func() {
+				fmt.Print(tbl.RenderMarkdown())
+			})
+		}
 	}
 	if *stacks || all {
 		section("§6: stack-signature clustering baseline", func() {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"cbi/internal/collector"
+	"cbi/internal/core"
 	"cbi/internal/harness"
 	"cbi/internal/instrument"
 	"cbi/internal/report"
@@ -301,6 +302,7 @@ func cmdPredictors(args []string) error {
 	addr := fs.String("addr", "http://localhost:7575", "collector base URL")
 	top := fs.Int("top", 12, "max predictors to fetch (0 = no cap)")
 	affinityK := fs.Int("affinity", 3, "affinity entries per predictor (0 = none)")
+	engine := fs.String("engine", "", "scoring engine (see ENGINES.md; default: the paper's iterative elimination)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -313,6 +315,22 @@ func cmdPredictors(args []string) error {
 	}
 	fmt.Printf("collector: %d retained runs of %d ingested (%d failing), run-log cap %d, %d evicted\n",
 		stats.RunLogRuns, stats.ReportsApplied, stats.Failing, stats.RunLogCap, stats.RunLogEvicted)
+	if *engine != "" && *engine != core.DefaultEngineName {
+		rows, err := client.EnginePredictors(ctx, *engine, *top)
+		if err != nil {
+			return err
+		}
+		if len(rows) == 0 {
+			fmt.Printf("engine %q selected no predictors (no failing runs in the retained window?)\n", *engine)
+			return nil
+		}
+		fmt.Printf("live ranked bug predictors (engine %s):\n", *engine)
+		for _, e := range rows {
+			fmt.Printf("%2d. pred %5d  score=%.4f  F=%d S=%d  Fobs=%d Sobs=%d\n",
+				e.Rank, e.Pred, e.Score, e.F, e.S, e.Fobs, e.Sobs)
+		}
+		return nil
+	}
 	preds, err := client.Predictors(ctx, *top, *affinityK)
 	if err != nil {
 		return err

@@ -31,6 +31,7 @@ func cmdRoute(args []string) error {
 	health := fs.Duration("health-every", 2*time.Second, "backend health-probe interval")
 	migBuffer := fs.Int("migration-buffer", 1024, "writes parked per migration while its key ranges are paused for cutover")
 	planFrom := fs.String("plan-from", "", "base URL GET /v1/plan is forwarded to (default: first live backend; point at the gateway in planner deployments)")
+	readFrom := fs.String("read-from", "", "base URL GET /v1/predictors and /v1/compare are relayed to (default: first live backend; point at the gateway for merged fleet-wide rankings)")
 	key := fs.String("key", "", "API key presented on router-originated /v1/revoke calls to backends, and required on POST /v1/ring topology changes")
 	rateLimit := fs.Float64("rate-limit", 0, "per-key write rate limit on /v1/reports in requests per second (0 = unlimited)")
 	rateBurst := fs.Int("rate-burst", 0, "write rate-limit burst allowance (0 = 2x -rate-limit)")
@@ -50,6 +51,7 @@ func cmdRoute(args []string) error {
 		MigrationBuffer: *migBuffer,
 		HealthInterval:  *health,
 		PlanFrom:        strings.TrimSuffix(strings.TrimSpace(*planFrom), "/"),
+		ReadFrom:        strings.TrimSuffix(strings.TrimSpace(*readFrom), "/"),
 		APIKey:          *key,
 		RateLimit:       *rateLimit,
 		RateBurst:       *rateBurst,

@@ -14,6 +14,7 @@ import (
 var docFiles = []string{
 	"README.md",
 	"DESIGN.md",
+	"ENGINES.md",
 	"EXPERIMENTS.md",
 	"METRICS.md",
 	"OPERATIONS.md",

@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -381,6 +383,31 @@ func (c *Client) Predictors(ctx context.Context, k, affinityK int) ([]PredictorE
 		return nil, err
 	}
 	return out, nil
+}
+
+// EnginePredictors fetches GET /v1/predictors?engine=<name>: the named
+// scoring engine's ranked predicate list (k caps it, 0 = no cap). The
+// default engine's richer entries — thermometers, affinity lists —
+// are fetched with Predictors instead. An unknown engine surfaces the
+// server's 400, which names the registered engines.
+func (c *Client) EnginePredictors(ctx context.Context, engine string, k int) ([]EngineEntry, error) {
+	var out []EngineEntry
+	path := fmt.Sprintf("/v1/predictors?engine=%s&k=%d", url.QueryEscape(engine), k)
+	if err := c.getJSON(ctx, path, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Compare fetches GET /v1/compare: each named engine's top-k ranking
+// over the same run window plus pairwise rank agreement.
+func (c *Client) Compare(ctx context.Context, engines []string, k int) (*CompareResponse, error) {
+	var out CompareResponse
+	path := fmt.Sprintf("/v1/compare?engines=%s&k=%d", url.QueryEscape(strings.Join(engines, ",")), k)
+	if err := c.getJSON(ctx, path, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Healthy reports whether GET /healthz returns 200.

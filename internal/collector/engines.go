@@ -1,0 +1,264 @@
+package collector
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cbi/internal/core"
+
+	// The logreg and stacktrace engines register themselves with the
+	// core engine registry from package init; the serving tier links
+	// them here so every /v1/predictors deployment offers the full
+	// engine set.
+	_ "cbi/internal/logreg"
+	_ "cbi/internal/stacktrace"
+)
+
+// EngineEntry is one row of a non-default GET /v1/predictors?engine=
+// response: the engine's own score plus the predicate's full-window
+// statistics. (The default engine keeps its richer PredictorEntry
+// shape — thermometers, affinity, effective views — unchanged.)
+type EngineEntry struct {
+	Pred  int     `json:"pred"`
+	Rank  int     `json:"rank"`
+	Score float64 `json:"score"`
+	F     int     `json:"f"`
+	S     int     `json:"s"`
+	Fobs  int     `json:"fobs"`
+	Sobs  int     `json:"sobs"`
+}
+
+// EngineEntries renders an engine ranking into response rows — shared
+// by the collector and the shard gateway so the two views marshal
+// identically.
+func EngineEntries(ranked []core.EnginePredictor) []EngineEntry {
+	out := make([]EngineEntry, len(ranked))
+	for i, p := range ranked {
+		out[i] = EngineEntry{
+			Pred:  p.Pred,
+			Rank:  i + 1,
+			Score: p.Score,
+			F:     p.Stats.F,
+			S:     p.Stats.S,
+			Fobs:  p.Stats.Fobs,
+			Sobs:  p.Stats.Sobs,
+		}
+	}
+	return out
+}
+
+// ComparePair is one engine pair's agreement row in GET /v1/compare.
+type ComparePair struct {
+	A string `json:"a"`
+	B string `json:"b"`
+	// Spearman is the rank correlation over the union of the two top-k
+	// lists, an id absent from one list taking rank k+1.
+	Spearman float64 `json:"spearman"`
+	// TopKOverlap is |A∩B| / min(|A|,|B|) over the two top-k sets.
+	TopKOverlap float64 `json:"top_k_overlap"`
+	// Common counts the predicates both rankings contain.
+	Common int `json:"common"`
+}
+
+// CompareResponse is the GET /v1/compare body: each requested engine's
+// top-k ranking over the same run window, plus pairwise agreement.
+type CompareResponse struct {
+	K        int              `json:"k"`
+	Engines  []string         `json:"engines"`
+	Rankings map[string][]int `json:"rankings"`
+	Pairs    []ComparePair    `json:"pairs"`
+}
+
+// unknownEngineError formats the 400 body for an unresolvable ?engine=
+// value: it must name the registered engines so a caller can self-fix.
+func UnknownEngineError(name string) string {
+	return fmt.Sprintf("unknown engine %q; registered engines: %s",
+		name, strings.Join(core.EngineNames(), ", "))
+}
+
+// parseEngines splits and validates a ?engines=a,b,... list. It
+// returns an error string suitable for a 400 body when the list is
+// empty, shorter than two entries, or names an unregistered engine.
+func ParseEngines(param string) ([]string, string) {
+	if strings.TrimSpace(param) == "" {
+		return nil, "missing engines parameter (engines=a,b); registered engines: " +
+			strings.Join(core.EngineNames(), ", ")
+	}
+	var names []string
+	seen := map[string]bool{}
+	for _, n := range strings.Split(param, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if _, ok := core.EngineByName(n); !ok {
+			return nil, UnknownEngineError(n)
+		}
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	if len(names) < 2 {
+		return nil, "need at least two distinct engines to compare (engines=a,b)"
+	}
+	return names, ""
+}
+
+// CompareEngines scores the run log with every named engine and
+// computes pairwise rank agreement. Shared by the collector (its
+// retained window) and the gateway (the merged shard union), so the
+// two tiers answer /v1/compare identically over the same runs. Names
+// must be pre-validated via parseEngines.
+func CompareEngines(in core.Input, names []string, k int) *CompareResponse {
+	resp := &CompareResponse{K: k, Engines: names, Rankings: map[string][]int{}}
+	for _, n := range names {
+		e, ok := core.EngineByName(n)
+		if !ok {
+			continue
+		}
+		ranked := e.Score(in, k)
+		ids := make([]int, len(ranked))
+		for i, p := range ranked {
+			ids[i] = p.Pred
+		}
+		resp.Rankings[n] = ids
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			a, b := resp.Rankings[names[i]], resp.Rankings[names[j]]
+			resp.Pairs = append(resp.Pairs, ComparePair{
+				A:           names[i],
+				B:           names[j],
+				Spearman:    rankCorrelation(a, b, k),
+				TopKOverlap: topKOverlap(a, b),
+				Common:      commonCount(a, b),
+			})
+		}
+	}
+	return resp
+}
+
+// rankCorrelation computes Spearman's rho between two top-k rankings
+// over the union of their members; an id absent from one ranking takes
+// rank k+1 ("beyond the horizon"), so two lists that agree on members
+// but disagree on order score below two that differ in membership
+// only at the tail. Degenerate unions (fewer than two members, or a
+// constant rank vector) return 1 for identical rankings and 0
+// otherwise.
+func rankCorrelation(a, b []int, k int) float64 {
+	posA := rankOf(a)
+	posB := rankOf(b)
+	union := make([]int, 0, len(posA)+len(posB))
+	for id := range posA {
+		union = append(union, id)
+	}
+	for id := range posB {
+		if _, dup := posA[id]; !dup {
+			union = append(union, id)
+		}
+	}
+	if len(union) == 0 {
+		return 1 // two empty rankings agree perfectly
+	}
+	// With k == 0 (no cap) the horizon is just past the longer list.
+	miss := float64(max(k, len(a), len(b)) + 1)
+	var ra, rb []float64
+	for _, id := range union {
+		ra = append(ra, rankOr(posA, id, miss))
+		rb = append(rb, rankOr(posB, id, miss))
+	}
+	return pearson(ra, rb, equalIntSlices(a, b))
+}
+
+func rankOf(ids []int) map[int]int {
+	m := make(map[int]int, len(ids))
+	for i, id := range ids {
+		if _, dup := m[id]; !dup {
+			m[id] = i + 1
+		}
+	}
+	return m
+}
+
+func rankOr(m map[int]int, id int, miss float64) float64 {
+	if r, ok := m[id]; ok {
+		return float64(r)
+	}
+	return miss
+}
+
+// pearson computes the correlation of two equal-length vectors;
+// degenerate variance collapses to 1 when the underlying rankings were
+// identical and 0 otherwise.
+func pearson(x, y []float64, identical bool) float64 {
+	n := float64(len(x))
+	if n < 2 {
+		if identical {
+			return 1
+		}
+		return 0
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		cov += (x[i] - mx) * (y[i] - my)
+		vx += (x[i] - mx) * (x[i] - mx)
+		vy += (y[i] - my) * (y[i] - my)
+	}
+	if vx == 0 || vy == 0 {
+		if identical {
+			return 1
+		}
+		return 0
+	}
+	r := cov / math.Sqrt(vx*vy)
+	// Clamp float noise so JSON consumers can rely on [-1, 1].
+	return math.Max(-1, math.Min(1, r))
+}
+
+func topKOverlap(a, b []int) float64 {
+	inter := commonCount(a, b)
+	n := min(len(a), len(b))
+	if n == 0 {
+		if len(a) == 0 && len(b) == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(inter) / float64(n)
+}
+
+func commonCount(a, b []int) int {
+	in := map[int]bool{}
+	for _, id := range a {
+		in[id] = true
+	}
+	n := 0
+	seen := map[int]bool{}
+	for _, id := range b {
+		if in[id] && !seen[id] {
+			seen[id] = true
+			n++
+		}
+	}
+	return n
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

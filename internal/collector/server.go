@@ -303,6 +303,13 @@ type Server struct {
 	predictorsComputed  *obs.Counter
 	predictorsCacheHits *obs.Counter
 
+	// Per-engine /v1/predictors instrumentation: requests by scoring
+	// engine, cache traffic, and the run-log scoring latency.
+	engineRequests     *obs.CounterVec
+	engineCacheHits    *obs.CounterVec
+	engineCacheMisses  *obs.CounterVec
+	engineScoreSeconds *obs.HistogramVec
+
 	replans            *obs.Counter
 	planPushes         *obs.Counter
 	planFetches        *obs.Counter
@@ -333,13 +340,14 @@ type Server struct {
 	residualCommits *obs.Counter
 	exportPending   *obs.Gauge
 
-	// Cached /v1/predictors response, keyed by query parameters and the
-	// run-log version at computation time; any ingest bumps the version
-	// and thereby invalidates the cache.
-	predMu      sync.Mutex
-	predKey     string
-	predVersion uint64
-	predBody    []byte
+	// Cached /v1/predictors responses, keyed by engine + query
+	// parameters, each remembering the run-log version it was computed
+	// at; any ingest bumps the version and thereby invalidates every
+	// entry. One slot per (engine, k, affinity) combination lets
+	// dashboards poll several engines between ingests without any of
+	// them evicting the others.
+	predMu    sync.Mutex
+	predCache map[string]*predCacheEntry
 
 	// Recently enqueued client batch ids (X-CBI-Batch-ID), so a retry
 	// of a batch whose ack was lost in transit is not ingested twice.
@@ -415,6 +423,7 @@ func New(cfg Config) (*Server, error) {
 		accepting: true,
 		die:       make(chan struct{}),
 		dedupSeen: make(map[string][][]byte),
+		predCache: make(map[string]*predCacheEntry),
 	}
 	if cfg.RunLogSize > 0 && cfg.DeltaHistory >= 0 {
 		// Per-boot epoch: a restarted collector's version counter resets,
@@ -501,6 +510,14 @@ func (s *Server) initMetrics() {
 		"Full cause-isolation eliminations computed for /v1/predictors.")
 	s.predictorsCacheHits = m.Counter("cbi_collector_predictors_cache_hits_total",
 		"/v1/predictors polls served from the version-keyed cache.")
+	s.engineRequests = m.CounterVec("cbi_predictors_engine_requests_total",
+		"GET /v1/predictors requests served, by scoring engine.", "engine")
+	s.engineCacheHits = m.CounterVec("cbi_predictors_engine_cache_hits_total",
+		"/v1/predictors polls answered from the per-engine version-keyed cache.", "engine")
+	s.engineCacheMisses = m.CounterVec("cbi_predictors_engine_cache_misses_total",
+		"/v1/predictors polls that rescored the run log, by engine.", "engine")
+	s.engineScoreSeconds = m.HistogramVec("cbi_predictors_engine_score_seconds",
+		"Run-log scoring latency on /v1/predictors cache misses, by engine.", nil, "engine")
 	s.replans = m.Counter("cbi_collector_replans_total",
 		"Sampling plans published by the local closed-loop planner.")
 	s.planPushes = m.Counter("cbi_collector_plan_pushes_total",
@@ -596,8 +613,8 @@ func (s *Server) initMetrics() {
 	s.httpObs = obs.NewHTTP(obs.HTTPConfig{
 		Registry: m,
 		Paths: []string{"/v1/reports", "/v1/merge", "/v1/revoke", "/v1/snapshot", "/v1/scores",
-			"/v1/predictors", "/v1/stats", "/v1/plan", "/v1/export", "/v1/evict", "/v1/residual",
-			"/healthz", "/metrics"},
+			"/v1/predictors", "/v1/compare", "/v1/stats", "/v1/plan", "/v1/export", "/v1/evict",
+			"/v1/residual", "/healthz", "/metrics"},
 		SlowRequest: s.cfg.SlowRequest,
 		Logf:        s.cfg.Logf,
 	})
@@ -1008,6 +1025,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/v1/scores", s.handleScores)
 	mux.HandleFunc("/v1/predictors", s.handlePredictors)
+	mux.HandleFunc("/v1/compare", s.handleCompare)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/plan", s.handlePlan)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -1460,14 +1478,54 @@ func ScoreEntries(ranked []core.PredScore) []ScoreEntry {
 	return out
 }
 
-// handlePredictors serves the full cause-isolation ranking over the
-// retained run window: core.Eliminate with affinity lists and
-// thermometers, exactly what the batch pipeline produces over the same
-// runs (see BuildPredictors). Query parameters: k caps the ranked list
-// (default 20, 0 = no cap) and affinity caps each predictor's affinity
-// list (default 5, 0 = none). Responses are cached per (k, affinity)
-// and invalidated whenever a run is ingested or evicted, so repeated
-// polls between ingests never rescan the log.
+// predCacheEntry is one cached /v1/predictors body with the run-log
+// version it was computed at.
+type predCacheEntry struct {
+	version uint64
+	body    []byte
+}
+
+// predCacheGet returns the cached body for a query key when it is
+// still current at the given run-log version.
+func (s *Server) predCacheGet(key string, version uint64) []byte {
+	s.predMu.Lock()
+	defer s.predMu.Unlock()
+	if e := s.predCache[key]; e != nil && e.version == version {
+		return e.body
+	}
+	return nil
+}
+
+// predCachePut stores a computed body and prunes every entry the
+// ingest path has since invalidated, so the map stays bounded by the
+// set of (engine, k, affinity) combinations polled at the current
+// version. A hard cap guards against a caller that sweeps k.
+func (s *Server) predCachePut(key string, version uint64, body []byte) {
+	s.predMu.Lock()
+	defer s.predMu.Unlock()
+	for k, e := range s.predCache {
+		if e.version != version {
+			delete(s.predCache, k)
+		}
+	}
+	if len(s.predCache) >= 256 {
+		clear(s.predCache)
+	}
+	s.predCache[key] = &predCacheEntry{version: version, body: body}
+}
+
+// handlePredictors serves ranked bug predictors over the retained run
+// window, scored by a pluggable engine. Query parameters: engine
+// selects the scoring engine (default "eliminate", the paper's
+// pipeline — core.Eliminate with affinity lists and thermometers,
+// exactly what the batch pipeline produces over the same runs; see
+// BuildPredictors and core.EngineNames for the alternatives), k caps
+// the ranked list (default 20, 0 = no cap) and affinity caps each
+// predictor's affinity list (default 5, 0 = none; default engine
+// only). An unknown engine is a 400 naming the registered engines.
+// Responses are cached per (engine, k, affinity) and invalidated
+// whenever a run is ingested or evicted, so repeated polls between
+// ingests never rescan the log — each engine holds its own slot.
 func (s *Server) handlePredictors(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
@@ -1485,19 +1543,26 @@ func (s *Server) handlePredictors(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	key := fmt.Sprintf("k=%d&affinity=%d", k, affinityK)
+	engineName := r.URL.Query().Get("engine")
+	if engineName == "" {
+		engineName = core.DefaultEngineName
+	}
+	eng, ok := core.EngineByName(engineName)
+	if !ok {
+		http.Error(w, UnknownEngineError(engineName), http.StatusBadRequest)
+		return
+	}
+	s.engineRequests.With(engineName).Inc()
+	key := fmt.Sprintf("engine=%s&k=%d&affinity=%d", engineName, k, affinityK)
 
 	version := s.agg.LogVersion()
-	s.predMu.Lock()
-	if s.predBody != nil && s.predKey == key && s.predVersion == version {
-		body := s.predBody
-		s.predMu.Unlock()
+	if body := s.predCacheGet(key, version); body != nil {
 		s.predictorsCacheHits.Add(1)
+		s.engineCacheHits.With(engineName).Inc()
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(body)
 		return
 	}
-	s.predMu.Unlock()
 
 	recs, version, ok := s.agg.LogView()
 	if !ok {
@@ -1510,20 +1575,66 @@ func (s *Server) handlePredictors(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	in := inputFromReports(s.cfg.NumSites, s.cfg.NumPreds, s.cfg.SiteOf, reports)
-	entries := BuildPredictors(in, k, affinityK)
+	s.engineCacheMisses.With(engineName).Inc()
+	start := time.Now()
+	var payload any
+	if engineName == core.DefaultEngineName {
+		payload = BuildPredictors(in, k, affinityK)
+	} else {
+		payload = EngineEntries(eng.Score(in, k))
+	}
+	s.engineScoreSeconds.With(engineName).ObserveDuration(time.Since(start))
 	s.predictorsComputed.Add(1)
 
-	body, err := json.Marshal(entries)
+	body, err := json.Marshal(payload)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	body = append(body, '\n')
-	s.predMu.Lock()
-	s.predKey, s.predVersion, s.predBody = key, version, body
-	s.predMu.Unlock()
+	s.predCachePut(key, version, body)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(body)
+}
+
+// handleCompare serves GET /v1/compare?engines=a,b[&k=20]: every named
+// engine's top-k ranking over the same retained run window, plus
+// pairwise rank agreement (Spearman over the union of the two lists,
+// top-K overlap, common-member count). Side-by-side answers from one
+// snapshot of the log — the engines are never scored against different
+// windows.
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	k := 20
+	if v := r.URL.Query().Get("k"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &k); err != nil || k < 0 {
+			http.Error(w, "bad k", http.StatusBadRequest)
+			return
+		}
+	}
+	names, errMsg := ParseEngines(r.URL.Query().Get("engines"))
+	if errMsg != "" {
+		http.Error(w, errMsg, http.StatusBadRequest)
+		return
+	}
+	recs, _, ok := s.agg.LogView()
+	if !ok {
+		http.Error(w, "run log disabled (collector started with RunLogSize < 0)", http.StatusNotImplemented)
+		return
+	}
+	reports, err := decodeRecords(recs, s.cfg.NumSites, s.cfg.NumPreds)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	in := inputFromReports(s.cfg.NumSites, s.cfg.NumPreds, s.cfg.SiteOf, reports)
+	for _, n := range names {
+		s.engineRequests.With(n).Inc()
+	}
+	writeJSON(w, CompareEngines(in, names, k))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"cbi/internal/report"
+)
+
+func TestEngineRegistry(t *testing.T) {
+	names := EngineNames()
+	for _, want := range []string{"eliminate", "importance", "ochiai", "tarantula", "jaccard"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("built-in engine %q not registered (have %v)", want, names)
+		}
+	}
+	if _, ok := EngineByName("no-such-engine"); ok {
+		t.Error("EngineByName returned an unregistered engine")
+	}
+	e, ok := EngineByName(DefaultEngineName)
+	if !ok || e.Name() != DefaultEngineName {
+		t.Fatalf("default engine %q not resolvable", DefaultEngineName)
+	}
+	// Names are sorted for stable 400 bodies and docs.
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("EngineNames not sorted: %v", names)
+		}
+	}
+}
+
+func TestMeasureFormulas(t *testing.T) {
+	st := Stats{F: 8, S: 2, Fobs: 10, Sobs: 10}
+	numF, numS := 10, 40
+
+	if got, want := Ochiai(st, numF, numS), 8/math.Sqrt(10*10.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Ochiai = %v, want %v", got, want)
+	}
+	// fr = 0.8, sr = 0.05 → 0.8/0.85
+	if got, want := Tarantula(st, numF, numS), 0.8/0.85; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Tarantula = %v, want %v", got, want)
+	}
+	if got, want := Jaccard(st, numF, numS), 8.0/12.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Jaccard = %v, want %v", got, want)
+	}
+
+	// Degenerate inputs score 0, never NaN/Inf.
+	zero := Stats{}
+	for name, fn := range map[string]MeasureFunc{"ochiai": Ochiai, "tarantula": Tarantula, "jaccard": Jaccard} {
+		if got := fn(zero, 0, 0); got != 0 {
+			t.Errorf("%s on empty stats = %v, want 0", name, got)
+		}
+		if got := fn(Stats{F: 3}, 3, 0); math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s with no successful runs = %v, want finite", name, got)
+		}
+	}
+}
+
+// TestEnginesRankBugPredictorFirst: on the two-bug world every engine
+// must put a genuine bug predictor (pred 0, the common bug) at the
+// top, never the invariant pred 4.
+func TestEnginesRankBugPredictorFirst(t *testing.T) {
+	in := twoBugWorld()
+	for _, name := range EngineNames() {
+		e, _ := EngineByName(name)
+		ranked := e.Score(in, 10)
+		if len(ranked) == 0 {
+			t.Errorf("%s: empty ranking on a corpus with 80 failing runs", name)
+			continue
+		}
+		if top := ranked[0].Pred; top == 4 {
+			t.Errorf("%s: ranked the always-true invariant first", name)
+		}
+		for i, r := range ranked {
+			if r.Score <= 0 || math.IsNaN(r.Score) {
+				t.Errorf("%s: rank %d has non-positive score %v", name, i, r.Score)
+			}
+		}
+	}
+}
+
+// TestEngineDeterminismUnderPermutation: counting engines must return
+// identical rankings when the report order is permuted — the property
+// that makes merged gateway answers equal single-collector answers.
+func TestEngineDeterminismUnderPermutation(t *testing.T) {
+	in := twoBugWorld()
+	permuted := Input{Set: cloneSetReversed(in), SiteOf: in.SiteOf}
+	for _, name := range []string{"eliminate", "importance", "ochiai", "tarantula", "jaccard", "stacktrace"} {
+		e, ok := EngineByName(name)
+		if !ok {
+			// stacktrace registers from its own package; skip when this
+			// test binary does not link it.
+			continue
+		}
+		a, b := e.Score(in, 0), e.Score(permuted, 0)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: ranking changed under report permutation", name)
+		}
+	}
+}
+
+func cloneSetReversed(in Input) *report.Set {
+	set := &report.Set{NumSites: in.Set.NumSites, NumPreds: in.Set.NumPreds}
+	for i := len(in.Set.Reports) - 1; i >= 0; i-- {
+		set.Reports = append(set.Reports, in.Set.Reports[i])
+	}
+	return set
+}
+
+func TestEngineKCap(t *testing.T) {
+	in := twoBugWorld()
+	for _, name := range EngineNames() {
+		e, _ := EngineByName(name)
+		all := e.Score(in, 0)
+		capped := e.Score(in, 2)
+		if len(capped) > 2 {
+			t.Errorf("%s: k=2 returned %d predictors", name, len(capped))
+		}
+		if len(all) >= 2 && len(capped) == 2 {
+			// The cap must be a prefix for pure-ranking engines. The
+			// eliminate engine re-plans each round but its selection
+			// order is also prefix-stable under MaxPredictors.
+			if capped[0].Pred != all[0].Pred || capped[1].Pred != all[1].Pred {
+				t.Errorf("%s: k=2 is not a prefix of the full ranking", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cbi/internal/core"
+	"cbi/internal/harness"
+
+	// Register the full engine set (logreg, stacktrace) alongside the
+	// core built-ins so the comparison covers every engine a collector
+	// serves.
+	_ "cbi/internal/logreg"
+	_ "cbi/internal/stacktrace"
+)
+
+// EngineTableRow is one engine's ground-truth scorecard, pooled over
+// every requested subject's seeded bugs.
+type EngineTableRow struct {
+	Engine string
+	// Bugs counts ground-truth bugs with at least one failing run.
+	Bugs int
+	// Found counts bugs with a (sub-)bug predictor anywhere in the
+	// engine's top-k list.
+	Found int
+	// Top1 and Top5 are the fractions of bugs whose first predictor
+	// appears at rank 1 / within the top 5.
+	Top1, Top5 float64
+	// MeanRank averages each bug's first-predictor rank; a bug the
+	// engine misses entirely counts as rank k+1.
+	MeanRank float64
+}
+
+// EngineTable compares every registered scoring engine against the
+// subjects' ground-truth bugs. It is the quantitative companion to
+// ENGINES.md: which engine puts real bug predictors nearest the top.
+type EngineTable struct {
+	K        int
+	Subjects []string
+	Rows     []EngineTableRow
+}
+
+// RunEngineTable scores each subject's uniform-sampling corpus with
+// every registered engine and ranks the engines by how early their
+// lists surface a predictor for each seeded bug. A bug counts as found
+// at the first rank whose predicate Classify()-ies as a bug or sub-bug
+// predictor of it (super-bug predicates span several bugs and locate
+// none). Engines iterate in sorted name order and bugs in ascending id
+// order, so the table is deterministic for a fixed scale and subject
+// list.
+func RunEngineTable(r *Runner, subjectNames []string, k int) *EngineTable {
+	t := &EngineTable{K: k, Subjects: subjectNames}
+	miss := k + 1
+
+	type tally struct {
+		bugs, found, top1, top5, rankSum int
+	}
+	tallies := map[string]*tally{}
+	names := core.EngineNames()
+	for _, n := range names {
+		tallies[n] = &tally{}
+	}
+
+	for _, subject := range subjectNames {
+		res := r.Result(subject, harness.SampleUniform)
+		in := res.CoreInput()
+		bugIDs := sortedBugIDs(res.FailingRunsPerBug())
+		for _, n := range names {
+			e, ok := core.EngineByName(n)
+			if !ok {
+				continue
+			}
+			ranked := e.Score(in, k)
+			// Classify each ranked predicate once; rank lists are short
+			// (≤ k) and Classify scans the whole corpus.
+			classes := make([]PredictorClass, len(ranked))
+			for i, p := range ranked {
+				classes[i] = Classify(res, p.Pred)
+			}
+			ta := tallies[n]
+			for _, b := range bugIDs {
+				ta.bugs++
+				rank := miss
+				for i, cls := range classes {
+					if cls.Bug == b && (cls.Class == "bug" || cls.Class == "sub-bug") {
+						rank = i + 1
+						break
+					}
+				}
+				ta.rankSum += rank
+				if rank <= k {
+					ta.found++
+				}
+				if rank == 1 {
+					ta.top1++
+				}
+				if rank <= 5 {
+					ta.top5++
+				}
+			}
+		}
+	}
+
+	for _, n := range names {
+		ta := tallies[n]
+		row := EngineTableRow{Engine: n, Bugs: ta.bugs, Found: ta.found}
+		if ta.bugs > 0 {
+			row.Top1 = float64(ta.top1) / float64(ta.bugs)
+			row.Top5 = float64(ta.top5) / float64(ta.bugs)
+			row.MeanRank = float64(ta.rankSum) / float64(ta.bugs)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	// Best engine first: most bugs found, then lowest mean rank, then
+	// name for a total order.
+	sort.SliceStable(t.Rows, func(i, j int) bool {
+		a, b := t.Rows[i], t.Rows[j]
+		if a.Found != b.Found {
+			return a.Found > b.Found
+		}
+		if a.MeanRank != b.MeanRank {
+			return a.MeanRank < b.MeanRank
+		}
+		return a.Engine < b.Engine
+	})
+	return t
+}
+
+// RenderMarkdown prints the comparison as the markdown table embedded
+// in EXPERIMENTS.md. CI regenerates the smoke-scale variant and diffs
+// the `|` rows against the committed copy, so the format must stay
+// byte-stable for a fixed corpus.
+func (t *EngineTable) RenderMarkdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "subjects: %s (top-%d lists; a missed bug counts as rank %d)\n\n",
+		strings.Join(t.Subjects, ", "), t.K, t.K+1)
+	sb.WriteString("| Engine | Bugs found | Top-1 | Top-5 | Mean rank |\n")
+	sb.WriteString("|---|---|---|---|---|\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "| %s | %d/%d | %.2f | %.2f | %.1f |\n",
+			r.Engine, r.Found, r.Bugs, r.Top1, r.Top5, r.MeanRank)
+	}
+	return sb.String()
+}

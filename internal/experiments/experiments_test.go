@@ -353,3 +353,58 @@ func TestRunnerDiskCache(t *testing.T) {
 		t.Fatalf("scale-200 runner got %d reports", len(c.Set.Reports))
 	}
 }
+
+func TestEngineTable(t *testing.T) {
+	tbl := RunEngineTable(testRunner, []string{"moss"}, 20)
+	if len(tbl.Rows) < 5 {
+		t.Fatalf("expected every registered engine in the table, got %d rows", len(tbl.Rows))
+	}
+	byName := map[string]EngineTableRow{}
+	for _, r := range tbl.Rows {
+		byName[r.Engine] = r
+		if r.Bugs == 0 {
+			t.Errorf("%s: no ground-truth bugs tallied", r.Engine)
+		}
+		if r.Found > r.Bugs {
+			t.Errorf("%s: found %d of %d bugs", r.Engine, r.Found, r.Bugs)
+		}
+		if r.MeanRank < 1 || r.MeanRank > float64(tbl.K+1) {
+			t.Errorf("%s: mean rank %v outside [1, k+1]", r.Engine, r.MeanRank)
+		}
+		if r.Top1 > r.Top5 {
+			t.Errorf("%s: top-1 rate %v exceeds top-5 rate %v", r.Engine, r.Top1, r.Top5)
+		}
+	}
+	for _, want := range []string{"eliminate", "logreg", "stacktrace", "ochiai", "tarantula"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("engine %q missing from the table", want)
+		}
+	}
+	// The paper's thesis, quantified: iterative elimination locates at
+	// least as many bugs as any single-measure ranking.
+	elim := byName["eliminate"]
+	for _, n := range []string{"ochiai", "tarantula", "jaccard"} {
+		if other := byName[n]; other.Found > elim.Found {
+			t.Errorf("%s found %d bugs vs eliminate's %d; elimination should not lose", n, other.Found, elim.Found)
+		}
+	}
+	// Rows are sorted best-first on (found, mean rank).
+	for i := 1; i < len(tbl.Rows); i++ {
+		a, b := tbl.Rows[i-1], tbl.Rows[i]
+		if a.Found < b.Found {
+			t.Errorf("rows not sorted by bugs found: %v before %v", a, b)
+		}
+	}
+	// Determinism: the same runner must reproduce the table exactly —
+	// the property the CI drift check relies on.
+	again := RunEngineTable(testRunner, []string{"moss"}, 20)
+	if tbl.RenderMarkdown() != again.RenderMarkdown() {
+		t.Error("engine table is not deterministic for a fixed corpus")
+	}
+	out := tbl.RenderMarkdown()
+	for _, want := range []string{"| Engine |", "| eliminate |", "subjects: moss"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package logreg
+
+import "cbi/internal/core"
+
+// engine adapts the ℓ1 logistic-regression baseline to the pluggable
+// scoring-engine interface: train on the run log, rank predicates by
+// their positive failure-predicting coefficients (the Table 9 list).
+// Training is deterministic for a given report sequence (fixed zero
+// initialisation, fixed iteration count), but the gradient is a
+// floating-point sum over runs, so unlike the counting engines a
+// permuted run log can move coefficients in the last few bits. Exact
+// merged-vs-single equivalence is guaranteed only for the default
+// engine.
+type engine struct{}
+
+func (engine) Name() string { return "logreg" }
+func (engine) Doc() string {
+	return "l1-regularized logistic regression coefficients (the paper's Table 9 baseline)"
+}
+
+func (engine) Score(in core.Input, k int) []core.EnginePredictor {
+	model := Train(in.Set, DefaultOptions)
+	agg := core.Aggregate(in)
+	coefs := model.TopCoefficients(k)
+	out := make([]core.EnginePredictor, len(coefs))
+	for i, c := range coefs {
+		out[i] = core.EnginePredictor{Pred: c.Pred, Score: c.Weight, Stats: agg.Stats[c.Pred]}
+	}
+	return out
+}
+
+func init() { core.RegisterEngine(engine{}) }

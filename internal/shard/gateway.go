@@ -107,6 +107,7 @@ type Gateway struct {
 	handler http.Handler
 
 	metrics           *obs.Registry
+	engineRequests    *obs.CounterVec   // merged /v1/predictors answers per engine
 	fanoutSeconds     *obs.HistogramVec // per-shard snapshot fetch latency
 	mergeSeconds      *obs.Histogram    // counter+run-log fold duration
 	degradedShards    *obs.Gauge        // shards that failed the last fan-out
@@ -199,6 +200,8 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		m = obs.NewRegistry()
 	}
 	g.metrics = m
+	g.engineRequests = m.CounterVec("cbi_predictors_engine_requests_total",
+		"Merged predictor rankings served, labelled by scoring engine.", "engine")
 	g.fanoutSeconds = m.HistogramVec("cbi_gateway_fanout_seconds",
 		"Per-shard /v1/snapshot fetch latency during a fan-out, in seconds.", nil, "shard")
 	g.mergeSeconds = m.Histogram("cbi_gateway_merge_seconds",
@@ -257,6 +260,7 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/scores", g.handleScores)
 	mux.HandleFunc("/v1/predictors", g.handlePredictors)
+	mux.HandleFunc("/v1/compare", g.handleCompare)
 	mux.HandleFunc("/v1/stats", g.handleStats)
 	mux.HandleFunc("/v1/plan", g.handlePlan)
 	mux.HandleFunc("/healthz", g.handleHealthz)
@@ -266,7 +270,7 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	}
 	g.handler = obs.NewHTTP(obs.HTTPConfig{
 		Registry:    m,
-		Paths:       []string{"/v1/scores", "/v1/predictors", "/v1/stats", "/v1/plan", "/healthz", "/metrics"},
+		Paths:       []string{"/v1/scores", "/v1/predictors", "/v1/compare", "/v1/stats", "/v1/plan", "/healthz", "/metrics"},
 		SlowRequest: cfg.SlowRequest,
 		Logf:        cfg.Logf,
 	}).Wrap(mux)
@@ -703,16 +707,66 @@ func (g *Gateway) handlePredictors(w http.ResponseWriter, req *http.Request) {
 	if !ok {
 		return
 	}
+	engineName := req.URL.Query().Get("engine")
+	if engineName == "" {
+		engineName = core.DefaultEngineName
+	}
+	eng, found := core.EngineByName(engineName)
+	if !found {
+		http.Error(w, collector.UnknownEngineError(engineName), http.StatusBadRequest)
+		return
+	}
 	_, set, _, err := g.merge(g.fetchAll(req.Context()))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
-	// Cause isolation runs over the union of the shards' retained run
-	// logs — the same BuildPredictors path a single collector uses, so
-	// the output shape and tie-breaking match exactly.
-	entries := collector.BuildPredictors(core.Input{Set: set, SiteOf: g.cfg.SiteOf}, k, affinityK)
-	writeJSON(w, entries)
+	g.engineRequests.With(engineName).Inc()
+	in := core.Input{Set: set, SiteOf: g.cfg.SiteOf}
+	if engineName == core.DefaultEngineName {
+		// Cause isolation runs over the union of the shards' retained
+		// run logs — the same BuildPredictors path a single collector
+		// uses, so the output shape and tie-breaking match exactly.
+		writeJSON(w, collector.BuildPredictors(in, k, affinityK))
+		return
+	}
+	// Alternative engines score the same merged input; every counting
+	// engine is order-independent, so the answer matches a single
+	// collector holding the union.
+	writeJSON(w, collector.EngineEntries(eng.Score(in, k)))
+}
+
+// handleCompare mirrors the collector's GET /v1/compare over the
+// merged shard union: every named engine scores one snapshot of the
+// fleet-wide run log, with pairwise rank agreement.
+func (g *Gateway) handleCompare(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	k, ok := intQuery(w, req, "k", 20)
+	if !ok || k < 0 {
+		if ok {
+			http.Error(w, "bad k", http.StatusBadRequest)
+		}
+		return
+	}
+	names, errMsg := collector.ParseEngines(req.URL.Query().Get("engines"))
+	if errMsg != "" {
+		http.Error(w, errMsg, http.StatusBadRequest)
+		return
+	}
+	_, set, _, err := g.merge(g.fetchAll(req.Context()))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	for _, n := range names {
+		g.engineRequests.With(n).Inc()
+	}
+	in := core.Input{Set: set, SiteOf: g.cfg.SiteOf}
+	writeJSON(w, collector.CompareEngines(in, names, k))
 }
 
 // GatewayStats is the gateway's GET /v1/stats response: the merged

@@ -52,6 +52,12 @@ type RouterConfig struct {
 	// single-shard case and gateway-push deployments (every shard holds
 	// the fleet plan) alike.
 	PlanFrom string
+	// ReadFrom, when set, is the base URL GET /v1/predictors and
+	// GET /v1/compare are relayed to — in a sharded deployment, the
+	// gateway, whose merged ranking covers every shard. Empty relays to
+	// the first live backend, which answers the single-shard case with
+	// exactly the collector's own ranking.
+	ReadFrom string
 	// APIKey, when set, is presented (Bearer) on router-originated
 	// write requests to backends — today the POST /v1/revoke repair
 	// calls — and required (Bearer) on POST /v1/ring topology changes.
@@ -241,6 +247,8 @@ type Router struct {
 	dropped       *obs.Counter // batches that exhausted every backend and were lost
 	planForwarded *obs.Counter // GET /v1/plan requests relayed to the plan source
 	planErrors    *obs.Counter // GET /v1/plan relays that failed (502/503)
+	readForwarded *obs.Counter // predictor/compare reads relayed to the read source
+	readErrors    *obs.Counter // predictor/compare relays that failed (502/503)
 	revokesSent   *obs.Counter // batch ids delivered to recovered backends' /v1/revoke
 	revokeErrors  *obs.Counter // failed revoke deliveries (ids requeued)
 	rateLimited   *obs.Counter // writes refused by the per-key rate limit
@@ -315,6 +323,10 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		"GET /v1/plan requests relayed to the plan source.")
 	r.planErrors = m.Counter("cbi_router_plan_errors_total",
 		"GET /v1/plan relays that failed (no live source or relay error).")
+	r.readForwarded = m.Counter("cbi_router_reads_forwarded_total",
+		"GET /v1/predictors and /v1/compare requests relayed to the read source.")
+	r.readErrors = m.Counter("cbi_router_read_errors_total",
+		"Predictor/compare relays that failed (no live source or relay error).")
 	r.revokesSent = m.Counter("cbi_router_revokes_sent_total",
 		"Re-routed batch ids delivered to a recovered backend's /v1/revoke.")
 	r.revokeErrors = m.Counter("cbi_router_revoke_errors_total",
@@ -384,6 +396,8 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	mux.HandleFunc("/v1/reports", r.handleReports)
 	mux.HandleFunc("/v1/stats", r.handleStats)
 	mux.HandleFunc("/v1/plan", r.handlePlan)
+	mux.HandleFunc("/v1/predictors", r.handleRead)
+	mux.HandleFunc("/v1/compare", r.handleRead)
 	mux.HandleFunc("/v1/ring", r.handleRing)
 	mux.HandleFunc("/healthz", r.handleHealthz)
 	mux.Handle("/metrics", m.Handler())
@@ -392,7 +406,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	r.handler = obs.NewHTTP(obs.HTTPConfig{
 		Registry:    m,
-		Paths:       []string{"/v1/reports", "/v1/stats", "/v1/plan", "/v1/ring", "/healthz", "/metrics"},
+		Paths:       []string{"/v1/reports", "/v1/stats", "/v1/plan", "/v1/predictors", "/v1/compare", "/v1/ring", "/healthz", "/metrics"},
 		SlowRequest: cfg.SlowRequest,
 		Logf:        cfg.Logf,
 	}).Wrap(mux)
@@ -716,6 +730,59 @@ func (r *Router) handlePlan(w http.ResponseWriter, req *http.Request) {
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, io.LimitReader(resp.Body, maxForwardBody))
 	r.planForwarded.Add(1)
+}
+
+// handleRead relays GET /v1/predictors and GET /v1/compare so fleet
+// operators keep one endpoint for writes and analysis queries alike.
+// The query string — including ?engine= / ?engines= — passes through
+// verbatim, and the source's status passes back, so a 400 naming the
+// registered engines reaches the caller unchanged. The source is
+// cfg.ReadFrom (the gateway, for merged fleet-wide rankings) or else
+// the first live backend.
+func (r *Router) handleRead(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	source := r.cfg.ReadFrom
+	if source == "" {
+		for _, b := range r.backendSnapshot() {
+			if b.up.Load() && b.active.Load() {
+				source = b.url
+				break
+			}
+		}
+	}
+	if source == "" {
+		r.readErrors.Add(1)
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, "no live read source", http.StatusServiceUnavailable)
+		return
+	}
+	url := source + req.URL.Path
+	if req.URL.RawQuery != "" {
+		url += "?" + req.URL.RawQuery
+	}
+	fwd, err := http.NewRequestWithContext(req.Context(), http.MethodGet, url, nil)
+	if err != nil {
+		r.readErrors.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp, err := r.hc.Do(fwd)
+	if err != nil {
+		r.readErrors.Add(1)
+		http.Error(w, "read source unreachable: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	if v := resp.Header.Get("Content-Type"); v != "" {
+		w.Header().Set("Content-Type", v)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, io.LimitReader(resp.Body, maxForwardBody))
+	r.readForwarded.Add(1)
 }
 
 // forwardLoop drains one backend's queue. On a network-level failure it

@@ -1,0 +1,114 @@
+package stacktrace
+
+import (
+	"sort"
+
+	"cbi/internal/core"
+)
+
+// engine adapts §6's crash-signature clustering to the pluggable
+// scoring-engine interface. Feedback reports carry no crash stacks, so
+// the engine clusters failing runs by the signature they do leave in
+// the run log — the observed-site membership vector (which code a
+// failing run reached) — and scores each predicate by how precisely it
+// identifies its best-matching failure cluster:
+//
+//	score(P) = max over clusters c of harmonic mean of
+//	           precision = |c ∩ true(P)| / |failing ∩ true(P)|
+//	           recall    = |c ∩ true(P)| / |c|
+//
+// A predicate true in exactly one cluster's runs and all of them gets
+// 1.0 (the "truly unique signature" of the paper's §6); predicates
+// smeared across many clusters score low — reproducing the paper's
+// finding that only the most deterministic bugs are cluster-isolable.
+type engine struct{}
+
+func (engine) Name() string { return "stacktrace" }
+func (engine) Doc() string {
+	return "failure clustering by observed-site signature, best-cluster F1 per predicate (the §6 baseline)"
+}
+
+func (engine) Score(in core.Input, k int) []core.EnginePredictor {
+	// Cluster failing runs by observed-site signature.
+	clusters := map[string][]int{}
+	for i, r := range in.Set.Reports {
+		if !r.Failed {
+			continue
+		}
+		sig := sigOf(r.ObservedSites)
+		clusters[sig] = append(clusters[sig], i)
+	}
+	agg := core.Aggregate(in)
+
+	// Per cluster, count how many of its runs each predicate is true
+	// in, and keep each predicate's best-cluster F1. One reusable
+	// counter slice keeps this O(total true bits), not O(preds).
+	best := make([]float64, in.Set.NumPreds)
+	count := make([]int32, in.Set.NumPreds)
+	// Iterate clusters in sorted-signature order for determinism of
+	// floating-point max chains (scores are computed per cluster, max
+	// is order-independent, but keep the scan reproducible anyway).
+	sigs := make([]string, 0, len(clusters))
+	for s := range clusters {
+		sigs = append(sigs, s)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		runs := clusters[sig]
+		var touched []int32
+		for _, i := range runs {
+			for _, p := range in.Set.Reports[i].TruePreds {
+				if count[p] == 0 {
+					touched = append(touched, p)
+				}
+				count[p]++
+			}
+		}
+		for _, p := range touched {
+			tf := agg.Stats[p].F // failing runs with P true, across all clusters
+			if tf > 0 {
+				prec := float64(count[p]) / float64(tf)
+				rec := float64(count[p]) / float64(len(runs))
+				if f1 := 2 * prec * rec / (prec + rec); f1 > best[p] {
+					best[p] = f1
+				}
+			}
+			count[p] = 0
+		}
+	}
+
+	var out []core.EnginePredictor
+	for p, sc := range best {
+		if sc > 0 {
+			out = append(out, core.EnginePredictor{Pred: p, Score: sc, Stats: agg.Stats[p]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Stats.F != out[j].Stats.F {
+			return out[i].Stats.F > out[j].Stats.F
+		}
+		return out[i].Pred < out[j].Pred
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// sigOf packs an ascending site list into a compact signature key.
+func sigOf(sites []int32) string {
+	b := make([]byte, 0, len(sites)*3)
+	for _, s := range sites {
+		for s >= 0x80 {
+			b = append(b, byte(s)|0x80)
+			s >>= 7
+		}
+		b = append(b, byte(s))
+	}
+	return string(b)
+}
+
+func init() { core.RegisterEngine(engine{}) }
