@@ -316,6 +316,28 @@ func BenchmarkReportDecodeBinary(b *testing.B) {
 	}
 }
 
+// BenchmarkDecodeArena measures the pooled arena decoder on the same
+// payload as BenchmarkReportDecodeBinary; the gap between the two is
+// the ingest hot path's allocation win.
+func BenchmarkDecodeArena(b *testing.B) {
+	res := warm(b, "moss", harness.SampleUniform)
+	var buf bytes.Buffer
+	if err := res.Set.MarshalBinary(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	var arena report.Arena
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, lease, err := arena.Decode(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		lease.Release()
+	}
+}
+
 // BenchmarkReportEncodeText is the baseline the binary codec competes
 // with.
 func BenchmarkReportEncodeText(b *testing.B) {

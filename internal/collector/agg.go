@@ -22,6 +22,7 @@ package collector
 import (
 	"bytes"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,30 +34,45 @@ import (
 
 // shardedAgg maintains the per-site and per-predicate tallies of
 // core.AggregateSubset under concurrent ingestion, plus the run-level
-// membership log. Counters are striped into contiguous blocks, each
-// guarded by its own mutex; because report id lists are sorted
-// ascending, an applier walks each list taking each stripe lock at most
-// once.
+// membership log. Per-id counters are bumped with *plain* adds under
+// contiguous-range stripe locks: a report's id lists are ascending, so
+// each list crosses each stripe at most once — one lock acquisition
+// per stripe touched, then branch-free in-cache adds. Plain adds beat
+// per-id atomics decisively on the hot path (a dense report can carry
+// thousands of ids, and a LOCK-prefixed add costs several times a
+// plain one), and the stripe count keeps parallel appliers from
+// convoying. Run totals stripe across cache-line padded cells (see
+// runCounts) since every report hits one of only two of them.
 //
 // A top-level RWMutex makes whole reports atomic with respect to
 // readers: appliers hold the read side for the duration of one report
 // (counter bumps, log append, and eviction decrement together), while
 // snapshots and score queries take the write side, so they never
-// observe a half-applied report or a log/counter mismatch.
+// observe a half-applied report or a log/counter mismatch — and, since
+// readers exclude every applier, they read the counter arrays without
+// touching the stripe locks at all.
 type shardedAgg struct {
-	numSites, numPreds   int
-	siteBlock, predBlock int // stripe widths (ids per stripe)
+	numSites, numPreds int
 
-	gate        sync.RWMutex
-	siteStripes []sync.Mutex
-	predStripes []sync.Mutex
+	gate sync.RWMutex
 
-	// Guarded by the stripe owning the index.
+	// Written with plain adds under gate.RLock + the covering stripe
+	// lock; read plainly under gate.Lock.
 	fObsSite, sObsSite []int64
 	fPred, sPred       []int64
 
-	// Run counts, updated atomically after a report's counters land.
-	numF, numS atomic.Int64
+	// Counter stripe locks: stripe s covers ids [s*block, (s+1)*block).
+	siteMu, predMu       []stripeMutex
+	siteBlock, predBlock int
+
+	// Run counts, striped to keep parallel appliers off one cache line.
+	runs *runCounts
+
+	// encPool recycles record-encode scratch buffers (*[]byte) for the
+	// ingest path that hasn't pre-encoded its reports.
+	encPool sync.Pool
+	// foldPool recycles batched-fold workspaces (*foldScratch).
+	foldPool sync.Pool
 
 	// logMu guards log; nil log means run-level retention is disabled
 	// (counters only, /v1/predictors unavailable).
@@ -130,18 +146,19 @@ func newShardedAgg(numSites, numPreds, shards, runLogCap int, runLogMaxBytes int
 		now = time.Now
 	}
 	a := &shardedAgg{
-		numSites:    numSites,
-		numPreds:    numPreds,
-		siteBlock:   blockSize(numSites, shards),
-		predBlock:   blockSize(numPreds, shards),
-		siteStripes: make([]sync.Mutex, shards),
-		predStripes: make([]sync.Mutex, shards),
-		fObsSite:    make([]int64, numSites),
-		sObsSite:    make([]int64, numSites),
-		fPred:       make([]int64, numPreds),
-		sPred:       make([]int64, numPreds),
-		maxAge:      maxAge,
-		now:         now,
+		numSites:  numSites,
+		numPreds:  numPreds,
+		fObsSite:  make([]int64, numSites),
+		sObsSite:  make([]int64, numSites),
+		fPred:     make([]int64, numPreds),
+		sPred:     make([]int64, numPreds),
+		siteMu:    make([]stripeMutex, shards),
+		predMu:    make([]stripeMutex, shards),
+		siteBlock: blockFor(numSites, shards),
+		predBlock: blockFor(numPreds, shards),
+		runs:      newRunCounts(shards),
+		maxAge:    maxAge,
+		now:       now,
 	}
 	if runLogCap > 0 {
 		a.log = newRunLog(runLogCap, runLogMaxBytes)
@@ -154,12 +171,106 @@ func newShardedAgg(numSites, numPreds, shards, runLogCap int, runLogMaxBytes int
 	return a
 }
 
-func blockSize(dim, shards int) int {
-	b := (dim + shards - 1) / shards
+// stripeMutex is a cache-line padded mutex guarding one contiguous
+// range of a counter array.
+type stripeMutex struct {
+	sync.Mutex
+	_ [56]byte
+}
+
+// blockFor sizes a stripe's id range so `stripes` stripes cover `dim`.
+func blockFor(dim, stripes int) int {
+	b := (dim + stripes - 1) / stripes
 	if b < 1 {
 		b = 1
 	}
 	return b
+}
+
+// addStriped lands delta onto dst[id] for every id in the ascending
+// list, taking each covering stripe lock exactly once. blockFor
+// guarantees stripes*block >= dim, so id/block always indexes a stripe.
+func addStriped(dst []int64, ids []int32, delta int64, mus []stripeMutex, block int) {
+	i := 0
+	for i < len(ids) {
+		s := int(ids[i]) / block
+		hi := int32((s + 1) * block)
+		mus[s].Lock()
+		for i < len(ids) && ids[i] < hi {
+			dst[ids[i]] += delta
+			i++
+		}
+		mus[s].Unlock()
+	}
+}
+
+// runCounts holds the failing/successful run totals striped across
+// cache-line padded cells. Every report increments exactly one of two
+// counters, so a single atomic pair would serialize all appliers on one
+// line; cells plus a sync.Pool for P-local cell affinity spread that
+// traffic. Readers sum the cells.
+type runCounts struct {
+	cells []runCountCell
+	pool  sync.Pool // *runCountCell, P-local affinity
+	next  atomic.Uint32
+}
+
+type runCountCell struct {
+	f, s atomic.Int64
+	_    [48]byte // pad to a 64-byte cache line
+}
+
+func newRunCounts(stripes int) *runCounts {
+	if stripes < 1 {
+		stripes = 1
+	}
+	return &runCounts{cells: make([]runCountCell, stripes)}
+}
+
+// BumpN adds batch totals through the calling goroutine's pooled cell.
+// Callers must hold gate.RLock (concurrent with other bumps) or
+// stronger.
+func (c *runCounts) BumpN(f, s int64) {
+	v := c.pool.Get()
+	if v == nil {
+		v = &c.cells[int(c.next.Add(1))%len(c.cells)]
+	}
+	cell := v.(*runCountCell)
+	if f != 0 {
+		cell.f.Add(f)
+	}
+	if s != 0 {
+		cell.s.Add(s)
+	}
+	c.pool.Put(v)
+}
+
+// Add folds totals into the first cell — for exclusive-hold paths
+// (merge, subtract) where striping buys nothing.
+func (c *runCounts) Add(f, s int64) {
+	c.cells[0].f.Add(f)
+	c.cells[0].s.Add(s)
+}
+
+// Load sums the cells: exact under gate.Lock; a lock-free reader gets a
+// momentary view, same as the single atomic pair this replaces.
+func (c *runCounts) Load() (f, s int64) {
+	for i := range c.cells {
+		f += c.cells[i].f.Load()
+		s += c.cells[i].s.Load()
+	}
+	return f, s
+}
+
+// Store resets every cell and sets the totals. Callers must exclude
+// concurrent bumps.
+func (c *runCounts) Store(f, s int64) {
+	for i := range c.cells {
+		c.cells[i].f.Store(0)
+		c.cells[i].s.Store(0)
+	}
+	c.cells[0].f.Store(f)
+	c.cells[0].s.Store(s)
 }
 
 // enableDeltaHistory turns on delta serving: state mutations are
@@ -210,41 +321,89 @@ func (a *shardedAgg) Apply(r *report.Report) {
 func (a *shardedAgg) ApplyBatch(reports []*report.Report, encoded [][]byte, key uint64, after func(recs [][]byte)) [][]byte {
 	a.gate.RLock()
 	defer a.gate.RUnlock()
-	var recs [][]byte
+	var recs, evicted [][]byte
 	if a.log != nil {
 		recs = make([][]byte, 0, len(reports))
-	}
-	for i, r := range reports {
-		var pre []byte
-		if encoded != nil {
-			pre = encoded[i]
+		now := a.now().UnixNano()
+		var scratch *[]byte
+		if encoded == nil {
+			scratch = a.getEncBuf()
 		}
-		rec := a.applyOne(r, pre, key)
-		if a.log != nil {
+		a.logMu.Lock()
+		if a.maxAge > 0 {
+			// One age sweep covers the whole batch: every append below is
+			// stamped with this same now, so nothing can expire mid-batch
+			// — the per-report sweeps this replaces would all be no-ops.
+			evicted = a.log.evictExpired(now - int64(a.maxAge))
+			if a.hist != nil {
+				for range evicted {
+					a.noteLocked(corpus.DeltaEvict, nil)
+				}
+			}
+		}
+		for i, r := range reports {
+			var pre []byte
+			owned := encoded != nil
+			if owned {
+				pre = encoded[i]
+			} else {
+				*scratch = report.AppendRecord((*scratch)[:0], r)
+				pre = *scratch
+			}
+			rec, ev := a.log.append(pre, owned, key, now)
+			if a.hist != nil {
+				for range ev {
+					a.noteLocked(corpus.DeltaEvict, nil)
+				}
+				a.noteLocked(corpus.DeltaAppend, rec)
+			}
+			evicted = append(evicted, ev...)
 			recs = append(recs, rec)
 		}
+		a.logMu.Unlock()
+		if scratch != nil {
+			a.encPool.Put(scratch)
+		}
 	}
+	a.bumpBatch(reports)
+	a.uncount(evicted)
 	if after != nil {
 		after(recs)
 	}
 	return recs
 }
 
-// applyOne folds one report; callers hold gate.RLock. rec, when
+// getEncBuf fetches a pooled record-encode scratch buffer.
+func (a *shardedAgg) getEncBuf() *[]byte {
+	if v := a.encPool.Get(); v != nil {
+		return v.(*[]byte)
+	}
+	return new([]byte)
+}
+
+// applyOne folds one report; callers hold gate.RLock. pre, when
 // non-nil, is the report's pre-computed AppendRecord encoding. Returns
-// the encoded run-log record (nil when retention is disabled).
-func (a *shardedAgg) applyOne(r *report.Report, rec []byte, key uint64) []byte {
+// the canonical (interned) run-log record (nil when retention is
+// disabled).
+func (a *shardedAgg) applyOne(r *report.Report, pre []byte, key uint64) []byte {
+	var rec []byte
 	var evicted [][]byte
 	if a.log != nil {
-		if rec == nil {
-			rec = report.AppendRecord(nil, r)
+		owned := pre != nil
+		var scratch *[]byte
+		if pre == nil {
+			scratch = a.getEncBuf()
+			*scratch = report.AppendRecord((*scratch)[:0], r)
+			pre = *scratch
 		}
 		now := a.now().UnixNano()
 		a.logMu.Lock()
 		if a.maxAge > 0 {
 			evicted = a.log.evictExpired(now - int64(a.maxAge))
 		}
-		evicted = append(evicted, a.log.append(rec, key, now)...)
+		var ev [][]byte
+		rec, ev = a.log.append(pre, owned, key, now)
+		evicted = append(evicted, ev...)
 		if a.hist != nil {
 			// Recording the evictions before the append is equivalent to
 			// the interleaved order above: the byte cap never evicts the
@@ -255,11 +414,108 @@ func (a *shardedAgg) applyOne(r *report.Report, rec []byte, key uint64) []byte {
 			a.noteLocked(corpus.DeltaAppend, rec)
 		}
 		a.logMu.Unlock()
+		if scratch != nil {
+			a.encPool.Put(scratch)
+		}
 	}
 
 	a.bump(r, +1)
 	a.uncount(evicted)
 	return rec
+}
+
+// foldScratch is the batched fold's workspace: dense per-id delta
+// arrays (sized to the aggregate's dims) plus the lists of ids a batch
+// actually touched, so flushing is proportional to the batch, not the
+// dims. Deltas are always back to zero when the scratch returns to the
+// pool.
+type foldScratch struct {
+	fSite, sSite, fPred, sPred []int64
+	tfSite, tsSite             []int32
+	tfPred, tsPred             []int32
+}
+
+// bumpBatch folds a whole batch of +1 reports into the counters with
+// one add per distinct (id, outcome) the batch touches — and one
+// stripe-lock acquisition per stripe touched — instead of one per
+// report occurrence. Callers hold gate.RLock.
+func (a *shardedAgg) bumpBatch(reports []*report.Report) {
+	if len(reports) == 0 {
+		return
+	}
+	if len(reports) == 1 {
+		a.bump(reports[0], +1)
+		return
+	}
+	var sc *foldScratch
+	if v := a.foldPool.Get(); v != nil {
+		sc = v.(*foldScratch)
+	} else {
+		sc = &foldScratch{}
+	}
+	if len(sc.fSite) < a.numSites {
+		sc.fSite = make([]int64, a.numSites)
+		sc.sSite = make([]int64, a.numSites)
+	}
+	if len(sc.fPred) < a.numPreds {
+		sc.fPred = make([]int64, a.numPreds)
+		sc.sPred = make([]int64, a.numPreds)
+	}
+	var nf, ns int64
+	for _, r := range reports {
+		site, pred := sc.sSite, sc.sPred
+		touchedS, touchedP := &sc.tsSite, &sc.tsPred
+		if r.Failed {
+			site, pred = sc.fSite, sc.fPred
+			touchedS, touchedP = &sc.tfSite, &sc.tfPred
+			nf++
+		} else {
+			ns++
+		}
+		// Deltas are all +1, so a slot is first-touched exactly when it
+		// is still zero.
+		for _, id := range r.ObservedSites {
+			if site[id] == 0 {
+				*touchedS = append(*touchedS, id)
+			}
+			site[id]++
+		}
+		for _, id := range r.TruePreds {
+			if pred[id] == 0 {
+				*touchedP = append(*touchedP, id)
+			}
+			pred[id]++
+		}
+	}
+	flushFold(a.fObsSite, sc.fSite, sc.tfSite, a.siteMu, a.siteBlock)
+	flushFold(a.sObsSite, sc.sSite, sc.tsSite, a.siteMu, a.siteBlock)
+	flushFold(a.fPred, sc.fPred, sc.tfPred, a.predMu, a.predBlock)
+	flushFold(a.sPred, sc.sPred, sc.tsPred, a.predMu, a.predBlock)
+	sc.tfSite, sc.tsSite = sc.tfSite[:0], sc.tsSite[:0]
+	sc.tfPred, sc.tsPred = sc.tfPred[:0], sc.tsPred[:0]
+	a.foldPool.Put(sc)
+	a.runs.BumpN(nf, ns)
+}
+
+// flushFold lands accumulated deltas with one plain add per touched
+// id under the covering stripe locks, re-zeroing the dense array as it
+// goes. Sorting the touched list first makes the walk take each stripe
+// lock once and touch dst in ascending (cache-friendly) order.
+func flushFold(dst, deltas []int64, touched []int32, mus []stripeMutex, block int) {
+	slices.Sort(touched)
+	i := 0
+	for i < len(touched) {
+		s := int(touched[i]) / block
+		hi := int32((s + 1) * block)
+		mus[s].Lock()
+		for i < len(touched) && touched[i] < hi {
+			id := touched[i]
+			dst[id] += deltas[id]
+			deltas[id] = 0
+			i++
+		}
+		mus[s].Unlock()
+	}
 }
 
 // uncount subtracts evicted run-log records from the counters. Callers
@@ -331,8 +587,7 @@ func (a *shardedAgg) MergeSegment(snap *corpus.AggSnapshot, reports []*report.Re
 	for i, v := range snap.SPred {
 		a.sPred[i] += v
 	}
-	a.numF.Add(snap.NumF)
-	a.numS.Add(snap.NumS)
+	a.runs.Add(snap.NumF, snap.NumS)
 
 	var evicted, joined [][]byte
 	if a.log != nil {
@@ -364,13 +619,12 @@ func (a *shardedAgg) MergeSegment(snap *corpus.AggSnapshot, reports []*report.Re
 			evicted = append(evicted, ev...)
 		}
 		for i, r := range reports {
-			rec := report.AppendRecord(nil, r)
-			joined = append(joined, rec)
 			key := corpus.NoKey
 			if keys != nil {
 				key = keys[i]
 			}
-			ev := a.log.append(rec, key, now)
+			rec, ev := a.log.append(report.AppendRecord(nil, r), true, key, now)
+			joined = append(joined, rec)
 			if a.hist != nil {
 				for range ev {
 					a.noteLocked(corpus.DeltaEvict, nil)
@@ -387,46 +641,26 @@ func (a *shardedAgg) MergeSegment(snap *corpus.AggSnapshot, reports []*report.Re
 	}
 }
 
-// bump adds delta to every counter the report touches. Callers must
-// hold gate.RLock.
+// bump adds delta to every counter the report touches, with lock-free
+// atomic adds. Callers must hold gate.RLock (or stronger).
 func (a *shardedAgg) bump(r *report.Report, delta int64) {
 	siteCounts, predCounts := a.sObsSite, a.sPred
 	if r.Failed {
 		siteCounts, predCounts = a.fObsSite, a.fPred
 	}
-	bumpStriped(a.siteStripes, a.siteBlock, siteCounts, r.ObservedSites, delta)
-	bumpStriped(a.predStripes, a.predBlock, predCounts, r.TruePreds, delta)
+	addStriped(siteCounts, r.ObservedSites, delta, a.siteMu, a.siteBlock)
+	addStriped(predCounts, r.TruePreds, delta, a.predMu, a.predBlock)
 
 	if r.Failed {
-		a.numF.Add(delta)
+		a.runs.BumpN(delta, 0)
 	} else {
-		a.numS.Add(delta)
-	}
-}
-
-// bumpStriped adds delta to counts[id] for each id in the ascending
-// list, acquiring each stripe's lock once as the walk crosses stripes.
-func bumpStriped(stripes []sync.Mutex, block int, counts []int64, ids []int32, delta int64) {
-	held := -1
-	for _, id := range ids {
-		st := int(id) / block
-		if st != held {
-			if held >= 0 {
-				stripes[held].Unlock()
-			}
-			stripes[st].Lock()
-			held = st
-		}
-		counts[id] += delta
-	}
-	if held >= 0 {
-		stripes[held].Unlock()
+		a.runs.BumpN(0, delta)
 	}
 }
 
 // Runs returns the (failing, successful) run counts currently retained.
 func (a *shardedAgg) Runs() (numF, numS int64) {
-	return a.numF.Load(), a.numS.Load()
+	return a.runs.Load()
 }
 
 // Snapshot captures a consistent copy of all counters together with the
@@ -446,12 +680,13 @@ func (a *shardedAgg) Snapshot(fingerprint uint64) (*corpus.AggSnapshot, [][]byte
 func (a *shardedAgg) SnapshotState(fingerprint uint64, capture func(*corpus.AggSnapshot)) (*corpus.AggSnapshot, [][]byte, []uint64, uint64, uint64) {
 	a.gate.Lock()
 	defer a.gate.Unlock()
+	numF, numS := a.runs.Load()
 	snap := &corpus.AggSnapshot{
 		NumSites:    a.numSites,
 		NumPreds:    a.numPreds,
 		Fingerprint: fingerprint,
-		NumF:        a.numF.Load(),
-		NumS:        a.numS.Load(),
+		NumF:        numF,
+		NumS:        numS,
 		FobsSite:    append([]int64{}, a.fObsSite...),
 		SobsSite:    append([]int64{}, a.sObsSite...),
 		FPred:       append([]int64{}, a.fPred...),
@@ -547,8 +782,7 @@ func (a *shardedAgg) Restore(snap *corpus.AggSnapshot) {
 	copy(a.sObsSite, snap.SobsSite)
 	copy(a.fPred, snap.FPred)
 	copy(a.sPred, snap.SPred)
-	a.numF.Store(snap.NumF)
-	a.numS.Store(snap.NumS)
+	a.runs.Store(snap.NumF, snap.NumS)
 }
 
 // RestoreLog refills the run log from decoded reports (oldest first),
@@ -576,8 +810,7 @@ func (a *shardedAgg) RecountFromLog() error {
 			xs[i] = 0
 		}
 	}
-	a.numF.Store(0)
-	a.numS.Store(0)
+	a.runs.Store(0, 0)
 	if a.log == nil {
 		return nil
 	}
@@ -620,8 +853,9 @@ type runLogStats struct {
 	retained int   // runs currently retained
 	evicted  int64 // runs evicted by any retention cap since startup
 	capRuns  int   // configured count cap (0 = retention disabled)
-	bytes    int64 // summed encoded size of retained records
+	bytes    int64 // summed (logical) encoded size of retained records
 	maxBytes int64 // configured byte cap (0 = no byte cap)
+	interned int   // distinct membership vectors behind the retained runs
 }
 
 // LogStats returns the run log's retention state (zero when retention
@@ -638,6 +872,7 @@ func (a *shardedAgg) LogStats() runLogStats {
 		capRuns:  a.log.cap,
 		bytes:    a.log.bytes,
 		maxBytes: a.log.maxBytes,
+		interned: a.log.internedCount(),
 	}
 }
 
@@ -651,7 +886,8 @@ func (a *shardedAgg) SiteObservedRuns() (observed []int64, runs int64) {
 	for i := range observed {
 		observed[i] = a.fObsSite[i] + a.sObsSite[i]
 	}
-	return observed, a.numF.Load() + a.numS.Load()
+	numF, numS := a.runs.Load()
+	return observed, numF + numS
 }
 
 // Epoch returns the per-boot random epoch scoping this aggregate's
@@ -707,11 +943,12 @@ func (a *shardedAgg) ExportChunk(ranges []corpus.KeyRange, sinceSeq uint64, max 
 func (a *shardedAgg) ComputeResidual() (*corpus.AggSnapshot, error) {
 	a.gate.Lock()
 	defer a.gate.Unlock()
+	numF, numS := a.runs.Load()
 	residual := &corpus.AggSnapshot{
 		NumSites: a.numSites,
 		NumPreds: a.numPreds,
-		NumF:     a.numF.Load(),
-		NumS:     a.numS.Load(),
+		NumF:     numF,
+		NumS:     numS,
 		FobsSite: append([]int64{}, a.fObsSite...),
 		SobsSite: append([]int64{}, a.sObsSite...),
 		FPred:    append([]int64{}, a.fPred...),
@@ -756,7 +993,7 @@ func (a *shardedAgg) ComputeResidual() (*corpus.AggSnapshot, error) {
 func (a *shardedAgg) SubtractSnapshot(snap *corpus.AggSnapshot, after func()) error {
 	a.gate.Lock()
 	defer a.gate.Unlock()
-	if a.numF.Load() < snap.NumF || a.numS.Load() < snap.NumS {
+	if numF, numS := a.runs.Load(); numF < snap.NumF || numS < snap.NumS {
 		return fmt.Errorf("collector: residual subtraction would make run counts negative")
 	}
 	for i, v := range snap.FobsSite {
@@ -791,8 +1028,7 @@ func (a *shardedAgg) SubtractSnapshot(snap *corpus.AggSnapshot, after func()) er
 	for i, v := range snap.SPred {
 		a.sPred[i] -= v
 	}
-	a.numF.Add(-snap.NumF)
-	a.numS.Add(-snap.NumS)
+	a.runs.Add(-snap.NumF, -snap.NumS)
 	a.logMu.Lock()
 	if a.hist != nil {
 		a.stateVer++
@@ -822,10 +1058,11 @@ func (a *shardedAgg) LogSeq() uint64 {
 func (a *shardedAgg) ToAgg(siteOf []int32) *core.Agg {
 	a.gate.Lock()
 	defer a.gate.Unlock()
+	numF, numS := a.runs.Load()
 	agg := &core.Agg{
 		Stats: make([]core.Stats, a.numPreds),
-		NumF:  int(a.numF.Load()),
-		NumS:  int(a.numS.Load()),
+		NumF:  int(numF),
+		NumS:  int(numS),
 	}
 	for p := 0; p < a.numPreds; p++ {
 		site := siteOf[p]

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"cbi/internal/core"
 
@@ -14,6 +15,95 @@ import (
 	_ "cbi/internal/logreg"
 	_ "cbi/internal/stacktrace"
 )
+
+// predCacheMax bounds the predictor cache: one slot per (engine, k,
+// affinity) combination is tiny in practice, so the cap only matters
+// against a caller sweeping k.
+const predCacheMax = 256
+
+// predictorCache caches rendered /v1/predictors bodies keyed by query
+// parameters (engine, k, affinity), each entry remembering the run-log
+// version it was computed at; any ingest bumps the version and thereby
+// invalidates every entry. One slot per combination lets dashboards
+// poll several engines between ingests without any of them evicting the
+// others. When a sweep of distinct queries fills the hard cap, put
+// evicts the least-recently-used entry only — the hot default-engine
+// slot a dashboard touches every few seconds survives.
+type predictorCache struct {
+	mu      sync.Mutex
+	max     int
+	tick    uint64 // recency clock, bumped on every hit and insert
+	entries map[string]*predCacheEntry
+}
+
+// predCacheEntry is one cached /v1/predictors body with the run-log
+// version it was computed at.
+type predCacheEntry struct {
+	version uint64
+	body    []byte
+	used    uint64 // tick of the last get or put
+}
+
+func newPredictorCache(max int) *predictorCache {
+	return &predictorCache{max: max, entries: make(map[string]*predCacheEntry)}
+}
+
+// get returns the cached body for a query key when it is still current
+// at the given run-log version, bumping the entry's recency.
+func (c *predictorCache) get(key string, version uint64) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e == nil || e.version != version {
+		return nil
+	}
+	c.tick++
+	e.used = c.tick
+	return e.body
+}
+
+// put stores a computed body, first pruning every entry the ingest path
+// has since invalidated (so the map stays bounded by the combinations
+// polled at the current version) and then, if the cap is still hit,
+// evicting the single least-recently-used entry.
+func (c *predictorCache) put(key string, version uint64, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		if e.version != version {
+			delete(c.entries, k)
+		}
+	}
+	if _, exists := c.entries[key]; !exists && len(c.entries) >= c.max {
+		var lruKey string
+		first := true
+		var lruUsed uint64
+		for k, e := range c.entries {
+			if first || e.used < lruUsed {
+				lruKey, lruUsed, first = k, e.used, false
+			}
+		}
+		delete(c.entries, lruKey)
+	}
+	c.tick++
+	c.entries[key] = &predCacheEntry{version: version, body: body, used: c.tick}
+}
+
+// size reports the number of cached entries (for tests).
+func (c *predictorCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// has reports whether a key is cached at the given version, without
+// touching recency (for tests).
+func (c *predictorCache) has(key string, version uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	return e != nil && e.version == version
+}
 
 // EngineEntry is one row of a non-default GET /v1/predictors?engine=
 // response: the engine's own score plus the predicate's full-window

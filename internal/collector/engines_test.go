@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -244,5 +245,72 @@ func TestRankAgreementMath(t *testing.T) {
 	// miss in the other, which anticorrelates.
 	if got := rankCorrelation([]int{1, 2}, []int{3, 4}, 2); got >= 0 {
 		t.Errorf("disjoint rankings: spearman %v, want negative", got)
+	}
+}
+
+// TestPredictorCacheLRUBackstop: filling the cache past its hard cap
+// with a sweep of distinct query shapes must evict only the
+// least-recently-used entry per insert — never clear the map — so the
+// hot slot a dashboard keeps polling survives the sweep.
+func TestPredictorCacheLRUBackstop(t *testing.T) {
+	c := newPredictorCache(8)
+	const v = 42
+	c.put("default", v, []byte("hot"))
+	for i := 0; i < 50; i++ {
+		// Keep the default slot hot while cold keys churn past the cap.
+		if c.get("default", v) == nil {
+			t.Fatalf("default slot evicted after %d cold inserts", i)
+		}
+		c.put(fmt.Sprintf("cold-%d", i), v, []byte("x"))
+		if got := c.size(); got > 8 {
+			t.Fatalf("cache grew to %d entries past cap 8", got)
+		}
+	}
+	if c.get("default", v) == nil {
+		t.Fatal("hot default slot did not survive the sweep")
+	}
+	// Re-putting an existing key must not evict anyone.
+	n := c.size()
+	c.put("default", v, []byte("hot2"))
+	if c.size() != n {
+		t.Fatalf("re-put of existing key changed size %d -> %d", n, c.size())
+	}
+	// An ingest-style version bump prunes every stale entry on the next
+	// put, so the sweep's residue does not outlive its window.
+	c.put("fresh", v+1, []byte("y"))
+	if c.size() != 1 || !c.has("fresh", v+1) {
+		t.Fatalf("stale entries survived version bump: size=%d", c.size())
+	}
+}
+
+// TestPredictorCacheSurvivesEngineSweep hammers the live server with a
+// two-engine k sweep wide enough to overflow the 256-entry cap while a
+// dashboard-style poller keeps re-reading the default shape. The
+// default body must stay cached throughout: exactly one computation
+// per distinct swept shape, none for the repeated default polls.
+func TestPredictorCacheSurvivesEngineSweep(t *testing.T) {
+	srv, base, _ := engineTestServer(t)
+	get := func(path string) []byte {
+		t.Helper()
+		code, body := getBody(t, base+path)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", path, code, body)
+		}
+		return body
+	}
+	defBody := get("/v1/predictors?k=10")
+	base0 := srv.StatsNow().PredictorsComputed
+	sweep := predCacheMax // 256 ks x 2 engines = 2x overflow
+	for k := 1; k <= sweep; k++ {
+		get(fmt.Sprintf("/v1/predictors?engine=ochiai&k=%d", k))
+		get(fmt.Sprintf("/v1/predictors?engine=tarantula&k=%d", k))
+		if again := get("/v1/predictors?k=10"); !bytes.Equal(defBody, again) {
+			t.Fatalf("default body changed mid-sweep at k=%d", k)
+		}
+	}
+	st := srv.StatsNow()
+	if want := base0 + int64(2*sweep); st.PredictorsComputed != want {
+		t.Fatalf("computed=%d, want %d: the default slot was evicted and recomputed during the sweep",
+			st.PredictorsComputed, want)
 	}
 }

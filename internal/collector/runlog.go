@@ -55,11 +55,63 @@ type runLog struct {
 	// evicted counts runs dropped by retention (count, age, or byte cap)
 	// since startup.
 	evicted int64
+	// interned dedups identical membership vectors behind refcounts:
+	// many runs of the same subject observe the same sites and
+	// predicates, so their encoded records are byte-identical. Each ring
+	// slot holds exactly one reference to its canonical record; byte
+	// accounting stays logical (len(rec) per retained slot), so caps and
+	// stats describe the window, not the dedup. Canonical bytes are
+	// immutable, and records returned from the log (evictions, exports)
+	// stay valid after their entry is released — release only drops the
+	// map entry, never reuses the bytes.
+	interned map[string]*internEntry
+}
+
+// internEntry is one canonical encoded membership vector plus how many
+// ring slots currently reference it.
+type internEntry struct {
+	rec  []byte
+	refs int
 }
 
 func newRunLog(capRuns int, maxBytes int64) *runLog {
-	return &runLog{cap: capRuns, maxBytes: maxBytes}
+	return &runLog{cap: capRuns, maxBytes: maxBytes,
+		interned: make(map[string]*internEntry)}
 }
+
+// intern returns the canonical copy of rec, adding one reference. When
+// owned, a first-seen rec is adopted as the canonical bytes without
+// copying (the caller must never mutate it afterwards); otherwise the
+// first occurrence is copied, so callers may pass reused scratch
+// buffers. The map lookup on the hit path allocates nothing.
+func (l *runLog) intern(rec []byte, owned bool) []byte {
+	if e := l.interned[string(rec)]; e != nil {
+		e.refs++
+		return e.rec
+	}
+	canon := rec
+	if !owned {
+		canon = append([]byte(nil), rec...)
+	}
+	l.interned[string(canon)] = &internEntry{rec: canon, refs: 1}
+	return canon
+}
+
+// release drops one ring-slot reference to a canonical record, deleting
+// the map entry when the last reference goes. The bytes themselves stay
+// valid — outstanding copies handed out by records()/append() keep
+// working.
+func (l *runLog) release(rec []byte) {
+	if e := l.interned[string(rec)]; e != nil {
+		if e.refs--; e.refs == 0 {
+			delete(l.interned, string(rec))
+		}
+	}
+}
+
+// internedCount returns the number of distinct membership vectors
+// currently retained.
+func (l *runLog) internedCount() int { return len(l.interned) }
 
 // grow doubles the ring allocation (up to cap), relinearizing at 0.
 func (l *runLog) grow() {
@@ -81,18 +133,22 @@ func (l *runLog) grow() {
 	l.recs, l.times, l.keys, l.seqs, l.head = recs, times, keys, seqs, 0
 }
 
-// append stores one encoded record stamped with its arrival time,
-// returning the evicted records the retention caps force out, oldest
-// first (nil when under cap): at most one for the count cap, plus as
-// many oldest runs as it takes to get back under the byte cap. The
-// returned slices are immutable: rings swap record pointers, never
-// reuse their bytes.
-func (l *runLog) append(rec []byte, key uint64, now int64) (evicted [][]byte) {
+// append interns and stores one encoded record stamped with its arrival
+// time. It returns the canonical (interned) record — callers that log
+// or stash the batch must hold the canonical bytes, not the scratch
+// they encoded into — plus the evicted records the retention caps force
+// out, oldest first (nil when under cap): at most one for the count
+// cap, plus as many oldest runs as it takes to get back under the byte
+// cap. owned declares whether rec is a fresh allocation the log may
+// adopt as canonical (see intern). The returned slices are immutable:
+// rings swap record pointers, never reuse their bytes.
+func (l *runLog) append(rec []byte, owned bool, key uint64, now int64) (canon []byte, evicted [][]byte) {
 	if l.n == l.cap {
 		evicted = append(evicted, l.evictOldest())
 	} else if l.n == len(l.recs) {
 		l.grow()
 	}
+	rec = l.intern(rec, owned)
 	i := (l.head + l.n) % len(l.recs)
 	l.lastSeq++
 	l.recs[i], l.times[i], l.keys[i], l.seqs[i] = rec, now, key, l.lastSeq
@@ -104,10 +160,11 @@ func (l *runLog) append(rec []byte, key uint64, now int64) (evicted [][]byte) {
 			evicted = append(evicted, l.evictOldest())
 		}
 	}
-	return evicted
+	return rec, evicted
 }
 
-// evictOldest pops and returns the oldest record.
+// evictOldest pops and returns the oldest record, dropping its intern
+// reference (the returned bytes remain valid).
 func (l *runLog) evictOldest() []byte {
 	rec := l.recs[l.head]
 	l.recs[l.head] = nil
@@ -116,6 +173,7 @@ func (l *runLog) evictOldest() []byte {
 	l.bytes -= int64(len(rec))
 	l.evicted++
 	l.version++
+	l.release(rec)
 	return rec
 }
 
@@ -223,6 +281,9 @@ func (l *runLog) remove(recs [][]byte) (removed [][]byte) {
 	if len(removed) == 0 {
 		return nil
 	}
+	for _, rec := range removed {
+		l.release(rec)
+	}
 	l.recs, l.times, l.keys, l.seqs, l.head, l.n = kept, times, keys, seqs, 0, len(kept)
 	l.bytes = 0
 	for _, rec := range kept {
@@ -248,13 +309,16 @@ func (l *runLog) restore(reports []*report.Report, keys []uint64, now int64) (re
 		}
 		reports = reports[len(reports)-l.cap:]
 	}
+	l.interned = make(map[string]*internEntry)
 	l.recs = make([][]byte, len(reports))
 	l.times = make([]int64, len(reports))
 	l.keys = make([]uint64, len(reports))
 	l.seqs = make([]uint64, len(reports))
 	l.head, l.n, l.bytes = 0, len(reports), 0
+	var scratch []byte
 	for i, r := range reports {
-		l.recs[i] = report.AppendRecord(nil, r)
+		scratch = report.AppendRecord(scratch[:0], r)
+		l.recs[i] = l.intern(scratch, false)
 		l.times[i] = now
 		if keys != nil {
 			l.keys[i] = keys[i]
@@ -266,6 +330,7 @@ func (l *runLog) restore(reports []*report.Report, keys []uint64, now int64) (re
 	if l.maxBytes > 0 {
 		for l.bytes > l.maxBytes && l.n > 1 {
 			l.bytes -= int64(len(l.recs[l.head]))
+			l.release(l.recs[l.head])
 			l.recs[l.head] = nil
 			l.head++
 			l.n--

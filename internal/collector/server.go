@@ -340,14 +340,14 @@ type Server struct {
 	residualCommits *obs.Counter
 	exportPending   *obs.Gauge
 
-	// Cached /v1/predictors responses, keyed by engine + query
-	// parameters, each remembering the run-log version it was computed
-	// at; any ingest bumps the version and thereby invalidates every
-	// entry. One slot per (engine, k, affinity) combination lets
-	// dashboards poll several engines between ingests without any of
-	// them evicting the others.
-	predMu    sync.Mutex
-	predCache map[string]*predCacheEntry
+	// Cached /v1/predictors responses (see predictorCache in
+	// engines.go).
+	predCache *predictorCache
+
+	// arena recycles binary-batch decode buffers across /v1/reports
+	// requests; a batch's lease is released after the apply workers fold
+	// it in.
+	arena report.Arena
 
 	// Recently enqueued client batch ids (X-CBI-Batch-ID), so a retry
 	// of a batch whose ack was lost in transit is not ingested twice.
@@ -423,7 +423,7 @@ func New(cfg Config) (*Server, error) {
 		accepting: true,
 		die:       make(chan struct{}),
 		dedupSeen: make(map[string][][]byte),
-		predCache: make(map[string]*predCacheEntry),
+		predCache: newPredictorCache(predCacheMax),
 	}
 	if cfg.RunLogSize > 0 && cfg.DeltaHistory >= 0 {
 		// Per-boot epoch: a restarted collector's version counter resets,
@@ -592,6 +592,18 @@ func (s *Server) initMetrics() {
 	m.GaugeFunc("cbi_collector_runlog_max_bytes",
 		"Run-log retention cap in encoded bytes (0 when no byte cap is set).",
 		func() float64 { return float64(s.agg.LogStats().maxBytes) })
+	m.GaugeFunc("cbi_runlog_interned_vectors",
+		"Distinct interned membership vectors behind the retained runs (runlog_runs minus this is the dedup win).",
+		func() float64 { return float64(s.agg.LogStats().interned) })
+	m.GaugeFunc("cbi_collector_arena_leases_active",
+		"Arena-decoded report batches currently leased (decoded but not yet folded in).",
+		func() float64 { return float64(s.arena.Stats().ActiveLeases) })
+	m.CounterFunc("cbi_collector_arena_decodes_total",
+		"Binary report batches decoded through the pooled arena.",
+		func() float64 { return float64(s.arena.Stats().Decodes) })
+	m.CounterFunc("cbi_collector_arena_pool_misses_total",
+		"Arena decodes that built a fresh workspace instead of reusing a pooled one.",
+		func() float64 { return float64(s.arena.Stats().PoolMisses) })
 	m.GaugeFunc("cbi_collector_wal_bytes",
 		"On-disk bytes across all live write-ahead-log segments (0 when disabled).",
 		func() float64 { b, _ := s.walUsage(); return float64(b) })
@@ -858,6 +870,10 @@ func (s *Server) applyLoop() {
 				}
 			})
 			s.reportsApplied.Add(int64(len(b.reports)))
+			// Nothing downstream retains the decoded reports — the log
+			// holds interned record bytes, revoke state holds recs — so
+			// the arena buffers can recycle.
+			b.lease.Release()
 		}
 	}
 }
@@ -915,12 +931,9 @@ func (s *Server) SnapshotNow() error {
 		}
 	})
 	if walOn {
-		reports, err := decodeRecords(recs, s.cfg.NumSites, s.cfg.NumPreds)
-		if err != nil {
-			return err
-		}
-		set := &report.Set{NumSites: s.cfg.NumSites, NumPreds: s.cfg.NumPreds, Reports: reports}
-		if err := corpus.WriteCheckpointFileKeyed(s.cfg.SnapshotPath, snap, set, keys); err != nil {
+		// The retained records are already canonical wire encodings, so
+		// the checkpoint streams them directly — no decode → re-encode.
+		if err := corpus.WriteCheckpointFileRecords(s.cfg.SnapshotPath, snap, s.cfg.NumSites, s.cfg.NumPreds, recs, keys); err != nil {
 			return err
 		}
 		s.snapshots.Add(1)
@@ -936,12 +949,7 @@ func (s *Server) SnapshotNow() error {
 		return nil
 	}
 	if recs != nil {
-		reports, err := decodeRecords(recs, s.cfg.NumSites, s.cfg.NumPreds)
-		if err != nil {
-			return err
-		}
-		set := &report.Set{NumSites: s.cfg.NumSites, NumPreds: s.cfg.NumPreds, Reports: reports}
-		if err := corpus.WriteRunLogFile(corpus.RunLogPath(s.cfg.SnapshotPath), set); err != nil {
+		if err := corpus.WriteRunLogFileRecords(corpus.RunLogPath(s.cfg.SnapshotPath), s.cfg.NumSites, s.cfg.NumPreds, recs); err != nil {
 			return err
 		}
 	}
@@ -1159,15 +1167,19 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		defer closer.Close()
 	}
 	// Accept both codecs, sniffed by magic: "CBR1" (binary wire format)
-	// or the "cbi-reports" text header.
+	// or the "cbi-reports" text header. Binary batches — the hot path —
+	// decode through the pooled arena; the lease travels with the batch
+	// and is released once the apply workers have folded it in. Every
+	// pre-enqueue exit must release it instead.
 	magic, err := reader.Peek(4)
 	if err != nil {
 		http.Error(w, "empty body", http.StatusBadRequest)
 		return
 	}
 	var set *report.Set
+	var lease *report.Lease
 	if string(magic) == "CBR1" {
-		set, err = report.UnmarshalBinary(reader)
+		set, lease, err = s.arena.Decode(reader)
 	} else {
 		set, err = report.Unmarshal(reader)
 	}
@@ -1178,10 +1190,12 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	if set.NumSites != s.cfg.NumSites || set.NumPreds != s.cfg.NumPreds {
 		http.Error(w, fmt.Sprintf("batch dimensions %dx%d do not match collector %dx%d",
 			set.NumSites, set.NumPreds, s.cfg.NumSites, s.cfg.NumPreds), http.StatusBadRequest)
+		lease.Release()
 		return
 	}
 	if len(set.Reports) == 0 {
 		w.WriteHeader(http.StatusOK)
+		lease.Release()
 		return
 	}
 
@@ -1193,6 +1207,7 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		s.batchesDeduped.Add(1)
 		w.WriteHeader(http.StatusAccepted)
 		fmt.Fprintf(w, `{"accepted":%d,"duplicate":true}`+"\n", len(set.Reports))
+		lease.Release()
 		return
 	}
 
@@ -1206,6 +1221,7 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		// shard router's retry can land on whatever replaces it.
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "collector is shutting down", http.StatusServiceUnavailable)
+		lease.Release()
 		return
 	}
 	// Admission before durability: take a queue slot first, so a batch
@@ -1221,9 +1237,10 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		s.batchesRejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
+		lease.Release()
 		return
 	}
-	b := &ingestBatch{id: batchID, key: batchKey(r, batchID), reports: set.Reports}
+	b := &ingestBatch{id: batchID, key: batchKey(r, batchID), reports: set.Reports, lease: lease}
 	if s.cfg.WALPath != "" {
 		b.recs = encodeReports(set.Reports)
 		kind := byte(corpus.WALBatch)
@@ -1239,16 +1256,22 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 			}
 			s.cfg.Logf("collector: WAL append: %v", err)
 			http.Error(w, "write-ahead log append failed", http.StatusInternalServerError)
+			lease.Release()
 			return
 		}
 		b.seq = seq
 	}
+	// Capture the batch size before handing the batch off: the apply
+	// loop releases the arena lease when it finishes, which severs the
+	// decoded Set — reading set.Reports after the enqueue would race
+	// with that release.
+	accepted := len(set.Reports)
 	// Cannot block: we hold an admission slot, and slots are only
 	// released when a batch leaves the queue.
 	s.queue <- b
 	s.acceptMu.RUnlock()
 	s.batchesAccepted.Add(1)
-	s.reportsEnqueued.Add(int64(len(set.Reports)))
+	s.reportsEnqueued.Add(int64(accepted))
 	// Plan attribution: clients stamp batches with the plan version
 	// their sampler ran under, so operators can see how much of the
 	// stream is still producing counts under superseded rates.
@@ -1262,7 +1285,7 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.WriteHeader(http.StatusAccepted)
-	fmt.Fprintf(w, `{"accepted":%d}`+"\n", len(set.Reports))
+	fmt.Fprintf(w, `{"accepted":%d}`+"\n", accepted)
 }
 
 // handleMerge folds a peer collector's exported state (counter
@@ -1408,19 +1431,13 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	snap, recs, keys, epoch, ver := s.agg.SnapshotState(s.cfg.Fingerprint, nil)
-	reports, err := decodeRecords(recs, s.cfg.NumSites, s.cfg.NumPreds)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	set := &report.Set{NumSites: s.cfg.NumSites, NumPreds: s.cfg.NumPreds, Reports: reports}
 	w.Header().Set("Content-Type", "application/x-cbi-merge+gzip")
 	if s.agg.DeltaCapable() {
 		w.Header().Set("X-CBI-State-Epoch", strconv.FormatUint(epoch, 10))
 		w.Header().Set("X-CBI-State-Version", strconv.FormatUint(ver, 10))
 	}
 	gz := gzip.NewWriter(w)
-	if err := corpus.WriteMergeSegmentKeyed(gz, snap, set, keys); err != nil {
+	if err := corpus.WriteMergeSegmentRecords(gz, snap, s.cfg.NumSites, s.cfg.NumPreds, recs, keys); err != nil {
 		s.cfg.Logf("collector: snapshot export: %v", err)
 		return
 	}
@@ -1478,40 +1495,16 @@ func ScoreEntries(ranked []core.PredScore) []ScoreEntry {
 	return out
 }
 
-// predCacheEntry is one cached /v1/predictors body with the run-log
-// version it was computed at.
-type predCacheEntry struct {
-	version uint64
-	body    []byte
-}
-
 // predCacheGet returns the cached body for a query key when it is
 // still current at the given run-log version.
 func (s *Server) predCacheGet(key string, version uint64) []byte {
-	s.predMu.Lock()
-	defer s.predMu.Unlock()
-	if e := s.predCache[key]; e != nil && e.version == version {
-		return e.body
-	}
-	return nil
+	return s.predCache.get(key, version)
 }
 
-// predCachePut stores a computed body and prunes every entry the
-// ingest path has since invalidated, so the map stays bounded by the
-// set of (engine, k, affinity) combinations polled at the current
-// version. A hard cap guards against a caller that sweeps k.
+// predCachePut stores a computed body (see predictorCache.put for the
+// pruning and LRU-backstop rules).
 func (s *Server) predCachePut(key string, version uint64, body []byte) {
-	s.predMu.Lock()
-	defer s.predMu.Unlock()
-	for k, e := range s.predCache {
-		if e.version != version {
-			delete(s.predCache, k)
-		}
-	}
-	if len(s.predCache) >= 256 {
-		clear(s.predCache)
-	}
-	s.predCache[key] = &predCacheEntry{version: version, body: body}
+	s.predCache.put(key, version, body)
 }
 
 // handlePredictors serves ranked bug predictors over the retained run

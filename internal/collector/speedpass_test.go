@@ -1,0 +1,124 @@
+package collector
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cbi/internal/corpus"
+)
+
+// TestSpeedPassEquivalence pins the hot-path rewrite (arena decode,
+// batched stripe fold, run-log vector interning) to the slow path it
+// replaced: the same corpus ingested report-by-report through the
+// in-process API and as HTTP binary batches through the arena decoder
+// must yield byte-identical /v1/scores, /v1/predictors, and snapshot
+// files. Run under -race in CI so the pooled workspaces and atomic
+// counters are exercised with the detector on.
+func TestSpeedPassEquivalence(t *testing.T) {
+	res := testCorpus(t)
+	in := res.CoreInput()
+
+	newSrv := func(name string) (*Server, string) {
+		t.Helper()
+		cfg := serverConfig(t)
+		cfg.SnapshotPath = filepath.Join(t.TempDir(), name+".snap")
+		srv, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Shutdown(context.Background()) })
+		return srv, cfg.SnapshotPath
+	}
+
+	// Reference: one report at a time through the in-process path.
+	refSrv, refSnap := newSrv("ref")
+	for _, r := range in.Set.Reports {
+		refSrv.Ingest(r)
+	}
+	waitApplied(t, refSrv, int64(len(in.Set.Reports)))
+
+	// Hot path: HTTP binary batches through the arena decoder.
+	hotSrv, hotSnap := newSrv("hot")
+	ts := httptest.NewServer(hotSrv.Handler())
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, in.Set.NumSites, in.Set.NumPreds,
+		WithBatchSize(64), WithRetry(3, 10*time.Millisecond))
+	if err := client.SubmitSet(context.Background(), in.Set); err != nil {
+		t.Fatal(err)
+	}
+	waitApplied(t, hotSrv, int64(len(in.Set.Reports)))
+
+	refTS := httptest.NewServer(refSrv.Handler())
+	t.Cleanup(refTS.Close)
+
+	get := func(base, path string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", path, resp.StatusCode, buf.Bytes())
+		}
+		return buf.Bytes()
+	}
+
+	for _, path := range []string{
+		"/v1/scores?k=0",
+		"/v1/predictors?k=0&affinity=3",
+		"/v1/predictors?engine=ochiai&k=25",
+		"/v1/predictors?engine=logreg&k=15",
+	} {
+		ref := get(refTS.URL, path)
+		hot := get(ts.URL, path)
+		if !bytes.Equal(ref, hot) {
+			t.Errorf("%s: hot-path body differs from per-report reference", path)
+		}
+	}
+
+	// Snapshots from the two servers must be byte-identical: counters,
+	// run-log records, and record order all survived the rewrite.
+	if err := refSrv.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hotSrv.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{"", corpus.RunLogPath("")} {
+		refBytes, err := os.ReadFile(refSnap + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hotBytes, err := os.ReadFile(hotSnap + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(refBytes, hotBytes) {
+			t.Errorf("snapshot file %q differs between hot path and reference", suffix)
+		}
+	}
+
+	// The interned run log must hold no more distinct vectors than
+	// retained runs, and the same count on both servers.
+	refStats, hotStats := refSrv.agg.LogStats(), hotSrv.agg.LogStats()
+	if refStats.interned != hotStats.interned {
+		t.Errorf("interned vectors differ: ref=%d hot=%d", refStats.interned, hotStats.interned)
+	}
+	if hotStats.interned > hotStats.retained {
+		t.Errorf("interned=%d exceeds retained runs=%d", hotStats.interned, hotStats.retained)
+	}
+	if hotStats.interned == 0 && hotStats.retained > 0 {
+		t.Error("run log retains runs but interning table is empty")
+	}
+}

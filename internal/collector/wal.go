@@ -46,6 +46,10 @@ type ingestBatch struct {
 	// already produced it (the WAL payload reuses the same bytes), so
 	// the apply worker doesn't encode the batch a second time.
 	recs [][]byte
+	// lease owns the arena buffers backing reports when the batch
+	// arrived via the binary HTTP codec (nil otherwise); the apply
+	// worker releases it after the batch is folded in.
+	lease *report.Lease
 }
 
 // walSegment describes a closed (rotated) WAL segment awaiting a

@@ -433,6 +433,33 @@ func WriteRunLogFile(path string, set *report.Set) error {
 	return os.Rename(tmp.Name(), path)
 }
 
+// WriteRunLogFileRecords is WriteRunLogFile fed directly with encoded
+// run-log records (canonical report.AppendRecord bytes). The file is
+// byte-identical to WriteRunLogFile over the decoded reports — the set
+// body is exactly the record concatenation — so collectors can persist
+// their window without a decode → re-encode round trip.
+func WriteRunLogFileRecords(path string, numSites, numPreds int, recs [][]byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	gz := gzip.NewWriter(tmp)
+	if err := report.MarshalRecords(gz, numSites, numPreds, recs); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := gz.Close(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
 // mergeSegVersion is bumped on breaking merge-segment changes.
 // Version 1 is snapshot + run window; version 2 appends a per-record
 // routing-key section and is only written when at least one record
@@ -503,6 +530,56 @@ func WriteMergeSegmentKeyed(w io.Writer, snap *AggSnapshot, set *report.Set, key
 		return err
 	}
 	if err := set.MarshalBinary(w); err != nil {
+		return err
+	}
+	if !keyed {
+		return nil
+	}
+	kb := binary.AppendUvarint(nil, uint64(len(keys)))
+	for _, k := range keys {
+		kb = binary.AppendUvarint(kb, k)
+	}
+	_, err := w.Write(kb)
+	return err
+}
+
+// WriteMergeSegmentRecords is WriteMergeSegmentKeyed fed directly with
+// encoded run-log records instead of decoded reports: the run-window
+// part of the frame is exactly the record concatenation, so the output
+// is byte-identical and the exporter skips a decode → re-encode round
+// trip. keys[i] belongs to recs[i]; nil keys writes a v1 segment.
+func WriteMergeSegmentRecords(w io.Writer, snap *AggSnapshot, numSites, numPreds int, recs [][]byte, keys []uint64) error {
+	if numSites != snap.NumSites || numPreds != snap.NumPreds {
+		return fmt.Errorf("corpus: merge segment set dimensions %dx%d disagree with snapshot %dx%d",
+			numSites, numPreds, snap.NumSites, snap.NumPreds)
+	}
+	keyed := false
+	if keys != nil {
+		if len(keys) != len(recs) {
+			return fmt.Errorf("corpus: merge segment has %d keys for %d records", len(keys), len(recs))
+		}
+		for _, k := range keys {
+			if k != NoKey {
+				keyed = true
+				break
+			}
+		}
+	}
+	version := mergeSegVersion
+	if keyed {
+		version = mergeSegVersionKeyed
+	}
+	var buf bytes.Buffer
+	if err := SaveAggSnapshot(&buf, snap); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "cbi-merge %d %d\n", version, buf.Len()); err != nil {
+		return err
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	if err := report.MarshalRecords(w, numSites, numPreds, recs); err != nil {
 		return err
 	}
 	if !keyed {
@@ -608,6 +685,32 @@ func WriteCheckpointFileKeyed(path string, snap *AggSnapshot, set *report.Set, k
 	defer os.Remove(tmp.Name())
 	gz := gzip.NewWriter(tmp)
 	if err := WriteMergeSegmentKeyed(gz, snap, set, keys); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := gz.Close(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// WriteCheckpointFileRecords is WriteCheckpointFileKeyed fed directly
+// with encoded run-log records (see WriteMergeSegmentRecords); the
+// resulting file is byte-identical to the set-based writer over the
+// decoded reports.
+func WriteCheckpointFileRecords(path string, snap *AggSnapshot, numSites, numPreds int, recs [][]byte, keys []uint64) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	gz := gzip.NewWriter(tmp)
+	if err := WriteMergeSegmentRecords(gz, snap, numSites, numPreds, recs, keys); err != nil {
 		tmp.Close()
 		return err
 	}

@@ -1,16 +1,23 @@
 package logreg
 
-import "cbi/internal/core"
+import (
+	"sort"
+
+	"cbi/internal/core"
+	"cbi/internal/report"
+)
 
 // engine adapts the ℓ1 logistic-regression baseline to the pluggable
 // scoring-engine interface: train on the run log, rank predicates by
 // their positive failure-predicting coefficients (the Table 9 list).
-// Training is deterministic for a given report sequence (fixed zero
-// initialisation, fixed iteration count), but the gradient is a
-// floating-point sum over runs, so unlike the counting engines a
-// permuted run log can move coefficients in the last few bits. Exact
-// merged-vs-single equivalence is guaranteed only for the default
-// engine.
+// Training is deterministic for a given report *multiset*: before
+// training, Score sorts a copy of the reports into a canonical content
+// order (outcome, then site vector, then predicate vector), so the
+// floating-point gradient sums run in the same order whether the runs
+// arrived one at a time, in batches, or as a merged shard union. A
+// gateway merging N shards and a single collector over the same corpus
+// therefore serve byte-identical ?engine=logreg bodies, matching the
+// counting engines' equivalence guarantee.
 type engine struct{}
 
 func (engine) Name() string { return "logreg" }
@@ -19,7 +26,7 @@ func (engine) Doc() string {
 }
 
 func (engine) Score(in core.Input, k int) []core.EnginePredictor {
-	model := Train(in.Set, DefaultOptions)
+	model := Train(canonicalSet(in.Set), DefaultOptions)
 	agg := core.Aggregate(in)
 	coefs := model.TopCoefficients(k)
 	out := make([]core.EnginePredictor, len(coefs))
@@ -27,6 +34,54 @@ func (engine) Score(in core.Input, k int) []core.EnginePredictor {
 		out[i] = core.EnginePredictor{Pred: c.Pred, Score: c.Weight, Stats: agg.Stats[c.Pred]}
 	}
 	return out
+}
+
+// canonicalSet returns a shallow copy of the set whose reports are
+// sorted by content — failures after successes, then lexicographically
+// by observed-site vector, then by true-predicate vector. Reports with
+// identical content compare equal; their relative order is irrelevant
+// because equal feature vectors contribute equal gradient terms. The
+// caller's set is never mutated.
+func canonicalSet(s *report.Set) *report.Set {
+	if s == nil || len(s.Reports) < 2 {
+		return s
+	}
+	sorted := &report.Set{NumSites: s.NumSites, NumPreds: s.NumPreds}
+	sorted.Reports = make([]*report.Report, len(s.Reports))
+	copy(sorted.Reports, s.Reports)
+	sort.Slice(sorted.Reports, func(i, j int) bool {
+		return canonicalLess(sorted.Reports[i], sorted.Reports[j])
+	})
+	return sorted
+}
+
+func canonicalLess(a, b *report.Report) bool {
+	if a.Failed != b.Failed {
+		return !a.Failed
+	}
+	if c := compareIDs(a.ObservedSites, b.ObservedSites); c != 0 {
+		return c < 0
+	}
+	return compareIDs(a.TruePreds, b.TruePreds) < 0
+}
+
+func compareIDs(a, b []int32) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
 }
 
 func init() { core.RegisterEngine(engine{}) }

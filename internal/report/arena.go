@@ -1,0 +1,199 @@
+// Arena decoding for the binary wire codec: a sync.Pool-backed
+// workspace that reuses Set/Report/id buffers across batches, so the
+// collector's steady-state decode path stops allocating per report.
+//
+// The contract is lease-based. Arena.Decode returns the decoded *Set
+// together with a *Lease that owns every buffer backing it. When the
+// caller is done with the Set it calls Lease.Release, which severs the
+// returned Set (dims zeroed, Reports nil) before recycling the buffers
+// — a stale reader holding the old *Set observes an empty set, never
+// another batch's recycled data. Holding interior slices (a Report's
+// id lists) past Release is a contract violation; the -race tests in
+// arena_test.go pin the Set-level guarantee.
+//
+// The decoder enforces exactly the invariants of UnmarshalBinary —
+// bounded dims, strictly ascending lists, allocation tracking bytes
+// read rather than claimed lengths (fuzz-verified by
+// FuzzReportRoundTripBinaryArena against the classic decoder).
+package report
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Arena hands out pooled decode workspaces. The zero value is ready to
+// use; one Arena is meant to be shared by all decoders in a process
+// (the collector keeps one per server).
+type Arena struct {
+	pool    sync.Pool
+	active  atomic.Int64
+	decodes atomic.Int64
+	misses  atomic.Int64
+}
+
+// ArenaStats is a point-in-time view of pool behaviour, exported as
+// collector gauges.
+type ArenaStats struct {
+	// ActiveLeases counts Sets decoded but not yet released.
+	ActiveLeases int64
+	// Decodes counts Decode calls.
+	Decodes int64
+	// PoolMisses counts Decode calls that had to build a fresh
+	// workspace instead of reusing a pooled one.
+	PoolMisses int64
+}
+
+// Stats reports pool counters. Counts are monotonic except
+// ActiveLeases; all may lag in-flight decodes by a moment.
+func (a *Arena) Stats() ArenaStats {
+	return ArenaStats{
+		ActiveLeases: a.active.Load(),
+		Decodes:      a.decodes.Load(),
+		PoolMisses:   a.misses.Load(),
+	}
+}
+
+// Lease owns the buffers backing one arena-decoded Set.
+type Lease struct {
+	arena *Arena
+	br    *bufio.Reader
+	// out is the Set handed to the caller; Release severs it so the
+	// caller's pointer can never observe recycled contents.
+	out      *Set
+	reports  []Report
+	ptrs     []*Report
+	ids      []int32
+	spans    []idSpan
+	released bool
+}
+
+// idSpan records one report's id-list extents inside the shared slab:
+// sites occupy ids[s0:s1], preds ids[s1:p1].
+type idSpan struct {
+	s0, s1, p1 int
+}
+
+// Decode parses a binary-format batch using pooled buffers. On success
+// the returned Lease must be Released exactly once when the Set is no
+// longer needed; on error the workspace is recycled internally and the
+// lease is nil.
+func (a *Arena) Decode(r io.Reader) (*Set, *Lease, error) {
+	a.decodes.Add(1)
+	var l *Lease
+	if v := a.pool.Get(); v != nil {
+		l = v.(*Lease)
+	} else {
+		a.misses.Add(1)
+		l = &Lease{br: bufio.NewReaderSize(nil, 1<<15)}
+	}
+	l.arena = a
+	l.released = false
+	a.active.Add(1)
+	set, err := l.decode(r)
+	if err != nil {
+		l.Release()
+		return nil, nil, err
+	}
+	return set, l, nil
+}
+
+func (l *Lease) decode(r io.Reader) (*Set, error) {
+	br := l.br
+	br.Reset(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("report: binary magic: %v", err)
+	}
+	if string(magic[:]) != binaryMagic {
+		return nil, fmt.Errorf("report: bad binary magic %q", magic[:])
+	}
+	numSites, err := readDim(br, "numSites")
+	if err != nil {
+		return nil, err
+	}
+	numPreds, err := readDim(br, "numPreds")
+	if err != nil {
+		return nil, err
+	}
+	numReports, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("report: binary numReports: %v", err)
+	}
+	l.reports = l.reports[:0]
+	l.spans = l.spans[:0]
+	l.ids = l.ids[:0]
+	for i := uint64(0); i < numReports; i++ {
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("report: binary report %d: record flags: %v", i, err)
+		}
+		if flags > 1 {
+			return nil, fmt.Errorf("report: binary report %d: record: unknown flags %#x", i, flags)
+		}
+		var sp idSpan
+		sp.s0 = len(l.ids)
+		n, err := readListLen(br, numSites)
+		if err == nil {
+			l.ids, err = appendDeltaList(br, numSites, n, l.ids)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("report: binary report %d: record sites: %v", i, err)
+		}
+		sp.s1 = len(l.ids)
+		n, err = readListLen(br, numPreds)
+		if err == nil {
+			l.ids, err = appendDeltaList(br, numPreds, n, l.ids)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("report: binary report %d: record preds: %v", i, err)
+		}
+		sp.p1 = len(l.ids)
+		l.reports = append(l.reports, Report{Failed: flags&1 != 0})
+		l.spans = append(l.spans, sp)
+	}
+	// Materialize the id sub-slices only now that the slab has stopped
+	// growing — slicing mid-decode would be invalidated by append
+	// reallocation. Full-capacity slice expressions keep a report from
+	// appending into its neighbour's ids.
+	l.ptrs = l.ptrs[:0]
+	for i := range l.reports {
+		sp := l.spans[i]
+		rp := &l.reports[i]
+		if sp.s1 > sp.s0 {
+			rp.ObservedSites = l.ids[sp.s0:sp.s1:sp.s1]
+		}
+		if sp.p1 > sp.s1 {
+			rp.TruePreds = l.ids[sp.s1:sp.p1:sp.p1]
+		}
+		l.ptrs = append(l.ptrs, rp)
+	}
+	l.out = &Set{NumSites: numSites, NumPreds: numPreds, Reports: l.ptrs}
+	return l.out, nil
+}
+
+// Release severs the Set returned by Decode and recycles the lease's
+// buffers. The Set header is the one per-decode allocation precisely so
+// it can be zeroed here: a caller that erroneously reads it after
+// Release sees an empty set, never a later batch's data. Safe to call
+// more than once; extra calls are no-ops.
+func (l *Lease) Release() {
+	if l == nil || l.released {
+		return
+	}
+	l.released = true
+	if l.out != nil {
+		*l.out = Set{}
+		l.out = nil
+	}
+	for i := range l.reports {
+		l.reports[i] = Report{}
+	}
+	a := l.arena
+	a.active.Add(-1)
+	a.pool.Put(l)
+}

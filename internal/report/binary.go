@@ -37,6 +37,18 @@ const binaryMagic = "CBR1"
 // a hostile header cannot demand absurd allocations.
 const maxDim = 1 << 30
 
+// Preallocation caps for length headers. A hostile header can claim up
+// to maxDim entries before a single payload byte arrives, so initial
+// make() sizes are clamped well below what the claim alone would
+// justify: 4096 report pointers (32 KiB) and 4096 ids (16 KiB).
+// Legitimate batches larger than the cap still decode in amortized
+// linear time — append grows geometrically, so re-growth past the hint
+// costs O(n) total, never quadratic.
+const (
+	maxReportPrealloc = 1 << 12
+	maxListPrealloc   = 1 << 12
+)
+
 // MarshalBinary writes the set in the compact binary wire format.
 func (s *Set) MarshalBinary(w io.Writer) error {
 	bw := bufio.NewWriter(w)
@@ -66,25 +78,38 @@ func AppendRecord(dst []byte, r *Report) []byte {
 	if r.Failed {
 		flags |= 1
 	}
-	dst = append(dst, flags)
-	var tmp [binary.MaxVarintLen64]byte
-	appendUvarint := func(v uint64) {
-		n := binary.PutUvarint(tmp[:], v)
-		dst = append(dst, tmp[:n]...)
+	// Grow once to the worst case (5 varint bytes per id) and write by
+	// index: this encoder is the per-report ingest hot path, and the
+	// per-varint append-through-a-scratch-buffer it replaced was the
+	// single biggest CPU sink in the fold.
+	need := 1 + 2*binary.MaxVarintLen64 +
+		binary.MaxVarintLen32*(len(r.ObservedSites)+len(r.TruePreds))
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
 	}
+	buf := dst[:cap(dst)]
+	n := len(dst)
+	buf[n] = flags
+	n++
 	for _, list := range [2][]int32{r.ObservedSites, r.TruePreds} {
-		appendUvarint(uint64(len(list)))
+		n += binary.PutUvarint(buf[n:], uint64(len(list)))
 		prev := int32(0)
-		for i, v := range list {
-			if i == 0 {
-				appendUvarint(uint64(v))
-			} else {
-				appendUvarint(uint64(v - prev))
-			}
+		for _, v := range list {
+			d := uint64(uint32(v - prev))
 			prev = v
+			// Ascending ids make most deltas tiny; the one-byte case
+			// skips PutUvarint's loop entirely.
+			if d < 0x80 {
+				buf[n] = byte(d)
+				n++
+			} else {
+				n += binary.PutUvarint(buf[n:], d)
+			}
 		}
 	}
-	return dst
+	return buf[:n]
 }
 
 // ReadRecord decodes one record written by AppendRecord, validating the
@@ -136,10 +161,11 @@ func UnmarshalBinary(r io.Reader) (*Set, error) {
 		return nil, fmt.Errorf("report: binary numReports: %v", err)
 	}
 	// Each report needs at least 3 bytes on the wire; cap the
-	// preallocation accordingly so a lying header cannot force OOM.
+	// preallocation so a lying header cannot force OOM or even a
+	// noticeable over-allocation before the body disproves the claim.
 	capHint := int(numReports)
-	if capHint > 1<<20 {
-		capHint = 1 << 20
+	if capHint > maxReportPrealloc {
+		capHint = maxReportPrealloc
 	}
 	set := &Set{NumSites: numSites, NumPreds: numPreds,
 		Reports: make([]*Report, 0, capHint)}
@@ -168,47 +194,86 @@ func readDim(br *bufio.Reader, what string) (int, error) {
 // [0, dim). The length is implicitly bounded by dim: an ascending list
 // cannot hold more distinct values than the index space.
 func readDeltaList(br io.ByteReader, dim int) ([]int32, error) {
-	n, err := binary.ReadUvarint(br)
+	n, err := readListLen(br, dim)
 	if err != nil {
 		return nil, err
-	}
-	if n > uint64(dim) {
-		return nil, fmt.Errorf("list length %d exceeds dimension %d", n, dim)
 	}
 	if n == 0 {
 		return nil, nil
 	}
 	// Preallocate conservatively: every entry costs at least one wire
 	// byte, so a lying length (up to dim = 2^30) must not be able to
-	// force a multi-GiB allocation before any list bytes are read.
+	// force a large allocation before any list bytes are read.
 	capHint := n
-	if capHint > 1<<16 {
-		capHint = 1 << 16
+	if capHint > maxListPrealloc {
+		capHint = maxListPrealloc
 	}
-	out := make([]int32, 0, capHint)
+	return appendDeltaList(br, dim, n, make([]int32, 0, capHint))
+}
+
+// readListLen reads a list length header and validates it against dim.
+func readListLen(br io.ByteReader, dim int) (int, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(dim) {
+		return 0, fmt.Errorf("list length %d exceeds dimension %d", n, dim)
+	}
+	return int(n), nil
+}
+
+// appendDeltaList decodes n delta-encoded entries onto dst, validating
+// ascending order and range. Allocation tracks bytes actually read —
+// append growth, never the claimed length — so the arena decoder can
+// feed it a shared id slab.
+func appendDeltaList(br io.ByteReader, dim, n int, dst []int32) ([]int32, error) {
 	prev := int64(-1)
-	for i := uint64(0); i < n; i++ {
+	for i := 0; i < n; i++ {
 		d, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		if d > uint64(dim) {
-			return nil, fmt.Errorf("id delta %d out of range [0,%d)", d, dim)
+			return dst, fmt.Errorf("id delta %d out of range [0,%d)", d, dim)
 		}
 		var v int64
 		if prev < 0 {
 			v = int64(d)
 		} else {
 			if d == 0 {
-				return nil, fmt.Errorf("non-ascending entry at index %d", i)
+				return dst, fmt.Errorf("non-ascending entry at index %d", i)
 			}
 			v = prev + int64(d)
 		}
 		if v >= int64(dim) {
-			return nil, fmt.Errorf("id %d out of range [0,%d)", v, dim)
+			return dst, fmt.Errorf("id %d out of range [0,%d)", v, dim)
 		}
-		out = append(out, int32(v))
+		dst = append(dst, int32(v))
 		prev = v
 	}
-	return out, nil
+	return dst, nil
+}
+
+// MarshalRecords writes the binary wire format directly from
+// pre-encoded per-report records (canonical AppendRecord encodings,
+// e.g. the collector run log's retained bytes). The output is
+// byte-identical to MarshalBinary over the decoded reports — pinned by
+// TestRecordMatchesSetEncoding — which lets snapshot/export paths skip
+// a decode → re-encode round trip.
+func MarshalRecords(w io.Writer, numSites, numPreds int, recs [][]byte) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(binaryMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		bw.Write(tmp[:n])
+	}
+	putUvarint(uint64(numSites))
+	putUvarint(uint64(numPreds))
+	putUvarint(uint64(len(recs)))
+	for _, rec := range recs {
+		bw.Write(rec)
+	}
+	return bw.Flush()
 }

@@ -201,3 +201,59 @@ func TestBinaryHugeListLengthBoundedAlloc(t *testing.T) {
 		t.Errorf("decoding a %d-byte hostile payload allocated %d bytes", len(payload), grew)
 	}
 }
+
+func TestBinaryLyingLengthAtPreallocCap(t *testing.T) {
+	// A batch of reports each declaring a list length at or just past
+	// the preallocation cap — legal against the declared dims, but with
+	// no list bytes following — must fail on EOF with total allocation
+	// bounded by a handful of capped hints, not reports × declared
+	// length. This pins the capHint clamp in UnmarshalBinary and
+	// readDeltaList at the exact cap boundary.
+	for _, claim := range []uint64{maxListPrealloc, maxListPrealloc + 1, 1 << 20} {
+		var buf bytes.Buffer
+		buf.WriteString(binaryMagic)
+		var tmp [binary.MaxVarintLen64]byte
+		put := func(v uint64) { n := binary.PutUvarint(tmp[:], v); buf.Write(tmp[:n]) }
+		put(1 << 21) // numSites
+		put(1 << 21) // numPreds
+		put(1 << 20) // numReports: also stresses the report-slice capHint
+		buf.WriteByte(0)
+		put(claim) // claimed sites list length, then EOF
+		payload := buf.Bytes()
+
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		_, err := UnmarshalBinary(bytes.NewReader(payload))
+		runtime.ReadMemStats(&after)
+		if err == nil {
+			t.Fatalf("claim=%d: truncated payload decoded without error", claim)
+		}
+		if grew := after.TotalAlloc - before.TotalAlloc; grew > 8<<20 {
+			t.Errorf("claim=%d: %d-byte hostile payload allocated %d bytes", claim, len(payload), grew)
+		}
+	}
+}
+
+func TestBinaryListLongerThanPreallocCapRoundTrips(t *testing.T) {
+	// The preallocation cap bounds the initial hint, not the list
+	// length: a legitimate list twice the cap must round-trip exactly.
+	const dim = 10000
+	const n = 2 * maxListPrealloc // 8192 > maxListPrealloc
+	r := &Report{Failed: true}
+	for i := 0; i < n; i++ {
+		r.ObservedSites = append(r.ObservedSites, int32(i))
+		r.TruePreds = append(r.TruePreds, int32(i))
+	}
+	set := &Set{NumSites: dim, NumPreds: dim, Reports: []*Report{r}}
+	var buf bytes.Buffer
+	if err := set.MarshalBinary(&buf); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := UnmarshalBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(canonSet(set), canonSet(got)) {
+		t.Fatal("round trip mismatch for list longer than prealloc cap")
+	}
+}

@@ -131,3 +131,39 @@ func FuzzReportRoundTripText(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReportRoundTripBinaryArena checks that the pooled arena decoder
+// agrees byte-for-byte with the allocating decoder on every input:
+// same accept/reject decision, same decoded set on success. Runs each
+// input through one shared arena twice so recycled workspaces are
+// exercised inside a single fuzz execution.
+func FuzzReportRoundTripBinaryArena(f *testing.F) {
+	for _, set := range fuzzSeeds() {
+		var buf bytes.Buffer
+		if err := set.MarshalBinary(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("CBR1"))
+	var arena Arena
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want, wantErr := UnmarshalBinary(bytes.NewReader(data))
+		for pass := 0; pass < 2; pass++ {
+			got, lease, err := arena.Decode(bytes.NewReader(data))
+			if (err == nil) != (wantErr == nil) {
+				t.Fatalf("pass %d: arena err=%v, plain err=%v", pass, err, wantErr)
+			}
+			if err != nil {
+				continue
+			}
+			if !reflect.DeepEqual(canonSet(want), canonSet(got)) {
+				t.Fatalf("pass %d: arena decode differs:\nplain: %+v\narena: %+v", pass, want, got)
+			}
+			lease.Release()
+			if got.NumSites != 0 || got.NumPreds != 0 || len(got.Reports) != 0 {
+				t.Fatalf("pass %d: released set still shows data: %+v", pass, got)
+			}
+		}
+	})
+}

@@ -73,10 +73,10 @@ func engineFixture(t *testing.T) (gw *httptest.Server, ref *httptest.Server, url
 
 // TestGatewayEngineEquivalence: for the default engine the merged
 // gateway body is byte-identical to a single collector over the same
-// corpus; for every counting engine (order-independent by
-// construction) the ?engine= body is byte-identical too. logreg's
-// gradient sums depend on run order, so it is only required to serve a
-// well-formed ranking of the union.
+// corpus; for every other engine — the counting engines
+// (order-independent by construction) and logreg (which canonically
+// content-sorts its training set before the gradient loop) — the
+// ?engine= body is byte-identical too.
 func TestGatewayEngineEquivalence(t *testing.T) {
 	gw, ref, _ := engineFixture(t)
 
@@ -105,9 +105,6 @@ func TestGatewayEngineEquivalence(t *testing.T) {
 		}
 		if len(bytes.TrimSpace(gwBody)) <= len("[]") {
 			t.Errorf("gateway %s served an empty ranking", path)
-		}
-		if name == "logreg" {
-			continue // floating-point order dependence: union vs ingest order
 		}
 		if _, refBody := rawGet(t, ref.URL+path); !bytes.Equal(gwBody, refBody) {
 			t.Errorf("%s: merged body differs from single collector\n gw: %s\nref: %s", name, gwBody, refBody)

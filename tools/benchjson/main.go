@@ -12,6 +12,15 @@
 // Without -o the entry is printed to stdout. With -append the existing
 // artifact (if any) is read first and the new entry appended; without
 // it the file is overwritten with a single-entry trajectory.
+//
+// With -gate-allocs N the new entry is first compared against the
+// latest trajectory entry recording each benchmark: any benchmark
+// whose allocs/op regressed by more than N percent fails the run
+// before anything is written, so CI can gate allocation regressions on
+// the committed history. Entries recorded without -benchmem carry no
+// alloc metrics and are skipped when looking for a baseline. Adding
+// -check makes the run gate-only: the -o trajectory supplies the
+// baselines but is never rewritten (the CI mode).
 package main
 
 import (
@@ -128,10 +137,53 @@ func parseBench(line string) (*Benchmark, error) {
 	return b, nil
 }
 
+// gateAllocs compares each new benchmark's allocs/op against the most
+// recent trajectory entry that recorded the same benchmark with an
+// allocs/op metric; a regression beyond pct percent is an error.
+// History entries without alloc metrics (recorded before -benchmem was
+// part of the bench step) are skipped, so the gate arms itself on the
+// first entry that carries them.
+func gateAllocs(trajectory []*Entry, entry *Entry, pct float64) error {
+	var violations []string
+	for _, b := range entry.Benchmarks {
+		now, ok := b.Metrics["allocs/op"]
+		if !ok {
+			continue
+		}
+		base, found := -1.0, false
+		for i := len(trajectory) - 1; i >= 0 && !found; i-- {
+			for _, old := range trajectory[i].Benchmarks {
+				if old.Name == b.Name && old.Pkg == b.Pkg {
+					if v, ok := old.Metrics["allocs/op"]; ok {
+						base, found = v, true
+					}
+					break
+				}
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: no prior allocs/op in trajectory; gate skipped\n", b.Name)
+			continue
+		}
+		if now > base*(1+pct/100) {
+			violations = append(violations, fmt.Sprintf(
+				"%s: allocs/op %.1f exceeds baseline %.1f by more than %.0f%%", b.Name, now, base, pct))
+		}
+	}
+	if len(violations) > 0 {
+		return errors.New("allocs/op regression:\n  " + strings.Join(violations, "\n  "))
+	}
+	return nil
+}
+
 func run() error {
 	out := flag.String("o", "", "trajectory file to write (default: print the entry to stdout)")
 	appendTo := flag.Bool("append", false, "append to the existing -o trajectory instead of replacing it")
 	note := flag.String("note", "", "free-form label stored with the entry")
+	gatePct := flag.Float64("gate-allocs", 0,
+		"fail if any benchmark's allocs/op regresses more than this percent vs the latest trajectory entry recording it (0 = off)")
+	check := flag.Bool("check", false,
+		"gate-only mode: read the -o trajectory for baselines, print the entry, write nothing")
 	flag.Parse()
 
 	entry, err := parse(os.Stdin)
@@ -140,14 +192,8 @@ func run() error {
 	}
 	entry.Note = *note
 
-	if *out == "" {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(entry)
-	}
-
 	var trajectory []*Entry
-	if *appendTo {
+	if *out != "" && (*appendTo || *gatePct > 0 || *check) {
 		data, err := os.ReadFile(*out)
 		switch {
 		case errors.Is(err, fs.ErrNotExist):
@@ -159,6 +205,22 @@ func run() error {
 				return fmt.Errorf("existing trajectory %s: %w", *out, err)
 			}
 		}
+	}
+
+	if *gatePct > 0 {
+		if err := gateAllocs(trajectory, entry, *gatePct); err != nil {
+			return err
+		}
+	}
+
+	if *out == "" || *check {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(entry)
+	}
+
+	if !*appendTo {
+		trajectory = nil
 	}
 	trajectory = append(trajectory, entry)
 	data, err := json.MarshalIndent(trajectory, "", "  ")
